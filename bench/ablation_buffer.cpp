@@ -1,0 +1,50 @@
+// Ablation — PBE-1 buffer size n at a fixed compression ratio
+// kappa = eta / n (Section III-C).
+//
+// Bigger buffers give the dynamic program a wider optimization window
+// (better point placement for the same kappa) at the price of more
+// buffering memory and a superlinear DP cost per buffer. The paper
+// fixes n = 1500; this table shows what that choice trades away.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/pbe1.h"
+#include "eval/metrics.h"
+#include "util/stopwatch.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg,
+         "Ablation: PBE-1 buffer size n at fixed kappa = eta/n = 8%",
+         "larger buffers -> equal space, lower error, higher build cost");
+
+  SingleEventStream soccer = MakeSoccer(cfg.Scenario());
+  std::printf("soccer: %zu mentions\n\n", soccer.size());
+  const double kappa = 0.08;
+  std::printf("%8s %8s %12s %12s %12s %12s\n", "n", "eta", "space KB",
+              "build ms", "mean err", "max err");
+  for (size_t n : {200, 400, 800, 1500, 3000, 6000}) {
+    Pbe1Options opt;
+    opt.buffer_points = n;
+    opt.budget_points =
+        std::max<size_t>(2, static_cast<size_t>(kappa * n + 0.5));
+    Stopwatch sw;
+    Pbe1 pbe(opt);
+    for (Timestamp t : soccer.times()) pbe.Append(t);
+    pbe.Finalize();
+    const double build_ms = sw.Millis();
+
+    Rng qrng(cfg.seed ^ n);
+    auto times =
+        SampleQueryTimes(0, soccer.times().back(), cfg.queries, &qrng);
+    auto stats = MeasurePointError(pbe, soccer, times, kSecondsPerDay);
+    std::printf("%8zu %8zu %12.1f %12.1f %12.2f %12.1f\n", n,
+                opt.budget_points, pbe.SizeBytes() / 1024.0, build_ms,
+                stats.mean_abs, stats.max_abs);
+  }
+  return 0;
+}

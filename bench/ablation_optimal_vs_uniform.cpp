@@ -1,0 +1,60 @@
+// Ablation — the value of Algorithm 1's optimal dynamic program:
+// optimal staircase selection vs uniform subsampling at the same
+// budget, on the paper's single-event streams.
+//
+// Same representation, same no-overestimate guarantee; the only
+// difference is where the kept corner points go. The gap is the
+// optimization's payoff, and it widens where the curve's activity is
+// uneven (uniform wastes points on flat stretches).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "pla/optimal_staircase.h"
+#include "pla/staircase_model.h"
+#include "pla/uniform_staircase.h"
+#include "stream/frequency_curve.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+namespace {
+
+void Sweep(const char* name, const SingleEventStream& stream) {
+  FrequencyCurve curve(stream);
+  // Compress buffer by buffer exactly as PBE-1 would.
+  constexpr size_t kBuffer = 1500;
+  std::printf("\n%s (%zu mentions, %zu corner points)\n", name, stream.size(),
+              curve.size());
+  std::printf("%8s %18s %18s %10s\n", "eta", "optimal area err",
+              "uniform area err", "ratio");
+  for (size_t eta : {30, 60, 120, 250, 500}) {
+    double opt_err = 0.0, uni_err = 0.0;
+    const auto& pts = curve.points();
+    for (size_t begin = 0; begin < pts.size(); begin += kBuffer) {
+      const size_t end = std::min(begin + kBuffer, pts.size());
+      std::vector<CurvePoint> buffer(pts.begin() + begin, pts.begin() + end);
+      const size_t budget =
+          std::max<size_t>(2, eta * buffer.size() / kBuffer);
+      opt_err += OptimalStaircase(buffer, budget).error;
+      uni_err += UniformStaircase(buffer, budget).error;
+    }
+    std::printf("%8zu %18.0f %18.0f %10.2fx\n", eta, opt_err, uni_err,
+                opt_err > 0 ? uni_err / opt_err : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg,
+         "Ablation: optimal staircase DP vs uniform subsampling at equal "
+         "budget",
+         "the DP's area error should be a fraction of uniform's");
+  SingleEventStream soccer = MakeSoccer(cfg.Scenario());
+  SingleEventStream swimming = MakeSwimming(cfg.Scenario());
+  Sweep("soccer", soccer);
+  Sweep("swimming", swimming);
+  return 0;
+}

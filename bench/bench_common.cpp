@@ -1,0 +1,79 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bursthist {
+namespace bench {
+
+BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      const char* v = arg + 8;
+      if (std::strcmp(v, "small") == 0) {
+        cfg.scale = 0.02;
+      } else if (std::strcmp(v, "medium") == 0) {
+        cfg.scale = 0.2;
+      } else if (std::strcmp(v, "paper") == 0) {
+        cfg.scale = 1.0;
+      } else {
+        cfg.scale = std::atof(v);
+        if (cfg.scale <= 0.0) {
+          std::fprintf(stderr,
+                       "usage: %s [--scale=small|medium|paper|<f>] "
+                       "[--seed=<u64>]\n",
+                       argv[0]);
+          std::exit(2);
+        }
+      }
+      cfg.scale_name = v;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      cfg.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=small|medium|paper|<f>] "
+                  "[--seed=<u64>]\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+void Banner(const BenchConfig& cfg, const char* what, const char* expect) {
+  Rule();
+  std::printf("%s\n", what);
+  std::printf("scale=%s (x%.3g of the paper's N), seed=%llu\n",
+              cfg.scale_name.c_str(), cfg.scale,
+              static_cast<unsigned long long>(cfg.seed));
+  if (expect != nullptr && expect[0] != '\0') {
+    std::printf("paper shape: %s\n", expect);
+  }
+  Rule();
+}
+
+void Rule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+std::vector<std::pair<EventId, Timestamp>> SampleEventTimeQueries(
+    EventId universe, Timestamp t_begin, Timestamp t_end, size_t count,
+    Rng* rng) {
+  std::vector<std::pair<EventId, Timestamp>> out;
+  out.reserve(count);
+  const uint64_t span = static_cast<uint64_t>(t_end - t_begin) + 1;
+  for (size_t i = 0; i < count; ++i) {
+    out.emplace_back(
+        static_cast<EventId>(rng->NextBelow(universe)),
+        t_begin + static_cast<Timestamp>(rng->NextBelow(span)));
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace bursthist

@@ -1,0 +1,58 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary prints a self-describing table on stdout and
+// accepts:
+//   --scale=small|medium|paper   dataset volume (default small so the
+//                                full suite runs in minutes; `paper`
+//                                regenerates the published Ns)
+//   --seed=<u64>                 generator seed (default 42)
+
+#ifndef BURSTHIST_BENCH_BENCH_COMMON_H_
+#define BURSTHIST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/scenarios.h"
+#include "stream/types.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace bench {
+
+/// Parsed command line for a bench binary.
+struct BenchConfig {
+  /// Multiplier applied to the paper's dataset volumes.
+  double scale = 0.02;
+  std::string scale_name = "small";
+  uint64_t seed = 42;
+  /// Random point queries per error measurement (paper: 100).
+  size_t queries = 100;
+
+  ScenarioConfig Scenario() const {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.scale = scale;
+    return cfg;
+  }
+};
+
+/// Parses --scale / --seed; exits with usage on unknown flags.
+BenchConfig ParseArgs(int argc, char** argv);
+
+/// Prints the standard bench banner.
+void Banner(const BenchConfig& cfg, const char* what, const char* expect);
+
+/// Prints a horizontal rule.
+void Rule();
+
+/// Random (event, time) query pairs.
+std::vector<std::pair<EventId, Timestamp>> SampleEventTimeQueries(
+    EventId universe, Timestamp t_begin, Timestamp t_end, size_t count,
+    Rng* rng);
+
+}  // namespace bench
+}  // namespace bursthist
+
+#endif  // BURSTHIST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,143 @@
+// Figure 10 — single event stream comparison of PBE-1 and PBE-2:
+//   (a) error vs space: sweep each structure's own knob (eta for
+//       PBE-1, gamma for PBE-2) and report (space, error) series —
+//       PBE-1 should enjoy better accuracy at equal space;
+//   (b) error vs n (the exact curve's corner count) at a fixed byte
+//       budget: longer histories squeezed into the same bytes err
+//       more, with jumps where the incoming rate changes regime.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "eval/metrics.h"
+#include "stream/frequency_curve.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+namespace {
+
+Pbe1 BuildP1(const SingleEventStream& s, size_t eta, size_t buffer = 1500) {
+  Pbe1Options o;
+  o.buffer_points = buffer;
+  o.budget_points = eta;
+  Pbe1 p(o);
+  for (Timestamp t : s.times()) p.Append(t);
+  p.Finalize();
+  return p;
+}
+
+Pbe2 BuildP2(const SingleEventStream& s, double gamma) {
+  Pbe2Options o;
+  o.gamma = gamma;
+  Pbe2 p(o);
+  for (Timestamp t : s.times()) p.Append(t);
+  p.Finalize();
+  return p;
+}
+
+double MeanError(const auto& model, const SingleEventStream& s,
+                 size_t queries, uint64_t seed) {
+  Rng qrng(seed);
+  auto times = SampleQueryTimes(0, s.times().back(), queries, &qrng);
+  return MeasurePointError(model, s, times, kSecondsPerDay).mean_abs;
+}
+
+// Finds the gamma whose PBE-2 lands closest to target_bytes.
+Pbe2 BuildP2NearSize(const SingleEventStream& s, size_t target_bytes) {
+  double best_gamma = 1.0;
+  size_t best_diff = ~size_t{0};
+  for (double gamma = 0.5; gamma <= 4096.0; gamma *= 1.6) {
+    Pbe2 p = BuildP2(s, gamma);
+    const size_t diff = p.SizeBytes() > target_bytes
+                            ? p.SizeBytes() - target_bytes
+                            : target_bytes - p.SizeBytes();
+    if (diff < best_diff) {
+      best_diff = diff;
+      best_gamma = gamma;
+    }
+  }
+  return BuildP2(s, best_gamma);
+}
+
+void PartA(const char* name, const SingleEventStream& s,
+           const BenchConfig& cfg) {
+  std::printf("\n(a) %s: error vs space\n", name);
+  std::printf("    %-8s %12s %12s\n", "knob", "space KB", "mean err");
+  for (size_t eta : {10, 25, 60, 120, 250, 500}) {
+    Pbe1 p = BuildP1(s, eta);
+    std::printf("    PBE-1 eta=%-5zu %8.1f %12.2f\n", eta,
+                p.SizeBytes() / 1024.0,
+                MeanError(p, s, cfg.queries, cfg.seed ^ eta));
+  }
+  for (double gamma : {200.0, 80.0, 30.0, 10.0, 4.0, 1.0}) {
+    Pbe2 p = BuildP2(s, gamma);
+    std::printf("    PBE-2 g=%-7.0f %8.1f %12.2f\n", gamma,
+                p.SizeBytes() / 1024.0,
+                MeanError(p, s, cfg.queries,
+                          cfg.seed ^ static_cast<uint64_t>(gamma)));
+  }
+}
+
+void PartB(const char* name, const SingleEventStream& s,
+           const BenchConfig& cfg) {
+  // Vary n by taking stream prefixes; squeeze each prefix into the
+  // same byte budget.
+  const size_t budget_bytes = static_cast<size_t>(10 * 1024 * cfg.scale / 0.02);
+  std::printf("\n(b) %s: error vs n at fixed %.1f KB\n", name,
+              budget_bytes / 1024.0);
+  std::printf("    %10s %10s %14s %14s\n", "prefix n", "", "PBE-1 err",
+              "PBE-2 err");
+  FrequencyCurve full(s);
+  const size_t total_n = full.size();
+  for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const size_t want_n = static_cast<size_t>(frac * total_n);
+    // Prefix of the stream containing want_n corner points.
+    size_t cut = 0;
+    {
+      size_t corners = 0;
+      const auto& times = s.times();
+      for (size_t i = 0; i < times.size(); ++i) {
+        if (i == 0 || times[i] != times[i - 1]) ++corners;
+        if (corners > want_n) break;
+        cut = i + 1;
+      }
+    }
+    SingleEventStream prefix(std::vector<Timestamp>(
+        s.times().begin(), s.times().begin() + cut));
+    if (prefix.empty()) continue;
+
+    // PBE-1: choose eta so total points * 16B ~ budget.
+    const size_t buffers = (want_n + 1499) / 1500;
+    const size_t eta = std::max<size_t>(
+        2, budget_bytes / sizeof(CurvePoint) / std::max<size_t>(1, buffers));
+    Pbe1 p1 = BuildP1(prefix, eta);
+    Pbe2 p2 = BuildP2NearSize(prefix, budget_bytes);
+    std::printf("    %10zu %10s %14.2f %14.2f   (sizes %.1f / %.1f KB)\n",
+                want_n, "", MeanError(p1, prefix, cfg.queries, cfg.seed),
+                MeanError(p2, prefix, cfg.queries, cfg.seed),
+                p1.SizeBytes() / 1024.0, p2.SizeBytes() / 1024.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg,
+         "Figure 10: PBE-1 vs PBE-2 on single event streams",
+         "(a) at equal space PBE-1 has lower error; (b) error grows with n "
+         "at a fixed budget");
+  SingleEventStream soccer = MakeSoccer(cfg.Scenario());
+  SingleEventStream swimming = MakeSwimming(cfg.Scenario());
+  PartA("soccer", soccer, cfg);
+  PartA("swimming", swimming, cfg);
+  PartB("soccer", soccer, cfg);
+  PartB("swimming", swimming, cfg);
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Micro benchmarks (google-benchmark): ingestion throughput and query
+// latency of the individual structures. Run with --benchmark_filter=
+// to narrow; plain invocation runs everything briefly.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/cm_pbe.h"
+#include "core/dyadic_index.h"
+#include "core/exact_store.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "gen/scenarios.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+std::vector<Timestamp> MakeTimes(size_t n) {
+  Rng rng(99);
+  std::vector<Timestamp> times;
+  times.reserve(n);
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(4));
+    times.push_back(t);
+  }
+  return times;
+}
+
+const std::vector<Timestamp>& SharedTimes() {
+  static const std::vector<Timestamp>* times =
+      new std::vector<Timestamp>(MakeTimes(200000));
+  return *times;
+}
+
+const Dataset& SharedMix() {
+  static const Dataset* ds = [] {
+    ScenarioConfig cfg;
+    cfg.scale = 0.004;  // ~20k records
+    return new Dataset(MakeOlympicRio(cfg));
+  }();
+  return *ds;
+}
+
+void BM_Pbe1Append(benchmark::State& state) {
+  const auto& times = SharedTimes();
+  Pbe1Options opt;
+  opt.buffer_points = 1500;
+  opt.budget_points = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Pbe1 pbe(opt);
+    for (Timestamp t : times) pbe.Append(t);
+    pbe.Finalize();
+    benchmark::DoNotOptimize(pbe.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(times.size()));
+}
+BENCHMARK(BM_Pbe1Append)->Arg(60)->Arg(250);
+
+void BM_Pbe2Append(benchmark::State& state) {
+  const auto& times = SharedTimes();
+  Pbe2Options opt;
+  opt.gamma = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    Pbe2 pbe(opt);
+    for (Timestamp t : times) pbe.Append(t);
+    pbe.Finalize();
+    benchmark::DoNotOptimize(pbe.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(times.size()));
+}
+BENCHMARK(BM_Pbe2Append)->Arg(2)->Arg(32);
+
+template <typename PbeT>
+PbeT BuildSingle(const std::vector<Timestamp>& times) {
+  typename PbeT::Options opt;
+  PbeT pbe(opt);
+  for (Timestamp t : times) pbe.Append(t);
+  pbe.Finalize();
+  return pbe;
+}
+
+void BM_Pbe1PointQuery(benchmark::State& state) {
+  const auto& times = SharedTimes();
+  Pbe1 pbe = BuildSingle<Pbe1>(times);
+  Rng rng(5);
+  const Timestamp last = times.back();
+  for (auto _ : state) {
+    const Timestamp t =
+        static_cast<Timestamp>(rng.NextBelow(static_cast<uint64_t>(last)));
+    benchmark::DoNotOptimize(pbe.EstimateBurstiness(t, 3600));
+  }
+}
+BENCHMARK(BM_Pbe1PointQuery);
+
+void BM_Pbe2PointQuery(benchmark::State& state) {
+  const auto& times = SharedTimes();
+  Pbe2 pbe = BuildSingle<Pbe2>(times);
+  Rng rng(5);
+  const Timestamp last = times.back();
+  for (auto _ : state) {
+    const Timestamp t =
+        static_cast<Timestamp>(rng.NextBelow(static_cast<uint64_t>(last)));
+    benchmark::DoNotOptimize(pbe.EstimateBurstiness(t, 3600));
+  }
+}
+BENCHMARK(BM_Pbe2PointQuery);
+
+void BM_ExactPointQuery(benchmark::State& state) {
+  SingleEventStream stream(SharedTimes());
+  Rng rng(5);
+  const Timestamp last = stream.times().back();
+  for (auto _ : state) {
+    const Timestamp t =
+        static_cast<Timestamp>(rng.NextBelow(static_cast<uint64_t>(last)));
+    benchmark::DoNotOptimize(stream.BurstinessAt(t, 3600));
+  }
+}
+BENCHMARK(BM_ExactPointQuery);
+
+void BM_CmPbeAppend(benchmark::State& state) {
+  const auto& ds = SharedMix();
+  Pbe1Options cell;
+  cell.buffer_points = 1500;
+  cell.budget_points = 120;
+  CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2);
+  for (auto _ : state) {
+    CmPbe<Pbe1> cm(grid, cell);
+    for (const auto& r : ds.stream.records()) cm.Append(r.id, r.time);
+    cm.Finalize();
+    benchmark::DoNotOptimize(cm.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.stream.size()));
+}
+BENCHMARK(BM_CmPbeAppend);
+
+void BM_Pbe1Serialize(benchmark::State& state) {
+  const auto& times = SharedTimes();
+  Pbe1 pbe = BuildSingle<Pbe1>(times);
+  for (auto _ : state) {
+    BinaryWriter w;
+    pbe.Serialize(&w);
+    benchmark::DoNotOptimize(w.bytes().size());
+  }
+}
+BENCHMARK(BM_Pbe1Serialize);
+
+void BM_Pbe1Deserialize(benchmark::State& state) {
+  const auto& times = SharedTimes();
+  Pbe1 pbe = BuildSingle<Pbe1>(times);
+  BinaryWriter w;
+  pbe.Serialize(&w);
+  for (auto _ : state) {
+    Pbe1 back;
+    BinaryReader r(w.bytes());
+    benchmark::DoNotOptimize(back.Deserialize(&r).ok());
+  }
+}
+BENCHMARK(BM_Pbe1Deserialize);
+
+void BM_DyadicBurstyEventQuery(benchmark::State& state) {
+  const auto& ds = SharedMix();
+  Pbe1Options cell;
+  cell.buffer_points = 1500;
+  cell.budget_points = 120;
+  CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2);
+  static DyadicBurstIndex<Pbe1>* index = [&] {
+    auto* idx = new DyadicBurstIndex<Pbe1>(ds.universe_size, grid, cell);
+    for (const auto& r : ds.stream.records()) idx->Append(r.id, r.time);
+    idx->Finalize();
+    return idx;
+  }();
+  Rng rng(7);
+  const Timestamp last = ds.stream.MaxTime();
+  for (auto _ : state) {
+    const Timestamp t =
+        static_cast<Timestamp>(rng.NextBelow(static_cast<uint64_t>(last)));
+    benchmark::DoNotOptimize(index->BurstyEvents(t, 100.0, kSecondsPerDay));
+  }
+}
+BENCHMARK(BM_DyadicBurstyEventQuery);
+
+}  // namespace
+}  // namespace bursthist
+
+BENCHMARK_MAIN();

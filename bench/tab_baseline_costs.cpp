@@ -1,0 +1,108 @@
+// Baseline cost table (Sections II-B and VI setup): the naive exact
+// store against the paper's structures — space, construction time,
+// and per-query latency for all three query types.
+//
+// Paper numbers for context: storing F(t) exactly for a full dataset
+// takes ~1 GB, while the sketches answer from KBs-MBs; a POINT query
+// is O(log n) either way, but BURSTY EVENT drops from O(K) point
+// queries to ~O(log K) with the dyadic index.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/burst_queries.h"
+#include "core/dyadic_index.h"
+#include "core/exact_store.h"
+#include "eval/metrics.h"
+#include "util/stopwatch.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg,
+         "Baseline vs sketches: space, build, and query latency",
+         "sketches use a fraction of the baseline's space; bursty-event "
+         "queries use ~O(log K) point queries instead of O(K)");
+
+  Dataset ds = MakeOlympicRio(cfg.Scenario());
+  std::printf("dataset %s: %zu records, K=%u\n\n", ds.name.c_str(),
+              ds.stream.size(), ds.universe_size);
+  const Timestamp tau = kSecondsPerDay;
+
+  // --- Baseline -------------------------------------------------------
+  Stopwatch sw;
+  ExactBurstStore exact(ds.universe_size);
+  (void)exact.AppendStream(ds.stream);
+  const double exact_build = sw.Seconds();
+
+  // --- Dyadic CM-PBE-1 -------------------------------------------------
+  Pbe1Options cell;
+  cell.buffer_points = 1500;
+  cell.budget_points = 120;
+  CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2, cfg.seed);
+  sw.Reset();
+  DyadicBurstIndex<Pbe1> index(ds.universe_size, grid, cell);
+  for (const auto& r : ds.stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+  const double index_build = sw.Seconds();
+
+  // --- Point query latency --------------------------------------------
+  Rng qrng(cfg.seed ^ 0x7ab);
+  auto queries = SampleEventTimeQueries(ds.universe_size, 0,
+                                        ds.stream.MaxTime(), 20000, &qrng);
+  sw.Reset();
+  double sink = 0.0;
+  for (const auto& [e, t] : queries) {
+    sink += static_cast<double>(exact.BurstinessAt(e, t, tau));
+  }
+  const double exact_point_us = sw.Micros() / queries.size();
+  sw.Reset();
+  for (const auto& [e, t] : queries) {
+    sink += index.EstimateBurstiness(e, t, tau);
+  }
+  const double index_point_us = sw.Micros() / queries.size();
+
+  // --- Bursty-time latency ---------------------------------------------
+  sw.Reset();
+  size_t iv = 0;
+  for (EventId e = 0; e < 20; ++e) iv += exact.BurstyTimes(e, 50.0, tau).size();
+  const double exact_bt_ms = sw.Millis() / 20;
+
+  // --- Bursty-event latency ---------------------------------------------
+  Rng trng(cfg.seed ^ 0x7ac);
+  auto times = SampleQueryTimes(tau, ds.stream.MaxTime(), 50, &trng);
+  const double theta = 400.0 * cfg.scale / 0.02;
+  sw.Reset();
+  size_t exact_found = 0;
+  for (Timestamp t : times) exact_found += exact.BurstyEvents(t, theta, tau).size();
+  const double exact_be_ms = sw.Millis() / times.size();
+  sw.Reset();
+  size_t index_found = 0, pq = 0;
+  for (Timestamp t : times) {
+    index_found += index.BurstyEvents(t, theta, tau).size();
+    pq += index.LastQueryPointQueries();
+  }
+  const double index_be_ms = sw.Millis() / times.size();
+
+  std::printf("%-22s %12s %10s %12s %14s\n", "structure", "space MB",
+              "build s", "point us", "bursty-ev ms");
+  std::printf("%-22s %12.2f %10.2f %12.3f %14.3f\n", "exact baseline",
+              exact.SizeBytes() / 1048576.0, exact_build, exact_point_us,
+              exact_be_ms);
+  std::printf("%-22s %12.2f %10.2f %12.3f %14.3f\n", "dyadic CM-PBE-1",
+              index.SizeBytes() / 1048576.0, index_build, index_point_us,
+              index_be_ms);
+  Rule();
+  std::printf("bursty-event work: baseline scans K=%u events/query; index "
+              "used %.1f point queries/query\n",
+              ds.universe_size, static_cast<double>(pq) / times.size());
+  std::printf("bursty-time (exact, 20 events): %.3f ms/query, %zu intervals "
+              "total\n",
+              exact_bt_ms, iv);
+  std::printf("(found %zu vs %zu bursty ids across the %zu query times; "
+              "sink=%.1f)\n",
+              index_found, exact_found, times.size(), sink);
+  return 0;
+}

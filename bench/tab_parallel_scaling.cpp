@@ -1,0 +1,69 @@
+// Parallel construction scaling (Section III-A's throughput remark).
+//
+// CM grid rows and dyadic levels are independent, so construction
+// parallelizes with no synchronization. This table reports build time
+// vs worker count; the result is bit-identical to serial ingestion
+// (asserted in tests/parallel_ingest_test).
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/parallel_ingest.h"
+#include "util/stopwatch.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg,
+         "Parallel construction scaling (CM-PBE-1 grid rows / dyadic "
+         "levels)",
+         "build time shrinks with workers until the per-row work is "
+         "exhausted");
+
+  Dataset ds = MakeOlympicRio(cfg.Scenario());
+  std::printf("dataset %s: %zu records, K=%u, hardware threads: %u\n\n",
+              ds.name.c_str(), ds.stream.size(), ds.universe_size,
+              std::thread::hardware_concurrency());
+
+  Pbe1Options cell;
+  cell.buffer_points = 1500;
+  cell.budget_points = 120;
+  CmPbeOptions grid;
+  grid.depth = 8;  // more rows than the paper grid to expose scaling
+  grid.width = 55;
+  grid.seed = cfg.seed;
+
+  std::printf("CM-PBE-1 grid (d=%zu, w=%zu):\n", grid.depth, grid.width);
+  std::printf("%10s %12s %10s\n", "workers", "build s", "speedup");
+  double base = 0.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    Stopwatch sw;
+    auto built = BuildCmPbeParallel<Pbe1>(ds.stream, grid, cell, threads);
+    const double secs = sw.Seconds();
+    if (threads == 1) base = secs;
+    std::printf("%10zu %12.2f %9.2fx\n", threads, secs,
+                base > 0 ? base / secs : 0.0);
+    (void)built;
+  }
+
+  CmPbeOptions paper_grid = CmPbeOptions::FromGuarantee(0.05, 0.2, cfg.seed);
+  std::printf("\ndyadic index (%u ids -> %zu levels):\n", ds.universe_size,
+              DyadicBurstIndex<Pbe1>(ds.universe_size, paper_grid, cell)
+                  .levels());
+  std::printf("%10s %12s %10s\n", "workers", "build s", "speedup");
+  base = 0.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    Stopwatch sw;
+    auto built = BuildDyadicParallel<Pbe1>(ds.stream, ds.universe_size,
+                                           paper_grid, cell, threads);
+    const double secs = sw.Seconds();
+    if (threads == 1) base = secs;
+    std::printf("%10zu %12.2f %9.2fx\n", threads, secs,
+                base > 0 ? base / secs : 0.0);
+    (void)built;
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Storage-format table: serialized bytes per retained item for every
+// persistent structure, and the delta+varint payload's win over a
+// fixed-width encoding (docs/FORMAT.md's claims, measured).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cm_pbe.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "sketch/snapshot_cm.h"
+#include "stream/frequency_curve.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg,
+         "Serialized sizes: delta+varint payloads vs in-memory/fixed "
+         "width",
+         "model payloads shrink ~4x+ on unit-scale deltas");
+
+  SingleEventStream soccer = MakeSoccer(cfg.Scenario());
+  std::printf("soccer: %zu mentions\n\n", soccer.size());
+
+  std::printf("%-26s %12s %14s %14s %8s\n", "structure", "items",
+              "in-memory KB", "serialized KB", "ratio");
+
+  {
+    Pbe1Options o;
+    o.buffer_points = 1500;
+    o.budget_points = 120;
+    Pbe1 pbe(o);
+    for (Timestamp t : soccer.times()) pbe.Append(t);
+    pbe.Finalize();
+    BinaryWriter w;
+    pbe.Serialize(&w);
+    std::printf("%-26s %12zu %14.1f %14.1f %7.1fx\n", "PBE-1 (eta=120)",
+                pbe.PointCount(), pbe.SizeBytes() / 1024.0,
+                w.bytes().size() / 1024.0,
+                static_cast<double>(pbe.SizeBytes()) /
+                    static_cast<double>(w.bytes().size()));
+  }
+  {
+    Pbe2Options o;
+    o.gamma = 10.0;
+    Pbe2 pbe(o);
+    for (Timestamp t : soccer.times()) pbe.Append(t);
+    pbe.Finalize();
+    BinaryWriter w;
+    pbe.Serialize(&w);
+    std::printf("%-26s %12zu %14.1f %14.1f %7.1fx\n", "PBE-2 (gamma=10)",
+                pbe.SegmentCount(), pbe.SizeBytes() / 1024.0,
+                w.bytes().size() / 1024.0,
+                static_cast<double>(pbe.SizeBytes()) /
+                    static_cast<double>(w.bytes().size()));
+  }
+  {
+    Dataset ds = MakeOlympicRio(cfg.Scenario());
+    Pbe1Options cell;
+    cell.buffer_points = 1500;
+    cell.budget_points = 120;
+    CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2, cfg.seed);
+    CmPbe<Pbe1> cm(grid, cell);
+    for (const auto& r : ds.stream.records()) cm.Append(r.id, r.time);
+    cm.Finalize();
+    BinaryWriter w;
+    cm.Serialize(&w);
+    std::printf("%-26s %12s %14.1f %14.1f %7.1fx\n", "CM-PBE-1 grid", "-",
+                cm.SizeBytes() / 1024.0, w.bytes().size() / 1024.0,
+                static_cast<double>(cm.SizeBytes()) /
+                    static_cast<double>(w.bytes().size()));
+
+    SnapshotCmOptions so;
+    so.depth = 2;
+    so.width = 55;
+    so.snapshot_interval = 6 * 3600;
+    SnapshotCmSketch pcm(so);
+    for (const auto& r : ds.stream.records()) pcm.Append(r.id, r.time);
+    pcm.Finalize();
+    BinaryWriter w2;
+    pcm.Serialize(&w2);
+    std::printf("%-26s %12zu %14.1f %14.1f %7.1fx\n", "snapshot-CM @6h",
+                pcm.snapshot_count(), pcm.SizeBytes() / 1024.0,
+                w2.bytes().size() / 1024.0,
+                static_cast<double>(pcm.SizeBytes()) /
+                    static_cast<double>(w2.bytes().size()));
+  }
+  Rule();
+  std::printf("ratio = in-memory bytes / serialized bytes (higher = better "
+              "compression);\nsnapshot-CM stores raw counter grids, so its "
+              "ratio stays ~1.\n");
+  return 0;
+}

@@ -1,0 +1,319 @@
+// bursthist_cli: file-based front end for the BurstEngine.
+//
+//   bursthist_cli ingest  <events.csv> <K> <out.sketch> [gamma]
+//   bursthist_cli info    <sketch>
+//   bursthist_cli point   <sketch> <event> <t> <tau>
+//   bursthist_cli times   <sketch> <event> <theta> <tau>
+//   bursthist_cli events  <sketch> <t> <theta> <tau>
+//
+// events.csv: one "event_id,timestamp" pair per line, timestamps
+// non-decreasing. If `gamma` is given the engine uses PBE-2 cells with
+// that band; otherwise PBE-1 with the paper defaults.
+//
+// The sketch file embeds the engine configuration, so query commands
+// need no flags. Demo:
+//   ./bursthist_cli selftest    # generates a CSV, ingests, queries
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/burst_engine.h"
+#include "core/sketch_store.h"
+#include "gen/scenarios.h"
+#include "stream/csv_io.h"
+#include "util/serialize.h"
+
+using namespace bursthist;
+
+namespace {
+
+constexpr uint32_t kFileMagic = 0x42483031;  // "BH01"
+
+// On-disk layout: file magic, cell kind (1=PBE-1, 2=PBE-2), the
+// options needed to reconstruct the engine, then the engine payload.
+struct FileHeader {
+  uint8_t kind = 1;
+  EventId universe = 1;
+  uint64_t grid_depth = 2, grid_width = 55, grid_seed = 0;
+  uint64_t buffer_points = 1500, budget_points = 120;  // PBE-1
+  double gamma = 8.0;                                  // PBE-2
+};
+
+void WriteHeader(BinaryWriter* w, const FileHeader& h) {
+  w->Put(kFileMagic);
+  w->Put(h.kind);
+  w->Put(h.universe);
+  w->Put(h.grid_depth);
+  w->Put(h.grid_width);
+  w->Put(h.grid_seed);
+  w->Put(h.buffer_points);
+  w->Put(h.budget_points);
+  w->Put(h.gamma);
+}
+
+Status ReadHeader(BinaryReader* r, FileHeader* h) {
+  uint32_t magic = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+  if (magic != kFileMagic) return Status::Corruption("not a bursthist sketch");
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->kind));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->universe));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->grid_depth));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->grid_width));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->grid_seed));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->buffer_points));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->budget_points));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&h->gamma));
+  if (h->kind != 1 && h->kind != 2) {
+    return Status::Corruption("unknown cell kind");
+  }
+  return Status::OK();
+}
+
+template <typename PbeT>
+BurstEngineOptions<PbeT> EngineOptions(const FileHeader& h) {
+  BurstEngineOptions<PbeT> o;
+  o.universe_size = h.universe;
+  o.grid.depth = static_cast<size_t>(h.grid_depth);
+  o.grid.width = static_cast<size_t>(h.grid_width);
+  o.grid.seed = h.grid_seed;
+  if constexpr (std::is_same_v<PbeT, Pbe1>) {
+    o.cell.buffer_points = static_cast<size_t>(h.buffer_points);
+    o.cell.budget_points = static_cast<size_t>(h.budget_points);
+  } else {
+    o.cell.gamma = h.gamma;
+  }
+  return o;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+template <typename PbeT>
+int IngestWith(const char* csv_path, const FileHeader& header,
+               const char* out_path) {
+  BurstEngine<PbeT> engine(EngineOptions<PbeT>(header));
+  auto stream = ReadEventStreamCsv(csv_path);
+  if (!stream.ok()) return Fail(stream.status());
+  if (Status st = engine.AppendStream(stream.value()); !st.ok()) {
+    return Fail(st);
+  }
+  engine.Finalize();
+
+  BinaryWriter w;
+  WriteHeader(&w, header);
+  engine.Serialize(&w);
+  if (Status st = WriteFile(out_path, w.bytes()); !st.ok()) return Fail(st);
+  std::printf("ingested %zu rows, wrote %s (%.1f KB, sketch %.1f KB)\n",
+              stream.value().size(), out_path, w.bytes().size() / 1024.0,
+              engine.SizeBytes() / 1024.0);
+  return 0;
+}
+
+// Loads the sketch and dispatches `fn(engine)` on the concrete type.
+template <typename Fn>
+int WithEngine(const char* path, Fn&& fn) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return Fail(bytes.status());
+  BinaryReader r(bytes.value());
+  FileHeader h;
+  if (Status st = ReadHeader(&r, &h); !st.ok()) return Fail(st);
+  if (h.kind == 1) {
+    BurstEngine1 engine(EngineOptions<Pbe1>(h));
+    if (Status st = engine.Deserialize(&r); !st.ok()) return Fail(st);
+    return fn(engine, h);
+  }
+  BurstEngine2 engine(EngineOptions<Pbe2>(h));
+  if (Status st = engine.Deserialize(&r); !st.ok()) return Fail(st);
+  return fn(engine, h);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  bursthist_cli ingest <events.csv> <K> <out.sketch> [gamma]\n"
+      "  bursthist_cli info   <sketch>\n"
+      "  bursthist_cli point  <sketch> <event> <t> <tau>\n"
+      "  bursthist_cli times  <sketch> <event> <theta> <tau>\n"
+      "  bursthist_cli events <sketch> <t> <theta> <tau>\n"
+      "  bursthist_cli store-list   <dir>\n"
+      "  bursthist_cli store-save   <dir> <name> <events.csv> <K> [gamma]\n"
+      "  bursthist_cli store-topk   <dir> <name> <t> <k> <tau>\n"
+      "  bursthist_cli store-remove <dir> <name>\n"
+      "  bursthist_cli selftest\n");
+  return 2;
+}
+
+// store-save: ingest a CSV straight into a named catalog entry.
+template <typename PbeT>
+int StoreSave(SketchStore* store, const char* name, const char* csv_path,
+              const BurstEngineOptions<PbeT>& options) {
+  BurstEngine<PbeT> engine(options);
+  auto stream = ReadEventStreamCsv(csv_path);
+  if (!stream.ok()) return Fail(stream.status());
+  if (Status st = engine.AppendStream(stream.value()); !st.ok()) {
+    return Fail(st);
+  }
+  engine.Finalize();
+  if (Status st = store->Save(name, engine); !st.ok()) return Fail(st);
+  std::printf("saved '%s' (%zu rows, %.1f KB)\n", name,
+              stream.value().size(), engine.SizeBytes() / 1024.0);
+  return 0;
+}
+
+int SelfTest() {
+  // Generate a small soccer CSV, ingest it, and run one of each query.
+  ScenarioConfig cfg;
+  cfg.scale = 0.005;
+  SingleEventStream soccer = MakeSoccer(cfg);
+  const char* csv = "/tmp/bursthist_cli_demo.csv";
+  std::FILE* f = std::fopen(csv, "w");
+  if (f == nullptr) return Fail(Status::NotFound(csv));
+  for (Timestamp t : soccer.times()) {
+    std::fprintf(f, "0,%" PRId64 "\n", t);
+  }
+  std::fclose(f);
+
+  FileHeader h;
+  h.kind = 1;
+  h.universe = 4;
+  const char* sketch = "/tmp/bursthist_cli_demo.sketch";
+  if (int rc = IngestWith<Pbe1>(csv, h, sketch); rc != 0) return rc;
+  return WithEngine(sketch, [](auto& engine, const FileHeader&) {
+    const Timestamp tau = kSecondsPerDay;
+    std::printf("point(0, day20, 1d) = %.0f\n",
+                engine.PointQuery(0, 20 * kSecondsPerDay, tau));
+    auto iv = engine.BurstyTimeQuery(0, 200.0, tau);
+    std::printf("bursty intervals at theta=200: %zu\n", iv.size());
+    auto ev = engine.BurstyEventQuery(20 * kSecondsPerDay, 200.0, tau);
+    std::printf("bursty events at day 20: %zu\n", ev.size());
+    return 0;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "selftest") return SelfTest();
+
+  if (cmd == "ingest") {
+    if (argc != 5 && argc != 6) return Usage();
+    FileHeader h;
+    h.universe = static_cast<EventId>(std::strtoul(argv[3], nullptr, 10));
+    if (h.universe == 0) return Usage();
+    if (argc == 6) {
+      h.kind = 2;
+      h.gamma = std::atof(argv[5]);
+    }
+    return h.kind == 1 ? IngestWith<Pbe1>(argv[2], h, argv[4])
+                       : IngestWith<Pbe2>(argv[2], h, argv[4]);
+  }
+
+  if (cmd == "info" && argc == 3) {
+    return WithEngine(argv[2], [](auto& engine, const FileHeader& h) {
+      std::printf("kind: CM-PBE-%d  K=%u  grid d=%llu w=%llu\n", h.kind,
+                  h.universe, static_cast<unsigned long long>(h.grid_depth),
+                  static_cast<unsigned long long>(h.grid_width));
+      std::printf("records: %llu   sketch size: %.1f KB\n",
+                  static_cast<unsigned long long>(engine.TotalCount()),
+                  engine.SizeBytes() / 1024.0);
+      return 0;
+    });
+  }
+
+  if (cmd == "point" && argc == 6) {
+    const EventId e = static_cast<EventId>(std::strtoul(argv[3], nullptr, 10));
+    const Timestamp t = std::strtoll(argv[4], nullptr, 10);
+    const Timestamp tau = std::strtoll(argv[5], nullptr, 10);
+    return WithEngine(argv[2], [&](auto& engine, const FileHeader&) {
+      std::printf("%.2f\n", engine.PointQuery(e, t, tau));
+      return 0;
+    });
+  }
+
+  if (cmd == "times" && argc == 6) {
+    const EventId e = static_cast<EventId>(std::strtoul(argv[3], nullptr, 10));
+    const double theta = std::atof(argv[4]);
+    const Timestamp tau = std::strtoll(argv[5], nullptr, 10);
+    return WithEngine(argv[2], [&](auto& engine, const FileHeader&) {
+      for (const auto& iv : engine.BurstyTimeQuery(e, theta, tau)) {
+        std::printf("%" PRId64 " %" PRId64 "\n", iv.begin, iv.end);
+      }
+      return 0;
+    });
+  }
+
+  if (cmd == "store-list" && argc == 3) {
+    SketchStore store(argv[2]);
+    auto list = store.List();
+    if (!list.ok()) return Fail(list.status());
+    for (const auto& e : list.value()) {
+      std::printf("%-32s CM-PBE-%d\n", e.name.c_str(), e.kind);
+    }
+    if (list.value().empty()) std::printf("(empty store)\n");
+    return 0;
+  }
+
+  if (cmd == "store-save" && (argc == 6 || argc == 7)) {
+    SketchStore store(argv[2]);
+    const EventId k =
+        static_cast<EventId>(std::strtoul(argv[5], nullptr, 10));
+    if (k == 0) return Usage();
+    if (argc == 7) {
+      BurstEngineOptions<Pbe2> o;
+      o.universe_size = k;
+      o.cell.gamma = std::atof(argv[6]);
+      return StoreSave(&store, argv[3], argv[4], o);
+    }
+    BurstEngineOptions<Pbe1> o;
+    o.universe_size = k;
+    return StoreSave(&store, argv[3], argv[4], o);
+  }
+
+  if (cmd == "store-topk" && argc == 7) {
+    SketchStore store(argv[2]);
+    const Timestamp t = std::strtoll(argv[4], nullptr, 10);
+    const size_t k = std::strtoul(argv[5], nullptr, 10);
+    const Timestamp tau = std::strtoll(argv[6], nullptr, 10);
+    auto run = [&](const auto& engine) {
+      for (const auto& [e, b] : engine.TopKBurstyEvents(t, k, tau)) {
+        std::printf("%u %.2f\n", e, b);
+      }
+      return 0;
+    };
+    auto e1 = store.LoadEngine1(argv[3]);
+    if (e1.ok()) return run(e1.value());
+    auto e2 = store.LoadEngine2(argv[3]);
+    if (e2.ok()) return run(e2.value());
+    return Fail(e2.status());
+  }
+
+  if (cmd == "store-remove" && argc == 4) {
+    SketchStore store(argv[2]);
+    if (Status st = store.Remove(argv[3]); !st.ok()) return Fail(st);
+    std::printf("removed '%s'\n", argv[3]);
+    return 0;
+  }
+
+  if (cmd == "events" && argc == 6) {
+    const Timestamp t = std::strtoll(argv[3], nullptr, 10);
+    const double theta = std::atof(argv[4]);
+    const Timestamp tau = std::strtoll(argv[5], nullptr, 10);
+    return WithEngine(argv[2], [&](auto& engine, const FileHeader&) {
+      for (EventId e : engine.BurstyEventQuery(t, theta, tau)) {
+        std::printf("%u %.2f\n", e, engine.PointQuery(e, t, tau));
+      }
+      return 0;
+    });
+  }
+
+  return Usage();
+}

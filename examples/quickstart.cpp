@@ -1,0 +1,88 @@
+// Quickstart: build a persistent burstiness estimator over one event
+// stream and ask the three historical query types of the paper.
+//
+//   * POINT        q(e, t, tau)   -> burstiness of e at time t
+//   * BURSTY TIME  q(e, theta, tau) -> when was e bursty?
+//   * BURSTY EVENT q(t, theta, tau) -> what was bursty at t?
+//
+// Run:  ./quickstart
+
+#include <cstdio>
+
+#include "core/burst_queries.h"
+#include "core/cm_pbe.h"
+#include "core/dyadic_index.h"
+#include "core/pbe1.h"
+#include "gen/scenarios.h"
+
+using namespace bursthist;
+
+int main() {
+  // --- 1. A single event stream: "soccer at Rio 2016" ---------------
+  // ~20k mentions over 31 days of August 2016 (scaled-down synthetic
+  // reproduction of the paper's soccer stream).
+  ScenarioConfig cfg;
+  cfg.scale = 0.02;
+  SingleEventStream soccer = MakeSoccer(cfg);
+  std::printf("soccer stream: %zu mentions over %.1f days\n", soccer.size(),
+              static_cast<double>(soccer.times().back()) / kSecondsPerDay);
+
+  // --- 2. Build a PBE-1 (buffered optimal compression) --------------
+  Pbe1Options opt;
+  opt.buffer_points = 1500;  // paper default n
+  opt.budget_points = 120;   // eta: keep 120 of every 1500 corners
+  Pbe1 pbe(opt);
+  for (Timestamp t : soccer.times()) pbe.Append(t);
+  pbe.Finalize();
+  std::printf("PBE-1 size: %.1f KB (exact store would be %.1f KB)\n",
+              pbe.SizeBytes() / 1024.0, soccer.SizeBytes() / 1024.0);
+
+  // --- 3. POINT query: how bursty was soccer on day 20? -------------
+  const Timestamp tau = kSecondsPerDay;  // burst span: one day
+  const Timestamp final_day = 20 * kSecondsPerDay;
+  std::printf("\nburstiness around the final (tau = 1 day):\n");
+  for (Timestamp day = 17; day <= 23; ++day) {
+    const Timestamp t = day * kSecondsPerDay;
+    std::printf("  day %2lld: b~ = %9.0f   (exact %lld)\n",
+                static_cast<long long>(day), pbe.EstimateBurstiness(t, tau),
+                static_cast<long long>(soccer.BurstinessAt(t, tau)));
+  }
+
+  // --- 4. BURSTY TIME query: when was soccer bursty? ----------------
+  const double theta = 2000.0 * cfg.scale / 0.02;
+  auto intervals = BurstyTimes(pbe, theta, tau);
+  std::printf("\nintervals with b~ >= %.0f:\n", theta);
+  for (const auto& iv : intervals) {
+    std::printf("  day %.2f .. day %.2f\n",
+                static_cast<double>(iv.begin) / kSecondsPerDay,
+                static_cast<double>(iv.end) / kSecondsPerDay);
+  }
+
+  // --- 5. BURSTY EVENT query over a mixed stream --------------------
+  // A small mixed dataset; the dyadic index finds bursty ids without
+  // scanning all of them.
+  ScenarioConfig mix_cfg;
+  mix_cfg.scale = 0.002;
+  Dataset rio = MakeOlympicRio(mix_cfg);
+  Pbe1Options cell;
+  cell.buffer_points = 256;
+  cell.budget_points = 64;
+  CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2);
+  DyadicBurstIndex<Pbe1> index(rio.universe_size, grid, cell);
+  for (const auto& r : rio.stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+
+  const Timestamp query_t = final_day;
+  auto bursty = index.BurstyEvents(query_t, /*theta=*/200.0 * mix_cfg.scale /
+                                                0.002,
+                                   tau);
+  std::printf("\nbursty events at day 20 (theta scaled): %zu found using %zu "
+              "point queries over %u ids\n",
+              bursty.size(), index.LastQueryPointQueries(),
+              rio.universe_size);
+  for (EventId e : bursty) {
+    std::printf("  event %4u  b~ = %.0f\n", e,
+                index.EstimateBurstiness(e, query_t, tau));
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// social_media_monitor: the paper's motivating workload — a mixed
+// social-media event stream summarized once, then explored with
+// historical questions:
+//
+//   "What were the bursty events in the first week of October?"
+//   "Was <event> bursty in the second week of September?"
+//
+// The monitor ingests a uspolitics-style stream (1,689 event ids over
+// 183 days), keeps only a CM-PBE-backed dyadic index (a few MB instead
+// of the raw stream), and answers both question types, cross-checked
+// against the exact baseline.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "core/dyadic_index.h"
+#include "core/exact_store.h"
+#include "eval/metrics.h"
+#include "gen/scenarios.h"
+
+using namespace bursthist;
+
+namespace {
+
+void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace
+
+int main() {
+  // June 1 is day 0 of the stream; the horizon is 183 days.
+  ScenarioConfig cfg;
+  cfg.scale = 0.01;  // ~50k tweets: fast demo, same shape
+  Dataset ds = MakeUsPolitics(cfg);
+  std::printf("ingesting %zu records over %u event ids...\n",
+              ds.stream.size(), ds.universe_size);
+
+  // The succinct structure we keep.
+  Pbe1Options cell;
+  cell.buffer_points = 512;
+  cell.budget_points = 96;
+  CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2);
+  DyadicBurstIndex<Pbe1> index(ds.universe_size, grid, cell);
+
+  // The exact baseline, used here only to grade the answers.
+  ExactBurstStore exact(ds.universe_size);
+  for (const auto& r : ds.stream.records()) {
+    index.Append(r.id, r.time);
+    exact.Append(r.id, r.time);
+  }
+  index.Finalize();
+  std::printf("index: %.2f MB   baseline: %.2f MB\n",
+              index.SizeBytes() / 1048576.0, exact.SizeBytes() / 1048576.0);
+
+  const Timestamp tau = kSecondsPerDay;
+
+  // ------------------------------------------------------------------
+  PrintHeader("Q1: bursty events in the first week of October");
+  // October 1 2016 = day 122 from June 1.
+  const Timestamp oct_start = 122 * kSecondsPerDay;
+  const double theta = 40.0 * cfg.scale / 0.01;
+  std::vector<EventId> seen;
+  for (int day = 0; day < 7; ++day) {
+    const Timestamp t = oct_start + (day + 1) * kSecondsPerDay;
+    auto bursty = index.BurstyEvents(t, theta, tau);
+    auto truth = exact.BurstyEvents(t, theta, tau);
+    auto pr = CompareIdSets(bursty, truth);
+    std::printf("  Oct %d: %2zu bursty ids (precision %.2f, recall %.2f, "
+                "%zu point queries)\n",
+                day + 1, bursty.size(), pr.precision, pr.recall,
+                index.LastQueryPointQueries());
+    for (EventId e : bursty) {
+      if (std::find(seen.begin(), seen.end(), e) == seen.end()) {
+        seen.push_back(e);
+      }
+    }
+  }
+  std::printf("  distinct bursty events that week: %zu\n", seen.size());
+
+  // ------------------------------------------------------------------
+  PrintHeader("Q2: was event X bursty in the second week of September?");
+  // Pick the most popular event as the protagonist.
+  EventId protagonist = 0;
+  size_t best = 0;
+  for (EventId e = 0; e < ds.universe_size; ++e) {
+    const size_t n = exact.stream(e).size();
+    if (n > best) {
+      best = n;
+      protagonist = e;
+    }
+  }
+  const Timestamp sep8 = (92 + 7) * kSecondsPerDay;   // Sep 8
+  const Timestamp sep14 = (92 + 13) * kSecondsPerDay;  // Sep 14
+  bool was_bursty = false;
+  for (Timestamp t = sep8; t <= sep14; t += 6 * 3600) {
+    if (index.EstimateBurstiness(protagonist, t, tau) >= theta) {
+      was_bursty = true;
+      break;
+    }
+  }
+  std::printf("  event %u (%zu mentions): %s bursty in Sep 8-14\n",
+              protagonist, best, was_bursty ? "WAS" : "was NOT");
+
+  // ------------------------------------------------------------------
+  PrintHeader("Q3: full burst history of the protagonist");
+  ExactEventModel model(&exact.stream(protagonist));
+  auto truth_intervals = exact.BurstyTimes(protagonist, theta, tau);
+  std::printf("  exact bursty intervals (theta=%.0f):\n", theta);
+  size_t shown = 0;
+  for (const auto& iv : truth_intervals) {
+    if (++shown > 8) {
+      std::printf("  ... (%zu total)\n", truth_intervals.size());
+      break;
+    }
+    std::printf("    day %.2f .. day %.2f\n",
+                static_cast<double>(iv.begin) / kSecondsPerDay,
+                static_cast<double>(iv.end) / kSecondsPerDay);
+  }
+  if (truth_intervals.empty()) std::printf("    (none)\n");
+  return 0;
+}

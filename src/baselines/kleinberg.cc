@@ -1,0 +1,84 @@
+#include "baselines/kleinberg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bursthist {
+
+std::vector<uint8_t> KleinbergStates(const SingleEventStream& stream,
+                                     const KleinbergOptions& options) {
+  assert(options.scaling > 1.0);
+  assert(options.gamma >= 0.0);
+  const auto& times = stream.times();
+  if (times.size() < 2) return {};
+  const size_t m = times.size() - 1;  // number of gaps
+
+  // Base rate from the observed mean gap; zero gaps (same-timestamp
+  // arrivals) are clamped to half a time unit so the exponential
+  // likelihood stays finite.
+  const double span =
+      std::max<double>(1.0, static_cast<double>(times.back() - times.front()));
+  const double alpha0 = static_cast<double>(m) / span;
+  const double alpha1 = alpha0 * options.scaling;
+  const double enter_cost =
+      options.gamma * std::log(static_cast<double>(times.size()));
+
+  auto gap_cost = [](double alpha, double x) {
+    return -std::log(alpha) + alpha * x;
+  };
+
+  // Viterbi over the two states.
+  std::vector<uint8_t> parent0(m), parent1(m);
+  double c0 = 0.0, c1 = enter_cost;  // costs before the first gap
+  for (size_t i = 0; i < m; ++i) {
+    const double x =
+        std::max(0.5, static_cast<double>(times[i + 1] - times[i]));
+    const double e0 = gap_cost(alpha0, x);
+    const double e1 = gap_cost(alpha1, x);
+    // Into state 0: stay (c0) or fall back from 1 (c1, free).
+    double n0;
+    if (c0 <= c1) {
+      n0 = c0 + e0;
+      parent0[i] = 0;
+    } else {
+      n0 = c1 + e0;
+      parent0[i] = 1;
+    }
+    // Into state 1: climb from 0 (pay enter_cost) or stay.
+    double n1;
+    if (c0 + enter_cost <= c1) {
+      n1 = c0 + enter_cost + e1;
+      parent1[i] = 0;
+    } else {
+      n1 = c1 + e1;
+      parent1[i] = 1;
+    }
+    c0 = n0;
+    c1 = n1;
+  }
+
+  std::vector<uint8_t> states(m);
+  uint8_t cur = c0 <= c1 ? 0 : 1;
+  for (size_t i = m; i-- > 0;) {
+    states[i] = cur;
+    cur = cur == 0 ? parent0[i] : parent1[i];
+  }
+  return states;
+}
+
+std::vector<TimeInterval> KleinbergBursts(const SingleEventStream& stream,
+                                          const KleinbergOptions& options) {
+  std::vector<TimeInterval> out;
+  const auto states = KleinbergStates(stream, options);
+  const auto& times = stream.times();
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i] == 1) {
+      // Gap i spans [times[i], times[i+1]].
+      internal::PushInterval(times[i], times[i + 1], &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,51 @@
+// Kleinberg's burst-detection automaton (Section VII, [18]).
+//
+// "Kleinberg defined the term bursty for events, where it is assumed
+//  that inter-event gaps x follow a density distribution, and a finite
+//  state automaton is proposed to model burstiness."
+//
+// This is the classic 2-state variant: state 0 emits gaps from an
+// exponential with the stream's base rate, state 1 from an exponential
+// with `scaling` times that rate; entering the burst state costs
+// gamma * ln(n). The optimal state sequence minimizes total cost
+// (negative log-likelihood + transition costs) and is found by Viterbi
+// dynamic programming in O(n). The burst intervals it labels are a
+// *definitionally different* notion from the paper's acceleration
+// burstiness — implemented here as an executable comparator
+// (bench/tab_detector_agreement).
+
+#ifndef BURSTHIST_BASELINES_KLEINBERG_H_
+#define BURSTHIST_BASELINES_KLEINBERG_H_
+
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// Parameters of the 2-state automaton.
+struct KleinbergOptions {
+  /// Burst-state rate multiplier s (> 1).
+  double scaling = 3.0;
+  /// Transition-cost coefficient gamma (>= 0); entering the burst
+  /// state costs gamma * ln(n).
+  double gamma = 1.0;
+};
+
+/// Optimal (min-cost) state label per inter-arrival gap; size is
+/// stream.size() - 1 (empty for streams with fewer than 2 elements).
+/// Exposed for tests; most callers want KleinbergBursts.
+std::vector<uint8_t> KleinbergStates(const SingleEventStream& stream,
+                                     const KleinbergOptions& options);
+
+/// Maximal time intervals the automaton spends in the burst state.
+/// An interval covers the arrivals whose *preceding* gap was labeled
+/// bursty.
+std::vector<TimeInterval> KleinbergBursts(const SingleEventStream& stream,
+                                          const KleinbergOptions& options);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_BASELINES_KLEINBERG_H_

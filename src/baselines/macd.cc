@@ -1,0 +1,65 @@
+#include "baselines/macd.h"
+
+#include <cassert>
+
+namespace bursthist {
+
+namespace {
+// Standard EMA smoothing factor for a given period.
+inline double Alpha(double period) { return 2.0 / (period + 1.0); }
+}  // namespace
+
+std::vector<MacdPoint> MacdSeries(const SingleEventStream& stream,
+                                  const MacdOptions& options) {
+  assert(options.bucket_width >= 1);
+  std::vector<MacdPoint> out;
+  if (stream.empty()) return out;
+
+  const auto& times = stream.times();
+  const Timestamp first_bucket = times.front() / options.bucket_width;
+  const Timestamp last_bucket = times.back() / options.bucket_width;
+  out.reserve(static_cast<size_t>(last_bucket - first_bucket + 1));
+
+  const double a_fast = Alpha(options.fast_period);
+  const double a_slow = Alpha(options.slow_period);
+  const double a_sig = Alpha(options.signal_period);
+  double ema_fast = 0.0, ema_slow = 0.0, ema_sig = 0.0;
+  bool primed = false;
+
+  size_t i = 0;
+  for (Timestamp b = first_bucket; b <= last_bucket; ++b) {
+    const Timestamp begin = b * options.bucket_width;
+    const Timestamp end = begin + options.bucket_width;
+    double count = 0.0;
+    while (i < times.size() && times[i] < end) {
+      ++count;
+      ++i;
+    }
+    if (!primed) {
+      ema_fast = ema_slow = count;
+      primed = true;
+    } else {
+      ema_fast += a_fast * (count - ema_fast);
+      ema_slow += a_slow * (count - ema_slow);
+    }
+    const double macd = ema_fast - ema_slow;
+    ema_sig += a_sig * (macd - ema_sig);
+    out.push_back(MacdPoint{begin, count, macd, macd - ema_sig});
+  }
+  return out;
+}
+
+std::vector<TimeInterval> MacdBursts(const SingleEventStream& stream,
+                                     const MacdOptions& options,
+                                     double threshold) {
+  std::vector<TimeInterval> out;
+  for (const auto& p : MacdSeries(stream, options)) {
+    if (p.score >= threshold) {
+      internal::PushInterval(p.bucket_start,
+                             p.bucket_start + options.bucket_width - 1, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,54 @@
+// MACD-style trending score (Section VII: "Lu et al. and Schubert et
+// al. defined trendy topic with a variant of Moving Average
+// Convergence Divergence").
+//
+// The event stream is bucketed into fixed windows; the trending score
+// is the MACD histogram over per-bucket counts:
+//   macd(t)   = EMA_fast(counts) - EMA_slow(counts)
+//   signal(t) = EMA_signal(macd)
+//   score(t)  = macd(t) - signal(t)
+// Positive, large scores mark accelerating topics. Like Kleinberg's
+// automaton, this is a streaming *current-trend* detector: answering a
+// historical query still requires replaying the stream — exactly the
+// gap the paper's persistent sketches close.
+
+#ifndef BURSTHIST_BASELINES_MACD_H_
+#define BURSTHIST_BASELINES_MACD_H_
+
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// MACD parameters (periods are in buckets, the classic 12/26/9).
+struct MacdOptions {
+  Timestamp bucket_width = 3600;
+  double fast_period = 12.0;
+  double slow_period = 26.0;
+  double signal_period = 9.0;
+};
+
+/// One bucket of the computed series.
+struct MacdPoint {
+  Timestamp bucket_start = 0;
+  double count = 0.0;
+  double macd = 0.0;
+  double score = 0.0;  ///< histogram: macd - signal
+};
+
+/// The full MACD series over the stream's support (empty for an empty
+/// stream). Buckets with no arrivals are included (count 0).
+std::vector<MacdPoint> MacdSeries(const SingleEventStream& stream,
+                                  const MacdOptions& options);
+
+/// Maximal intervals where the MACD histogram score is >= threshold.
+std::vector<TimeInterval> MacdBursts(const SingleEventStream& stream,
+                                     const MacdOptions& options,
+                                     double threshold);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_BASELINES_MACD_H_

@@ -1,0 +1,78 @@
+#include "baselines/window_burst.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bursthist {
+
+std::vector<double> BucketCounts(const SingleEventStream& stream,
+                                 Timestamp bucket_width,
+                                 Timestamp* first_bucket_start) {
+  assert(bucket_width >= 1);
+  std::vector<double> counts;
+  if (stream.empty()) {
+    if (first_bucket_start != nullptr) *first_bucket_start = 0;
+    return counts;
+  }
+  const auto& times = stream.times();
+  const Timestamp first = times.front() / bucket_width;
+  const Timestamp last = times.back() / bucket_width;
+  if (first_bucket_start != nullptr) *first_bucket_start = first * bucket_width;
+  counts.assign(static_cast<size_t>(last - first + 1), 0.0);
+  for (Timestamp t : times) {
+    counts[static_cast<size_t>(t / bucket_width - first)] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<TimeInterval> WindowBursts(const SingleEventStream& stream,
+                                       const WindowBurstOptions& options) {
+  std::vector<TimeInterval> out;
+  Timestamp origin = 0;
+  const std::vector<double> counts =
+      BucketCounts(stream, options.bucket_width, &origin);
+  if (counts.empty()) return out;
+
+  std::vector<std::pair<Timestamp, Timestamp>> flagged;
+  for (size_t s = 0; s < options.scales; ++s) {
+    const size_t w = size_t{1} << s;
+    if (w > counts.size()) break;
+    // Sliding sums of width w (one per start position).
+    const size_t n = counts.size() - w + 1;
+    std::vector<double> sums(n);
+    double run = 0.0;
+    for (size_t i = 0; i < w; ++i) run += counts[i];
+    sums[0] = run;
+    for (size_t i = 1; i < n; ++i) {
+      run += counts[i + w - 1] - counts[i - 1];
+      sums[i] = run;
+    }
+    // Scale statistics.
+    double mean = 0.0;
+    for (double v : sums) mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double v : sums) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(n);
+    const double bound = mean + options.k_sigma * std::sqrt(var);
+
+    for (size_t i = 0; i < n; ++i) {
+      if (sums[i] > bound) {
+        const Timestamp begin =
+            origin + static_cast<Timestamp>(i) * options.bucket_width;
+        const Timestamp end =
+            begin + static_cast<Timestamp>(w) * options.bucket_width - 1;
+        flagged.emplace_back(begin, end);
+      }
+    }
+  }
+
+  std::sort(flagged.begin(), flagged.end());
+  for (const auto& [begin, end] : flagged) {
+    internal::PushInterval(begin, end, &out);
+  }
+  return out;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,48 @@
+// Dyadic-window elevated-count detection in the spirit of Zhu &
+// Shasha's wavelet/shifted-binary-tree burst detector (Section VII,
+// [19]): find windows, at several dyadic widths, whose event count is
+// anomalously high for that width.
+//
+// The stream is bucketed at a base granularity; for each dyadic scale
+// (1, 2, 4, ... buckets) a sliding sum is compared against the scale's
+// global mean + k standard deviations. Windows exceeding the bound at
+// any scale are reported (merged). Like the other Section VII
+// baselines this detects *elevated volume*, not acceleration — bursts
+// with a high-but-stable rate trip it while the paper's burstiness
+// stays near zero; the comparator bench makes that visible.
+
+#ifndef BURSTHIST_BASELINES_WINDOW_BURST_H_
+#define BURSTHIST_BASELINES_WINDOW_BURST_H_
+
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// Detector parameters.
+struct WindowBurstOptions {
+  /// Base bucket width (time units).
+  Timestamp bucket_width = 3600;
+  /// Number of dyadic scales (1, 2, 4, ..., 2^(scales-1) buckets).
+  size_t scales = 5;
+  /// Report a window when its sum exceeds mean + k_sigma * stddev of
+  /// the sums at the same scale.
+  double k_sigma = 3.0;
+};
+
+/// Maximal intervals flagged at any scale.
+std::vector<TimeInterval> WindowBursts(const SingleEventStream& stream,
+                                       const WindowBurstOptions& options);
+
+/// Per-bucket counts over the stream's support (helper; exposed for
+/// tests and benches).
+std::vector<double> BucketCounts(const SingleEventStream& stream,
+                                 Timestamp bucket_width,
+                                 Timestamp* first_bucket_start);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_BASELINES_WINDOW_BURST_H_

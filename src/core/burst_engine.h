@@ -1,0 +1,278 @@
+// BurstEngine — the library's one-stop façade.
+//
+// Wires an event stream into a dyadic CM-PBE index and exposes the
+// paper's three query types behind a small, validated API:
+//
+//   BurstEngine1 engine(options);            // CM-PBE-1 cells
+//   engine.Append(event_id, timestamp);
+//   engine.Finalize();
+//   double b = engine.PointQuery(e, t, tau);
+//   auto when = engine.BurstyTimeQuery(e, theta, tau);
+//   auto what = engine.BurstyEventQuery(t, theta, tau);
+//
+// Unlike the bare structures (which assert on misuse), the engine
+// validates ids and timestamp order with Status returns, making it
+// the right entry point for ingesting untrusted feeds.
+
+#ifndef BURSTHIST_CORE_BURST_ENGINE_H_
+#define BURSTHIST_CORE_BURST_ENGINE_H_
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "core/cm_pbe.h"
+#include "core/dyadic_index.h"
+#include "sketch/space_saving.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Engine configuration. `universe_size` is required; everything else
+/// has paper-default values.
+template <typename PbeT>
+struct BurstEngineOptions {
+  /// K = |Sigma|: event ids must fall in [0, universe_size).
+  EventId universe_size = 1;
+  /// Count-Min grid shape shared by every tree level (eps = 0.05,
+  /// delta = 0.2 defaults, as in Section VI).
+  CmPbeOptions grid = CmPbeOptions::FromGuarantee(0.05, 0.2);
+  /// Per-cell estimator options (Pbe1Options or Pbe2Options).
+  typename PbeT::Options cell;
+  /// Subtree test for BURSTY EVENT queries.
+  DyadicPruneRule prune_rule = DyadicPruneRule::kPaper;
+  /// When > 0, a SpaceSaving summary of this capacity tracks the
+  /// heaviest event ids (the intro's "impose a frequency threshold"
+  /// filter and Section V's appeared-ids optimization).
+  size_t heavy_hitter_capacity = 0;
+  /// Bounded out-of-order tolerance: records may arrive up to this
+  /// many time units behind the newest timestamp seen; they are
+  /// re-ordered in a small buffer before ingestion. 0 = require
+  /// strictly non-decreasing input (the paper's stream model).
+  Timestamp max_lateness = 0;
+};
+
+/// Historical burstiness engine over a mixed event stream.
+template <typename PbeT>
+class BurstEngine {
+ public:
+  using Options = BurstEngineOptions<PbeT>;
+
+  explicit BurstEngine(const Options& options)
+      : options_(options),
+        index_(options.universe_size, options.grid, options.cell),
+        hitters_(std::max<size_t>(1, options.heavy_hitter_capacity)) {
+    index_.set_prune_rule(options.prune_rule);
+  }
+
+  /// Ingests one element of the event stream. Rejects out-of-range
+  /// ids, appends after Finalize(), and time regressions beyond
+  /// options.max_lateness (regressions within the tolerance are
+  /// buffered and re-ordered).
+  Status Append(EventId e, Timestamp t, Count count = 1) {
+    if (finalized_) {
+      return Status::FailedPrecondition("engine already finalized");
+    }
+    if (e >= options_.universe_size) {
+      return Status::InvalidArgument("event id exceeds universe size");
+    }
+    if (options_.max_lateness == 0) {
+      if (started_ && t < last_time_) {
+        return Status::OutOfRange("timestamps must be non-decreasing");
+      }
+      Ingest(e, t, count);
+      return Status::OK();
+    }
+    // Watermark semantics: anything older than (newest - lateness) has
+    // already been flushed and cannot be accepted.
+    if (started_ && t < watermark_ - options_.max_lateness) {
+      return Status::OutOfRange("record arrived beyond max_lateness");
+    }
+    reorder_.push(Pending{t, e, count});
+    watermark_ = started_ ? std::max(watermark_, t) : t;
+    started_ = true;
+    DrainReorderBuffer(watermark_ - options_.max_lateness);
+    return Status::OK();
+  }
+
+  /// Ingests a whole stream (stops at the first invalid record).
+  Status AppendStream(const EventStream& stream) {
+    for (const auto& r : stream.records()) {
+      BURSTHIST_RETURN_IF_ERROR(Append(r.id, r.time));
+    }
+    return Status::OK();
+  }
+
+  /// Freezes the engine for querying (draining any re-order buffer).
+  /// Idempotent.
+  void Finalize() {
+    if (!finalized_) {
+      DrainReorderBuffer(std::numeric_limits<Timestamp>::max());
+      index_.Finalize();
+      finalized_ = true;
+    }
+  }
+  bool finalized() const { return finalized_; }
+
+  /// POINT query q(e, t, tau): estimated burstiness of e at t.
+  double PointQuery(EventId e, Timestamp t, Timestamp tau) const {
+    return index_.EstimateBurstiness(e, t, tau);
+  }
+
+  /// Estimated cumulative frequency F~_e(t) (leaf level).
+  double CumulativeQuery(EventId e, Timestamp t) const {
+    return index_.level(0).EstimateCumulative(e, t);
+  }
+
+  /// Estimated frequency of e in the closed time range [t1, t2]
+  /// (Section II-A's f_e(S[t1, t2])).
+  double FrequencyQuery(EventId e, Timestamp t1, Timestamp t2) const {
+    return index_.level(0).EstimateFrequency(e, t1, t2);
+  }
+
+  /// BURSTY TIME query q(e, theta, tau): maximal intervals where the
+  /// estimated burstiness of e reaches theta. Cost is linear in the
+  /// size of the cells e maps to, not in the history length.
+  std::vector<TimeInterval> BurstyTimeQuery(EventId e, double theta,
+                                            Timestamp tau) const {
+    return BurstyTimes(LeafModel{&index_.level(0), e}, theta, tau);
+  }
+
+  /// BURSTY EVENT query q(t, theta, tau): ids whose estimated
+  /// burstiness at t reaches theta. Precondition: theta > 0.
+  std::vector<EventId> BurstyEventQuery(Timestamp t, double theta,
+                                        Timestamp tau) const {
+    return index_.BurstyEvents(t, theta, tau);
+  }
+
+  /// Frequency-filtered BURSTY EVENT query (the paper's introduction:
+  /// "one can impose a frequency threshold when detecting bursty
+  /// events, i.e., only those bursty events with a reasonable amount
+  /// of frequency are worth capturing"): ids bursty at t whose
+  /// estimated cumulative frequency at t also reaches min_frequency.
+  std::vector<EventId> FrequentBurstyEventQuery(Timestamp t, double theta,
+                                                Timestamp tau,
+                                                double min_frequency) const {
+    std::vector<EventId> out;
+    for (EventId e : index_.BurstyEvents(t, theta, tau)) {
+      if (CumulativeQuery(e, t) >= min_frequency) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// TOP-K BURSTY EVENT query: the k ids with the largest estimated
+  /// burstiness at t (see DyadicBurstIndex::TopKBurstyEvents for the
+  /// search's heuristic caveat).
+  std::vector<std::pair<EventId, double>> TopKBurstyEvents(
+      Timestamp t, size_t k, Timestamp tau) const {
+    return index_.TopKBurstyEvents(t, k, tau);
+  }
+
+  /// The heaviest tracked event ids (requires
+  /// options.heavy_hitter_capacity > 0; empty otherwise).
+  std::vector<SpaceSaving::Entry> HeavyHitters(size_t k = 0) const {
+    return hitters_.TopK(k);
+  }
+  const SpaceSaving& heavy_hitters() const { return hitters_; }
+
+  /// Point queries the last BurstyEventQuery needed.
+  size_t LastQueryPointQueries() const {
+    return index_.LastQueryPointQueries();
+  }
+
+  EventId universe_size() const { return options_.universe_size; }
+  const Options& options() const { return options_; }
+  Count TotalCount() const { return total_count_; }
+  size_t SizeBytes() const { return index_.SizeBytes(); }
+  const DyadicBurstIndex<PbeT>& index() const { return index_; }
+
+  void Serialize(BinaryWriter* w) const {
+    w->Put<uint32_t>(0x42454e47);  // "BENG"
+    w->Put<uint32_t>(1);
+    w->Put<uint64_t>(total_count_);
+    w->Put<int64_t>(last_time_);
+    w->Put<uint8_t>(started_ ? 1 : 0);
+    w->Put<uint8_t>(finalized_ ? 1 : 0);
+    index_.Serialize(w);
+    hitters_.Serialize(w);
+  }
+
+  /// Restores into an engine constructed with the same options.
+  Status Deserialize(BinaryReader* r) {
+    uint32_t magic = 0, version = 0;
+    uint8_t started = 0, finalized = 0;
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
+    if (magic != 0x42454e47) return Status::Corruption("bad engine magic");
+    if (version != 1) return Status::Corruption("bad engine version");
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&total_count_));
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&last_time_));
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&started));
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&finalized));
+    BURSTHIST_RETURN_IF_ERROR(index_.Deserialize(r));
+    BURSTHIST_RETURN_IF_ERROR(hitters_.Deserialize(r));
+    started_ = started != 0;
+    finalized_ = finalized != 0;
+    return Status::OK();
+  }
+
+ private:
+  struct Pending {
+    Timestamp t;
+    EventId e;
+    Count count;
+    bool operator>(const Pending& o) const { return t > o.t; }
+  };
+
+  void Ingest(EventId e, Timestamp t, Count count) {
+    index_.Append(e, t, count);
+    if (options_.heavy_hitter_capacity > 0) hitters_.Add(e, count);
+    started_ = true;
+    last_time_ = t;
+    total_count_ += count;
+  }
+
+  // Flushes buffered records with timestamps <= up_to, in time order.
+  void DrainReorderBuffer(Timestamp up_to) {
+    while (!reorder_.empty() && reorder_.top().t <= up_to) {
+      const Pending p = reorder_.top();
+      reorder_.pop();
+      Ingest(p.e, p.t, p.count);
+    }
+  }
+
+  // Adapter presenting one event's leaf-level view to BurstyTimes.
+  struct LeafModel {
+    static constexpr bool kPiecewiseConstant = PbeT::kPiecewiseConstant;
+    const CmPbe<PbeT>* grid;
+    EventId e;
+    double EstimateBurstiness(Timestamp t, Timestamp tau) const {
+      return grid->EstimateBurstiness(e, t, tau);
+    }
+    std::vector<Timestamp> Breakpoints() const { return grid->Breakpoints(e); }
+  };
+
+  Options options_;
+  DyadicBurstIndex<PbeT> index_;
+  SpaceSaving hitters_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      reorder_;
+  bool started_ = false;
+  bool finalized_ = false;
+  Timestamp last_time_ = 0;
+  Timestamp watermark_ = 0;
+  Count total_count_ = 0;
+};
+
+/// The paper's two configurations.
+using BurstEngine1 = BurstEngine<Pbe1>;
+using BurstEngine2 = BurstEngine<Pbe2>;
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_CORE_BURST_ENGINE_H_

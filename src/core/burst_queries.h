@@ -1,0 +1,129 @@
+// BURSTY TIME query machinery shared by every estimator (Section V).
+//
+// For any model whose cumulative estimate F~ is piecewise-linear (or
+// piecewise-constant) between breakpoints, the burstiness estimate
+// b~(t) = F~(t) - 2 F~(t-tau) + F~(t-2tau) is itself piecewise-linear
+// with breakpoints at {x, x+tau, x+2tau} for every model breakpoint x.
+// A BURSTY TIME query therefore only needs one point query per
+// candidate breakpoint plus a threshold-crossing search inside each
+// linear piece — cost linear in the model size, not the history
+// length.
+
+#ifndef BURSTHIST_CORE_BURST_QUERIES_H_
+#define BURSTHIST_CORE_BURST_QUERIES_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// A maximal inclusive time range where a predicate holds.
+struct TimeInterval {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+namespace internal {
+
+/// Candidate instants where b~ can change slope: every model
+/// breakpoint shifted by 0, tau, and 2*tau, sorted and deduplicated.
+inline std::vector<Timestamp> BurstinessBreakpoints(
+    const std::vector<Timestamp>& model_breakpoints, Timestamp tau) {
+  std::vector<Timestamp> out;
+  out.reserve(model_breakpoints.size() * 3);
+  for (Timestamp x : model_breakpoints) {
+    out.push_back(x);
+    out.push_back(x + tau);
+    out.push_back(x + 2 * tau);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Appends [begin, end] to `out`, merging with the previous interval
+/// when adjacent or overlapping.
+inline void PushInterval(Timestamp begin, Timestamp end,
+                         std::vector<TimeInterval>* out) {
+  if (!out->empty() && begin <= out->back().end + 1) {
+    out->back().end = std::max(out->back().end, end);
+    return;
+  }
+  out->push_back(TimeInterval{begin, end});
+}
+
+}  // namespace internal
+
+/// Reports all maximal intervals within the model's support where
+/// b~(t) >= theta, for any model exposing
+///   double EstimateBurstiness(Timestamp, Timestamp) const;
+///   std::vector<Timestamp> Breakpoints() const;
+/// and a static constexpr bool kPiecewiseConstant.
+///
+/// The burstiness estimate is evaluated on
+/// [first breakpoint, last breakpoint + 2*tau]; outside that range it
+/// is identically zero (assuming theta > 0).
+template <typename Model>
+std::vector<TimeInterval> BurstyTimes(const Model& model, double theta,
+                                      Timestamp tau) {
+  std::vector<TimeInterval> out;
+  const std::vector<Timestamp> model_bps = model.Breakpoints();
+  if (model_bps.empty()) return out;
+
+  std::vector<Timestamp> cands =
+      internal::BurstinessBreakpoints(model_bps, tau);
+  // Close the domain so the final piece is a bounded interval.
+  cands.push_back(cands.back() + 1);
+
+  auto value = [&](Timestamp t) { return model.EstimateBurstiness(t, tau); };
+
+  for (size_t i = 0; i + 1 < cands.size(); ++i) {
+    const Timestamp lo = cands[i];
+    const Timestamp hi = cands[i + 1] - 1;  // piece is [lo, hi]
+    const double vlo = value(lo);
+    if constexpr (Model::kPiecewiseConstant) {
+      if (vlo >= theta) internal::PushInterval(lo, hi, &out);
+      continue;
+    }
+    const double vhi = value(hi);
+    const bool in_lo = vlo >= theta;
+    const bool in_hi = vhi >= theta;
+    if (in_lo && in_hi) {
+      internal::PushInterval(lo, hi, &out);
+    } else if (in_lo != in_hi) {
+      // b~ is linear (hence monotone) on [lo, hi]: binary-search the
+      // first timestamp where the predicate flips.
+      Timestamp a = lo, b = hi;
+      while (a + 1 < b) {
+        const Timestamp mid = a + (b - a) / 2;
+        if ((value(mid) >= theta) == in_lo) {
+          a = mid;
+        } else {
+          b = mid;
+        }
+      }
+      if (in_lo) {
+        internal::PushInterval(lo, a, &out);
+      } else {
+        internal::PushInterval(b, hi, &out);
+      }
+    }
+  }
+  return out;
+}
+
+/// Convenience: true if t falls inside any of the intervals.
+inline bool Covers(const std::vector<TimeInterval>& intervals, Timestamp t) {
+  for (const auto& iv : intervals) {
+    if (t >= iv.begin && t <= iv.end) return true;
+  }
+  return false;
+}
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_CORE_BURST_QUERIES_H_

@@ -1,0 +1,80 @@
+#include "core/burstiness_index.h"
+
+#include <algorithm>
+
+namespace bursthist {
+
+BurstinessIndex::BurstinessIndex(const SingleEventStream& stream,
+                                 Timestamp tau)
+    : tau_(tau) {
+  if (stream.empty()) return;
+  // b(t) changes only at occurrence times shifted by {0, tau, 2tau}.
+  std::vector<Timestamp> breakpoints;
+  const auto& times = stream.times();
+  breakpoints.reserve(times.size() * 3);
+  for (Timestamp t : times) {
+    breakpoints.push_back(t);
+    breakpoints.push_back(t + tau);
+    breakpoints.push_back(t + 2 * tau);
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+
+  // One piece per inter-breakpoint gap, merging equal-valued
+  // neighbours.
+  for (size_t i = 0; i < breakpoints.size(); ++i) {
+    const Timestamp begin = breakpoints[i];
+    const Timestamp end = (i + 1 < breakpoints.size())
+                              ? breakpoints[i + 1] - 1
+                              : breakpoints[i];
+    const Burstiness v = stream.BurstinessAt(begin, tau_);
+    if (!by_time_.empty() && by_time_.back().value == v &&
+        by_time_.back().span.end + 1 == begin) {
+      by_time_.back().span.end = end;
+    } else {
+      by_time_.push_back(Piece{TimeInterval{begin, end}, v});
+    }
+  }
+  by_value_ = by_time_;
+  std::sort(by_value_.begin(), by_value_.end(),
+            [](const Piece& a, const Piece& b) { return a.value > b.value; });
+}
+
+Burstiness BurstinessIndex::BurstinessAt(Timestamp t) const {
+  auto it = std::upper_bound(
+      by_time_.begin(), by_time_.end(), t,
+      [](Timestamp v, const Piece& p) { return v < p.span.begin; });
+  if (it == by_time_.begin()) return 0;
+  const Piece& p = *std::prev(it);
+  return t <= p.span.end ? p.value : 0;
+}
+
+std::vector<TimeInterval> BurstinessIndex::BurstyTimes(double theta) const {
+  // All pieces with value >= theta form a prefix of by_value_.
+  auto end = std::lower_bound(
+      by_value_.begin(), by_value_.end(), theta,
+      [](const Piece& p, double th) {
+        return static_cast<double>(p.value) >= th;
+      });
+  std::vector<TimeInterval> spans;
+  spans.reserve(static_cast<size_t>(end - by_value_.begin()));
+  for (auto it = by_value_.begin(); it != end; ++it) {
+    spans.push_back(it->span);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<TimeInterval> out;
+  for (const auto& s : spans) {
+    internal::PushInterval(s.begin, s.end, &out);
+  }
+  return out;
+}
+
+Burstiness BurstinessIndex::MaxBurstiness() const {
+  return by_value_.empty() ? 0 : by_value_.front().value;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,69 @@
+#include "core/exact_store.h"
+
+#include <cassert>
+
+namespace bursthist {
+
+std::vector<Timestamp> ExactEventModel::Breakpoints() const {
+  std::vector<Timestamp> out;
+  const auto& times = stream_->times();
+  out.reserve(times.size());
+  for (Timestamp t : times) {
+    if (out.empty() || out.back() != t) out.push_back(t);
+  }
+  return out;
+}
+
+ExactBurstStore::ExactBurstStore(EventId universe_size)
+    : streams_(universe_size) {}
+
+Status ExactBurstStore::AppendStream(const EventStream& stream) {
+  for (const auto& r : stream.records()) {
+    if (r.id >= streams_.size()) {
+      return Status::InvalidArgument("event id exceeds universe size");
+    }
+    Append(r.id, r.time);
+  }
+  return Status::OK();
+}
+
+void ExactBurstStore::Append(EventId e, Timestamp t) {
+  assert(e < streams_.size());
+  streams_[e].Append(t);
+  ++total_;
+}
+
+Burstiness ExactBurstStore::BurstinessAt(EventId e, Timestamp t,
+                                         Timestamp tau) const {
+  return streams_[e].BurstinessAt(t, tau);
+}
+
+Count ExactBurstStore::CumulativeFrequency(EventId e, Timestamp t) const {
+  return streams_[e].CumulativeFrequency(t);
+}
+
+std::vector<EventId> ExactBurstStore::BurstyEvents(Timestamp t, double theta,
+                                                   Timestamp tau) const {
+  std::vector<EventId> out;
+  for (EventId e = 0; e < streams_.size(); ++e) {
+    if (!streams_[e].empty() &&
+        static_cast<double>(streams_[e].BurstinessAt(t, tau)) >= theta) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TimeInterval> ExactBurstStore::BurstyTimes(EventId e, double theta,
+                                                       Timestamp tau) const {
+  ExactEventModel model(&streams_[e]);
+  return bursthist::BurstyTimes(model, theta, tau);
+}
+
+size_t ExactBurstStore::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : streams_) bytes += s.SizeBytes();
+  return bytes;
+}
+
+}  // namespace bursthist

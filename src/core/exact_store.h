@@ -1,0 +1,86 @@
+// The naive exact baseline (Section II-B of the paper).
+//
+// Stores every (event id, timestamp) pair — one sorted timestamp array
+// per event — and answers all three query types exactly with binary
+// search. Space is O(N); a POINT query is O(log n); BURSTY TIME is
+// linear in the event's history; BURSTY EVENT scans all events. This
+// is both the paper's baseline and the ground truth for the accuracy
+// evaluation.
+
+#ifndef BURSTHIST_CORE_EXACT_STORE_H_
+#define BURSTHIST_CORE_EXACT_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// Exact per-event view used by the generic BurstyTimes machinery.
+class ExactEventModel {
+ public:
+  static constexpr bool kPiecewiseConstant = true;
+
+  explicit ExactEventModel(const SingleEventStream* stream)
+      : stream_(stream) {}
+
+  double EstimateBurstiness(Timestamp t, Timestamp tau) const {
+    return static_cast<double>(stream_->BurstinessAt(t, tau));
+  }
+
+  /// Distinct occurrence times (the exact staircase's corner times).
+  std::vector<Timestamp> Breakpoints() const;
+
+ private:
+  const SingleEventStream* stream_;
+};
+
+/// Exact store over a universe of k event ids.
+class ExactBurstStore {
+ public:
+  explicit ExactBurstStore(EventId universe_size);
+
+  /// Loads a whole stream (ids must be < universe size).
+  Status AppendStream(const EventStream& stream);
+
+  /// Appends one occurrence. Precondition: id < universe size and t is
+  /// non-decreasing per event.
+  void Append(EventId e, Timestamp t);
+
+  EventId universe_size() const {
+    return static_cast<EventId>(streams_.size());
+  }
+
+  /// Exact POINT query b_e(t).
+  Burstiness BurstinessAt(EventId e, Timestamp t, Timestamp tau) const;
+
+  /// Exact cumulative frequency F_e(t).
+  Count CumulativeFrequency(EventId e, Timestamp t) const;
+
+  /// Exact BURSTY EVENT query: all e with b_e(t) >= theta, ascending.
+  std::vector<EventId> BurstyEvents(Timestamp t, double theta,
+                                    Timestamp tau) const;
+
+  /// Exact BURSTY TIME query as maximal intervals.
+  std::vector<TimeInterval> BurstyTimes(EventId e, double theta,
+                                        Timestamp tau) const;
+
+  /// Total occurrences stored (N).
+  size_t TotalCount() const { return total_; }
+
+  /// O(N) space of the baseline.
+  size_t SizeBytes() const;
+
+  const SingleEventStream& stream(EventId e) const { return streams_[e]; }
+
+ private:
+  std::vector<SingleEventStream> streams_;
+  size_t total_ = 0;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_CORE_EXACT_STORE_H_

@@ -1,0 +1,119 @@
+#include "core/pbe2.h"
+
+#include <cassert>
+
+namespace bursthist {
+
+namespace {
+constexpr uint32_t kMagic = 0x50424532;  // "PBE2"
+constexpr uint32_t kVersion = 2;
+}  // namespace
+
+Pbe2::Pbe2(const Options& options)
+    : options_(options),
+      builder_(options.gamma, options.max_polygon_vertices,
+               options.target_bytes) {
+  assert(options_.gamma >= 0.0);
+}
+
+void Pbe2::Append(Timestamp t, Count count) {
+  assert(!finalized_ && "Append after Finalize");
+  if (has_pending_ && pending_.time == t) {
+    pending_.count += count;
+    running_count_ += count;
+    return;
+  }
+  assert(!has_pending_ || t > pending_.time);
+  if (has_pending_) FlushPending();
+  running_count_ += count;
+  pending_ = CurvePoint{t, running_count_};
+  has_pending_ = true;
+}
+
+void Pbe2::FlushPending() {
+  assert(has_pending_);
+  // Pre-rise augmentation (Section III-B): constrain the level right
+  // before this corner so no line can overestimate the flat stretch.
+  if (has_flushed_ && pending_.time > last_flushed_.time + 1) {
+    builder_.AddPoint(pending_.time - 1, last_flushed_.count);
+  }
+  builder_.AddPoint(pending_.time, pending_.count);
+  last_flushed_ = pending_;
+  has_flushed_ = true;
+  has_pending_ = false;
+}
+
+void Pbe2::Finalize() {
+  if (finalized_) return;
+  if (has_pending_) FlushPending();
+  builder_.Finish();
+  finalized_ = true;
+}
+
+Pbe2 Pbe2::Snapshot() const {
+  Pbe2 copy = *this;
+  copy.Finalize();
+  return copy;
+}
+
+double Pbe2::EstimateCumulative(Timestamp t) const {
+  assert(finalized_ && "query before Finalize (use Snapshot for live)");
+  return builder_.model().Evaluate(t);
+}
+
+double Pbe2::EstimateBurstiness(Timestamp t, Timestamp tau) const {
+  assert(finalized_ && "query before Finalize (use Snapshot for live)");
+  return builder_.model().EstimateBurstiness(t, tau);
+}
+
+std::vector<Timestamp> Pbe2::Breakpoints() const {
+  assert(finalized_ && "query before Finalize (use Snapshot for live)");
+  return builder_.model().Breakpoints();
+}
+
+size_t Pbe2::SizeBytes() const { return builder_.model().SizeBytes(); }
+
+void Pbe2::Serialize(BinaryWriter* w) const {
+  assert(finalized_ && "serialize requires a finalized estimator");
+  w->Put(kMagic);
+  w->Put(kVersion);
+  w->Put<double>(options_.gamma);
+  w->Put<uint64_t>(options_.max_polygon_vertices);
+  w->Put<uint64_t>(options_.target_bytes);
+  w->Put<double>(builder_.max_gamma());
+  w->Put<uint64_t>(running_count_);
+  builder_.model().Serialize(w);
+}
+
+Status Pbe2::Deserialize(BinaryReader* r) {
+  uint32_t magic = 0, version = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
+  if (magic != kMagic) return Status::Corruption("bad PBE-2 magic");
+  if (version != kVersion) return Status::Corruption("bad PBE-2 version");
+  uint64_t max_vertices = 0, target_bytes = 0, running = 0;
+  double max_gamma = 0.0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&options_.gamma));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&max_vertices));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&target_bytes));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&max_gamma));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&running));
+  options_.max_polygon_vertices = static_cast<size_t>(max_vertices);
+  options_.target_bytes = static_cast<size_t>(target_bytes);
+  running_count_ = running;
+  LinearModel model;
+  BURSTHIST_RETURN_IF_ERROR(model.Deserialize(r));
+  // Rebuild a fresh builder holding the deserialized model; the stream
+  // is frozen, so no window state is needed. Restore the escalated
+  // band so MaxGamma() keeps reporting the true guarantee.
+  builder_ = OnlinePlaBuilder(std::max(options_.gamma, max_gamma),
+                              options_.max_polygon_vertices,
+                              options_.target_bytes);
+  builder_.RestoreModel(std::move(model));
+  has_pending_ = false;
+  has_flushed_ = false;
+  finalized_ = true;
+  return Status::OK();
+}
+
+}  // namespace bursthist

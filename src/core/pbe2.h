@@ -1,0 +1,118 @@
+// PBE-2: persistent burstiness estimation without buffering
+// (Section III-B of the paper).
+//
+// The estimator feeds the augmented corner points of the cumulative
+// frequency curve into the online PLA builder as they materialize —
+// O(1) amortized work per element and no buffering beyond the single
+// in-progress corner (whose count is only final once a later timestamp
+// arrives). The resulting piecewise-linear model satisfies
+// F(t) - gamma <= F~(t) <= F(t) at every discrete timestamp, hence
+// |b~(t) - b(t)| <= 4 * gamma (Lemma 4).
+
+#ifndef BURSTHIST_CORE_PBE2_H_
+#define BURSTHIST_CORE_PBE2_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "pla/linear_model.h"
+#include "pla/online_pla.h"
+#include "stream/types.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Construction parameters for Pbe2.
+struct Pbe2Options {
+  /// Per-point error band gamma (>= 0): the model may undershoot F(t)
+  /// by at most gamma and never overshoots.
+  double gamma = 8.0;
+
+  /// Optional cap on the feasible polygon's vertex count (the paper's
+  /// space-constrained variant); 0 = unlimited.
+  size_t max_polygon_vertices = 0;
+
+  /// Optional soft space budget in bytes: once the stored segments
+  /// outgrow it, gamma doubles for future windows (the error
+  /// guarantee becomes 4 * MaxGamma()). 0 = fixed gamma.
+  size_t target_bytes = 0;
+};
+
+/// Online persistent burstiness estimator for a single event stream.
+///
+/// Usage mirrors Pbe1: Append() in non-decreasing time order, then
+/// Finalize() before estimate queries (or use Snapshot()).
+class Pbe2 {
+ public:
+  using Options = Pbe2Options;
+
+  /// False: F~ is piecewise-linear, so b~ varies linearly between
+  /// breakpoints.
+  static constexpr bool kPiecewiseConstant = false;
+
+  explicit Pbe2(const Options& options = Options());
+
+  /// Adds `count` occurrences at time t (t >= last appended time).
+  /// Must not be called after Finalize().
+  void Append(Timestamp t, Count count = 1);
+
+  /// Flushes the pending corner point and the open PLA window.
+  /// Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// A finalized copy for querying mid-stream.
+  Pbe2 Snapshot() const;
+
+  /// F~(t). Precondition: finalized().
+  double EstimateCumulative(Timestamp t) const;
+
+  /// b~(t). Precondition: finalized().
+  double EstimateBurstiness(Timestamp t, Timestamp tau) const;
+
+  /// Breakpoints of the piecewise-linear model. Precondition:
+  /// finalized().
+  std::vector<Timestamp> Breakpoints() const;
+
+  Count TotalCount() const { return running_count_; }
+  size_t SegmentCount() const { return builder_.model().size(); }
+  double gamma() const { return options_.gamma; }
+
+  /// Largest band used by any window (== gamma() unless a space
+  /// budget escalated it); |b~ - b| <= 4 * MaxGamma().
+  double MaxGamma() const {
+    return std::max(options_.gamma, builder_.max_gamma());
+  }
+
+  /// Bytes of retained state (segments).
+  size_t SizeBytes() const;
+
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+ private:
+  // Pushes the pending corner (and its pre-rise augmentation point)
+  // into the PLA builder.
+  void FlushPending();
+
+  Options options_;
+  OnlinePlaBuilder builder_;
+
+  // In-progress corner point: arrivals at the same timestamp merge
+  // into it; it is fed to the builder once a later timestamp arrives.
+  bool has_pending_ = false;
+  CurvePoint pending_{0, 0};
+  // Last corner actually fed to the builder (source of the pre-rise
+  // augmentation level).
+  bool has_flushed_ = false;
+  CurvePoint last_flushed_{0, 0};
+
+  Count running_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_CORE_PBE2_H_

@@ -1,0 +1,294 @@
+#include "core/sketch_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace bursthist {
+
+namespace {
+
+constexpr uint32_t kFileMagic = 0x42535354;  // "BSST"
+constexpr uint32_t kFileVersion = 1;
+
+// Serialized engine configuration (everything a loader needs to
+// reconstruct the engine before feeding it the payload).
+struct StoredConfig {
+  uint8_t kind = 1;
+  EventId universe = 1;
+  uint64_t grid_depth = 2, grid_width = 55, grid_seed = 0;
+  uint8_t estimator = 0;
+  uint8_t prune_rule = 0;
+  uint64_t heavy_capacity = 0;
+  uint64_t buffer_points = 1500, budget_points = 120;  // PBE-1
+  double error_cap = -1.0;                             // PBE-1
+  double gamma = 8.0;                                  // PBE-2
+  uint64_t max_polygon_vertices = 0;                   // PBE-2
+};
+
+void PutConfig(BinaryWriter* w, const StoredConfig& c) {
+  w->Put(kFileMagic);
+  w->Put(kFileVersion);
+  w->Put(c.kind);
+  w->Put(c.universe);
+  w->Put(c.grid_depth);
+  w->Put(c.grid_width);
+  w->Put(c.grid_seed);
+  w->Put(c.estimator);
+  w->Put(c.prune_rule);
+  w->Put(c.heavy_capacity);
+  w->Put(c.buffer_points);
+  w->Put(c.budget_points);
+  w->Put(c.error_cap);
+  w->Put(c.gamma);
+  w->Put(c.max_polygon_vertices);
+}
+
+Status GetConfig(BinaryReader* r, StoredConfig* c) {
+  uint32_t magic = 0, version = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
+  if (magic != kFileMagic) return Status::Corruption("not a sketch file");
+  if (version != kFileVersion) {
+    return Status::Corruption("unsupported sketch file version");
+  }
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->kind));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->universe));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->grid_depth));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->grid_width));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->grid_seed));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->estimator));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->prune_rule));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->heavy_capacity));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->buffer_points));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->budget_points));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->error_cap));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->gamma));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&c->max_polygon_vertices));
+  if (c->kind != 1 && c->kind != 2) {
+    return Status::Corruption("unknown sketch kind");
+  }
+  if (c->universe == 0 || c->estimator > 1 || c->prune_rule > 1) {
+    return Status::Corruption("implausible sketch configuration");
+  }
+  return Status::OK();
+}
+
+template <typename PbeT>
+StoredConfig ConfigOf(const BurstEngineOptions<PbeT>& o, int kind) {
+  StoredConfig c;
+  c.kind = static_cast<uint8_t>(kind);
+  c.universe = o.universe_size;
+  c.grid_depth = o.grid.depth;
+  c.grid_width = o.grid.width;
+  c.grid_seed = o.grid.seed;
+  c.estimator = static_cast<uint8_t>(o.grid.estimator);
+  c.prune_rule = static_cast<uint8_t>(o.prune_rule);
+  c.heavy_capacity = o.heavy_hitter_capacity;
+  if constexpr (std::is_same_v<PbeT, Pbe1>) {
+    c.buffer_points = o.cell.buffer_points;
+    c.budget_points = o.cell.budget_points;
+    c.error_cap = o.cell.error_cap;
+  } else {
+    c.gamma = o.cell.gamma;
+    c.max_polygon_vertices = o.cell.max_polygon_vertices;
+  }
+  return c;
+}
+
+template <typename PbeT>
+BurstEngineOptions<PbeT> OptionsOf(const StoredConfig& c) {
+  BurstEngineOptions<PbeT> o;
+  o.universe_size = c.universe;
+  o.grid.depth = static_cast<size_t>(c.grid_depth);
+  o.grid.width = static_cast<size_t>(c.grid_width);
+  o.grid.seed = c.grid_seed;
+  o.grid.estimator = static_cast<CmEstimator>(c.estimator);
+  o.prune_rule = static_cast<DyadicPruneRule>(c.prune_rule);
+  o.heavy_hitter_capacity = static_cast<size_t>(c.heavy_capacity);
+  if constexpr (std::is_same_v<PbeT, Pbe1>) {
+    o.cell.buffer_points = static_cast<size_t>(c.buffer_points);
+    o.cell.budget_points = static_cast<size_t>(c.budget_points);
+    o.cell.error_cap = c.error_cap;
+  } else {
+    o.cell.gamma = c.gamma;
+    o.cell.max_polygon_vertices =
+        static_cast<size_t>(c.max_polygon_vertices);
+  }
+  return o;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument(path + " exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  if (::mkdir(path.c_str(), 0755) != 0) {
+    return Status::Internal("cannot create store directory " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SketchStore::SketchStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+bool SketchStore::ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name.front() == '.') return false;
+  for (char ch : name) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (!std::isalnum(u) && ch != '.' && ch != '_' && ch != '-') return false;
+  }
+  return true;
+}
+
+std::string SketchStore::SketchPath(const std::string& name) const {
+  return directory_ + "/" + name + ".sketch";
+}
+
+std::string SketchStore::ManifestPath() const {
+  return directory_ + "/MANIFEST";
+}
+
+Status SketchStore::WriteManifest(
+    const std::vector<SketchInfo>& entries) const {
+  std::string text;
+  for (const auto& e : entries) {
+    text += e.name + " " + std::to_string(e.kind) + "\n";
+  }
+  return WriteFile(ManifestPath(),
+                   std::vector<uint8_t>(text.begin(), text.end()));
+}
+
+Result<std::vector<SketchInfo>> SketchStore::List() const {
+  auto bytes = ReadFile(ManifestPath());
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      return std::vector<SketchInfo>{};  // empty store
+    }
+    return bytes.status();
+  }
+  std::vector<SketchInfo> out;
+  std::string text(bytes.value().begin(), bytes.value().end());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::Corruption("malformed manifest line: " + line);
+    }
+    SketchInfo info;
+    info.name = line.substr(0, space);
+    info.kind = std::atoi(line.c_str() + space + 1);
+    if (!ValidName(info.name) || (info.kind != 1 && info.kind != 2)) {
+      return Status::Corruption("malformed manifest entry: " + line);
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SketchInfo& a, const SketchInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+template <typename PbeT>
+Status SketchStore::SaveImpl(const std::string& name,
+                             const BurstEngine<PbeT>& engine, int kind) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid sketch name: " + name);
+  }
+  if (!engine.finalized()) {
+    return Status::FailedPrecondition("engine must be finalized before Save");
+  }
+  BURSTHIST_RETURN_IF_ERROR(EnsureDirectory(directory_));
+
+  BinaryWriter w;
+  PutConfig(&w, ConfigOf(engine.options(), kind));
+  engine.Serialize(&w);
+  BURSTHIST_RETURN_IF_ERROR(WriteFile(SketchPath(name), w.bytes()));
+
+  auto list = List();
+  BURSTHIST_RETURN_IF_ERROR(list.status());
+  std::vector<SketchInfo> entries = std::move(list).value();
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const SketchInfo& e) { return e.name == name; });
+  if (it == entries.end()) {
+    entries.push_back(SketchInfo{name, kind});
+  } else {
+    it->kind = kind;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchInfo& a, const SketchInfo& b) {
+              return a.name < b.name;
+            });
+  return WriteManifest(entries);
+}
+
+Status SketchStore::Save(const std::string& name, const BurstEngine1& engine) {
+  return SaveImpl(name, engine, 1);
+}
+
+Status SketchStore::Save(const std::string& name, const BurstEngine2& engine) {
+  return SaveImpl(name, engine, 2);
+}
+
+template <typename PbeT>
+Result<BurstEngine<PbeT>> SketchStore::LoadImpl(const std::string& name,
+                                                int expect_kind) const {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid sketch name: " + name);
+  }
+  auto bytes = ReadFile(SketchPath(name));
+  if (!bytes.ok()) return bytes.status();
+  BinaryReader r(bytes.value());
+  StoredConfig c;
+  BURSTHIST_RETURN_IF_ERROR(GetConfig(&r, &c));
+  if (c.kind != expect_kind) {
+    return Status::InvalidArgument(
+        "sketch '" + name + "' holds CM-PBE-" + std::to_string(c.kind) +
+        " cells; use the matching loader");
+  }
+  BurstEngine<PbeT> engine(OptionsOf<PbeT>(c));
+  BURSTHIST_RETURN_IF_ERROR(engine.Deserialize(&r));
+  return engine;
+}
+
+Result<BurstEngine1> SketchStore::LoadEngine1(const std::string& name) const {
+  return LoadImpl<Pbe1>(name, 1);
+}
+
+Result<BurstEngine2> SketchStore::LoadEngine2(const std::string& name) const {
+  return LoadImpl<Pbe2>(name, 2);
+}
+
+Status SketchStore::Remove(const std::string& name) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid sketch name: " + name);
+  }
+  auto list = List();
+  BURSTHIST_RETURN_IF_ERROR(list.status());
+  std::vector<SketchInfo> entries = std::move(list).value();
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const SketchInfo& e) { return e.name == name; });
+  if (it == entries.end()) {
+    return Status::NotFound("no sketch named " + name);
+  }
+  entries.erase(it);
+  std::remove(SketchPath(name).c_str());
+  return WriteManifest(entries);
+}
+
+}  // namespace bursthist

@@ -1,0 +1,81 @@
+// SketchStore — a tiny on-disk catalog of named, typed sketches.
+//
+// A deployment summarizing many feeds keeps one sketch per feed; the
+// store manages them in a directory with a manifest so sketches can
+// be saved, listed, and reloaded by name without the caller tracking
+// file layouts or configuration:
+//
+//   SketchStore store("/var/lib/bursthist");
+//   store.Save("politics-2016", engine);              // any engine
+//   auto loaded = store.LoadEngine1("politics-2016"); // typed reload
+//
+// Layout: <dir>/MANIFEST (text: one "name kind" line per sketch) and
+// <dir>/<name>.sketch (binary: config header + engine payload). Names
+// are restricted to [a-zA-Z0-9._-] so they are always safe path
+// components.
+
+#ifndef BURSTHIST_CORE_SKETCH_STORE_H_
+#define BURSTHIST_CORE_SKETCH_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Catalog entry.
+struct SketchInfo {
+  std::string name;
+  /// 1 = CM-PBE-1 cells, 2 = CM-PBE-2 cells.
+  int kind = 1;
+};
+
+/// Directory-backed sketch catalog.
+class SketchStore {
+ public:
+  /// Opens (and lazily creates) the store rooted at `directory`.
+  explicit SketchStore(std::string directory);
+
+  /// Persists a finalized engine under `name` (replacing any previous
+  /// sketch of that name) and updates the manifest.
+  Status Save(const std::string& name, const BurstEngine1& engine);
+  Status Save(const std::string& name, const BurstEngine2& engine);
+
+  /// Loads a sketch by name. The stored configuration is embedded, so
+  /// no options are needed; fails with InvalidArgument when the
+  /// stored kind does not match the requested type.
+  Result<BurstEngine1> LoadEngine1(const std::string& name) const;
+  Result<BurstEngine2> LoadEngine2(const std::string& name) const;
+
+  /// All cataloged sketches (sorted by name).
+  Result<std::vector<SketchInfo>> List() const;
+
+  /// Removes a sketch and its manifest entry; NotFound if absent.
+  Status Remove(const std::string& name);
+
+  /// True iff `name` is a valid sketch name ([a-zA-Z0-9._-]+, no
+  /// leading dot).
+  static bool ValidName(const std::string& name);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  template <typename PbeT>
+  Status SaveImpl(const std::string& name, const BurstEngine<PbeT>& engine,
+                  int kind);
+  template <typename PbeT>
+  Result<BurstEngine<PbeT>> LoadImpl(const std::string& name,
+                                     int expect_kind) const;
+
+  std::string SketchPath(const std::string& name) const;
+  std::string ManifestPath() const;
+  Status WriteManifest(const std::vector<SketchInfo>& entries) const;
+
+  std::string directory_;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_CORE_SKETCH_STORE_H_

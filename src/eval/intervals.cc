@@ -1,0 +1,48 @@
+#include "eval/intervals.h"
+
+#include <algorithm>
+
+namespace bursthist {
+
+uint64_t CoveredTimestamps(const std::vector<TimeInterval>& intervals) {
+  uint64_t total = 0;
+  for (const auto& iv : intervals) {
+    total += static_cast<uint64_t>(iv.end - iv.begin + 1);
+  }
+  return total;
+}
+
+uint64_t IntersectionSize(const std::vector<TimeInterval>& a,
+                          const std::vector<TimeInterval>& b) {
+  uint64_t total = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Timestamp lo = std::max(a[i].begin, b[j].begin);
+    const Timestamp hi = std::min(a[i].end, b[j].end);
+    if (lo <= hi) total += static_cast<uint64_t>(hi - lo + 1);
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+double IntervalJaccard(const std::vector<TimeInterval>& a,
+                       const std::vector<TimeInterval>& b) {
+  const uint64_t inter = IntersectionSize(a, b);
+  const uint64_t uni = CoveredTimestamps(a) + CoveredTimestamps(b) - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CoverageFraction(const std::vector<TimeInterval>& a,
+                        const std::vector<TimeInterval>& b) {
+  const uint64_t total = CoveredTimestamps(a);
+  if (total == 0) return 1.0;
+  return static_cast<double>(IntersectionSize(a, b)) /
+         static_cast<double>(total);
+}
+
+}  // namespace bursthist

@@ -1,0 +1,37 @@
+// Interval-set metrics: comparing burst windows reported by different
+// detectors / structures (used by the detector-agreement bench and the
+// bursty-time evaluation).
+
+#ifndef BURSTHIST_EVAL_INTERVALS_H_
+#define BURSTHIST_EVAL_INTERVALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// Total number of integer timestamps covered by the (disjoint,
+/// sorted) interval set.
+uint64_t CoveredTimestamps(const std::vector<TimeInterval>& intervals);
+
+/// Timestamps covered by both sets (sets must be sorted & disjoint —
+/// the shape BurstyTimes produces).
+uint64_t IntersectionSize(const std::vector<TimeInterval>& a,
+                          const std::vector<TimeInterval>& b);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| of the covered timestamp
+/// sets; 1.0 when both are empty.
+double IntervalJaccard(const std::vector<TimeInterval>& a,
+                       const std::vector<TimeInterval>& b);
+
+/// Fraction of a's covered timestamps also covered by b; 1.0 when a
+/// is empty.
+double CoverageFraction(const std::vector<TimeInterval>& a,
+                        const std::vector<TimeInterval>& b);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_EVAL_INTERVALS_H_

@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+namespace bursthist {
+
+std::vector<Timestamp> SampleQueryTimes(Timestamp t_begin, Timestamp t_end,
+                                        size_t count, Rng* rng) {
+  std::vector<Timestamp> out;
+  out.reserve(count);
+  const uint64_t span = static_cast<uint64_t>(t_end - t_begin) + 1;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(t_begin + static_cast<Timestamp>(rng->NextBelow(span)));
+  }
+  return out;
+}
+
+PrecisionRecall CompareIdSets(const std::vector<EventId>& reported,
+                              const std::vector<EventId>& relevant) {
+  PrecisionRecall pr;
+  pr.reported = reported.size();
+  pr.relevant = relevant.size();
+  size_t i = 0, j = 0, hits = 0;
+  while (i < reported.size() && j < relevant.size()) {
+    if (reported[i] == relevant[j]) {
+      ++hits;
+      ++i;
+      ++j;
+    } else if (reported[i] < relevant[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  pr.hits = hits;
+  if (pr.reported > 0) {
+    pr.precision = static_cast<double>(hits) / static_cast<double>(pr.reported);
+  }
+  if (pr.relevant > 0) {
+    pr.recall = static_cast<double>(hits) / static_cast<double>(pr.relevant);
+  }
+  return pr;
+}
+
+}  // namespace bursthist

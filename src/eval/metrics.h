@@ -1,0 +1,132 @@
+// Evaluation methodology of Section VI: additive burstiness error for
+// point queries (averaged over random query instants) and
+// precision/recall for bursty-event detection.
+
+#ifndef BURSTHIST_EVAL_METRICS_H_
+#define BURSTHIST_EVAL_METRICS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/exact_store.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+#include "util/random.h"
+
+namespace bursthist {
+
+/// Summary of |b~ - b| over a set of point queries.
+struct PointErrorStats {
+  double mean_abs = 0.0;
+  double max_abs = 0.0;
+  double root_mean_square = 0.0;
+  size_t queries = 0;
+};
+
+/// Accumulates PointErrorStats from individual absolute errors.
+class ErrorAccumulator {
+ public:
+  void Add(double exact, double estimate) {
+    const double err = std::abs(estimate - exact);
+    sum_ += err;
+    sum_sq_ += err * err;
+    max_ = std::max(max_, err);
+    ++count_;
+  }
+
+  PointErrorStats Stats() const {
+    PointErrorStats s;
+    s.queries = count_;
+    if (count_ == 0) return s;
+    s.mean_abs = sum_ / static_cast<double>(count_);
+    s.root_mean_square = std::sqrt(sum_sq_ / static_cast<double>(count_));
+    s.max_abs = max_;
+    return s;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double max_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// `count` random query instants, uniform over [t_begin, t_end].
+std::vector<Timestamp> SampleQueryTimes(Timestamp t_begin, Timestamp t_end,
+                                        size_t count, Rng* rng);
+
+/// Point-query error of a single-event model against the exact stream,
+/// over the given query instants (the paper averages 100 random
+/// queries).
+template <typename Model>
+PointErrorStats MeasurePointError(const Model& model,
+                                  const SingleEventStream& exact,
+                                  const std::vector<Timestamp>& query_times,
+                                  Timestamp tau) {
+  ErrorAccumulator acc;
+  for (Timestamp t : query_times) {
+    acc.Add(static_cast<double>(exact.BurstinessAt(t, tau)),
+            model.EstimateBurstiness(t, tau));
+  }
+  return acc.Stats();
+}
+
+/// Point-query error of a multi-event model (CM-PBE / dyadic leaf)
+/// against the exact store, over (event, time) query pairs.
+template <typename Model>
+PointErrorStats MeasurePointErrorMulti(
+    const Model& model, const ExactBurstStore& exact,
+    const std::vector<std::pair<EventId, Timestamp>>& queries,
+    Timestamp tau) {
+  ErrorAccumulator acc;
+  for (const auto& [e, t] : queries) {
+    acc.Add(static_cast<double>(exact.BurstinessAt(e, t, tau)),
+            model.EstimateBurstiness(e, t, tau));
+  }
+  return acc.Stats();
+}
+
+/// Precision / recall of a reported id set against the exact one.
+struct PrecisionRecall {
+  double precision = 1.0;  ///< 1.0 when nothing is reported
+  double recall = 1.0;     ///< 1.0 when nothing is relevant
+  size_t reported = 0;
+  size_t relevant = 0;
+  size_t hits = 0;
+
+  /// Harmonic mean; 0 when degenerate.
+  double F1() const {
+    return (precision + recall) > 0.0
+               ? 2.0 * precision * recall / (precision + recall)
+               : 0.0;
+  }
+};
+
+/// Both inputs must be sorted ascending.
+PrecisionRecall CompareIdSets(const std::vector<EventId>& reported,
+                              const std::vector<EventId>& relevant);
+
+/// Averages precision/recall across query results.
+struct PrecisionRecallAverage {
+  double precision = 0.0;
+  double recall = 0.0;
+  size_t queries = 0;
+
+  void Add(const PrecisionRecall& pr) {
+    precision += pr.precision;
+    recall += pr.recall;
+    ++queries;
+  }
+  double MeanPrecision() const {
+    return queries ? precision / static_cast<double>(queries) : 0.0;
+  }
+  double MeanRecall() const {
+    return queries ? recall / static_cast<double>(queries) : 0.0;
+  }
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_EVAL_METRICS_H_

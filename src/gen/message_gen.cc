@@ -1,0 +1,83 @@
+#include "gen/message_gen.h"
+
+#include <iterator>
+
+namespace bursthist {
+
+namespace {
+
+const char* const kTagTemplates[] = {
+    "breaking: %s everyone is talking about it",
+    "%s happening right now",
+    "cannot believe %s !!",
+    "live updates %s follow along",
+    "so proud %s what a moment",
+};
+
+const char* const kKeywordTemplates[] = {
+    "friends watching %s together tonight",
+    "my take on %s nobody asked for",
+    "%s is all over my feed today",
+    "still thinking about %s honestly",
+};
+
+const char* const kNoiseMessages[] = {
+    "good morning world",
+    "coffee first, questions later",
+    "anyone up for lunch downtown?",
+    "what a beautiful sunset today",
+};
+
+std::string Fill(const char* tmpl, const std::string& subject) {
+  std::string out;
+  for (const char* p = tmpl; *p != '\0'; ++p) {
+    if (p[0] == '%' && p[1] == 's') {
+      out += subject;
+      ++p;
+    } else {
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MessageCorpus SynthesizeMessages(const EventStream& events,
+                                 EventId universe_size,
+                                 const MessageGenOptions& options) {
+  MessageCorpus corpus{{}, EventIdMapper(universe_size), EventStream{}};
+  std::vector<std::string> tags(universe_size), keywords(universe_size);
+  for (EventId e = 0; e < universe_size; ++e) {
+    tags[e] = "#e" + std::to_string(e);
+    keywords[e] = "topic" + std::to_string(e);
+    // Both spellings collapse to the same id (the paper's Brasil
+    // example).
+    (void)corpus.mapper.BindKeyword(tags[e], e);
+    (void)corpus.mapper.BindKeyword(keywords[e], e);
+  }
+
+  Rng rng(options.seed);
+  for (const auto& r : events.records()) {
+    const bool keyword_only = rng.NextDouble() < options.keyword_only_fraction;
+    std::string text;
+    if (keyword_only) {
+      const auto& tmpl =
+          kKeywordTemplates[rng.NextBelow(std::size(kKeywordTemplates))];
+      text = Fill(tmpl, keywords[r.id]);
+    } else {
+      const auto& tmpl =
+          kTagTemplates[rng.NextBelow(std::size(kTagTemplates))];
+      text = Fill(tmpl, tags[r.id]);
+    }
+    corpus.messages.push_back(Message{std::move(text), r.time});
+    corpus.truth.Append(r.id, r.time);
+    if (rng.NextDouble() < options.noise_fraction) {
+      corpus.messages.push_back(Message{
+          kNoiseMessages[rng.NextBelow(std::size(kNoiseMessages))], r.time});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,53 @@
+// Message-level synthesis: raw text streams for the Section II-A
+// pipeline.
+//
+// The other generators emit (id, timestamp) pairs directly; this one
+// goes one level up and fabricates the *messages* — each event gets a
+// hashtag plus a few phrasing templates, and a configurable fraction
+// of messages mentions the event without its hashtag (the "LBC homeboy
+// stoked to see Brasil wins" case), exercising the curated-keyword
+// path of EventIdMapper. A small fraction of noise messages carries no
+// event signal at all.
+
+#ifndef BURSTHIST_GEN_MESSAGE_GEN_H_
+#define BURSTHIST_GEN_MESSAGE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/event_stream.h"
+#include "stream/text_pipeline.h"
+#include "util/random.h"
+
+namespace bursthist {
+
+/// Knobs for message synthesis.
+struct MessageGenOptions {
+  /// Probability a message mentions its event via a bare keyword
+  /// instead of the hashtag.
+  double keyword_only_fraction = 0.25;
+  /// Probability of an extra unrelated noise message following an
+  /// event mention.
+  double noise_fraction = 0.1;
+  uint64_t seed = 7;
+};
+
+/// The generated corpus plus the mapper configured to decode it.
+struct MessageCorpus {
+  std::vector<Message> messages;
+  /// Curated bindings (hashtag + keyword per event) pre-installed.
+  EventIdMapper mapper;
+  /// The ground-truth event stream the corpus encodes.
+  EventStream truth;
+};
+
+/// Renders an event stream into messages. `universe_size` bounds the
+/// ids in `events`; each id gets a synthetic hashtag "#e<i>" and
+/// keyword "topic<i>" bound in the returned mapper.
+MessageCorpus SynthesizeMessages(const EventStream& events,
+                                 EventId universe_size,
+                                 const MessageGenOptions& options);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_GEN_MESSAGE_GEN_H_

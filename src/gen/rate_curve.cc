@@ -1,0 +1,118 @@
+#include "gen/rate_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bursthist {
+
+double RatePrimitive::RateAt(Timestamp t) const {
+  if (t < t0 || t >= t3) return 0.0;
+  if (t < t1) {
+    return height * static_cast<double>(t - t0) /
+           static_cast<double>(t1 - t0);
+  }
+  if (t < t2) return height;
+  return height * static_cast<double>(t3 - t) /
+         static_cast<double>(t3 - t2);
+}
+
+double RatePrimitive::Integral() const {
+  const double up = static_cast<double>(t1 - t0) * height / 2.0;
+  const double flat = static_cast<double>(t2 - t1) * height;
+  const double down = static_cast<double>(t3 - t2) * height / 2.0;
+  return up + flat + down;
+}
+
+double RatePrimitive::Sample(Rng* rng) const {
+  const double up = static_cast<double>(t1 - t0) * height / 2.0;
+  const double flat = static_cast<double>(t2 - t1) * height;
+  const double down = static_cast<double>(t3 - t2) * height / 2.0;
+  const double total = up + flat + down;
+  assert(total > 0.0);
+  const double pick = rng->NextDouble() * total;
+  if (pick < up) {
+    // Rising ramp: density proportional to (t - t0); CDF ~ x^2.
+    const double u = rng->NextDouble();
+    return static_cast<double>(t0) +
+           std::sqrt(u) * static_cast<double>(t1 - t0);
+  }
+  if (pick < up + flat) {
+    return static_cast<double>(t1) +
+           rng->NextDouble() * static_cast<double>(t2 - t1);
+  }
+  // Falling ramp: mirror of the rising case.
+  const double u = rng->NextDouble();
+  return static_cast<double>(t3) -
+         std::sqrt(u) * static_cast<double>(t3 - t2);
+}
+
+void RateCurve::AddConstant(Timestamp begin, Timestamp end, double rate) {
+  assert(begin <= end);
+  assert(rate >= 0.0);
+  if (rate <= 0.0 || begin == end) return;
+  prims_.push_back(RatePrimitive{begin, begin, end, end, rate});
+}
+
+void RateCurve::AddBurst(Timestamp start, Timestamp peak_begin,
+                         Timestamp peak_end, Timestamp end, double height) {
+  assert(start <= peak_begin && peak_begin <= peak_end && peak_end <= end);
+  assert(height >= 0.0);
+  if (height <= 0.0 || start == end) return;
+  prims_.push_back(RatePrimitive{start, peak_begin, peak_end, end, height});
+}
+
+void RateCurve::AddSpike(Timestamp center, Timestamp width, double height) {
+  const Timestamp half = std::max<Timestamp>(1, width / 2);
+  AddBurst(center - half, center, center, center + half, height);
+}
+
+double RateCurve::RateAt(Timestamp t) const {
+  double r = 0.0;
+  for (const auto& p : prims_) r += p.RateAt(t);
+  return r;
+}
+
+double RateCurve::Integral() const {
+  double total = 0.0;
+  for (const auto& p : prims_) total += p.Integral();
+  return total;
+}
+
+void RateCurve::Scale(double factor) {
+  assert(factor >= 0.0);
+  for (auto& p : prims_) p.height *= factor;
+}
+
+void RateCurve::NormalizeTo(double expected_total) {
+  const double current = Integral();
+  if (current <= 0.0) return;
+  Scale(expected_total / current);
+}
+
+SingleEventStream RateCurve::Sample(Rng* rng) const {
+  std::vector<double> weights;
+  weights.reserve(prims_.size());
+  double total = 0.0;
+  for (const auto& p : prims_) {
+    total += p.Integral();
+    weights.push_back(total);
+  }
+  std::vector<Timestamp> times;
+  if (total <= 0.0) return SingleEventStream(std::move(times));
+
+  const uint64_t n = rng->NextPoisson(total);
+  times.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double pick = rng->NextDouble() * total;
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(weights.begin(), weights.end(), pick) -
+        weights.begin());
+    const double t = prims_[std::min(idx, prims_.size() - 1)].Sample(rng);
+    times.push_back(static_cast<Timestamp>(std::floor(t)));
+  }
+  std::sort(times.begin(), times.end());
+  return SingleEventStream(std::move(times));
+}
+
+}  // namespace bursthist

@@ -1,0 +1,84 @@
+// Arrival-rate modelling for synthetic event streams.
+//
+// A RateCurve is a sum of trapezoidal primitives (constant plateaus
+// are degenerate trapezoids), which is expressive enough to shape the
+// paper's described behaviours — stable baselines, ramping bursts,
+// short spikes — while keeping exact integrals and O(1) inverse-CDF
+// sampling per arrival. A stream is drawn as an inhomogeneous Poisson
+// process: N ~ Poisson(total integral), then N i.i.d. times from the
+// normalized rate density, sorted and discretized to integer
+// timestamps.
+
+#ifndef BURSTHIST_GEN_RATE_CURVE_H_
+#define BURSTHIST_GEN_RATE_CURVE_H_
+
+#include <vector>
+
+#include "stream/event_stream.h"
+#include "stream/types.h"
+#include "util/random.h"
+
+namespace bursthist {
+
+/// One trapezoidal rate component: rate ramps linearly 0 -> height on
+/// [t0, t1], holds on [t1, t2], ramps back to 0 on [t2, t3].
+struct RatePrimitive {
+  Timestamp t0 = 0;
+  Timestamp t1 = 0;
+  Timestamp t2 = 0;
+  Timestamp t3 = 0;
+  double height = 0.0;  ///< events per unit time at the plateau
+
+  /// Instantaneous rate at time t.
+  double RateAt(Timestamp t) const;
+
+  /// Expected number of arrivals contributed by this component.
+  double Integral() const;
+
+  /// Draws one arrival time from this component's normalized density.
+  double Sample(Rng* rng) const;
+};
+
+/// A sum of trapezoidal components.
+class RateCurve {
+ public:
+  /// Adds a constant plateau of `rate` on [begin, end).
+  void AddConstant(Timestamp begin, Timestamp end, double rate);
+
+  /// Adds a burst: ramp over [start, peak_begin], plateau to peak_end,
+  /// decay to `end`. Preconditions: start <= peak_begin <= peak_end <=
+  /// end, height >= 0.
+  void AddBurst(Timestamp start, Timestamp peak_begin, Timestamp peak_end,
+                Timestamp end, double height);
+
+  /// Adds a symmetric triangular spike of the given total width
+  /// centred at `center`.
+  void AddSpike(Timestamp center, Timestamp width, double height);
+
+  /// Instantaneous rate (sum over components).
+  double RateAt(Timestamp t) const;
+
+  /// Expected total arrivals.
+  double Integral() const;
+
+  /// Multiplies every component's height by `factor`.
+  void Scale(double factor);
+
+  /// Scales the curve so Integral() == expected_total (no-op when the
+  /// curve is empty or identically zero).
+  void NormalizeTo(double expected_total);
+
+  const std::vector<RatePrimitive>& primitives() const { return prims_; }
+
+  /// Draws an inhomogeneous-Poisson stream: the count is
+  /// Poisson(Integral()) and each arrival time comes from the
+  /// normalized density, discretized by truncation.
+  SingleEventStream Sample(Rng* rng) const;
+
+ private:
+  std::vector<RatePrimitive> prims_;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_GEN_RATE_CURVE_H_

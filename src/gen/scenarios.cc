@@ -1,0 +1,213 @@
+#include "gen/scenarios.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bursthist {
+
+namespace {
+
+constexpr double kSoccerVolume = 1'000'000.0;
+constexpr double kSwimmingVolume = 1'000'000.0;
+constexpr double kOlympicVolume = 5'032'975.0;
+constexpr EventId kOlympicEvents = 864;
+constexpr double kPoliticsVolume = 5'000'000.0;
+constexpr EventId kPoliticsEvents = 1'689;
+
+Timestamp Days(double d) {
+  return static_cast<Timestamp>(d * static_cast<double>(kSecondsPerDay));
+}
+
+}  // namespace
+
+std::vector<double> ZipfWeights(size_t k, double alpha) {
+  std::vector<double> w(k);
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    total += w[i];
+  }
+  for (auto& v : w) v /= total;
+  return w;
+}
+
+RateCurve SoccerRateCurve() {
+  // Soccer matches ran throughout the tournament (Aug 3-20): group
+  // stages every couple of days with growing attention, quarter/semi
+  // finals, and the largest burst right before the final (Figure 7b:
+  // "The largest burst happens right before the final").
+  RateCurve curve;
+  curve.AddConstant(0, kOlympicHorizon, 0.05);  // ambient chatter
+  // Group stage match days (moderate, growing).
+  const double group_heights[] = {0.5, 0.55, 0.65, 0.7, 0.8, 0.9};
+  const double group_days[] = {1.5, 3.5, 5.5, 7.5, 9.5, 11.5};
+  for (int i = 0; i < 6; ++i) {
+    curve.AddBurst(Days(group_days[i] - 0.25), Days(group_days[i]),
+                   Days(group_days[i] + 0.1), Days(group_days[i] + 0.6),
+                   group_heights[i]);
+  }
+  // Knockout rounds.
+  curve.AddBurst(Days(13.2), Days(13.6), Days(13.7), Days(14.3), 1.4);
+  curve.AddBurst(Days(16.2), Days(16.6), Days(16.7), Days(17.3), 2.0);
+  // Build-up and the final (day ~17.5-20.5): sharpest acceleration
+  // right before the final itself.
+  curve.AddBurst(Days(18.0), Days(19.8), Days(20.0), Days(20.8), 4.5);
+  curve.AddSpike(Days(19.9), Days(0.2), 6.0);
+  // Post-final discussion decaying through the closing ceremony.
+  curve.AddBurst(Days(20.8), Days(20.8), Days(21.0), Days(23.0), 0.8);
+  return curve;
+}
+
+RateCurve SwimmingRateCurve() {
+  // Swimming finals were concentrated in the first half (Aug 6-13):
+  // strong daily bursts early, then near-silence (Figure 7).
+  RateCurve curve;
+  curve.AddConstant(0, Days(10.5), 0.08);
+  curve.AddConstant(Days(10.5), kOlympicHorizon, 0.004);
+  const double finals_heights[] = {1.2, 1.6, 2.2, 2.8, 3.2, 3.0, 2.4, 1.5};
+  for (int day = 1; day <= 8; ++day) {
+    // Evening finals sessions: sharp ramp, short peak, fast decay.
+    const double h = finals_heights[day - 1];
+    curve.AddBurst(Days(day + 0.70), Days(day + 0.85), Days(day + 0.95),
+                   Days(day + 1.25), h);
+  }
+  return curve;
+}
+
+SingleEventStream MakeSoccer(const ScenarioConfig& config) {
+  RateCurve curve = SoccerRateCurve();
+  curve.NormalizeTo(kSoccerVolume * config.scale);
+  Rng rng(config.seed ^ 0x50cce5ULL);
+  return curve.Sample(&rng);
+}
+
+SingleEventStream MakeSwimming(const ScenarioConfig& config) {
+  RateCurve curve = SwimmingRateCurve();
+  curve.NormalizeTo(kSwimmingVolume * config.scale);
+  Rng rng(config.seed ^ 0x5117ULL);
+  return curve.Sample(&rng);
+}
+
+namespace {
+
+// A generic "Olympic discipline" curve: ambient chatter plus a few
+// session bursts at random days within the active window.
+RateCurve RandomOlympicCurve(Rng* rng) {
+  RateCurve curve;
+  // Real event channels are near-silent outside their sessions: keep
+  // the ambient rate small relative to the bursts, otherwise the
+  // Poisson fluctuation of hundreds of always-on baselines becomes an
+  // unrealistic burstiness-noise floor for the sketches.
+  curve.AddConstant(0, kOlympicHorizon, 0.002 + 0.008 * rng->NextDouble());
+  const int bursts = 2 + static_cast<int>(rng->NextBelow(4));
+  for (int i = 0; i < bursts; ++i) {
+    const double day = 1.0 + 20.0 * rng->NextDouble();
+    const double ramp = 0.1 + 0.4 * rng->NextDouble();    // days
+    const double hold = 0.05 + 0.15 * rng->NextDouble();  // days
+    const double decay = 0.2 + 0.6 * rng->NextDouble();   // days
+    const double height = 0.5 + 2.5 * rng->NextDouble();
+    curve.AddBurst(Days(day), Days(day + ramp), Days(day + ramp + hold),
+                   Days(day + ramp + hold + decay), height);
+  }
+  return curve;
+}
+
+// A "political topic" curve: low baseline over six months plus many
+// short spikes (Figure 13's intermittent pattern).
+RateCurve RandomPoliticsCurve(Rng* rng) {
+  RateCurve curve;
+  curve.AddConstant(0, kPoliticsHorizon, 0.002 + 0.01 * rng->NextDouble());
+  const int spikes = 1 + static_cast<int>(rng->NextBelow(6));
+  for (int i = 0; i < spikes; ++i) {
+    const double day = 2.0 + 179.0 * rng->NextDouble();
+    const double width_h = 1.0 + 11.0 * rng->NextDouble();  // hours
+    const double height = 0.3 + 4.0 * rng->NextDouble();
+    curve.AddSpike(Days(day),
+                   static_cast<Timestamp>(width_h * 3600.0), height);
+  }
+  return curve;
+}
+
+}  // namespace
+
+Dataset MakeOlympicRio(const ScenarioConfig& config) {
+  Rng rng(config.seed ^ 0x01f3a9c0ULL);
+  std::vector<RateCurve> curves;
+  curves.reserve(kOlympicEvents);
+  curves.push_back(SoccerRateCurve());
+  curves.push_back(SwimmingRateCurve());
+  Rng curve_rng = rng.Fork(1);
+  for (EventId e = 2; e < kOlympicEvents; ++e) {
+    curves.push_back(RandomOlympicCurve(&curve_rng));
+  }
+
+  // Popularity: soccer and swimming are the top two disciplines; the
+  // tail follows a Zipf law.
+  std::vector<double> weights = ZipfWeights(kOlympicEvents, 1.05);
+  const double total_volume = kOlympicVolume * config.scale;
+  std::vector<SingleEventStream> streams;
+  streams.reserve(kOlympicEvents);
+  Rng sample_rng = rng.Fork(2);
+  for (EventId e = 0; e < kOlympicEvents; ++e) {
+    curves[e].NormalizeTo(total_volume * weights[e]);
+    Rng stream_rng = sample_rng.Fork(e);
+    streams.push_back(curves[e].Sample(&stream_rng));
+  }
+
+  Dataset ds;
+  ds.name = "olympicrio";
+  ds.stream = MergeStreams(streams);
+  ds.universe_size = kOlympicEvents;
+  ds.t_begin = 0;
+  ds.t_end = kOlympicHorizon;
+  return ds;
+}
+
+Dataset MakeUsPolitics(const ScenarioConfig& config) {
+  Rng rng(config.seed ^ 0x90115ULL);
+  std::vector<double> weights = ZipfWeights(kPoliticsEvents, 1.2);
+  // Shuffle the popularity assignment so rank is independent of id
+  // (ids are hashed by the sketches; this also exercises that).
+  Rng shuffle_rng = rng.Fork(7);
+  for (size_t i = weights.size(); i > 1; --i) {
+    std::swap(weights[i - 1], weights[shuffle_rng.NextBelow(i)]);
+  }
+
+  const double total_volume = kPoliticsVolume * config.scale;
+  std::vector<SingleEventStream> streams;
+  streams.reserve(kPoliticsEvents);
+  std::vector<int> category(kPoliticsEvents);
+  Rng curve_rng = rng.Fork(3);
+  Rng sample_rng = rng.Fork(4);
+  for (EventId e = 0; e < kPoliticsEvents; ++e) {
+    RateCurve curve = RandomPoliticsCurve(&curve_rng);
+    // A few landmark moments shared by many topics of one party, e.g.
+    // the July 18 Republican national convention (day ~48 from June 1).
+    category[e] = static_cast<int>(curve_rng.NextBelow(2));
+    if (curve_rng.NextDouble() < 0.15) {
+      const double day = category[e] == 1 ? 48.0 : 56.0;  // RNC / DNC
+      curve.AddSpike(Days(day + curve_rng.NextDouble()),
+                     static_cast<Timestamp>(6 * 3600), 2.0);
+    }
+    if (curve_rng.NextDouble() < 0.2) {
+      // Election-day surge (Nov 8 = day ~161).
+      curve.AddSpike(Days(160.5 + curve_rng.NextDouble()),
+                     static_cast<Timestamp>(12 * 3600), 3.0);
+    }
+    curve.NormalizeTo(total_volume * weights[e]);
+    Rng stream_rng = sample_rng.Fork(e);
+    streams.push_back(curve.Sample(&stream_rng));
+  }
+
+  Dataset ds;
+  ds.name = "uspolitics";
+  ds.stream = MergeStreams(streams);
+  ds.universe_size = kPoliticsEvents;
+  ds.t_begin = 0;
+  ds.t_end = kPoliticsHorizon;
+  ds.category = std::move(category);
+  return ds;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,95 @@
+// Synthetic dataset presets calibrated to the paper's evaluation
+// (Section VI).
+//
+// The paper's raw Twitter samples are proprietary, but every algorithm
+// only sees (event id, timestamp) pairs — the message -> id mapping is
+// an explicit black box (Section II-A). These presets regenerate
+// streams with the *published* shape parameters:
+//
+//   olympicrio — August 2016, T = 2,678,400 s at 1 s granularity,
+//                N = 5,032,975 tweets over K = 864 event ids.
+//                Includes the two featured single-event streams:
+//     soccer   — matches throughout the month; several bursts; the
+//                largest right before the final (Figure 7).
+//     swimming — events concentrated in the first ~9 days, then both
+//                incoming rate and burstiness drop to ~0 (Figure 7).
+//                Both are volume-normalized to 1,000,000 tweets when
+//                used standalone, as in the paper.
+//   uspolitics — June–November 2016 (183 days), K = 1,689 event ids,
+//                5,000,000 tweets, heavy-tailed event popularity with
+//                many short intermittent spikes (Figure 13), split
+//                into two categories (Democrats / Republican).
+//
+// All presets accept a `scale` so tests and CI-speed benches can run
+// on proportionally smaller streams, and a seed for reproducibility.
+
+#ifndef BURSTHIST_GEN_SCENARIOS_H_
+#define BURSTHIST_GEN_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/rate_curve.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// Seconds per day; the presets use 1-second granularity like the
+/// paper's datasets.
+constexpr Timestamp kSecondsPerDay = 86'400;
+
+/// August 2016: 31 days.
+constexpr Timestamp kOlympicHorizon = 31 * kSecondsPerDay;  // 2,678,400
+
+/// June–November 2016: 183 days.
+constexpr Timestamp kPoliticsHorizon = 183 * kSecondsPerDay;
+
+/// Generation knobs shared by all presets.
+struct ScenarioConfig {
+  uint64_t seed = 42;
+  /// Volume multiplier: 1.0 reproduces the paper's N; benches default
+  /// to smaller scales for CI-speed runs.
+  double scale = 1.0;
+};
+
+/// A generated multi-event dataset.
+struct Dataset {
+  std::string name;
+  EventStream stream;
+  EventId universe_size = 0;
+  Timestamp t_begin = 0;
+  Timestamp t_end = 0;
+  /// Optional per-event category (used by the uspolitics timeline:
+  /// 0 = Democrats, 1 = Republican). Empty when not applicable.
+  std::vector<int> category;
+};
+
+/// The soccer rate curve (before normalization).
+RateCurve SoccerRateCurve();
+
+/// The swimming rate curve (before normalization).
+RateCurve SwimmingRateCurve();
+
+/// Single-event "soccer" stream, ~1M * scale tweets over 31 days.
+SingleEventStream MakeSoccer(const ScenarioConfig& config);
+
+/// Single-event "swimming" stream, ~1M * scale tweets over 31 days.
+SingleEventStream MakeSwimming(const ScenarioConfig& config);
+
+/// Full olympicrio mixture: K = 864 ids, ~5.03M * scale tweets.
+/// Event 0 is soccer, event 1 is swimming; the remainder follow a
+/// Zipf popularity with randomized burst schedules.
+Dataset MakeOlympicRio(const ScenarioConfig& config);
+
+/// Full uspolitics mixture: K = 1,689 ids, ~5M * scale tweets over
+/// 183 days, heavy-tailed popularity, short intermittent spikes, and
+/// a two-way category split.
+Dataset MakeUsPolitics(const ScenarioConfig& config);
+
+/// Zipf weights w_i ~ 1 / (i+1)^alpha, normalized to sum to 1.
+std::vector<double> ZipfWeights(size_t k, double alpha);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_GEN_SCENARIOS_H_

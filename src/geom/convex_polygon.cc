@@ -1,0 +1,94 @@
+#include "geom/convex_polygon.h"
+
+#include <cmath>
+
+namespace bursthist {
+
+namespace {
+// Tolerance for classifying a vertex as on the clipping line. The dual
+// coordinates in PBE-2 are O(counts) in magnitude, well within double
+// precision at this epsilon.
+constexpr double kEps = 1e-9;
+
+Point2 Intersect(const Point2& p, const Point2& q, const HalfPlane& hp) {
+  const double sp = hp.Slack(p);
+  const double sq = hp.Slack(q);
+  const double denom = sp - sq;
+  // Callers only intersect edges with endpoints on opposite sides, so
+  // denom is bounded away from zero relative to the slacks.
+  const double t = denom == 0.0 ? 0.5 : sp / denom;
+  return Point2{p.x + t * (q.x - p.x), p.y + t * (q.y - p.y)};
+}
+}  // namespace
+
+ConvexPolygon ConvexPolygon::Box(double x0, double y0, double x1, double y1) {
+  return ConvexPolygon(
+      {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+void ConvexPolygon::Clip(const HalfPlane& hp) {
+  if (vertices_.empty()) return;
+  std::vector<Point2> out;
+  out.reserve(vertices_.size() + 1);
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point2& cur = vertices_[i];
+    const Point2& nxt = vertices_[(i + 1) % n];
+    const double sc = hp.Slack(cur);
+    const double sn = hp.Slack(nxt);
+    if (sc >= -kEps) {
+      out.push_back(cur);
+      if (sn < -kEps && sc > kEps) out.push_back(Intersect(cur, nxt, hp));
+    } else if (sn > kEps) {
+      out.push_back(Intersect(cur, nxt, hp));
+    }
+  }
+  vertices_ = std::move(out);
+}
+
+bool ConvexPolygon::IntersectsHalfPlane(const HalfPlane& hp) const {
+  for (const auto& v : vertices_) {
+    if (hp.Slack(v) >= -kEps) return true;
+  }
+  return false;
+}
+
+bool ConvexPolygon::Contains(const Point2& p, double eps) const {
+  if (vertices_.empty()) return false;
+  if (vertices_.size() == 1) {
+    return std::abs(p.x - vertices_[0].x) <= eps &&
+           std::abs(p.y - vertices_[0].y) <= eps;
+  }
+  // Check the point lies on the inner side of every edge; handle both
+  // orientations by requiring a consistent sign.
+  int sign = 0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point2& a = vertices_[i];
+    const Point2& b = vertices_[(i + 1) % n];
+    const double cross =
+        (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if (cross > eps) {
+      if (sign < 0) return false;
+      sign = 1;
+    } else if (cross < -eps) {
+      if (sign > 0) return false;
+      sign = -1;
+    }
+  }
+  return true;
+}
+
+Point2 ConvexPolygon::Centroid() const {
+  Point2 c;
+  if (vertices_.empty()) return c;
+  for (const auto& v : vertices_) {
+    c.x += v.x;
+    c.y += v.y;
+  }
+  c.x /= static_cast<double>(vertices_.size());
+  c.y /= static_cast<double>(vertices_.size());
+  return c;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,73 @@
+// Convex feasible-region geometry for the PBE-2 online PLA
+// (Section III-B, Figure 4 of the paper).
+//
+// Each incoming timestamped frequency range (t_j, [F_j - gamma, F_j])
+// contributes two half-planes in the dual (a, b) space of candidate
+// lines  b >= -t_j * a + (F_j - gamma)  and  b <= -t_j * a + F_j.
+// The set of lines that cut every range so far is the intersection of
+// those half-planes — a convex polygon we maintain explicitly and clip
+// one half-plane at a time (Sutherland–Hodgman).
+
+#ifndef BURSTHIST_GEOM_CONVEX_POLYGON_H_
+#define BURSTHIST_GEOM_CONVEX_POLYGON_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bursthist {
+
+/// A point in the dual (a, b) plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// The closed half-plane  nx*x + ny*y <= c.
+struct HalfPlane {
+  double nx = 0.0;
+  double ny = 0.0;
+  double c = 0.0;
+
+  /// Signed slack c - (nx*x + ny*y); >= 0 means inside.
+  double Slack(const Point2& p) const { return c - (nx * p.x + ny * p.y); }
+};
+
+/// A convex polygon stored as a vertex loop (either orientation).
+/// Degenerate results (segments/points) are kept — they still describe
+/// a non-empty feasible set.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  explicit ConvexPolygon(std::vector<Point2> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// Axis-aligned box [x0,x1] x [y0,y1], the usual bounded seed region.
+  static ConvexPolygon Box(double x0, double y0, double x1, double y1);
+
+  bool empty() const { return vertices_.empty(); }
+  size_t size() const { return vertices_.size(); }
+  const std::vector<Point2>& vertices() const { return vertices_; }
+
+  /// Clips the polygon against a half-plane in place. May produce an
+  /// empty polygon (infeasible).
+  void Clip(const HalfPlane& hp);
+
+  /// True if clipping against `hp` would leave the polygon non-empty;
+  /// does not modify the polygon.
+  bool IntersectsHalfPlane(const HalfPlane& hp) const;
+
+  /// True if the point is inside (within eps of) every edge constraint
+  /// implied by the vertex loop. Used in tests only.
+  bool Contains(const Point2& p, double eps = 1e-7) const;
+
+  /// Arithmetic mean of the vertices — a robust interior(ish) pick for
+  /// "choose any (a, b) from the region" (Algorithm 2).
+  Point2 Centroid() const;
+
+ private:
+  std::vector<Point2> vertices_;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_GEOM_CONVEX_POLYGON_H_

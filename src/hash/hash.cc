@@ -1,0 +1,97 @@
+#include "hash/hash.h"
+
+#include <cstring>
+
+#include "util/random.h"
+
+namespace bursthist {
+
+namespace {
+
+constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+// (x * y) mod (2^61 - 1) via 128-bit intermediate.
+inline uint64_t MulMod61(uint64_t x, uint64_t y) {
+  unsigned __int128 z = static_cast<unsigned __int128>(x) * y;
+  uint64_t lo = static_cast<uint64_t>(z & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(z >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+inline uint64_t AddMod61(uint64_t x, uint64_t y) {
+  uint64_t r = x + y;  // both < 2^61, no overflow
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+}  // namespace
+
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  // 64-bit Murmur3-style: process 8-byte blocks, mix the tail.
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (bytes.size() * m);
+
+  const char* data = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint64_t k;
+    std::memcpy(&k, data, 8);
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+    data += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  std::memcpy(&tail, data, n);
+  h ^= tail;
+  h *= m;
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+PairwiseHash::PairwiseHash(uint64_t seed, uint64_t range) : range_(range) {
+  Rng rng(seed);
+  a_ = 1 + rng.NextBelow(kMersenne61 - 1);
+  b_ = rng.NextBelow(kMersenne61);
+}
+
+uint64_t PairwiseHash::operator()(uint64_t x) const {
+  // Fold x into the field first; ids in practice are far below p.
+  uint64_t xm = x >= kMersenne61 ? x - kMersenne61 : x;
+  return AddMod61(MulMod61(a_, xm), b_) % range_;
+}
+
+TabulationHash::TabulationHash(uint64_t seed, uint64_t range)
+    : range_(range) {
+  Rng rng(seed);
+  for (auto& table : table_) {
+    for (auto& cell : table) cell = rng.NextU64();
+  }
+}
+
+uint64_t TabulationHash::operator()(uint64_t x) const {
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h ^= table_[i][(x >> (8 * i)) & 0xff];
+  }
+  return h % range_;
+}
+
+HashFamily::HashFamily(size_t depth, uint64_t width, uint64_t seed) {
+  fns_.reserve(depth);
+  Rng rng(seed);
+  for (size_t i = 0; i < depth; ++i) {
+    fns_.emplace_back(rng.NextU64(), width);
+  }
+}
+
+}  // namespace bursthist

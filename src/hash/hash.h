@@ -1,0 +1,89 @@
+// Hashing substrate for the sketch structures.
+//
+// The CM-PBE grid (Section IV of the paper) needs d independent hash
+// functions h_i : event id -> [0, w). We provide:
+//   * Mix64          — a strong 64-bit finalizer (SplitMix64-style).
+//   * HashBytes      — a Murmur3-style hash for string keys, used when
+//                      mapping raw message text / hashtags to ids.
+//   * PairwiseHash   — a 2-universal (a*x + b mod p) family over the
+//                      Mersenne prime 2^61 - 1, matching the standard
+//                      Count-Min analysis assumptions.
+//   * TabulationHash — 3-independent tabulation hashing, as a stronger
+//                      drop-in family for stress tests.
+//   * HashFamily     — d seeded PairwiseHash functions with a common
+//                      range, the unit the sketches consume.
+
+#ifndef BURSTHIST_HASH_HASH_H_
+#define BURSTHIST_HASH_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bursthist {
+
+/// Strong 64-bit mixing function (bijective).
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Murmur3-style 64-bit hash of a byte string with a seed. Used by the
+/// message -> event-id black box (Section II-A) in examples/generators.
+uint64_t HashBytes(std::string_view bytes, uint64_t seed);
+
+/// 2-universal hash h(x) = ((a*x + b) mod p) mod range over the
+/// Mersenne prime p = 2^61 - 1, with a in [1, p), b in [0, p).
+class PairwiseHash {
+ public:
+  /// Draws (a, b) deterministically from the seed.
+  PairwiseHash(uint64_t seed, uint64_t range);
+
+  /// Hash of x into [0, range).
+  uint64_t operator()(uint64_t x) const;
+
+  uint64_t range() const { return range_; }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+  uint64_t range_;
+};
+
+/// Simple (3-independent) tabulation hash over 8 byte-indexed tables.
+class TabulationHash {
+ public:
+  TabulationHash(uint64_t seed, uint64_t range);
+
+  uint64_t operator()(uint64_t x) const;
+
+  uint64_t range() const { return range_; }
+
+ private:
+  uint64_t table_[8][256];
+  uint64_t range_;
+};
+
+/// d independent pairwise hashes with a common range: the exact shape
+/// the Count-Min rows need.
+class HashFamily {
+ public:
+  /// Builds `depth` functions into [0, width); each is seeded from
+  /// `seed` via an independent stream.
+  HashFamily(size_t depth, uint64_t width, uint64_t seed);
+
+  /// Hash of key under the row-th function.
+  uint64_t Hash(size_t row, uint64_t key) const { return fns_[row](key); }
+
+  size_t depth() const { return fns_.size(); }
+  uint64_t width() const { return fns_.empty() ? 0 : fns_[0].range(); }
+
+ private:
+  std::vector<PairwiseHash> fns_;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_HASH_HASH_H_

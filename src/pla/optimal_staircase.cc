@@ -1,0 +1,214 @@
+#include "pla/optimal_staircase.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bursthist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Precomputed geometry of the input curve: x/y as doubles plus the
+// prefix areas A[j] = sum_{i<j} (x[i+1]-x[i]) * y[i], so that the area
+// lost by bridging corner a -> corner b with a single level y[a] is
+//   cost(a,b) = (A[b] - A[a]) - y[a] * (x[b] - x[a])
+// in O(1).
+struct Prefix {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> area;
+
+  explicit Prefix(const std::vector<CurvePoint>& pts) {
+    const size_t n = pts.size();
+    x.resize(n);
+    y.resize(n);
+    area.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<double>(pts[i].time);
+      y[i] = static_cast<double>(pts[i].count);
+    }
+    for (size_t i = 1; i < n; ++i) {
+      area[i] = area[i - 1] + (x[i] - x[i - 1]) * y[i - 1];
+    }
+  }
+
+  double Cost(size_t a, size_t b) const {
+    return (area[b] - area[a]) - y[a] * (x[b] - x[a]);
+  }
+};
+
+// Trivial selections for degenerate inputs / budgets.
+bool HandleTrivial(const std::vector<CurvePoint>& points, size_t budget,
+                   StaircaseFit* fit) {
+  const size_t n = points.size();
+  if (n == 0) {
+    *fit = StaircaseFit{};
+    return true;
+  }
+  if (n <= 2 || budget >= n) {
+    fit->selected.resize(n);
+    for (size_t i = 0; i < n; ++i) fit->selected[i] = static_cast<uint32_t>(i);
+    fit->error = 0.0;
+    return true;
+  }
+  return false;
+}
+
+// Divide-and-conquer layer solve: cur[i] = min_{k in [klo(i), i-1]}
+// prev[k] + cost(k, i), exploiting monotone argmin.
+void SolveLayer(const Prefix& pf, const std::vector<double>& prev,
+                std::vector<double>* cur, std::vector<int32_t>* parent,
+                size_t ilo, size_t ihi, size_t klo, size_t khi) {
+  if (ilo > ihi) return;
+  const size_t mid = ilo + (ihi - ilo) / 2;
+  double best = kInf;
+  size_t best_k = klo;
+  const size_t kmax = std::min(khi, mid - 1);
+  for (size_t k = klo; k <= kmax; ++k) {
+    if (prev[k] == kInf) continue;
+    const double v = prev[k] + pf.Cost(k, mid);
+    if (v < best) {
+      best = v;
+      best_k = k;
+    }
+  }
+  (*cur)[mid] = best;
+  (*parent)[mid] = best == kInf ? -1 : static_cast<int32_t>(best_k);
+  if (mid > ilo) SolveLayer(pf, prev, cur, parent, ilo, mid - 1, klo, best_k);
+  if (mid < ihi) SolveLayer(pf, prev, cur, parent, mid + 1, ihi, best_k, khi);
+}
+
+StaircaseFit Backtrack(const std::vector<std::vector<int32_t>>& parents,
+                       size_t n, size_t layers, double error) {
+  StaircaseFit fit;
+  fit.error = error;
+  fit.selected.reserve(layers);
+  int32_t i = static_cast<int32_t>(n - 1);
+  // parents[m] maps a point index to its predecessor in a selection of
+  // size m+1 (m >= 1); walk layers from the last down to the base.
+  for (size_t m = layers - 1; m >= 1; --m) {
+    fit.selected.push_back(static_cast<uint32_t>(i));
+    i = parents[m][static_cast<size_t>(i)];
+    assert(i >= 0);
+  }
+  assert(i == 0);
+  fit.selected.push_back(0);
+  std::reverse(fit.selected.begin(), fit.selected.end());
+  return fit;
+}
+
+}  // namespace
+
+std::vector<CurvePoint> StaircaseFit::Materialize(
+    const std::vector<CurvePoint>& points) const {
+  std::vector<CurvePoint> out;
+  out.reserve(selected.size());
+  for (uint32_t idx : selected) out.push_back(points[idx]);
+  return out;
+}
+
+double SelectionError(const std::vector<CurvePoint>& points,
+                      const std::vector<uint32_t>& selected) {
+  Prefix pf(points);
+  double err = 0.0;
+  for (size_t s = 0; s + 1 < selected.size(); ++s) {
+    err += pf.Cost(selected[s], selected[s + 1]);
+  }
+  return err;
+}
+
+StaircaseFit OptimalStaircase(const std::vector<CurvePoint>& points,
+                              size_t budget) {
+  StaircaseFit fit;
+  if (HandleTrivial(points, budget, &fit)) return fit;
+
+  const size_t n = points.size();
+  budget = std::max<size_t>(budget, 2);
+  const Prefix pf(points);
+
+  // dp[m][i]: min error over [x_0, x_i] selecting m+1 points among
+  // [0..i], with 0 and i both selected. Layer 0 is the base (only
+  // point 0). We roll the value layers and keep all parent layers for
+  // the backtrack.
+  std::vector<double> prev(n, kInf), cur(n, kInf);
+  prev[0] = 0.0;
+  std::vector<std::vector<int32_t>> parents(budget);
+  const size_t layers = budget;  // selections of size `budget`
+  for (size_t m = 1; m < layers; ++m) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    parents[m].assign(n, -1);
+    // i must be at least m (need m predecessors), k at least m-1.
+    SolveLayer(pf, prev, &cur, &parents[m], m, n - 1, m - 1, n - 2);
+    std::swap(prev, cur);
+  }
+  assert(prev[n - 1] != kInf);
+  return Backtrack(parents, n, layers, prev[n - 1]);
+}
+
+StaircaseFit OptimalStaircaseNaive(const std::vector<CurvePoint>& points,
+                                   size_t budget) {
+  StaircaseFit fit;
+  if (HandleTrivial(points, budget, &fit)) return fit;
+
+  const size_t n = points.size();
+  budget = std::max<size_t>(budget, 2);
+  const Prefix pf(points);
+
+  std::vector<double> prev(n, kInf), cur(n, kInf);
+  prev[0] = 0.0;
+  std::vector<std::vector<int32_t>> parents(budget);
+  for (size_t m = 1; m < budget; ++m) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    parents[m].assign(n, -1);
+    for (size_t i = m; i <= n - 1; ++i) {
+      double best = kInf;
+      int32_t best_k = -1;
+      for (size_t k = m - 1; k < i; ++k) {
+        if (prev[k] == kInf) continue;
+        const double v = prev[k] + pf.Cost(k, i);
+        if (v < best) {
+          best = v;
+          best_k = static_cast<int32_t>(k);
+        }
+      }
+      cur[i] = best;
+      parents[m][i] = best_k;
+    }
+    std::swap(prev, cur);
+  }
+  assert(prev[n - 1] != kInf);
+  return Backtrack(parents, n, budget, prev[n - 1]);
+}
+
+StaircaseFit OptimalStaircaseErrorCapped(
+    const std::vector<CurvePoint>& points, double max_error) {
+  StaircaseFit fit;
+  if (HandleTrivial(points, /*budget=*/2, &fit) && fit.error <= max_error) {
+    return fit;
+  }
+  const size_t n = points.size();
+  const Prefix pf(points);
+
+  std::vector<double> prev(n, kInf), cur(n, kInf);
+  prev[0] = 0.0;
+  std::vector<std::vector<int32_t>> parents;
+  parents.emplace_back();  // layer 0 has no parents
+  for (size_t m = 1; m < n; ++m) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    parents.emplace_back(n, -1);
+    SolveLayer(pf, prev, &cur, &parents[m], m, n - 1, m - 1, n - 2);
+    std::swap(prev, cur);
+    if (prev[n - 1] <= max_error) {
+      return Backtrack(parents, n, m + 1, prev[n - 1]);
+    }
+  }
+  // Full selection is exact (error 0) and always satisfies the cap.
+  fit.selected.resize(n);
+  for (size_t i = 0; i < n; ++i) fit.selected[i] = static_cast<uint32_t>(i);
+  fit.error = 0.0;
+  return fit;
+}
+
+}  // namespace bursthist

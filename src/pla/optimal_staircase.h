@@ -1,0 +1,70 @@
+// Optimal staircase approximation under a point budget (Section III-A,
+// Algorithm 1 of the paper).
+//
+// Given the n corner points of an exact cumulative frequency curve
+// F(t), pick eta <= n of them (the two boundary points are forced —
+// Corollary 1) so that the staircase through the chosen points
+// minimizes the area error
+//     Delta = integral_0^T (F(t) - F~(t)) dt            (Equation 3)
+// among all approximations that never overestimate F. Lemma 3 shows
+// the optimum only uses original corner points, so the search space is
+// exactly "choose a subset".
+//
+// Two implementations:
+//   * OptimalStaircaseNaive — the paper's O(n^2 * eta) dynamic program,
+//     kept as the reference oracle for tests.
+//   * OptimalStaircase — the same DP accelerated with the
+//     divide-and-conquer optimization. The gap cost satisfies the
+//     concave quadrangle inequality
+//       cost(a,b') - cost(a,b) = sum_{j in [b,b')} w_j (y_j - y_a)
+//     which is non-increasing in a, so the per-layer argmin is monotone
+//     and each layer solves in O(n log n); total O(eta * n log n).
+//
+// OptimalStaircaseErrorCapped inverts the trade-off: the smallest
+// number of points whose optimal error is <= max_error (the "hard cap
+// on the error" variant the paper mentions).
+
+#ifndef BURSTHIST_PLA_OPTIMAL_STAIRCASE_H_
+#define BURSTHIST_PLA_OPTIMAL_STAIRCASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/frequency_curve.h"
+
+namespace bursthist {
+
+/// Result of a staircase fit.
+struct StaircaseFit {
+  /// Indices of the selected corner points (ascending; always contains
+  /// 0 and n-1 when n >= 2).
+  std::vector<uint32_t> selected;
+  /// Area error Delta of the selected staircase against the input.
+  double error = 0.0;
+
+  /// Materializes the selected points.
+  std::vector<CurvePoint> Materialize(
+      const std::vector<CurvePoint>& points) const;
+};
+
+/// Optimal fit with at most `budget` points (clamped to [2, n]).
+/// Precondition: points strictly increasing in time and count.
+StaircaseFit OptimalStaircase(const std::vector<CurvePoint>& points,
+                              size_t budget);
+
+/// Reference O(n^2 * eta) implementation; identical output contract.
+StaircaseFit OptimalStaircaseNaive(const std::vector<CurvePoint>& points,
+                                   size_t budget);
+
+/// Smallest selection whose optimal area error is <= max_error.
+StaircaseFit OptimalStaircaseErrorCapped(
+    const std::vector<CurvePoint>& points, double max_error);
+
+/// Exact area error of an arbitrary selection (ascending indices that
+/// include 0 and n-1). Exposed for tests and benches.
+double SelectionError(const std::vector<CurvePoint>& points,
+                      const std::vector<uint32_t>& selected);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_PLA_OPTIMAL_STAIRCASE_H_

@@ -1,0 +1,31 @@
+#include "pla/uniform_staircase.h"
+
+#include <algorithm>
+
+namespace bursthist {
+
+StaircaseFit UniformStaircase(const std::vector<CurvePoint>& points,
+                              size_t budget) {
+  StaircaseFit fit;
+  const size_t n = points.size();
+  if (n == 0) return fit;
+  budget = std::max<size_t>(budget, 2);
+  if (budget >= n) {
+    fit.selected.resize(n);
+    for (size_t i = 0; i < n; ++i) fit.selected[i] = static_cast<uint32_t>(i);
+    fit.error = 0.0;
+    return fit;
+  }
+  fit.selected.reserve(budget);
+  // Evenly spaced fractional positions over [0, n-1].
+  for (size_t i = 0; i < budget; ++i) {
+    const size_t idx = i * (n - 1) / (budget - 1);
+    if (fit.selected.empty() || fit.selected.back() != idx) {
+      fit.selected.push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  fit.error = SelectionError(points, fit.selected);
+  return fit;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,26 @@
+// Uniform-subsampling staircase compressor — the strawman PBE-1 is
+// measured against in bench/ablation_optimal_vs_uniform.
+//
+// Instead of the optimal dynamic program, keep every k-th corner point
+// (boundaries forced). Same representation, same no-overestimate
+// guarantee, none of the optimality: the gap between the two isolates
+// the value of Algorithm 1's optimization.
+
+#ifndef BURSTHIST_PLA_UNIFORM_STAIRCASE_H_
+#define BURSTHIST_PLA_UNIFORM_STAIRCASE_H_
+
+#include <vector>
+
+#include "pla/optimal_staircase.h"
+#include "stream/frequency_curve.h"
+
+namespace bursthist {
+
+/// Selects ~budget points at uniform index spacing (always includes
+/// both boundaries; returns everything when budget >= n).
+StaircaseFit UniformStaircase(const std::vector<CurvePoint>& points,
+                              size_t budget);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_PLA_UNIFORM_STAIRCASE_H_

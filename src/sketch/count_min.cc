@@ -1,0 +1,73 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bursthist {
+
+CountMinOptions CountMinOptions::FromGuarantee(double epsilon, double delta,
+                                               uint64_t seed) {
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  CountMinOptions o;
+  o.depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  o.depth = std::max<size_t>(o.depth, 1);
+  o.width = static_cast<size_t>(std::ceil(std::exp(1.0) / epsilon));
+  o.seed = seed;
+  return o;
+}
+
+CountMinSketch::CountMinSketch(const CountMinOptions& options)
+    : options_(options),
+      hashes_(options.depth, options.width, options.seed),
+      cells_(options.depth * options.width, 0) {}
+
+size_t CountMinSketch::CellIndex(size_t row, uint64_t key) const {
+  return row * options_.width + static_cast<size_t>(hashes_.Hash(row, key));
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (size_t r = 0; r < options_.depth; ++r) {
+    cells_[CellIndex(r, key)] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = ~0ULL;
+  for (size_t r = 0; r < options_.depth; ++r) {
+    best = std::min(best, cells_[CellIndex(r, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Serialize(BinaryWriter* w) const {
+  w->Put<uint64_t>(options_.depth);
+  w->Put<uint64_t>(options_.width);
+  w->Put<uint64_t>(options_.seed);
+  w->Put<uint64_t>(total_);
+  w->PutVector(cells_);
+}
+
+Status CountMinSketch::Deserialize(BinaryReader* r) {
+  uint64_t depth = 0, width = 0, seed = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&depth));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&width));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&seed));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&total_));
+  BURSTHIST_RETURN_IF_ERROR(r->GetVector(&cells_));
+  // Validate without overflow: a flipped high bit in depth could wrap
+  // depth * width back to the stored cell count.
+  if (depth == 0 || width == 0 || depth > (1ULL << 20) ||
+      width > (1ULL << 40) || cells_.size() != depth * width) {
+    return Status::Corruption("count-min cell payload size mismatch");
+  }
+  options_.depth = static_cast<size_t>(depth);
+  options_.width = static_cast<size_t>(width);
+  options_.seed = seed;
+  hashes_ = HashFamily(options_.depth, options_.width, options_.seed);
+  return Status::OK();
+}
+
+}  // namespace bursthist

@@ -1,0 +1,70 @@
+// Classic Count-Min sketch (Cormode & Muthukrishnan), Section II-C.
+//
+// Included both as the reference point for the CM-PBE grid logic and
+// as a standalone frequency summary: it answers "how often has x
+// appeared so far" but — unlike CM-PBE — cannot answer anything about
+// an arbitrary historical time range, which is exactly the gap the
+// paper closes.
+
+#ifndef BURSTHIST_SKETCH_COUNT_MIN_H_
+#define BURSTHIST_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Sizing/seeding options for CountMinSketch.
+struct CountMinOptions {
+  /// Number of rows d = ceil(ln(1/delta)).
+  size_t depth = 4;
+  /// Counters per row w = ceil(e / epsilon).
+  size_t width = 272;
+  /// Hash-family seed (deterministic across runs).
+  uint64_t seed = 0x5eedULL;
+
+  /// Classic sizing from the (epsilon, delta) guarantee
+  /// Pr[f~ <= f + eps*N] >= 1 - delta.
+  static CountMinOptions FromGuarantee(double epsilon, double delta,
+                                       uint64_t seed = 0x5eedULL);
+};
+
+/// Count-Min sketch with conservative-update as an option.
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(const CountMinOptions& options);
+
+  /// Adds `count` occurrences of key.
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Point estimate: min over rows; never underestimates the true
+  /// count.
+  uint64_t Estimate(uint64_t key) const;
+
+  /// Total stream size N seen so far.
+  uint64_t TotalCount() const { return total_; }
+
+  size_t depth() const { return options_.depth; }
+  size_t width() const { return options_.width; }
+  size_t SizeBytes() const { return cells_.size() * sizeof(uint64_t); }
+
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+ private:
+  size_t CellIndex(size_t row, uint64_t key) const;
+
+  CountMinOptions options_;
+  HashFamily hashes_;
+  std::vector<uint64_t> cells_;  // row-major depth x width
+  uint64_t total_ = 0;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,139 @@
+#include "sketch/snapshot_cm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bursthist {
+
+namespace {
+constexpr uint32_t kMagic = 0x50434d53;  // "PCMS"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+SnapshotCmSketch::SnapshotCmSketch(const SnapshotCmOptions& options)
+    : options_(options),
+      hashes_(options.depth, options.width, options.seed),
+      live_(options.depth * options.width, 0) {
+  assert(options_.depth >= 1 && options_.width >= 1);
+  assert(options_.snapshot_interval >= 1);
+}
+
+void SnapshotCmSketch::TakeSnapshot(Timestamp boundary) {
+  // Skip storing identical consecutive checkpoints (dead periods):
+  // the previous snapshot remains valid for every t up to the next
+  // change.
+  if (!snaps_.empty() && snaps_.back() == live_) return;
+  snaps_.push_back(live_);
+  snapshot_times_.push_back(boundary);
+}
+
+void SnapshotCmSketch::Append(EventId e, Timestamp t, Count count) {
+  assert(!finalized_ && "Append after Finalize");
+  assert(!started_ || t >= last_time_);
+  if (!started_) {
+    started_ = true;
+    // First boundary strictly after the first arrival's interval.
+    last_time_ = t;
+  }
+  // Checkpoint every crossed boundary before absorbing this arrival.
+  const Timestamp prev_slot = last_time_ / options_.snapshot_interval;
+  const Timestamp cur_slot = t / options_.snapshot_interval;
+  for (Timestamp s = prev_slot; s < cur_slot; ++s) {
+    TakeSnapshot((s + 1) * options_.snapshot_interval - 1);
+  }
+  for (size_t r = 0; r < options_.depth; ++r) {
+    live_[r * options_.width + hashes_.Hash(r, e)] += count;
+  }
+  last_time_ = t;
+}
+
+void SnapshotCmSketch::Finalize() {
+  if (finalized_) return;
+  if (started_) TakeSnapshot(last_time_);
+  finalized_ = true;
+}
+
+double SnapshotCmSketch::EstimateCumulative(EventId e, Timestamp t) const {
+  assert(finalized_ && "query before Finalize");
+  // Latest checkpoint at or before t.
+  auto it = std::upper_bound(snapshot_times_.begin(), snapshot_times_.end(),
+                             t);
+  if (it == snapshot_times_.begin()) return 0.0;
+  const auto& grid = snaps_[static_cast<size_t>(
+      it - snapshot_times_.begin() - 1)];
+  uint64_t best = ~0ULL;
+  for (size_t r = 0; r < options_.depth; ++r) {
+    best = std::min(best, grid[r * options_.width + hashes_.Hash(r, e)]);
+  }
+  return static_cast<double>(best);
+}
+
+double SnapshotCmSketch::EstimateBurstiness(EventId e, Timestamp t,
+                                            Timestamp tau) const {
+  return EstimateCumulative(e, t) - 2.0 * EstimateCumulative(e, t - tau) +
+         EstimateCumulative(e, t - 2 * tau);
+}
+
+size_t SnapshotCmSketch::SizeBytes() const {
+  return (snaps_.size() + 1) * live_.size() * sizeof(uint64_t) +
+         snapshot_times_.size() * sizeof(Timestamp);
+}
+
+void SnapshotCmSketch::Serialize(BinaryWriter* w) const {
+  w->Put(kMagic);
+  w->Put(kVersion);
+  w->Put<uint64_t>(options_.depth);
+  w->Put<uint64_t>(options_.width);
+  w->Put<uint64_t>(options_.seed);
+  w->Put<int64_t>(options_.snapshot_interval);
+  w->Put<int64_t>(last_time_);
+  w->Put<uint8_t>(started_ ? 1 : 0);
+  w->Put<uint8_t>(finalized_ ? 1 : 0);
+  w->PutVector(live_);
+  w->PutVector(snapshot_times_);
+  w->Put<uint64_t>(snaps_.size());
+  for (const auto& s : snaps_) w->PutVector(s);
+}
+
+Status SnapshotCmSketch::Deserialize(BinaryReader* r) {
+  uint32_t magic = 0, version = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
+  if (magic != kMagic) return Status::Corruption("bad snapshot-CM magic");
+  if (version != kVersion) return Status::Corruption("bad snapshot-CM version");
+  uint64_t depth = 0, width = 0, seed = 0, snap_count = 0;
+  uint8_t started = 0, finalized = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&depth));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&width));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&seed));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&options_.snapshot_interval));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&last_time_));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&started));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&finalized));
+  BURSTHIST_RETURN_IF_ERROR(r->GetVector(&live_));
+  BURSTHIST_RETURN_IF_ERROR(r->GetVector(&snapshot_times_));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&snap_count));
+  if (depth == 0 || width == 0 || depth > (1ULL << 20) ||
+      width > (1ULL << 40) || live_.size() != depth * width) {
+    return Status::Corruption("snapshot-CM live grid size mismatch");
+  }
+  if (snap_count != snapshot_times_.size()) {
+    return Status::Corruption("snapshot-CM checkpoint count mismatch");
+  }
+  snaps_.assign(static_cast<size_t>(snap_count), {});
+  for (auto& s : snaps_) {
+    BURSTHIST_RETURN_IF_ERROR(r->GetVector(&s));
+    if (s.size() != live_.size()) {
+      return Status::Corruption("snapshot-CM checkpoint size mismatch");
+    }
+  }
+  options_.depth = static_cast<size_t>(depth);
+  options_.width = static_cast<size_t>(width);
+  options_.seed = seed;
+  hashes_ = HashFamily(options_.depth, options_.width, options_.seed);
+  started_ = started != 0;
+  finalized_ = finalized != 0;
+  return Status::OK();
+}
+
+}  // namespace bursthist

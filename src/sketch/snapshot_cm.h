@@ -1,0 +1,84 @@
+// Snapshot-based persistent Count-Min — the "PCM" style baseline the
+// paper's PBE designs improve upon (Section III mentions PBE-2 is
+// "based on an improvement of Persistent Count-Min sketch").
+//
+// A plain CM sketch summarizes the whole stream so far and cannot
+// answer F_e(t) for historical t. The simplest persistent fix is to
+// checkpoint every counter on a fixed time grid: F_e(t) is estimated
+// from the latest snapshot at or before t. Space grows linearly with
+// the number of snapshots and the time granularity is capped at the
+// snapshot interval — exactly the trade-offs CM-PBE removes by making
+// each cell a curve instead of a counter. Kept here as an honest
+// comparator for bench/tab_pcm_comparison.
+
+#ifndef BURSTHIST_SKETCH_SNAPSHOT_CM_H_
+#define BURSTHIST_SKETCH_SNAPSHOT_CM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "hash/hash.h"
+#include "stream/types.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Sizing for SnapshotCmSketch.
+struct SnapshotCmOptions {
+  size_t depth = 2;
+  size_t width = 55;
+  uint64_t seed = 0x5ca95ULL;
+  /// A full counter checkpoint is taken every `snapshot_interval`
+  /// time units.
+  Timestamp snapshot_interval = 3600;
+};
+
+/// Count-Min sketch with periodic full-state checkpoints, answering
+/// approximate F_e(t) for any historical t (rounded down to the last
+/// checkpoint before t; the live counters serve t >= the last
+/// checkpoint).
+class SnapshotCmSketch {
+ public:
+  explicit SnapshotCmSketch(const SnapshotCmOptions& options);
+
+  /// Adds an occurrence of event e at time t (non-decreasing t).
+  void Append(EventId e, Timestamp t, Count count = 1);
+
+  /// Seals the final snapshot. Call before issuing queries.
+  void Finalize();
+
+  /// Estimated cumulative frequency of e at time t: min over rows of
+  /// the checkpointed counter (the classic CM combination).
+  double EstimateCumulative(EventId e, Timestamp t) const;
+
+  /// Burstiness through Equation 2 on the snapshot estimates. Note
+  /// the effective resolution is the snapshot interval: any tau below
+  /// it aliases to zero.
+  double EstimateBurstiness(EventId e, Timestamp t, Timestamp tau) const;
+
+  size_t snapshot_count() const { return snapshot_times_.size(); }
+
+  /// Bytes of retained state (all checkpoints + live counters).
+  size_t SizeBytes() const;
+
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+ private:
+  // Checkpoints the live counters at `boundary`.
+  void TakeSnapshot(Timestamp boundary);
+
+  SnapshotCmOptions options_;
+  HashFamily hashes_;
+  std::vector<uint64_t> live_;               // depth x width, row-major
+  std::vector<std::vector<uint64_t>> snaps_;  // one counter grid per time
+  std::vector<Timestamp> snapshot_times_;
+  Timestamp last_time_ = 0;
+  bool started_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SKETCH_SNAPSHOT_CM_H_

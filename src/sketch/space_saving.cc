@@ -1,0 +1,118 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bursthist {
+
+namespace {
+constexpr uint32_t kMagic = 0x53505356;  // "SPSV"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  assert(capacity_ >= 1);
+  entries_.reserve(capacity_);
+}
+
+size_t SpaceSaving::MinIndex() const {
+  size_t best = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[best].count) best = i;
+  }
+  return best;
+}
+
+void SpaceSaving::Add(uint64_t key, uint64_t count) {
+  total_ += count;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].count += count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_[key] = entries_.size();
+    entries_.push_back(Entry{key, count, 0});
+    return;
+  }
+  // Evict the minimum: the newcomer inherits its count as error.
+  const size_t slot = MinIndex();
+  Entry& e = entries_[slot];
+  index_.erase(e.key);
+  index_[key] = slot;
+  e.error = e.count;
+  e.count += count;
+  e.key = key;
+}
+
+uint64_t SpaceSaving::EstimateCount(uint64_t key) const {
+  auto it = index_.find(key);
+  if (it != index_.end()) return entries_[it->second].count;
+  if (entries_.size() < capacity_) return 0;  // nothing was ever evicted
+  return entries_[MinIndex()].count;
+}
+
+bool SpaceSaving::GuaranteedAtLeast(uint64_t key, uint64_t threshold) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const Entry& e = entries_[it->second];
+  return e.count - e.error >= threshold;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::TopK(size_t k) const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count > b.count || (a.count == b.count && a.key < b.key);
+  });
+  if (k > 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+void SpaceSaving::Serialize(BinaryWriter* w) const {
+  w->Put(kMagic);
+  w->Put(kVersion);
+  w->Put<uint64_t>(capacity_);
+  w->Put<uint64_t>(total_);
+  w->Put<uint64_t>(entries_.size());
+  for (const auto& e : entries_) {
+    w->Put(e.key);
+    w->Put(e.count);
+    w->Put(e.error);
+  }
+}
+
+Status SpaceSaving::Deserialize(BinaryReader* r) {
+  uint32_t magic = 0, version = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
+  if (magic != kMagic) return Status::Corruption("bad space-saving magic");
+  if (version != kVersion) {
+    return Status::Corruption("bad space-saving version");
+  }
+  uint64_t capacity = 0, total = 0, n = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&capacity));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&total));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&n));
+  if (capacity == 0 || n > capacity || capacity > (1ULL << 32)) {
+    return Status::Corruption("implausible space-saving shape");
+  }
+  capacity_ = static_cast<size_t>(capacity);
+  total_ = total;
+  entries_.clear();
+  index_.clear();
+  entries_.reserve(capacity_);
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&e.key));
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&e.count));
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&e.error));
+    if (e.error > e.count || index_.count(e.key) != 0) {
+      return Status::Corruption("inconsistent space-saving entry");
+    }
+    index_[e.key] = entries_.size();
+    entries_.push_back(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace bursthist

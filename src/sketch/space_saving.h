@@ -1,0 +1,83 @@
+// SpaceSaving heavy-hitters summary (Metwally et al.).
+//
+// Two places in the paper call for it:
+//   * the introduction: "to capture only those important bursty
+//     events, one can impose a frequency threshold when detecting
+//     bursty events" — the engine's frequency-filtered BURSTY EVENT
+//     query uses the tracked counts as that filter's candidate set;
+//   * Section V's "minor optimization is to keep the set of event ids
+//     that appeared in S" — SpaceSaving is the bounded-memory version
+//     of that set for high-cardinality streams.
+//
+// Classic guarantees: with capacity m over a stream of size N, every
+// item with true count > N/m is tracked, and the reported count
+// overestimates the true count by at most the recorded `error`.
+
+#ifndef BURSTHIST_SKETCH_SPACE_SAVING_H_
+#define BURSTHIST_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Bounded-size heavy-hitters counter set.
+class SpaceSaving {
+ public:
+  /// One tracked item. `count` upper-bounds the true count;
+  /// `count - error` lower-bounds it.
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+
+  /// @param capacity  maximum tracked items m (>= 1).
+  explicit SpaceSaving(size_t capacity);
+
+  /// Adds `count` occurrences of key, evicting the current minimum
+  /// when the table is full and the key is untracked.
+  void Add(uint64_t key, uint64_t count = 1);
+
+  /// Upper-bound estimate of key's count: its tracked count, or the
+  /// minimum tracked count if untracked (every untracked item's true
+  /// count is at most that minimum).
+  uint64_t EstimateCount(uint64_t key) const;
+
+  /// True if the key is currently tracked with count - error >=
+  /// threshold (i.e. its true count provably reaches the threshold).
+  bool GuaranteedAtLeast(uint64_t key, uint64_t threshold) const;
+
+  /// The tracked items sorted by descending count, truncated to k
+  /// (k = 0 returns all).
+  std::vector<Entry> TopK(size_t k = 0) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t TotalCount() const { return total_; }
+
+  size_t SizeBytes() const {
+    return entries_.size() * (sizeof(Entry) + sizeof(uint64_t) * 2);
+  }
+
+  void Serialize(BinaryWriter* w) const;
+  Status Deserialize(BinaryReader* r);
+
+ private:
+  // Index of the minimum-count entry (linear scan; capacity is small
+  // by design — hundreds to a few thousand).
+  size_t MinIndex() const;
+
+  size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<uint64_t, size_t> index_;  // key -> entries_ slot
+  uint64_t total_ = 0;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SKETCH_SPACE_SAVING_H_

@@ -1,0 +1,70 @@
+#include "stream/csv_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/serialize.h"
+
+namespace bursthist {
+
+Result<EventStream> ParseEventStreamCsv(const std::string& text) {
+  EventStream stream;
+  size_t line_no = 0;
+  size_t pos = 0;
+  Timestamp last_time = 0;
+  bool started = false;
+  while (pos < text.size()) {
+    ++line_no;
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#' || line == "\r") continue;
+
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str() || *end != ',') {
+      return Status::InvalidArgument("malformed CSV at line " +
+                                     std::to_string(line_no));
+    }
+    const char* ts_begin = end + 1;
+    const long long ts = std::strtoll(ts_begin, &end, 10);
+    if (end == ts_begin || (*end != '\0' && *end != '\r')) {
+      return Status::InvalidArgument("malformed CSV at line " +
+                                     std::to_string(line_no));
+    }
+    if (id > 0xffffffffULL) {
+      return Status::OutOfRange("event id overflows 32 bits at line " +
+                                std::to_string(line_no));
+    }
+    if (started && ts < last_time) {
+      return Status::OutOfRange("timestamp regression at line " +
+                                std::to_string(line_no));
+    }
+    stream.Append(static_cast<EventId>(id), static_cast<Timestamp>(ts));
+    last_time = ts;
+    started = true;
+  }
+  return stream;
+}
+
+Result<EventStream> ReadEventStreamCsv(const std::string& path) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseEventStreamCsv(
+      std::string(bytes.value().begin(), bytes.value().end()));
+}
+
+Status WriteEventStreamCsv(const std::string& path,
+                           const EventStream& stream) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::NotFound("cannot open for write: " + path);
+  for (const auto& r : stream.records()) {
+    std::fprintf(f, "%u,%" PRId64 "\n", r.id, r.time);
+  }
+  if (std::fclose(f) != 0) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace bursthist

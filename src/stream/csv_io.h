@@ -1,0 +1,33 @@
+// CSV import/export for event streams.
+//
+// The interchange format is one "event_id,timestamp" pair per line
+// (decimal, timestamps non-decreasing). Blank lines and lines starting
+// with '#' are skipped; anything else malformed fails with a
+// line-numbered error. This is the format the CLI and examples speak.
+
+#ifndef BURSTHIST_STREAM_CSV_IO_H_
+#define BURSTHIST_STREAM_CSV_IO_H_
+
+#include <string>
+
+#include "stream/event_stream.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Parses a CSV file into an event stream. Fails on unreadable files,
+/// malformed lines, or time regressions (with the offending line
+/// number in the message).
+Result<EventStream> ReadEventStreamCsv(const std::string& path);
+
+/// Writes the stream as "id,timestamp" lines.
+Status WriteEventStreamCsv(const std::string& path,
+                           const EventStream& stream);
+
+/// Parses CSV text (same dialect) from memory; used by the file
+/// reader and directly testable.
+Result<EventStream> ParseEventStreamCsv(const std::string& text);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_STREAM_CSV_IO_H_

@@ -1,0 +1,126 @@
+#include "stream/event_stream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace bursthist {
+
+SingleEventStream::SingleEventStream(std::vector<Timestamp> times)
+    : times_(std::move(times)) {
+  assert(std::is_sorted(times_.begin(), times_.end()));
+}
+
+void SingleEventStream::Append(Timestamp t) {
+  assert(times_.empty() || t >= times_.back());
+  times_.push_back(t);
+}
+
+Count SingleEventStream::CumulativeFrequency(Timestamp t) const {
+  return static_cast<Count>(
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+}
+
+Count SingleEventStream::Frequency(Timestamp t1, Timestamp t2) const {
+  if (t2 < t1) return 0;
+  auto lo = std::lower_bound(times_.begin(), times_.end(), t1);
+  auto hi = std::upper_bound(times_.begin(), times_.end(), t2);
+  return static_cast<Count>(hi - lo);
+}
+
+Count SingleEventStream::BurstFrequency(Timestamp t, Timestamp tau) const {
+  // bf(t) = F(t) - F(t - tau): occurrences in (t - tau, t].
+  return CumulativeFrequency(t) - CumulativeFrequency(t - tau);
+}
+
+Burstiness SingleEventStream::BurstinessAt(Timestamp t, Timestamp tau) const {
+  const auto f0 = static_cast<Burstiness>(CumulativeFrequency(t));
+  const auto f1 = static_cast<Burstiness>(CumulativeFrequency(t - tau));
+  const auto f2 = static_cast<Burstiness>(CumulativeFrequency(t - 2 * tau));
+  return f0 - 2 * f1 + f2;
+}
+
+EventStream::EventStream(std::vector<EventRecord> records)
+    : records_(std::move(records)) {
+  assert(std::is_sorted(
+      records_.begin(), records_.end(),
+      [](const EventRecord& a, const EventRecord& b) { return a.time < b.time; }));
+}
+
+void EventStream::Append(EventId id, Timestamp t) {
+  assert(records_.empty() || t >= records_.back().time);
+  records_.push_back(EventRecord{id, t});
+}
+
+EventId EventStream::MaxIdPlusOne() const {
+  EventId m = 0;
+  for (const auto& r : records_) m = std::max(m, r.id + 1);
+  return m;
+}
+
+EventStream EventStream::Slice(Timestamp t1, Timestamp t2) const {
+  auto lo = std::lower_bound(
+      records_.begin(), records_.end(), t1,
+      [](const EventRecord& r, Timestamp t) { return r.time < t; });
+  auto hi = std::upper_bound(
+      records_.begin(), records_.end(), t2,
+      [](Timestamp t, const EventRecord& r) { return t < r.time; });
+  if (hi < lo) hi = lo;
+  return EventStream(std::vector<EventRecord>(lo, hi));
+}
+
+SingleEventStream EventStream::Project(EventId e) const {
+  std::vector<Timestamp> times;
+  for (const auto& r : records_) {
+    if (r.id == e) times.push_back(r.time);
+  }
+  return SingleEventStream(std::move(times));
+}
+
+Result<std::vector<SingleEventStream>> EventStream::SplitById(EventId k) const {
+  std::vector<std::vector<Timestamp>> buckets(k);
+  for (const auto& r : records_) {
+    if (r.id >= k) {
+      return Status::InvalidArgument("event id out of range in SplitById");
+    }
+    buckets[r.id].push_back(r.time);
+  }
+  std::vector<SingleEventStream> out;
+  out.reserve(k);
+  for (auto& b : buckets) out.emplace_back(std::move(b));
+  return out;
+}
+
+EventStream MergeStreams(const std::vector<SingleEventStream>& streams) {
+  // K-way merge over per-event sorted timestamp lists.
+  struct Head {
+    Timestamp t;
+    EventId id;
+    size_t pos;
+  };
+  auto cmp = [](const Head& a, const Head& b) { return a.t > b.t; };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+
+  size_t total = 0;
+  for (EventId e = 0; e < streams.size(); ++e) {
+    total += streams[e].size();
+    if (!streams[e].empty()) {
+      heap.push(Head{streams[e].times()[0], e, 0});
+    }
+  }
+
+  std::vector<EventRecord> records;
+  records.reserve(total);
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    records.push_back(EventRecord{h.id, h.t});
+    const auto& times = streams[h.id].times();
+    if (h.pos + 1 < times.size()) {
+      heap.push(Head{times[h.pos + 1], h.id, h.pos + 1});
+    }
+  }
+  return EventStream(std::move(records));
+}
+
+}  // namespace bursthist

@@ -1,0 +1,104 @@
+// Event streams (Section II-A of the paper).
+//
+// EventStream is the general mixed-event stream S: (id, timestamp)
+// pairs with non-decreasing timestamps. SingleEventStream is the
+// special case S_e: an ordered multiset of timestamps for one event.
+// Both support exact frequency / burst-frequency / burstiness queries
+// by binary search, which is the paper's naive baseline (Section II-B)
+// and our ground truth.
+
+#ifndef BURSTHIST_STREAM_EVENT_STREAM_H_
+#define BURSTHIST_STREAM_EVENT_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/types.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Ordered multiset of timestamps for a single event (S_e). Duplicated
+/// timestamps are allowed (same event mentioned by several messages at
+/// the same instant).
+class SingleEventStream {
+ public:
+  SingleEventStream() = default;
+
+  /// Constructs from timestamps; they must be non-decreasing.
+  explicit SingleEventStream(std::vector<Timestamp> times);
+
+  /// Appends an occurrence. Precondition: t >= last appended time.
+  void Append(Timestamp t);
+
+  /// Number of occurrences N.
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  const std::vector<Timestamp>& times() const { return times_; }
+
+  /// Cumulative frequency F(t) = |{ t_i <= t }|.
+  Count CumulativeFrequency(Timestamp t) const;
+
+  /// Frequency in [t1, t2]: f(t1, t2) = F(t2) - F(t1 - 1).
+  Count Frequency(Timestamp t1, Timestamp t2) const;
+
+  /// Burst frequency bf(t) = f(t - tau, t) (paper: frequency in the
+  /// closed-open convention F(t) - F(t - tau)).
+  Count BurstFrequency(Timestamp t, Timestamp tau) const;
+
+  /// Exact burstiness b(t) = F(t) - 2 F(t - tau) + F(t - 2 tau).
+  Burstiness BurstinessAt(Timestamp t, Timestamp tau) const;
+
+  /// Heap bytes used (the naive baseline's space cost, O(N)).
+  size_t SizeBytes() const { return times_.size() * sizeof(Timestamp); }
+
+ private:
+  std::vector<Timestamp> times_;
+};
+
+/// General event stream S with mixed event ids, ordered by timestamp.
+class EventStream {
+ public:
+  EventStream() = default;
+
+  /// Constructs from records; timestamps must be non-decreasing.
+  explicit EventStream(std::vector<EventRecord> records);
+
+  /// Appends a record. Precondition: time >= last appended time.
+  void Append(EventId id, Timestamp t);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<EventRecord>& records() const { return records_; }
+
+  /// Earliest / latest timestamp; preconditions: !empty().
+  Timestamp MinTime() const { return records_.front().time; }
+  Timestamp MaxTime() const { return records_.back().time; }
+
+  /// Largest event id + 1 observed (a lower bound for K).
+  EventId MaxIdPlusOne() const;
+
+  /// Extracts the temporal substream S[t1, t2] (inclusive range).
+  EventStream Slice(Timestamp t1, Timestamp t2) const;
+
+  /// Extracts the single-event stream S_e.
+  SingleEventStream Project(EventId e) const;
+
+  /// Splits into one SingleEventStream per id in [0, k). Ids >= k are
+  /// rejected with InvalidArgument.
+  Result<std::vector<SingleEventStream>> SplitById(EventId k) const;
+
+  size_t SizeBytes() const { return records_.size() * sizeof(EventRecord); }
+
+ private:
+  std::vector<EventRecord> records_;
+};
+
+/// Merges per-event streams into one timestamp-ordered EventStream.
+/// `streams[i]` becomes event id i.
+EventStream MergeStreams(const std::vector<SingleEventStream>& streams);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_STREAM_EVENT_STREAM_H_

@@ -1,0 +1,78 @@
+#include "stream/frequency_curve.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bursthist {
+
+FrequencyCurve::FrequencyCurve(const SingleEventStream& stream) {
+  const auto& times = stream.times();
+  points_.reserve(times.size());
+  Count running = 0;
+  for (size_t i = 0; i < times.size();) {
+    size_t j = i;
+    while (j < times.size() && times[j] == times[i]) ++j;
+    running += static_cast<Count>(j - i);
+    points_.push_back(CurvePoint{times[i], running});
+    i = j;
+  }
+}
+
+FrequencyCurve::FrequencyCurve(std::vector<CurvePoint> points)
+    : points_(std::move(points)) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].time > points_[i - 1].time);
+    assert(points_[i].count > points_[i - 1].count);
+  }
+#endif
+}
+
+Count FrequencyCurve::Evaluate(Timestamp t) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Timestamp v, const CurvePoint& p) { return v < p.time; });
+  if (it == points_.begin()) return 0;
+  return std::prev(it)->count;
+}
+
+Burstiness FrequencyCurve::BurstinessAt(Timestamp t, Timestamp tau) const {
+  const auto f0 = static_cast<Burstiness>(Evaluate(t));
+  const auto f1 = static_cast<Burstiness>(Evaluate(t - tau));
+  const auto f2 = static_cast<Burstiness>(Evaluate(t - 2 * tau));
+  return f0 - 2 * f1 + f2;
+}
+
+std::vector<CurvePoint> FrequencyCurve::AugmentedPoints() const {
+  std::vector<CurvePoint> out;
+  out.reserve(points_.size() * 2);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0 && points_[i].time > points_[i - 1].time + 1) {
+      out.push_back(CurvePoint{points_[i].time - 1, points_[i - 1].count});
+    }
+    out.push_back(points_[i]);
+  }
+  return out;
+}
+
+double FrequencyCurve::AreaAbove(const FrequencyCurve& approx,
+                                 Timestamp horizon) const {
+  if (points_.empty()) return 0.0;
+  assert(horizon >= points_.back().time);
+  double area = 0.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Timestamp begin = points_[i].time;
+    const Timestamp end =
+        (i + 1 < points_.size()) ? points_[i + 1].time : horizon;
+    // Our value is constant on [begin, end); the approximation may have
+    // its own breakpoints inside, so walk unit steps only when needed.
+    // Approximations in this library are staircases with corner points
+    // that are subsets of ours, so they are also constant here.
+    const double diff = static_cast<double>(points_[i].count) -
+                        static_cast<double>(approx.Evaluate(begin));
+    area += diff * static_cast<double>(end - begin);
+  }
+  return area;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,72 @@
+// The exact cumulative-frequency staircase curve F(t) (Section III).
+//
+// F(t) is represented by its left-upper corner points
+// P_F = {p_0 .. p_{n-1}}, p_i = (t_i, F(t_i)) with strictly increasing
+// coordinates in both axes. n (the number of *distinct* timestamps) can
+// be much smaller than the stream size N.
+
+#ifndef BURSTHIST_STREAM_FREQUENCY_CURVE_H_
+#define BURSTHIST_STREAM_FREQUENCY_CURVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// One corner point of a staircase curve: the curve takes value `count`
+/// on [time, next point's time).
+struct CurvePoint {
+  Timestamp time;
+  Count count;
+
+  friend bool operator==(const CurvePoint&, const CurvePoint&) = default;
+};
+
+/// Immutable exact frequency curve built from a single-event stream.
+class FrequencyCurve {
+ public:
+  FrequencyCurve() = default;
+
+  /// Builds the corner points from an ordered timestamp multiset.
+  explicit FrequencyCurve(const SingleEventStream& stream);
+
+  /// Builds directly from corner points (must be strictly increasing in
+  /// time and count).
+  explicit FrequencyCurve(std::vector<CurvePoint> points);
+
+  /// Number of corner points n = |F(t)|.
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<CurvePoint>& points() const { return points_; }
+
+  /// F(t): value of the last corner point at or before t; 0 before the
+  /// first point.
+  Count Evaluate(Timestamp t) const;
+
+  /// Exact burstiness b(t) = F(t) - 2 F(t-tau) + F(t-2tau).
+  Burstiness BurstinessAt(Timestamp t, Timestamp tau) const;
+
+  /// The augmented point set of Section III-B: before every rise point
+  /// p_i (i >= 1), insert (t_i - 1, F(t_i - 1)) — the level right
+  /// before the staircase rises. Output size is at most 2n and the
+  /// times remain strictly increasing (consecutive-timestamp rises do
+  /// not duplicate points).
+  std::vector<CurvePoint> AugmentedPoints() const;
+
+  /// Area between this curve and an always-lower approximation, both
+  /// extended to `horizon` (>= last time):
+  ///   sum over unit timestamps t in [first time, horizon) of
+  ///   F(t) - G(t), where G is evaluated through `approx`.
+  /// Used to verify optimality of the PBE-1 dynamic program.
+  double AreaAbove(const FrequencyCurve& approx, Timestamp horizon) const;
+
+ private:
+  std::vector<CurvePoint> points_;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_STREAM_FREQUENCY_CURVE_H_

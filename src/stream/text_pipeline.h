@@ -1,0 +1,83 @@
+// The message -> event-id black box of Section II-A.
+//
+// The paper assumes a hash h mapping each raw message m_i to one or
+// more event ids ("h can be as simple as using the hashtag of a
+// message m, or a sophisticated topic modeling method"), e.g. both
+//   "LBC homeboy stoked to see Brasil wins"
+//   "#brasil #gold #Olympics2016"
+// map to the Rio soccer-final event. This module provides the simple
+// end of that spectrum: tokenization, hashtag extraction, a curated
+// keyword -> id table (so differently-worded mentions of one event
+// collapse to one id), and a deterministic hash fallback into [0, K)
+// for everything else.
+
+#ifndef BURSTHIST_STREAM_TEXT_PIPELINE_H_
+#define BURSTHIST_STREAM_TEXT_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/event_stream.h"
+#include "stream/types.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// One raw element of the information stream M.
+struct Message {
+  std::string text;
+  Timestamp time = 0;
+};
+
+/// Lowercases ASCII letters (the pipeline is case-insensitive).
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on non-alphanumeric characters (keeping '#' prefixes);
+/// returns lowercased tokens. "#Brasil wins!!" -> {"#brasil", "wins"}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// The "#..." tokens of a message, lowercased, in order of appearance.
+std::vector<std::string> ExtractHashtags(std::string_view text);
+
+/// Maps messages to event ids in [0, universe_size).
+class EventIdMapper {
+ public:
+  /// @param universe_size  K = |Sigma|; must be >= 1.
+  /// @param seed           fallback-hash seed.
+  explicit EventIdMapper(EventId universe_size, uint64_t seed = 0x7091cULL);
+
+  /// Binds a keyword or hashtag (matched as a whole lowercased token)
+  /// to a specific event id. Rebinding an existing keyword replaces
+  /// the binding. Fails if id >= universe size.
+  Status BindKeyword(std::string_view keyword, EventId id);
+
+  /// Event ids mentioned by a message: the ids of all bound tokens,
+  /// plus — when the message has hashtags but none of them is bound —
+  /// the hash-fallback id of each unbound hashtag. Returned sorted
+  /// and deduplicated; empty if the message carries no signal (no
+  /// bound token and no hashtag).
+  std::vector<EventId> MapMessage(std::string_view text) const;
+
+  /// The fallback id a raw tag maps to (exposed for tests).
+  EventId FallbackId(std::string_view token) const;
+
+  EventId universe_size() const { return universe_size_; }
+  size_t bound_keywords() const { return bindings_.size(); }
+
+ private:
+  EventId universe_size_;
+  uint64_t seed_;
+  std::unordered_map<std::string, EventId> bindings_;
+};
+
+/// Applies a mapper to a timestamp-ordered message stream, emitting
+/// one (id, t) element per mentioned event (a message discussing k
+/// events contributes k stream elements, as in Section II-A).
+EventStream ProcessMessages(const EventIdMapper& mapper,
+                            const std::vector<Message>& messages);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_STREAM_TEXT_PIPELINE_H_

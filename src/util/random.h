@@ -1,0 +1,51 @@
+// Deterministic pseudo-random substrate.
+//
+// Every stochastic component in the library (hash-family seeding,
+// workload generation, query sampling) draws from Xoshiro256**, a
+// small, fast, high-quality generator, seeded explicitly so each
+// experiment is exactly reproducible.
+
+#ifndef BURSTHIST_UTIL_RANDOM_H_
+#define BURSTHIST_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace bursthist {
+
+/// Xoshiro256** by Blackman & Vigna; seeded via SplitMix64.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed. Equal seeds produce
+  /// identical sequences on all platforms.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Poisson-distributed count with the given mean (>= 0). Uses
+  /// Knuth's method for small means and a normal approximation with
+  /// rounding for large ones; adequate for workload synthesis.
+  uint64_t NextPoisson(double mean);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Splits off an independent generator (hash-mixed substream).
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// SplitMix64 finalizer — also reusable as a 64-bit mixing function.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_UTIL_RANDOM_H_

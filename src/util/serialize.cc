@@ -1,0 +1,43 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+
+namespace bursthist {
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for write: " + path);
+  }
+  size_t written = bytes.empty()
+                       ? 0
+                       : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int rc = std::fclose(f);
+  if (written != bytes.size() || rc != 0) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("ftell failed: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    return Status::Corruption("short read: " + path);
+  }
+  return bytes;
+}
+
+}  // namespace bursthist

@@ -1,0 +1,115 @@
+// Lightweight status / result types for fallible library operations.
+//
+// The library does not throw exceptions across its public boundary:
+// fallible operations (deserialization, option validation, file I/O)
+// return a Status or a Result<T>, in the style of RocksDB / Abseil.
+
+#ifndef BURSTHIST_UTIL_STATUS_H_
+#define BURSTHIST_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bursthist {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCorruption,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. On error the value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bursthist
+
+/// Propagates a non-OK status to the caller.
+#define BURSTHIST_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::bursthist::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // BURSTHIST_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Wall-clock stopwatch for construction/query timing in benches.
+
+#ifndef BURSTHIST_UTIL_STOPWATCH_H_
+#define BURSTHIST_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bursthist {
+
+/// Measures elapsed wall time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed microseconds since start.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_UTIL_STOPWATCH_H_

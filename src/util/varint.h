@@ -1,0 +1,68 @@
+// Variable-length integer coding (LEB128) and zig-zag mapping.
+//
+// The persistent models are sequences of monotonically increasing
+// timestamps and counts; delta + varint coding shrinks them 2-4x
+// compared to fixed-width fields. BinaryWriter/Reader gain
+// PutVarint / GetVarint built on these primitives.
+
+#ifndef BURSTHIST_UTIL_VARINT_H_
+#define BURSTHIST_UTIL_VARINT_H_
+
+#include <cstdint>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Maps signed to unsigned so small-magnitude values stay short:
+/// 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Appends v as LEB128 (1-10 bytes).
+inline void PutVarint(BinaryWriter* w, uint64_t v) {
+  while (v >= 0x80) {
+    w->Put<uint8_t>(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w->Put<uint8_t>(static_cast<uint8_t>(v));
+}
+
+/// Appends a signed value via zig-zag + LEB128.
+inline void PutSignedVarint(BinaryWriter* w, int64_t v) {
+  PutVarint(w, ZigZagEncode(v));
+}
+
+/// Reads a LEB128 value; Corruption on truncation or overlong (>10
+/// byte) encodings.
+inline Status GetVarint(BinaryReader* r, uint64_t* out) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    uint8_t byte = 0;
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&byte));
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("overlong varint");
+}
+
+inline Status GetSignedVarint(BinaryReader* r, int64_t* out) {
+  uint64_t u = 0;
+  BURSTHIST_RETURN_IF_ERROR(GetVarint(r, &u));
+  *out = ZigZagDecode(u);
+  return Status::OK();
+}
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_UTIL_VARINT_H_

@@ -1,0 +1,199 @@
+// Unit tests for the Section VII comparator detectors: Kleinberg's
+// 2-state automaton, the MACD trending score, and dyadic-window
+// elevated-count detection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/kleinberg.h"
+#include "baselines/macd.h"
+#include "baselines/window_burst.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+// Sparse background (one arrival / 100 time units) with a dense storm
+// (one arrival / unit) in [5000, 5200).
+SingleEventStream StormStream() {
+  std::vector<Timestamp> times;
+  for (Timestamp t = 0; t < 10000; t += 100) times.push_back(t);
+  for (Timestamp t = 5000; t < 5200; ++t) times.push_back(t);
+  std::sort(times.begin(), times.end());
+  return SingleEventStream(std::move(times));
+}
+
+// A steady stream with no structure at all.
+SingleEventStream SteadyStream(Timestamp gap, size_t n) {
+  std::vector<Timestamp> times;
+  for (size_t i = 0; i < n; ++i) {
+    times.push_back(static_cast<Timestamp>(i) * gap);
+  }
+  return SingleEventStream(std::move(times));
+}
+
+// --- Kleinberg ----------------------------------------------------------
+
+TEST(KleinbergTest, DetectsTheStorm) {
+  auto s = StormStream();
+  auto bursts = KleinbergBursts(s, KleinbergOptions{});
+  ASSERT_FALSE(bursts.empty());
+  EXPECT_TRUE(Covers(bursts, 5100));
+  EXPECT_FALSE(Covers(bursts, 2000));
+  EXPECT_FALSE(Covers(bursts, 8000));
+}
+
+TEST(KleinbergTest, SteadyStreamHasNoBursts) {
+  auto s = SteadyStream(50, 200);
+  EXPECT_TRUE(KleinbergBursts(s, KleinbergOptions{}).empty());
+}
+
+TEST(KleinbergTest, HigherGammaFewerBursts) {
+  auto s = StormStream();
+  KleinbergOptions cheap;
+  cheap.gamma = 0.1;
+  KleinbergOptions pricey;
+  pricey.gamma = 20.0;
+  size_t covered_cheap = 0, covered_pricey = 0;
+  for (const auto& iv : KleinbergBursts(s, cheap)) {
+    covered_cheap += static_cast<size_t>(iv.end - iv.begin + 1);
+  }
+  for (const auto& iv : KleinbergBursts(s, pricey)) {
+    covered_pricey += static_cast<size_t>(iv.end - iv.begin + 1);
+  }
+  EXPECT_GE(covered_cheap, covered_pricey);
+}
+
+TEST(KleinbergTest, DegenerateStreams) {
+  EXPECT_TRUE(KleinbergBursts(SingleEventStream{}, {}).empty());
+  EXPECT_TRUE(KleinbergBursts(SingleEventStream({5}), {}).empty());
+  EXPECT_TRUE(KleinbergStates(SingleEventStream({5, 5}), {}).size() == 1);
+}
+
+TEST(KleinbergTest, StatesAlignWithGaps) {
+  auto s = StormStream();
+  auto states = KleinbergStates(s, KleinbergOptions{});
+  EXPECT_EQ(states.size(), s.size() - 1);
+}
+
+// --- MACD ---------------------------------------------------------------
+
+TEST(MacdTest, SeriesCoversSupportAndCounts) {
+  auto s = StormStream();
+  MacdOptions o;
+  o.bucket_width = 100;
+  auto series = MacdSeries(s, o);
+  ASSERT_EQ(series.size(), 100u);  // support [0, 10000) at width 100
+  double total = 0.0;
+  for (const auto& p : series) total += p.count;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(s.size()));
+}
+
+TEST(MacdTest, ScoreRisesAtTheStorm) {
+  auto s = StormStream();
+  MacdOptions o;
+  o.bucket_width = 100;
+  auto series = MacdSeries(s, o);
+  double peak = 0.0;
+  Timestamp peak_at = 0;
+  for (const auto& p : series) {
+    if (p.score > peak) {
+      peak = p.score;
+      peak_at = p.bucket_start;
+    }
+  }
+  EXPECT_GE(peak_at, 4900);
+  EXPECT_LE(peak_at, 5400);
+  EXPECT_GT(peak, 1.0);
+}
+
+TEST(MacdTest, BurstsMatchThresholdedSeries) {
+  auto s = StormStream();
+  MacdOptions o;
+  o.bucket_width = 100;
+  const double threshold = 2.0;
+  auto bursts = MacdBursts(s, o, threshold);
+  for (const auto& p : MacdSeries(s, o)) {
+    EXPECT_EQ(Covers(bursts, p.bucket_start), p.score >= threshold)
+        << "bucket " << p.bucket_start;
+  }
+}
+
+TEST(MacdTest, SteadyStreamScoresNearZero) {
+  auto s = SteadyStream(10, 500);
+  MacdOptions o;
+  o.bucket_width = 100;  // exactly 10 per bucket
+  for (const auto& p : MacdSeries(s, o)) {
+    EXPECT_NEAR(p.score, 0.0, 1e-9);
+  }
+}
+
+TEST(MacdTest, EmptyStream) {
+  EXPECT_TRUE(MacdSeries(SingleEventStream{}, {}).empty());
+  EXPECT_TRUE(MacdBursts(SingleEventStream{}, {}, 0.5).empty());
+}
+
+// --- Window bursts --------------------------------------------------------
+
+TEST(WindowBurstTest, BucketCountsHelper) {
+  SingleEventStream s({100, 150, 199, 200, 350});
+  Timestamp origin = 0;
+  auto counts = BucketCounts(s, 100, &origin);
+  EXPECT_EQ(origin, 100);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(counts[0], 3.0);
+  EXPECT_DOUBLE_EQ(counts[1], 1.0);
+  EXPECT_DOUBLE_EQ(counts[2], 1.0);
+}
+
+TEST(WindowBurstTest, DetectsTheStorm) {
+  auto s = StormStream();
+  WindowBurstOptions o;
+  o.bucket_width = 100;
+  o.scales = 4;
+  o.k_sigma = 3.0;
+  auto bursts = WindowBursts(s, o);
+  ASSERT_FALSE(bursts.empty());
+  EXPECT_TRUE(Covers(bursts, 5100));
+  EXPECT_FALSE(Covers(bursts, 1000));
+}
+
+TEST(WindowBurstTest, SteadyStreamClean) {
+  auto s = SteadyStream(10, 1000);
+  WindowBurstOptions o;
+  o.bucket_width = 100;
+  EXPECT_TRUE(WindowBursts(s, o).empty());
+}
+
+TEST(WindowBurstTest, VolumeNotAcceleration) {
+  // High-but-stable plateau: elevated-volume detectors flag it even
+  // though the paper's burstiness is ~0 inside the plateau (the
+  // definitional difference Section II calls out).
+  std::vector<Timestamp> times;
+  for (Timestamp t = 0; t < 4000; t += 40) times.push_back(t);
+  for (Timestamp t = 4000; t < 6000; t += 2) times.push_back(t);
+  for (Timestamp t = 6000; t < 10000; t += 40) times.push_back(t);
+  SingleEventStream s(std::move(times));
+
+  WindowBurstOptions o;
+  o.bucket_width = 100;
+  o.scales = 3;
+  // The plateau spans 20% of the stream, inflating the global stddev;
+  // a softer bound keeps the detector sensitive to it.
+  o.k_sigma = 1.5;
+  auto flagged = WindowBursts(s, o);
+  EXPECT_TRUE(Covers(flagged, 5000));  // mid-plateau: flagged
+
+  // Exact burstiness mid-plateau with a window well inside it is ~0.
+  EXPECT_NEAR(static_cast<double>(s.BurstinessAt(5500, 500)), 0.0, 15.0);
+  // ... but is strongly positive at the plateau's onset.
+  EXPECT_GT(s.BurstinessAt(4450, 450), 100);
+}
+
+TEST(WindowBurstTest, EmptyStream) {
+  EXPECT_TRUE(WindowBursts(SingleEventStream{}, {}).empty());
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,188 @@
+// Unit tests for the BurstEngine façade.
+
+#include <gtest/gtest.h>
+
+#include "core/burst_engine.h"
+#include "eval/metrics.h"
+#include "stream/text_pipeline.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+BurstEngineOptions<Pbe1> SmallOptions(EventId k) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = k;
+  o.grid.depth = 4;
+  o.grid.width = 128;
+  o.cell.buffer_points = 128;
+  o.cell.budget_points = 64;
+  return o;
+}
+
+TEST(BurstEngineTest, ValidatesAppends) {
+  BurstEngine1 engine(SmallOptions(8));
+  EXPECT_TRUE(engine.Append(0, 10).ok());
+  EXPECT_EQ(engine.Append(8, 11).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Append(1, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(engine.Append(1, 10).ok());  // equal time is fine
+  engine.Finalize();
+  EXPECT_EQ(engine.Append(1, 20).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.TotalCount(), 2u);
+}
+
+TEST(BurstEngineTest, ThreeQueryTypesEndToEnd) {
+  const EventId k = 16;
+  BurstEngine1 engine(SmallOptions(k));
+  // Event 3 bursts at t in [500, 550); everything else trickles.
+  Rng rng(5);
+  EventStream stream;
+  Timestamp t = 0;
+  while (t < 1000) {
+    stream.Append(static_cast<EventId>(rng.NextBelow(k)), t);
+    t += 5 + static_cast<Timestamp>(rng.NextBelow(10));
+  }
+  std::vector<SingleEventStream> split = {};
+  // Merge in the burst.
+  EventStream merged;
+  size_t si = 0;
+  for (Timestamp bt = 0; bt < 1000; ++bt) {
+    while (si < stream.size() && stream.records()[si].time <= bt) {
+      merged.Append(stream.records()[si].id, stream.records()[si].time);
+      ++si;
+    }
+    if (bt >= 500 && bt < 550) {
+      merged.Append(3, bt);
+      merged.Append(3, bt);
+    }
+  }
+  ASSERT_TRUE(engine.AppendStream(merged).ok());
+  engine.Finalize();
+
+  const Timestamp tau = 50;
+  // POINT: event 3 accelerates hard at t=549.
+  EXPECT_GT(engine.PointQuery(3, 549, tau), 50.0);
+  EXPECT_LT(engine.PointQuery(5, 549, tau), 20.0);
+
+  // BURSTY TIME: the burst window is reported for event 3.
+  auto when = engine.BurstyTimeQuery(3, 50.0, tau);
+  ASSERT_FALSE(when.empty());
+  EXPECT_TRUE(Covers(when, 549));
+  EXPECT_FALSE(Covers(when, 300));
+
+  // BURSTY EVENT: only event 3 at the burst peak.
+  auto what = engine.BurstyEventQuery(549, 50.0, tau);
+  EXPECT_EQ(what, (std::vector<EventId>{3}));
+  EXPECT_GT(engine.LastQueryPointQueries(), 0u);
+  (void)split;
+}
+
+TEST(BurstEngineTest, CumulativeQueryTracksTruth) {
+  BurstEngine1 engine(SmallOptions(4));
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(engine.Append(2, t).ok());
+  }
+  engine.Finalize();
+  EXPECT_NEAR(engine.CumulativeQuery(2, 99), 100.0, 1.0);
+  EXPECT_NEAR(engine.CumulativeQuery(2, 49), 50.0, 1.0);
+  EXPECT_EQ(engine.CumulativeQuery(1, 99), 0.0);
+}
+
+TEST(BurstEngineTest, FrequencyQueryRanges) {
+  auto options = SmallOptions(4);
+  options.cell.buffer_points = 256;
+  options.cell.budget_points = 256;  // lossless: ranges are exact
+  BurstEngine1 engine(options);
+  // One arrival at each even timestamp in [0, 200).
+  for (Timestamp t = 0; t < 200; t += 2) {
+    ASSERT_TRUE(engine.Append(1, t).ok());
+  }
+  engine.Finalize();
+  EXPECT_NEAR(engine.FrequencyQuery(1, 0, 199), 100.0, 1e-9);
+  EXPECT_NEAR(engine.FrequencyQuery(1, 100, 199), 50.0, 1e-9);
+  EXPECT_NEAR(engine.FrequencyQuery(1, 10, 10), 1.0, 1e-9);
+  EXPECT_NEAR(engine.FrequencyQuery(1, 11, 11), 0.0, 1e-9);
+  EXPECT_EQ(engine.FrequencyQuery(1, 50, 40), 0.0);  // inverted range
+  EXPECT_EQ(engine.FrequencyQuery(3, 0, 199), 0.0);  // absent event
+  // Consistency with the underlying burst frequency: bf(t) with span
+  // tau equals f(t - tau + 1, t).
+  EXPECT_NEAR(engine.FrequencyQuery(1, 101, 150),
+              engine.CumulativeQuery(1, 150) - engine.CumulativeQuery(1, 100),
+              1e-9);
+}
+
+TEST(BurstEngineTest, Pbe2VariantWorks) {
+  BurstEngineOptions<Pbe2> o;
+  o.universe_size = 8;
+  o.grid.depth = 3;
+  o.grid.width = 32;
+  o.cell.gamma = 2.0;
+  BurstEngine2 engine(o);
+  for (Timestamp t = 0; t < 200; t += 2) {
+    ASSERT_TRUE(engine.Append(1, t).ok());
+  }
+  engine.Finalize();
+  EXPECT_NEAR(engine.CumulativeQuery(1, 199), 100.0, o.cell.gamma + 1e-6);
+  auto when = engine.BurstyTimeQuery(1, 1000.0, 20);
+  EXPECT_TRUE(when.empty());  // steady stream: no bursts
+}
+
+TEST(BurstEngineTest, SerializationRoundTrip) {
+  const EventId k = 32;
+  BurstEngine1 a(SmallOptions(k));
+  Rng rng(9);
+  Timestamp t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    ASSERT_TRUE(a.Append(static_cast<EventId>(rng.NextBelow(k)), t).ok());
+  }
+  a.Finalize();
+
+  BinaryWriter w;
+  a.Serialize(&w);
+  BurstEngine1 b(SmallOptions(k));
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(b.Deserialize(&r).ok());
+  EXPECT_EQ(b.TotalCount(), a.TotalCount());
+  EXPECT_TRUE(b.finalized());
+  for (EventId e = 0; e < k; ++e) {
+    for (Timestamp q = 0; q <= t; q += 97) {
+      EXPECT_DOUBLE_EQ(b.PointQuery(e, q, 50), a.PointQuery(e, q, 50));
+    }
+  }
+}
+
+TEST(BurstEngineTest, DeserializeRejectsShapeMismatch) {
+  BurstEngine1 a(SmallOptions(32));
+  a.Finalize();
+  BinaryWriter w;
+  a.Serialize(&w);
+  BurstEngine1 b(SmallOptions(64));  // different universe
+  BinaryReader r(w.bytes());
+  EXPECT_FALSE(b.Deserialize(&r).ok());
+}
+
+TEST(BurstEngineTest, TextPipelineToEngine) {
+  // End-to-end from raw messages to a burst query.
+  EventIdMapper mapper(64);
+  ASSERT_TRUE(mapper.BindKeyword("#earthquake", 7).ok());
+  std::vector<Message> messages;
+  for (Timestamp t = 0; t < 300; t += 30) {
+    messages.push_back({"quiet morning #coffee", t});
+  }
+  for (Timestamp t = 300; t < 330; ++t) {
+    messages.push_back({"#earthquake just hit!", t});
+    messages.push_back({"did you feel the #earthquake ?", t});
+  }
+  EventStream stream = ProcessMessages(mapper, messages);
+
+  BurstEngine1 engine(SmallOptions(64));
+  ASSERT_TRUE(engine.AppendStream(stream).ok());
+  engine.Finalize();
+  EXPECT_GT(engine.PointQuery(7, 329, 30), 30.0);
+  auto what = engine.BurstyEventQuery(329, 30.0, 30);
+  EXPECT_EQ(what, (std::vector<EventId>{7}));
+}
+
+}  // namespace
+}  // namespace bursthist

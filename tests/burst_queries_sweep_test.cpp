@@ -1,0 +1,109 @@
+// Parameterized BURSTY TIME sweep: interval reporting must agree with
+// dense point queries for every model type across (tau, theta) grids
+// and stream shapes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/burst_queries.h"
+#include "core/exact_store.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+struct QueryParam {
+  Timestamp tau;
+  double theta;
+  uint64_t seed;
+  bool spiky;  // stream shape
+};
+
+SingleEventStream MakeStream(const QueryParam& p) {
+  Rng rng(p.seed);
+  std::vector<Timestamp> times;
+  Timestamp t = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (p.spiky && (i / 60) % 2 == 1) {
+      t += static_cast<Timestamp>(rng.NextBelow(2));
+    } else {
+      t += 1 + static_cast<Timestamp>(rng.NextBelow(12));
+    }
+    times.push_back(t);
+  }
+  return SingleEventStream(std::move(times));
+}
+
+class BurstyTimeSweep : public ::testing::TestWithParam<QueryParam> {};
+
+template <typename Model>
+void CheckAgainstDense(const Model& model, Timestamp tau, double theta,
+                       Timestamp hi) {
+  auto intervals = BurstyTimes(model, theta, tau);
+  // Intervals are sorted, disjoint, non-adjacent.
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    EXPECT_LE(intervals[i].begin, intervals[i].end);
+    if (i > 0) {
+      EXPECT_GT(intervals[i].begin, intervals[i - 1].end + 1);
+    }
+  }
+  for (Timestamp t = 0; t <= hi; ++t) {
+    EXPECT_EQ(Covers(intervals, t),
+              model.EstimateBurstiness(t, tau) >= theta)
+        << "t=" << t << " tau=" << tau << " theta=" << theta;
+  }
+}
+
+TEST_P(BurstyTimeSweep, ExactModelAgrees) {
+  const auto p = GetParam();
+  auto s = MakeStream(p);
+  ExactEventModel model(&s);
+  CheckAgainstDense(model, p.tau, p.theta, s.times().back() + 2 * p.tau + 2);
+}
+
+TEST_P(BurstyTimeSweep, Pbe1Agrees) {
+  const auto p = GetParam();
+  auto s = MakeStream(p);
+  Pbe1Options o;
+  o.buffer_points = 64;
+  o.budget_points = 16;
+  Pbe1 pbe(o);
+  for (Timestamp t : s.times()) pbe.Append(t);
+  pbe.Finalize();
+  CheckAgainstDense(pbe, p.tau, p.theta, s.times().back() + 2 * p.tau + 2);
+}
+
+TEST_P(BurstyTimeSweep, Pbe2Agrees) {
+  const auto p = GetParam();
+  auto s = MakeStream(p);
+  Pbe2Options o;
+  o.gamma = 3.0;
+  Pbe2 pbe(o);
+  for (Timestamp t : s.times()) pbe.Append(t);
+  pbe.Finalize();
+  CheckAgainstDense(pbe, p.tau, p.theta, s.times().back() + 2 * p.tau + 2);
+}
+
+std::vector<QueryParam> Params() {
+  return {
+      {1, 1.0, 21, true},    {1, 1.0, 22, false},
+      {5, 2.0, 23, true},    {5, 8.0, 24, true},
+      {25, 4.0, 25, true},   {25, 20.0, 26, false},
+      {100, 10.0, 27, true}, {100, 0.5, 28, true},
+      {400, 5.0, 29, true},  {7, 3.5, 30, false},
+  };
+}
+
+std::string Name(const ::testing::TestParamInfo<QueryParam>& info) {
+  return "tau" + std::to_string(info.param.tau) + "_idx" +
+         std::to_string(info.index);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BurstyTimeSweep, ::testing::ValuesIn(Params()),
+                         Name);
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,142 @@
+// Unit tests for the BURSTY TIME query machinery (Section V).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "core/exact_store.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "stream/event_stream.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+// Brute-force reference: evaluate the model at every timestamp.
+template <typename Model>
+std::vector<TimeInterval> BruteForceBurstyTimes(const Model& model,
+                                                double theta, Timestamp tau,
+                                                Timestamp lo, Timestamp hi) {
+  std::vector<TimeInterval> out;
+  for (Timestamp t = lo; t <= hi; ++t) {
+    if (model.EstimateBurstiness(t, tau) >= theta) {
+      internal::PushInterval(t, t, &out);
+    }
+  }
+  return out;
+}
+
+SingleEventStream RandomStream(size_t n, Rng* rng, Timestamp max_gap = 6) {
+  std::vector<Timestamp> times;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng->NextBelow(max_gap + 1));
+    times.push_back(t);
+  }
+  return SingleEventStream(std::move(times));
+}
+
+TEST(BurstQueriesTest, PushIntervalMergesAdjacent) {
+  std::vector<TimeInterval> out;
+  internal::PushInterval(1, 3, &out);
+  internal::PushInterval(4, 6, &out);  // adjacent -> merged
+  internal::PushInterval(9, 9, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (TimeInterval{1, 6}));
+  EXPECT_EQ(out[1], (TimeInterval{9, 9}));
+}
+
+TEST(BurstQueriesTest, BurstinessBreakpointsShifted) {
+  auto bps = internal::BurstinessBreakpoints({10, 20}, 5);
+  EXPECT_EQ(bps, (std::vector<Timestamp>{10, 15, 20, 25, 30}));
+}
+
+TEST(BurstQueriesTest, CoversHelper) {
+  std::vector<TimeInterval> ivs = {{1, 3}, {8, 8}};
+  EXPECT_TRUE(Covers(ivs, 2));
+  EXPECT_TRUE(Covers(ivs, 8));
+  EXPECT_FALSE(Covers(ivs, 5));
+  EXPECT_FALSE(Covers(ivs, 0));
+}
+
+TEST(BurstQueriesTest, ExactStoreMatchesBruteForce) {
+  Rng rng(41);
+  ExactBurstStore store(1);
+  auto s = RandomStream(200, &rng);
+  for (Timestamp t : s.times()) store.Append(0, t);
+
+  const Timestamp tau = 12;
+  const Timestamp hi = s.times().back() + 2 * tau + 3;
+  for (double theta : {1.0, 3.0, 8.0}) {
+    auto fast = store.BurstyTimes(0, theta, tau);
+    ExactEventModel model(&store.stream(0));
+    auto brute = BruteForceBurstyTimes(model, theta, tau, 0, hi);
+    EXPECT_EQ(fast, brute) << "theta=" << theta;
+  }
+}
+
+TEST(BurstQueriesTest, Pbe1MatchesBruteForce) {
+  Rng rng(43);
+  auto s = RandomStream(600, &rng);
+  Pbe1Options opt;
+  opt.buffer_points = 60;
+  opt.budget_points = 12;
+  Pbe1 pbe(opt);
+  for (Timestamp t : s.times()) pbe.Append(t);
+  pbe.Finalize();
+
+  const Timestamp tau = 15;
+  const Timestamp hi = s.times().back() + 2 * tau + 3;
+  for (double theta : {2.0, 6.0}) {
+    auto fast = BurstyTimes(pbe, theta, tau);
+    auto brute = BruteForceBurstyTimes(pbe, theta, tau, 0, hi);
+    EXPECT_EQ(fast, brute) << "theta=" << theta;
+  }
+}
+
+TEST(BurstQueriesTest, Pbe2MatchesBruteForce) {
+  Rng rng(47);
+  auto s = RandomStream(600, &rng);
+  Pbe2Options opt;
+  opt.gamma = 3.0;
+  Pbe2 pbe(opt);
+  for (Timestamp t : s.times()) pbe.Append(t);
+  pbe.Finalize();
+
+  const Timestamp tau = 10;
+  const Timestamp hi = s.times().back() + 2 * tau + 3;
+  for (double theta : {2.0, 10.0}) {
+    auto fast = BurstyTimes(pbe, theta, tau);
+    auto brute = BruteForceBurstyTimes(pbe, theta, tau, 0, hi);
+    EXPECT_EQ(fast, brute) << "theta=" << theta;
+  }
+}
+
+TEST(BurstQueriesTest, EmptyModelReportsNothing) {
+  Pbe1 pbe;
+  pbe.Finalize();
+  EXPECT_TRUE(BurstyTimes(pbe, 1.0, 5).empty());
+}
+
+TEST(BurstQueriesTest, DetectsInjectedBurstWindow) {
+  // One strong burst: the reported interval must cover its ramp.
+  ExactBurstStore store(1);
+  for (Timestamp t = 0; t < 200; t += 10) store.Append(0, t);
+  for (Timestamp t = 200; t < 240; ++t) {
+    store.Append(0, t);
+    store.Append(0, t);
+  }
+  for (Timestamp t = 240; t < 400; t += 10) store.Append(0, t);
+
+  auto intervals = store.BurstyTimes(0, /*theta=*/20.0, /*tau=*/40);
+  ASSERT_FALSE(intervals.empty());
+  // Peak acceleration is around t=239 (rate 2/s for 40s vs 0.1/s).
+  EXPECT_TRUE(Covers(intervals, 239));
+  // Quiet history is not reported.
+  EXPECT_FALSE(Covers(intervals, 100));
+}
+
+}  // namespace
+}  // namespace bursthist

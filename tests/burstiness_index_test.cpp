@@ -1,0 +1,82 @@
+// Unit tests for the pre-computed burstiness index (the indexed exact
+// baseline of Section II-B).
+
+#include <gtest/gtest.h>
+
+#include "core/burstiness_index.h"
+#include "core/exact_store.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+SingleEventStream RandomStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Timestamp> times;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(6));
+    times.push_back(t);
+  }
+  return SingleEventStream(std::move(times));
+}
+
+TEST(BurstinessIndexTest, PointValuesMatchStream) {
+  auto s = RandomStream(400, 1);
+  const Timestamp tau = 20;
+  BurstinessIndex index(s, tau);
+  for (Timestamp t = -5; t <= s.times().back() + 2 * tau + 5; ++t) {
+    EXPECT_EQ(index.BurstinessAt(t), s.BurstinessAt(t, tau)) << "t=" << t;
+  }
+}
+
+TEST(BurstinessIndexTest, BurstyTimesMatchExactStore) {
+  auto s = RandomStream(300, 3);
+  const Timestamp tau = 15;
+  BurstinessIndex index(s, tau);
+  ExactBurstStore store(1);
+  for (Timestamp t : s.times()) store.Append(0, t);
+  for (double theta : {1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_EQ(index.BurstyTimes(theta), store.BurstyTimes(0, theta, tau))
+        << "theta=" << theta;
+  }
+}
+
+TEST(BurstinessIndexTest, ThresholdAboveMaxIsEmpty) {
+  auto s = RandomStream(200, 5);
+  BurstinessIndex index(s, 10);
+  EXPECT_TRUE(
+      index.BurstyTimes(static_cast<double>(index.MaxBurstiness()) + 1.0)
+          .empty());
+  EXPECT_FALSE(
+      index.BurstyTimes(static_cast<double>(index.MaxBurstiness())).empty());
+}
+
+TEST(BurstinessIndexTest, PiecesMergeEqualNeighbours) {
+  // A perfectly steady stream has b == 0 almost everywhere; merging
+  // keeps the piece count far below 3n.
+  std::vector<Timestamp> times;
+  for (Timestamp t = 0; t < 3000; t += 10) times.push_back(t);
+  SingleEventStream s(std::move(times));
+  BurstinessIndex index(s, 10);
+  EXPECT_LT(index.piece_count(), s.size());
+}
+
+TEST(BurstinessIndexTest, EmptyStream) {
+  BurstinessIndex index(SingleEventStream{}, 10);
+  EXPECT_EQ(index.piece_count(), 0u);
+  EXPECT_EQ(index.BurstinessAt(5), 0);
+  EXPECT_TRUE(index.BurstyTimes(1.0).empty());
+  EXPECT_EQ(index.MaxBurstiness(), 0);
+}
+
+TEST(BurstinessIndexTest, FrozenTauIsTheTradeOff) {
+  // The index at tau=5 cannot answer tau=50 questions — that is the
+  // documented trade-off vs the PBEs. Just pin the API contract.
+  auto s = RandomStream(100, 7);
+  BurstinessIndex index(s, 5);
+  EXPECT_EQ(index.tau(), 5);
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,246 @@
+// Unit + statistical tests for the CM-PBE grid (Section IV).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/cm_pbe.h"
+#include "core/exact_store.h"
+#include "stream/event_stream.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+// A small mixed stream: K events with Zipf-ish rates and a couple of
+// injected bursts.
+EventStream MakeMixedStream(EventId k, size_t n, Rng* rng) {
+  EventStream s;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng->NextBelow(3));
+    // Heavier weight on low ids.
+    EventId e = static_cast<EventId>(rng->NextBelow(k));
+    if (rng->NextDouble() < 0.5) e = static_cast<EventId>(rng->NextBelow(4));
+    s.Append(e, t);
+  }
+  return s;
+}
+
+Pbe1Options TightPbe1() {
+  Pbe1Options o;
+  o.buffer_points = 64;
+  o.budget_points = 48;
+  return o;
+}
+
+TEST(CmPbeTest, FromGuaranteeSizing) {
+  auto o = CmPbeOptions::FromGuarantee(0.05, 0.2);
+  EXPECT_EQ(o.depth, 2u);
+  EXPECT_EQ(o.width, 55u);
+}
+
+TEST(CmPbeTest, SingleEventNoCollisionsTracksPbe) {
+  // With one event the grid estimate equals a single PBE's estimate.
+  Rng rng(51);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 8;
+  CmPbe<Pbe1> cm(grid, TightPbe1());
+  Pbe1 ref(TightPbe1());
+  Timestamp t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(4));
+    cm.Append(7, t);
+    ref.Append(t);
+  }
+  cm.Finalize();
+  ref.Finalize();
+  for (Timestamp q = 0; q <= t; q += 17) {
+    EXPECT_DOUBLE_EQ(cm.EstimateCumulative(7, q), ref.EstimateCumulative(q));
+  }
+}
+
+TEST(CmPbeTest, UnseenEventEstimatesSmall) {
+  Rng rng(53);
+  CmPbeOptions grid;
+  grid.depth = 5;
+  grid.width = 64;
+  CmPbe<Pbe1> cm(grid, TightPbe1());
+  auto stream = MakeMixedStream(16, 3000, &rng);
+  for (const auto& r : stream.records()) cm.Append(r.id, r.time);
+  cm.Finalize();
+  // An id that never appeared: collisions may inflate it, but the
+  // median across 5 rows over 64 cells should stay well below the
+  // total volume.
+  const double est = cm.EstimateCumulative(999999, stream.MaxTime());
+  EXPECT_LT(est, 0.2 * static_cast<double>(stream.size()));
+}
+
+template <typename PbeT>
+void RunAccuracyTest(const typename PbeT::Options& pbe_opt, double tol_frac,
+                     uint64_t seed) {
+  Rng rng(seed);
+  const EventId k = 32;
+  auto stream = MakeMixedStream(k, 20000, &rng);
+  ExactBurstStore exact(k);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+
+  CmPbeOptions grid;
+  grid.depth = 5;
+  grid.width = 128;
+  CmPbe<PbeT> cm(grid, pbe_opt);
+  for (const auto& r : stream.records()) cm.Append(r.id, r.time);
+  cm.Finalize();
+
+  const Timestamp tau = 50;
+  double total_err = 0.0;
+  int queries = 0;
+  Rng qrng(seed ^ 0xa1);
+  for (int i = 0; i < 100; ++i) {
+    const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+    const Timestamp t =
+        static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+    const double est = cm.EstimateBurstiness(e, t, tau);
+    const double ref = static_cast<double>(exact.BurstinessAt(e, t, tau));
+    total_err += std::abs(est - ref);
+    ++queries;
+  }
+  // Mean additive error stays a small fraction of N (Lemma 5's eps*N
+  // scale with generous slack — this is a statistical check).
+  EXPECT_LT(total_err / queries,
+            tol_frac * static_cast<double>(stream.size()));
+}
+
+TEST(CmPbeTest, BurstinessAccuracyCmPbe1) {
+  RunAccuracyTest<Pbe1>(TightPbe1(), 0.02, 61);
+}
+
+TEST(CmPbeTest, BurstinessAccuracyCmPbe2) {
+  Pbe2Options o;
+  o.gamma = 4.0;
+  RunAccuracyTest<Pbe2>(o, 0.02, 67);
+}
+
+TEST(CmPbeTest, MedianAndMinEstimatorsComparable) {
+  // The per-cell PBEs underestimate their merged curves while
+  // collisions overestimate the queried event; min keeps only the
+  // collision bias, median balances both (Section IV). Which wins is
+  // regime-dependent (see bench/ablation_median_vs_min); here we only
+  // require the two to be in the same ballpark.
+  Rng rng(71);
+  const EventId k = 64;
+  auto stream = MakeMixedStream(k, 30000, &rng);
+  ExactBurstStore exact(k);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+
+  Pbe1Options cell;
+  cell.buffer_points = 64;
+  cell.budget_points = 12;  // aggressive compression -> undershoot
+  CmPbeOptions base;
+  base.depth = 5;
+  base.width = 32;
+
+  CmPbeOptions median_opt = base;
+  median_opt.estimator = CmEstimator::kMedian;
+  CmPbeOptions min_opt = base;
+  min_opt.estimator = CmEstimator::kMin;
+  CmPbe<Pbe1> median(median_opt, cell);
+  CmPbe<Pbe1> mins(min_opt, cell);
+  for (const auto& r : stream.records()) {
+    median.Append(r.id, r.time);
+    mins.Append(r.id, r.time);
+  }
+  median.Finalize();
+  mins.Finalize();
+
+  double err_median = 0.0, err_min = 0.0;
+  Rng qrng(73);
+  const Timestamp tau = 40;
+  for (int i = 0; i < 200; ++i) {
+    const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+    const Timestamp t =
+        static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+    const double ref = static_cast<double>(exact.BurstinessAt(e, t, tau));
+    err_median += std::abs(median.EstimateBurstiness(e, t, tau) - ref);
+    err_min += std::abs(mins.EstimateBurstiness(e, t, tau) - ref);
+  }
+  EXPECT_LE(err_median, err_min * 2.0 + 1.0);
+  EXPECT_LE(err_min, err_median * 2.0 + 1.0);
+}
+
+TEST(CmPbeTest, BreakpointsUnionSortedUnique) {
+  Rng rng(79);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 4;
+  CmPbe<Pbe1> cm(grid, TightPbe1());
+  auto stream = MakeMixedStream(8, 2000, &rng);
+  for (const auto& r : stream.records()) cm.Append(r.id, r.time);
+  cm.Finalize();
+  auto bps = cm.Breakpoints(3);
+  ASSERT_FALSE(bps.empty());
+  for (size_t i = 1; i < bps.size(); ++i) EXPECT_GT(bps[i], bps[i - 1]);
+}
+
+TEST(CmPbeTest, SizeBytesSumsCells) {
+  CmPbeOptions grid;
+  grid.depth = 2;
+  grid.width = 3;
+  CmPbe<Pbe1> cm(grid, TightPbe1());
+  EXPECT_EQ(cm.SizeBytes(), 0u);
+  cm.Append(1, 5);
+  cm.Finalize();
+  EXPECT_GT(cm.SizeBytes(), 0u);
+}
+
+TEST(CmPbeTest, SerializationRoundTripPbe1) {
+  Rng rng(83);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 16;
+  CmPbe<Pbe1> cm(grid, TightPbe1());
+  auto stream = MakeMixedStream(20, 5000, &rng);
+  for (const auto& r : stream.records()) cm.Append(r.id, r.time);
+  cm.Finalize();
+
+  BinaryWriter w;
+  cm.Serialize(&w);
+  CmPbe<Pbe1> back(grid, TightPbe1());
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  for (EventId e = 0; e < 20; ++e) {
+    for (Timestamp t = 0; t <= stream.MaxTime(); t += 101) {
+      EXPECT_DOUBLE_EQ(back.EstimateCumulative(e, t),
+                       cm.EstimateCumulative(e, t));
+    }
+  }
+}
+
+TEST(CmPbeTest, SerializationRoundTripPbe2) {
+  Rng rng(89);
+  CmPbeOptions grid;
+  grid.depth = 2;
+  grid.width = 8;
+  Pbe2Options cell;
+  cell.gamma = 3.0;
+  CmPbe<Pbe2> cm(grid, cell);
+  auto stream = MakeMixedStream(10, 3000, &rng);
+  for (const auto& r : stream.records()) cm.Append(r.id, r.time);
+  cm.Finalize();
+
+  BinaryWriter w;
+  cm.Serialize(&w);
+  CmPbe<Pbe2> back(grid, cell);
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  for (EventId e = 0; e < 10; ++e) {
+    EXPECT_DOUBLE_EQ(back.EstimateCumulative(e, stream.MaxTime()),
+                     cm.EstimateCumulative(e, stream.MaxTime()));
+  }
+}
+
+}  // namespace
+}  // namespace bursthist

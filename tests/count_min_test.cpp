@@ -1,0 +1,115 @@
+// Unit tests for the classic Count-Min sketch substrate.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sketch/count_min.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+TEST(CountMinTest, FromGuaranteeSizing) {
+  auto o = CountMinOptions::FromGuarantee(0.05, 0.2);
+  EXPECT_EQ(o.depth, 2u);   // ceil(ln 5) = 2
+  EXPECT_EQ(o.width, 55u);  // ceil(e / 0.05) = 55
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinOptions o;
+  o.depth = 4;
+  o.width = 32;
+  CountMinSketch cm(o);
+  std::map<uint64_t, uint64_t> exact;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.NextBelow(300);
+    cm.Add(key);
+    ++exact[key];
+  }
+  for (const auto& [k, v] : exact) {
+    EXPECT_GE(cm.Estimate(k), v) << "key=" << k;
+  }
+  EXPECT_EQ(cm.TotalCount(), 5000u);
+}
+
+TEST(CountMinTest, ExactWithoutCollisions) {
+  CountMinOptions o;
+  o.depth = 6;
+  o.width = 4096;
+  CountMinSketch cm(o);
+  for (uint64_t k = 0; k < 8; ++k) cm.Add(k, k + 1);
+  for (uint64_t k = 0; k < 8; ++k) {
+    // With 8 keys in 4096 cells, a collision in all 6 rows is
+    // essentially impossible.
+    EXPECT_EQ(cm.Estimate(k), k + 1);
+  }
+  EXPECT_EQ(cm.Estimate(999), 0u);
+}
+
+TEST(CountMinTest, EpsilonGuaranteeStatistically) {
+  const double eps = 0.01, delta = 0.05;
+  CountMinSketch cm(CountMinOptions::FromGuarantee(eps, delta));
+  Rng rng(7);
+  const uint64_t kKeys = 2000;
+  std::vector<uint64_t> exact(kKeys, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t k = rng.NextBelow(kKeys);
+    cm.Add(k);
+    ++exact[k];
+  }
+  int violations = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    if (cm.Estimate(k) > exact[k] + static_cast<uint64_t>(eps * n)) {
+      ++violations;
+    }
+  }
+  // Expected violation rate <= delta; allow generous slack.
+  EXPECT_LE(violations, static_cast<int>(2 * delta * kKeys));
+}
+
+TEST(CountMinTest, WeightedAdds) {
+  CountMinSketch cm(CountMinOptions{});
+  cm.Add(42, 10);
+  cm.Add(42, 5);
+  EXPECT_GE(cm.Estimate(42), 15u);
+  EXPECT_EQ(cm.TotalCount(), 15u);
+}
+
+TEST(CountMinTest, SerializationRoundTrip) {
+  CountMinOptions o;
+  o.depth = 3;
+  o.width = 64;
+  o.seed = 99;
+  CountMinSketch cm(o);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) cm.Add(rng.NextBelow(100));
+
+  BinaryWriter w;
+  cm.Serialize(&w);
+  CountMinSketch back(CountMinOptions{});
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  EXPECT_EQ(back.TotalCount(), cm.TotalCount());
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(back.Estimate(k), cm.Estimate(k));
+  }
+}
+
+TEST(CountMinTest, DeserializeRejectsSizeMismatch) {
+  BinaryWriter w;
+  w.Put<uint64_t>(4);   // depth
+  w.Put<uint64_t>(64);  // width
+  w.Put<uint64_t>(0);   // seed
+  w.Put<uint64_t>(0);   // total
+  w.PutVector(std::vector<uint64_t>(10, 0));  // wrong cell count
+  CountMinSketch cm(CountMinOptions{});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(cm.Deserialize(&r).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,90 @@
+// Unit tests for CSV event-stream import/export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "stream/csv_io.h"
+
+namespace bursthist {
+namespace {
+
+TEST(CsvIoTest, ParseBasic) {
+  auto r = ParseEventStreamCsv("1,10\n2,11\n1,11\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value().records()[0], (EventRecord{1, 10}));
+  EXPECT_EQ(r.value().records()[2], (EventRecord{1, 11}));
+}
+
+TEST(CsvIoTest, SkipsCommentsAndBlanks) {
+  auto r = ParseEventStreamCsv("# header\n\n5,100\n\n# tail\n6,101\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(CsvIoTest, CrlfTolerated) {
+  auto r = ParseEventStreamCsv("1,10\r\n2,20\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value().records()[1].time, 20);
+}
+
+TEST(CsvIoTest, NegativeTimestampsAllowed) {
+  auto r = ParseEventStreamCsv("0,-100\n0,-50\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().MinTime(), -100);
+}
+
+TEST(CsvIoTest, MalformedLineReported) {
+  auto r = ParseEventStreamCsv("1,10\nnot a line\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvIoTest, MissingCommaReported) {
+  EXPECT_FALSE(ParseEventStreamCsv("42\n").ok());
+  EXPECT_FALSE(ParseEventStreamCsv("42,\n").ok());
+  EXPECT_FALSE(ParseEventStreamCsv("42,7,9\n").ok());
+}
+
+TEST(CsvIoTest, TimeRegressionReported) {
+  auto r = ParseEventStreamCsv("1,10\n2,5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CsvIoTest, IdOverflowReported) {
+  auto r = ParseEventStreamCsv("5000000000,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CsvIoTest, EmptyInputIsEmptyStream) {
+  auto r = ParseEventStreamCsv("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(CsvIoTest, FileRoundTrip) {
+  EventStream s({{0, 1}, {3, 2}, {1, 2}, {2, 9}});
+  const std::string path = testing::TempDir() + "/bursthist_csv_test.csv";
+  ASSERT_TRUE(WriteEventStreamCsv(path, s).ok());
+  auto back = ReadEventStreamCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(back.value().records()[i], s.records()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileIsNotFound) {
+  auto r = ReadEventStreamCsv("/no/such/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bursthist

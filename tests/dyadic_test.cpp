@@ -1,0 +1,179 @@
+// Unit tests for the dyadic BURSTY EVENT index (Section V,
+// Algorithm 3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dyadic_index.h"
+#include "core/exact_store.h"
+#include "eval/metrics.h"
+#include "stream/event_stream.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+Pbe1Options AccuratePbe() {
+  Pbe1Options o;
+  o.buffer_points = 64;
+  o.budget_points = 64;  // lossless cells: errors come from collisions only
+  return o;
+}
+
+CmPbeOptions WideGrid() {
+  CmPbeOptions o;
+  o.depth = 4;
+  o.width = 256;  // wide enough that collisions are rare at small K
+  return o;
+}
+
+// Stream where a chosen subset of events bursts hard at a known time.
+EventStream MakeBurstStream(EventId k, const std::vector<EventId>& bursty,
+                            Timestamp burst_at, Rng* rng) {
+  std::vector<SingleEventStream> per_event(k);
+  for (EventId e = 0; e < k; ++e) {
+    std::vector<Timestamp> times;
+    Timestamp t = static_cast<Timestamp>(rng->NextBelow(5));
+    while (t < 1000) {
+      times.push_back(t);
+      t += 20 + static_cast<Timestamp>(rng->NextBelow(10));
+    }
+    if (std::find(bursty.begin(), bursty.end(), e) != bursty.end()) {
+      for (Timestamp bt = burst_at; bt < burst_at + 50; ++bt) {
+        times.push_back(bt);
+        times.push_back(bt);
+      }
+    }
+    std::sort(times.begin(), times.end());
+    per_event[e] = SingleEventStream(std::move(times));
+  }
+  return MergeStreams(per_event);
+}
+
+TEST(DyadicIndexTest, LevelCountPowersOfTwo) {
+  DyadicBurstIndex<Pbe1> i1(1, WideGrid(), AccuratePbe());
+  EXPECT_EQ(i1.levels(), 1u);
+  DyadicBurstIndex<Pbe1> i2(2, WideGrid(), AccuratePbe());
+  EXPECT_EQ(i2.levels(), 2u);
+  DyadicBurstIndex<Pbe1> i8(8, WideGrid(), AccuratePbe());
+  EXPECT_EQ(i8.levels(), 4u);
+  DyadicBurstIndex<Pbe1> i9(9, WideGrid(), AccuratePbe());
+  EXPECT_EQ(i9.levels(), 5u);  // padded to 16
+}
+
+TEST(DyadicIndexTest, FindsInjectedBurstyEvents) {
+  Rng rng(91);
+  const EventId k = 32;
+  const std::vector<EventId> bursty = {3, 17, 30};
+  auto stream = MakeBurstStream(k, bursty, 500, &rng);
+
+  DyadicBurstIndex<Pbe1> index(k, WideGrid(), AccuratePbe());
+  ExactBurstStore exact(k);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+  for (const auto& r : stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+
+  const Timestamp t = 549, tau = 50;
+  const double theta = 50.0;
+  auto expect = exact.BurstyEvents(t, theta, tau);
+  EXPECT_EQ(expect, bursty);  // sanity: ground truth sees exactly these
+
+  auto got = index.BurstyEvents(t, theta, tau);
+  EXPECT_EQ(got, bursty);
+}
+
+TEST(DyadicIndexTest, PruningSavesPointQueries) {
+  Rng rng(93);
+  const EventId k = 256;
+  auto stream = MakeBurstStream(k, {100}, 500, &rng);
+  DyadicBurstIndex<Pbe1> index(k, WideGrid(), AccuratePbe());
+  for (const auto& r : stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+
+  auto got = index.BurstyEvents(549, 50.0, 50);
+  EXPECT_EQ(got, (std::vector<EventId>{100}));
+  // With one bursty event, far fewer than K point queries should run
+  // (paper: ~O(log K) per level).
+  EXPECT_LT(index.LastQueryPointQueries(), static_cast<size_t>(k) / 2);
+}
+
+TEST(DyadicIndexTest, NoBurstNoResults) {
+  Rng rng(97);
+  const EventId k = 64;
+  auto stream = MakeBurstStream(k, {}, 500, &rng);
+  DyadicBurstIndex<Pbe1> index(k, WideGrid(), AccuratePbe());
+  for (const auto& r : stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+  EXPECT_TRUE(index.BurstyEvents(549, 80.0, 50).empty());
+  // The root alone should be enough to prune everything.
+  EXPECT_LE(index.LastQueryPointQueries(), 3u);
+}
+
+TEST(DyadicIndexTest, NonPowerOfTwoUniverse) {
+  Rng rng(101);
+  const EventId k = 37;
+  const std::vector<EventId> bursty = {0, 36};
+  auto stream = MakeBurstStream(k, bursty, 400, &rng);
+  DyadicBurstIndex<Pbe2> index(k, WideGrid(), Pbe2Options{2.0, 0});
+  ExactBurstStore exact(k);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+  for (const auto& r : stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+
+  auto got = index.BurstyEvents(449, 50.0, 50);
+  EXPECT_EQ(got, bursty);
+}
+
+TEST(DyadicIndexTest, LeafPointQueryTracksExact) {
+  Rng rng(103);
+  const EventId k = 16;
+  auto stream = MakeBurstStream(k, {5}, 300, &rng);
+  DyadicBurstIndex<Pbe1> index(k, WideGrid(), AccuratePbe());
+  ExactBurstStore exact(k);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+  for (const auto& r : stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+  for (EventId e = 0; e < k; ++e) {
+    EXPECT_NEAR(index.EstimateBurstiness(e, 349, 50),
+                static_cast<double>(exact.BurstinessAt(e, 349, 50)), 10.0);
+  }
+}
+
+TEST(DyadicIndexTest, PrecisionRecallNearPerfectWithAccurateCells) {
+  Rng rng(107);
+  const EventId k = 128;
+  const std::vector<EventId> bursty = {1, 64, 100, 127};
+  auto stream = MakeBurstStream(k, bursty, 600, &rng);
+  DyadicBurstIndex<Pbe1> index(k, WideGrid(), AccuratePbe());
+  ExactBurstStore exact(k);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+  for (const auto& r : stream.records()) index.Append(r.id, r.time);
+  index.Finalize();
+
+  const Timestamp t = 649, tau = 50;
+  const double theta = 50.0;
+  auto got = index.BurstyEvents(t, theta, tau);
+  auto expect = exact.BurstyEvents(t, theta, tau);
+  auto pr = CompareIdSets(got, expect);
+  EXPECT_GE(pr.precision, 0.99);
+  EXPECT_GE(pr.recall, 0.99);
+}
+
+TEST(DyadicIndexTest, SizeScalesWithLevels) {
+  DyadicBurstIndex<Pbe1> small(4, WideGrid(), AccuratePbe());
+  DyadicBurstIndex<Pbe1> large(1024, WideGrid(), AccuratePbe());
+  Rng rng(109);
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp t = static_cast<Timestamp>(i);
+    small.Append(static_cast<EventId>(rng.NextBelow(4)), t);
+    large.Append(static_cast<EventId>(rng.NextBelow(1024)), t);
+  }
+  small.Finalize();
+  large.Finalize();
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes());
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,197 @@
+// Edge-case coverage across the stack: negative timestamps, extreme
+// burst spans, weighted appends, degenerate universes, and query
+// boundaries.
+
+#include <gtest/gtest.h>
+
+#include "core/burst_engine.h"
+#include "core/cm_pbe.h"
+#include "core/exact_store.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "stream/frequency_curve.h"
+
+namespace bursthist {
+namespace {
+
+TEST(EdgeCaseTest, NegativeTimestampsSupported) {
+  // Epoch-relative data can be negative; nothing in the stack assumes
+  // t >= 0.
+  SingleEventStream s({-100, -50, -50, -10, 0, 5});
+  FrequencyCurve curve(s);
+  EXPECT_EQ(curve.Evaluate(-101), 0u);
+  EXPECT_EQ(curve.Evaluate(-50), 3u);
+  EXPECT_EQ(curve.Evaluate(10), 6u);
+
+  Pbe1Options o1;
+  o1.buffer_points = 8;
+  o1.budget_points = 8;
+  Pbe1 p1(o1);
+  Pbe2Options o2;
+  o2.gamma = 0.0;
+  Pbe2 p2(o2);
+  for (Timestamp t : s.times()) {
+    p1.Append(t);
+    p2.Append(t);
+  }
+  p1.Finalize();
+  p2.Finalize();
+  for (Timestamp t = -120; t <= 20; ++t) {
+    EXPECT_DOUBLE_EQ(p1.EstimateCumulative(t),
+                     static_cast<double>(s.CumulativeFrequency(t)));
+    EXPECT_NEAR(p2.EstimateCumulative(t),
+                static_cast<double>(s.CumulativeFrequency(t)), 1e-6);
+  }
+}
+
+TEST(EdgeCaseTest, TauLargerThanHistory) {
+  SingleEventStream s({10, 20, 30});
+  // With tau covering everything, b(t) = F(t) - 2*0 + 0 = F(t).
+  EXPECT_EQ(s.BurstinessAt(30, 1000), 3);
+  EXPECT_EQ(s.BurstinessAt(30, 15), 1);  // F(30)=3, F(15)=1, F(0)=0
+}
+
+TEST(EdgeCaseTest, TauOne) {
+  SingleEventStream s({5, 5, 5, 6});
+  // b(6) with tau=1: bf(6)=f(5,6]=1, bf(5)=f(4,5]=3 -> -2.
+  EXPECT_EQ(s.BurstinessAt(6, 1), -2);
+  EXPECT_EQ(s.BurstinessAt(5, 1), 3);
+}
+
+TEST(EdgeCaseTest, WeightedAppendsEquivalentToRepeats) {
+  Pbe1Options o;
+  o.buffer_points = 16;
+  o.budget_points = 16;
+  Pbe1 weighted(o), repeated(o);
+  weighted.Append(3, 5);
+  weighted.Append(7, 2);
+  for (int i = 0; i < 5; ++i) repeated.Append(3);
+  for (int i = 0; i < 2; ++i) repeated.Append(7);
+  weighted.Finalize();
+  repeated.Finalize();
+  for (Timestamp t = 0; t <= 10; ++t) {
+    EXPECT_DOUBLE_EQ(weighted.EstimateCumulative(t),
+                     repeated.EstimateCumulative(t));
+  }
+
+  Pbe2Options o2;
+  o2.gamma = 0.0;
+  Pbe2 w2(o2), r2(o2);
+  w2.Append(3, 5);
+  w2.Append(7, 2);
+  for (int i = 0; i < 5; ++i) r2.Append(3);
+  for (int i = 0; i < 2; ++i) r2.Append(7);
+  w2.Finalize();
+  r2.Finalize();
+  for (Timestamp t = 0; t <= 10; ++t) {
+    EXPECT_NEAR(w2.EstimateCumulative(t), r2.EstimateCumulative(t), 1e-9);
+  }
+}
+
+TEST(EdgeCaseTest, SingleEventUniverse) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 1;
+  o.cell.buffer_points = 16;
+  o.cell.budget_points = 16;
+  BurstEngine1 engine(o);
+  for (Timestamp t = 0; t < 50; ++t) ASSERT_TRUE(engine.Append(0, t).ok());
+  engine.Finalize();
+  EXPECT_NEAR(engine.CumulativeQuery(0, 49), 50.0, 1e-9);
+  auto bursty = engine.BurstyEventQuery(49, 0.5, 10);
+  EXPECT_LE(bursty.size(), 1u);
+}
+
+TEST(EdgeCaseTest, QueryFarBeyondStreamEnd) {
+  Pbe1Options o;
+  o.buffer_points = 8;
+  o.budget_points = 4;
+  Pbe1 p(o);
+  for (Timestamp t = 0; t < 100; t += 10) p.Append(t);
+  p.Finalize();
+  // Cumulative freezes; burstiness decays to zero once both windows
+  // clear the history.
+  const double final_f = p.EstimateCumulative(1'000'000);
+  EXPECT_DOUBLE_EQ(final_f, p.EstimateCumulative(90));
+  EXPECT_DOUBLE_EQ(p.EstimateBurstiness(1'000'000, 50), 0.0);
+}
+
+TEST(EdgeCaseTest, QueryBeforeStreamStart) {
+  Pbe2Options o;
+  o.gamma = 1.0;
+  Pbe2 p(o);
+  for (Timestamp t = 1000; t < 1100; ++t) p.Append(t);
+  p.Finalize();
+  EXPECT_DOUBLE_EQ(p.EstimateCumulative(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.EstimateBurstiness(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(p.EstimateBurstiness(500, 100), 0.0);
+}
+
+TEST(EdgeCaseTest, HugeCountsNoOverflow) {
+  // Counts near 2^40 per append: doubles in the estimators must keep
+  // integer fidelity well past 32 bits.
+  Pbe1Options o;
+  o.buffer_points = 8;
+  o.budget_points = 8;
+  Pbe1 p(o);
+  const Count big = 1ULL << 40;
+  p.Append(1, big);
+  p.Append(2, big);
+  p.Append(3, big);
+  p.Finalize();
+  EXPECT_DOUBLE_EQ(p.EstimateCumulative(3), static_cast<double>(3 * big));
+  EXPECT_DOUBLE_EQ(p.EstimateBurstiness(3, 1),
+                   0.0);  // constant rate: no acceleration
+}
+
+TEST(EdgeCaseTest, ExactStoreBurstyTimesEmptyEvent) {
+  ExactBurstStore store(3);
+  store.Append(0, 5);
+  EXPECT_TRUE(store.BurstyTimes(1, 0.5, 2).empty());
+}
+
+TEST(EdgeCaseTest, CmPbeSingleCellGrid) {
+  // depth=1, width=1: everything merges into one stream; estimates
+  // equal the total curve (a pure upper bound per event).
+  CmPbeOptions grid;
+  grid.depth = 1;
+  grid.width = 1;
+  Pbe1Options cell;
+  cell.buffer_points = 16;
+  cell.budget_points = 16;
+  CmPbe<Pbe1> cm(grid, cell);
+  cm.Append(1, 10);
+  cm.Append(2, 20);
+  cm.Append(3, 30);
+  cm.Finalize();
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(1, 30), 3.0);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(999, 30), 3.0);
+}
+
+TEST(EdgeCaseTest, BurstEngineEmptyFinalize) {
+  BurstEngineOptions<Pbe2> o;
+  o.universe_size = 10;
+  BurstEngine2 engine(o);
+  engine.Finalize();
+  EXPECT_EQ(engine.PointQuery(5, 100, 10), 0.0);
+  EXPECT_TRUE(engine.BurstyTimeQuery(5, 1.0, 10).empty());
+  EXPECT_TRUE(engine.BurstyEventQuery(100, 1.0, 10).empty());
+}
+
+TEST(EdgeCaseTest, BreakpointShiftOverflowSafety) {
+  // Breakpoints near the top of the int64 range must not overflow
+  // when shifted by 2*tau in BurstyTimes... use large-but-safe values.
+  const Timestamp big = Timestamp{1} << 40;
+  Pbe1Options o;
+  o.buffer_points = 8;
+  o.budget_points = 8;
+  Pbe1 p(o);
+  p.Append(big);
+  p.Append(big + 1000, 5);
+  p.Finalize();
+  auto iv = BurstyTimes(p, 1.0, 100);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(Covers(iv, big + 1000));
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,85 @@
+// Unit tests for the exact baseline store (Section II-B).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/exact_store.h"
+
+namespace bursthist {
+namespace {
+
+TEST(ExactBurstStoreTest, AppendAndPointQuery) {
+  ExactBurstStore store(3);
+  store.Append(0, 1);
+  store.Append(1, 2);
+  store.Append(0, 2);
+  store.Append(0, 2);
+  store.Append(2, 8);
+  EXPECT_EQ(store.TotalCount(), 5u);
+  EXPECT_EQ(store.CumulativeFrequency(0, 2), 3u);
+  EXPECT_EQ(store.CumulativeFrequency(1, 1), 0u);
+  EXPECT_EQ(store.BurstinessAt(0, 2, 1),
+            store.stream(0).BurstinessAt(2, 1));
+}
+
+TEST(ExactBurstStoreTest, AppendStreamValidatesIds) {
+  ExactBurstStore store(2);
+  EventStream bad({{0, 1}, {5, 2}});
+  EXPECT_EQ(store.AppendStream(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactBurstStoreTest, BurstyEventsThreshold) {
+  ExactBurstStore store(4);
+  // Event 2 bursts at t in [10, 14]; others are flat.
+  for (Timestamp t = 0; t < 30; t += 5) {
+    store.Append(0, t);
+    store.Append(1, t);
+  }
+  for (Timestamp t = 10; t < 15; ++t) {
+    store.Append(2, t);
+    store.Append(2, t);
+  }
+  auto bursty = store.BurstyEvents(14, 5.0, 5);
+  EXPECT_EQ(bursty, (std::vector<EventId>{2}));
+  // At a quiet instant nothing is bursty.
+  EXPECT_TRUE(store.BurstyEvents(25, 5.0, 5).empty());
+}
+
+TEST(ExactBurstStoreTest, EmptyEventsNeverReported) {
+  ExactBurstStore store(5);
+  store.Append(1, 3);
+  auto bursty = store.BurstyEvents(3, 0.5, 2);
+  for (EventId e : bursty) EXPECT_EQ(e, 1u);
+}
+
+TEST(ExactBurstStoreTest, SizeBytesIsBaselineCost) {
+  ExactBurstStore store(2);
+  for (Timestamp t = 0; t < 100; ++t) store.Append(0, t);
+  EXPECT_EQ(store.SizeBytes(), 100 * sizeof(Timestamp));
+}
+
+TEST(ExactEventModelTest, BreakpointsDedupe) {
+  SingleEventStream s({1, 1, 2, 5, 5, 5});
+  ExactEventModel model(&s);
+  EXPECT_EQ(model.Breakpoints(), (std::vector<Timestamp>{1, 2, 5}));
+}
+
+TEST(ExactBurstStoreTest, BurstyTimesMatchesPointQueries) {
+  ExactBurstStore store(1);
+  for (Timestamp t = 0; t < 50; t += 10) store.Append(0, t);
+  for (Timestamp t = 50; t < 60; ++t) store.Append(0, t);
+
+  const Timestamp tau = 10;
+  const double theta = 4.0;
+  auto intervals = store.BurstyTimes(0, theta, tau);
+  for (Timestamp t = 0; t < 100; ++t) {
+    const bool in = Covers(intervals, t);
+    const bool expect =
+        static_cast<double>(store.BurstinessAt(0, t, tau)) >= theta;
+    EXPECT_EQ(in, expect) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,94 @@
+// Unit tests for the exact frequency staircase curve (Section III).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/frequency_curve.h"
+
+namespace bursthist {
+namespace {
+
+TEST(FrequencyCurveTest, BuildsCornerPointsFromDuplicates) {
+  SingleEventStream s({1, 1, 4, 4, 4, 9});
+  FrequencyCurve c(s);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.points()[0], (CurvePoint{1, 2}));
+  EXPECT_EQ(c.points()[1], (CurvePoint{4, 5}));
+  EXPECT_EQ(c.points()[2], (CurvePoint{9, 6}));
+}
+
+TEST(FrequencyCurveTest, EvaluateMatchesStream) {
+  SingleEventStream s({1, 1, 4, 4, 4, 9, 12, 12});
+  FrequencyCurve c(s);
+  for (Timestamp t = -2; t <= 15; ++t) {
+    EXPECT_EQ(c.Evaluate(t), s.CumulativeFrequency(t)) << "t=" << t;
+  }
+}
+
+TEST(FrequencyCurveTest, BurstinessMatchesStream) {
+  SingleEventStream s({1, 2, 2, 3, 5, 5, 5, 8, 9, 9, 9, 9});
+  FrequencyCurve c(s);
+  for (Timestamp t = 0; t <= 12; ++t) {
+    for (Timestamp tau : {1, 2, 4}) {
+      EXPECT_EQ(c.BurstinessAt(t, tau), s.BurstinessAt(t, tau))
+          << "t=" << t << " tau=" << tau;
+    }
+  }
+}
+
+TEST(FrequencyCurveTest, EmptyCurve) {
+  FrequencyCurve c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.Evaluate(100), 0u);
+  EXPECT_EQ(c.BurstinessAt(5, 2), 0);
+}
+
+TEST(FrequencyCurveTest, AugmentedPointsInsertPreRiseLevels) {
+  // Corners at t=1 (2), t=4 (5), t=5 (6), t=9 (7).
+  FrequencyCurve c({{1, 2}, {4, 5}, {5, 6}, {9, 7}});
+  auto aug = c.AugmentedPoints();
+  // Expected: (1,2), (3,2) pre-rise of t=4, (4,5), (5,6) [gap 1: no
+  // pre-point], (8,6) pre-rise of t=9, (9,7).
+  ASSERT_EQ(aug.size(), 6u);
+  EXPECT_EQ(aug[0], (CurvePoint{1, 2}));
+  EXPECT_EQ(aug[1], (CurvePoint{3, 2}));
+  EXPECT_EQ(aug[2], (CurvePoint{4, 5}));
+  EXPECT_EQ(aug[3], (CurvePoint{5, 6}));
+  EXPECT_EQ(aug[4], (CurvePoint{8, 6}));
+  EXPECT_EQ(aug[5], (CurvePoint{9, 7}));
+}
+
+TEST(FrequencyCurveTest, AugmentedPointsAreOnTheCurve) {
+  SingleEventStream s({2, 5, 5, 11, 30, 30, 31});
+  FrequencyCurve c(s);
+  for (const auto& p : c.AugmentedPoints()) {
+    EXPECT_EQ(c.Evaluate(p.time), p.count) << "t=" << p.time;
+  }
+}
+
+TEST(FrequencyCurveTest, AugmentedPointsStrictlyIncreasingTimes) {
+  SingleEventStream s({1, 2, 3, 4, 10, 11, 20});
+  FrequencyCurve c(s);
+  auto aug = c.AugmentedPoints();
+  for (size_t i = 1; i < aug.size(); ++i) {
+    EXPECT_GT(aug[i].time, aug[i - 1].time);
+  }
+  EXPECT_LE(aug.size(), 2 * c.size());
+}
+
+TEST(FrequencyCurveTest, AreaAboveSelfIsZero) {
+  FrequencyCurve c({{0, 1}, {4, 3}, {7, 8}});
+  EXPECT_DOUBLE_EQ(c.AreaAbove(c, 10), 0.0);
+}
+
+TEST(FrequencyCurveTest, AreaAboveSubsetApproximation) {
+  // Full curve: (0,1), (2,2), (5,4), (8,5). Approx drops (2,2), (5,4).
+  FrequencyCurve full({{0, 1}, {2, 2}, {5, 4}, {8, 5}});
+  FrequencyCurve approx({{0, 1}, {8, 5}});
+  // Error: t in [2,5): (2-1)*3 = 3; t in [5,8): (4-1)*3 = 9 -> 12.
+  EXPECT_DOUBLE_EQ(full.AreaAbove(approx, 8), 12.0);
+}
+
+}  // namespace
+}  // namespace bursthist

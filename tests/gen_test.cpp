@@ -1,0 +1,178 @@
+// Unit + statistical tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/rate_curve.h"
+#include "gen/scenarios.h"
+#include "stream/frequency_curve.h"
+
+namespace bursthist {
+namespace {
+
+TEST(RatePrimitiveTest, IntegralOfShapes) {
+  RatePrimitive flat{0, 0, 10, 10, 2.0};
+  EXPECT_DOUBLE_EQ(flat.Integral(), 20.0);
+  RatePrimitive tri{0, 5, 5, 10, 2.0};
+  EXPECT_DOUBLE_EQ(tri.Integral(), 10.0);
+  RatePrimitive trap{0, 2, 8, 10, 1.0};
+  EXPECT_DOUBLE_EQ(trap.Integral(), 8.0);
+}
+
+TEST(RatePrimitiveTest, RateAtShape) {
+  RatePrimitive trap{0, 4, 8, 12, 2.0};
+  EXPECT_DOUBLE_EQ(trap.RateAt(-1), 0.0);
+  EXPECT_DOUBLE_EQ(trap.RateAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(trap.RateAt(2), 1.0);
+  EXPECT_DOUBLE_EQ(trap.RateAt(4), 2.0);
+  EXPECT_DOUBLE_EQ(trap.RateAt(6), 2.0);
+  EXPECT_DOUBLE_EQ(trap.RateAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(trap.RateAt(12), 0.0);
+}
+
+TEST(RatePrimitiveTest, SampleStaysInSupport) {
+  RatePrimitive trap{100, 120, 180, 220, 1.5};
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double t = trap.Sample(&rng);
+    EXPECT_GE(t, 100.0);
+    EXPECT_LE(t, 220.0);
+  }
+}
+
+TEST(RateCurveTest, NormalizeTo) {
+  RateCurve c;
+  c.AddConstant(0, 100, 1.0);
+  c.AddBurst(10, 20, 30, 40, 3.0);
+  c.NormalizeTo(5000.0);
+  EXPECT_NEAR(c.Integral(), 5000.0, 1e-9);
+}
+
+TEST(RateCurveTest, SampleCountMatchesIntegral) {
+  RateCurve c;
+  c.AddConstant(0, 1000, 5.0);  // expect 5000 arrivals
+  Rng rng(7);
+  auto s = c.Sample(&rng);
+  EXPECT_NEAR(static_cast<double>(s.size()), 5000.0, 4.0 * std::sqrt(5000.0));
+  // Sorted with all times in support.
+  for (size_t i = 1; i < s.times().size(); ++i) {
+    EXPECT_LE(s.times()[i - 1], s.times()[i]);
+  }
+  EXPECT_GE(s.times().front(), 0);
+  EXPECT_LT(s.times().back(), 1000);
+}
+
+TEST(RateCurveTest, EmptyCurveSamplesNothing) {
+  RateCurve c;
+  Rng rng(9);
+  EXPECT_TRUE(c.Sample(&rng).empty());
+  c.AddConstant(5, 5, 3.0);  // zero-width: ignored
+  EXPECT_TRUE(c.Sample(&rng).empty());
+}
+
+TEST(RateCurveTest, SampleDensityTracksRate) {
+  RateCurve c;
+  c.AddConstant(0, 100, 1.0);
+  c.AddConstant(100, 200, 4.0);
+  c.NormalizeTo(50000.0);
+  Rng rng(11);
+  auto s = c.Sample(&rng);
+  const double low = static_cast<double>(s.Frequency(0, 99));
+  const double high = static_cast<double>(s.Frequency(100, 199));
+  EXPECT_NEAR(high / low, 4.0, 0.3);
+}
+
+TEST(ZipfWeightsTest, NormalizedAndDecreasing) {
+  auto w = ZipfWeights(100, 1.1);
+  double total = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    total += w[i];
+    if (i > 0) {
+      EXPECT_LT(w[i], w[i - 1]);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ScenarioTest, SoccerShape) {
+  ScenarioConfig cfg;
+  cfg.scale = 0.02;  // ~20k arrivals: fast but statistically stable
+  auto s = MakeSoccer(cfg);
+  EXPECT_NEAR(static_cast<double>(s.size()), 20000.0, 1000.0);
+  EXPECT_GE(s.times().front(), 0);
+  EXPECT_LT(s.times().back(), kOlympicHorizon);
+
+  // The biggest daily burstiness (tau = 1 day) lands near the final
+  // (day 20), as in Figure 7b.
+  const Timestamp tau = kSecondsPerDay;
+  Burstiness best = 0;
+  Timestamp best_day = 0;
+  for (Timestamp d = 1; d <= 31; ++d) {
+    const Burstiness b = s.BurstinessAt(d * kSecondsPerDay, tau);
+    if (b > best) {
+      best = b;
+      best_day = d;
+    }
+  }
+  EXPECT_GE(best_day, 19);
+  EXPECT_LE(best_day, 21);
+  EXPECT_GT(best, 0);
+}
+
+TEST(ScenarioTest, SwimmingQuietAfterFirstHalf) {
+  ScenarioConfig cfg;
+  cfg.scale = 0.02;
+  auto s = MakeSwimming(cfg);
+  const Count first_half = s.Frequency(0, 11 * kSecondsPerDay);
+  const Count second_half =
+      s.Frequency(11 * kSecondsPerDay + 1, kOlympicHorizon);
+  EXPECT_GT(first_half, 20 * second_half);
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  ScenarioConfig cfg;
+  cfg.scale = 0.005;
+  auto a = MakeSoccer(cfg);
+  auto b = MakeSoccer(cfg);
+  EXPECT_EQ(a.times(), b.times());
+  cfg.seed = 43;
+  auto c = MakeSoccer(cfg);
+  EXPECT_NE(a.times(), c.times());
+}
+
+TEST(ScenarioTest, OlympicRioComposition) {
+  ScenarioConfig cfg;
+  cfg.scale = 0.002;  // ~10k records
+  auto ds = MakeOlympicRio(cfg);
+  EXPECT_EQ(ds.name, "olympicrio");
+  EXPECT_EQ(ds.universe_size, 864u);
+  EXPECT_NEAR(static_cast<double>(ds.stream.size()), 5032975.0 * 0.002,
+              0.1 * 5032975.0 * 0.002);
+  EXPECT_LT(ds.stream.MaxTime(), kOlympicHorizon);
+  // Timestamps are ordered (MergeStreams contract).
+  const auto& recs = ds.stream.records();
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].time, recs[i].time);
+  }
+  // Soccer (id 0) is among the most popular events.
+  EXPECT_GT(ds.stream.Project(0).size(), ds.stream.size() / 100);
+}
+
+TEST(ScenarioTest, UsPoliticsComposition) {
+  ScenarioConfig cfg;
+  cfg.scale = 0.002;  // ~10k records
+  auto ds = MakeUsPolitics(cfg);
+  EXPECT_EQ(ds.universe_size, 1689u);
+  EXPECT_EQ(ds.category.size(), 1689u);
+  for (int c : ds.category) EXPECT_TRUE(c == 0 || c == 1);
+  EXPECT_LT(ds.stream.MaxTime(), kPoliticsHorizon);
+  // Both parties must be represented.
+  int dem = 0, rep = 0;
+  for (int c : ds.category) (c == 0 ? dem : rep)++;
+  EXPECT_GT(dem, 100);
+  EXPECT_GT(rep, 100);
+}
+
+}  // namespace
+}  // namespace bursthist

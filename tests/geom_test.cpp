@@ -1,0 +1,103 @@
+// Unit tests for convex-polygon clipping (PBE-2's dual-space feasible
+// region machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/convex_polygon.h"
+
+namespace bursthist {
+namespace {
+
+TEST(ConvexPolygonTest, BoxConstruction) {
+  auto box = ConvexPolygon::Box(0, 0, 2, 1);
+  EXPECT_EQ(box.size(), 4u);
+  EXPECT_TRUE(box.Contains({1.0, 0.5}));
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));
+  EXPECT_FALSE(box.Contains({3.0, 0.5}));
+  EXPECT_FALSE(box.Contains({1.0, -0.5}));
+}
+
+TEST(ConvexPolygonTest, ClipKeepsInsideHalf) {
+  auto box = ConvexPolygon::Box(0, 0, 2, 2);
+  box.Clip(HalfPlane{1.0, 0.0, 1.0});  // x <= 1
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({0.5, 1.0}));
+  EXPECT_FALSE(box.Contains({1.5, 1.0}));
+}
+
+TEST(ConvexPolygonTest, ClipToEmpty) {
+  auto box = ConvexPolygon::Box(0, 0, 1, 1);
+  box.Clip(HalfPlane{1.0, 0.0, -1.0});  // x <= -1: disjoint
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(ConvexPolygonTest, SequentialClipsShrinkToTriangle) {
+  auto box = ConvexPolygon::Box(0, 0, 4, 4);
+  box.Clip(HalfPlane{1.0, 1.0, 4.0});  // x + y <= 4
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({1.0, 1.0}));
+  EXPECT_FALSE(box.Contains({3.0, 3.0}));
+  // Remaining region is the triangle (0,0), (4,0), (0,4).
+  box.Clip(HalfPlane{-1.0, 0.0, 0.0});  // x >= 0 (no-op)
+  EXPECT_TRUE(box.Contains({0.0, 4.0}));
+}
+
+TEST(ConvexPolygonTest, ClipOnBoundaryIsStable) {
+  auto box = ConvexPolygon::Box(0, 0, 1, 1);
+  box.Clip(HalfPlane{1.0, 0.0, 1.0});  // x <= 1: boundary touches edge
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({1.0, 0.5}));
+}
+
+TEST(ConvexPolygonTest, IntersectsHalfPlane) {
+  auto box = ConvexPolygon::Box(0, 0, 1, 1);
+  EXPECT_TRUE(box.IntersectsHalfPlane(HalfPlane{1.0, 0.0, 0.5}));
+  EXPECT_TRUE(box.IntersectsHalfPlane(HalfPlane{1.0, 0.0, 0.0}));   // touch
+  EXPECT_FALSE(box.IntersectsHalfPlane(HalfPlane{1.0, 0.0, -0.5}));
+}
+
+TEST(ConvexPolygonTest, CentroidInsideAfterManyClips) {
+  auto poly = ConvexPolygon::Box(-10, -10, 10, 10);
+  // Clip with a fan of half-planes approximating a disc of radius 5.
+  for (int i = 0; i < 16; ++i) {
+    const double ang = 2.0 * 3.14159265358979 * i / 16.0;
+    poly.Clip(HalfPlane{std::cos(ang), std::sin(ang), 5.0});
+    ASSERT_FALSE(poly.empty());
+    EXPECT_TRUE(poly.Contains(poly.Centroid(), 1e-6)) << "i=" << i;
+  }
+}
+
+TEST(ConvexPolygonTest, DegenerateStripIntersection) {
+  // Two parallel-edged strips with different slopes intersect in a
+  // parallelogram (the PBE-2 seed case).
+  ConvexPolygon para({{0.0, 0.0}, {2.0, 0.0}, {3.0, 1.0}, {1.0, 1.0}});
+  EXPECT_TRUE(para.Contains({1.5, 0.5}));
+  para.Clip(HalfPlane{0.0, 1.0, 0.5});  // y <= 0.5
+  EXPECT_FALSE(para.empty());
+  EXPECT_TRUE(para.Contains({1.0, 0.25}));
+  EXPECT_FALSE(para.Contains({1.0, 0.75}));
+}
+
+TEST(ConvexPolygonTest, ZeroWidthBandStaysNonEmpty) {
+  // gamma = 0 in PBE-2 degenerates the feasible set to a segment;
+  // clipping along the same line must keep it.
+  ConvexPolygon seg({{0.0, 0.0}, {1.0, 1.0}, {1.0, 1.0}, {0.0, 0.0}});
+  seg.Clip(HalfPlane{1.0, -1.0, 0.0});   // x - y <= 0 (the line itself)
+  EXPECT_FALSE(seg.empty());
+  seg.Clip(HalfPlane{-1.0, 1.0, 0.0});   // x - y >= 0
+  EXPECT_FALSE(seg.empty());
+}
+
+TEST(ConvexPolygonTest, EmptyPolygonOperations) {
+  ConvexPolygon p;
+  EXPECT_TRUE(p.empty());
+  p.Clip(HalfPlane{1.0, 0.0, 1.0});
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.IntersectsHalfPlane(HalfPlane{1.0, 0.0, 1.0}));
+  EXPECT_FALSE(p.Contains({0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace bursthist

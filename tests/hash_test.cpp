@@ -1,0 +1,117 @@
+// Unit tests for the hashing substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hash/hash.h"
+
+namespace bursthist {
+namespace {
+
+TEST(Mix64Test, IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  std::set<uint64_t> outs;
+  for (uint64_t i = 0; i < 1000; ++i) outs.insert(Mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);  // injective on this sample
+}
+
+TEST(HashBytesTest, StableAndSeedSensitive) {
+  EXPECT_EQ(HashBytes("hello", 1), HashBytes("hello", 1));
+  EXPECT_NE(HashBytes("hello", 1), HashBytes("hello", 2));
+  EXPECT_NE(HashBytes("hello", 1), HashBytes("hellp", 1));
+}
+
+TEST(HashBytesTest, HandlesAllTailLengths) {
+  std::string s = "abcdefghijklmnop";
+  std::set<uint64_t> outs;
+  for (size_t len = 0; len <= s.size(); ++len) {
+    outs.insert(HashBytes(std::string_view(s.data(), len), 7));
+  }
+  EXPECT_EQ(outs.size(), s.size() + 1);
+}
+
+TEST(PairwiseHashTest, InRange) {
+  PairwiseHash h(123, 97);
+  for (uint64_t x = 0; x < 10000; ++x) EXPECT_LT(h(x), 97u);
+}
+
+TEST(PairwiseHashTest, DeterministicPerSeed) {
+  PairwiseHash a(5, 64), b(5, 64), c(6, 64);
+  int diff = 0;
+  for (uint64_t x = 0; x < 256; ++x) {
+    EXPECT_EQ(a(x), b(x));
+    diff += (a(x) != c(x));
+  }
+  EXPECT_GT(diff, 128);  // different seeds give a different function
+}
+
+TEST(PairwiseHashTest, RoughlyUniform) {
+  const uint64_t range = 16;
+  PairwiseHash h(99, range);
+  std::vector<int> buckets(range, 0);
+  const int n = 160000;
+  for (int x = 0; x < n; ++x) ++buckets[h(static_cast<uint64_t>(x))];
+  const double expect = static_cast<double>(n) / range;
+  for (auto b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b), expect, 6.0 * std::sqrt(expect));
+  }
+}
+
+TEST(PairwiseHashTest, PairwiseIndependenceSample) {
+  // For a 2-universal family, Pr[h(x) == h(y)] ~ 1/range over seeds.
+  const uint64_t range = 32;
+  int collisions = 0;
+  const int trials = 20000;
+  for (int s = 0; s < trials; ++s) {
+    PairwiseHash h(static_cast<uint64_t>(s) * 2654435761ULL + 1, range);
+    collisions += (h(17) == h(961748941));
+  }
+  const double rate = static_cast<double>(collisions) / trials;
+  EXPECT_NEAR(rate, 1.0 / range, 0.01);
+}
+
+TEST(TabulationHashTest, InRangeAndDeterministic) {
+  TabulationHash h(3, 101);
+  TabulationHash h2(3, 101);
+  for (uint64_t x = 0; x < 5000; ++x) {
+    EXPECT_LT(h(x), 101u);
+    EXPECT_EQ(h(x), h2(x));
+  }
+}
+
+TEST(TabulationHashTest, RoughlyUniform) {
+  const uint64_t range = 8;
+  TabulationHash h(77, range);
+  std::vector<int> buckets(range, 0);
+  const int n = 80000;
+  for (int x = 0; x < n; ++x) ++buckets[h(static_cast<uint64_t>(x))];
+  const double expect = static_cast<double>(n) / range;
+  for (auto b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b), expect, 6.0 * std::sqrt(expect));
+  }
+}
+
+TEST(HashFamilyTest, ShapeAndIndependence) {
+  HashFamily fam(4, 128, 2024);
+  EXPECT_EQ(fam.depth(), 4u);
+  EXPECT_EQ(fam.width(), 128u);
+  // Rows should disagree on most keys.
+  int agree = 0;
+  for (uint64_t x = 0; x < 512; ++x) {
+    agree += (fam.Hash(0, x) == fam.Hash(1, x));
+  }
+  EXPECT_LT(agree, 40);
+}
+
+TEST(HashFamilyTest, SameSeedSameFamily) {
+  HashFamily a(3, 64, 9), b(3, 64, 9);
+  for (size_t r = 0; r < 3; ++r) {
+    for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a.Hash(r, x), b.Hash(r, x));
+  }
+}
+
+}  // namespace
+}  // namespace bursthist

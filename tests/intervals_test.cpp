@@ -1,0 +1,133 @@
+// Unit tests for interval-set metrics and the space-budgeted PBE-2.
+
+#include <gtest/gtest.h>
+
+#include "core/pbe2.h"
+#include "eval/intervals.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+TEST(IntervalMetricsTest, CoveredTimestamps) {
+  EXPECT_EQ(CoveredTimestamps({}), 0u);
+  EXPECT_EQ(CoveredTimestamps({{1, 1}}), 1u);
+  EXPECT_EQ(CoveredTimestamps({{1, 3}, {10, 14}}), 3u + 5u);
+}
+
+TEST(IntervalMetricsTest, IntersectionSize) {
+  std::vector<TimeInterval> a = {{0, 10}, {20, 30}};
+  std::vector<TimeInterval> b = {{5, 25}};
+  // [5,10] = 6, [20,25] = 6.
+  EXPECT_EQ(IntersectionSize(a, b), 12u);
+  EXPECT_EQ(IntersectionSize(b, a), 12u);
+  EXPECT_EQ(IntersectionSize(a, {}), 0u);
+  EXPECT_EQ(IntersectionSize(a, {{11, 19}}), 0u);
+  EXPECT_EQ(IntersectionSize(a, {{10, 20}}), 2u);  // endpoints touch
+}
+
+TEST(IntervalMetricsTest, Jaccard) {
+  EXPECT_DOUBLE_EQ(IntervalJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(IntervalJaccard({{0, 9}}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalJaccard({{0, 9}}, {{0, 9}}), 1.0);
+  // |∩| = 5 ([5,9]), |∪| = 15 ([0,14]).
+  EXPECT_DOUBLE_EQ(IntervalJaccard({{0, 9}}, {{5, 14}}), 5.0 / 15.0);
+}
+
+TEST(IntervalMetricsTest, CoverageFraction) {
+  EXPECT_DOUBLE_EQ(CoverageFraction({}, {{0, 5}}), 1.0);
+  EXPECT_DOUBLE_EQ(CoverageFraction({{0, 9}}, {{0, 4}}), 0.5);
+  EXPECT_DOUBLE_EQ(CoverageFraction({{0, 9}}, {}), 0.0);
+}
+
+TEST(IntervalMetricsTest, AgreesWithCoversOnRandomSets) {
+  Rng rng(9);
+  auto random_set = [&](uint64_t seed) {
+    Rng r2(seed);
+    std::vector<TimeInterval> out;
+    Timestamp t = 0;
+    for (int i = 0; i < 20; ++i) {
+      t += 2 + static_cast<Timestamp>(r2.NextBelow(30));
+      const Timestamp end = t + static_cast<Timestamp>(r2.NextBelow(10));
+      out.push_back({t, end});
+      t = end;
+    }
+    return out;
+  };
+  auto a = random_set(rng.NextU64());
+  auto b = random_set(rng.NextU64());
+  uint64_t brute = 0;
+  for (Timestamp t = 0; t <= 1200; ++t) {
+    brute += (Covers(a, t) && Covers(b, t));
+  }
+  EXPECT_EQ(IntersectionSize(a, b), brute);
+}
+
+TEST(SpaceBudgetPbe2Test, StaysNearBudget) {
+  Rng rng(11);
+  std::vector<Timestamp> times;
+  Timestamp t = 0;
+  for (int i = 0; i < 60000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(4));
+    times.push_back(t);
+  }
+
+  Pbe2Options fixed;
+  fixed.gamma = 1.0;
+  Pbe2 unbounded(fixed);
+  Pbe2Options capped = fixed;
+  capped.target_bytes = 4096;
+  Pbe2 bounded(capped);
+  for (Timestamp tt : times) {
+    unbounded.Append(tt);
+    bounded.Append(tt);
+  }
+  unbounded.Finalize();
+  bounded.Finalize();
+
+  EXPECT_GT(unbounded.SizeBytes(), 4u * 4096u);  // the cap is binding
+  EXPECT_LE(bounded.SizeBytes(), 3u * 4096u);    // soft budget ~respected
+  EXPECT_GT(bounded.MaxGamma(), fixed.gamma);    // it escalated
+
+  // The escalated guarantee still holds.
+  SingleEventStream stream(std::move(times));
+  const double bound = 4.0 * bounded.MaxGamma() + 1e-6;
+  for (Timestamp q = 0; q <= stream.times().back(); q += 997) {
+    const double exact = static_cast<double>(stream.BurstinessAt(q, 100));
+    EXPECT_LE(std::abs(bounded.EstimateBurstiness(q, 100) - exact), bound);
+  }
+}
+
+TEST(SpaceBudgetPbe2Test, MaxGammaSurvivesSerialization) {
+  Pbe2Options o;
+  o.gamma = 1.0;
+  o.target_bytes = 512;
+  Pbe2 pbe(o);
+  Rng rng(13);
+  Timestamp t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(4));
+    pbe.Append(t);
+  }
+  pbe.Finalize();
+  ASSERT_GT(pbe.MaxGamma(), o.gamma);
+
+  BinaryWriter w;
+  pbe.Serialize(&w);
+  Pbe2 back;
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  EXPECT_DOUBLE_EQ(back.MaxGamma(), pbe.MaxGamma());
+}
+
+TEST(SpaceBudgetPbe2Test, NoBudgetNoEscalation) {
+  Pbe2Options o;
+  o.gamma = 2.0;
+  Pbe2 pbe(o);
+  for (Timestamp t = 0; t < 5000; ++t) pbe.Append(t);
+  pbe.Finalize();
+  EXPECT_DOUBLE_EQ(pbe.MaxGamma(), 2.0);
+}
+
+}  // namespace
+}  // namespace bursthist

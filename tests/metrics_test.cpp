@@ -1,0 +1,98 @@
+// Unit tests for the evaluation metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/pbe1.h"
+#include "eval/metrics.h"
+
+namespace bursthist {
+namespace {
+
+TEST(ErrorAccumulatorTest, Stats) {
+  ErrorAccumulator acc;
+  acc.Add(10.0, 12.0);  // err 2
+  acc.Add(5.0, 1.0);    // err 4
+  auto s = acc.Stats();
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_abs, 3.0);
+  EXPECT_DOUBLE_EQ(s.max_abs, 4.0);
+  EXPECT_DOUBLE_EQ(s.root_mean_square, std::sqrt(10.0));
+}
+
+TEST(ErrorAccumulatorTest, EmptyIsZero) {
+  ErrorAccumulator acc;
+  auto s = acc.Stats();
+  EXPECT_EQ(s.queries, 0u);
+  EXPECT_EQ(s.mean_abs, 0.0);
+}
+
+TEST(SampleQueryTimesTest, InRangeAndDeterministic) {
+  Rng a(5), b(5);
+  auto qa = SampleQueryTimes(100, 200, 50, &a);
+  auto qb = SampleQueryTimes(100, 200, 50, &b);
+  EXPECT_EQ(qa, qb);
+  for (Timestamp t : qa) {
+    EXPECT_GE(t, 100);
+    EXPECT_LE(t, 200);
+  }
+}
+
+TEST(CompareIdSetsTest, PerfectMatch) {
+  auto pr = CompareIdSets({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_EQ(pr.hits, 3u);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+TEST(CompareIdSetsTest, PartialOverlap) {
+  auto pr = CompareIdSets({1, 2, 4, 9}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);      // 2 of 4 reported
+  EXPECT_DOUBLE_EQ(pr.recall, 2.0 / 3.0);   // 2 of 3 relevant
+}
+
+TEST(CompareIdSetsTest, EmptySets) {
+  auto both = CompareIdSets({}, {});
+  EXPECT_DOUBLE_EQ(both.precision, 1.0);
+  EXPECT_DOUBLE_EQ(both.recall, 1.0);
+
+  auto none_reported = CompareIdSets({}, {1});
+  EXPECT_DOUBLE_EQ(none_reported.precision, 1.0);
+  EXPECT_DOUBLE_EQ(none_reported.recall, 0.0);
+
+  auto all_false = CompareIdSets({1}, {});
+  EXPECT_DOUBLE_EQ(all_false.precision, 0.0);
+  EXPECT_DOUBLE_EQ(all_false.recall, 1.0);
+}
+
+TEST(PrecisionRecallAverageTest, Averages) {
+  PrecisionRecallAverage avg;
+  PrecisionRecall a;
+  a.precision = 1.0;
+  a.recall = 0.5;
+  PrecisionRecall b;
+  b.precision = 0.0;
+  b.recall = 1.0;
+  avg.Add(a);
+  avg.Add(b);
+  EXPECT_DOUBLE_EQ(avg.MeanPrecision(), 0.5);
+  EXPECT_DOUBLE_EQ(avg.MeanRecall(), 0.75);
+}
+
+TEST(MeasurePointErrorTest, ZeroForExactModel) {
+  SingleEventStream s({1, 4, 4, 9, 12});
+  Pbe1Options opt;
+  opt.buffer_points = 10;
+  opt.budget_points = 10;
+  Pbe1 pbe(opt);
+  for (Timestamp t : s.times()) pbe.Append(t);
+  pbe.Finalize();
+  auto stats =
+      MeasurePointError(pbe, s, {0, 3, 4, 8, 9, 12, 15}, /*tau=*/3);
+  EXPECT_EQ(stats.queries, 7u);
+  EXPECT_DOUBLE_EQ(stats.mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
+}
+
+}  // namespace
+}  // namespace bursthist

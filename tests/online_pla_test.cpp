@@ -1,0 +1,192 @@
+// Unit + property tests for the online PLA builder (Section III-B,
+// Algorithm 2): the error-band invariant, augmentation behaviour, and
+// the space-constrained variant.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pla/online_pla.h"
+#include "pla/staircase_model.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+FrequencyCurve RandomStaircase(size_t n, Rng* rng, Timestamp max_gap = 30,
+                               Count max_jump = 12) {
+  std::vector<CurvePoint> pts;
+  pts.reserve(n);
+  Timestamp t = 0;
+  Count c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += 1 + static_cast<Timestamp>(rng->NextBelow(max_gap));
+    c += 1 + static_cast<Count>(rng->NextBelow(max_jump));
+    pts.push_back(CurvePoint{t, c});
+  }
+  return FrequencyCurve(std::move(pts));
+}
+
+// Checks F(t) - gamma <= F~(t) <= F(t) at every discrete t in the
+// curve's support.
+void ExpectWithinBand(const FrequencyCurve& exact, const LinearModel& model,
+                      double gamma) {
+  const Timestamp first = exact.points().front().time;
+  const Timestamp last = exact.points().back().time;
+  for (Timestamp t = first; t <= last + 3; ++t) {
+    const double f = static_cast<double>(exact.Evaluate(t));
+    const double est = model.Evaluate(t);
+    EXPECT_LE(est, f + 1e-6) << "overestimate at t=" << t;
+    EXPECT_GE(est, f - gamma - 1e-6) << "undershoot beyond gamma at t=" << t;
+  }
+}
+
+TEST(OnlinePlaTest, SinglePointStream) {
+  OnlinePlaBuilder b(4.0);
+  b.AddPoint(10, 3);
+  b.Finish();
+  ASSERT_EQ(b.model().size(), 1u);
+  EXPECT_NEAR(b.model().Evaluate(10), 1.0, 1e-9);  // 3 - gamma/2
+  EXPECT_EQ(b.model().Evaluate(9), 0.0);
+}
+
+TEST(OnlinePlaTest, CollinearPointsMakeOneSegment) {
+  OnlinePlaBuilder b(0.5);
+  for (Timestamp t = 0; t < 50; ++t) b.AddPoint(t * 2, static_cast<Count>(t + 1));
+  b.Finish();
+  EXPECT_EQ(b.model().size(), 1u);
+  // The single line must track the exact points within the band.
+  for (Timestamp t = 0; t < 50; ++t) {
+    const double f = static_cast<double>(t + 1);
+    const double est = b.model().Evaluate(t * 2);
+    EXPECT_LE(est, f + 1e-9);
+    EXPECT_GE(est, f - 0.5 - 1e-9);
+  }
+}
+
+TEST(OnlinePlaTest, BandInvariantOnRandomStaircases) {
+  Rng rng(101);
+  for (double gamma : {0.0, 1.0, 4.0, 16.0}) {
+    FrequencyCurve curve = RandomStaircase(120, &rng);
+    LinearModel model = BuildPla(curve, gamma);
+    ExpectWithinBand(curve, model, gamma);
+  }
+}
+
+TEST(OnlinePlaTest, GammaZeroIsExactAtCorners) {
+  Rng rng(103);
+  FrequencyCurve curve = RandomStaircase(60, &rng);
+  LinearModel model = BuildPla(curve, 0.0);
+  for (const auto& p : curve.points()) {
+    EXPECT_NEAR(model.Evaluate(p.time), static_cast<double>(p.count), 1e-6);
+  }
+}
+
+TEST(OnlinePlaTest, LargerGammaFewerSegments) {
+  Rng rng(107);
+  FrequencyCurve curve = RandomStaircase(300, &rng);
+  size_t prev = ~size_t{0};
+  for (double gamma : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    LinearModel model = BuildPla(curve, gamma);
+    EXPECT_LE(model.size(), prev) << "gamma=" << gamma;
+    prev = model.size();
+    ExpectWithinBand(curve, model, gamma);
+  }
+}
+
+TEST(OnlinePlaTest, BurstinessErrorBounded4Gamma) {
+  Rng rng(109);
+  const double gamma = 6.0;
+  FrequencyCurve curve = RandomStaircase(200, &rng);
+  LinearModel model = BuildPla(curve, gamma);
+  const Timestamp last = curve.points().back().time;
+  for (Timestamp tau : {3, 10, 50}) {
+    for (Timestamp t = 0; t <= last + 2 * tau; t += 7) {
+      const double exact = static_cast<double>(curve.BurstinessAt(t, tau));
+      const double est = model.EstimateBurstiness(t, tau);
+      EXPECT_LE(std::abs(est - exact), 4.0 * gamma + 1e-6)
+          << "t=" << t << " tau=" << tau;
+    }
+  }
+}
+
+TEST(OnlinePlaTest, NoAugmentationCanOverestimate) {
+  // A staircase with a long flat stretch followed by a big jump: a
+  // line through the raw corners overestimates the flat part. This is
+  // exactly what the paper's extra points prevent.
+  FrequencyCurve curve(
+      std::vector<CurvePoint>{{0, 1}, {100, 2}, {101, 100}, {200, 101}});
+  LinearModel without = BuildPlaNoAugmentation(curve, 1.0);
+  bool overestimated = false;
+  for (Timestamp t = 0; t <= 200; ++t) {
+    if (without.Evaluate(t) >
+        static_cast<double>(curve.Evaluate(t)) + 1e-6) {
+      overestimated = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(overestimated);
+
+  LinearModel with = BuildPla(curve, 1.0);
+  ExpectWithinBand(curve, with, 1.0);
+}
+
+TEST(OnlinePlaTest, PolygonVertexCapStillSound) {
+  Rng rng(113);
+  FrequencyCurve curve = RandomStaircase(150, &rng);
+  const double gamma = 3.0;
+  LinearModel capped = BuildPla(curve, gamma, /*max_polygon_vertices=*/4);
+  LinearModel uncapped = BuildPla(curve, gamma);
+  // Capping can only split windows more often.
+  EXPECT_GE(capped.size(), uncapped.size());
+  ExpectWithinBand(curve, capped, gamma);
+}
+
+TEST(OnlinePlaTest, SegmentsAreOrderedAndDisjoint) {
+  Rng rng(127);
+  FrequencyCurve curve = RandomStaircase(250, &rng);
+  LinearModel model = BuildPla(curve, 2.0);
+  const auto& segs = model.segments();
+  ASSERT_FALSE(segs.empty());
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_LE(segs[i].start, segs[i].last);
+    if (i > 0) {
+      EXPECT_GT(segs[i].start, segs[i - 1].last);
+    }
+  }
+}
+
+TEST(OnlinePlaTest, EvaluateBeforeFirstSegmentIsZero) {
+  FrequencyCurve curve(std::vector<CurvePoint>{{50, 5}, {60, 9}});
+  LinearModel model = BuildPla(curve, 1.0);
+  EXPECT_EQ(model.Evaluate(0), 0.0);
+  EXPECT_EQ(model.Evaluate(49), 0.0);
+}
+
+TEST(LinearModelTest, SerializationRoundTrip) {
+  Rng rng(131);
+  FrequencyCurve curve = RandomStaircase(80, &rng);
+  LinearModel model = BuildPla(curve, 2.5);
+  BinaryWriter w;
+  model.Serialize(&w);
+  LinearModel back;
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  ASSERT_EQ(back.size(), model.size());
+  for (Timestamp t = 0; t <= curve.points().back().time; t += 3) {
+    EXPECT_DOUBLE_EQ(back.Evaluate(t), model.Evaluate(t));
+  }
+}
+
+TEST(StaircaseModelTest, SerializationRoundTrip) {
+  StaircaseModel m({{1, 2}, {5, 7}, {9, 11}});
+  BinaryWriter w;
+  m.Serialize(&w);
+  StaircaseModel back;
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  EXPECT_EQ(back.points(), m.points());
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,201 @@
+// Unit + property tests for the PBE-1 optimal staircase dynamic
+// program (Section III-A, Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pla/optimal_staircase.h"
+#include "pla/staircase_model.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+std::vector<CurvePoint> RandomCurve(size_t n, Rng* rng) {
+  std::vector<CurvePoint> pts;
+  pts.reserve(n);
+  Timestamp t = 0;
+  Count c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += 1 + static_cast<Timestamp>(rng->NextBelow(20));
+    c += 1 + static_cast<Count>(rng->NextBelow(15));
+    pts.push_back(CurvePoint{t, c});
+  }
+  return pts;
+}
+
+// Exhaustive optimum over all subsets that include both boundaries.
+double BruteForceBest(const std::vector<CurvePoint>& pts, size_t budget,
+                      std::vector<uint32_t>* best_sel = nullptr) {
+  const size_t n = pts.size();
+  double best = 1e300;
+  const size_t interior = n - 2;
+  std::vector<uint32_t> sel;
+  for (uint64_t mask = 0; mask < (1ULL << interior); ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) + 2 > budget) continue;
+    sel.clear();
+    sel.push_back(0);
+    for (size_t i = 0; i < interior; ++i) {
+      if (mask & (1ULL << i)) sel.push_back(static_cast<uint32_t>(i + 1));
+    }
+    sel.push_back(static_cast<uint32_t>(n - 1));
+    const double err = SelectionError(pts, sel);
+    if (err < best) {
+      best = err;
+      if (best_sel) *best_sel = sel;
+    }
+  }
+  return best;
+}
+
+TEST(OptimalStaircaseTest, TrivialInputs) {
+  EXPECT_TRUE(OptimalStaircase({}, 5).selected.empty());
+
+  std::vector<CurvePoint> one = {{3, 2}};
+  auto fit1 = OptimalStaircase(one, 5);
+  EXPECT_EQ(fit1.selected, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(fit1.error, 0.0);
+
+  std::vector<CurvePoint> two = {{3, 2}, {7, 9}};
+  auto fit2 = OptimalStaircase(two, 2);
+  EXPECT_EQ(fit2.selected, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(fit2.error, 0.0);
+}
+
+TEST(OptimalStaircaseTest, BudgetAtLeastNIsExact) {
+  Rng rng(5);
+  auto pts = RandomCurve(20, &rng);
+  auto fit = OptimalStaircase(pts, 20);
+  EXPECT_EQ(fit.selected.size(), 20u);
+  EXPECT_EQ(fit.error, 0.0);
+}
+
+TEST(OptimalStaircaseTest, KnownSmallInstance) {
+  // Points: (0,1), (2,2), (5,4), (8,5); budget 3. Dropping (2,2)
+  // costs 1*(5-2)=3 over [2,5); dropping (5,4) costs (4-2)*(8-5)=6.
+  std::vector<CurvePoint> pts = {{0, 1}, {2, 2}, {5, 4}, {8, 5}};
+  auto fit = OptimalStaircase(pts, 3);
+  EXPECT_EQ(fit.selected, (std::vector<uint32_t>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(fit.error, 3.0);
+}
+
+TEST(OptimalStaircaseTest, SelectionErrorMatchesAreaAbove) {
+  Rng rng(11);
+  auto pts = RandomCurve(30, &rng);
+  auto fit = OptimalStaircase(pts, 7);
+  FrequencyCurve full(pts);
+  FrequencyCurve approx(fit.Materialize(pts));
+  EXPECT_NEAR(fit.error, full.AreaAbove(approx, pts.back().time), 1e-6);
+  EXPECT_NEAR(fit.error, SelectionError(pts, fit.selected), 1e-9);
+}
+
+TEST(OptimalStaircaseTest, BoundariesAlwaysSelected) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto pts = RandomCurve(25, &rng);
+    auto fit = OptimalStaircase(pts, 2 + rng.NextBelow(10));
+    ASSERT_GE(fit.selected.size(), 2u);
+    EXPECT_EQ(fit.selected.front(), 0u);
+    EXPECT_EQ(fit.selected.back(), pts.size() - 1);
+    EXPECT_TRUE(std::is_sorted(fit.selected.begin(), fit.selected.end()));
+  }
+}
+
+TEST(OptimalStaircaseTest, NeverOverestimates) {
+  Rng rng(17);
+  auto pts = RandomCurve(40, &rng);
+  auto fit = OptimalStaircase(pts, 8);
+  FrequencyCurve full(pts);
+  StaircaseModel approx(fit.Materialize(pts));
+  for (Timestamp t = 0; t <= pts.back().time + 5; ++t) {
+    EXPECT_LE(approx.Evaluate(t), full.Evaluate(t)) << "t=" << t;
+  }
+}
+
+TEST(OptimalStaircaseTest, ErrorDecreasesWithBudget) {
+  Rng rng(19);
+  auto pts = RandomCurve(60, &rng);
+  double prev = 1e300;
+  for (size_t budget : {2, 4, 8, 16, 32, 60}) {
+    auto fit = OptimalStaircase(pts, budget);
+    EXPECT_LE(fit.error, prev + 1e-9) << "budget=" << budget;
+    prev = fit.error;
+  }
+}
+
+// --- Cross-validation sweeps -------------------------------------------
+
+struct SweepParam {
+  size_t n;
+  size_t budget;
+  uint64_t seed;
+};
+
+class StaircaseSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(StaircaseSweep, DncMatchesNaive) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  auto pts = RandomCurve(p.n, &rng);
+  auto fast = OptimalStaircase(pts, p.budget);
+  auto slow = OptimalStaircaseNaive(pts, p.budget);
+  EXPECT_NEAR(fast.error, slow.error, 1e-6 * (1.0 + slow.error));
+  // Errors recomputed from the selections must agree too.
+  EXPECT_NEAR(SelectionError(pts, fast.selected),
+              SelectionError(pts, slow.selected),
+              1e-6 * (1.0 + slow.error));
+}
+
+TEST_P(StaircaseSweep, NaiveMatchesBruteForce) {
+  const auto p = GetParam();
+  if (p.n > 16) GTEST_SKIP() << "brute force only for tiny n";
+  Rng rng(p.seed ^ 0xabcd);
+  auto pts = RandomCurve(p.n, &rng);
+  auto fit = OptimalStaircaseNaive(pts, p.budget);
+  const double brute = BruteForceBest(pts, p.budget);
+  EXPECT_NEAR(fit.error, brute, 1e-9 * (1.0 + brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaircaseSweep,
+    ::testing::Values(SweepParam{8, 3, 1}, SweepParam{10, 4, 2},
+                      SweepParam{12, 5, 3}, SweepParam{14, 6, 4},
+                      SweepParam{16, 4, 5}, SweepParam{16, 8, 6},
+                      SweepParam{40, 7, 7}, SweepParam{80, 12, 8},
+                      SweepParam{150, 20, 9}, SweepParam{300, 30, 10},
+                      SweepParam{300, 150, 11}, SweepParam{500, 50, 12}));
+
+TEST(OptimalStaircaseErrorCappedTest, MeetsCapWithFewestPoints) {
+  Rng rng(23);
+  auto pts = RandomCurve(50, &rng);
+  // Reference: full DP errors per budget.
+  for (double cap : {0.0, 10.0, 100.0, 1000.0}) {
+    auto fit = OptimalStaircaseErrorCapped(pts, cap);
+    EXPECT_LE(fit.error, cap + 1e-9);
+    // Minimality: one fewer point must violate the cap (unless the
+    // selection is already the minimum size 2).
+    if (fit.selected.size() > 2) {
+      auto tighter = OptimalStaircase(pts, fit.selected.size() - 1);
+      EXPECT_GT(tighter.error, cap);
+    }
+  }
+}
+
+TEST(OptimalStaircaseErrorCappedTest, ZeroCapKeepsEverything) {
+  Rng rng(29);
+  auto pts = RandomCurve(15, &rng);
+  auto fit = OptimalStaircaseErrorCapped(pts, 0.0);
+  EXPECT_DOUBLE_EQ(fit.error, 0.0);
+}
+
+TEST(OptimalStaircaseErrorCappedTest, HugeCapKeepsOnlyBoundaries) {
+  Rng rng(31);
+  auto pts = RandomCurve(15, &rng);
+  auto fit = OptimalStaircaseErrorCapped(pts, 1e18);
+  EXPECT_EQ(fit.selected.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,107 @@
+// Tests for the engine's bounded out-of-order tolerance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+BurstEngineOptions<Pbe1> Options(Timestamp lateness) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 16;
+  o.grid.depth = 3;
+  o.grid.width = 64;
+  o.cell.buffer_points = 128;
+  o.cell.budget_points = 128;
+  o.max_lateness = lateness;
+  return o;
+}
+
+TEST(OutOfOrderTest, ZeroLatenessRejectsRegressions) {
+  BurstEngine1 engine(Options(0));
+  ASSERT_TRUE(engine.Append(1, 100).ok());
+  EXPECT_EQ(engine.Append(1, 99).code(), StatusCode::kOutOfRange);
+}
+
+TEST(OutOfOrderTest, ShuffledWithinWindowMatchesSorted) {
+  // A stream shuffled within a +/-20 window, ingested with lateness
+  // 40, must produce exactly the state of the sorted stream.
+  Rng rng(5);
+  std::vector<std::pair<EventId, Timestamp>> records;
+  Timestamp t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    records.emplace_back(static_cast<EventId>(rng.NextBelow(16)), t);
+  }
+  // Shuffle within disjoint 16-record blocks: displacement is bounded
+  // by 16 positions (< 16 * 2 = 32 time units), safely inside the
+  // lateness window. A sequential neighbour-swap would let records
+  // cascade arbitrarily far.
+  auto shuffled = records;
+  for (size_t block = 0; block + 16 <= shuffled.size(); block += 16) {
+    for (size_t i = 15; i > 0; --i) {
+      std::swap(shuffled[block + i], shuffled[block + rng.NextBelow(i + 1)]);
+    }
+  }
+
+  BurstEngine1 sorted_engine(Options(0));
+  for (auto& [e, at] : records) ASSERT_TRUE(sorted_engine.Append(e, at).ok());
+  sorted_engine.Finalize();
+
+  BurstEngine1 lenient(Options(60));
+  for (auto& [e, at] : shuffled) {
+    ASSERT_TRUE(lenient.Append(e, at).ok()) << "t=" << at;
+  }
+  lenient.Finalize();
+
+  EXPECT_EQ(lenient.TotalCount(), sorted_engine.TotalCount());
+  for (EventId e = 0; e < 16; ++e) {
+    for (Timestamp q = 0; q <= t; q += 113) {
+      EXPECT_DOUBLE_EQ(lenient.CumulativeQuery(e, q),
+                       sorted_engine.CumulativeQuery(e, q))
+          << "e=" << e << " q=" << q;
+    }
+  }
+}
+
+TEST(OutOfOrderTest, BeyondLatenessRejected) {
+  BurstEngine1 engine(Options(10));
+  ASSERT_TRUE(engine.Append(1, 100).ok());
+  ASSERT_TRUE(engine.Append(1, 95).ok());   // within window
+  ASSERT_TRUE(engine.Append(1, 90).ok());   // boundary (100 - 10)
+  EXPECT_EQ(engine.Append(1, 89).code(), StatusCode::kOutOfRange);
+  // New high watermark shifts the window.
+  ASSERT_TRUE(engine.Append(1, 200).ok());
+  EXPECT_EQ(engine.Append(1, 150).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(engine.Append(1, 195).ok());
+  engine.Finalize();
+  EXPECT_EQ(engine.TotalCount(), 5u);
+}
+
+TEST(OutOfOrderTest, FinalizeDrainsBuffer) {
+  BurstEngine1 engine(Options(1000));
+  ASSERT_TRUE(engine.Append(2, 500).ok());
+  ASSERT_TRUE(engine.Append(3, 100).ok());  // held in the buffer
+  engine.Finalize();
+  EXPECT_EQ(engine.TotalCount(), 2u);
+  EXPECT_DOUBLE_EQ(engine.CumulativeQuery(3, 100), 1.0);
+  EXPECT_DOUBLE_EQ(engine.CumulativeQuery(2, 500), 1.0);
+}
+
+TEST(OutOfOrderTest, EqualTimestampsAnyOrder) {
+  BurstEngine1 engine(Options(5));
+  ASSERT_TRUE(engine.Append(1, 10).ok());
+  ASSERT_TRUE(engine.Append(2, 10).ok());
+  ASSERT_TRUE(engine.Append(1, 10).ok());
+  engine.Finalize();
+  EXPECT_DOUBLE_EQ(engine.CumulativeQuery(1, 10), 2.0);
+  EXPECT_DOUBLE_EQ(engine.CumulativeQuery(2, 10), 1.0);
+}
+
+}  // namespace
+}  // namespace bursthist

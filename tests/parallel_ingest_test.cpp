@@ -1,0 +1,123 @@
+// Unit tests for parallel construction: the parallel builders must
+// produce states identical to serial ingestion.
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_ingest.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+EventStream RandomMix(EventId k, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  EventStream s;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    s.Append(static_cast<EventId>(rng.NextBelow(k)), t);
+  }
+  return s;
+}
+
+Pbe1Options Cell() {
+  Pbe1Options o;
+  o.buffer_points = 128;
+  o.budget_points = 32;
+  return o;
+}
+
+TEST(ParallelIngestTest, CmPbeMatchesSerial) {
+  const EventId k = 32;
+  auto stream = RandomMix(k, 20000, 7);
+  CmPbeOptions grid;
+  grid.depth = 4;
+  grid.width = 64;
+
+  CmPbe<Pbe1> serial(grid, Cell());
+  for (const auto& r : stream.records()) serial.Append(r.id, r.time);
+  serial.Finalize();
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    auto parallel = BuildCmPbeParallel<Pbe1>(stream, grid, Cell(), threads);
+    EXPECT_EQ(parallel.TotalCount(), serial.TotalCount());
+    EXPECT_EQ(parallel.SizeBytes(), serial.SizeBytes());
+    Rng qrng(threads);
+    for (int i = 0; i < 200; ++i) {
+      const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+      const Timestamp t =
+          static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+      EXPECT_DOUBLE_EQ(parallel.EstimateCumulative(e, t),
+                       serial.EstimateCumulative(e, t))
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelIngestTest, CmPbe2MatchesSerial) {
+  const EventId k = 16;
+  auto stream = RandomMix(k, 10000, 11);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 32;
+  Pbe2Options cell;
+  cell.gamma = 3.0;
+
+  CmPbe<Pbe2> serial(grid, cell);
+  for (const auto& r : stream.records()) serial.Append(r.id, r.time);
+  serial.Finalize();
+
+  auto parallel = BuildCmPbeParallel<Pbe2>(stream, grid, cell, 3);
+  Rng qrng(3);
+  for (int i = 0; i < 200; ++i) {
+    const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+    const Timestamp t =
+        static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+    EXPECT_DOUBLE_EQ(parallel.EstimateCumulative(e, t),
+                     serial.EstimateCumulative(e, t));
+  }
+}
+
+TEST(ParallelIngestTest, DyadicMatchesSerial) {
+  const EventId k = 100;
+  auto stream = RandomMix(k, 15000, 13);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 64;
+
+  DyadicBurstIndex<Pbe1> serial(k, grid, Cell());
+  for (const auto& r : stream.records()) serial.Append(r.id, r.time);
+  serial.Finalize();
+
+  for (size_t threads : {2, 6}) {
+    auto parallel =
+        BuildDyadicParallel<Pbe1>(stream, k, grid, Cell(), threads);
+    EXPECT_EQ(parallel.SizeBytes(), serial.SizeBytes());
+    Rng qrng(threads);
+    for (int i = 0; i < 100; ++i) {
+      const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+      const Timestamp t =
+          static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+      EXPECT_DOUBLE_EQ(parallel.EstimateBurstiness(e, t, 100),
+                       serial.EstimateBurstiness(e, t, 100))
+          << "threads=" << threads;
+    }
+    // Query results agree too.
+    auto a = parallel.BurstyEvents(stream.MaxTime() / 2, 10.0, 100);
+    auto b = serial.BurstyEvents(stream.MaxTime() / 2, 10.0, 100);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ParallelIngestTest, SingleThreadFallback) {
+  auto stream = RandomMix(8, 1000, 17);
+  CmPbeOptions grid;
+  grid.depth = 1;
+  grid.width = 16;
+  auto built = BuildCmPbeParallel<Pbe1>(stream, grid, Cell(), 8);
+  EXPECT_TRUE(built.finalized());
+  EXPECT_EQ(built.TotalCount(), stream.size());
+}
+
+}  // namespace
+}  // namespace bursthist

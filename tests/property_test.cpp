@@ -1,0 +1,240 @@
+// Property-based sweeps (TEST_P) over randomized streams and parameter
+// grids: the core invariants every estimator must keep, checked on
+// many stream shapes at once.
+//
+//   P1  F~(t) never overestimates F(t)            (PBE-1 & PBE-2)
+//   P2  F~ is non-decreasing in t                  (PBE-1; PBE-2 up to
+//       its band: we check it never drops by more than gamma)
+//   P3  b~(t) == F~(t) - 2 F~(t-tau) + F~(t-2tau)  (Equation 2)
+//   P4  |b~(t) - b(t)| <= 4 * Delta / 4 * gamma    (Lemmas 1 & 4)
+//   P5  serialization round-trips bit-for-bit estimates
+//   P6  BurstyTimes agrees with dense point queries
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "stream/event_stream.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+// Stream shapes that stress different code paths.
+enum class Shape {
+  kUniform,      // steady trickle
+  kBursty,       // quiet / storm / quiet
+  kDuplicates,   // many same-timestamp arrivals
+  kRamp,         // steadily accelerating
+  kSparse,       // long gaps
+};
+
+SingleEventStream MakeStream(Shape shape, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Timestamp> times;
+  times.reserve(n);
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    switch (shape) {
+      case Shape::kUniform:
+        t += 1 + static_cast<Timestamp>(rng.NextBelow(4));
+        break;
+      case Shape::kBursty: {
+        const bool storm = (i / (n / 8 + 1)) % 2 == 1;
+        t += storm ? static_cast<Timestamp>(rng.NextBelow(2))
+                   : 5 + static_cast<Timestamp>(rng.NextBelow(20));
+        break;
+      }
+      case Shape::kDuplicates:
+        if (rng.NextDouble() > 0.3) t += 1 + rng.NextBelow(3);
+        break;
+      case Shape::kRamp:
+        t += 1 + static_cast<Timestamp>(
+                     rng.NextBelow(1 + 40 * (n - i) / n));
+        break;
+      case Shape::kSparse:
+        t += 1 + static_cast<Timestamp>(rng.NextBelow(300));
+        break;
+    }
+    times.push_back(t);
+  }
+  return SingleEventStream(std::move(times));
+}
+
+struct Param {
+  Shape shape;
+  size_t n;
+  size_t eta;     // PBE-1 budget (buffer fixed at 128)
+  double gamma;   // PBE-2 band
+  uint64_t seed;
+};
+
+class EstimatorProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr size_t kBuffer = 128;
+
+  Pbe1 BuildP1(const SingleEventStream& s) {
+    Pbe1Options o;
+    o.buffer_points = kBuffer;
+    o.budget_points = GetParam().eta;
+    Pbe1 p(o);
+    for (Timestamp t : s.times()) p.Append(t);
+    p.Finalize();
+    return p;
+  }
+
+  Pbe2 BuildP2(const SingleEventStream& s) {
+    Pbe2Options o;
+    o.gamma = GetParam().gamma;
+    Pbe2 p(o);
+    for (Timestamp t : s.times()) p.Append(t);
+    p.Finalize();
+    return p;
+  }
+};
+
+TEST_P(EstimatorProperties, P1_NeverOverestimate) {
+  const auto p = GetParam();
+  auto s = MakeStream(p.shape, p.n, p.seed);
+  Pbe1 p1 = BuildP1(s);
+  Pbe2 p2 = BuildP2(s);
+  const Timestamp last = s.times().back();
+  const Timestamp step = std::max<Timestamp>(1, last / 4000);
+  for (Timestamp t = 0; t <= last + 3; t += step) {
+    const double exact = static_cast<double>(s.CumulativeFrequency(t));
+    EXPECT_LE(p1.EstimateCumulative(t), exact + 1e-9) << "PBE-1 t=" << t;
+    EXPECT_LE(p2.EstimateCumulative(t), exact + 1e-6) << "PBE-2 t=" << t;
+  }
+}
+
+TEST_P(EstimatorProperties, P2_Monotonicity) {
+  const auto p = GetParam();
+  auto s = MakeStream(p.shape, p.n, p.seed ^ 0x2);
+  Pbe1 p1 = BuildP1(s);
+  Pbe2 p2 = BuildP2(s);
+  const Timestamp last = s.times().back();
+  const Timestamp step = std::max<Timestamp>(1, last / 4000);
+  double prev1 = -1.0, prev2 = -1.0;
+  for (Timestamp t = 0; t <= last + 3; t += step) {
+    const double v1 = p1.EstimateCumulative(t);
+    const double v2 = p2.EstimateCumulative(t);
+    EXPECT_GE(v1, prev1) << "PBE-1 t=" << t;  // strict staircase
+    EXPECT_GE(v2, prev2 - p.gamma - 1e-6) << "PBE-2 t=" << t;
+    prev1 = v1;
+    prev2 = v2;
+  }
+}
+
+TEST_P(EstimatorProperties, P3_BurstinessIdentity) {
+  const auto p = GetParam();
+  auto s = MakeStream(p.shape, p.n, p.seed ^ 0x3);
+  Pbe1 p1 = BuildP1(s);
+  Pbe2 p2 = BuildP2(s);
+  const Timestamp last = s.times().back();
+  Rng rng(p.seed);
+  for (int i = 0; i < 200; ++i) {
+    const Timestamp t =
+        static_cast<Timestamp>(rng.NextBelow(static_cast<uint64_t>(last) + 1));
+    const Timestamp tau = 1 + static_cast<Timestamp>(rng.NextBelow(200));
+    EXPECT_NEAR(p1.EstimateBurstiness(t, tau),
+                p1.EstimateCumulative(t) - 2 * p1.EstimateCumulative(t - tau) +
+                    p1.EstimateCumulative(t - 2 * tau),
+                1e-9);
+    EXPECT_NEAR(p2.EstimateBurstiness(t, tau),
+                p2.EstimateCumulative(t) - 2 * p2.EstimateCumulative(t - tau) +
+                    p2.EstimateCumulative(t - 2 * tau),
+                1e-9);
+  }
+}
+
+TEST_P(EstimatorProperties, P4_LemmaBounds) {
+  const auto p = GetParam();
+  auto s = MakeStream(p.shape, p.n, p.seed ^ 0x4);
+  Pbe1 p1 = BuildP1(s);
+  Pbe2 p2 = BuildP2(s);
+  const double bound1 = 4.0 * p1.MaxBufferAreaError() + 1e-6;
+  const double bound2 = 4.0 * p.gamma + 1e-6;
+  const Timestamp last = s.times().back();
+  Rng rng(p.seed ^ 0x44);
+  for (int i = 0; i < 300; ++i) {
+    const Timestamp t = static_cast<Timestamp>(
+        rng.NextBelow(static_cast<uint64_t>(last) + 600));
+    const Timestamp tau = 1 + static_cast<Timestamp>(rng.NextBelow(300));
+    const double exact = static_cast<double>(s.BurstinessAt(t, tau));
+    EXPECT_LE(std::abs(p1.EstimateBurstiness(t, tau) - exact), bound1)
+        << "PBE-1 t=" << t << " tau=" << tau;
+    EXPECT_LE(std::abs(p2.EstimateBurstiness(t, tau) - exact), bound2)
+        << "PBE-2 t=" << t << " tau=" << tau;
+  }
+}
+
+TEST_P(EstimatorProperties, P5_SerializationPreservesEstimates) {
+  const auto p = GetParam();
+  auto s = MakeStream(p.shape, p.n, p.seed ^ 0x5);
+  Pbe1 p1 = BuildP1(s);
+  Pbe2 p2 = BuildP2(s);
+
+  BinaryWriter w1, w2;
+  p1.Serialize(&w1);
+  p2.Serialize(&w2);
+  Pbe1 r1;
+  Pbe2 r2;
+  BinaryReader b1(w1.bytes()), b2(w2.bytes());
+  ASSERT_TRUE(r1.Deserialize(&b1).ok());
+  ASSERT_TRUE(r2.Deserialize(&b2).ok());
+
+  const Timestamp last = s.times().back();
+  const Timestamp step = std::max<Timestamp>(1, last / 500);
+  for (Timestamp t = 0; t <= last; t += step) {
+    EXPECT_DOUBLE_EQ(r1.EstimateCumulative(t), p1.EstimateCumulative(t));
+    EXPECT_DOUBLE_EQ(r2.EstimateCumulative(t), p2.EstimateCumulative(t));
+  }
+}
+
+TEST_P(EstimatorProperties, P6_BurstyTimesAgreesWithPointQueries) {
+  const auto p = GetParam();
+  auto s = MakeStream(p.shape, std::min<size_t>(p.n, 400), p.seed ^ 0x6);
+  Pbe1 p1 = BuildP1(s);
+  Pbe2 p2 = BuildP2(s);
+  const Timestamp tau = 25;
+  const double theta = 3.0;
+  auto iv1 = BurstyTimes(p1, theta, tau);
+  auto iv2 = BurstyTimes(p2, theta, tau);
+  const Timestamp hi = s.times().back() + 2 * tau + 2;
+  for (Timestamp t = 0; t <= hi; ++t) {
+    EXPECT_EQ(Covers(iv1, t), p1.EstimateBurstiness(t, tau) >= theta)
+        << "PBE-1 t=" << t;
+    EXPECT_EQ(Covers(iv2, t), p2.EstimateBurstiness(t, tau) >= theta)
+        << "PBE-2 t=" << t;
+  }
+}
+
+std::vector<Param> SweepParams() {
+  return {
+      {Shape::kUniform, 1500, 16, 4.0, 1},
+      {Shape::kUniform, 1500, 64, 0.0, 2},
+      {Shape::kBursty, 2000, 24, 8.0, 3},
+      {Shape::kBursty, 2000, 8, 1.0, 4},
+      {Shape::kDuplicates, 3000, 32, 2.0, 5},
+      {Shape::kRamp, 1800, 16, 16.0, 6},
+      {Shape::kSparse, 900, 12, 4.0, 7},
+      {Shape::kSparse, 900, 48, 32.0, 8},
+  };
+}
+
+std::string SweepName(const ::testing::TestParamInfo<Param>& info) {
+  static const char* kNames[] = {"Uniform", "Bursty", "Duplicates", "Ramp",
+                                 "Sparse"};
+  return std::string(kNames[static_cast<int>(info.param.shape)]) + "_" +
+         std::to_string(info.index);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EstimatorProperties,
+                         ::testing::ValuesIn(SweepParams()), SweepName);
+
+}  // namespace
+}  // namespace bursthist

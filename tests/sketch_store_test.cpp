@@ -1,0 +1,179 @@
+// Unit tests for the on-disk sketch catalog.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/sketch_store.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+class SketchStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/bursthist_store_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    store_ = std::make_unique<SketchStore>(dir_);
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup.
+    auto list = store_->List();
+    if (list.ok()) {
+      for (const auto& e : list.value()) (void)store_->Remove(e.name);
+    }
+    std::remove((dir_ + "/MANIFEST").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  BurstEngine1 MakeEngine1(uint64_t seed) {
+    BurstEngineOptions<Pbe1> o;
+    o.universe_size = 32;
+    o.grid.depth = 2;
+    o.grid.width = 16;
+    o.cell.buffer_points = 64;
+    o.cell.budget_points = 16;
+    o.heavy_hitter_capacity = 8;
+    BurstEngine1 engine(o);
+    Rng rng(seed);
+    Timestamp t = 0;
+    for (int i = 0; i < 2000; ++i) {
+      t += static_cast<Timestamp>(rng.NextBelow(3));
+      EXPECT_TRUE(
+          engine.Append(static_cast<EventId>(rng.NextBelow(32)), t).ok());
+    }
+    engine.Finalize();
+    return engine;
+  }
+
+  BurstEngine2 MakeEngine2(uint64_t seed) {
+    BurstEngineOptions<Pbe2> o;
+    o.universe_size = 16;
+    o.grid.depth = 2;
+    o.grid.width = 8;
+    o.cell.gamma = 3.0;
+    BurstEngine2 engine(o);
+    Rng rng(seed);
+    Timestamp t = 0;
+    for (int i = 0; i < 1000; ++i) {
+      t += static_cast<Timestamp>(rng.NextBelow(3));
+      EXPECT_TRUE(
+          engine.Append(static_cast<EventId>(rng.NextBelow(16)), t).ok());
+    }
+    engine.Finalize();
+    return engine;
+  }
+
+  std::string dir_;
+  std::unique_ptr<SketchStore> store_;
+};
+
+TEST_F(SketchStoreTest, EmptyStoreLists) {
+  auto list = store_->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list.value().empty());
+}
+
+TEST_F(SketchStoreTest, SaveLoadRoundTrip) {
+  BurstEngine1 engine = MakeEngine1(1);
+  ASSERT_TRUE(store_->Save("feed-a", engine).ok());
+
+  auto loaded = store_->LoadEngine1("feed-a");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().TotalCount(), engine.TotalCount());
+  for (Timestamp t = 0; t < 2000; t += 97) {
+    for (EventId e = 0; e < 32; e += 5) {
+      EXPECT_DOUBLE_EQ(loaded.value().PointQuery(e, t, 50),
+                       engine.PointQuery(e, t, 50));
+    }
+  }
+}
+
+TEST_F(SketchStoreTest, LoadRestoresConfiguration) {
+  // The loader needs no options: configuration is embedded.
+  BurstEngine1 engine = MakeEngine1(2);
+  ASSERT_TRUE(store_->Save("cfg", engine).ok());
+  auto loaded = store_->LoadEngine1("cfg");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().universe_size(), engine.universe_size());
+  EXPECT_EQ(loaded.value().options().heavy_hitter_capacity, 8u);
+  EXPECT_EQ(loaded.value().options().cell.budget_points, 16u);
+}
+
+TEST_F(SketchStoreTest, KindMismatchRejected) {
+  ASSERT_TRUE(store_->Save("one", MakeEngine1(3)).ok());
+  auto wrong = store_->LoadEngine2("one");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SketchStoreTest, BothKindsCoexist) {
+  ASSERT_TRUE(store_->Save("p1", MakeEngine1(4)).ok());
+  ASSERT_TRUE(store_->Save("p2", MakeEngine2(5)).ok());
+  auto list = store_->List();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.value().size(), 2u);
+  EXPECT_EQ(list.value()[0].name, "p1");
+  EXPECT_EQ(list.value()[0].kind, 1);
+  EXPECT_EQ(list.value()[1].name, "p2");
+  EXPECT_EQ(list.value()[1].kind, 2);
+  EXPECT_TRUE(store_->LoadEngine2("p2").ok());
+}
+
+TEST_F(SketchStoreTest, SaveReplacesExisting) {
+  ASSERT_TRUE(store_->Save("x", MakeEngine1(6)).ok());
+  BurstEngine1 bigger = MakeEngine1(7);
+  ASSERT_TRUE(store_->Save("x", bigger).ok());
+  auto list = store_->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().size(), 1u);
+  auto loaded = store_->LoadEngine1("x");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().TotalCount(), bigger.TotalCount());
+}
+
+TEST_F(SketchStoreTest, RemoveDeletesEntry) {
+  ASSERT_TRUE(store_->Save("gone", MakeEngine1(8)).ok());
+  ASSERT_TRUE(store_->Remove("gone").ok());
+  EXPECT_EQ(store_->Remove("gone").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store_->LoadEngine1("gone").ok());
+  auto list = store_->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list.value().empty());
+}
+
+TEST_F(SketchStoreTest, NameValidation) {
+  EXPECT_TRUE(SketchStore::ValidName("feed-1.politics_2016"));
+  EXPECT_FALSE(SketchStore::ValidName(""));
+  EXPECT_FALSE(SketchStore::ValidName(".hidden"));
+  EXPECT_FALSE(SketchStore::ValidName("../escape"));
+  EXPECT_FALSE(SketchStore::ValidName("has space"));
+  EXPECT_FALSE(SketchStore::ValidName("slash/name"));
+  EXPECT_FALSE(SketchStore::ValidName(std::string(200, 'a')));
+
+  BurstEngine1 engine = MakeEngine1(9);
+  EXPECT_EQ(store_->Save("../bad", engine).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_->LoadEngine1("../bad").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SketchStoreTest, UnfinalizedEngineRejected) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 4;
+  BurstEngine1 engine(o);
+  EXPECT_EQ(store_->Save("nope", engine).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SketchStoreTest, MissingSketchIsNotFound) {
+  auto loaded = store_->LoadEngine1("nothing-here");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bursthist

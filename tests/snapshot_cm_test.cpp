@@ -1,0 +1,129 @@
+// Unit tests for the snapshot-based persistent Count-Min baseline.
+
+#include <gtest/gtest.h>
+
+#include "sketch/snapshot_cm.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+SnapshotCmOptions WideOptions(Timestamp interval) {
+  SnapshotCmOptions o;
+  o.depth = 4;
+  o.width = 1024;  // collisions negligible for tiny key sets
+  o.snapshot_interval = interval;
+  return o;
+}
+
+TEST(SnapshotCmTest, ExactAtCheckpointGranularity) {
+  SnapshotCmSketch cm(WideOptions(10));
+  // Event 5: one arrival at t = 3, 13, 23, ..., 93.
+  for (Timestamp t = 3; t < 100; t += 10) cm.Append(5, t);
+  cm.Finalize();
+  // At a checkpoint boundary the count is exact.
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(5, 9), 1.0);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(5, 59), 6.0);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(5, 1000), 10.0);
+}
+
+TEST(SnapshotCmTest, GranularityAliasing) {
+  SnapshotCmSketch cm(WideOptions(100));
+  for (Timestamp t = 0; t < 1000; ++t) cm.Append(1, t);
+  cm.Finalize();
+  // Within one interval the estimate is stale: t=150 (true count 151)
+  // returns the t=99 checkpoint; t=199 happens to be a checkpoint and
+  // is exact; t=200 (true 201) is stale by one again.
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(1, 150), 100.0);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(1, 199), 200.0);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(1, 200), 200.0);
+  // tau below the interval aliases burstiness to zero.
+  EXPECT_DOUBLE_EQ(cm.EstimateBurstiness(1, 150, 10), 0.0);
+}
+
+TEST(SnapshotCmTest, NeverUnderestimatesAtBoundaries) {
+  SnapshotCmSketch cm(WideOptions(50));
+  Rng rng(3);
+  std::vector<std::pair<EventId, Timestamp>> arrivals;
+  Timestamp t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    arrivals.emplace_back(static_cast<EventId>(rng.NextBelow(20)), t);
+  }
+  std::vector<std::vector<Timestamp>> exact(20);
+  for (auto& [e, at] : arrivals) {
+    exact[e].push_back(at);
+  }
+  for (auto& [e, at] : arrivals) cm.Append(e, at);
+  cm.Finalize();
+  for (EventId e = 0; e < 20; ++e) {
+    for (Timestamp q = 49; q <= t; q += 50) {
+      const auto truth = static_cast<double>(
+          std::upper_bound(exact[e].begin(), exact[e].end(), q) -
+          exact[e].begin());
+      EXPECT_GE(cm.EstimateCumulative(e, q), truth) << "e=" << e << " q=" << q;
+    }
+  }
+}
+
+TEST(SnapshotCmTest, DeadPeriodsShareCheckpoints) {
+  SnapshotCmSketch cm(WideOptions(10));
+  cm.Append(1, 5);
+  cm.Append(1, 905);  // 90 empty intervals in between
+  cm.Finalize();
+  // Identical consecutive checkpoints are deduplicated.
+  EXPECT_LE(cm.snapshot_count(), 4u);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(1, 500), 1.0);
+  EXPECT_DOUBLE_EQ(cm.EstimateCumulative(1, 905), 2.0);
+}
+
+TEST(SnapshotCmTest, SpaceGrowsWithResolution) {
+  auto run = [](Timestamp interval) {
+    SnapshotCmSketch cm(WideOptions(interval));
+    Rng rng(7);
+    Timestamp t = 0;
+    for (int i = 0; i < 5000; ++i) {
+      t += static_cast<Timestamp>(rng.NextBelow(4));
+      cm.Append(static_cast<EventId>(rng.NextBelow(50)), t);
+    }
+    cm.Finalize();
+    return cm.SizeBytes();
+  };
+  EXPECT_GT(run(10), run(100));
+  EXPECT_GT(run(100), run(1000));
+}
+
+TEST(SnapshotCmTest, SerializationRoundTrip) {
+  SnapshotCmSketch cm(WideOptions(25));
+  Rng rng(9);
+  Timestamp t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    cm.Append(static_cast<EventId>(rng.NextBelow(10)), t);
+  }
+  cm.Finalize();
+
+  BinaryWriter w;
+  cm.Serialize(&w);
+  SnapshotCmSketch back(WideOptions(25));
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  EXPECT_EQ(back.snapshot_count(), cm.snapshot_count());
+  for (EventId e = 0; e < 10; ++e) {
+    for (Timestamp q = 0; q <= t; q += 13) {
+      EXPECT_DOUBLE_EQ(back.EstimateCumulative(e, q),
+                       cm.EstimateCumulative(e, q));
+    }
+  }
+}
+
+TEST(SnapshotCmTest, CorruptPayloadRejected) {
+  BinaryWriter w;
+  w.Put<uint32_t>(0x1111);
+  SnapshotCmSketch cm(WideOptions(10));
+  BinaryReader r(w.bytes());
+  EXPECT_FALSE(cm.Deserialize(&r).ok());
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,142 @@
+// Unit tests for the SpaceSaving heavy-hitters summary.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sketch/space_saving.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhileUnderCapacity) {
+  SpaceSaving ss(8);
+  ss.Add(1, 5);
+  ss.Add(2, 3);
+  ss.Add(1, 2);
+  EXPECT_EQ(ss.EstimateCount(1), 7u);
+  EXPECT_EQ(ss.EstimateCount(2), 3u);
+  EXPECT_EQ(ss.EstimateCount(99), 0u);  // no eviction yet: exact zero
+  EXPECT_EQ(ss.TotalCount(), 10u);
+  EXPECT_TRUE(ss.GuaranteedAtLeast(1, 7));
+  EXPECT_FALSE(ss.GuaranteedAtLeast(1, 8));
+}
+
+TEST(SpaceSavingTest, NeverUnderestimates) {
+  SpaceSaving ss(16);
+  std::map<uint64_t, uint64_t> exact;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    // Zipf-flavoured keys over a universe of 200.
+    uint64_t key = rng.NextBelow(200);
+    if (rng.NextDouble() < 0.6) key = rng.NextBelow(8);
+    ss.Add(key);
+    ++exact[key];
+  }
+  for (const auto& [k, v] : exact) {
+    EXPECT_GE(ss.EstimateCount(k), v) << "key " << k;
+  }
+}
+
+TEST(SpaceSavingTest, HeavyHittersGuaranteeTracked) {
+  // Any key with count > N/m must be tracked.
+  const size_t m = 10;
+  SpaceSaving ss(m);
+  Rng rng(5);
+  std::map<uint64_t, uint64_t> exact;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t key = rng.NextBelow(1000);
+    if (rng.NextDouble() < 0.5) key = rng.NextBelow(3);  // 3 heavy keys
+    ss.Add(key);
+    ++exact[key];
+  }
+  auto top = ss.TopK();
+  for (const auto& [k, v] : exact) {
+    if (v > static_cast<uint64_t>(n) / m) {
+      bool tracked = false;
+      for (const auto& e : top) tracked |= (e.key == k);
+      EXPECT_TRUE(tracked) << "heavy key " << k << " (count " << v
+                           << ") not tracked";
+    }
+  }
+}
+
+TEST(SpaceSavingTest, TopKSortedAndTruncated) {
+  SpaceSaving ss(8);
+  for (uint64_t k = 0; k < 8; ++k) ss.Add(k, (k + 1) * 10);
+  auto top3 = ss.TopK(3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].key, 7u);
+  EXPECT_EQ(top3[1].key, 6u);
+  EXPECT_EQ(top3[2].key, 5u);
+  EXPECT_EQ(ss.TopK().size(), 8u);
+}
+
+TEST(SpaceSavingTest, ErrorBoundsTrueCount) {
+  SpaceSaving ss(4);
+  Rng rng(7);
+  std::map<uint64_t, uint64_t> exact;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.NextBelow(50);
+    ss.Add(key);
+    ++exact[key];
+  }
+  for (const auto& e : ss.TopK()) {
+    EXPECT_LE(e.count - e.error, exact[e.key]);
+    EXPECT_GE(e.count, exact[e.key]);
+  }
+}
+
+TEST(SpaceSavingTest, SerializationRoundTrip) {
+  SpaceSaving ss(16);
+  Rng rng(9);
+  for (int i = 0; i < 3000; ++i) ss.Add(rng.NextBelow(100));
+  BinaryWriter w;
+  ss.Serialize(&w);
+  SpaceSaving back(1);
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  EXPECT_EQ(back.capacity(), ss.capacity());
+  EXPECT_EQ(back.TotalCount(), ss.TotalCount());
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(back.EstimateCount(k), ss.EstimateCount(k));
+  }
+}
+
+TEST(SpaceSavingTest, CorruptPayloadRejected) {
+  BinaryWriter w;
+  w.Put<uint32_t>(0xbad);
+  SpaceSaving ss(4);
+  BinaryReader r(w.bytes());
+  EXPECT_FALSE(ss.Deserialize(&r).ok());
+
+  // Inconsistent entry (error > count).
+  BinaryWriter w2;
+  w2.Put<uint32_t>(0x53505356);
+  w2.Put<uint32_t>(1);
+  w2.Put<uint64_t>(4);  // capacity
+  w2.Put<uint64_t>(1);  // total
+  w2.Put<uint64_t>(1);  // entries
+  w2.Put<uint64_t>(7);  // key
+  w2.Put<uint64_t>(1);  // count
+  w2.Put<uint64_t>(5);  // error > count
+  SpaceSaving ss2(4);
+  BinaryReader r2(w2.bytes());
+  EXPECT_EQ(ss2.Deserialize(&r2).code(), StatusCode::kCorruption);
+}
+
+TEST(SpaceSavingTest, CapacityOneDegenerate) {
+  SpaceSaving ss(1);
+  ss.Add(1, 3);
+  ss.Add(2, 1);  // evicts 1, inherits its count as error
+  EXPECT_EQ(ss.EstimateCount(2), 4u);
+  auto top = ss.TopK();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].error, 3u);
+}
+
+}  // namespace
+}  // namespace bursthist

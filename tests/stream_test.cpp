@@ -1,0 +1,152 @@
+// Unit tests for the event-stream model (Section II-A semantics).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+namespace {
+
+SingleEventStream MakeStream(std::vector<Timestamp> t) {
+  return SingleEventStream(std::move(t));
+}
+
+TEST(SingleEventStreamTest, CumulativeFrequency) {
+  auto s = MakeStream({1, 3, 3, 7, 10});
+  EXPECT_EQ(s.CumulativeFrequency(0), 0u);
+  EXPECT_EQ(s.CumulativeFrequency(1), 1u);
+  EXPECT_EQ(s.CumulativeFrequency(2), 1u);
+  EXPECT_EQ(s.CumulativeFrequency(3), 3u);
+  EXPECT_EQ(s.CumulativeFrequency(9), 4u);
+  EXPECT_EQ(s.CumulativeFrequency(10), 5u);
+  EXPECT_EQ(s.CumulativeFrequency(100), 5u);
+}
+
+TEST(SingleEventStreamTest, FrequencyClosedRange) {
+  auto s = MakeStream({1, 3, 3, 7, 10});
+  EXPECT_EQ(s.Frequency(1, 3), 3u);
+  EXPECT_EQ(s.Frequency(2, 6), 2u);
+  EXPECT_EQ(s.Frequency(4, 6), 0u);
+  EXPECT_EQ(s.Frequency(5, 4), 0u);  // inverted range
+  EXPECT_EQ(s.Frequency(0, 100), 5u);
+}
+
+TEST(SingleEventStreamTest, BurstFrequencyHalfOpen) {
+  auto s = MakeStream({1, 3, 3, 7, 10});
+  // bf(t) = F(t) - F(t - tau): occurrences in (t - tau, t].
+  EXPECT_EQ(s.BurstFrequency(3, 2), 2u);   // (1, 3] -> {3, 3}
+  EXPECT_EQ(s.BurstFrequency(10, 3), 1u);  // (7, 10] -> {10}
+  EXPECT_EQ(s.BurstFrequency(7, 7), 4u);   // (0, 7] -> {1, 3, 3, 7}
+}
+
+TEST(SingleEventStreamTest, BurstFrequencyExactValues) {
+  auto s = MakeStream({1, 3, 3, 7, 10});
+  EXPECT_EQ(s.BurstFrequency(7, 7), s.CumulativeFrequency(7) -
+                                        s.CumulativeFrequency(0));
+}
+
+TEST(SingleEventStreamTest, BurstinessIdentity) {
+  auto s = MakeStream({1, 2, 2, 3, 5, 5, 5, 8, 9, 9});
+  for (Timestamp t = 0; t <= 12; ++t) {
+    for (Timestamp tau : {1, 2, 3}) {
+      const Burstiness expect =
+          static_cast<Burstiness>(s.BurstFrequency(t, tau)) -
+          static_cast<Burstiness>(s.BurstFrequency(t - tau, tau));
+      EXPECT_EQ(s.BurstinessAt(t, tau), expect) << "t=" << t << " tau=" << tau;
+    }
+  }
+}
+
+TEST(SingleEventStreamTest, BurstinessCanBeNegative) {
+  // Many arrivals then silence: deceleration.
+  auto s = MakeStream({1, 1, 1, 1, 2, 2, 2, 2});
+  EXPECT_LT(s.BurstinessAt(4, 2), 0);
+}
+
+TEST(SingleEventStreamTest, AppendMatchesBatch) {
+  SingleEventStream s;
+  for (Timestamp t : {2, 2, 5, 9}) s.Append(t);
+  auto batch = MakeStream({2, 2, 5, 9});
+  EXPECT_EQ(s.times(), batch.times());
+  EXPECT_EQ(s.SizeBytes(), 4 * sizeof(Timestamp));
+}
+
+TEST(SingleEventStreamTest, EmptyStream) {
+  SingleEventStream s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.CumulativeFrequency(100), 0u);
+  EXPECT_EQ(s.BurstinessAt(5, 2), 0);
+}
+
+TEST(EventStreamTest, AppendAndAccessors) {
+  EventStream s;
+  s.Append(3, 1);
+  s.Append(1, 2);
+  s.Append(3, 2);
+  s.Append(0, 5);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.MinTime(), 1);
+  EXPECT_EQ(s.MaxTime(), 5);
+  EXPECT_EQ(s.MaxIdPlusOne(), 4u);
+}
+
+TEST(EventStreamTest, SliceInclusive) {
+  EventStream s({{0, 1}, {1, 2}, {0, 2}, {2, 4}, {1, 7}});
+  auto mid = s.Slice(2, 4);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.records().front().time, 2);
+  EXPECT_EQ(mid.records().back().time, 4);
+  EXPECT_EQ(s.Slice(10, 20).size(), 0u);
+  EXPECT_EQ(s.Slice(0, 0).size(), 0u);
+  EXPECT_EQ(s.Slice(1, 7).size(), 5u);
+}
+
+TEST(EventStreamTest, ProjectSingleEvent) {
+  EventStream s({{0, 1}, {1, 2}, {0, 2}, {0, 2}, {1, 7}});
+  auto e0 = s.Project(0);
+  EXPECT_EQ(e0.times(), (std::vector<Timestamp>{1, 2, 2}));
+  auto e2 = s.Project(2);
+  EXPECT_TRUE(e2.empty());
+}
+
+TEST(EventStreamTest, SplitByIdRoundTripsThroughMerge) {
+  EventStream s({{0, 1}, {1, 1}, {0, 2}, {2, 3}, {1, 3}, {0, 9}});
+  auto split = s.SplitById(3);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split.value().size(), 3u);
+  EXPECT_EQ(split.value()[0].size(), 3u);
+  EXPECT_EQ(split.value()[1].size(), 2u);
+  EXPECT_EQ(split.value()[2].size(), 1u);
+
+  EventStream merged = MergeStreams(split.value());
+  ASSERT_EQ(merged.size(), s.size());
+  // Timestamps must be the same multiset and ordered.
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged.records()[i - 1].time, merged.records()[i].time);
+  }
+  for (EventId e = 0; e < 3; ++e) {
+    EXPECT_EQ(merged.Project(e).times(), s.Project(e).times());
+  }
+}
+
+TEST(EventStreamTest, SplitByIdRejectsOutOfRange) {
+  EventStream s({{5, 1}});
+  auto split = s.SplitById(3);
+  ASSERT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeStreamsTest, EmptyInputs) {
+  EXPECT_TRUE(MergeStreams({}).empty());
+  std::vector<SingleEventStream> some(3);
+  some[1] = SingleEventStream({4, 5});
+  auto merged = MergeStreams(some);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.records()[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace bursthist

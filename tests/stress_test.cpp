@@ -1,0 +1,155 @@
+// Differential stress: many random mixed streams through the full
+// engine, graded against the exact baseline. TEST_P over seeds keeps
+// the cases independent and reproducible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/burst_engine.h"
+#include "core/exact_store.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+struct StressCase {
+  uint64_t seed;
+  EventId universe;
+  size_t records;
+};
+
+EventStream MakeStream(const StressCase& c) {
+  Rng rng(c.seed);
+  EventStream s;
+  Timestamp t = 0;
+  // Mixture of background arrivals and per-event storm windows.
+  std::vector<std::pair<Timestamp, EventId>> storms;
+  for (int i = 0; i < 4; ++i) {
+    storms.emplace_back(
+        1000 + static_cast<Timestamp>(rng.NextBelow(20000)),
+        static_cast<EventId>(rng.NextBelow(c.universe)));
+  }
+  size_t emitted = 0;
+  while (emitted < c.records) {
+    t += static_cast<Timestamp>(rng.NextBelow(4));
+    EventId e = static_cast<EventId>(rng.NextBelow(c.universe));
+    for (auto& [at, storm_event] : storms) {
+      if (t >= at && t < at + 300 && rng.NextDouble() < 0.7) {
+        e = storm_event;
+      }
+    }
+    s.Append(e, t);
+    ++emitted;
+  }
+  return s;
+}
+
+class EngineStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(EngineStress, PointQueriesWithinEnvelope) {
+  const auto c = GetParam();
+  auto stream = MakeStream(c);
+  ExactBurstStore exact(c.universe);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = c.universe;
+  o.cell.buffer_points = 256;
+  o.cell.budget_points = 64;
+  BurstEngine1 engine(o);
+  ASSERT_TRUE(engine.AppendStream(stream).ok());
+  engine.Finalize();
+
+  // Lemma 5 envelope with eps = 0.05, delta = 0.2 (grid defaults):
+  // at least ~1-delta of queries land within eps*N (+ slack for the
+  // Delta term).
+  const double envelope = 0.05 * static_cast<double>(stream.size()) + 64.0;
+  Rng qrng(c.seed ^ 0x57);
+  size_t ok = 0;
+  const size_t trials = 150;
+  for (size_t i = 0; i < trials; ++i) {
+    const EventId e = static_cast<EventId>(qrng.NextBelow(c.universe));
+    const Timestamp t =
+        static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+    const Timestamp tau = 50 + static_cast<Timestamp>(qrng.NextBelow(500));
+    const double est = engine.PointQuery(e, t, tau);
+    const double ref = static_cast<double>(exact.BurstinessAt(e, t, tau));
+    if (std::abs(est - ref) <= envelope) ++ok;
+  }
+  EXPECT_GE(ok, trials * 3 / 4) << "too many out-of-envelope estimates";
+}
+
+TEST_P(EngineStress, BurstyEventsFindTheStorms) {
+  const auto c = GetParam();
+  auto stream = MakeStream(c);
+  ExactBurstStore exact(c.universe);
+  ASSERT_TRUE(exact.AppendStream(stream).ok());
+
+  BurstEngineOptions<Pbe2> o;
+  o.universe_size = c.universe;
+  o.cell.gamma = 4.0;
+  o.prune_rule = DyadicPruneRule::kChildren;
+  BurstEngine2 engine(o);
+  ASSERT_TRUE(engine.AppendStream(stream).ok());
+  engine.Finalize();
+
+  const Timestamp tau = 300;
+  Rng qrng(c.seed ^ 0x58);
+  PrecisionRecallAverage avg;
+  for (int i = 0; i < 10; ++i) {
+    const Timestamp t = static_cast<Timestamp>(
+        tau + qrng.NextBelow(static_cast<uint64_t>(stream.MaxTime())));
+    Burstiness peak = 0;
+    for (EventId e = 0; e < c.universe; ++e) {
+      peak = std::max(peak, exact.BurstinessAt(e, t, tau));
+    }
+    if (peak < 30) continue;
+    const double theta = 0.4 * static_cast<double>(peak);
+    auto got = engine.BurstyEventQuery(t, theta, tau);
+    auto truth = exact.BurstyEvents(t, theta, tau);
+    if (got.empty() && truth.empty()) continue;
+    avg.Add(CompareIdSets(got, truth));
+  }
+  if (avg.queries == 0) GTEST_SKIP() << "no informative instants drawn";
+  EXPECT_GE(avg.MeanRecall(), 0.6);
+  EXPECT_GE(avg.MeanPrecision(), 0.6);
+}
+
+TEST_P(EngineStress, BurstyTimeMatchesEnginePointQueries) {
+  const auto c = GetParam();
+  auto stream = MakeStream(c);
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = c.universe;
+  o.cell.buffer_points = 256;
+  o.cell.budget_points = 32;
+  BurstEngine1 engine(o);
+  ASSERT_TRUE(engine.AppendStream(stream).ok());
+  engine.Finalize();
+
+  Rng qrng(c.seed ^ 0x59);
+  const EventId e = static_cast<EventId>(qrng.NextBelow(c.universe));
+  const Timestamp tau = 200;
+  const double theta = 10.0;
+  auto intervals = engine.BurstyTimeQuery(e, theta, tau);
+  // Spot-check agreement on a time grid.
+  for (Timestamp t = 0; t <= stream.MaxTime() + 2 * tau; t += 37) {
+    EXPECT_EQ(Covers(intervals, t), engine.PointQuery(e, t, tau) >= theta)
+        << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EngineStress,
+    ::testing::Values(StressCase{1, 24, 20000}, StressCase{2, 64, 25000},
+                      StressCase{3, 10, 15000}, StressCase{4, 128, 30000},
+                      StressCase{5, 37, 20000}, StressCase{6, 200, 25000}),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_K" +
+             std::to_string(info.param.universe);
+    });
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,115 @@
+// Unit tests for the message -> event-id pipeline (Section II-A).
+
+#include <gtest/gtest.h>
+
+#include "stream/text_pipeline.h"
+
+namespace bursthist {
+namespace {
+
+TEST(TokenizeTest, BasicSplitAndLowercase) {
+  auto toks = Tokenize("LBC homeboy stoked to see Brasil wins");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0], "lbc");
+  EXPECT_EQ(toks[5], "brasil");
+}
+
+TEST(TokenizeTest, HashtagsKeepPrefix) {
+  auto toks = Tokenize("#brasil #gold #Olympics2016");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "#brasil");
+  EXPECT_EQ(toks[1], "#gold");
+  EXPECT_EQ(toks[2], "#olympics2016");
+}
+
+TEST(TokenizeTest, PunctuationAndEdgeCases) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ...").empty());
+  auto toks = Tokenize("a#b");  // '#' mid-word is a separator
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "a");
+  EXPECT_EQ(toks[1], "b");
+  auto under = Tokenize("snake_case stays");
+  EXPECT_EQ(under[0], "snake_case");
+}
+
+TEST(ExtractHashtagsTest, OnlyTags) {
+  auto tags = ExtractHashtags("watch #Rio2016 now! #gold medal");
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], "#rio2016");
+  EXPECT_EQ(tags[1], "#gold");
+  EXPECT_TRUE(ExtractHashtags("no tags here").empty());
+  // A bare '#' is not a tag.
+  EXPECT_TRUE(ExtractHashtags("# nothing").empty());
+}
+
+TEST(EventIdMapperTest, PaperExampleCollapsesToOneEvent) {
+  // The paper's motivating pair: both messages must map to the Rio
+  // soccer-final event once "brasil" is curated.
+  EventIdMapper mapper(864);
+  ASSERT_TRUE(mapper.BindKeyword("brasil", 17).ok());
+  ASSERT_TRUE(mapper.BindKeyword("#brasil", 17).ok());
+
+  auto a = mapper.MapMessage("LBC homeboy stoked to see Brasil wins");
+  auto b = mapper.MapMessage("#brasil #gold #Olympics2016");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 17u);
+  ASSERT_EQ(b.size(), 1u);  // bound token wins over unbound hashtags
+  EXPECT_EQ(b[0], 17u);
+}
+
+TEST(EventIdMapperTest, MultiEventMessages) {
+  EventIdMapper mapper(100);
+  ASSERT_TRUE(mapper.BindKeyword("#fire", 3).ok());
+  ASSERT_TRUE(mapper.BindKeyword("#traffic", 9).ok());
+  auto ids = mapper.MapMessage("#fire closed I-15, heavy #traffic");
+  EXPECT_EQ(ids, (std::vector<EventId>{3, 9}));
+}
+
+TEST(EventIdMapperTest, UnboundHashtagsHashIntoUniverse) {
+  EventIdMapper mapper(50);
+  auto ids = mapper.MapMessage("#somethingnew happening");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_LT(ids[0], 50u);
+  // Deterministic.
+  EXPECT_EQ(ids, mapper.MapMessage("#SomethingNew HAPPENING"));
+  EXPECT_EQ(ids[0], mapper.FallbackId("#somethingnew"));
+}
+
+TEST(EventIdMapperTest, NoSignalMessagesMapToNothing) {
+  EventIdMapper mapper(50);
+  EXPECT_TRUE(mapper.MapMessage("just some words").empty());
+  EXPECT_TRUE(mapper.MapMessage("").empty());
+}
+
+TEST(EventIdMapperTest, BindValidation) {
+  EventIdMapper mapper(10);
+  EXPECT_EQ(mapper.BindKeyword("x", 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mapper.BindKeyword("", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mapper.BindKeyword("x", 9).ok());
+  EXPECT_TRUE(mapper.BindKeyword("X", 3).ok());  // rebind, case-folded
+  auto ids = mapper.MapMessage("x");
+  EXPECT_EQ(ids, (std::vector<EventId>{3}));
+}
+
+TEST(ProcessMessagesTest, EmitsOneElementPerMention) {
+  EventIdMapper mapper(20);
+  ASSERT_TRUE(mapper.BindKeyword("#a", 1).ok());
+  ASSERT_TRUE(mapper.BindKeyword("#b", 2).ok());
+  std::vector<Message> msgs = {
+      {"#a starts", 10},
+      {"nothing", 11},
+      {"#a and #b together", 12},
+      {"#b again #b", 13},  // duplicate tag in one message: one mention
+  };
+  EventStream s = ProcessMessages(mapper, msgs);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.records()[0], (EventRecord{1, 10}));
+  EXPECT_EQ(s.records()[1], (EventRecord{1, 12}));
+  EXPECT_EQ(s.records()[2], (EventRecord{2, 12}));
+  EXPECT_EQ(s.records()[3], (EventRecord{2, 13}));
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,68 @@
+// Unit tests for the uniform-subsampling staircase baseline.
+
+#include <gtest/gtest.h>
+
+#include "pla/uniform_staircase.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+std::vector<CurvePoint> RandomCurve(size_t n, Rng* rng) {
+  std::vector<CurvePoint> pts;
+  Timestamp t = 0;
+  Count c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += 1 + static_cast<Timestamp>(rng->NextBelow(20));
+    c += 1 + static_cast<Count>(rng->NextBelow(15));
+    pts.push_back(CurvePoint{t, c});
+  }
+  return pts;
+}
+
+TEST(UniformStaircaseTest, KeepsBoundaries) {
+  Rng rng(1);
+  auto pts = RandomCurve(40, &rng);
+  auto fit = UniformStaircase(pts, 7);
+  ASSERT_GE(fit.selected.size(), 2u);
+  EXPECT_EQ(fit.selected.front(), 0u);
+  EXPECT_EQ(fit.selected.back(), 39u);
+  EXPECT_LE(fit.selected.size(), 7u);
+}
+
+TEST(UniformStaircaseTest, FullBudgetIsExact) {
+  Rng rng(2);
+  auto pts = RandomCurve(10, &rng);
+  auto fit = UniformStaircase(pts, 10);
+  EXPECT_EQ(fit.selected.size(), 10u);
+  EXPECT_EQ(fit.error, 0.0);
+}
+
+TEST(UniformStaircaseTest, NeverBeatsOptimal) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto pts = RandomCurve(60, &rng);
+    const size_t budget = 3 + rng.NextBelow(20);
+    auto uniform = UniformStaircase(pts, budget);
+    auto optimal = OptimalStaircase(pts, budget);
+    EXPECT_GE(uniform.error + 1e-9, optimal.error)
+        << "budget=" << budget << " trial=" << trial;
+  }
+}
+
+TEST(UniformStaircaseTest, ErrorMatchesSelection) {
+  Rng rng(4);
+  auto pts = RandomCurve(30, &rng);
+  auto fit = UniformStaircase(pts, 6);
+  EXPECT_DOUBLE_EQ(fit.error, SelectionError(pts, fit.selected));
+}
+
+TEST(UniformStaircaseTest, DegenerateInputs) {
+  EXPECT_TRUE(UniformStaircase({}, 4).selected.empty());
+  auto one = UniformStaircase({{5, 1}}, 4);
+  EXPECT_EQ(one.selected.size(), 1u);
+  EXPECT_EQ(one.error, 0.0);
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,225 @@
+// Unit tests for the util substrate: Status/Result, binary
+// serialization, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kCorruption, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.Put<uint32_t>(0xdeadbeef);
+  w.Put<int64_t>(-12345);
+  w.Put<double>(3.25);
+  w.Put<uint8_t>(7);
+
+  BinaryReader r(w.bytes());
+  uint32_t a = 0;
+  int64_t b = 0;
+  double c = 0;
+  uint8_t d = 0;
+  ASSERT_TRUE(r.Get(&a).ok());
+  ASSERT_TRUE(r.Get(&b).ok());
+  ASSERT_TRUE(r.Get(&c).ok());
+  ASSERT_TRUE(r.Get(&d).ok());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, -12345);
+  EXPECT_DOUBLE_EQ(c, 3.25);
+  EXPECT_EQ(d, 7);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  BinaryWriter w;
+  std::vector<int32_t> in = {5, -1, 9, 0};
+  w.PutVector(in);
+  w.PutVector(std::vector<double>{});
+
+  BinaryReader r(w.bytes());
+  std::vector<int32_t> out;
+  std::vector<double> empty;
+  ASSERT_TRUE(r.GetVector(&out).ok());
+  ASSERT_TRUE(r.GetVector(&empty).ok());
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  BinaryWriter w;
+  w.PutString("bursthist");
+  w.PutString("");
+  BinaryReader r(w.bytes());
+  std::string a, b;
+  ASSERT_TRUE(r.GetString(&a).ok());
+  ASSERT_TRUE(r.GetString(&b).ok());
+  EXPECT_EQ(a, "bursthist");
+  EXPECT_EQ(b, "");
+}
+
+TEST(SerializeTest, TruncatedScalarIsCorruption) {
+  BinaryWriter w;
+  w.Put<uint16_t>(1);
+  BinaryReader r(w.bytes());
+  uint64_t big = 0;
+  EXPECT_EQ(r.Get(&big).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TruncatedVectorIsCorruption) {
+  BinaryWriter w;
+  w.Put<uint64_t>(1000);  // claims 1000 elements, provides none
+  BinaryReader r(w.bytes());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(r.GetVector(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, HugeLengthDoesNotOverflow) {
+  BinaryWriter w;
+  w.Put<uint64_t>(~0ULL);  // absurd length
+  BinaryReader r(w.bytes());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(r.GetVector(&out).code(), StatusCode::kCorruption);
+  std::string s;
+  BinaryReader r2(w.bytes());
+  EXPECT_EQ(r2.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/bursthist_serialize_test.bin";
+  std::vector<uint8_t> payload = {1, 2, 3, 250, 255};
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  auto back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), payload);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  auto r = ReadFile("/nonexistent/bursthist/nope.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(11);
+  for (double mean : {0.5, 3.0, 25.0, 100.0}) {
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      sum += static_cast<double>(rng.NextPoisson(mean));
+    }
+    const double observed = sum / trials;
+    EXPECT_NEAR(observed, mean, 4.0 * std::sqrt(mean / trials) + 0.05)
+        << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng fork = a.Fork(1);
+  Rng a2(21);
+  // The fork must not replay the parent's sequence.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (fork.NextU64() == a2.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace bursthist

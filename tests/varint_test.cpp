@@ -1,0 +1,140 @@
+// Unit tests for varint / zig-zag coding and the compact model
+// serialization built on it.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "pla/staircase_model.h"
+#include "util/random.h"
+#include "util/varint.h"
+
+namespace bursthist {
+namespace {
+
+TEST(ZigZagTest, RoundTripAndOrdering) {
+  const int64_t cases[] = {0, -1, 1, -2, 2, 12345, -12345,
+                           std::numeric_limits<int64_t>::max(),
+                           std::numeric_limits<int64_t>::min()};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+  // Small magnitudes get small codes.
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(VarintTest, KnownEncodings) {
+  BinaryWriter w;
+  PutVarint(&w, 0);
+  PutVarint(&w, 127);
+  PutVarint(&w, 128);
+  PutVarint(&w, 300);
+  EXPECT_EQ(w.bytes().size(), 1u + 1u + 2u + 2u);
+  BinaryReader r(w.bytes());
+  uint64_t a = 1, b = 0, c = 0, d = 0;
+  ASSERT_TRUE(GetVarint(&r, &a).ok());
+  ASSERT_TRUE(GetVarint(&r, &b).ok());
+  ASSERT_TRUE(GetVarint(&r, &c).ok());
+  ASSERT_TRUE(GetVarint(&r, &d).ok());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 127u);
+  EXPECT_EQ(c, 128u);
+  EXPECT_EQ(d, 300u);
+}
+
+TEST(VarintTest, RandomRoundTrip) {
+  Rng rng(3);
+  std::vector<uint64_t> values;
+  BinaryWriter w;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix of magnitudes across all byte lengths.
+    const int bits = 1 + static_cast<int>(rng.NextBelow(64));
+    const uint64_t v = rng.NextU64() >> (64 - bits);
+    values.push_back(v);
+    PutVarint(&w, v);
+  }
+  BinaryReader r(w.bytes());
+  for (uint64_t expect : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint(&r, &got).ok());
+    EXPECT_EQ(got, expect);
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(VarintTest, SignedRoundTrip) {
+  Rng rng(5);
+  BinaryWriter w;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.NextU64());
+    values.push_back(v);
+    PutSignedVarint(&w, v);
+  }
+  BinaryReader r(w.bytes());
+  for (int64_t expect : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(GetSignedVarint(&r, &got).ok());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(VarintTest, TruncationFails) {
+  BinaryWriter w;
+  PutVarint(&w, 1ULL << 40);  // multi-byte
+  for (size_t cut = 0; cut < w.bytes().size(); ++cut) {
+    BinaryReader r(w.bytes().data(), cut);
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint(&r, &v).ok()) << cut;
+  }
+}
+
+TEST(VarintTest, OverlongRejected) {
+  BinaryWriter w;
+  for (int i = 0; i < 11; ++i) w.Put<uint8_t>(0x80);
+  w.Put<uint8_t>(0x00);
+  BinaryReader r(w.bytes());
+  uint64_t v = 0;
+  EXPECT_EQ(GetVarint(&r, &v).code(), StatusCode::kCorruption);
+}
+
+TEST(CompactModelTest, StaircaseMuchSmallerThanFixedWidth) {
+  // Typical model: unit-second deltas, small count jumps.
+  std::vector<CurvePoint> pts;
+  Timestamp t = 1'500'000'000;  // epoch-like origin
+  Count c = 0;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBelow(30));
+    c += 1 + static_cast<Count>(rng.NextBelow(4));
+    pts.push_back(CurvePoint{t, c});
+  }
+  StaircaseModel m(pts);
+  BinaryWriter w;
+  m.Serialize(&w);
+  const size_t fixed = pts.size() * sizeof(CurvePoint);
+  EXPECT_LT(w.bytes().size(), fixed / 4) << "varint coding should be >4x "
+                                            "smaller on unit-scale deltas";
+  StaircaseModel back;
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(back.Deserialize(&r).ok());
+  EXPECT_EQ(back.points(), m.points());
+}
+
+TEST(CompactModelTest, RejectsNonIncreasingDeltas) {
+  BinaryWriter w;
+  PutVarint(&w, 2);        // two points
+  PutSignedVarint(&w, 5);  // t0
+  PutVarint(&w, 1);        // c0 delta
+  PutVarint(&w, 0);        // dt == 0: invalid
+  PutVarint(&w, 1);
+  StaircaseModel m;
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(m.Deserialize(&r).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace bursthist
