@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer.dir/ablation_buffer.cpp.o"
+  "CMakeFiles/ablation_buffer.dir/ablation_buffer.cpp.o.d"
+  "CMakeFiles/ablation_buffer.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_buffer.dir/bench_common.cpp.o.d"
+  "ablation_buffer"
+  "ablation_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

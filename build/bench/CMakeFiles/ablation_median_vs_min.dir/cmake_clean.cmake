@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_median_vs_min.dir/ablation_median_vs_min.cpp.o"
+  "CMakeFiles/ablation_median_vs_min.dir/ablation_median_vs_min.cpp.o.d"
+  "CMakeFiles/ablation_median_vs_min.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_median_vs_min.dir/bench_common.cpp.o.d"
+  "ablation_median_vs_min"
+  "ablation_median_vs_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_median_vs_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimal_vs_uniform.dir/ablation_optimal_vs_uniform.cpp.o"
+  "CMakeFiles/ablation_optimal_vs_uniform.dir/ablation_optimal_vs_uniform.cpp.o.d"
+  "CMakeFiles/ablation_optimal_vs_uniform.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_optimal_vs_uniform.dir/bench_common.cpp.o.d"
+  "ablation_optimal_vs_uniform"
+  "ablation_optimal_vs_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimal_vs_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

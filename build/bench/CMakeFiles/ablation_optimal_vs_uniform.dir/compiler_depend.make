@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_optimal_vs_uniform.
+# This may be replaced when dependencies are built.

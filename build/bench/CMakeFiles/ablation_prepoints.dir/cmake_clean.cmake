@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prepoints.dir/ablation_prepoints.cpp.o"
+  "CMakeFiles/ablation_prepoints.dir/ablation_prepoints.cpp.o.d"
+  "CMakeFiles/ablation_prepoints.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_prepoints.dir/bench_common.cpp.o.d"
+  "ablation_prepoints"
+  "ablation_prepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

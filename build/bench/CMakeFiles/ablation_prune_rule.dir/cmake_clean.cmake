@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prune_rule.dir/ablation_prune_rule.cpp.o"
+  "CMakeFiles/ablation_prune_rule.dir/ablation_prune_rule.cpp.o.d"
+  "CMakeFiles/ablation_prune_rule.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_prune_rule.dir/bench_common.cpp.o.d"
+  "ablation_prune_rule"
+  "ablation_prune_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prune_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_prune_rule.
+# This may be replaced when dependencies are built.

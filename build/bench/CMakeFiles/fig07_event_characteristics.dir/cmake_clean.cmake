@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_event_characteristics.dir/bench_common.cpp.o"
+  "CMakeFiles/fig07_event_characteristics.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig07_event_characteristics.dir/fig07_event_characteristics.cpp.o"
+  "CMakeFiles/fig07_event_characteristics.dir/fig07_event_characteristics.cpp.o.d"
+  "fig07_event_characteristics"
+  "fig07_event_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_event_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

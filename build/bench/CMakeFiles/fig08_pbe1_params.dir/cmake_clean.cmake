@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pbe1_params.dir/bench_common.cpp.o"
+  "CMakeFiles/fig08_pbe1_params.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig08_pbe1_params.dir/fig08_pbe1_params.cpp.o"
+  "CMakeFiles/fig08_pbe1_params.dir/fig08_pbe1_params.cpp.o.d"
+  "fig08_pbe1_params"
+  "fig08_pbe1_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pbe1_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

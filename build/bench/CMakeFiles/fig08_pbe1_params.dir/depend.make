@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_pbe1_params.
+# This may be replaced when dependencies are built.

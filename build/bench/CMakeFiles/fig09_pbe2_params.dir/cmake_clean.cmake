@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pbe2_params.dir/bench_common.cpp.o"
+  "CMakeFiles/fig09_pbe2_params.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig09_pbe2_params.dir/fig09_pbe2_params.cpp.o"
+  "CMakeFiles/fig09_pbe2_params.dir/fig09_pbe2_params.cpp.o.d"
+  "fig09_pbe2_params"
+  "fig09_pbe2_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pbe2_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_single_stream.dir/bench_common.cpp.o"
+  "CMakeFiles/fig10_single_stream.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig10_single_stream.dir/fig10_single_stream.cpp.o"
+  "CMakeFiles/fig10_single_stream.dir/fig10_single_stream.cpp.o.d"
+  "fig10_single_stream"
+  "fig10_single_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_single_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

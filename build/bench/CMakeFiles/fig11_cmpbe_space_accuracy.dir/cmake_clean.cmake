@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cmpbe_space_accuracy.dir/bench_common.cpp.o"
+  "CMakeFiles/fig11_cmpbe_space_accuracy.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig11_cmpbe_space_accuracy.dir/fig11_cmpbe_space_accuracy.cpp.o"
+  "CMakeFiles/fig11_cmpbe_space_accuracy.dir/fig11_cmpbe_space_accuracy.cpp.o.d"
+  "fig11_cmpbe_space_accuracy"
+  "fig11_cmpbe_space_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cmpbe_space_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

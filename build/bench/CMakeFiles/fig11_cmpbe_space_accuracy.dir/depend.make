@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_cmpbe_space_accuracy.
+# This may be replaced when dependencies are built.

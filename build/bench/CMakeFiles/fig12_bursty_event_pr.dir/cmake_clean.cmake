@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bursty_event_pr.dir/bench_common.cpp.o"
+  "CMakeFiles/fig12_bursty_event_pr.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig12_bursty_event_pr.dir/fig12_bursty_event_pr.cpp.o"
+  "CMakeFiles/fig12_bursty_event_pr.dir/fig12_bursty_event_pr.cpp.o.d"
+  "fig12_bursty_event_pr"
+  "fig12_bursty_event_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bursty_event_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

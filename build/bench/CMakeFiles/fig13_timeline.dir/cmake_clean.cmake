@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_timeline.dir/bench_common.cpp.o"
+  "CMakeFiles/fig13_timeline.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig13_timeline.dir/fig13_timeline.cpp.o"
+  "CMakeFiles/fig13_timeline.dir/fig13_timeline.cpp.o.d"
+  "fig13_timeline"
+  "fig13_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

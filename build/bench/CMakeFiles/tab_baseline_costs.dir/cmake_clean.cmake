@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_baseline_costs.dir/bench_common.cpp.o"
+  "CMakeFiles/tab_baseline_costs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/tab_baseline_costs.dir/tab_baseline_costs.cpp.o"
+  "CMakeFiles/tab_baseline_costs.dir/tab_baseline_costs.cpp.o.d"
+  "tab_baseline_costs"
+  "tab_baseline_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_baseline_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_detector_agreement.dir/bench_common.cpp.o"
+  "CMakeFiles/tab_detector_agreement.dir/bench_common.cpp.o.d"
+  "CMakeFiles/tab_detector_agreement.dir/tab_detector_agreement.cpp.o"
+  "CMakeFiles/tab_detector_agreement.dir/tab_detector_agreement.cpp.o.d"
+  "tab_detector_agreement"
+  "tab_detector_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_detector_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

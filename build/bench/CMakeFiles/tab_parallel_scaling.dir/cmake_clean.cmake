@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_parallel_scaling.dir/bench_common.cpp.o"
+  "CMakeFiles/tab_parallel_scaling.dir/bench_common.cpp.o.d"
+  "CMakeFiles/tab_parallel_scaling.dir/tab_parallel_scaling.cpp.o"
+  "CMakeFiles/tab_parallel_scaling.dir/tab_parallel_scaling.cpp.o.d"
+  "tab_parallel_scaling"
+  "tab_parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

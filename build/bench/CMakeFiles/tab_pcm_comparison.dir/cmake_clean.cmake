@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_pcm_comparison.dir/bench_common.cpp.o"
+  "CMakeFiles/tab_pcm_comparison.dir/bench_common.cpp.o.d"
+  "CMakeFiles/tab_pcm_comparison.dir/tab_pcm_comparison.cpp.o"
+  "CMakeFiles/tab_pcm_comparison.dir/tab_pcm_comparison.cpp.o.d"
+  "tab_pcm_comparison"
+  "tab_pcm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_pcm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_storage_format.dir/bench_common.cpp.o"
+  "CMakeFiles/tab_storage_format.dir/bench_common.cpp.o.d"
+  "CMakeFiles/tab_storage_format.dir/tab_storage_format.cpp.o"
+  "CMakeFiles/tab_storage_format.dir/tab_storage_format.cpp.o.d"
+  "tab_storage_format"
+  "tab_storage_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_storage_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_cli.dir/bursthist_cli.cpp.o"
+  "CMakeFiles/bursthist_cli.dir/bursthist_cli.cpp.o.d"
+  "bursthist_cli"
+  "bursthist_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_response.dir/emergency_response.cpp.o"
+  "CMakeFiles/emergency_response.dir/emergency_response.cpp.o.d"
+  "emergency_response"
+  "emergency_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

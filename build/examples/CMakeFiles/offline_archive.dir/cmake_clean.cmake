@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_archive.dir/offline_archive.cpp.o"
+  "CMakeFiles/offline_archive.dir/offline_archive.cpp.o.d"
+  "offline_archive"
+  "offline_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

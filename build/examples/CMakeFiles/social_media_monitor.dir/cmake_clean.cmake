@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_media_monitor.dir/social_media_monitor.cpp.o"
+  "CMakeFiles/social_media_monitor.dir/social_media_monitor.cpp.o.d"
+  "social_media_monitor"
+  "social_media_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_media_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

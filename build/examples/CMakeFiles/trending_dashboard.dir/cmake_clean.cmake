@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trending_dashboard.dir/trending_dashboard.cpp.o"
+  "CMakeFiles/trending_dashboard.dir/trending_dashboard.cpp.o.d"
+  "trending_dashboard"
+  "trending_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trending_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

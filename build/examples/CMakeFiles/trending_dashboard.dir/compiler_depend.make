@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trending_dashboard.
+# This may be replaced when dependencies are built.
