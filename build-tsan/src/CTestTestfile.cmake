@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("hash")
+subdirs("stream")
+subdirs("geom")
+subdirs("pla")
+subdirs("sketch")
+subdirs("core")
+subdirs("baselines")
+subdirs("gen")
+subdirs("eval")

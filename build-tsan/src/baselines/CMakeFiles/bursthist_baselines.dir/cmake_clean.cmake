@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_baselines.dir/kleinberg.cc.o"
+  "CMakeFiles/bursthist_baselines.dir/kleinberg.cc.o.d"
+  "CMakeFiles/bursthist_baselines.dir/macd.cc.o"
+  "CMakeFiles/bursthist_baselines.dir/macd.cc.o.d"
+  "CMakeFiles/bursthist_baselines.dir/window_burst.cc.o"
+  "CMakeFiles/bursthist_baselines.dir/window_burst.cc.o.d"
+  "libbursthist_baselines.a"
+  "libbursthist_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

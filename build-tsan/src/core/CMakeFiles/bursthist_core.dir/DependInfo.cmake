@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/burstiness_index.cc" "src/core/CMakeFiles/bursthist_core.dir/burstiness_index.cc.o" "gcc" "src/core/CMakeFiles/bursthist_core.dir/burstiness_index.cc.o.d"
+  "/root/repo/src/core/exact_store.cc" "src/core/CMakeFiles/bursthist_core.dir/exact_store.cc.o" "gcc" "src/core/CMakeFiles/bursthist_core.dir/exact_store.cc.o.d"
+  "/root/repo/src/core/pbe1.cc" "src/core/CMakeFiles/bursthist_core.dir/pbe1.cc.o" "gcc" "src/core/CMakeFiles/bursthist_core.dir/pbe1.cc.o.d"
+  "/root/repo/src/core/pbe2.cc" "src/core/CMakeFiles/bursthist_core.dir/pbe2.cc.o" "gcc" "src/core/CMakeFiles/bursthist_core.dir/pbe2.cc.o.d"
+  "/root/repo/src/core/sketch_store.cc" "src/core/CMakeFiles/bursthist_core.dir/sketch_store.cc.o" "gcc" "src/core/CMakeFiles/bursthist_core.dir/sketch_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/bursthist_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pla/CMakeFiles/bursthist_pla.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/bursthist_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/bursthist_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

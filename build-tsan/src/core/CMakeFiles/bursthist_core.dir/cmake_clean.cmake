@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_core.dir/burstiness_index.cc.o"
+  "CMakeFiles/bursthist_core.dir/burstiness_index.cc.o.d"
+  "CMakeFiles/bursthist_core.dir/exact_store.cc.o"
+  "CMakeFiles/bursthist_core.dir/exact_store.cc.o.d"
+  "CMakeFiles/bursthist_core.dir/pbe1.cc.o"
+  "CMakeFiles/bursthist_core.dir/pbe1.cc.o.d"
+  "CMakeFiles/bursthist_core.dir/pbe2.cc.o"
+  "CMakeFiles/bursthist_core.dir/pbe2.cc.o.d"
+  "CMakeFiles/bursthist_core.dir/sketch_store.cc.o"
+  "CMakeFiles/bursthist_core.dir/sketch_store.cc.o.d"
+  "libbursthist_core.a"
+  "libbursthist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

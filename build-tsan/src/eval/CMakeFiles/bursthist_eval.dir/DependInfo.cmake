@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/intervals.cc" "src/eval/CMakeFiles/bursthist_eval.dir/intervals.cc.o" "gcc" "src/eval/CMakeFiles/bursthist_eval.dir/intervals.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/bursthist_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/bursthist_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/bursthist_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/bursthist_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pla/CMakeFiles/bursthist_pla.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/bursthist_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/bursthist_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_eval.dir/intervals.cc.o"
+  "CMakeFiles/bursthist_eval.dir/intervals.cc.o.d"
+  "CMakeFiles/bursthist_eval.dir/metrics.cc.o"
+  "CMakeFiles/bursthist_eval.dir/metrics.cc.o.d"
+  "libbursthist_eval.a"
+  "libbursthist_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

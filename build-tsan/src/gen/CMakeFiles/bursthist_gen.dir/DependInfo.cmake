@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/message_gen.cc" "src/gen/CMakeFiles/bursthist_gen.dir/message_gen.cc.o" "gcc" "src/gen/CMakeFiles/bursthist_gen.dir/message_gen.cc.o.d"
+  "/root/repo/src/gen/rate_curve.cc" "src/gen/CMakeFiles/bursthist_gen.dir/rate_curve.cc.o" "gcc" "src/gen/CMakeFiles/bursthist_gen.dir/rate_curve.cc.o.d"
+  "/root/repo/src/gen/scenarios.cc" "src/gen/CMakeFiles/bursthist_gen.dir/scenarios.cc.o" "gcc" "src/gen/CMakeFiles/bursthist_gen.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/bursthist_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_gen.dir/message_gen.cc.o"
+  "CMakeFiles/bursthist_gen.dir/message_gen.cc.o.d"
+  "CMakeFiles/bursthist_gen.dir/rate_curve.cc.o"
+  "CMakeFiles/bursthist_gen.dir/rate_curve.cc.o.d"
+  "CMakeFiles/bursthist_gen.dir/scenarios.cc.o"
+  "CMakeFiles/bursthist_gen.dir/scenarios.cc.o.d"
+  "libbursthist_gen.a"
+  "libbursthist_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_geom.dir/convex_polygon.cc.o"
+  "CMakeFiles/bursthist_geom.dir/convex_polygon.cc.o.d"
+  "libbursthist_geom.a"
+  "libbursthist_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

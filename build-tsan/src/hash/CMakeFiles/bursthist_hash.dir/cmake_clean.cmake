@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_hash.dir/hash.cc.o"
+  "CMakeFiles/bursthist_hash.dir/hash.cc.o.d"
+  "libbursthist_hash.a"
+  "libbursthist_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pla/linear_model.cc" "src/pla/CMakeFiles/bursthist_pla.dir/linear_model.cc.o" "gcc" "src/pla/CMakeFiles/bursthist_pla.dir/linear_model.cc.o.d"
+  "/root/repo/src/pla/online_pla.cc" "src/pla/CMakeFiles/bursthist_pla.dir/online_pla.cc.o" "gcc" "src/pla/CMakeFiles/bursthist_pla.dir/online_pla.cc.o.d"
+  "/root/repo/src/pla/optimal_staircase.cc" "src/pla/CMakeFiles/bursthist_pla.dir/optimal_staircase.cc.o" "gcc" "src/pla/CMakeFiles/bursthist_pla.dir/optimal_staircase.cc.o.d"
+  "/root/repo/src/pla/staircase_model.cc" "src/pla/CMakeFiles/bursthist_pla.dir/staircase_model.cc.o" "gcc" "src/pla/CMakeFiles/bursthist_pla.dir/staircase_model.cc.o.d"
+  "/root/repo/src/pla/uniform_staircase.cc" "src/pla/CMakeFiles/bursthist_pla.dir/uniform_staircase.cc.o" "gcc" "src/pla/CMakeFiles/bursthist_pla.dir/uniform_staircase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/bursthist_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/bursthist_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

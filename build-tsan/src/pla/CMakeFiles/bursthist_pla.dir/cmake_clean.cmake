@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_pla.dir/linear_model.cc.o"
+  "CMakeFiles/bursthist_pla.dir/linear_model.cc.o.d"
+  "CMakeFiles/bursthist_pla.dir/online_pla.cc.o"
+  "CMakeFiles/bursthist_pla.dir/online_pla.cc.o.d"
+  "CMakeFiles/bursthist_pla.dir/optimal_staircase.cc.o"
+  "CMakeFiles/bursthist_pla.dir/optimal_staircase.cc.o.d"
+  "CMakeFiles/bursthist_pla.dir/staircase_model.cc.o"
+  "CMakeFiles/bursthist_pla.dir/staircase_model.cc.o.d"
+  "CMakeFiles/bursthist_pla.dir/uniform_staircase.cc.o"
+  "CMakeFiles/bursthist_pla.dir/uniform_staircase.cc.o.d"
+  "libbursthist_pla.a"
+  "libbursthist_pla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/count_min.cc" "src/sketch/CMakeFiles/bursthist_sketch.dir/count_min.cc.o" "gcc" "src/sketch/CMakeFiles/bursthist_sketch.dir/count_min.cc.o.d"
+  "/root/repo/src/sketch/snapshot_cm.cc" "src/sketch/CMakeFiles/bursthist_sketch.dir/snapshot_cm.cc.o" "gcc" "src/sketch/CMakeFiles/bursthist_sketch.dir/snapshot_cm.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/sketch/CMakeFiles/bursthist_sketch.dir/space_saving.cc.o" "gcc" "src/sketch/CMakeFiles/bursthist_sketch.dir/space_saving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_sketch.dir/count_min.cc.o"
+  "CMakeFiles/bursthist_sketch.dir/count_min.cc.o.d"
+  "CMakeFiles/bursthist_sketch.dir/snapshot_cm.cc.o"
+  "CMakeFiles/bursthist_sketch.dir/snapshot_cm.cc.o.d"
+  "CMakeFiles/bursthist_sketch.dir/space_saving.cc.o"
+  "CMakeFiles/bursthist_sketch.dir/space_saving.cc.o.d"
+  "libbursthist_sketch.a"
+  "libbursthist_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

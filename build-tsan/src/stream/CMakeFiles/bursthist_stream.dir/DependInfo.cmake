@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/csv_io.cc" "src/stream/CMakeFiles/bursthist_stream.dir/csv_io.cc.o" "gcc" "src/stream/CMakeFiles/bursthist_stream.dir/csv_io.cc.o.d"
+  "/root/repo/src/stream/event_stream.cc" "src/stream/CMakeFiles/bursthist_stream.dir/event_stream.cc.o" "gcc" "src/stream/CMakeFiles/bursthist_stream.dir/event_stream.cc.o.d"
+  "/root/repo/src/stream/frequency_curve.cc" "src/stream/CMakeFiles/bursthist_stream.dir/frequency_curve.cc.o" "gcc" "src/stream/CMakeFiles/bursthist_stream.dir/frequency_curve.cc.o.d"
+  "/root/repo/src/stream/text_pipeline.cc" "src/stream/CMakeFiles/bursthist_stream.dir/text_pipeline.cc.o" "gcc" "src/stream/CMakeFiles/bursthist_stream.dir/text_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

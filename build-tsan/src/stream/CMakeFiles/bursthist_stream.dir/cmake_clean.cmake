@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_stream.dir/csv_io.cc.o"
+  "CMakeFiles/bursthist_stream.dir/csv_io.cc.o.d"
+  "CMakeFiles/bursthist_stream.dir/event_stream.cc.o"
+  "CMakeFiles/bursthist_stream.dir/event_stream.cc.o.d"
+  "CMakeFiles/bursthist_stream.dir/frequency_curve.cc.o"
+  "CMakeFiles/bursthist_stream.dir/frequency_curve.cc.o.d"
+  "CMakeFiles/bursthist_stream.dir/text_pipeline.cc.o"
+  "CMakeFiles/bursthist_stream.dir/text_pipeline.cc.o.d"
+  "libbursthist_stream.a"
+  "libbursthist_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursthist_util.dir/random.cc.o"
+  "CMakeFiles/bursthist_util.dir/random.cc.o.d"
+  "CMakeFiles/bursthist_util.dir/serialize.cc.o"
+  "CMakeFiles/bursthist_util.dir/serialize.cc.o.d"
+  "CMakeFiles/bursthist_util.dir/status.cc.o"
+  "CMakeFiles/bursthist_util.dir/status.cc.o.d"
+  "libbursthist_util.a"
+  "libbursthist_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursthist_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

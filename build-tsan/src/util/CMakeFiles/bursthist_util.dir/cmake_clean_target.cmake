@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbursthist_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_engine_test.dir/burst_engine_test.cpp.o"
+  "CMakeFiles/burst_engine_test.dir/burst_engine_test.cpp.o.d"
+  "burst_engine_test"
+  "burst_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_queries_sweep_test.dir/burst_queries_sweep_test.cpp.o"
+  "CMakeFiles/burst_queries_sweep_test.dir/burst_queries_sweep_test.cpp.o.d"
+  "burst_queries_sweep_test"
+  "burst_queries_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_queries_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

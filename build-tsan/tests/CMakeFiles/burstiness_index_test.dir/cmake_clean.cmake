@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstiness_index_test.dir/burstiness_index_test.cpp.o"
+  "CMakeFiles/burstiness_index_test.dir/burstiness_index_test.cpp.o.d"
+  "burstiness_index_test"
+  "burstiness_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstiness_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

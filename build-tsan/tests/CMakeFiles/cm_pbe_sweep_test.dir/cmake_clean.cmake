@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_pbe_sweep_test.dir/cm_pbe_sweep_test.cpp.o"
+  "CMakeFiles/cm_pbe_sweep_test.dir/cm_pbe_sweep_test.cpp.o.d"
+  "cm_pbe_sweep_test"
+  "cm_pbe_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_pbe_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_test.dir/corruption_test.cpp.o"
+  "CMakeFiles/corruption_test.dir/corruption_test.cpp.o.d"
+  "corruption_test"
+  "corruption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

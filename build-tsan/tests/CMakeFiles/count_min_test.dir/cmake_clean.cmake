@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_min_test.dir/count_min_test.cpp.o"
+  "CMakeFiles/count_min_test.dir/count_min_test.cpp.o.d"
+  "count_min_test"
+  "count_min_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

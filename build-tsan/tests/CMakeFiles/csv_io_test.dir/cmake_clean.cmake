@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_io_test.dir/csv_io_test.cpp.o"
+  "CMakeFiles/csv_io_test.dir/csv_io_test.cpp.o.d"
+  "csv_io_test"
+  "csv_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

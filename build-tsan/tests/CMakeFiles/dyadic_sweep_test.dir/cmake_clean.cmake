@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyadic_sweep_test.dir/dyadic_sweep_test.cpp.o"
+  "CMakeFiles/dyadic_sweep_test.dir/dyadic_sweep_test.cpp.o.d"
+  "dyadic_sweep_test"
+  "dyadic_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyadic_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

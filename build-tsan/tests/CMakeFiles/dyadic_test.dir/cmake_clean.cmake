@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyadic_test.dir/dyadic_test.cpp.o"
+  "CMakeFiles/dyadic_test.dir/dyadic_test.cpp.o.d"
+  "dyadic_test"
+  "dyadic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyadic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

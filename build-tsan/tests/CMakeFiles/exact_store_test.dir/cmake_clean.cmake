@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_store_test.dir/exact_store_test.cpp.o"
+  "CMakeFiles/exact_store_test.dir/exact_store_test.cpp.o.d"
+  "exact_store_test"
+  "exact_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_stability_test.dir/format_stability_test.cpp.o"
+  "CMakeFiles/format_stability_test.dir/format_stability_test.cpp.o.d"
+  "format_stability_test"
+  "format_stability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_curve_test.dir/frequency_curve_test.cpp.o"
+  "CMakeFiles/frequency_curve_test.dir/frequency_curve_test.cpp.o.d"
+  "frequency_curve_test"
+  "frequency_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

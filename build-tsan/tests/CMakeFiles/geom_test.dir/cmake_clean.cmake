@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_test.dir/geom_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom_test.cpp.o.d"
+  "geom_test"
+  "geom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intervals_test.dir/intervals_test.cpp.o"
+  "CMakeFiles/intervals_test.dir/intervals_test.cpp.o.d"
+  "intervals_test"
+  "intervals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_gen_test.dir/message_gen_test.cpp.o"
+  "CMakeFiles/message_gen_test.dir/message_gen_test.cpp.o.d"
+  "message_gen_test"
+  "message_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

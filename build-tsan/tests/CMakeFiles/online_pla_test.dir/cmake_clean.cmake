@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_pla_test.dir/online_pla_test.cpp.o"
+  "CMakeFiles/online_pla_test.dir/online_pla_test.cpp.o.d"
+  "online_pla_test"
+  "online_pla_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_pla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_staircase_test.dir/optimal_staircase_test.cpp.o"
+  "CMakeFiles/optimal_staircase_test.dir/optimal_staircase_test.cpp.o.d"
+  "optimal_staircase_test"
+  "optimal_staircase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_staircase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_order_test.dir/out_of_order_test.cpp.o"
+  "CMakeFiles/out_of_order_test.dir/out_of_order_test.cpp.o.d"
+  "out_of_order_test"
+  "out_of_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

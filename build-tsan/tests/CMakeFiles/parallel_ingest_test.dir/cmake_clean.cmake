@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_ingest_test.dir/parallel_ingest_test.cpp.o"
+  "CMakeFiles/parallel_ingest_test.dir/parallel_ingest_test.cpp.o.d"
+  "parallel_ingest_test"
+  "parallel_ingest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_ingest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

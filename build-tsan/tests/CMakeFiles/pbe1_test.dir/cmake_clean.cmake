@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbe1_test.dir/pbe1_test.cpp.o"
+  "CMakeFiles/pbe1_test.dir/pbe1_test.cpp.o.d"
+  "pbe1_test"
+  "pbe1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbe1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

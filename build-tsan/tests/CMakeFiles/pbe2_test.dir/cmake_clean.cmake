@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbe2_test.dir/pbe2_test.cpp.o"
+  "CMakeFiles/pbe2_test.dir/pbe2_test.cpp.o.d"
+  "pbe2_test"
+  "pbe2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbe2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

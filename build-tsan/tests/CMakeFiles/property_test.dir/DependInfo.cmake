@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/bursthist_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gen/CMakeFiles/bursthist_gen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/eval/CMakeFiles/bursthist_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/bursthist_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pla/CMakeFiles/bursthist_pla.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/bursthist_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/bursthist_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/bursthist_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hash/CMakeFiles/bursthist_hash.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/bursthist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

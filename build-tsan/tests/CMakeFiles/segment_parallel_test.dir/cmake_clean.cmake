@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_parallel_test.dir/segment_parallel_test.cpp.o"
+  "CMakeFiles/segment_parallel_test.dir/segment_parallel_test.cpp.o.d"
+  "segment_parallel_test"
+  "segment_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_store_test.dir/sketch_store_test.cpp.o"
+  "CMakeFiles/sketch_store_test.dir/sketch_store_test.cpp.o.d"
+  "sketch_store_test"
+  "sketch_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

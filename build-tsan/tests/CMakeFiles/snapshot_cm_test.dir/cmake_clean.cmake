@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_cm_test.dir/snapshot_cm_test.cpp.o"
+  "CMakeFiles/snapshot_cm_test.dir/snapshot_cm_test.cpp.o.d"
+  "snapshot_cm_test"
+  "snapshot_cm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_cm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_saving_test.dir/space_saving_test.cpp.o"
+  "CMakeFiles/space_saving_test.dir/space_saving_test.cpp.o.d"
+  "space_saving_test"
+  "space_saving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for space_saving_test.
+# This may be replaced when dependencies are built.

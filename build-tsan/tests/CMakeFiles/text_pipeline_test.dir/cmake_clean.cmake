@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_pipeline_test.dir/text_pipeline_test.cpp.o"
+  "CMakeFiles/text_pipeline_test.dir/text_pipeline_test.cpp.o.d"
+  "text_pipeline_test"
+  "text_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_query_test.dir/topk_query_test.cpp.o"
+  "CMakeFiles/topk_query_test.dir/topk_query_test.cpp.o.d"
+  "topk_query_test"
+  "topk_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

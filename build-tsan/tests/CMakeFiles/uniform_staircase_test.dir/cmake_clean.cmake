@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_staircase_test.dir/uniform_staircase_test.cpp.o"
+  "CMakeFiles/uniform_staircase_test.dir/uniform_staircase_test.cpp.o.d"
+  "uniform_staircase_test"
+  "uniform_staircase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_staircase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varint_test.dir/varint_test.cpp.o"
+  "CMakeFiles/varint_test.dir/varint_test.cpp.o.d"
+  "varint_test"
+  "varint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

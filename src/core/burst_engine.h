@@ -25,6 +25,7 @@
 #include "core/burst_queries.h"
 #include "core/cm_pbe.h"
 #include "core/dyadic_index.h"
+#include "core/parallel_ingest.h"
 #include "sketch/space_saving.h"
 #include "stream/event_stream.h"
 #include "stream/types.h"
@@ -55,6 +56,12 @@ struct BurstEngineOptions {
   /// re-ordered in a small buffer before ingestion. 0 = require
   /// strictly non-decreasing input (the paper's stream model).
   Timestamp max_lateness = 0;
+  /// When > 1, AppendStream on a fresh engine (nothing ingested yet,
+  /// max_lateness == 0) splits the stream into this many mutually
+  /// exclusive time ranges and builds them concurrently — see
+  /// parallel_ingest.h. Query results carry the same error guarantees
+  /// as serial ingestion; the engine stays appendable afterwards.
+  size_t ingest_threads = 1;
 };
 
 /// Historical burstiness engine over a mixed event stream.
@@ -100,8 +107,15 @@ class BurstEngine {
     return Status::OK();
   }
 
-  /// Ingests a whole stream (stops at the first invalid record).
+  /// Ingests a whole stream (stops at the first invalid record). On a
+  /// fresh engine with options.ingest_threads > 1 (and no lateness
+  /// tolerance, which implies time order within the stream), the
+  /// stream is built segment-parallel instead of record-by-record.
   Status AppendStream(const EventStream& stream) {
+    if (options_.ingest_threads > 1 && !started_ && !finalized_ &&
+        options_.max_lateness == 0 && stream.size() > 1) {
+      return AppendStreamParallel(stream);
+    }
     for (const auto& r : stream.records()) {
       BURSTHIST_RETURN_IF_ERROR(Append(r.id, r.time));
     }
@@ -193,27 +207,63 @@ class BurstEngine {
 
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x42454e47);  // "BENG"
-    w->Put<uint32_t>(1);
+    w->Put<uint32_t>(2);
     w->Put<uint64_t>(total_count_);
     w->Put<int64_t>(last_time_);
     w->Put<uint8_t>(started_ ? 1 : 0);
     w->Put<uint8_t>(finalized_ ? 1 : 0);
+    // v2: the out-of-order state v1 silently dropped — an unfinalized
+    // engine with max_lateness > 0 now round-trips losslessly.
+    w->Put<int64_t>(watermark_);
+    w->Put<uint64_t>(reorder_.size());
+    auto pending = reorder_;  // heap drains in time order
+    while (!pending.empty()) {
+      const Pending& p = pending.top();
+      w->Put<int64_t>(p.t);
+      w->Put<uint32_t>(p.e);
+      w->Put<uint64_t>(p.count);
+      pending.pop();
+    }
     index_.Serialize(w);
     hitters_.Serialize(w);
   }
 
   /// Restores into an engine constructed with the same options.
+  /// Accepts v1 payloads (no re-order state: the buffer restores
+  /// empty and the watermark snaps to last_time_) and v2.
   Status Deserialize(BinaryReader* r) {
     uint32_t magic = 0, version = 0;
     uint8_t started = 0, finalized = 0;
     BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
     if (magic != 0x42454e47) return Status::Corruption("bad engine magic");
-    if (version != 1) return Status::Corruption("bad engine version");
+    if (version != 1 && version != 2) {
+      return Status::Corruption("bad engine version");
+    }
     BURSTHIST_RETURN_IF_ERROR(r->Get(&total_count_));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&last_time_));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&started));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&finalized));
+    reorder_ = {};
+    watermark_ = last_time_;
+    if (version >= 2) {
+      BURSTHIST_RETURN_IF_ERROR(r->Get(&watermark_));
+      uint64_t pending_n = 0;
+      BURSTHIST_RETURN_IF_ERROR(r->Get(&pending_n));
+      if (pending_n > r->remaining() / 20) {
+        return Status::Corruption("pending count exceeds payload");
+      }
+      for (uint64_t i = 0; i < pending_n; ++i) {
+        Pending p;
+        BURSTHIST_RETURN_IF_ERROR(r->Get(&p.t));
+        BURSTHIST_RETURN_IF_ERROR(r->Get(&p.e));
+        BURSTHIST_RETURN_IF_ERROR(r->Get(&p.count));
+        if (p.e >= options_.universe_size) {
+          return Status::Corruption("buffered id exceeds universe size");
+        }
+        reorder_.push(p);
+      }
+    }
     BURSTHIST_RETURN_IF_ERROR(index_.Deserialize(r));
     BURSTHIST_RETURN_IF_ERROR(hitters_.Deserialize(r));
     started_ = started != 0;
@@ -226,7 +276,14 @@ class BurstEngine {
     Timestamp t;
     EventId e;
     Count count;
-    bool operator>(const Pending& o) const { return t > o.t; }
+    // Total order (not just by time) so the buffer drains — and hence
+    // serializes — in one canonical sequence regardless of arrival
+    // order; equal-time records are interchangeable for ingestion.
+    bool operator>(const Pending& o) const {
+      if (t != o.t) return t > o.t;
+      if (e != o.e) return e > o.e;
+      return count > o.count;
+    }
   };
 
   void Ingest(EventId e, Timestamp t, Count count) {
@@ -244,6 +301,50 @@ class BurstEngine {
       reorder_.pop();
       Ingest(p.e, p.t, p.count);
     }
+  }
+
+  // Bulk path for AppendStream: validates the whole stream up front
+  // (all-or-nothing, unlike the record-by-record path which ingests
+  // the valid prefix), then builds the index over mutually exclusive
+  // time ranges. The engine is left live: further Append calls and a
+  // later Finalize behave exactly as after serial ingestion.
+  Status AppendStreamParallel(const EventStream& stream) {
+    const auto& records = stream.records();
+    Timestamp prev = records.front().time;
+    for (const auto& r : records) {
+      if (r.id >= options_.universe_size) {
+        return Status::InvalidArgument("event id exceeds universe size");
+      }
+      if (r.time < prev) {
+        return Status::OutOfRange("timestamps must be non-decreasing");
+      }
+      prev = r.time;
+    }
+    // Records at the stream's final timestamp are held back and
+    // ingested serially: the bulk build freezes every cell's buffer
+    // into its model, and a frozen staircase cannot merge another
+    // arrival at its last corner's time — which a later live Append at
+    // that same timestamp (legal after serial ingestion) would need.
+    size_t bulk_end = records.size();
+    while (bulk_end > 0 && records[bulk_end - 1].time == records.back().time) {
+      --bulk_end;
+    }
+    const std::vector<EventRecord> bulk(records.begin(),
+                                        records.begin() + bulk_end);
+    index_ = BuildDyadicSegmentParallel<PbeT>(
+        bulk, options_.universe_size, options_.grid, options_.cell,
+        options_.ingest_threads, /*finalize=*/false);
+    index_.set_prune_rule(options_.prune_rule);
+    if (options_.heavy_hitter_capacity > 0) {
+      for (size_t i = 0; i < bulk_end; ++i) hitters_.Add(records[i].id, 1);
+    }
+    started_ = !bulk.empty();
+    last_time_ = bulk.empty() ? last_time_ : bulk.back().time;
+    total_count_ += bulk.size();
+    for (size_t i = bulk_end; i < records.size(); ++i) {
+      Ingest(records[i].id, records[i].time, 1);
+    }
+    return Status::OK();
   }
 
   // Adapter presenting one event's leaf-level view to BurstyTimes.

@@ -106,6 +106,18 @@ class DyadicBurstIndex {
   }
   void FinalizeLevel(size_t level) { grids_[level].Finalize(); }
 
+  /// Splices a finalized `suffix` index — same universe, hence same
+  /// level shapes and seeds — level by level onto this index (see
+  /// CmPbe::AbsorbSuffix). Used by segment-parallel construction.
+  void AbsorbSuffix(const DyadicBurstIndex& suffix) {
+    assert(universe_size_ == suffix.universe_size_ &&
+           levels_ == suffix.levels_ &&
+           "indexes must share a universe for level-wise concatenation");
+    for (size_t l = 0; l < levels_; ++l) {
+      grids_[l].AbsorbSuffix(suffix.grids_[l]);
+    }
+  }
+
   /// Leaf-level POINT query for event e.
   double EstimateBurstiness(EventId e, Timestamp t, Timestamp tau) const {
     return grids_[0].EstimateBurstiness(e, t, tau);
@@ -144,15 +156,20 @@ class DyadicBurstIndex {
                        levels_ - 1, 0});
 
     std::vector<std::pair<EventId, double>> leaves;
-    auto kth_sq = [&]() {
-      return leaves.size() < k
-                 ? -1.0
-                 : leaves[k - 1].second * leaves[k - 1].second;
+    // Stop only once the k-th leaf's burstiness is non-negative AND its
+    // square dominates the best unexplored score. Squaring a NEGATIVE
+    // k-th value would flip its order — a frontier node with score
+    // below kth^2 can still hide a leaf between kth and zero, so with a
+    // negative cutoff the search must keep expanding.
+    auto can_stop = [&](double score) {
+      if (leaves.size() < k) return false;
+      const double kth = leaves[k - 1].second;
+      return kth >= 0.0 && score <= kth * kth;
     };
     while (!frontier.empty()) {
       const Node cur = frontier.top();
       frontier.pop();
-      if (leaves.size() >= k && cur.score <= kth_sq()) break;
+      if (can_stop(cur.score)) break;
       const EventId lo = cur.node << cur.lv;
       if (lo >= universe_size_) continue;
       if (cur.lv == 0) {

@@ -3,26 +3,92 @@
 // "Parallel processing on mutually exclusive time ranges can be also
 //  leveraged to improve system throughput." (Section III-A)
 //
-// Two axes of parallelism exist in the structures:
+// Three axes of parallelism exist in the structures:
 //   * CM grid rows are fully independent — each element touches one
 //    cell per row, so rows can be replayed on separate threads with
-//    no synchronization (IngestRowsParallel).
+//    no synchronization (BuildCmPbeParallel).
 //   * Dyadic levels are independent of each other for the same reason
-//    (IngestLevelsParallel).
-// Both produce states identical to serial ingestion.
+//    (BuildDyadicParallel).
+//   * The stream itself splits into mutually exclusive time ranges —
+//    the sentence the paper leaves as future work. Each segment builds
+//    an independent partial state from a zero running count; partials
+//    are then concatenated in time order via the AbsorbSuffix family
+//    (BuildCmPbeSegmentParallel / BuildDyadicSegmentParallel), which
+//    shifts suffix counts by the prefix total. Segment boundaries act
+//    exactly like the resets Finalize() performs — PBE-1 compresses
+//    each segment's residual buffer, PBE-2 restarts its feasible
+//    polygon — so the per-buffer Delta and per-point gamma guarantees
+//    carry over unchanged.
+// Row and level parallelism produce states identical to serial
+// ingestion. Segment parallelism is identical whenever cell
+// compression is lossless (budget_points == buffer_points); in lossy
+// configurations it changes only where buffer resets fall, never the
+// error bounds.
 
 #ifndef BURSTHIST_CORE_PARALLEL_INGEST_H_
 #define BURSTHIST_CORE_PARALLEL_INGEST_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/cm_pbe.h"
 #include "core/dyadic_index.h"
 #include "stream/event_stream.h"
+#include "stream/types.h"
 
 namespace bursthist {
+
+/// An event occurrence with an explicit multiplicity, for callers that
+/// pre-aggregate repeats (EventRecord carries no count).
+struct WeightedRecord {
+  EventId id = 0;
+  Timestamp time = 0;
+  Count count = 1;
+};
+
+namespace internal {
+
+/// Multiplicity of a record: `count` when the record type has one
+/// (WeightedRecord), 1 otherwise (EventRecord).
+template <typename RecordT>
+Count RecordCount(const RecordT& r) {
+  if constexpr (requires { r.count; }) {
+    return r.count;
+  } else {
+    return Count{1};
+  }
+}
+
+}  // namespace internal
+
+/// Cuts [0, records.size()) into at most `max_segments` contiguous
+/// [begin, end) ranges of near-equal length whose time ranges are
+/// mutually exclusive: a boundary is only placed where the timestamp
+/// strictly increases, so records sharing a timestamp never straddle
+/// segments. Requires `records` in non-decreasing time order.
+template <typename RecordT>
+std::vector<std::pair<size_t, size_t>> SegmentRanges(
+    const std::vector<RecordT>& records, size_t max_segments) {
+  std::vector<std::pair<size_t, size_t>> out;
+  const size_t n = records.size();
+  if (n == 0 || max_segments == 0) return out;
+  size_t begin = 0;
+  for (size_t s = 0; s < max_segments && begin < n; ++s) {
+    size_t end;
+    if (s + 1 == max_segments) {
+      end = n;
+    } else {
+      end = std::max(begin + 1, ((s + 1) * n) / max_segments);
+      while (end < n && records[end].time == records[end - 1].time) ++end;
+    }
+    out.emplace_back(begin, end);
+    begin = end;
+  }
+  return out;
+}
 
 /// Builds a CM-PBE over `stream` using up to `threads` workers, one
 /// per grid row (extra threads idle). Returns the finalized grid.
@@ -86,6 +152,122 @@ DyadicBurstIndex<PbeT> BuildDyadicParallel(
   }
   for (auto& t : workers) t.join();
   return index;
+}
+
+/// Builds a CM-PBE over `records` (EventRecord or WeightedRecord, in
+/// non-decreasing time order) by splitting the stream into up to
+/// `threads` mutually exclusive time ranges, building one partial grid
+/// per segment concurrently, and concatenating the partials in time
+/// order. When `finalize` is false the returned grid is left live
+/// (appendable past the last record).
+template <typename PbeT, typename RecordT>
+CmPbe<PbeT> BuildCmPbeSegmentParallel(
+    const std::vector<RecordT>& records, const CmPbeOptions& grid_options,
+    const typename PbeT::Options& cell_options, size_t threads,
+    bool finalize = true) {
+  CmPbe<PbeT> out(grid_options, cell_options);
+  const auto ranges = SegmentRanges(records, threads);
+  if (ranges.size() <= 1) {
+    for (const auto& r : records) {
+      out.Append(r.id, r.time, internal::RecordCount(r));
+    }
+    if (finalize) out.Finalize();
+    return out;
+  }
+  // Suffix grids must all exist before any worker runs so the vector
+  // never reallocates under them.
+  std::vector<CmPbe<PbeT>> parts;
+  parts.reserve(ranges.size() - 1);
+  for (size_t s = 1; s < ranges.size(); ++s) {
+    parts.emplace_back(grid_options, cell_options);
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(parts.size());
+  for (size_t s = 1; s < ranges.size(); ++s) {
+    workers.emplace_back([&records, &parts, &ranges, s] {
+      CmPbe<PbeT>& part = parts[s - 1];
+      for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+        part.Append(records[i].id, records[i].time,
+                    internal::RecordCount(records[i]));
+      }
+      part.Finalize();
+    });
+  }
+  // The first segment builds on the calling thread, unfinalized: it IS
+  // the prefix the suffixes splice onto, and stays live if requested.
+  for (size_t i = ranges[0].first; i < ranges[0].second; ++i) {
+    out.Append(records[i].id, records[i].time,
+               internal::RecordCount(records[i]));
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& part : parts) out.AbsorbSuffix(part);
+  if (finalize) out.Finalize();
+  return out;
+}
+
+/// Segment-parallel dyadic index construction: same scheme as
+/// BuildCmPbeSegmentParallel, one partial index per time range.
+template <typename PbeT, typename RecordT>
+DyadicBurstIndex<PbeT> BuildDyadicSegmentParallel(
+    const std::vector<RecordT>& records, EventId universe_size,
+    const CmPbeOptions& grid_options,
+    const typename PbeT::Options& cell_options, size_t threads,
+    bool finalize = true) {
+  DyadicBurstIndex<PbeT> out(universe_size, grid_options, cell_options);
+  const auto ranges = SegmentRanges(records, threads);
+  if (ranges.size() <= 1) {
+    for (const auto& r : records) {
+      out.Append(r.id, r.time, internal::RecordCount(r));
+    }
+    if (finalize) out.Finalize();
+    return out;
+  }
+  std::vector<DyadicBurstIndex<PbeT>> parts;
+  parts.reserve(ranges.size() - 1);
+  for (size_t s = 1; s < ranges.size(); ++s) {
+    parts.emplace_back(universe_size, grid_options, cell_options);
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(parts.size());
+  for (size_t s = 1; s < ranges.size(); ++s) {
+    workers.emplace_back([&records, &parts, &ranges, s] {
+      DyadicBurstIndex<PbeT>& part = parts[s - 1];
+      for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+        part.Append(records[i].id, records[i].time,
+                    internal::RecordCount(records[i]));
+      }
+      part.Finalize();
+    });
+  }
+  for (size_t i = ranges[0].first; i < ranges[0].second; ++i) {
+    out.Append(records[i].id, records[i].time,
+               internal::RecordCount(records[i]));
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& part : parts) out.AbsorbSuffix(part);
+  if (finalize) out.Finalize();
+  return out;
+}
+
+/// EventStream conveniences.
+template <typename PbeT>
+CmPbe<PbeT> BuildCmPbeSegmentParallel(
+    const EventStream& stream, const CmPbeOptions& grid_options,
+    const typename PbeT::Options& cell_options, size_t threads,
+    bool finalize = true) {
+  return BuildCmPbeSegmentParallel<PbeT>(stream.records(), grid_options,
+                                         cell_options, threads, finalize);
+}
+
+template <typename PbeT>
+DyadicBurstIndex<PbeT> BuildDyadicSegmentParallel(
+    const EventStream& stream, EventId universe_size,
+    const CmPbeOptions& grid_options,
+    const typename PbeT::Options& cell_options, size_t threads,
+    bool finalize = true) {
+  return BuildDyadicSegmentParallel<PbeT>(stream.records(), universe_size,
+                                          grid_options, cell_options,
+                                          threads, finalize);
 }
 
 }  // namespace bursthist

@@ -46,21 +46,41 @@ void Pbe1::CompressBuffer(size_t budget) {
   buffer_.clear();
 }
 
+void Pbe1::CompressResidual() {
+  if (buffer_.empty()) return;
+  // Scale the budget to the residual buffer's share so the final
+  // (partial) buffer keeps the same compression ratio kappa.
+  size_t budget = options_.budget_points;
+  if (options_.error_cap < 0.0 && buffer_.size() < options_.buffer_points) {
+    budget = std::max<size_t>(2, (options_.budget_points * buffer_.size() +
+                                  options_.buffer_points - 1) /
+                                     options_.buffer_points);
+  }
+  CompressBuffer(budget);
+}
+
 void Pbe1::Finalize() {
   if (finalized_) return;
-  if (!buffer_.empty()) {
-    // Scale the budget to the residual buffer's share so the final
-    // (partial) buffer keeps the same compression ratio kappa.
-    size_t budget = options_.budget_points;
-    if (options_.error_cap < 0.0 && buffer_.size() < options_.buffer_points) {
-      budget = std::max<size_t>(
-          2, (options_.budget_points * buffer_.size() +
-              options_.buffer_points - 1) /
-                 options_.buffer_points);
-    }
-    CompressBuffer(budget);
-  }
+  CompressResidual();
   finalized_ = true;
+}
+
+void Pbe1::AbsorbSuffix(const Pbe1& suffix) {
+  assert(suffix.finalized_ && "suffix must be finalized before absorb");
+  if (suffix.running_count_ == 0) return;
+  assert(buffer_.empty() ||
+         suffix.model_.points().front().time > buffer_.back().time);
+  assert(!buffer_.empty() || model_.empty() ||
+         suffix.model_.points().front().time > model_.points().back().time);
+  // Closing the open buffer here is the boundary reset: the suffix was
+  // compressed over its own buffers, so after the shift every retained
+  // corner still came from a DP pass over <= buffer_points points.
+  CompressResidual();
+  model_.AppendShifted(suffix.model_, running_count_);
+  running_count_ += suffix.running_count_;
+  total_area_error_ += suffix.total_area_error_;
+  max_buffer_area_error_ =
+      std::max(max_buffer_area_error_, suffix.max_buffer_area_error_);
 }
 
 Pbe1 Pbe1::Snapshot() const {

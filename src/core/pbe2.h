@@ -66,6 +66,14 @@ class Pbe2 {
   /// A finalized copy for querying mid-stream.
   Pbe2 Snapshot() const;
 
+  /// Splices a finalized `suffix` built over a strictly later time
+  /// range (from a zero running count) onto this estimator. The open
+  /// PLA window is closed first, restarting the feasible polygon at
+  /// the boundary — each spliced segment therefore keeps its per-point
+  /// gamma band, so Lemma 4 holds across the seam with the combined
+  /// MaxGamma(). This estimator keeps its finalized/live state.
+  void AbsorbSuffix(const Pbe2& suffix);
+
   /// F~(t). Precondition: finalized().
   double EstimateCumulative(Timestamp t) const;
 

@@ -152,6 +152,108 @@ TEST(BurstEngineTest, SerializationRoundTrip) {
   }
 }
 
+TEST(BurstEngineTest, ReorderBufferSurvivesSerialization) {
+  // Regression: v1 serialized neither the re-order buffer nor the
+  // watermark, so snapshotting an unfinalized engine with
+  // max_lateness > 0 silently dropped every pending record.
+  const EventId k = 16;
+  auto options = SmallOptions(k);
+  options.max_lateness = 50;
+  BurstEngine1 a(options);
+  Rng rng(21);
+  Timestamp t = 100;
+  for (int i = 0; i < 2000; ++i) {
+    const Timestamp late = t - static_cast<Timestamp>(rng.NextBelow(40));
+    ASSERT_TRUE(a.Append(static_cast<EventId>(rng.NextBelow(k)), late).ok());
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+  }
+  // Records within the lateness window of the watermark are still
+  // buffered, not ingested.
+  ASSERT_LT(a.TotalCount(), 2000u);
+
+  BinaryWriter w;
+  a.Serialize(&w);
+  BurstEngine1 b(options);
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(b.Deserialize(&r).ok());
+  EXPECT_FALSE(b.finalized());
+  // Lossless: re-serializing the restored engine reproduces the blob
+  // (pending records and watermark included).
+  BinaryWriter w2;
+  b.Serialize(&w2);
+  EXPECT_EQ(w2.bytes(), w.bytes());
+
+  // Both copies accept the same continuation and end up identical.
+  for (int i = 0; i < 500; ++i) {
+    const Timestamp late = t - static_cast<Timestamp>(rng.NextBelow(40));
+    const EventId e = static_cast<EventId>(rng.NextBelow(k));
+    ASSERT_TRUE(a.Append(e, late).ok());
+    ASSERT_TRUE(b.Append(e, late).ok());
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+  }
+  a.Finalize();
+  b.Finalize();
+  EXPECT_EQ(b.TotalCount(), a.TotalCount());
+  for (EventId e = 0; e < k; ++e) {
+    for (Timestamp q = 0; q <= t; q += 83) {
+      EXPECT_DOUBLE_EQ(b.PointQuery(e, q, 50), a.PointQuery(e, q, 50));
+    }
+  }
+}
+
+TEST(BurstEngineTest, DeserializesLegacyV1Payloads) {
+  const EventId k = 32;
+  BurstEngine1 a(SmallOptions(k));
+  Rng rng(9);
+  Timestamp t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    ASSERT_TRUE(a.Append(static_cast<EventId>(rng.NextBelow(k)), t).ok());
+  }
+  a.Finalize();
+
+  // A v1 blob as the old writer produced it: header without the
+  // watermark / pending-record block, then index and hitters.
+  BinaryWriter w;
+  w.Put<uint32_t>(0x42454e47);  // "BENG"
+  w.Put<uint32_t>(1);
+  w.Put<uint64_t>(a.TotalCount());
+  w.Put<int64_t>(t);
+  w.Put<uint8_t>(1);  // started
+  w.Put<uint8_t>(1);  // finalized
+  a.index().Serialize(&w);
+  a.heavy_hitters().Serialize(&w);
+
+  BurstEngine1 b(SmallOptions(k));
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(b.Deserialize(&r).ok());
+  EXPECT_TRUE(b.finalized());
+  EXPECT_EQ(b.TotalCount(), a.TotalCount());
+  for (EventId e = 0; e < k; ++e) {
+    for (Timestamp q = 0; q <= t; q += 97) {
+      EXPECT_DOUBLE_EQ(b.PointQuery(e, q, 50), a.PointQuery(e, q, 50));
+    }
+  }
+}
+
+TEST(BurstEngineTest, RejectsImplausiblePendingCount) {
+  auto options = SmallOptions(8);
+  options.max_lateness = 10;
+  BurstEngine1 a(options);
+  ASSERT_TRUE(a.Append(1, 100).ok());
+  BinaryWriter w;
+  a.Serialize(&w);
+  auto bytes = w.bytes();
+  // Offset of the u64 pending count in the v2 header: magic(4) +
+  // version(4) + total_count(8) + last_time(8) + started(1) +
+  // finalized(1) + watermark(8).
+  const size_t off = 34;
+  for (size_t i = 0; i < 8; ++i) bytes[off + i] = 0xff;
+  BurstEngine1 b(options);
+  BinaryReader r(bytes);
+  EXPECT_EQ(b.Deserialize(&r).code(), StatusCode::kCorruption);
+}
+
 TEST(BurstEngineTest, DeserializeRejectsShapeMismatch) {
   BurstEngine1 a(SmallOptions(32));
   a.Finalize();

@@ -27,6 +27,13 @@ Pbe1Options Cell() {
   return o;
 }
 
+template <typename T>
+std::vector<uint8_t> Bytes(const T& v) {
+  BinaryWriter w;
+  v.Serialize(&w);
+  return w.TakeBytes();
+}
+
 TEST(ParallelIngestTest, CmPbeMatchesSerial) {
   const EventId k = 32;
   auto stream = RandomMix(k, 20000, 7);
@@ -42,6 +49,9 @@ TEST(ParallelIngestTest, CmPbeMatchesSerial) {
     auto parallel = BuildCmPbeParallel<Pbe1>(stream, grid, Cell(), threads);
     EXPECT_EQ(parallel.TotalCount(), serial.TotalCount());
     EXPECT_EQ(parallel.SizeBytes(), serial.SizeBytes());
+    // Rows replay the same per-cell sequences, so the whole state —
+    // total count included — serializes bit-identically to serial.
+    EXPECT_EQ(Bytes(parallel), Bytes(serial)) << "threads=" << threads;
     Rng qrng(threads);
     for (int i = 0; i < 200; ++i) {
       const EventId e = static_cast<EventId>(qrng.NextBelow(k));
@@ -93,6 +103,9 @@ TEST(ParallelIngestTest, DyadicMatchesSerial) {
     auto parallel =
         BuildDyadicParallel<Pbe1>(stream, k, grid, Cell(), threads);
     EXPECT_EQ(parallel.SizeBytes(), serial.SizeBytes());
+    // Per-level grids see the same streams, so per-level total counts
+    // (and everything else) match the serial build bit for bit.
+    EXPECT_EQ(Bytes(parallel), Bytes(serial)) << "threads=" << threads;
     Rng qrng(threads);
     for (int i = 0; i < 100; ++i) {
       const EventId e = static_cast<EventId>(qrng.NextBelow(k));

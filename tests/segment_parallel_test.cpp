@@ -1,0 +1,396 @@
+// Tests for segment-parallel construction over mutually exclusive
+// time ranges (parallel_ingest.h) and the AbsorbSuffix concatenation
+// it is built on.
+//
+// With lossless cells (budget_points == buffer_points) the staircase
+// DP keeps every corner, so a concatenated build is byte-identical to
+// a serial one — those tests assert exact equality of serialized
+// state. Lossy configurations change only where buffer resets fall,
+// so there the tests assert the paper's guarantees instead (no
+// overestimation, the 4*Delta / gamma bands).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/parallel_ingest.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+EventStream RandomMix(EventId k, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  EventStream s;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    s.Append(static_cast<EventId>(rng.NextBelow(k)), t);
+  }
+  return s;
+}
+
+Pbe1Options LosslessCell() {
+  Pbe1Options o;
+  o.buffer_points = 128;
+  o.budget_points = 128;
+  return o;
+}
+
+Pbe1Options LossyCell() {
+  Pbe1Options o;
+  o.buffer_points = 64;
+  o.budget_points = 16;
+  return o;
+}
+
+template <typename T>
+std::vector<uint8_t> Bytes(const T& v) {
+  BinaryWriter w;
+  v.Serialize(&w);
+  return w.TakeBytes();
+}
+
+TEST(SegmentRangesTest, CoversStreamAndRespectsTimestamps) {
+  auto stream = RandomMix(8, 5000, 3);
+  const auto& records = stream.records();
+  for (size_t segments : {1, 2, 3, 7, 8, 16}) {
+    auto ranges = SegmentRanges(records, segments);
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_LE(ranges.size(), segments);
+    EXPECT_EQ(ranges.front().first, 0u);
+    EXPECT_EQ(ranges.back().second, records.size());
+    for (size_t s = 1; s < ranges.size(); ++s) {
+      EXPECT_EQ(ranges[s].first, ranges[s - 1].second);
+      // Mutually exclusive time ranges: a timestamp never straddles a
+      // boundary.
+      EXPECT_GT(records[ranges[s].first].time,
+                records[ranges[s].first - 1].time);
+    }
+  }
+  EXPECT_TRUE(SegmentRanges(std::vector<EventRecord>{}, 4).empty());
+}
+
+TEST(SegmentRangesTest, AllRecordsShareOneTimestamp) {
+  std::vector<EventRecord> records(100, EventRecord{1, 42});
+  auto ranges = SegmentRanges(records, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 100}));
+}
+
+TEST(Pbe1AbsorbTest, LosslessConcatIsByteIdentical) {
+  Rng rng(19);
+  std::vector<std::pair<Timestamp, Count>> arrivals;
+  Timestamp t = 0;
+  for (int i = 0; i < 700; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBelow(4));
+    arrivals.emplace_back(t, 1 + rng.NextBelow(3));
+  }
+
+  Pbe1 serial(LosslessCell());
+  for (const auto& [at, c] : arrivals) serial.Append(at, c);
+  serial.Finalize();
+
+  for (size_t cut : {1u, 350u, 699u}) {
+    Pbe1 prefix(LosslessCell());
+    for (size_t i = 0; i < cut; ++i) {
+      prefix.Append(arrivals[i].first, arrivals[i].second);
+    }
+    Pbe1 suffix(LosslessCell());
+    for (size_t i = cut; i < arrivals.size(); ++i) {
+      suffix.Append(arrivals[i].first, arrivals[i].second);
+    }
+    suffix.Finalize();
+    prefix.AbsorbSuffix(suffix);
+    prefix.Finalize();
+    EXPECT_EQ(prefix.TotalCount(), serial.TotalCount());
+    EXPECT_EQ(Bytes(prefix), Bytes(serial)) << "cut=" << cut;
+  }
+}
+
+TEST(Pbe1AbsorbTest, LossyConcatKeepsGuarantees) {
+  Rng rng(23);
+  SingleEventStream exact;
+  Pbe1 prefix(LossyCell());
+  Pbe1 suffix(LossyCell());
+  Timestamp t = 0;
+  std::vector<Timestamp> times;
+  for (int i = 0; i < 900; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBelow(3));
+    times.push_back(t);
+  }
+  const Timestamp cut_time = times[500];
+  for (Timestamp at : times) {
+    exact.Append(at);
+    (at <= cut_time ? prefix : suffix).Append(at);
+  }
+  suffix.Finalize();
+  const double prefix_err = prefix.TotalAreaError();
+  prefix.AbsorbSuffix(suffix);
+  prefix.Finalize();
+
+  // Error statistics accumulate across the seam.
+  EXPECT_GE(prefix.TotalAreaError(), prefix_err + suffix.TotalAreaError());
+  EXPECT_GE(prefix.MaxBufferAreaError(), suffix.MaxBufferAreaError());
+
+  const double band = 4.0 * prefix.MaxBufferAreaError();
+  const Timestamp tau = 40;
+  for (Timestamp q = 0; q <= t + 10; q += 7) {
+    // The staircase never overestimates F, on either side of the seam.
+    EXPECT_LE(prefix.EstimateCumulative(q),
+              static_cast<double>(exact.CumulativeFrequency(q)));
+    // Lemma 1's pointwise band survives the concatenation.
+    EXPECT_LE(std::abs(prefix.EstimateBurstiness(q, tau) -
+                       static_cast<double>(exact.BurstinessAt(q, tau))),
+              band + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(Pbe2AbsorbTest, ConcatKeepsGammaBand) {
+  Rng rng(29);
+  SingleEventStream exact;
+  Pbe2Options cell;
+  cell.gamma = 4.0;
+  Pbe2 prefix(cell);
+  Pbe2 suffix(cell);
+  Timestamp t = 0;
+  std::vector<Timestamp> times;
+  for (int i = 0; i < 800; ++i) {
+    t += 1 + static_cast<Timestamp>(rng.NextBelow(5));
+    times.push_back(t);
+  }
+  const Timestamp cut_time = times[390];
+  for (Timestamp at : times) {
+    exact.Append(at);
+    (at <= cut_time ? prefix : suffix).Append(at);
+  }
+  suffix.Finalize();
+  prefix.AbsorbSuffix(suffix);
+  prefix.Finalize();
+
+  EXPECT_EQ(prefix.TotalCount(), exact.size());
+  const double gamma = prefix.MaxGamma();
+  for (Timestamp q = 0; q <= t + 10; ++q) {
+    const double f = static_cast<double>(exact.CumulativeFrequency(q));
+    const double est = prefix.EstimateCumulative(q);
+    EXPECT_LE(est, f + 1e-9) << "q=" << q;
+    EXPECT_GE(est, f - gamma - 1e-9) << "q=" << q;
+  }
+}
+
+TEST(Pbe2AbsorbTest, StaysLiveAfterAbsorb) {
+  Pbe2Options cell;
+  cell.gamma = 2.0;
+  Pbe2 prefix(cell);
+  Pbe2 suffix(cell);
+  SingleEventStream exact;
+  for (Timestamp at = 0; at < 100; at += 2) {
+    (at < 50 ? prefix : suffix).Append(at);
+    exact.Append(at);
+  }
+  suffix.Finalize();
+  prefix.AbsorbSuffix(suffix);
+  // Keep appending after the splice: the pre-rise augmentation level
+  // must continue from the suffix's (lifted) total.
+  for (Timestamp at = 200; at < 260; at += 2) {
+    prefix.Append(at);
+    exact.Append(at);
+  }
+  prefix.Finalize();
+  const double gamma = prefix.MaxGamma();
+  for (Timestamp q = 0; q < 270; ++q) {
+    const double f = static_cast<double>(exact.CumulativeFrequency(q));
+    const double est = prefix.EstimateCumulative(q);
+    EXPECT_LE(est, f + 1e-9) << "q=" << q;
+    EXPECT_GE(est, f - gamma - 1e-9) << "q=" << q;
+  }
+}
+
+TEST(SegmentParallelTest, CmPbeMatchesSerialBytes) {
+  const EventId k = 32;
+  auto stream = RandomMix(k, 20000, 7);
+  CmPbeOptions grid;
+  grid.depth = 4;
+  grid.width = 64;
+
+  CmPbe<Pbe1> serial(grid, LosslessCell());
+  for (const auto& r : stream.records()) serial.Append(r.id, r.time);
+  serial.Finalize();
+  const auto serial_bytes = Bytes(serial);
+
+  for (size_t threads : {2, 5, 8}) {
+    auto parallel = BuildCmPbeSegmentParallel<Pbe1>(stream, grid,
+                                                    LosslessCell(), threads);
+    EXPECT_TRUE(parallel.finalized());
+    EXPECT_EQ(parallel.TotalCount(), serial.TotalCount());
+    EXPECT_EQ(Bytes(parallel), serial_bytes) << "threads=" << threads;
+  }
+}
+
+TEST(SegmentParallelTest, CmPbe2SegmentsKeepGammaBand) {
+  const EventId k = 16;
+  auto stream = RandomMix(k, 12000, 11);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 32;
+  Pbe2Options cell;
+  cell.gamma = 3.0;
+
+  auto parallel =
+      BuildCmPbeSegmentParallel<Pbe2>(stream, grid, cell, 6);
+  auto split = stream.SplitById(k);
+  ASSERT_TRUE(split.ok());
+  Rng qrng(11);
+  for (int i = 0; i < 300; ++i) {
+    const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+    const Timestamp q =
+        static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+    const double f =
+        static_cast<double>(split.value()[e].CumulativeFrequency(q));
+    // Collisions only push estimates up; the cell's own undershoot is
+    // bounded by gamma. Median keeps the lower bound.
+    EXPECT_GE(parallel.EstimateCumulative(e, q), f - cell.gamma - 1e-9);
+  }
+}
+
+TEST(SegmentParallelTest, DyadicMatchesSerialBytesAndQueries) {
+  const EventId k = 100;
+  auto stream = RandomMix(k, 15000, 13);
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 64;
+
+  DyadicBurstIndex<Pbe1> serial(k, grid, LosslessCell());
+  for (const auto& r : stream.records()) serial.Append(r.id, r.time);
+  serial.Finalize();
+
+  for (size_t threads : {2, 8}) {
+    auto parallel = BuildDyadicSegmentParallel<Pbe1>(stream, k, grid,
+                                                     LosslessCell(), threads);
+    EXPECT_EQ(Bytes(parallel), Bytes(serial)) << "threads=" << threads;
+    auto a = parallel.BurstyEvents(stream.MaxTime() / 2, 10.0, 100);
+    auto b = serial.BurstyEvents(stream.MaxTime() / 2, 10.0, 100);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(SegmentParallelTest, WeightedRecordsMatchSerialWeightedAppends) {
+  Rng rng(31);
+  std::vector<WeightedRecord> records;
+  Timestamp t = 0;
+  for (int i = 0; i < 8000; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    records.push_back(WeightedRecord{static_cast<EventId>(rng.NextBelow(24)),
+                                     t, 1 + rng.NextBelow(5)});
+  }
+  CmPbeOptions grid;
+  grid.depth = 3;
+  grid.width = 48;
+
+  CmPbe<Pbe1> serial(grid, LosslessCell());
+  for (const auto& r : records) serial.Append(r.id, r.time, r.count);
+  serial.Finalize();
+
+  auto parallel =
+      BuildCmPbeSegmentParallel<Pbe1>(records, grid, LosslessCell(), 7);
+  EXPECT_EQ(parallel.TotalCount(), serial.TotalCount());
+  EXPECT_EQ(Bytes(parallel), Bytes(serial));
+}
+
+BurstEngineOptions<Pbe1> EngineOptions(EventId k, size_t threads) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = k;
+  o.grid.depth = 3;
+  o.grid.width = 64;
+  o.cell.buffer_points = 128;
+  o.cell.budget_points = 128;  // lossless: parallel == serial exactly
+  o.heavy_hitter_capacity = 8;
+  o.ingest_threads = threads;
+  return o;
+}
+
+TEST(SegmentParallelTest, EngineAnswersMatchSerialOnAllQueryTypes) {
+  const EventId k = 64;
+  auto stream = RandomMix(k, 20000, 37);
+
+  BurstEngine1 serial(EngineOptions(k, 1));
+  ASSERT_TRUE(serial.AppendStream(stream).ok());
+  serial.Finalize();
+
+  BurstEngine1 parallel(EngineOptions(k, 8));
+  ASSERT_TRUE(parallel.AppendStream(stream).ok());
+  parallel.Finalize();
+
+  EXPECT_EQ(parallel.TotalCount(), serial.TotalCount());
+  const Timestamp tau = 100;
+  Rng qrng(37);
+  for (int i = 0; i < 300; ++i) {
+    const EventId e = static_cast<EventId>(qrng.NextBelow(k));
+    const Timestamp q =
+        static_cast<Timestamp>(qrng.NextBelow(stream.MaxTime() + 1));
+    EXPECT_DOUBLE_EQ(parallel.PointQuery(e, q, tau),
+                     serial.PointQuery(e, q, tau));
+  }
+  for (EventId e = 0; e < k; e += 9) {
+    EXPECT_EQ(parallel.BurstyTimeQuery(e, 8.0, tau),
+              serial.BurstyTimeQuery(e, 8.0, tau))
+        << "e=" << e;
+  }
+  for (Timestamp q = 0; q <= stream.MaxTime(); q += stream.MaxTime() / 7) {
+    EXPECT_EQ(parallel.BurstyEventQuery(q, 8.0, tau),
+              serial.BurstyEventQuery(q, 8.0, tau))
+        << "t=" << q;
+  }
+  // The whole persistent state agrees, heavy hitters included.
+  EXPECT_EQ(Bytes(parallel), Bytes(serial));
+}
+
+TEST(SegmentParallelTest, EngineStaysLiveAfterParallelBulkLoad) {
+  const EventId k = 24;
+  auto stream = RandomMix(k, 6000, 41);
+  // Live tail re-uses the bulk stream's final timestamp: equal-time
+  // arrivals must keep merging, exactly as after serial ingestion.
+  std::vector<EventRecord> tail;
+  Timestamp t = stream.MaxTime();
+  Rng rng(43);
+  for (int i = 0; i < 3000; ++i) {
+    tail.push_back(EventRecord{static_cast<EventId>(rng.NextBelow(k)), t});
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+  }
+
+  BurstEngine1 serial(EngineOptions(k, 1));
+  ASSERT_TRUE(serial.AppendStream(stream).ok());
+  for (const auto& r : tail) ASSERT_TRUE(serial.Append(r.id, r.time).ok());
+  serial.Finalize();
+
+  BurstEngine1 parallel(EngineOptions(k, 8));
+  ASSERT_TRUE(parallel.AppendStream(stream).ok());
+  for (const auto& r : tail) {
+    ASSERT_TRUE(parallel.Append(r.id, r.time).ok());
+  }
+  parallel.Finalize();
+
+  EXPECT_EQ(parallel.TotalCount(), serial.TotalCount());
+  EXPECT_EQ(Bytes(parallel), Bytes(serial));
+}
+
+TEST(SegmentParallelTest, EngineValidatesBeforeBulkLoad) {
+  BurstEngine1 engine(EngineOptions(8, 4));
+  EventStream bad;
+  bad.Append(1, 10);
+  bad.Append(9, 20);  // out of universe
+  EXPECT_EQ(engine.AppendStream(bad).code(), StatusCode::kInvalidArgument);
+  // All-or-nothing: the invalid stream left no trace.
+  EXPECT_EQ(engine.TotalCount(), 0u);
+  EventStream good;
+  good.Append(1, 10);
+  good.Append(2, 20);
+  EXPECT_TRUE(engine.AppendStream(good).ok());
+  EXPECT_EQ(engine.TotalCount(), 2u);
+}
+
+}  // namespace
+}  // namespace bursthist

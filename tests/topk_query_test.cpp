@@ -148,6 +148,61 @@ TEST_F(TopKTest, HeavyHittersSurviveSerialization) {
   }
 }
 
+// Regression: the best-first cutoff used to compare frontier scores
+// against the SQUARE of the k-th leaf's burstiness. With an
+// all-decelerating universe the k-th value is negative, its square is
+// large and positive, and the search stopped immediately — returning
+// the MOST negative events (largest |b|, explored first) instead of
+// the least negative ones.
+TEST(TopKNegativeBurstinessTest, RanksDeceleratingEventsCorrectly) {
+  const EventId k = 8;
+  CmPbeOptions grid;
+  grid.depth = 1;
+  grid.width = 16;  // >= universe: every level is identity-hashed/exact
+  Pbe1Options cell;
+  cell.buffer_points = 128;
+  cell.budget_points = 128;  // lossless
+  DyadicBurstIndex<Pbe1> index(k, grid, cell);
+  // Event e occurs (e + 1) times at t = 150 and never again: at t = 300
+  // with tau = 100, b_e = (e + 1) - 2 * (e + 1) + 0 = -(e + 1).
+  for (EventId e = 0; e < k; ++e) {
+    index.Append(e, 150, e + 1);
+  }
+  index.Finalize();
+
+  auto top = index.TopKBurstyEvents(300, 3, 100);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 0u);
+  EXPECT_EQ(top[1].first, 1u);
+  EXPECT_EQ(top[2].first, 2u);
+  EXPECT_DOUBLE_EQ(top[0].second, -1.0);
+  EXPECT_DOUBLE_EQ(top[1].second, -2.0);
+  EXPECT_DOUBLE_EQ(top[2].second, -3.0);
+}
+
+TEST(TopKNegativeBurstinessTest, MixedSignsKeepPositiveFirst) {
+  const EventId k = 8;
+  CmPbeOptions grid;
+  grid.depth = 1;
+  grid.width = 16;
+  Pbe1Options cell;
+  cell.buffer_points = 128;
+  cell.budget_points = 128;
+  DyadicBurstIndex<Pbe1> index(k, grid, cell);
+  for (EventId e = 0; e < 7; ++e) {
+    index.Append(e, 150, e + 1);  // decelerating by t = 300
+  }
+  index.Append(7, 250, 5);  // accelerating at t = 300: b = +5
+  index.Finalize();
+
+  auto top = index.TopKBurstyEvents(300, 2, 100);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 7u);
+  EXPECT_DOUBLE_EQ(top[0].second, 5.0);
+  EXPECT_EQ(top[1].first, 0u);
+  EXPECT_DOUBLE_EQ(top[1].second, -1.0);
+}
+
 TEST(TopKEdgeTest, EmptyEngine) {
   BurstEngineOptions<Pbe1> o;
   o.universe_size = 8;
