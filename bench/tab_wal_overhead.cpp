@@ -1,0 +1,139 @@
+// Durability-overhead table: ingest throughput of a bare BurstEngine
+// vs the same engine behind DurableBurstEngine's WAL tee, with and
+// without per-record fsync, plus checkpoint cost and recovery time.
+//
+// The WAL adds one 29-byte framed write per append; the expectation is
+// that buffered logging costs a modest constant factor while fsync-per-
+// record is dominated by device sync latency (orders of magnitude
+// slower — that mode exists for power-loss durability per record, not
+// throughput).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/burst_engine.h"
+#include "recovery/durable_engine.h"
+#include "util/env.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+namespace {
+
+struct Timed {
+  double seconds;
+  uint64_t records;
+  double PerSecond() const { return records / seconds; }
+};
+
+template <typename Fn>
+Timed Time(uint64_t records, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(t1 - t0).count(), records};
+}
+
+void CleanDir(Env* env, const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return;
+  for (const auto& n : names.value()) (void)env->DeleteFile(dir + "/" + n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg, "WAL / snapshot durability overhead on ingest",
+         "buffered WAL within ~2x of bare; fsync-per-record much slower");
+
+  Dataset ds = MakeOlympicRio(cfg.Scenario());
+  const uint64_t n = ds.stream.size();
+  std::printf("olympic-rio: %llu records, universe %u\n\n",
+              static_cast<unsigned long long>(n), ds.universe_size);
+
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = ds.universe_size;
+
+  Env* env = Env::Default();
+  const std::string dir = "/tmp/bursthist_wal_bench";
+  (void)env->CreateDirIfMissing(dir);
+
+  std::printf("%-34s %14s %12s\n", "configuration", "records/s", "vs bare");
+  double bare_rate = 0.0;
+
+  {
+    BurstEngine1 engine(o);
+    Timed t = Time(n, [&] {
+      for (const auto& r : ds.stream.records()) {
+        (void)engine.Append(r.id, r.time);
+      }
+    });
+    bare_rate = t.PerSecond();
+    std::printf("%-34s %14.0f %11.2fx\n", "bare engine (no durability)",
+                bare_rate, 1.0);
+  }
+  {
+    CleanDir(env, dir);
+    auto durable = DurableBurstEngine1::Open(env, dir, o);
+    if (!durable.ok()) {
+      std::printf("open failed: %s\n", durable.status().ToString().c_str());
+      return 1;
+    }
+    Timed t = Time(n, [&] {
+      for (const auto& r : ds.stream.records()) {
+        (void)durable.value()->Append(r.id, r.time);
+      }
+      (void)durable.value()->Sync();
+    });
+    std::printf("%-34s %14.0f %11.2fx\n", "durable, sync on barrier",
+                t.PerSecond(), bare_rate / t.PerSecond());
+
+    // Checkpoint cost on the fully-loaded engine.
+    Timed cp = Time(1, [&] { (void)durable.value()->Checkpoint(); });
+    std::printf("%-34s %13.1fms\n", "checkpoint (snapshot + prune)",
+                cp.seconds * 1e3);
+  }
+  {
+    // Recovery: reopen the checkpointed directory before it is reused.
+    Timed t = Time(n, [&] {
+      auto recovered = RecoverBurstEngine<Pbe1>(env, dir, o);
+      if (!recovered.ok()) {
+        std::printf("recover failed: %s\n",
+                    recovered.status().ToString().c_str());
+      }
+    });
+    std::printf("%-34s %13.1fms\n", "recovery (snapshot + WAL tail)",
+                t.seconds * 1e3);
+  }
+  {
+    // fsync per record is brutal; cap the sample so the bench stays
+    // interactive and scale the rate from that sample.
+    CleanDir(env, dir);
+    DurabilityOptions d;
+    d.sync_every_append = true;
+    auto durable = DurableBurstEngine1::Open(env, dir, o, d);
+    if (!durable.ok()) {
+      std::printf("open failed: %s\n", durable.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t sample = n < 2000 ? n : 2000;
+    Timed t = Time(sample, [&] {
+      for (uint64_t i = 0; i < sample; ++i) {
+        const auto& r = ds.stream.records()[i];
+        (void)durable.value()->Append(r.id, r.time);
+      }
+    });
+    std::printf("%-34s %14.0f %11.2fx  (n=%llu sample)\n",
+                "durable, fsync every record", t.PerSecond(),
+                bare_rate / t.PerSecond(),
+                static_cast<unsigned long long>(sample));
+  }
+  CleanDir(env, dir);
+  ::rmdir(dir.c_str());
+  return 0;
+}

@@ -77,6 +77,16 @@ class BurstEngine {
     index_.set_prune_rule(options.prune_rule);
   }
 
+  /// Called with every accepted record after validation but before it
+  /// reaches the index — the recovery subsystem's write-ahead-log tee
+  /// (recovery/durable_engine.h). A non-OK return aborts the Append
+  /// before any state changes, so a record is never ingested unless
+  /// the observer accepted (logged) it. Not serialized.
+  using AppendObserver = std::function<Status(EventId, Timestamp, Count)>;
+  void set_append_observer(AppendObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Ingests one element of the event stream. Rejects out-of-range
   /// ids, appends after Finalize(), and time regressions beyond
   /// options.max_lateness (regressions within the tolerance are
@@ -92,6 +102,7 @@ class BurstEngine {
       if (started_ && t < last_time_) {
         return Status::OutOfRange("timestamps must be non-decreasing");
       }
+      if (observer_) BURSTHIST_RETURN_IF_ERROR(observer_(e, t, count));
       Ingest(e, t, count);
       return Status::OK();
     }
@@ -100,6 +111,7 @@ class BurstEngine {
     if (started_ && t < watermark_ - options_.max_lateness) {
       return Status::OutOfRange("record arrived beyond max_lateness");
     }
+    if (observer_) BURSTHIST_RETURN_IF_ERROR(observer_(e, t, count));
     reorder_.push(Pending{t, e, count});
     watermark_ = started_ ? std::max(watermark_, t) : t;
     started_ = true;
@@ -207,7 +219,10 @@ class BurstEngine {
 
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x42454e47);  // "BENG"
-    w->Put<uint32_t>(2);
+    // v1: no out-of-order state. v2: + watermark & reorder buffer.
+    // v3: payload wrapped in a CRC32C frame (see CrcFrame).
+    w->Put<uint32_t>(3);
+    const size_t frame = CrcFrame::Begin(w);
     w->Put<uint64_t>(total_count_);
     w->Put<int64_t>(last_time_);
     w->Put<uint8_t>(started_ ? 1 : 0);
@@ -226,19 +241,25 @@ class BurstEngine {
     }
     index_.Serialize(w);
     hitters_.Serialize(w);
+    CrcFrame::End(w, frame);
   }
 
   /// Restores into an engine constructed with the same options.
   /// Accepts v1 payloads (no re-order state: the buffer restores
-  /// empty and the watermark snaps to last_time_) and v2.
+  /// empty and the watermark snaps to last_time_), v2, and the
+  /// CRC32C-framed v3.
   Status Deserialize(BinaryReader* r) {
     uint32_t magic = 0, version = 0;
     uint8_t started = 0, finalized = 0;
     BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
     if (magic != 0x42454e47) return Status::Corruption("bad engine magic");
-    if (version != 1 && version != 2) {
+    if (version < 1 || version > 3) {
       return Status::Corruption("bad engine version");
+    }
+    size_t payload_end = 0;
+    if (version >= 3) {
+      BURSTHIST_RETURN_IF_ERROR(CrcFrame::Enter(r, &payload_end));
     }
     BURSTHIST_RETURN_IF_ERROR(r->Get(&total_count_));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&last_time_));
@@ -266,6 +287,9 @@ class BurstEngine {
     }
     BURSTHIST_RETURN_IF_ERROR(index_.Deserialize(r));
     BURSTHIST_RETURN_IF_ERROR(hitters_.Deserialize(r));
+    if (version >= 3) {
+      BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));
+    }
     started_ = started != 0;
     finalized_ = finalized != 0;
     return Status::OK();
@@ -320,6 +344,13 @@ class BurstEngine {
       }
       prev = r.time;
     }
+    if (observer_) {
+      // Tee the whole validated stream before building: replaying the
+      // log reproduces exactly what the bulk build ingests.
+      for (const auto& r : records) {
+        BURSTHIST_RETURN_IF_ERROR(observer_(r.id, r.time, 1));
+      }
+    }
     // Records at the stream's final timestamp are held back and
     // ingested serially: the bulk build freezes every cell's buffer
     // into its model, and a frozen staircase cannot merge another
@@ -361,6 +392,7 @@ class BurstEngine {
   Options options_;
   DyadicBurstIndex<PbeT> index_;
   SpaceSaving hitters_;
+  AppendObserver observer_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       reorder_;
   bool started_ = false;

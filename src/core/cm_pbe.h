@@ -194,7 +194,9 @@ class CmPbe {
 
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x434d5042);  // "CMPB"
-    w->Put<uint32_t>(1);
+    // v1: bare payload. v2: CRC32C-framed payload (see CrcFrame).
+    w->Put<uint32_t>(2);
+    const size_t frame = CrcFrame::Begin(w);
     w->Put<uint64_t>(options_.depth);
     w->Put<uint64_t>(options_.width);
     w->Put<uint64_t>(options_.seed);
@@ -203,6 +205,7 @@ class CmPbe {
     w->Put<uint64_t>(total_count_);
     w->Put<uint8_t>(finalized_ ? 1 : 0);
     for (const auto& c : cells_) c.Serialize(w);
+    CrcFrame::End(w, frame);
   }
 
   Status Deserialize(BinaryReader* r) {
@@ -210,7 +213,13 @@ class CmPbe {
     BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
     if (magic != 0x434d5042) return Status::Corruption("bad CM-PBE magic");
-    if (version != 1) return Status::Corruption("bad CM-PBE version");
+    if (version != 1 && version != 2) {
+      return Status::Corruption("bad CM-PBE version");
+    }
+    size_t payload_end = 0;
+    if (version >= 2) {
+      BURSTHIST_RETURN_IF_ERROR(CrcFrame::Enter(r, &payload_end));
+    }
     uint64_t depth = 0, width = 0, seed = 0, total = 0;
     uint8_t estimator = 0, identity = 0, finalized = 0;
     BURSTHIST_RETURN_IF_ERROR(r->Get(&depth));
@@ -238,6 +247,9 @@ class CmPbe {
     for (size_t i = 0; i < options_.depth * options_.width; ++i) {
       cells_.emplace_back(pbe_options_);
       BURSTHIST_RETURN_IF_ERROR(cells_.back().Deserialize(r));
+    }
+    if (version >= 2) {
+      BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));
     }
     return Status::OK();
   }

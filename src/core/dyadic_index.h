@@ -214,11 +214,14 @@ class DyadicBurstIndex {
 
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x44594144);  // "DYAD"
-    w->Put<uint32_t>(1);
+    // v1: bare payload. v2: CRC32C-framed payload (see CrcFrame).
+    w->Put<uint32_t>(2);
+    const size_t frame = CrcFrame::Begin(w);
     w->Put<uint32_t>(universe_size_);
     w->Put<uint64_t>(levels_);
     w->Put<uint8_t>(static_cast<uint8_t>(prune_rule_));
     for (const auto& g : grids_) g.Serialize(w);
+    CrcFrame::End(w, frame);
   }
 
   /// Restores into an index constructed with the same universe size
@@ -230,7 +233,13 @@ class DyadicBurstIndex {
     BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
     if (magic != 0x44594144) return Status::Corruption("bad dyadic magic");
-    if (version != 1) return Status::Corruption("bad dyadic version");
+    if (version != 1 && version != 2) {
+      return Status::Corruption("bad dyadic version");
+    }
+    size_t payload_end = 0;
+    if (version >= 2) {
+      BURSTHIST_RETURN_IF_ERROR(CrcFrame::Enter(r, &payload_end));
+    }
     BURSTHIST_RETURN_IF_ERROR(r->Get(&universe));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&levels));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&rule));
@@ -242,6 +251,9 @@ class DyadicBurstIndex {
     prune_rule_ = static_cast<DyadicPruneRule>(rule);
     for (auto& g : grids_) {
       BURSTHIST_RETURN_IF_ERROR(g.Deserialize(r));
+    }
+    if (version >= 2) {
+      BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));
     }
     return Status::OK();
   }

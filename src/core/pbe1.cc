@@ -7,7 +7,8 @@ namespace bursthist {
 
 namespace {
 constexpr uint32_t kMagic = 0x50424531;  // "PBE1"
-constexpr uint32_t kVersion = 1;
+// v1: bare payload. v2: CRC32C-framed payload (see CrcFrame).
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 Pbe1::Pbe1(const Options& options) : options_(options) {
@@ -111,6 +112,7 @@ size_t Pbe1::SizeBytes() const {
 void Pbe1::Serialize(BinaryWriter* w) const {
   w->Put(kMagic);
   w->Put(kVersion);
+  const size_t frame = CrcFrame::Begin(w);
   w->Put<uint64_t>(options_.buffer_points);
   w->Put<uint64_t>(options_.budget_points);
   w->Put<double>(options_.error_cap);
@@ -120,6 +122,7 @@ void Pbe1::Serialize(BinaryWriter* w) const {
   w->Put<uint8_t>(finalized_ ? 1 : 0);
   model_.Serialize(w);
   w->PutVector(buffer_);
+  CrcFrame::End(w, frame);
 }
 
 Status Pbe1::Deserialize(BinaryReader* r) {
@@ -127,7 +130,13 @@ Status Pbe1::Deserialize(BinaryReader* r) {
   BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
   BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
   if (magic != kMagic) return Status::Corruption("bad PBE-1 magic");
-  if (version != kVersion) return Status::Corruption("bad PBE-1 version");
+  if (version != 1 && version != kVersion) {
+    return Status::Corruption("bad PBE-1 version");
+  }
+  size_t payload_end = 0;
+  if (version >= 2) {
+    BURSTHIST_RETURN_IF_ERROR(CrcFrame::Enter(r, &payload_end));
+  }
   uint64_t buffer_points = 0, budget_points = 0, running = 0;
   uint8_t finalized = 0;
   BURSTHIST_RETURN_IF_ERROR(r->Get(&buffer_points));
@@ -139,6 +148,9 @@ Status Pbe1::Deserialize(BinaryReader* r) {
   BURSTHIST_RETURN_IF_ERROR(r->Get(&finalized));
   BURSTHIST_RETURN_IF_ERROR(model_.Deserialize(r));
   BURSTHIST_RETURN_IF_ERROR(r->GetVector(&buffer_));
+  if (version >= 2) {
+    BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));
+  }
   options_.buffer_points = static_cast<size_t>(buffer_points);
   options_.budget_points = static_cast<size_t>(budget_points);
   running_count_ = running;

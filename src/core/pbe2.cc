@@ -6,7 +6,9 @@ namespace bursthist {
 
 namespace {
 constexpr uint32_t kMagic = 0x50424532;  // "PBE2"
-constexpr uint32_t kVersion = 2;
+// v2: bare payload, finalized estimators only. v3: CRC32C-framed
+// payload (see CrcFrame) + live-state flag.
+constexpr uint32_t kVersion = 3;
 }  // namespace
 
 Pbe2::Pbe2(const Options& options)
@@ -94,15 +96,29 @@ std::vector<Timestamp> Pbe2::Breakpoints() const {
 size_t Pbe2::SizeBytes() const { return builder_.model().SizeBytes(); }
 
 void Pbe2::Serialize(BinaryWriter* w) const {
-  assert(finalized_ && "serialize requires a finalized estimator");
+  if (!finalized_) {
+    // Close the open window in a copy (one extra polygon restart, same
+    // accuracy as an AbsorbSuffix boundary) and mark the blob live so
+    // the restored estimator keeps accepting appends.
+    Snapshot().SerializeFrozen(w, /*as_finalized=*/false);
+    return;
+  }
+  SerializeFrozen(w, /*as_finalized=*/true);
+}
+
+void Pbe2::SerializeFrozen(BinaryWriter* w, bool as_finalized) const {
+  assert(finalized_ && "SerializeFrozen requires a finalized estimator");
   w->Put(kMagic);
   w->Put(kVersion);
+  const size_t frame = CrcFrame::Begin(w);
   w->Put<double>(options_.gamma);
   w->Put<uint64_t>(options_.max_polygon_vertices);
   w->Put<uint64_t>(options_.target_bytes);
   w->Put<double>(builder_.max_gamma());
   w->Put<uint64_t>(running_count_);
+  w->Put<uint8_t>(as_finalized ? 1 : 0);
   builder_.model().Serialize(w);
+  CrcFrame::End(w, frame);
 }
 
 Status Pbe2::Deserialize(BinaryReader* r) {
@@ -110,29 +126,49 @@ Status Pbe2::Deserialize(BinaryReader* r) {
   BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
   BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
   if (magic != kMagic) return Status::Corruption("bad PBE-2 magic");
-  if (version != kVersion) return Status::Corruption("bad PBE-2 version");
+  if (version != 2 && version != kVersion) {
+    return Status::Corruption("bad PBE-2 version");
+  }
+  size_t payload_end = 0;
+  if (version >= 3) {
+    BURSTHIST_RETURN_IF_ERROR(CrcFrame::Enter(r, &payload_end));
+  }
   uint64_t max_vertices = 0, target_bytes = 0, running = 0;
   double max_gamma = 0.0;
+  uint8_t finalized = 1;  // v2 blobs are always finalized
   BURSTHIST_RETURN_IF_ERROR(r->Get(&options_.gamma));
   BURSTHIST_RETURN_IF_ERROR(r->Get(&max_vertices));
   BURSTHIST_RETURN_IF_ERROR(r->Get(&target_bytes));
   BURSTHIST_RETURN_IF_ERROR(r->Get(&max_gamma));
   BURSTHIST_RETURN_IF_ERROR(r->Get(&running));
+  if (version >= 3) {
+    BURSTHIST_RETURN_IF_ERROR(r->Get(&finalized));
+  }
   options_.max_polygon_vertices = static_cast<size_t>(max_vertices);
   options_.target_bytes = static_cast<size_t>(target_bytes);
   running_count_ = running;
   LinearModel model;
   BURSTHIST_RETURN_IF_ERROR(model.Deserialize(r));
-  // Rebuild a fresh builder holding the deserialized model; the stream
-  // is frozen, so no window state is needed. Restore the escalated
-  // band so MaxGamma() keeps reporting the true guarantee.
+  if (version >= 3) {
+    BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));
+  }
+  // Rebuild a fresh builder holding the deserialized model; the window
+  // restarts at the next append (live blobs) or never (finalized).
+  // Restore the escalated band so MaxGamma() keeps reporting the true
+  // guarantee.
   builder_ = OnlinePlaBuilder(std::max(options_.gamma, max_gamma),
                               options_.max_polygon_vertices,
                               options_.target_bytes);
   builder_.RestoreModel(std::move(model));
   has_pending_ = false;
-  has_flushed_ = false;
-  finalized_ = true;
+  // Rebuild the pre-rise augmentation level from the stored model so a
+  // live estimator keeps the no-overestimate property when it resumes.
+  const LinearModel& m = builder_.model();
+  has_flushed_ = finalized == 0 && !m.segments().empty();
+  if (has_flushed_) {
+    last_flushed_ = CurvePoint{m.segments().back().last, running_count_};
+  }
+  finalized_ = finalized != 0;
   return Status::OK();
 }
 

@@ -97,6 +97,13 @@ class Pbe2 {
   /// Bytes of retained state (segments).
   size_t SizeBytes() const;
 
+  /// Serializes the estimator. A live (unfinalized) estimator is
+  /// written as a finalized snapshot marked live: the open PLA window
+  /// is flushed into the model (costing at most one extra segment, as
+  /// at an AbsorbSuffix boundary) and the restored estimator keeps
+  /// accepting appends with a restarted window — the gamma guarantee
+  /// is unaffected, but the model is not byte-identical to one that
+  /// was never serialized.
   void Serialize(BinaryWriter* w) const;
   Status Deserialize(BinaryReader* r);
 
@@ -104,6 +111,10 @@ class Pbe2 {
   // Pushes the pending corner (and its pre-rise augmentation point)
   // into the PLA builder.
   void FlushPending();
+
+  // Writes the payload of a finalized estimator, marking the blob
+  // live (finalized = 0) when requested.
+  void SerializeFrozen(BinaryWriter* w, bool as_finalized) const;
 
   Options options_;
   OnlinePlaBuilder builder_;

@@ -1,0 +1,345 @@
+// Crash-safe persistence for BurstEngine: WAL tee + atomic snapshots
+// + recovery.
+//
+//   DurableBurstEngine<Pbe1>::Open(env, dir, engine_options)  // recovers
+//   durable->Append(e, t);        // logged, then ingested
+//   durable->Checkpoint();        // snapshot + WAL trim
+//   ...crash...
+//   RecoverBurstEngine<Pbe1>(env, dir, engine_options)        // read-only
+//
+// Durability protocol
+//
+//  * Every accepted Append is first framed into the WAL (via the
+//    engine's append-observer tee, so validation happens before
+//    logging and a logged record always replays cleanly), then
+//    ingested. A record is therefore never in the engine without
+//    being in the log.
+//  * Checkpoint() rotates the WAL to a fresh segment, snapshots the
+//    live engine (atomic temp + fsync + rename) embedding that
+//    position, then prunes segments and snapshots the new one
+//    obsoletes. Crashing between any two steps is safe: recovery
+//    just replays more WAL or uses the previous generation.
+//  * Open() never appends to an existing segment (its tail may be
+//    torn); it starts the next sequence number.
+//
+// Recovery semantics (RecoverState)
+//
+//  * The newest snapshot that verifies AND whose WAL tail replays
+//    without mid-log corruption wins; a torn/truncated final record
+//    is expected (crash remnant) and replay stops cleanly before it.
+//  * A bad snapshot or corrupt mid-log record falls back to the
+//    previous snapshot generation; only when every candidate fails
+//    does recovery report the newest failure (kCorruption).
+//  * With no snapshot at all the WAL is the full history (pruning
+//    only ever follows a durable snapshot), so replay starts from an
+//    empty engine. If a snapshot file exists but none verifies,
+//    recovery refuses to serve the bare WAL suffix — that would
+//    silently drop the pruned prefix.
+
+#ifndef BURSTHIST_RECOVERY_DURABLE_ENGINE_H_
+#define BURSTHIST_RECOVERY_DURABLE_ENGINE_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+#include "util/env.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Tuning for the durability layer.
+struct DurabilityOptions {
+  /// WAL segment rotation threshold.
+  uint64_t wal_segment_bytes = 4ull << 20;
+  /// fsync the WAL after every Append (power-loss durability per
+  /// record; ~one fsync per append). Off: appends hit the file
+  /// immediately but are fsynced on Checkpoint()/Sync().
+  bool sync_every_append = false;
+  /// Snapshot generations retained after a checkpoint (>= 1).
+  size_t snapshots_to_keep = 2;
+};
+
+namespace recovery_internal {
+
+inline std::vector<uint8_t> EncodeEventPayload(EventId e, Timestamp t,
+                                               Count count) {
+  BinaryWriter w;
+  w.Put<uint32_t>(e);
+  w.Put<int64_t>(t);
+  w.Put<uint64_t>(count);
+  return w.TakeBytes();
+}
+
+inline Status DecodeEventPayload(const uint8_t* payload, size_t len,
+                                 EventId* e, Timestamp* t, Count* count) {
+  BinaryReader r(payload, len);
+  BURSTHIST_RETURN_IF_ERROR(r.Get(e));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(t));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(count));
+  if (r.remaining() != 0) {
+    return Status::Corruption("oversized WAL event payload");
+  }
+  return Status::OK();
+}
+
+/// A recovered engine plus where the log ended.
+template <typename PbeT>
+struct RecoveredState {
+  BurstEngine<PbeT> engine;
+  /// End of the last applied WAL record; the next writer segment is
+  /// wal_end.seq + 1.
+  WalPosition wal_end;
+  /// Newest snapshot generation on disk (0 = none).
+  uint64_t latest_generation = 0;
+};
+
+/// Loads one snapshot generation (or the empty baseline when
+/// `generation` == 0) and replays the WAL tail it does not cover.
+template <typename PbeT>
+Result<RecoveredState<PbeT>> TryRecoverFrom(
+    Env* env, const std::string& dir,
+    const BurstEngineOptions<PbeT>& options, uint64_t generation) {
+  RecoveredState<PbeT> state{BurstEngine<PbeT>(options), WalPosition{}, 0};
+  WalPosition from{0, 0};
+  if (generation > 0) {
+    auto snap = ReadSnapshotFile(env, dir, generation);
+    if (!snap.ok()) return snap.status();
+    BinaryReader r(snap.value().blob);
+    BURSTHIST_RETURN_IF_ERROR(state.engine.Deserialize(&r));
+    from = snap.value().wal_position;
+  } else {
+    // Empty baseline: the log is the whole history; start at the
+    // earliest segment present (1 unless the directory is empty).
+    auto seqs = ListWalSegments(env, dir);
+    if (!seqs.ok()) return seqs.status();
+    if (!seqs.value().empty()) from = WalPosition{seqs.value().front(), 0};
+  }
+  auto& engine = state.engine;
+  auto replay = ReplayWal(
+      env, dir, from,
+      [&engine](WalRecordType type, const uint8_t* payload, size_t len) {
+        if (type != WalRecordType::kEvent) {
+          return Status::Corruption("unknown WAL record type");
+        }
+        EventId e = 0;
+        Timestamp t = 0;
+        Count count = 0;
+        BURSTHIST_RETURN_IF_ERROR(DecodeEventPayload(payload, len, &e, &t,
+                                                     &count));
+        Status st = engine.Append(e, t, count);
+        if (!st.ok()) {
+          // Only validated records reach the log, so a rejected
+          // replay means the state it was validated against is gone.
+          return Status::Corruption("WAL replay rejected: " + st.ToString());
+        }
+        return Status::OK();
+      });
+  if (!replay.ok()) return replay.status();
+  state.wal_end = replay.value().end;
+  return state;
+}
+
+/// Recovery core shared by Open() and RecoverBurstEngine(): newest
+/// valid snapshot generation first, older generations on failure,
+/// empty baseline only when no snapshot file exists at all.
+template <typename PbeT>
+Result<RecoveredState<PbeT>> RecoverState(
+    Env* env, const std::string& dir,
+    const BurstEngineOptions<PbeT>& options) {
+  auto gens_or = ListSnapshots(env, dir);
+  if (!gens_or.ok()) return gens_or.status();
+  const std::vector<uint64_t>& gens = gens_or.value();
+
+  Status first_failure = Status::OK();
+  for (uint64_t gen : gens) {
+    auto state = TryRecoverFrom<PbeT>(env, dir, options, gen);
+    if (state.ok()) {
+      state.value().latest_generation = gens.front();
+      return state;
+    }
+    if (first_failure.ok()) first_failure = state.status();
+  }
+  if (!gens.empty()) {
+    // Every snapshot generation failed; the WAL alone is a suffix of
+    // history (earlier segments were pruned under those snapshots).
+    return Status::Corruption("all snapshot generations unusable: " +
+                              first_failure.ToString());
+  }
+  return TryRecoverFrom<PbeT>(env, dir, options, 0);
+}
+
+}  // namespace recovery_internal
+
+/// Read-only crash recovery: reconstructs the engine a
+/// DurableBurstEngine would resume from, without opening the
+/// directory for writing.
+template <typename PbeT>
+Result<BurstEngine<PbeT>> RecoverBurstEngine(
+    Env* env, const std::string& dir,
+    const BurstEngineOptions<PbeT>& options) {
+  auto state = recovery_internal::RecoverState<PbeT>(env, dir, options);
+  if (!state.ok()) return state.status();
+  return std::move(state).value().engine;
+}
+
+/// A BurstEngine whose appends survive crashes: every record is teed
+/// into a checksummed WAL before ingestion, and Checkpoint() persists
+/// the whole engine atomically.
+template <typename PbeT>
+class DurableBurstEngine {
+ public:
+  using EngineOptions = BurstEngineOptions<PbeT>;
+
+  /// Recovers (or initializes) `dir` and opens it for appending.
+  static Result<std::unique_ptr<DurableBurstEngine<PbeT>>> Open(
+      Env* env, const std::string& dir, const EngineOptions& options,
+      const DurabilityOptions& durability = DurabilityOptions()) {
+    BURSTHIST_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
+    auto state_or = recovery_internal::RecoverState<PbeT>(env, dir, options);
+    if (!state_or.ok()) return state_or.status();
+    recovery_internal::RecoveredState<PbeT> state =
+        std::move(state_or).value();
+
+    WalWriter::Options wal_options;
+    wal_options.segment_bytes = durability.wal_segment_bytes;
+    wal_options.sync_every_record = durability.sync_every_append;
+    // Never append to a possibly-torn tail: start the next segment.
+    auto seqs = ListWalSegments(env, dir);
+    if (!seqs.ok()) return seqs.status();
+    const uint64_t next_seq =
+        seqs.value().empty() ? 1 : seqs.value().back() + 1;
+    auto wal = WalWriter::Open(env, dir, next_seq, wal_options);
+    if (!wal.ok()) return wal.status();
+
+    std::unique_ptr<DurableBurstEngine<PbeT>> out(
+        new DurableBurstEngine(env, dir, durability, std::move(state.engine),
+                               std::move(wal).value()));
+    out->generation_ = state.latest_generation;
+    return out;
+  }
+
+  /// Logs and ingests one record. The WAL write happens after
+  /// validation and before ingestion; on a log failure (e.g. disk
+  /// full) the record is not ingested and the error is returned.
+  Status Append(EventId e, Timestamp t, Count count = 1) {
+    return engine_.Append(e, t, count);
+  }
+
+  /// Logs and ingests a whole stream (see BurstEngine::AppendStream).
+  Status AppendStream(const EventStream& stream) {
+    return engine_.AppendStream(stream);
+  }
+
+  /// fsyncs the WAL up to the last accepted Append.
+  Status Sync() { return wal_->Sync(); }
+
+  /// Atomically persists the current engine state and trims the WAL
+  /// and old snapshots. On failure the previous generation remains
+  /// authoritative and the engine stays usable.
+  Status Checkpoint() {
+    BURSTHIST_RETURN_IF_ERROR(wal_->Rotate());
+    const WalPosition covered = wal_->position();
+    BinaryWriter w;
+    engine_.Serialize(&w);
+    BURSTHIST_RETURN_IF_ERROR(
+        WriteSnapshotFile(env_, dir_, generation_ + 1, covered, w.bytes()));
+    ++generation_;
+    PruneObsoleteFiles();
+    return Status::OK();
+  }
+
+  /// The recovered/live engine. Queries go straight through; do not
+  /// call Append on it directly if you want the return-status of the
+  /// WAL tee surfaced (use DurableBurstEngine::Append — the tee runs
+  /// either way).
+  BurstEngine<PbeT>& engine() { return engine_; }
+  const BurstEngine<PbeT>& engine() const { return engine_; }
+
+  /// End of the last durable WAL record.
+  const WalPosition& wal_position() const { return wal_->position(); }
+
+  /// Newest snapshot generation (0 before the first checkpoint).
+  uint64_t generation() const { return generation_; }
+
+ private:
+  DurableBurstEngine(Env* env, std::string dir,
+                     const DurabilityOptions& durability,
+                     BurstEngine<PbeT> engine,
+                     std::unique_ptr<WalWriter> wal)
+      : env_(env),
+        dir_(std::move(dir)),
+        durability_(durability),
+        engine_(std::move(engine)),
+        wal_(std::move(wal)) {
+    engine_.set_append_observer([this](EventId e, Timestamp t, Count count) {
+      return wal_->AddRecord(
+          WalRecordType::kEvent,
+          recovery_internal::EncodeEventPayload(e, t, count));
+    });
+  }
+
+  // Best-effort removal of files the retained snapshots obsolete
+  // (failures leave garbage that recovery ignores; re-tried at the
+  // next checkpoint). WAL segments are kept back to the coverage of
+  // the OLDEST retained snapshot — not just the newest — so that
+  // falling back a generation during recovery still finds the log
+  // tail it needs to replay.
+  void PruneObsoleteFiles() {
+    const size_t keep =
+        durability_.snapshots_to_keep < 1 ? 1 : durability_.snapshots_to_keep;
+    auto gens = ListSnapshots(env_, dir_);
+    if (!gens.ok()) return;
+    for (size_t i = keep; i < gens.value().size(); ++i) {
+      env_->DeleteFile(SnapshotPath(dir_, gens.value()[i]));
+    }
+    // Oldest retained generation's coverage bounds WAL retention. An
+    // unreadable snapshot keeps everything (conservative: extra
+    // garbage, never a lost tail).
+    uint64_t min_covered_seq = wal_->position().seq;
+    const size_t retained = std::min(keep, gens.value().size());
+    for (size_t i = 0; i < retained; ++i) {
+      auto snap = ReadSnapshotFile(env_, dir_, gens.value()[i]);
+      if (!snap.ok()) return;
+      if (snap.value().wal_position.seq < min_covered_seq) {
+        min_covered_seq = snap.value().wal_position.seq;
+      }
+    }
+    auto seqs = ListWalSegments(env_, dir_);
+    if (seqs.ok()) {
+      for (uint64_t seq : seqs.value()) {
+        if (seq < min_covered_seq) env_->DeleteFile(WalSegmentPath(dir_, seq));
+      }
+    }
+    // A crash mid-write can leave a stale temp file behind.
+    auto names = env_->ListDir(dir_);
+    if (names.ok()) {
+      for (const auto& name : names.value()) {
+        if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+          env_->DeleteFile(dir_ + "/" + name);
+        }
+      }
+    }
+  }
+
+  Env* env_;
+  std::string dir_;
+  DurabilityOptions durability_;
+  BurstEngine<PbeT> engine_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t generation_ = 0;
+};
+
+/// The paper's two configurations, durable.
+using DurableBurstEngine1 = DurableBurstEngine<Pbe1>;
+using DurableBurstEngine2 = DurableBurstEngine<Pbe2>;
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_RECOVERY_DURABLE_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "recovery/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bursthist {
+
+namespace {
+
+class FaultInjectionFile : public WritableFile {
+ public:
+  FaultInjectionFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(const uint8_t* data, size_t n) override {
+    size_t persist_prefix = 0;
+    if (env_->ShouldFail(n, &persist_prefix)) {
+      if (persist_prefix > 0) {
+        // Torn write: a prefix reaches the platter before the fault.
+        Status st = base_->Append(data, std::min(persist_prefix, n));
+        if (!st.ok()) return st;
+      }
+      return Status::IOError("injected fault: no space left on device");
+    }
+    return base_->Append(data, n);
+  }
+  using WritableFile::Append;
+
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+bool FaultInjectionEnv::ShouldFail(size_t /*n*/, size_t* persist_prefix) {
+  ++writes_issued_;
+  if (fail_at_write_ == 0 || fault_fired_ || writes_issued_ != fail_at_write_) {
+    return false;
+  }
+  fault_fired_ = true;
+  *persist_prefix = static_cast<size_t>(persist_prefix_);
+  return true;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionFile(this, std::move(base).value()));
+}
+
+Status TruncateFileTo(Env* env, const std::string& path, uint64_t keep_bytes) {
+  auto size = env->FileSize(path);
+  if (!size.ok()) return size.status();
+  if (keep_bytes > size.value()) {
+    return Status::InvalidArgument("keep_bytes exceeds file size");
+  }
+  return env->TruncateFile(path, keep_bytes);
+}
+
+Status FlipBit(Env* env, const std::string& path, uint64_t offset,
+               unsigned bit) {
+  auto bytes = env->ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<uint8_t> buf = std::move(bytes).value();
+  if (offset >= buf.size()) {
+    return Status::InvalidArgument("bit-flip offset past end of file");
+  }
+  buf[offset] ^= static_cast<uint8_t>(1u << (bit & 7));
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  BURSTHIST_RETURN_IF_ERROR(file.value()->Append(buf));
+  BURSTHIST_RETURN_IF_ERROR(file.value()->Sync());
+  return file.value()->Close();
+}
+
+}  // namespace bursthist

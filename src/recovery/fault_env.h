@@ -1,0 +1,112 @@
+// Deterministic fault injection behind the Env seam.
+//
+// FaultInjectionEnv forwards to a wrapped Env but can be armed to fail
+// the Nth byte-write issued through any of its WritableFiles — either
+// losing the write entirely (classic ENOSPC) or persisting only a
+// prefix of it first (a torn write, as when power dies mid-sector).
+// Each armed fault fires exactly once; the counter and fault state are
+// explicit, so a test can sweep "fail write #1, #2, ... #k" and replay
+// the identical workload each time.
+//
+// A "crash" in the tests is: run a workload against an armed
+// FaultInjectionEnv until the fault fires (the durable layer surfaces
+// kIOError), drop the writer objects, then recover from the directory
+// with a clean Env — exactly what a process restart after ENOSPC /
+// power loss sees. Post-hoc mutations (truncation, bit flips) model
+// media corruption and are plain helpers over Env.
+
+#ifndef BURSTHIST_RECOVERY_FAULT_ENV_H_
+#define BURSTHIST_RECOVERY_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Env wrapper that can fail a chosen write. All non-write operations
+/// forward untouched.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Arms a one-shot fault: the `n`th WritableFile::Append issued
+  /// through this env (1-based, counted across all files) returns
+  /// kIOError after persisting only the first `persist_prefix_bytes`
+  /// of its buffer (0 = nothing lands: pure ENOSPC; > 0 = torn
+  /// write). The prefix is clamped to the buffer size.
+  void FailNthWrite(uint64_t n, uint64_t persist_prefix_bytes = 0) {
+    fail_at_write_ = n;
+    persist_prefix_ = persist_prefix_bytes;
+    writes_issued_ = 0;
+    fault_fired_ = false;
+  }
+
+  /// Disarms any pending fault.
+  void Disarm() { fail_at_write_ = 0; }
+
+  /// Writes issued through this env since the last FailNthWrite().
+  uint64_t writes_issued() const { return writes_issued_; }
+
+  /// True once the armed fault has triggered.
+  bool fault_fired() const { return fault_fired_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override {
+    return base_->ReadFileBytes(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDirIfMissing(const std::string& dir) override {
+    return base_->CreateDirIfMissing(dir);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
+
+  /// Internal: called by the wrapper's WritableFiles for every write.
+  /// Returns true when this write must fail, setting *persist_prefix
+  /// to how many leading bytes still land (torn write).
+  bool ShouldFail(size_t n, size_t* persist_prefix);
+
+ private:
+  Env* base_;
+  uint64_t fail_at_write_ = 0;   // 0 = disarmed
+  uint64_t persist_prefix_ = 0;
+  uint64_t writes_issued_ = 0;
+  bool fault_fired_ = false;
+};
+
+/// Truncates `path` to its first `keep_bytes` bytes (media lost its
+/// tail). No-op error if the file is already shorter.
+Status TruncateFileTo(Env* env, const std::string& path, uint64_t keep_bytes);
+
+/// Flips bit `bit` (0-7) of byte `offset` in `path`, rewriting the
+/// file in place — a single-bit media error.
+Status FlipBit(Env* env, const std::string& path, uint64_t offset,
+               unsigned bit);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_RECOVERY_FAULT_ENV_H_

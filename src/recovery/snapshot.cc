@@ -1,0 +1,110 @@
+#include "recovery/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/serialize.h"
+
+namespace bursthist {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x42534e50;  // "BSNP"
+constexpr uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+std::string SnapshotPath(const std::string& dir, uint64_t generation) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "snapshot-%08llu.snap",
+                static_cast<unsigned long long>(generation));
+  return dir + "/" + name;
+}
+
+bool ParseSnapshotName(const std::string& name, uint64_t* generation) {
+  unsigned long long parsed = 0;
+  char tail = 0;
+  if (std::sscanf(name.c_str(), "snapshot-%8llu.sna%c", &parsed, &tail) != 2 ||
+      tail != 'p' || name.size() != std::strlen("snapshot-00000000.snap")) {
+    return false;
+  }
+  *generation = parsed;
+  return true;
+}
+
+Result<std::vector<uint64_t>> ListSnapshots(Env* env, const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> gens;
+  for (const auto& name : names.value()) {
+    uint64_t gen = 0;
+    if (ParseSnapshotName(name, &gen)) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end(), std::greater<uint64_t>());
+  return gens;
+}
+
+Status WriteSnapshotFile(Env* env, const std::string& dir,
+                         uint64_t generation, const WalPosition& covered,
+                         const std::vector<uint8_t>& blob) {
+  BinaryWriter w;
+  w.Put<uint32_t>(kSnapshotMagic);
+  w.Put<uint32_t>(kSnapshotVersion);
+  w.Put<uint64_t>(generation);
+  w.Put<uint64_t>(covered.seq);
+  w.Put<uint64_t>(covered.offset);
+  w.PutVector(blob);  // u64 blob_len | blob bytes
+  w.Put<uint32_t>(Crc32c(w.data(), w.size()));
+
+  const std::string tmp = SnapshotPath(dir, generation) + ".tmp";
+  auto file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  BURSTHIST_RETURN_IF_ERROR(file.value()->Append(w.bytes()));
+  BURSTHIST_RETURN_IF_ERROR(file.value()->Sync());
+  BURSTHIST_RETURN_IF_ERROR(file.value()->Close());
+  BURSTHIST_RETURN_IF_ERROR(
+      env->RenameFile(tmp, SnapshotPath(dir, generation)));
+  return env->SyncDir(dir);
+}
+
+Result<SnapshotContents> ReadSnapshotFile(Env* env, const std::string& dir,
+                                          uint64_t generation) {
+  auto bytes_or = env->ReadFileBytes(SnapshotPath(dir, generation));
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t>& bytes = bytes_or.value();
+  // Fixed fields + trailer; the blob may be empty.
+  constexpr size_t kMinSize = 4 + 4 + 8 + 8 + 8 + 8 + 4;
+  if (bytes.size() < kMinSize) {
+    return Status::Corruption("snapshot file too short");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (Crc32c(bytes.data(), bytes.size() - 4) != stored_crc) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+  BinaryReader r(bytes.data(), bytes.size() - 4);
+  uint32_t magic = 0, version = 0;
+  SnapshotContents out;
+  uint64_t blob_len = 0;
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&magic));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&version));
+  if (magic != kSnapshotMagic) return Status::Corruption("bad snapshot magic");
+  if (version != kSnapshotVersion) {
+    return Status::Corruption("bad snapshot version");
+  }
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&out.generation));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&out.wal_position.seq));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&out.wal_position.offset));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&blob_len));
+  if (out.generation != generation) {
+    return Status::Corruption("snapshot name/generation mismatch");
+  }
+  if (blob_len != r.remaining()) {
+    return Status::Corruption("snapshot blob length mismatch");
+  }
+  out.blob.assign(bytes.data() + r.position(),
+                  bytes.data() + r.position() + blob_len);
+  return out;
+}
+
+}  // namespace bursthist

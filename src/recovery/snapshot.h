@@ -1,0 +1,64 @@
+// Atomic, checksummed snapshot files for the recovery subsystem.
+//
+// A snapshot freezes a serialized engine blob together with the WAL
+// position it covers: recovery loads the blob and replays only the
+// log records at or after that position. Layout:
+//
+//   snapshot-<gen>.snap :=
+//     u32 magic "BSNP" | u32 version = 1
+//     u64 generation
+//     u64 wal_seq | u64 wal_offset        # first position NOT covered
+//     u64 blob_len | blob bytes
+//     u32 crc32c                          # over all preceding bytes
+//
+// Writes are atomic against crashes: the file is assembled under a
+// temporary name, fsynced, renamed into place, and the directory
+// fsynced — a reader never observes a half-written snapshot under its
+// final name, and a torn temp file is ignored (and garbage-collected)
+// by recovery.
+
+#ifndef BURSTHIST_RECOVERY_SNAPSHOT_H_
+#define BURSTHIST_RECOVERY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/wal.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// A parsed snapshot file.
+struct SnapshotContents {
+  uint64_t generation = 0;
+  /// Replay the WAL from here (everything earlier is in the blob).
+  WalPosition wal_position;
+  /// The serialized engine (BENG payload).
+  std::vector<uint8_t> blob;
+};
+
+/// Builds "<dir>/snapshot-<gen 8 digits>.snap".
+std::string SnapshotPath(const std::string& dir, uint64_t generation);
+
+/// Parses a generation out of a snapshot file name; false otherwise.
+bool ParseSnapshotName(const std::string& name, uint64_t* generation);
+
+/// Sorted (descending — newest first) snapshot generations in `dir`.
+Result<std::vector<uint64_t>> ListSnapshots(Env* env, const std::string& dir);
+
+/// Atomically writes `snapshot-<gen>.snap` (temp + fsync + rename +
+/// dir fsync).
+Status WriteSnapshotFile(Env* env, const std::string& dir,
+                         uint64_t generation, const WalPosition& covered,
+                         const std::vector<uint8_t>& blob);
+
+/// Reads and fully verifies (trailer checksum, header fields,
+/// generation/name agreement) one snapshot file.
+Result<SnapshotContents> ReadSnapshotFile(Env* env, const std::string& dir,
+                                          uint64_t generation);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_RECOVERY_SNAPSHOT_H_

@@ -1,0 +1,203 @@
+#include "recovery/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/serialize.h"
+
+namespace bursthist {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4257414c;  // "BWAL"
+constexpr uint32_t kWalVersion = 1;
+// u32 payload_len | u32 masked_crc | u8 type.
+constexpr uint64_t kFrameHeader = 9;
+
+uint32_t FrameCrc(const uint8_t* type_and_payload, size_t n) {
+  return Crc32cMask(Crc32c(type_and_payload, n));
+}
+
+}  // namespace
+
+std::string WalSegmentPath(const std::string& dir, uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+bool ParseWalSegmentName(const std::string& name, uint64_t* seq) {
+  unsigned long long parsed = 0;
+  char tail = 0;
+  if (std::sscanf(name.c_str(), "wal-%8llu.lo%c", &parsed, &tail) != 2 ||
+      tail != 'g' || name.size() != std::strlen("wal-00000000.log")) {
+    return false;
+  }
+  *seq = parsed;
+  return true;
+}
+
+Result<std::vector<uint64_t>> ListWalSegments(Env* env,
+                                              const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> seqs;
+  for (const auto& name : names.value()) {
+    uint64_t seq = 0;
+    if (ParseWalSegmentName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& dir,
+                                                   uint64_t start_seq,
+                                                   const Options& options) {
+  std::unique_ptr<WalWriter> writer(new WalWriter(env, dir, options));
+  BURSTHIST_RETURN_IF_ERROR(writer->OpenSegment(start_seq));
+  return writer;
+}
+
+Status WalWriter::OpenSegment(uint64_t seq) {
+  auto file = env_->NewWritableFile(WalSegmentPath(dir_, seq));
+  if (!file.ok()) return file.status();
+  file_ = std::move(file).value();
+  BinaryWriter header;
+  header.Put<uint32_t>(kWalMagic);
+  header.Put<uint32_t>(kWalVersion);
+  header.Put<uint64_t>(seq);
+  BURSTHIST_RETURN_IF_ERROR(file_->Append(header.bytes()));
+  position_ = WalPosition{seq, kWalHeaderSize};
+  return Status::OK();
+}
+
+Status WalWriter::AddRecord(WalRecordType type,
+                            const std::vector<uint8_t>& payload) {
+  const uint64_t frame_size = kFrameHeader + payload.size();
+  if (position_.offset > kWalHeaderSize &&
+      position_.offset + frame_size > options_.segment_bytes) {
+    BURSTHIST_RETURN_IF_ERROR(Rotate());
+  }
+  BinaryWriter frame;
+  frame.Put<uint32_t>(static_cast<uint32_t>(payload.size()));
+  frame.Put<uint32_t>(0);  // patched below: crc over type + payload
+  frame.Put<uint8_t>(static_cast<uint8_t>(type));
+  const size_t body_begin = frame.size() - 1;
+  for (uint8_t b : payload) frame.Put<uint8_t>(b);
+  frame.Patch<uint32_t>(
+      4, FrameCrc(frame.data() + body_begin, frame.size() - body_begin));
+  BURSTHIST_RETURN_IF_ERROR(file_->Append(frame.bytes()));
+  position_.offset += frame_size;
+  if (options_.sync_every_record) {
+    BURSTHIST_RETURN_IF_ERROR(file_->Sync());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Status WalWriter::Rotate() {
+  BURSTHIST_RETURN_IF_ERROR(file_->Sync());
+  BURSTHIST_RETURN_IF_ERROR(file_->Close());
+  return OpenSegment(position_.seq + 1);
+}
+
+Result<WalReplayResult> ReplayWal(
+    Env* env, const std::string& dir, const WalPosition& from,
+    const std::function<Status(WalRecordType, const uint8_t* payload,
+                               size_t len)>& sink) {
+  auto seqs_or = ListWalSegments(env, dir);
+  if (!seqs_or.ok()) return seqs_or.status();
+  const std::vector<uint64_t>& all = seqs_or.value();
+
+  std::vector<uint64_t> seqs;
+  for (uint64_t seq : all) {
+    if (seq >= from.seq) seqs.push_back(seq);
+  }
+  WalReplayResult result;
+  result.end = from;
+  if (seqs.empty()) return result;
+  if (seqs.front() != from.seq) {
+    return Status::Corruption("WAL segment holding the replay start is gone");
+  }
+
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    const uint64_t seq = seqs[i];
+    const bool last = i + 1 == seqs.size();
+    if (i > 0 && seq != seqs[i - 1] + 1) {
+      return Status::Corruption("gap in WAL segment sequence");
+    }
+    auto bytes_or = env->ReadFileBytes(WalSegmentPath(dir, seq));
+    if (!bytes_or.ok()) return bytes_or.status();
+    const std::vector<uint8_t>& bytes = bytes_or.value();
+
+    if (bytes.size() < kWalHeaderSize) {
+      if (last) {
+        // Crash while creating the segment: an expected torn tail.
+        result.tail_torn = true;
+        return result;
+      }
+      return Status::Corruption("short WAL header in non-final segment");
+    }
+    BinaryReader header(bytes.data(), bytes.size());
+    uint32_t magic = 0, version = 0;
+    uint64_t header_seq = 0;
+    BURSTHIST_RETURN_IF_ERROR(header.Get(&magic));
+    BURSTHIST_RETURN_IF_ERROR(header.Get(&version));
+    BURSTHIST_RETURN_IF_ERROR(header.Get(&header_seq));
+    if (magic != kWalMagic) return Status::Corruption("bad WAL magic");
+    if (version != kWalVersion) return Status::Corruption("bad WAL version");
+    if (header_seq != seq) {
+      return Status::Corruption("WAL segment name/header sequence mismatch");
+    }
+
+    uint64_t off = seq == from.seq ? std::max(from.offset, kWalHeaderSize)
+                                   : kWalHeaderSize;
+    while (off < bytes.size()) {
+      const uint64_t remaining = bytes.size() - off;
+      if (remaining < kFrameHeader) {
+        if (last) {
+          result.tail_torn = true;
+          return result;
+        }
+        return Status::Corruption("trailing garbage in non-final segment");
+      }
+      uint32_t payload_len = 0, stored_crc = 0;
+      std::memcpy(&payload_len, bytes.data() + off, sizeof(payload_len));
+      std::memcpy(&stored_crc, bytes.data() + off + 4, sizeof(stored_crc));
+      const uint64_t frame_size = kFrameHeader + payload_len;
+      if (frame_size > remaining) {
+        if (last) {
+          // A record cut off mid-write (or a length field mangled by
+          // the same tear) — the expected crash remnant.
+          result.tail_torn = true;
+          return result;
+        }
+        return Status::Corruption("record overruns non-final segment");
+      }
+      const uint8_t* body = bytes.data() + off + 8;
+      const size_t body_len = 1 + payload_len;
+      if (FrameCrc(body, body_len) != stored_crc) {
+        if (last && off + frame_size == bytes.size()) {
+          // The final record's bytes are damaged; indistinguishable
+          // from a torn write, so drop it and stop cleanly.
+          result.tail_torn = true;
+          return result;
+        }
+        return Status::Corruption("WAL record checksum mismatch");
+      }
+      BURSTHIST_RETURN_IF_ERROR(
+          sink(static_cast<WalRecordType>(body[0]), body + 1, payload_len));
+      off += frame_size;
+      ++result.records;
+      result.end = WalPosition{seq, off};
+    }
+  }
+  return result;
+}
+
+}  // namespace bursthist

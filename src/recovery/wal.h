@@ -1,0 +1,147 @@
+// Write-ahead log with length-framed, CRC32C-checksummed records and
+// segment rotation.
+//
+// On-disk layout (all integers little-endian):
+//
+//   wal-<seq>.log :=
+//     u32 magic "BWAL" | u32 version = 1 | u64 seq       (16-byte header)
+//     record*
+//
+//   record :=
+//     u32 payload_len | u32 masked_crc | u8 type | payload[payload_len]
+//
+// The CRC covers the type byte and the payload, and is stored masked
+// (util/crc32c.h) because WAL bytes can themselves end up inside
+// checksummed snapshot-covered state.
+//
+// Reading distinguishes the two corruption classes recovery treats
+// differently:
+//
+//  * A record that runs past the end of the LAST segment, or whose
+//    checksum fails on the frame that touches the last byte of the
+//    last segment, is a torn/truncated tail — the expected remnant of
+//    a crash mid-write. Replay stops cleanly at the last valid prefix
+//    (`tail_torn = true`).
+//  * Anything else — a checksum mismatch with more log after it, a
+//    short or garbled non-final segment, a bad header — is genuine
+//    corruption and fails with Status::Corruption, letting recovery
+//    fall back to an older snapshot generation.
+
+#ifndef BURSTHIST_RECOVERY_WAL_H_
+#define BURSTHIST_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// A durable position in the log: byte `offset` within segment `seq`.
+struct WalPosition {
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const WalPosition& o) const {
+    return seq == o.seq && offset == o.offset;
+  }
+};
+
+/// Record types multiplexed through the log.
+enum class WalRecordType : uint8_t {
+  /// One engine append: u32 event | i64 time | u64 count (20 bytes).
+  kEvent = 1,
+};
+
+/// Size of a segment header in bytes.
+constexpr uint64_t kWalHeaderSize = 16;
+
+/// Builds "<dir>/wal-<seq 8 digits>.log".
+std::string WalSegmentPath(const std::string& dir, uint64_t seq);
+
+/// Parses a segment sequence number out of a file name; returns false
+/// for non-WAL names.
+bool ParseWalSegmentName(const std::string& name, uint64_t* seq);
+
+/// Sorted (ascending) sequence numbers of the WAL segments in `dir`.
+Result<std::vector<uint64_t>> ListWalSegments(Env* env,
+                                              const std::string& dir);
+
+/// Appends checksummed records, rotating to a fresh segment when the
+/// current one exceeds `segment_bytes`.
+class WalWriter {
+ public:
+  struct Options {
+    /// Rotation threshold; a segment always accepts at least one
+    /// record regardless of size.
+    uint64_t segment_bytes = 4ull << 20;
+    /// fsync after every record (durability against power loss at the
+    /// cost of one fsync per append). Off: records are written
+    /// immediately (no user-space buffering) but fsynced only on
+    /// Sync()/rotation.
+    bool sync_every_record = false;
+  };
+
+  /// Opens a brand-new segment `start_seq` in `dir` (which must
+  /// exist). Never appends to a pre-existing segment: after a crash
+  /// the tail segment may be torn, so the owner starts the next
+  /// sequence number instead.
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                 const std::string& dir,
+                                                 uint64_t start_seq,
+                                                 const Options& options);
+
+  /// Appends one record (rotating first if the segment is full).
+  Status AddRecord(WalRecordType type, const std::vector<uint8_t>& payload);
+
+  /// fsyncs the current segment.
+  Status Sync();
+
+  /// Closes the current segment (fsync) and opens segment seq+1. The
+  /// new position is the fresh segment's header end — a snapshot taken
+  /// at this position covers every record ever written before it.
+  Status Rotate();
+
+  /// End position of the last durable record.
+  const WalPosition& position() const { return position_; }
+
+ private:
+  WalWriter(Env* env, std::string dir, Options options)
+      : env_(env), dir_(std::move(dir)), options_(options) {}
+
+  Status OpenSegment(uint64_t seq);
+
+  Env* env_;
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<WritableFile> file_;
+  WalPosition position_;
+};
+
+/// Outcome of a successful replay.
+struct WalReplayResult {
+  /// End of the last applied record.
+  WalPosition end;
+  /// True when replay stopped at a torn/truncated tail (some bytes
+  /// after `end` were discarded as a crash remnant).
+  bool tail_torn = false;
+  /// Records delivered to the sink.
+  uint64_t records = 0;
+};
+
+/// Replays every intact record at or after `from`, in order, into
+/// `sink`. `from.seq` segments that no longer exist (already pruned
+/// and covered by a snapshot) are fine as long as no later segment
+/// precedes `from`. A non-OK sink status aborts and is returned.
+Result<WalReplayResult> ReplayWal(
+    Env* env, const std::string& dir, const WalPosition& from,
+    const std::function<Status(WalRecordType, const uint8_t* payload,
+                               size_t len)>& sink);
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_RECOVERY_WAL_H_

@@ -1,5 +1,6 @@
 #include "stream/csv_io.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,24 @@
 #include "util/serialize.h"
 
 namespace bursthist {
+
+namespace {
+
+// "<what> at line <n>: '<row>'" — the offending row is quoted (capped,
+// with NULs made visible) so a bad feed is diagnosable from the error
+// alone.
+std::string RowContext(const std::string& what, size_t line_no,
+                       const std::string& line) {
+  std::string shown;
+  for (size_t i = 0; i < line.size() && i < 64; ++i) {
+    shown += line[i] == '\0' ? std::string("\\0")
+                             : std::string(1, line[i]);
+  }
+  if (line.size() > 64) shown += "...";
+  return what + " at line " + std::to_string(line_no) + ": '" + shown + "'";
+}
+
+}  // namespace
 
 Result<EventStream> ParseEventStreamCsv(const std::string& text) {
   EventStream stream;
@@ -22,25 +41,55 @@ Result<EventStream> ParseEventStreamCsv(const std::string& text) {
     pos = eol + 1;
     if (line.empty() || line[0] == '#' || line == "\r") continue;
 
+    // The parse below is strtoull/strtoll-based, which read
+    // NUL-terminated strings; a NUL embedded in the row would silently
+    // hide whatever follows it, so reject it up front.
+    if (line.find('\0') != std::string::npos) {
+      return Status::InvalidArgument(
+          RowContext("embedded NUL in CSV", line_no, line));
+    }
+    // Field width the row actually occupies (minus a trailing CR from
+    // Windows line endings); the parse must consume exactly this much.
+    size_t row_size = line.size();
+    if (row_size > 0 && line[row_size - 1] == '\r') --row_size;
+
     char* end = nullptr;
+    errno = 0;
     const unsigned long long id = std::strtoull(line.c_str(), &end, 10);
     if (end == line.c_str() || *end != ',') {
-      return Status::InvalidArgument("malformed CSV at line " +
-                                     std::to_string(line_no));
+      return Status::InvalidArgument(RowContext("malformed CSV", line_no,
+                                                line));
+    }
+    if (errno == ERANGE || id > 0xffffffffULL) {
+      return Status::OutOfRange(
+          RowContext("event id overflows 32 bits", line_no, line));
+    }
+    if (line[0] == '-') {
+      // strtoull accepts a leading minus and wraps; a negative id that
+      // happens to wrap into 32 bits must not slip through.
+      return Status::OutOfRange(
+          RowContext("negative event id", line_no, line));
     }
     const char* ts_begin = end + 1;
+    errno = 0;
     const long long ts = std::strtoll(ts_begin, &end, 10);
-    if (end == ts_begin || (*end != '\0' && *end != '\r')) {
-      return Status::InvalidArgument("malformed CSV at line " +
-                                     std::to_string(line_no));
+    if (end == ts_begin) {
+      return Status::InvalidArgument(RowContext("malformed CSV", line_no,
+                                                line));
     }
-    if (id > 0xffffffffULL) {
-      return Status::OutOfRange("event id overflows 32 bits at line " +
-                                std::to_string(line_no));
+    if (errno == ERANGE) {
+      return Status::OutOfRange(
+          RowContext("timestamp overflows 64 bits", line_no, line));
+    }
+    // Exactly the whole row must have been consumed — trailing garbage
+    // (extra fields, junk after the number) is an error, not ignored.
+    if (static_cast<size_t>(end - line.c_str()) != row_size) {
+      return Status::InvalidArgument(
+          RowContext("trailing garbage in CSV", line_no, line));
     }
     if (started && ts < last_time) {
-      return Status::OutOfRange("timestamp regression at line " +
-                                std::to_string(line_no));
+      return Status::OutOfRange(
+          RowContext("timestamp regression", line_no, line));
     }
     stream.Append(static_cast<EventId>(id), static_cast<Timestamp>(ts));
     last_time = ts;

@@ -1,0 +1,43 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding
+// every persistent byte the recovery subsystem writes.
+//
+// CRC32C detects all single-bit and double-bit errors and all burst
+// errors up to 32 bits, which is exactly the failure model of the
+// fault-injection matrix (bit flips, torn writes, truncation). The
+// implementation is portable table-driven slice-by-8; no hardware
+// intrinsics are required.
+
+#ifndef BURSTHIST_UTIL_CRC32C_H_
+#define BURSTHIST_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bursthist {
+
+/// Extends a running CRC32C with `n` more bytes. Start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of a whole buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Masks a CRC that will be stored inside data that is itself
+/// checksummed (the WAL frame CRCs live inside snapshot-covered
+/// files). Computing the CRC of a string containing embedded CRCs is
+/// error-prone; the rotate-and-offset mask (as in LevelDB) makes the
+/// stored value look unlike a raw CRC.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+/// Inverse of Crc32cMask.
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_UTIL_CRC32C_H_

@@ -1,0 +1,164 @@
+#include "util/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bursthist {
+
+namespace {
+
+Status IoError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(const uint8_t* data, size_t n) override {
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return IoError("write " + path_, errno);
+      }
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return IoError("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return IoError("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return IoError("open " + path, errno);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+  }
+
+  Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return IoError("open " + path, errno);
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return IoError("read " + path, err);
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return IoError("opendir " + dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return IoError("mkdir " + dir, errno);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return IoError("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return IoError("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return IoError("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return IoError("truncate " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return IoError("open dir " + dir, errno);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) return IoError("fsync dir " + dir, err);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace bursthist

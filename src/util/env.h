@@ -1,0 +1,86 @@
+// Filesystem seam for the recovery subsystem.
+//
+// Everything the WAL and snapshot code does to disk goes through this
+// narrow virtual interface, so tests can interpose a fault-injecting
+// wrapper (see recovery/fault_env.h) that tears writes, runs out of
+// space on the Nth write, or mutilates files between "process
+// lifetimes" — without touching the production code paths.
+//
+// The default implementation (Env::Default()) is unbuffered POSIX I/O:
+// every WritableFile::Append issues one write(2), so a simulated crash
+// after any acknowledged append finds its bytes in the file. Sync()
+// additionally fsyncs, which is what the snapshot protocol's
+// write-temp + fsync + rename relies on for power-loss atomicity.
+
+#ifndef BURSTHIST_UTIL_ENV_H_
+#define BURSTHIST_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bursthist {
+
+/// An open file being appended to. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `n` bytes. On failure some prefix may have been written
+  /// (a torn write) — callers must assume nothing about the tail.
+  virtual Status Append(const uint8_t* data, size_t n) = 0;
+  Status Append(const std::vector<uint8_t>& bytes) {
+    return bytes.empty() ? Status::OK() : Append(bytes.data(), bytes.size());
+  }
+
+  /// Flushes written data and metadata to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor. Idempotent; called by the destructor.
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem abstraction (directory-scoped operations only).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (truncating) a file for appending.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads a whole file into memory.
+  virtual Result<std::vector<uint8_t>> ReadFileBytes(
+      const std::string& path) = 0;
+
+  /// Names (not paths) of regular files in `dir`, unsorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Truncates (or extends with zeros) a file to `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// fsyncs a directory so a completed rename survives power loss.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_UTIL_ENV_H_

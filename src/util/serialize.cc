@@ -2,7 +2,50 @@
 
 #include <cstdio>
 
+#include "util/crc32c.h"
+
 namespace bursthist {
+
+size_t CrcFrame::Begin(BinaryWriter* w) {
+  const size_t frame_pos = w->size();
+  w->Put<uint64_t>(0);  // payload length, patched by End()
+  return frame_pos;
+}
+
+void CrcFrame::End(BinaryWriter* w, size_t frame_pos) {
+  const size_t payload_begin = frame_pos + sizeof(uint64_t);
+  const size_t payload_len = w->size() - payload_begin;
+  w->Patch<uint64_t>(frame_pos, payload_len);
+  w->Put<uint32_t>(Crc32c(w->data() + payload_begin, payload_len));
+}
+
+Status CrcFrame::Enter(BinaryReader* r, size_t* payload_end) {
+  uint64_t payload_len = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&payload_len));
+  if (payload_len + sizeof(uint32_t) > r->remaining()) {
+    return Status::Corruption("frame length exceeds buffer");
+  }
+  const size_t begin = r->position();
+  const uint32_t actual =
+      Crc32c(r->data() + begin, static_cast<size_t>(payload_len));
+  uint32_t expected = 0;
+  std::memcpy(&expected,
+              r->data() + begin + static_cast<size_t>(payload_len),
+              sizeof(expected));
+  if (actual != expected) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  *payload_end = begin + static_cast<size_t>(payload_len);
+  return Status::OK();
+}
+
+Status CrcFrame::Leave(BinaryReader* r, size_t payload_end) {
+  if (r->position() != payload_end) {
+    return Status::Corruption("frame payload length mismatch");
+  }
+  uint32_t crc = 0;
+  return r->Get(&crc);  // verified by Enter(); consume it
+}
 
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
   std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -53,6 +53,19 @@ class BinaryWriter {
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
 
+  /// Bytes written so far.
+  size_t size() const { return buf_.size(); }
+
+  /// Overwrites a scalar previously written at `offset` (for length
+  /// placeholders patched once the payload size is known).
+  template <typename T>
+  void Patch(size_t offset, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(buf_.data() + offset, &v, sizeof(T));
+  }
+
+  const uint8_t* data() const { return buf_.data(); }
+
  private:
   std::vector<uint8_t> buf_;
 };
@@ -108,11 +121,40 @@ class BinaryReader {
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }
+  const uint8_t* data() const { return data_; }
 
  private:
   const uint8_t* data_;
   size_t size_;
   size_t pos_;
+};
+
+/// Checksummed payload framing shared by every versioned blob:
+///
+///   magic u32 | version u32 | payload_len u64 | payload | crc32c u32
+///
+/// The CRC covers exactly the payload bytes, so a reader can verify
+/// integrity BEFORE parsing a single payload field. Callers write
+/// magic and version themselves (they are validated independently and
+/// excluded so legacy readers can dispatch on version first).
+class CrcFrame {
+ public:
+  /// Writer: call right after magic+version; reserves the length slot.
+  static size_t Begin(BinaryWriter* w);
+
+  /// Writer: patches the length and appends the CRC32C trailer.
+  /// `frame_pos` is the value Begin() returned.
+  static void End(BinaryWriter* w, size_t frame_pos);
+
+  /// Reader: consumes the length, bounds-checks it, and verifies the
+  /// trailer CRC over the whole payload without consuming it. On OK,
+  /// `payload_end` is the reader position one past the payload (the
+  /// value Leave() expects).
+  static Status Enter(BinaryReader* r, size_t* payload_end);
+
+  /// Reader: checks the payload was consumed exactly and skips the
+  /// trailer, leaving the reader positioned after the frame.
+  static Status Leave(BinaryReader* r, size_t payload_end);
 };
 
 /// Writes `bytes` to `path` atomically enough for test/bench use.

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  kIOError,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

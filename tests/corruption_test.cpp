@@ -151,6 +151,90 @@ TEST(CorruptionTest, BurstEngine) {
   CheckTruncationSafety(engine, &scratch);
 }
 
+// With CRC32C framing, corruption detection is no longer limited to
+// the header: flipping ANY bit of a serialized engine blob must be
+// rejected with a clean kCorruption / kInvalidArgument — never a
+// crash, hang, or silent acceptance of altered data.
+TEST(CorruptionTest, BurstEngineFullBlobBitFlipSweep) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 8;
+  o.grid.depth = 1;
+  o.grid.width = 4;
+  o.cell.buffer_points = 16;
+  o.cell.budget_points = 4;
+  BurstEngine1 engine(o);
+  Rng rng(17);
+  Timestamp t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    ASSERT_TRUE(engine.Append(static_cast<EventId>(rng.NextBelow(8)), t).ok());
+  }
+  engine.Finalize();
+  BinaryWriter w;
+  engine.Serialize(&w);
+  const std::vector<uint8_t>& bytes = w.bytes();
+
+  const size_t stride = bytes.size() > 4096 ? 17 : 1;
+  for (size_t byte = 0; byte < bytes.size(); byte += stride) {
+    for (unsigned bit = 0; bit < 8; bit += 3) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      BurstEngine1 victim(o);
+      BinaryReader r(mutated);
+      Status st = victim.Deserialize(&r);
+      EXPECT_FALSE(st.ok())
+          << "bit " << bit << " of byte " << byte << " accepted";
+      if (!st.ok()) {
+        EXPECT_TRUE(st.code() == StatusCode::kCorruption ||
+                    st.code() == StatusCode::kInvalidArgument)
+            << st.ToString();
+      }
+    }
+  }
+}
+
+// The same sweep for the standalone estimators' framed blobs.
+TEST(CorruptionTest, EstimatorFullBlobBitFlipSweep) {
+  const SingleEventStream stream = SmallStream();
+  {
+    Pbe1Options o;
+    o.buffer_points = 32;
+    o.budget_points = 8;
+    Pbe1 pbe(o);
+    for (Timestamp t : stream.times()) pbe.Append(t);
+    pbe.Finalize();
+    BinaryWriter w;
+    pbe.Serialize(&w);
+    const std::vector<uint8_t>& bytes = w.bytes();
+    for (size_t byte = 0; byte < bytes.size(); ++byte) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[byte] ^= 0x01;
+      Pbe1 victim;
+      BinaryReader r(mutated);
+      EXPECT_FALSE(victim.Deserialize(&r).ok())
+          << "pbe1 flip at byte " << byte << " accepted";
+    }
+  }
+  {
+    Pbe2Options o;
+    o.gamma = 2.0;
+    Pbe2 pbe(o);
+    for (Timestamp t : stream.times()) pbe.Append(t);
+    pbe.Finalize();
+    BinaryWriter w;
+    pbe.Serialize(&w);
+    const std::vector<uint8_t>& bytes = w.bytes();
+    for (size_t byte = 0; byte < bytes.size(); ++byte) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[byte] ^= 0x01;
+      Pbe2 victim;
+      BinaryReader r(mutated);
+      EXPECT_FALSE(victim.Deserialize(&r).ok())
+          << "pbe2 flip at byte " << byte << " accepted";
+    }
+  }
+}
+
 TEST(CorruptionTest, GarbageBytesRejected) {
   Rng rng(13);
   std::vector<uint8_t> garbage(256);

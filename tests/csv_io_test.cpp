@@ -61,6 +61,72 @@ TEST(CsvIoTest, IdOverflowReported) {
   EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(CsvIoTest, HugeIdOverflowDoesNotWrap) {
+  // Larger than 2^64: strtoull saturates with ERANGE; must report
+  // overflow, not a wrapped id.
+  auto r = ParseEventStreamCsv("99999999999999999999999999,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(CsvIoTest, NegativeIdRejected) {
+  // strtoull accepts '-' and wraps modulo 2^64; a negative id must not
+  // sneak through as a huge (or small) positive one.
+  auto r = ParseEventStreamCsv("-3,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CsvIoTest, TimestampOverflowReported) {
+  auto r = ParseEventStreamCsv("1,99999999999999999999999999\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("timestamp overflows"),
+            std::string::npos);
+  EXPECT_FALSE(ParseEventStreamCsv("1,-99999999999999999999999999\n").ok());
+}
+
+TEST(CsvIoTest, EmbeddedNulRejected) {
+  // A NUL would hide everything after it from the C string parsers.
+  std::string text = "1,10\n2,2";
+  text += '\0';
+  text += "garbage\n";
+  auto r = ParseEventStreamCsv(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvIoTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseEventStreamCsv("1,10junk\n").ok());
+  EXPECT_FALSE(ParseEventStreamCsv("1,10 \n").ok());
+  auto r = ParseEventStreamCsv("1,10;2,11\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing garbage"),
+            std::string::npos);
+}
+
+TEST(CsvIoTest, ErrorQuotesOffendingRow) {
+  auto r = ParseEventStreamCsv("1,10\nnot,a,number\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'not,a,number'"), std::string::npos);
+}
+
+TEST(CsvIoTest, NonMonotoneGarbageRunReported) {
+  // A long mostly-valid feed whose tail goes non-monotone: the error
+  // names the first offending row.
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += std::to_string(i % 4) + "," + std::to_string(i) + "\n";
+  }
+  text += "0,3\n";
+  auto r = ParseEventStreamCsv(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("line 101"), std::string::npos);
+}
+
 TEST(CsvIoTest, EmptyInputIsEmptyStream) {
   auto r = ParseEventStreamCsv("");
   ASSERT_TRUE(r.ok());

@@ -1,0 +1,332 @@
+// Deterministic crash-recovery matrix.
+//
+// Every injected fault — an in-flight ENOSPC or torn write on any Nth
+// write of the workload, or a post-hoc truncation / bit flip anywhere
+// in the surviving files — must leave the directory in one of exactly
+// two states:
+//
+//   1. recoverable to a PREFIX-CONSISTENT engine: query-identical to a
+//      reference engine fed the first K workload records, where K is
+//      however many appends the recovered engine holds; or
+//   2. cleanly unrecoverable: RecoverBurstEngine returns a non-OK
+//      Status.
+//
+// Never an assert, a hang, or an engine that answers queries from a
+// history that was not some prefix of what was acknowledged.
+//
+// BurstEngine<Pbe1> state is a deterministic, losslessly-serializable
+// function of its append sequence, so prefix consistency is checked as
+// byte equality of serialized state — the strongest form of
+// query-identical. A separate band test covers Pbe2, whose live
+// serialization restarts one polygon window (gamma guarantee intact,
+// bytes not identical).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "recovery/durable_engine.h"
+#include "recovery/fault_env.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+struct Record {
+  EventId e;
+  Timestamp t;
+};
+
+std::vector<Record> Workload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    out.push_back({static_cast<EventId>(rng.NextBelow(8)), t});
+  }
+  return out;
+}
+
+BurstEngineOptions<Pbe1> SmallOptions() {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 8;
+  o.grid.depth = 1;
+  o.grid.width = 8;
+  o.cell.buffer_points = 16;
+  o.cell.budget_points = 4;
+  return o;
+}
+
+std::vector<uint8_t> Ser(const BurstEngine1& e) {
+  BinaryWriter w;
+  e.Serialize(&w);
+  return w.TakeBytes();
+}
+
+// The recovered engine must equal the reference fed its own TotalCount
+// of workload records (each append has count 1, so TotalCount == K).
+void ExpectPrefixConsistent(BurstEngine1&& recovered,
+                            const std::vector<Record>& workload,
+                            size_t acked) {
+  const uint64_t k = recovered.TotalCount();
+  ASSERT_LE(k, workload.size());
+  // Durability contract: everything acknowledged BEFORE the last
+  // checkpoint-or-sync barrier must survive. The matrix only crashes
+  // after full-workload sync when no fault fired, so here we just
+  // require a prefix; `acked` bounds it from above.
+  ASSERT_LE(k, acked);
+  BurstEngine1 reference(SmallOptions());
+  for (uint64_t i = 0; i < k; ++i) {
+    ASSERT_TRUE(reference.Append(workload[i].e, workload[i].t).ok());
+  }
+  EXPECT_EQ(Ser(recovered), Ser(reference)) << "recovered K=" << k;
+}
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = Env::Default();
+    dir_ = testing::TempDir() + "/bursthist_fault_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    Clean();
+    ASSERT_TRUE(base_->CreateDirIfMissing(dir_).ok());
+  }
+
+  void TearDown() override {
+    Clean();
+    ::rmdir(dir_.c_str());
+  }
+
+  void Clean() {
+    auto names = base_->ListDir(dir_);
+    if (!names.ok()) return;
+    for (const auto& n : names.value()) (void)base_->DeleteFile(dir_ + "/" + n);
+  }
+
+  // Runs the workload (checkpoint halfway) against `env`; returns how
+  // many appends were acknowledged before the first failure. A fault
+  // anywhere — open, append, checkpoint — just ends the "process".
+  size_t RunWorkload(Env* env, const std::vector<Record>& workload) {
+    auto durable = DurableBurstEngine1::Open(env, dir_, SmallOptions());
+    if (!durable.ok()) return 0;
+    size_t acked = 0;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (i == workload.size() / 2) {
+        if (!durable.value()->Checkpoint().ok()) return acked;
+      }
+      if (!durable.value()->Append(workload[i].e, workload[i].t).ok()) {
+        return acked;
+      }
+      ++acked;
+    }
+    (void)durable.value()->Sync();
+    return acked;
+  }
+
+  Env* base_ = nullptr;
+  std::string dir_;
+};
+
+// In-flight faults: fail write #N, for every N the workload issues,
+// losing the whole buffer (pure ENOSPC).
+TEST_F(FaultMatrixTest, EnospcOnEveryNthWrite) {
+  const auto workload = Workload(60, 31);
+  // Count the writes a clean run issues.
+  FaultInjectionEnv counter(base_);
+  RunWorkload(&counter, workload);
+  const uint64_t total_writes = counter.writes_issued();
+  ASSERT_GT(total_writes, 10u);
+  Clean();
+
+  for (uint64_t n = 1; n <= total_writes; ++n) {
+    SCOPED_TRACE("fail write " + std::to_string(n));
+    FaultInjectionEnv faulty(base_);
+    faulty.FailNthWrite(n, /*persist_prefix_bytes=*/0);
+    const size_t acked = RunWorkload(&faulty, workload);
+    if (!faulty.fault_fired()) {
+      EXPECT_EQ(acked, workload.size());
+    }
+
+    auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+    if (recovered.ok()) {
+      ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                             workload.size());
+    } else {
+      EXPECT_FALSE(recovered.status().message().empty());
+    }
+    Clean();
+  }
+}
+
+// Torn writes: the failing write persists only a prefix of its buffer
+// — every prefix length of a mid-workload record write.
+TEST_F(FaultMatrixTest, TornWriteAtEveryByteOffset) {
+  const auto workload = Workload(40, 32);
+  FaultInjectionEnv counter(base_);
+  RunWorkload(&counter, workload);
+  const uint64_t total_writes = counter.writes_issued();
+  Clean();
+
+  // A WAL event record frame is 29 bytes; sweep every tear length on a
+  // sample of writes (every write x every offset is quadratic — the
+  // stride keeps the matrix dense enough to hit header, CRC, and
+  // payload tears while staying fast).
+  for (uint64_t n = 1; n <= total_writes; n += 3) {
+    for (uint64_t tear = 1; tear <= 28; tear += 5) {
+      SCOPED_TRACE("write " + std::to_string(n) + " torn at " +
+                   std::to_string(tear));
+      FaultInjectionEnv faulty(base_);
+      faulty.FailNthWrite(n, tear);
+      RunWorkload(&faulty, workload);
+
+      auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+      if (recovered.ok()) {
+        ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                               workload.size());
+      }
+      Clean();
+    }
+  }
+}
+
+// Post-hoc media faults: truncate every surviving file to every
+// (strided) length after a clean run + crash.
+TEST_F(FaultMatrixTest, TruncationSweepOverSurvivingFiles) {
+  const auto workload = Workload(60, 33);
+  RunWorkload(base_, workload);
+  auto names = base_->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  ASSERT_FALSE(names.value().empty());
+
+  for (const auto& name : names.value()) {
+    const std::string path = dir_ + "/" + name;
+    auto pristine = base_->ReadFileBytes(path);
+    ASSERT_TRUE(pristine.ok());
+    const uint64_t size = pristine.value().size();
+    for (uint64_t keep = 0; keep < size; keep += (size > 512 ? 13 : 1)) {
+      SCOPED_TRACE(name + " truncated to " + std::to_string(keep));
+      ASSERT_TRUE(TruncateFileTo(base_, path, keep).ok());
+      auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+      if (recovered.ok()) {
+        ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                               workload.size());
+      }
+      // Restore.
+      auto file = base_->NewWritableFile(path);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(file.value()->Append(pristine.value()).ok());
+      ASSERT_TRUE(file.value()->Close().ok());
+    }
+  }
+}
+
+// Post-hoc media faults: flip a bit at every (strided) byte of every
+// surviving file.
+TEST_F(FaultMatrixTest, BitFlipSweepOverSurvivingFiles) {
+  const auto workload = Workload(60, 34);
+  RunWorkload(base_, workload);
+  auto names = base_->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+
+  for (const auto& name : names.value()) {
+    const std::string path = dir_ + "/" + name;
+    auto pristine = base_->ReadFileBytes(path);
+    ASSERT_TRUE(pristine.ok());
+    const uint64_t size = pristine.value().size();
+    for (uint64_t off = 0; off < size; off += (size > 512 ? 7 : 1)) {
+      SCOPED_TRACE(name + " bit flip at " + std::to_string(off));
+      ASSERT_TRUE(FlipBit(base_, path, off, off % 8).ok());
+      auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+      if (recovered.ok()) {
+        ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                               workload.size());
+      }
+      auto file = base_->NewWritableFile(path);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(file.value()->Append(pristine.value()).ok());
+      ASSERT_TRUE(file.value()->Close().ok());
+    }
+  }
+}
+
+// A WAL append that fails must not ingest the record: the engine and
+// the log stay in agreement.
+TEST_F(FaultMatrixTest, FailedLogWriteDoesNotIngest) {
+  const auto workload = Workload(10, 35);
+  FaultInjectionEnv faulty(base_);
+  auto durable = DurableBurstEngine1::Open(&faulty, dir_, SmallOptions());
+  ASSERT_TRUE(durable.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+  }
+  faulty.FailNthWrite(1);
+  Status st = durable.value()->Append(workload[5].e, workload[5].t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(durable.value()->engine().TotalCount(), 5u);
+
+  // The directory still recovers to exactly the 5 acknowledged
+  // records.
+  auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().TotalCount(), 5u);
+}
+
+// Pbe2's live serialization restarts one polygon window, so recovered
+// state is not byte-identical — but every query must stay inside the
+// gamma band the estimator guarantees, and counts must match exactly.
+TEST_F(FaultMatrixTest, Pbe2RecoveryStaysInGammaBand) {
+  BurstEngineOptions<Pbe2> o;
+  o.universe_size = 8;
+  o.grid.depth = 1;
+  o.grid.width = 8;
+  o.cell.gamma = 2.0;
+  const auto workload = Workload(300, 36);
+
+  {
+    auto durable = DurableBurstEngine<Pbe2>::Open(base_, dir_, o);
+    ASSERT_TRUE(durable.ok());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (i == 150) {
+        ASSERT_TRUE(durable.value()->Checkpoint().ok());
+      }
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Sync().ok());
+  }
+  auto recovered = RecoverBurstEngine<Pbe2>(base_, dir_, o);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered.value().TotalCount(), workload.size());
+
+  BurstEngine<Pbe2> reference(o);
+  for (const auto& r : workload) {
+    ASSERT_TRUE(reference.Append(r.e, r.t).ok());
+  }
+  recovered.value().Finalize();
+  reference.Finalize();
+  const Timestamp horizon = workload.back().t;
+  for (EventId e = 0; e < 8; ++e) {
+    for (Timestamp t = 0; t <= horizon; t += 11) {
+      const double ref = reference.CumulativeQuery(e, t);
+      const double got = recovered.value().CumulativeQuery(e, t);
+      // Both estimates gamma-approximate the same true curve, so they
+      // agree within a factor of gamma^2 (and exactly at zero).
+      if (ref == 0.0) {
+        EXPECT_EQ(got, 0.0) << "e=" << e << " t=" << t;
+      } else {
+        EXPECT_LE(got, ref * o.cell.gamma * o.cell.gamma + 1e-9);
+        EXPECT_GE(got, ref / (o.cell.gamma * o.cell.gamma) - 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bursthist

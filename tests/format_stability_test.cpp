@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <string>
 
+#include "core/burst_engine.h"
+#include "core/cm_pbe.h"
 #include "core/pbe1.h"
 #include "core/pbe2.h"
 #include "pla/linear_model.h"
@@ -76,8 +78,8 @@ TEST(FormatStabilityTest, Pbe1HeaderGolden) {
   BinaryWriter w;
   pbe.Serialize(&w);
   const std::string hex = Hex(w.bytes());
-  // Magic "PBE1" little-endian + version 1.
-  EXPECT_EQ(hex.substr(0, 16), "3145425001000000");
+  // Magic "PBE1" little-endian + version 2 (CRC32C-framed payload).
+  EXPECT_EQ(hex.substr(0, 16), "3145425002000000");
 }
 
 TEST(FormatStabilityTest, Pbe2HeaderGolden) {
@@ -86,8 +88,142 @@ TEST(FormatStabilityTest, Pbe2HeaderGolden) {
   pbe.Finalize();
   BinaryWriter w;
   pbe.Serialize(&w);
-  // Magic "PBE2" + version 2 (varint-era format).
-  EXPECT_EQ(Hex(w.bytes()).substr(0, 16), "3245425002000000");
+  // Magic "PBE2" + version 3 (CRC32C-framed payload).
+  EXPECT_EQ(Hex(w.bytes()).substr(0, 16), "3245425003000000");
+}
+
+// ---------------------------------------------------------------------
+// Legacy (pre-CRC-trailer) payloads, byte-frozen from the last release
+// that wrote them. Readers must keep accepting these verbatim even
+// though current writers emit CRC32C-framed successors.
+
+// Pbe1 v1: buffer 4 / budget 2, appends {1, 1, 3, 6, 10, 15, 15, 21}.
+constexpr const char* kLegacyPbe1V1 =
+    "314542500100000004000000000000000200000000000000000000000000f0bf0800"
+    "00000000000000000000000026400000000000002640010402020903050206010000"
+    "000000000000";
+
+// Pbe2 v2: gamma 2.0, appends {1, 2, 3, 7, 9, 14, 20, 21}.
+constexpr const char* kLegacyPbe2V2 =
+    "32454250020000000000000000000040000000000000000000000000000000000000"
+    "0000000000400800000000000000"
+    "0102148c1afe36c5a8d13fbdbbbbbbbbbbeb3f";
+
+// CmPbe<Pbe1> v1: grid depth 1 x width 2, cell buffer 4 / budget 2,
+// appends (i % 3, i + 1) for i in [0, 8).
+constexpr const char* kLegacyCmPbeV1 =
+    "42504d4301000000010000000000000002000000000000003d57000b000000000000"
+    "080000000000000001314542500100000004000000000000000200000000000000000"
+    "000000000f0bf0500000000000000000000000000144000000000000014400103020"
+    "1050301010000000000000000314542500100000004000000000000000200000000000"
+    "000000000000000f0bf03000000000000000000000000000840000000000000084001"
+    "02040106020000000000000000";
+
+// BurstEngine<Pbe1> v2: universe 2, grid depth 1 x width 2, cell
+// buffer 4 / budget 2, appends (i % 2, i + 1) for i in [0, 6).
+constexpr const char* kLegacyEngineV2 =
+    "474e454202000000060000000000000006000000000000000101000000000000000"
+    "0000000000000000044415944010000000200000002000000000000000042504d430"
+    "100000001000000000000000200000000000000f6d037a900000000000106000000"
+    "0000000001314542500100000004000000000000000200000000000000000000000"
+    "000f0bf030000000000000000000000000000400000000000000040010202010402"
+    "0000000000000000314542500100000004000000000000000200000000000000000"
+    "000000000f0bf0300000000000000000000000000004000000000000000400102040"
+    "10402000000000000000042504d43010000000100000000000000010000000000000"
+    "0af4a6f470100000000010600000000000000013145425001000000040000000000"
+    "00000200000000000000000000000000f0bf060000000000000000000000000008"
+    "4000000000000008400104020103030101010100000000000000005653505301000"
+    "000010000000000000000000000000000000000000000000000";
+
+TEST(FormatStabilityTest, ReadsLegacyPbe1V1) {
+  Pbe1Options o;
+  o.buffer_points = 4;
+  o.budget_points = 2;
+  Pbe1 reference(o);
+  for (Timestamp t : {1, 1, 3, 6, 10, 15, 15, 21}) reference.Append(t);
+  reference.Finalize();
+
+  Pbe1 legacy;
+  auto bytes = FromHex(kLegacyPbe1V1);
+  BinaryReader r(bytes);
+  ASSERT_TRUE(legacy.Deserialize(&r).ok());
+  EXPECT_EQ(legacy.TotalCount(), 8u);
+  for (Timestamp t = 0; t <= 25; ++t) {
+    EXPECT_DOUBLE_EQ(legacy.EstimateCumulative(t),
+                     reference.EstimateCumulative(t));
+  }
+}
+
+TEST(FormatStabilityTest, ReadsLegacyPbe2V2) {
+  Pbe2Options o;
+  o.gamma = 2.0;
+  Pbe2 reference(o);
+  for (Timestamp t : {1, 2, 3, 7, 9, 14, 20, 21}) reference.Append(t);
+  reference.Finalize();
+
+  Pbe2 legacy;
+  auto bytes = FromHex(kLegacyPbe2V2);
+  BinaryReader r(bytes);
+  ASSERT_TRUE(legacy.Deserialize(&r).ok());
+  EXPECT_EQ(legacy.TotalCount(), 8u);
+  for (Timestamp t = 0; t <= 25; ++t) {
+    EXPECT_DOUBLE_EQ(legacy.EstimateCumulative(t),
+                     reference.EstimateCumulative(t));
+  }
+}
+
+TEST(FormatStabilityTest, ReadsLegacyCmPbeV1) {
+  Pbe1Options cell;
+  cell.buffer_points = 4;
+  cell.budget_points = 2;
+  CmPbeOptions grid;
+  grid.depth = 1;
+  grid.width = 2;
+  CmPbe<Pbe1> reference(grid, cell);
+  for (int i = 0; i < 8; ++i) {
+    reference.Append(static_cast<EventId>(i % 3), i + 1);
+  }
+  reference.Finalize();
+
+  CmPbe<Pbe1> legacy(grid, cell);
+  auto bytes = FromHex(kLegacyCmPbeV1);
+  BinaryReader r(bytes);
+  ASSERT_TRUE(legacy.Deserialize(&r).ok());
+  for (EventId e = 0; e < 3; ++e) {
+    for (Timestamp t = 0; t <= 10; ++t) {
+      EXPECT_DOUBLE_EQ(legacy.EstimateCumulative(e, t),
+                       reference.EstimateCumulative(e, t));
+    }
+  }
+}
+
+TEST(FormatStabilityTest, ReadsLegacyEngineV2) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 2;
+  o.grid.depth = 1;
+  o.grid.width = 2;
+  o.cell.buffer_points = 4;
+  o.cell.budget_points = 2;
+  BurstEngine1 reference(o);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(reference.Append(static_cast<EventId>(i % 2), i + 1).ok());
+  }
+  reference.Finalize();
+
+  BurstEngine1 legacy(o);
+  auto bytes = FromHex(kLegacyEngineV2);
+  BinaryReader r(bytes);
+  ASSERT_TRUE(legacy.Deserialize(&r).ok());
+  EXPECT_EQ(legacy.TotalCount(), 6u);
+  EXPECT_TRUE(legacy.finalized());
+  for (EventId e = 0; e < 2; ++e) {
+    for (Timestamp t = 0; t <= 8; ++t) {
+      EXPECT_DOUBLE_EQ(legacy.PointQuery(e, t, 2),
+                       reference.PointQuery(e, t, 2));
+      EXPECT_DOUBLE_EQ(legacy.CumulativeQuery(e, t),
+                       reference.CumulativeQuery(e, t));
+    }
+  }
 }
 
 TEST(FormatStabilityTest, RoundTripPinnedPbe1Payload) {

@@ -1,0 +1,428 @@
+// Recovery subsystem tests: WAL framing/rotation/torn tails, atomic
+// snapshot files, and DurableBurstEngine checkpoint + reopen.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "recovery/durable_engine.h"
+#include "recovery/fault_env.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    dir_ = testing::TempDir() + "/bursthist_recovery_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+  }
+
+  void TearDown() override {
+    auto names = env_->ListDir(dir_);
+    if (names.ok()) {
+      for (const auto& n : names.value()) (void)env_->DeleteFile(dir_ + "/" + n);
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+// Replays everything from `from` into a flat list of payloads.
+Result<WalReplayResult> Replay(Env* env, const std::string& dir,
+                               const WalPosition& from,
+                               std::vector<std::vector<uint8_t>>* out) {
+  return ReplayWal(env, dir, from,
+                   [out](WalRecordType type, const uint8_t* p, size_t n) {
+                     EXPECT_EQ(type, WalRecordType::kEvent);
+                     out->emplace_back(p, p + n);
+                     return Status::OK();
+                   });
+}
+
+TEST_F(RecoveryTest, WalRoundTrip) {
+  WalWriter::Options o;
+  auto writer = WalWriter::Open(env_, dir_, 1, o);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::vector<std::vector<uint8_t>> in = {
+      Payload({1, 2, 3}), Payload({}), Payload({0xff, 0x00, 0x7f, 0x80})};
+  for (const auto& p : in) {
+    ASSERT_TRUE(writer.value()->AddRecord(WalRecordType::kEvent, p).ok());
+  }
+  ASSERT_TRUE(writer.value()->Sync().ok());
+
+  std::vector<std::vector<uint8_t>> out;
+  auto replay = Replay(env_, dir_, WalPosition{1, 0}, &out);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(out, in);
+  EXPECT_FALSE(replay.value().tail_torn);
+  EXPECT_EQ(replay.value().records, in.size());
+  EXPECT_EQ(replay.value().end, writer.value()->position());
+}
+
+TEST_F(RecoveryTest, WalRotatesSegments) {
+  WalWriter::Options o;
+  o.segment_bytes = 64;  // tiny: a few records per segment
+  auto writer = WalWriter::Open(env_, dir_, 1, o);
+  ASSERT_TRUE(writer.ok());
+  std::vector<std::vector<uint8_t>> in;
+  for (uint8_t i = 0; i < 20; ++i) {
+    in.push_back(Payload({i, i, i, i, i, i, i, i}));
+    ASSERT_TRUE(writer.value()->AddRecord(WalRecordType::kEvent, in.back()).ok());
+  }
+  auto seqs = ListWalSegments(env_, dir_);
+  ASSERT_TRUE(seqs.ok());
+  EXPECT_GT(seqs.value().size(), 2u) << "rotation never happened";
+
+  std::vector<std::vector<uint8_t>> out;
+  auto replay = Replay(env_, dir_, WalPosition{1, 0}, &out);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(out, in);
+}
+
+TEST_F(RecoveryTest, WalTornTailStopsCleanly) {
+  WalWriter::Options o;
+  auto writer = WalWriter::Open(env_, dir_, 1, o);
+  ASSERT_TRUE(writer.ok());
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        writer.value()->AddRecord(WalRecordType::kEvent, Payload({i})).ok());
+  }
+  const std::string path = WalSegmentPath(dir_, 1);
+  auto size = env_->FileSize(path);
+  ASSERT_TRUE(size.ok());
+
+  // Truncate every possible amount into the final record (frame is
+  // 9 + 1 bytes): each must replay the first 4 records and flag a torn
+  // tail, never an error.
+  for (uint64_t cut = 1; cut <= 9; ++cut) {
+    SCOPED_TRACE(cut);
+    auto bytes = env_->ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(TruncateFileTo(env_, path, size.value() - cut).ok());
+
+    std::vector<std::vector<uint8_t>> out;
+    auto replay = Replay(env_, dir_, WalPosition{1, 0}, &out);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay.value().tail_torn);
+    EXPECT_EQ(replay.value().records, 4u);
+
+    // Restore for the next iteration.
+    auto file = env_->NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append(bytes.value()).ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+}
+
+TEST_F(RecoveryTest, WalMidLogCorruptionIsAnError) {
+  WalWriter::Options o;
+  auto writer = WalWriter::Open(env_, dir_, 1, o);
+  ASSERT_TRUE(writer.ok());
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        writer.value()->AddRecord(WalRecordType::kEvent, Payload({i})).ok());
+  }
+  // Flip a payload bit in the SECOND record: checksum fails with more
+  // log after it, so this is corruption, not a torn tail.
+  const std::string path = WalSegmentPath(dir_, 1);
+  const uint64_t second_record_payload = kWalHeaderSize + 10 + 9;
+  ASSERT_TRUE(FlipBit(env_, path, second_record_payload, 3).ok());
+
+  std::vector<std::vector<uint8_t>> out;
+  auto replay = Replay(env_, dir_, WalPosition{1, 0}, &out);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(RecoveryTest, WalMissingStartSegmentIsAnError) {
+  WalWriter::Options o;
+  auto writer = WalWriter::Open(env_, dir_, 3, o);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      writer.value()->AddRecord(WalRecordType::kEvent, Payload({1})).ok());
+  // Asking to replay from segment 2 when only 3 exists: the covering
+  // segment was pruned out from under us.
+  std::vector<std::vector<uint8_t>> out;
+  auto replay = Replay(env_, dir_, WalPosition{2, 0}, &out);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(RecoveryTest, SnapshotRoundTrip) {
+  std::vector<uint8_t> blob = {9, 8, 7, 6, 5};
+  ASSERT_TRUE(
+      WriteSnapshotFile(env_, dir_, 7, WalPosition{3, 99}, blob).ok());
+  auto gens = ListSnapshots(env_, dir_);
+  ASSERT_TRUE(gens.ok());
+  ASSERT_EQ(gens.value().size(), 1u);
+  EXPECT_EQ(gens.value()[0], 7u);
+
+  auto snap = ReadSnapshotFile(env_, dir_, 7);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap.value().generation, 7u);
+  EXPECT_EQ(snap.value().wal_position, (WalPosition{3, 99}));
+  EXPECT_EQ(snap.value().blob, blob);
+}
+
+TEST_F(RecoveryTest, SnapshotDetectsAnySingleBitFlip) {
+  std::vector<uint8_t> blob(40, 0xab);
+  ASSERT_TRUE(WriteSnapshotFile(env_, dir_, 1, WalPosition{1, 16}, blob).ok());
+  const std::string path = SnapshotPath(dir_, 1);
+  auto size = env_->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  auto pristine = env_->ReadFileBytes(path);
+  ASSERT_TRUE(pristine.ok());
+
+  for (uint64_t off = 0; off < size.value(); ++off) {
+    ASSERT_TRUE(FlipBit(env_, path, off, off % 8).ok());
+    auto snap = ReadSnapshotFile(env_, dir_, 1);
+    EXPECT_FALSE(snap.ok()) << "bit flip at byte " << off << " accepted";
+    auto file = env_->NewWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append(pristine.value()).ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+}
+
+BurstEngineOptions<Pbe1> SmallOptions() {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 16;
+  o.grid.depth = 2;
+  o.grid.width = 8;
+  o.cell.buffer_points = 32;
+  o.cell.budget_points = 8;
+  o.heavy_hitter_capacity = 4;
+  return o;
+}
+
+struct Record {
+  EventId e;
+  Timestamp t;
+};
+
+std::vector<Record> Workload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    out.push_back({static_cast<EventId>(rng.NextBelow(16)), t});
+  }
+  return out;
+}
+
+std::vector<uint8_t> Ser(const BurstEngine1& e) {
+  BinaryWriter w;
+  e.Serialize(&w);
+  return w.TakeBytes();
+}
+
+// Reference engine fed the first `n` workload records directly.
+BurstEngine1 Reference(const std::vector<Record>& w, size_t n) {
+  BurstEngine1 engine(SmallOptions());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(engine.Append(w[i].e, w[i].t).ok());
+  }
+  return engine;
+}
+
+TEST_F(RecoveryTest, DurableEngineRecoversFromWalOnly) {
+  const auto workload = Workload(200, 21);
+  {
+    auto durable =
+        DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    for (const auto& r : workload) {
+      ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Sync().ok());
+    // No checkpoint: dropped on the floor, as in a crash.
+  }
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Ser(recovered.value()), Ser(Reference(workload, workload.size())));
+}
+
+TEST_F(RecoveryTest, DurableEngineCheckpointAndTailReplay) {
+  const auto workload = Workload(300, 22);
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok());
+    for (size_t i = 0; i < 150; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+    EXPECT_EQ(durable.value()->generation(), 1u);
+    for (size_t i = 150; i < workload.size(); ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Sync().ok());
+  }
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().TotalCount(), workload.size());
+  EXPECT_EQ(Ser(recovered.value()), Ser(Reference(workload, workload.size())));
+}
+
+TEST_F(RecoveryTest, CheckpointPrunesOldWalSegments) {
+  auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+  ASSERT_TRUE(durable.ok());
+  const auto workload = Workload(100, 23);
+  for (const auto& r : workload) {
+    ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+  }
+  ASSERT_TRUE(durable.value()->Checkpoint().ok());
+  auto seqs = ListWalSegments(env_, dir_);
+  ASSERT_TRUE(seqs.ok());
+  // Only the fresh post-rotation segment remains.
+  ASSERT_EQ(seqs.value().size(), 1u);
+  EXPECT_EQ(seqs.value()[0], durable.value()->wal_position().seq);
+}
+
+TEST_F(RecoveryTest, CheckpointRetentionKeepsConfiguredGenerations) {
+  DurabilityOptions d;
+  d.snapshots_to_keep = 2;
+  auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions(), d);
+  ASSERT_TRUE(durable.ok());
+  const auto workload = Workload(120, 24);
+  size_t fed = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = 0; i < 30; ++i, ++fed) {
+      ASSERT_TRUE(
+          durable.value()->Append(workload[fed].e, workload[fed].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+  }
+  auto gens = ListSnapshots(env_, dir_);
+  ASSERT_TRUE(gens.ok());
+  ASSERT_EQ(gens.value().size(), 2u);
+  EXPECT_EQ(gens.value()[0], 4u);
+  EXPECT_EQ(gens.value()[1], 3u);
+}
+
+TEST_F(RecoveryTest, RecoveryFallsBackToPreviousSnapshot) {
+  const auto workload = Workload(200, 25);
+  DurabilityOptions d;
+  d.snapshots_to_keep = 2;
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions(), d);
+    ASSERT_TRUE(durable.ok());
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+    for (size_t i = 100; i < 200; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+  }
+  // Mutilate the newest snapshot; generation 1 plus the surviving WAL
+  // tail (pruning retains the log back to the oldest kept snapshot's
+  // coverage) must still reconstruct the full history.
+  ASSERT_TRUE(FlipBit(env_, SnapshotPath(dir_, 2), 30, 2).ok());
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Ser(recovered.value()), Ser(Reference(workload, workload.size())));
+}
+
+TEST_F(RecoveryTest, AllSnapshotsCorruptIsAnError) {
+  const auto workload = Workload(200, 26);
+  DurabilityOptions d;
+  d.snapshots_to_keep = 2;
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions(), d);
+    ASSERT_TRUE(durable.ok());
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+    for (size_t i = 100; i < 200; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+  }
+  // Both retained generations damaged: the WAL alone is only a suffix
+  // of history, so recovery must refuse rather than serve it.
+  ASSERT_TRUE(FlipBit(env_, SnapshotPath(dir_, 1), 30, 2).ok());
+  ASSERT_TRUE(FlipBit(env_, SnapshotPath(dir_, 2), 30, 2).ok());
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(RecoveryTest, ReopenContinuesAppending) {
+  const auto workload = Workload(300, 27);
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok());
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+  }
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok());
+    EXPECT_EQ(durable.value()->engine().TotalCount(), 100u);
+    for (size_t i = 100; i < 300; ++i) {
+      ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Sync().ok());
+  }
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(Ser(recovered.value()), Ser(Reference(workload, workload.size())));
+}
+
+TEST_F(RecoveryTest, RecoveredEngineAnswersQueries) {
+  const auto workload = Workload(400, 28);
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok());
+    for (const auto& r : workload) {
+      ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Checkpoint().ok());
+  }
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok());
+  BurstEngine1 reference = Reference(workload, workload.size());
+  recovered.value().Finalize();
+  reference.Finalize();
+  const Timestamp horizon = workload.back().t;
+  for (EventId e = 0; e < 16; ++e) {
+    for (Timestamp t = 0; t <= horizon; t += 7) {
+      EXPECT_DOUBLE_EQ(recovered.value().PointQuery(e, t, 4),
+                       reference.PointQuery(e, t, 4));
+      EXPECT_DOUBLE_EQ(recovered.value().CumulativeQuery(e, t),
+                       reference.CumulativeQuery(e, t));
+    }
+  }
+}
+
+TEST_F(RecoveryTest, FreshDirectoryOpensEmpty) {
+  auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+  EXPECT_EQ(durable.value()->engine().TotalCount(), 0u);
+  EXPECT_EQ(durable.value()->generation(), 0u);
+}
+
+}  // namespace
+}  // namespace bursthist

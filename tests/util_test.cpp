@@ -5,9 +5,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "util/crc32c.h"
 #include "util/random.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -219,6 +221,53 @@ TEST(RngTest, ForkProducesIndependentStream) {
   int same = 0;
   for (int i = 0; i < 64; ++i) same += (fork.NextU64() == a2.NextU64());
   EXPECT_LT(same, 2);
+}
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // RFC 3720 / CRC-32C (Castagnoli) reference vectors.
+  const uint8_t digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xe3069283u);
+
+  uint8_t zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, 32), 0x8a9136aau);
+
+  uint8_t ffs[32];
+  std::memset(ffs, 0xff, sizeof(ffs));
+  EXPECT_EQ(Crc32c(ffs, 32), 0x62a8ab43u);
+
+  uint8_t inc[32];
+  for (int i = 0; i < 32; ++i) inc[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(inc, 32), 0x46dd794eu);
+
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendIsIncremental) {
+  const uint8_t digits[] = "123456789";
+  uint32_t crc = Crc32cExtend(0, digits, 4);
+  crc = Crc32cExtend(crc, digits + 4, 5);
+  EXPECT_EQ(crc, Crc32c(digits, 9));
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_NE(Crc32cMask(crc), crc);
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  uint8_t buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = static_cast<uint8_t>(i * 7 + 1);
+  const uint32_t base = Crc32c(buf, sizeof(buf));
+  for (size_t byte = 0; byte < sizeof(buf); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_NE(Crc32c(buf, sizeof(buf)), base)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= static_cast<uint8_t>(1 << bit);
+    }
+  }
 }
 
 }  // namespace
