@@ -69,6 +69,16 @@ Status ReadHeader(BinaryReader* r, FileHeader* h) {
   if (h->kind != 1 && h->kind != 2) {
     return Status::Corruption("unknown cell kind");
   }
+  // The header drives the engine constructor's allocations, so its
+  // shape must be plausible for the payload that follows (every grid
+  // cell serializes to >= 8 bytes) before any engine is built.
+  if (h->universe == 0 || h->grid_depth == 0 || h->grid_width == 0 ||
+      h->buffer_points == 0 || h->budget_points == 0 ||
+      !(h->gamma >= 0.0) ||  // rejects NaN and negative bands
+      DyadicIndexCellCount(h->universe, h->grid_depth, h->grid_width) >
+          r->remaining() / 8 + 1) {
+    return Status::Corruption("implausible sketch header");
+  }
   return Status::OK();
 }
 

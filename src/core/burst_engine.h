@@ -113,6 +113,7 @@ class BurstEngine {
     }
     if (observer_) BURSTHIST_RETURN_IF_ERROR(observer_(e, t, count));
     reorder_.push(Pending{t, e, count});
+    buffered_count_ += count;
     watermark_ = started_ ? std::max(watermark_, t) : t;
     started_ = true;
     DrainReorderBuffer(watermark_ - options_.max_lateness);
@@ -214,6 +215,10 @@ class BurstEngine {
   EventId universe_size() const { return options_.universe_size; }
   const Options& options() const { return options_; }
   Count TotalCount() const { return total_count_; }
+  /// Accepted records still waiting in the re-order buffer (by count);
+  /// they join TotalCount() once the watermark, or Finalize(), drains
+  /// them into the index.
+  Count BufferedCount() const { return buffered_count_; }
   size_t SizeBytes() const { return index_.SizeBytes(); }
   const DyadicBurstIndex<PbeT>& index() const { return index_; }
 
@@ -266,6 +271,7 @@ class BurstEngine {
     BURSTHIST_RETURN_IF_ERROR(r->Get(&started));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&finalized));
     reorder_ = {};
+    buffered_count_ = 0;
     watermark_ = last_time_;
     if (version >= 2) {
       BURSTHIST_RETURN_IF_ERROR(r->Get(&watermark_));
@@ -283,12 +289,23 @@ class BurstEngine {
           return Status::Corruption("buffered id exceeds universe size");
         }
         reorder_.push(p);
+        buffered_count_ += p.count;
       }
     }
     BURSTHIST_RETURN_IF_ERROR(index_.Deserialize(r));
     BURSTHIST_RETURN_IF_ERROR(hitters_.Deserialize(r));
     if (version >= 3) {
       BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));
+    }
+    // The engine's lifecycle flag and the index cells must agree: a
+    // blob claiming "live" over finalized cells would let a later
+    // Append freeze-merge into frozen staircases, and "finalized" with
+    // buffered records would drop them silently.
+    if ((finalized != 0) != index_.level(0).finalized()) {
+      return Status::Corruption("engine lifecycle disagrees with index");
+    }
+    if (finalized != 0 && !reorder_.empty()) {
+      return Status::Corruption("finalized engine has buffered records");
     }
     started_ = started != 0;
     finalized_ = finalized != 0;
@@ -323,6 +340,7 @@ class BurstEngine {
     while (!reorder_.empty() && reorder_.top().t <= up_to) {
       const Pending p = reorder_.top();
       reorder_.pop();
+      buffered_count_ -= p.count;
       Ingest(p.e, p.t, p.count);
     }
   }
@@ -395,6 +413,7 @@ class BurstEngine {
   AppendObserver observer_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       reorder_;
+  Count buffered_count_ = 0;
   bool started_ = false;
   bool finalized_ = false;
   Timestamp last_time_ = 0;

@@ -185,6 +185,18 @@ class CmPbe {
   size_t width() const { return options_.width; }
   const CmPbeOptions& options() const { return options_; }
 
+  /// Column event e maps to in `row` — the public form of the routing
+  /// function, so external tooling (the differential test harness, CLI
+  /// diagnostics) can reconstruct which events share a cell and
+  /// compute exact per-instance collision mass.
+  size_t SlotOf(size_t row, EventId e) const { return Slot(row, e); }
+
+  /// Read-only access to the cell at grid coordinates (row, slot).
+  const PbeT& CellAt(size_t row, size_t slot) const {
+    assert(row < options_.depth && slot < options_.width);
+    return cells_[row * options_.width + slot];
+  }
+
   /// Sum of cell sizes (the structure's space cost).
   size_t SizeBytes() const {
     size_t bytes = 0;
@@ -234,6 +246,13 @@ class CmPbe {
         width > (1ULL << 40)) {
       return Status::Corruption("implausible CM-PBE grid shape");
     }
+    // Every cell's serialized form is at least 8 bytes (magic +
+    // version); a shape whose cell count cannot fit in the remaining
+    // payload is corrupt. Checked before reserving so a hostile blob
+    // cannot force a multi-terabyte allocation.
+    if (depth * width > r->remaining() / 8 + 1) {
+      return Status::Corruption("CM-PBE cell count exceeds payload");
+    }
     options_.depth = static_cast<size_t>(depth);
     options_.width = static_cast<size_t>(width);
     options_.seed = seed;
@@ -247,6 +266,12 @@ class CmPbe {
     for (size_t i = 0; i < options_.depth * options_.width; ++i) {
       cells_.emplace_back(pbe_options_);
       BURSTHIST_RETURN_IF_ERROR(cells_.back().Deserialize(r));
+      // Appends fan out to one cell per row, so every cell shares the
+      // grid's lifecycle; a blob disagreeing with itself here would
+      // later let Append/Finalize reach an already-frozen cell.
+      if (cells_.back().finalized() != finalized_) {
+        return Status::Corruption("CM-PBE cell lifecycle disagrees with grid");
+      }
     }
     if (version >= 2) {
       BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));

@@ -51,6 +51,30 @@ enum class DyadicPruneRule : uint8_t {
   kChildren = 1,
 };
 
+/// Cells a DyadicBurstIndex of this shape allocates at construction
+/// (mirroring the constructor's per-level width capping), saturating
+/// at UINT64_MAX. Deserializers that read a shape from untrusted
+/// bytes check this against the payload size *before* constructing,
+/// since every cell serializes to at least 8 bytes — a hostile header
+/// cannot force an allocation larger than its own file.
+inline uint64_t DyadicIndexCellCount(uint64_t universe_size, uint64_t depth,
+                                     uint64_t width) {
+  if (universe_size == 0 || depth == 0 || width == 0) return 0;
+  size_t levels = 1;
+  while ((uint64_t{1} << (levels - 1)) < universe_size) ++levels;
+  uint64_t total = 0;
+  for (size_t l = 0; l < levels; ++l) {
+    const uint64_t ids = ((universe_size - 1) >> l) + 1;
+    const uint64_t d = ids <= width ? 1 : depth;
+    const uint64_t w = ids <= width ? ids : width;
+    if (w != 0 && (d > UINT64_MAX / w || total > UINT64_MAX - d * w)) {
+      return UINT64_MAX;
+    }
+    total += d * w;
+  }
+  return total;
+}
+
 /// Binary-tree-of-CM-PBEs index answering BURSTY EVENT queries.
 template <typename PbeT>
 class DyadicBurstIndex {
@@ -66,7 +90,9 @@ class DyadicBurstIndex {
       : universe_size_(universe_size) {
     assert(universe_size >= 1);
     levels_ = 1;
-    while ((EventId{1} << (levels_ - 1)) < universe_size) ++levels_;
+    // 64-bit shift: EventId{1} << 32 would be UB for universe sizes
+    // above 2^31 (the top level's id count must still halve to 1).
+    while ((uint64_t{1} << (levels_ - 1)) < universe_size) ++levels_;
     // levels_ = L + 1 tree levels; level l has ceil(K / 2^l) ids.
     grids_.reserve(levels_);
     for (size_t l = 0; l < levels_; ++l) {
@@ -251,6 +277,11 @@ class DyadicBurstIndex {
     prune_rule_ = static_cast<DyadicPruneRule>(rule);
     for (auto& g : grids_) {
       BURSTHIST_RETURN_IF_ERROR(g.Deserialize(r));
+      // Every level ingests every record, so the levels finalize
+      // together; mixed lifecycles only arise from a hostile blob.
+      if (g.finalized() != grids_.front().finalized()) {
+        return Status::Corruption("dyadic levels disagree on lifecycle");
+      }
     }
     if (version >= 2) {
       BURSTHIST_RETURN_IF_ERROR(CrcFrame::Leave(r, payload_end));

@@ -75,6 +75,17 @@ Status GetConfig(BinaryReader* r, StoredConfig* c) {
   if (c->universe == 0 || c->estimator > 1 || c->prune_rule > 1) {
     return Status::Corruption("implausible sketch configuration");
   }
+  // The engine constructor allocates one cell per dyadic grid slot
+  // and reserves heavy_capacity tracker entries, all before the
+  // payload's own (shape-checked) Deserialize runs — so the shape
+  // itself must be bounded by the payload here. Every cell serializes
+  // to >= 8 bytes.
+  if (c->grid_depth == 0 || c->grid_width == 0 ||
+      DyadicIndexCellCount(c->universe, c->grid_depth, c->grid_width) >
+          r->remaining() / 8 + 1 ||
+      c->heavy_capacity > (uint64_t{1} << 20)) {
+    return Status::Corruption("implausible sketch configuration");
+  }
   return Status::OK();
 }
 

@@ -96,11 +96,21 @@ Status SpaceSaving::Deserialize(BinaryReader* r) {
   if (capacity == 0 || n > capacity || capacity > (1ULL << 32)) {
     return Status::Corruption("implausible space-saving shape");
   }
+  // Each serialized entry is 20 bytes (u32 key + u64 count + u64
+  // error); an entry count that cannot fit in the remaining payload is
+  // corrupt, and rejecting it here keeps the reserve below bounded.
+  if (n > r->remaining() / 20) {
+    return Status::Corruption("space-saving entry count exceeds payload");
+  }
   capacity_ = static_cast<size_t>(capacity);
   total_ = total;
   entries_.clear();
   index_.clear();
-  entries_.reserve(capacity_);
+  // Reserve only for the entries actually present: `capacity` is a
+  // config value up to 2^32, and a corrupt blob must not be able to
+  // force a ~100 GB up-front allocation before the entry loop's
+  // bounds checks run. Later Add() calls grow on demand.
+  entries_.reserve(static_cast<size_t>(n));
   for (uint64_t i = 0; i < n; ++i) {
     Entry e;
     BURSTHIST_RETURN_IF_ERROR(r->Get(&e.key));

@@ -1,8 +1,18 @@
 #include "util/random.h"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace bursthist {
+
+uint64_t SeedFromEnv(const char* env_var, uint64_t fallback) {
+  const char* value = std::getenv(env_var);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
 
 uint64_t SplitMix64(uint64_t& state) {
   uint64_t z = (state += 0x9e3779b97f4a7c15ULL);

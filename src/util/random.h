@@ -46,6 +46,13 @@ class Rng {
 /// SplitMix64 finalizer — also reusable as a 64-bit mixing function.
 uint64_t SplitMix64(uint64_t& state);
 
+/// Reads a 64-bit seed from the named environment variable (decimal or
+/// 0x-prefixed hex), falling back to `fallback` when the variable is
+/// unset or unparsable. Randomized tests and benchmarks route their
+/// master seed through this so any run is reproducible by exporting
+/// one variable (the tests use BURSTHIST_TEST_SEED; see README).
+uint64_t SeedFromEnv(const char* env_var, uint64_t fallback);
+
 }  // namespace bursthist
 
 #endif  // BURSTHIST_UTIL_RANDOM_H_

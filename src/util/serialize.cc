@@ -22,7 +22,10 @@ void CrcFrame::End(BinaryWriter* w, size_t frame_pos) {
 Status CrcFrame::Enter(BinaryReader* r, size_t* payload_end) {
   uint64_t payload_len = 0;
   BURSTHIST_RETURN_IF_ERROR(r->Get(&payload_len));
-  if (payload_len + sizeof(uint32_t) > r->remaining()) {
+  // Subtraction form: `payload_len + 4` would wrap for a hostile
+  // length near UINT64_MAX and slip past an additive check.
+  if (payload_len > r->remaining() ||
+      r->remaining() - payload_len < sizeof(uint32_t)) {
     return Status::Corruption("frame length exceeds buffer");
   }
   const size_t begin = r->position();

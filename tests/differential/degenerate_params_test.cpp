@@ -1,0 +1,223 @@
+// Degenerate query parameters, differentially against the oracle:
+// tau = 0, t < 2*tau, t before the first / after the last event, the
+// empty stream, and the single-event stream — across every structure
+// (PBE-1, PBE-2, CM-PBE grids, dyadic engine). Where the structures
+// are exact by construction (no compression pressure, no collisions)
+// the assertion is equality with ExactBurstStore, not a band.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/exact_store.h"
+#include "differential/diff_harness.h"
+#include "test_util.h"
+
+namespace bursthist {
+namespace {
+
+// Large-capacity cells: nothing below ever triggers compression, so
+// PBE estimates are exact staircases and any mismatch with the oracle
+// is a real bug, not an approximation.
+Pbe1Options ExactCell1() {
+  Pbe1Options o;
+  o.buffer_points = 4096;
+  o.budget_points = 4096;
+  return o;
+}
+
+Pbe2Options ExactCell2() {
+  Pbe2Options o;
+  o.gamma = 0.0;
+  return o;
+}
+
+struct Structures {
+  ExactBurstStore oracle;
+  std::vector<Pbe1> pbes1;
+  std::vector<Pbe2> pbes2;
+  CmPbe<Pbe1> grid1;
+  CmPbe<Pbe2> grid2;
+  BurstEngine<Pbe1> engine;
+
+  explicit Structures(EventId universe)
+      : oracle(universe),
+        grid1(GridOptions(universe), ExactCell1()),
+        grid2(GridOptions(universe), ExactCell2()),
+        engine(EngineOptions(universe)) {
+    for (EventId e = 0; e < universe; ++e) {
+      pbes1.emplace_back(ExactCell1());
+      pbes2.emplace_back(ExactCell2());
+    }
+  }
+
+  // Identity-mapped, collision-free grid: exact by construction.
+  static CmPbeOptions GridOptions(EventId universe) {
+    CmPbeOptions o;
+    o.depth = 1;
+    o.width = universe;
+    o.identity_hash = true;
+    return o;
+  }
+
+  static BurstEngineOptions<Pbe1> EngineOptions(EventId universe) {
+    BurstEngineOptions<Pbe1> o;
+    o.universe_size = universe;
+    o.grid = GridOptions(universe);
+    o.cell = ExactCell1();
+    return o;
+  }
+
+  void Ingest(const EventStream& stream) {
+    ASSERT_TRUE(oracle.AppendStream(stream).ok());
+    for (const auto& r : stream.records()) {
+      pbes1[r.id].Append(r.time);
+      pbes2[r.id].Append(r.time);
+      grid1.Append(r.id, r.time);
+      grid2.Append(r.id, r.time);
+      ASSERT_TRUE(engine.Append(r.id, r.time).ok());
+    }
+    for (auto& p : pbes1) p.Finalize();
+    for (auto& p : pbes2) p.Finalize();
+    grid1.Finalize();
+    grid2.Finalize();
+    engine.Finalize();
+  }
+
+  // Every structure must report exactly the oracle's burstiness.
+  void ExpectPointMatchesOracle(EventId e, Timestamp t, Timestamp tau) {
+    const double exact =
+        static_cast<double>(oracle.BurstinessAt(e, t, tau));
+    EXPECT_NEAR(pbes1[e].EstimateBurstiness(t, tau), exact,
+                test::kIdentityTol)
+        << "PBE-1 e=" << e << " t=" << t << " tau=" << tau;
+    EXPECT_NEAR(pbes2[e].EstimateBurstiness(t, tau), exact, test::kAccumTol)
+        << "PBE-2 e=" << e << " t=" << t << " tau=" << tau;
+    EXPECT_NEAR(grid1.EstimateBurstiness(e, t, tau), exact,
+                test::kIdentityTol)
+        << "CM-PBE-1 e=" << e << " t=" << t << " tau=" << tau;
+    EXPECT_NEAR(grid2.EstimateBurstiness(e, t, tau), exact, test::kAccumTol)
+        << "CM-PBE-2 e=" << e << " t=" << t << " tau=" << tau;
+    EXPECT_NEAR(engine.PointQuery(e, t, tau), exact, test::kIdentityTol)
+        << "engine e=" << e << " t=" << t << " tau=" << tau;
+  }
+};
+
+constexpr EventId kUniverse = 5;
+
+EventStream SmallStream() {
+  // Two active events, gaps, duplicate timestamps; ids 3 and 4 stay
+  // silent so "event never seen" is also covered.
+  std::vector<EventRecord> records = {
+      {0, 10}, {1, 10}, {0, 11}, {0, 11}, {2, 15},
+      {0, 18}, {1, 18}, {0, 18}, {2, 30}, {0, 31},
+  };
+  return EventStream(std::move(records));
+}
+
+TEST(DegenerateParams, TauZeroIsIdenticallyZero) {
+  Structures s(kUniverse);
+  s.Ingest(SmallStream());
+  // b(t) with tau = 0 collapses to F - 2F + F = 0 for every structure
+  // and for the oracle alike.
+  for (EventId e = 0; e < kUniverse; ++e) {
+    for (Timestamp t : {-5, 0, 10, 11, 18, 31, 100}) {
+      EXPECT_EQ(s.oracle.BurstinessAt(e, t, 0), 0) << "oracle";
+      s.ExpectPointMatchesOracle(e, t, 0);
+    }
+  }
+}
+
+TEST(DegenerateParams, TimesOutsideHistoryAndShortWindows) {
+  Structures s(kUniverse);
+  s.Ingest(SmallStream());
+  const Timestamp first = 10, last = 31;
+  for (EventId e = 0; e < kUniverse; ++e) {
+    for (Timestamp tau : {1, 3, 11, 50}) {
+      // Before the first event (including t < 2*tau, where the t-tau
+      // and t-2*tau terms reach before time zero), at the boundary,
+      // beyond the last event.
+      for (Timestamp t : {first - 20, first - 1, first, first + 1,
+                          static_cast<Timestamp>(2 * tau - 1), last,
+                          last + tau, last + 2 * tau + 5}) {
+        s.ExpectPointMatchesOracle(e, t, tau);
+      }
+      // Far before history everything is exactly zero.
+      EXPECT_EQ(s.oracle.BurstinessAt(e, first - 20, tau), 0);
+      EXPECT_EQ(s.pbes1[e].EstimateCumulative(first - 1), 0.0);
+      EXPECT_EQ(s.grid1.EstimateCumulative(e, first - 1), 0.0);
+    }
+  }
+  // BURSTY EVENT far outside history: nobody is bursty.
+  EXPECT_TRUE(s.oracle.BurstyEvents(first - 20, 1.0, 3).empty());
+  EXPECT_TRUE(s.engine.BurstyEventQuery(first - 20, 1.0, 3).empty());
+  EXPECT_TRUE(s.engine.BurstyEventQuery(last + 100, 1.0, 3).empty());
+}
+
+TEST(DegenerateParams, EmptyStream) {
+  Structures s(kUniverse);
+  s.Ingest(EventStream());  // nothing
+  for (EventId e = 0; e < kUniverse; ++e) {
+    for (Timestamp t : {-3, 0, 7}) {
+      for (Timestamp tau : {0, 1, 9}) {
+        s.ExpectPointMatchesOracle(e, t, tau);
+      }
+      EXPECT_EQ(s.oracle.CumulativeFrequency(e, t), 0u);
+      EXPECT_EQ(s.engine.CumulativeQuery(e, t), 0.0);
+    }
+    EXPECT_TRUE(s.oracle.BurstyTimes(e, 1.0, 4).empty());
+    EXPECT_TRUE(s.engine.BurstyTimeQuery(e, 1.0, 4).empty());
+  }
+  EXPECT_TRUE(s.engine.BurstyEventQuery(0, 1.0, 4).empty());
+  // TOP-K on an empty engine still returns k leaves, all identically
+  // zero (there is no "no data" sentinel in the paper's query model).
+  for (const auto& [e, b] : s.engine.TopKBurstyEvents(0, 3, 4)) {
+    EXPECT_EQ(b, 0.0) << "event " << e;
+  }
+}
+
+TEST(DegenerateParams, SingleEventStream) {
+  Structures s(kUniverse);
+  EventStream one;
+  one.Append(2, 42);
+  s.Ingest(one);
+  for (EventId e = 0; e < kUniverse; ++e) {
+    for (Timestamp t : {41 - 50, 41, 42, 43, 42 + 7, 400}) {
+      for (Timestamp tau : {1, 7, 100}) {
+        s.ExpectPointMatchesOracle(e, t, tau);
+      }
+    }
+  }
+  // The lone occurrence is bursty right at t=42 for theta <= 1.
+  EXPECT_EQ(s.oracle.BurstinessAt(2, 42, 7), 1);
+  const auto bursty = s.engine.BurstyEventQuery(42, 1.0, 7);
+  EXPECT_EQ(bursty, std::vector<EventId>{2});
+  EXPECT_EQ(s.engine.BurstyEventQuery(42, 1.5, 7), std::vector<EventId>{});
+  // BURSTY TIME around the single spike matches the oracle exactly
+  // (both sides are exact staircases).
+  EXPECT_EQ(s.engine.BurstyTimeQuery(2, 1.0, 7), s.oracle.BurstyTimes(2, 1.0, 7));
+}
+
+// Degenerate STREAMS through the full differential harness: the
+// harness itself must behave on empty-ish inputs (n = 0 would be
+// vacuous; n = 1 and tiny n exercise the QueryPlan fallbacks).
+TEST(DegenerateParams, HarnessHandlesTinyStreams) {
+  const test::DiffConfig config = test::DiffConfig::Small();
+  for (size_t n : {1u, 2u, 3u, 8u}) {
+    for (auto family : {test::StreamFamily::kUniform,
+                        test::StreamFamily::kDuplicates,
+                        test::StreamFamily::kStaircase}) {
+      test::StreamSpec spec;
+      spec.family = family;
+      spec.universe = 4;
+      spec.n = n;
+      spec.seed = test::CaseSeed(7700 + n);
+      const auto violations = test::RunStructureDifferential(spec, config);
+      for (const auto& v : violations) ADD_FAILURE() << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,339 @@
+#include "differential/diff_harness.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace bursthist {
+namespace test {
+
+namespace {
+
+const char* kFamilyNames[] = {"uniform", "bursty", "staircase", "duplicates",
+                              "out-of-order"};
+
+}  // namespace
+
+const char* FamilyName(StreamFamily family) {
+  return kFamilyNames[static_cast<size_t>(family)];
+}
+
+std::string StreamSpec::ToString() const {
+  std::ostringstream os;
+  os << FamilyName(family) << " universe=" << universe << " n=" << n
+     << " seed=" << seed << " lateness=" << max_lateness;
+  return os.str();
+}
+
+bool StreamSpec::Parse(const std::string& text, StreamSpec* out) {
+  std::istringstream is(text);
+  std::string name;
+  if (!(is >> name)) return false;
+  bool found = false;
+  for (size_t f = 0; f < 5; ++f) {
+    if (name == kFamilyNames[f]) {
+      out->family = static_cast<StreamFamily>(f);
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+  std::string token;
+  while (is >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    char* end = nullptr;
+    const std::string value = token.substr(eq + 1);
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0') return false;
+    if (key == "universe") {
+      out->universe = static_cast<EventId>(v);
+    } else if (key == "n") {
+      out->n = static_cast<size_t>(v);
+    } else if (key == "seed") {
+      out->seed = v;
+    } else if (key == "lateness") {
+      out->max_lateness = static_cast<Timestamp>(v);
+    } else {
+      return false;
+    }
+  }
+  return out->universe >= 1;
+}
+
+std::vector<EventRecord> GenerateArrivals(const StreamSpec& spec) {
+  // Every record draws from the shared Rng strictly in record order, so
+  // the first m records of spec{n} equal the records of spec{m} — the
+  // prefix property MinimizeStructureFailure depends on.
+  Rng rng(spec.seed);
+  std::vector<EventRecord> out;
+  out.reserve(spec.n);
+  const EventId k = spec.universe;
+  const Timestamp lateness =
+      spec.family == StreamFamily::kOutOfOrder
+          ? std::max<Timestamp>(1, spec.max_lateness)
+          : 0;
+  Timestamp base = lateness;  // keeps emitted times non-negative
+  bool storm = false;
+  size_t wall_left = 0;
+  EventId wall_id = 0;
+  for (size_t i = 0; i < spec.n; ++i) {
+    EventId id = 0;
+    Timestamp t = 0;
+    switch (spec.family) {
+      case StreamFamily::kUniform:
+        base += 1 + static_cast<Timestamp>(rng.NextBelow(3));
+        id = static_cast<EventId>(rng.NextBelow(k));
+        t = base;
+        break;
+      case StreamFamily::kBursty:
+        if (rng.NextDouble() < 0.06) storm = !storm;
+        if (storm) {
+          base += static_cast<Timestamp>(rng.NextBelow(2));
+          // Storms concentrate on a small hot-id set.
+          id = static_cast<EventId>(rng.NextBelow(std::max<EventId>(1, k / 4)));
+        } else {
+          base += 3 + static_cast<Timestamp>(rng.NextBelow(9));
+          id = static_cast<EventId>(rng.NextBelow(k));
+        }
+        t = base;
+        break;
+      case StreamFamily::kStaircase:
+        // Adversarial PLA shape: a vertical wall of same-timestamp
+        // records for one id, then a long flat plateau.
+        if (wall_left == 0) {
+          base += 15 + static_cast<Timestamp>(rng.NextBelow(40));
+          wall_left = 3 + static_cast<size_t>(rng.NextBelow(10));
+          wall_id = static_cast<EventId>(rng.NextBelow(k));
+        }
+        --wall_left;
+        id = wall_id;
+        t = base;
+        break;
+      case StreamFamily::kDuplicates:
+        if (rng.NextDouble() < 0.35) {
+          base += 1 + static_cast<Timestamp>(rng.NextBelow(3));
+        }
+        // Skew ids toward 0 (min of two uniforms) so a few events
+        // accumulate heavy duplicate batches.
+        id = static_cast<EventId>(
+            std::min(rng.NextBelow(k), rng.NextBelow(k)));
+        t = base;
+        break;
+      case StreamFamily::kOutOfOrder:
+        base += 1 + static_cast<Timestamp>(rng.NextBelow(4));
+        id = static_cast<EventId>(rng.NextBelow(k));
+        // Emit up to `lateness` behind the running max: always
+        // acceptable under watermark - max_lateness admission.
+        t = base - static_cast<Timestamp>(
+                       rng.NextBelow(static_cast<uint64_t>(lateness) + 1));
+        break;
+    }
+    out.push_back(EventRecord{id, t});
+  }
+  return out;
+}
+
+EventStream SortedStream(const std::vector<EventRecord>& arrivals) {
+  std::vector<EventRecord> sorted = arrivals;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const EventRecord& a, const EventRecord& b) {
+                     return a.time < b.time;
+                   });
+  return EventStream(std::move(sorted));
+}
+
+QueryPlan MakeQueryPlan(const ExactBurstStore& oracle, uint64_t seed) {
+  QueryPlan plan;
+  Timestamp tmin = 0, tmax = 0;
+  bool any = false;
+  for (EventId e = 0; e < oracle.universe_size(); ++e) {
+    const auto& times = oracle.stream(e).times();
+    if (times.empty()) continue;
+    tmin = any ? std::min(tmin, times.front()) : times.front();
+    tmax = any ? std::max(tmax, times.back()) : times.back();
+    any = true;
+  }
+  if (!any) {
+    tmin = 0;
+    tmax = 8;
+  }
+  const Timestamp span = std::max<Timestamp>(1, tmax - tmin);
+
+  const Timestamp taus[] = {1, std::max<Timestamp>(1, span / 16),
+                            std::max<Timestamp>(2, span / 4), span + 5};
+  Rng rng(seed ^ 0xd1f7ULL);
+  std::vector<Timestamp> ts = {tmin - 3, tmin, tmin + span / 3,
+                               tmin + 2 * span / 3, tmax, tmax + span / 4 + 2};
+  for (int i = 0; i < 3; ++i) {
+    ts.push_back(tmin + static_cast<Timestamp>(rng.NextBelow(
+                            static_cast<uint64_t>(span) + span / 4 + 1)));
+  }
+  for (Timestamp tau : taus) {
+    for (size_t i = 0; i < ts.size(); i += 2) {  // every other: 5 per tau
+      plan.points.emplace_back(ts[i], tau);
+    }
+  }
+
+  // Thetas straddling the exact burstiness range actually reached.
+  double maxb = 1.0;
+  for (const auto& [t, tau] : plan.points) {
+    for (EventId e = 0; e < oracle.universe_size(); ++e) {
+      maxb = std::max(
+          maxb, static_cast<double>(oracle.BurstinessAt(e, t, tau)));
+    }
+  }
+  const Timestamp mid_tau = std::max<Timestamp>(2, span / 8);
+  plan.times.emplace_back(std::max(1.0, 0.3 * maxb), mid_tau);
+  plan.times.emplace_back(std::max(1.0, 0.8 * maxb),
+                          std::max<Timestamp>(1, span / 20));
+
+  plan.events.push_back({tmax, std::max(1.0, 0.5 * maxb), mid_tau});
+  plan.events.push_back({tmin + span / 2, 1.0, mid_tau});
+  plan.events.push_back({tmax + 2 * mid_tau + 1, 1.0, mid_tau});
+  return plan;
+}
+
+namespace internal {
+
+void AppendViolation(Violations* out, size_t cap, std::string message) {
+  if (out->size() < cap) out->push_back(std::move(message));
+}
+
+std::vector<Timestamp> SampleInstants(const std::vector<Timestamp>& exact_bps,
+                                      const std::vector<Timestamp>& model_bps,
+                                      Timestamp tau,
+                                      const std::vector<TimeInterval>& ivs,
+                                      size_t cap) {
+  std::vector<Timestamp> cands;
+  auto add_shifted = [&](const std::vector<Timestamp>& bps) {
+    for (Timestamp x : bps) {
+      cands.push_back(x);
+      cands.push_back(x + tau);
+      cands.push_back(x + 2 * tau);
+    }
+  };
+  add_shifted(exact_bps);
+  add_shifted(model_bps);
+  for (const auto& iv : ivs) {
+    cands.push_back(iv.begin - 1);
+    cands.push_back(iv.begin);
+    cands.push_back(iv.end);
+    cands.push_back(iv.end + 1);
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  if (cands.size() <= cap) return cands;
+  std::vector<Timestamp> out;
+  out.reserve(cap);
+  const double step = static_cast<double>(cands.size()) / cap;
+  for (size_t i = 0; i < cap; ++i) {
+    out.push_back(cands[static_cast<size_t>(i * step)]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace internal
+
+DiffConfig DiffConfig::Small() {
+  DiffConfig c;
+  c.pbe1.buffer_points = 24;
+  c.pbe1.budget_points = 6;
+  c.pbe2.gamma = 3.0;
+  c.grid.depth = 3;
+  c.grid.width = 5;
+  c.grid.estimator = CmEstimator::kMedian;
+  c.grid.identity_hash = false;
+  return c;
+}
+
+Violations RunStructureDifferential(const StreamSpec& spec,
+                                    const DiffConfig& config) {
+  const auto arrivals = GenerateArrivals(spec);
+  const EventStream stream = SortedStream(arrivals);
+
+  ExactBurstStore oracle(spec.universe);
+  const Status st = oracle.AppendStream(stream);
+  Violations out;
+  if (!st.ok()) {
+    out.push_back("oracle rejected stream (" + spec.ToString() + ")");
+    return out;
+  }
+
+  // Per-event PBE arrays (Section III deployment).
+  std::vector<Pbe1> pbes1;
+  std::vector<Pbe2> pbes2;
+  for (EventId e = 0; e < spec.universe; ++e) {
+    pbes1.emplace_back(config.pbe1);
+    pbes2.emplace_back(config.pbe2);
+  }
+  // Grids: hash seed varies with the stream seed so the sweep also
+  // sweeps hash functions (Lemma 5's probability space).
+  CmPbeOptions grid_opts = config.grid;
+  grid_opts.seed = config.grid.seed ^ (spec.seed * 0x9e3779b97f4a7c15ULL);
+  CmPbe<Pbe1> grid1(grid_opts, config.pbe1);
+  CmPbe<Pbe2> grid2(grid_opts, config.pbe2);
+
+  for (const auto& r : stream.records()) {
+    pbes1[r.id].Append(r.time);
+    pbes2[r.id].Append(r.time);
+    grid1.Append(r.id, r.time);
+    grid2.Append(r.id, r.time);
+  }
+  for (auto& p : pbes1) p.Finalize();
+  for (auto& p : pbes2) p.Finalize();
+  grid1.Finalize();
+  grid2.Finalize();
+
+  const QueryPlan plan = MakeQueryPlan(oracle, spec.seed);
+  const std::string tag = " (" + spec.ToString() + ")";
+
+  CheckStructure(PbeArrayView<Pbe1>{&pbes1}, oracle, plan, "PBE1" + tag, &out,
+                 config.max_violations);
+  CheckStructure(PbeArrayView<Pbe2>{&pbes2}, oracle, plan, "PBE2" + tag, &out,
+                 config.max_violations);
+  GridOracleBounds<Pbe1> bounds1(grid1, oracle);
+  GridOracleBounds<Pbe2> bounds2(grid2, oracle);
+  CheckStructure(GridView<Pbe1>{&grid1, &bounds1, spec.universe}, oracle, plan,
+                 "CM-PBE1" + tag, &out, config.max_violations);
+  CheckStructure(GridView<Pbe2>{&grid2, &bounds2, spec.universe}, oracle, plan,
+                 "CM-PBE2" + tag, &out, config.max_violations);
+  return out;
+}
+
+StreamSpec MinimizeStructureFailure(StreamSpec spec, const DiffConfig& config) {
+  // Binary search the shortest failing prefix. Generation is
+  // prefix-stable, so shrinking n replays a prefix of the same stream;
+  // failure need not be monotone in n, but the search still lands on
+  // SOME minimal-ish failing prefix, which is what a human debugging
+  // the violation wants.
+  size_t lo = 1, hi = spec.n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    StreamSpec probe = spec;
+    probe.n = mid;
+    if (!RunStructureDifferential(probe, config).empty()) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  StreamSpec minimized = spec;
+  minimized.n = hi;
+  // Guard against non-monotonicity: fall back to the original n if the
+  // search converged onto a passing prefix.
+  if (RunStructureDifferential(minimized, config).empty()) return spec;
+  return minimized;
+}
+
+std::string ReproCommand(const StreamSpec& spec) {
+  return "BURSTHIST_DIFF_SPEC='" + spec.ToString() +
+         "' ctest -R differential_test --output-on-failure";
+}
+
+}  // namespace test
+}  // namespace bursthist

@@ -1,0 +1,485 @@
+// Differential test harness: randomized streams checked against the
+// exact oracle with PER-RUN COMPUTED guarantee bounds.
+//
+// The paper's value proposition is its error guarantees:
+//
+//   PBE-1   |b~(t) - b(t)| <= 4 * Delta      (Lemma 1; Delta = the
+//           largest single-buffer DP area error, pointwise form)
+//   PBE-2   |b~(t) - b(t)| <= 4 * gamma      (Lemma 4)
+//   CM-PBE  |b~(t) - b(t)| <= eps*N + 4*Delta w.p. >= 1 - delta
+//           (Lemma 5; gamma replaces Delta for CM-PBE-2)
+//
+// This harness generates seeded streams from several adversarial
+// families, feeds the SAME stream to ExactBurstStore (the oracle) and
+// to every approximate structure, and asserts the bounds — computed
+// from each run's actual state, never hard-coded:
+//
+//  * For bare PBEs the bound is 4 * MaxBufferAreaError() / MaxGamma().
+//  * For CM-PBE grids the harness goes further than Lemma 5's
+//    probabilistic statement: knowing the hash functions and the exact
+//    oracle, it computes the EXACT collision mass of every cell an
+//    event maps to, yielding a deterministic per-instance band
+//        F_e(t) - D_e  <=  F~_e(t)  <=  F_e(t) + C_e(t)
+//    where D_e is the worst mapped-cell undershoot and C_e(t) the
+//    estimator-combined (median / min) collision mass. Every query on
+//    every seed must land inside the implied burstiness band — no
+//    probability, no slack beyond float tolerance. Lemma 5's
+//    statistical form (rate of eps*N + 4*Delta violations <= delta
+//    across seeds) is checked separately on top.
+//
+// All three query types are exercised: POINT (sampled (t, tau)),
+// BURSTY TIME (interval soundness against the oracle), and BURSTY
+// EVENT (set containment under the computed bands; for the dyadic
+// engine additionally R ⊆ leaf-scan, the algorithm's exact filter
+// invariant — pruning may legitimately lose recall, the paper's
+// cancellation caveat, so missing ids are only a violation when the
+// leaf scan itself breaks its band).
+//
+// Any violation reports the generator spec and a one-line reproducer;
+// RunMinimized*() shrinks the stream to the shortest failing prefix
+// first (generators draw records sequentially, so a spec with smaller
+// n is a prefix of the same spec with larger n).
+
+#ifndef BURSTHIST_TESTS_DIFFERENTIAL_DIFF_HARNESS_H_
+#define BURSTHIST_TESTS_DIFFERENTIAL_DIFF_HARNESS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/burst_queries.h"
+#include "core/cm_pbe.h"
+#include "core/exact_store.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "stream/event_stream.h"
+#include "stream/types.h"
+
+namespace bursthist {
+namespace test {
+
+// ---------------------------------------------------------------------------
+// Stream generation
+// ---------------------------------------------------------------------------
+
+/// Stream families stressing different failure modes.
+enum class StreamFamily : uint8_t {
+  kUniform = 0,    ///< steady trickle, uniform ids
+  kBursty = 1,     ///< quiet / storm phases with hot-id sets
+  kStaircase = 2,  ///< adversarial: long plateaus + vertical walls
+  kDuplicates = 3, ///< heavy same-timestamp batches, skewed ids
+  kOutOfOrder = 4, ///< late arrivals within a bounded lateness window
+};
+
+const char* FamilyName(StreamFamily family);
+
+/// A fully-seeded generator spec: (family, universe, n, seed,
+/// max_lateness) determines the stream byte-for-byte. Record i never
+/// depends on n, so truncating n yields a prefix of the same stream —
+/// the property the failure minimizer relies on.
+struct StreamSpec {
+  StreamFamily family = StreamFamily::kUniform;
+  EventId universe = 8;
+  size_t n = 320;
+  uint64_t seed = 1;
+  /// Arrival-order lateness bound (only kOutOfOrder produces
+  /// out-of-order arrivals; others ignore it).
+  Timestamp max_lateness = 0;
+
+  std::string ToString() const;
+  /// Parses ToString() output; false on malformed input.
+  static bool Parse(const std::string& text, StreamSpec* out);
+};
+
+/// The stream in ARRIVAL order (out of order only for kOutOfOrder,
+/// and then never more than spec.max_lateness behind the running max).
+std::vector<EventRecord> GenerateArrivals(const StreamSpec& spec);
+
+/// Time-sorted copy of the arrivals — what the oracle (and any
+/// structure requiring ordered input) ingests. Sorting is stable, so
+/// equal-time records keep arrival order.
+EventStream SortedStream(const std::vector<EventRecord>& arrivals);
+
+// ---------------------------------------------------------------------------
+// Query sampling
+// ---------------------------------------------------------------------------
+
+/// Sampled query parameters, derived deterministically from the spec:
+/// timestamps cover before-first / inside / after-last, taus cover
+/// 1 .. beyond-history, and thetas straddle the exact burstiness range.
+struct QueryPlan {
+  /// POINT samples evaluated for every event id.
+  std::vector<std::pair<Timestamp, Timestamp>> points;  // (t, tau)
+  /// BURSTY TIME samples evaluated for every event id.
+  std::vector<std::pair<double, Timestamp>> times;  // (theta, tau)
+  /// BURSTY EVENT samples.
+  struct EventQuery {
+    Timestamp t;
+    double theta;
+    Timestamp tau;
+  };
+  std::vector<EventQuery> events;
+};
+
+QueryPlan MakeQueryPlan(const ExactBurstStore& oracle, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Per-run computed bounds for CM-PBE grids
+// ---------------------------------------------------------------------------
+
+/// Pointwise undershoot of one PBE cell (the guarantee the cell keeps
+/// against its own merged curve).
+inline double CellPointError(const Pbe1& cell) {
+  return cell.MaxBufferAreaError();
+}
+inline double CellPointError(const Pbe2& cell) { return cell.MaxGamma(); }
+
+/// Exact per-instance error band of a CM-PBE grid against the oracle.
+///
+/// Row r's cell for event e stores the merged curve F_e + C_{r,e}
+/// where C_{r,e}(t) is the exact collision mass (sum of colliding
+/// events' cumulative frequencies, computable from the oracle). The
+/// cell never overestimates its merged curve and undershoots by at
+/// most CellPointError, so
+///     F_e(t) - D_{r,e} <= est_r <= F_e(t) + C_{r,e}(t).
+/// The lower-median combine keeps the max-D lower bound and the
+/// lower-median-of-C upper bound; min keeps max-D and min-of-C.
+template <typename PbeT>
+class GridOracleBounds {
+ public:
+  GridOracleBounds(const CmPbe<PbeT>& grid, const ExactBurstStore& oracle)
+      : grid_(&grid), oracle_(&oracle) {
+    const size_t d = grid.depth();
+    const EventId k = oracle.universe_size();
+    slot_.assign(d, std::vector<size_t>(k, 0));
+    delta_.assign(d, std::vector<double>(k, 0.0));
+    for (size_t r = 0; r < d; ++r) {
+      for (EventId e = 0; e < k; ++e) {
+        slot_[r][e] = grid.SlotOf(r, e);
+        delta_[r][e] = CellPointError(grid.CellAt(r, slot_[r][e]));
+      }
+    }
+  }
+
+  /// Worst pointwise undershoot across the cells e maps to.
+  double Undershoot(EventId e) const {
+    double worst = 0.0;
+    for (size_t r = 0; r < slot_.size(); ++r) {
+      worst = std::max(worst, delta_[r][e]);
+    }
+    return worst;
+  }
+
+  /// Estimator-combined exact collision mass of e at time t.
+  double CollisionAt(EventId e, Timestamp t) const {
+    const size_t d = slot_.size();
+    std::vector<double> mass(d, 0.0);
+    for (size_t r = 0; r < d; ++r) {
+      for (EventId o = 0; o < oracle_->universe_size(); ++o) {
+        if (o != e && slot_[r][o] == slot_[r][e]) {
+          mass[r] += static_cast<double>(oracle_->CumulativeFrequency(o, t));
+        }
+      }
+    }
+    if (grid_->options().estimator == CmEstimator::kMin) {
+      return *std::min_element(mass.begin(), mass.end());
+    }
+    // Lower median, matching CmPbe::Combine: at least mid+1 rows have
+    // collision mass <= the mid-th smallest, so the lower median of
+    // the row estimates is <= F + that value.
+    const size_t mid = (d - 1) / 2;
+    std::nth_element(mass.begin(), mass.begin() + mid, mass.end());
+    return mass[mid];
+  }
+
+  /// Deterministic bound on |b~_e(t) - b_e(t)| implied by the band:
+  /// the error of F~ at x lies in [-D, C(x)], and b~ - b combines
+  /// +err(t) - 2 err(t-tau) + err(t-2tau).
+  double BurstinessBound(EventId e, Timestamp t, Timestamp tau) const {
+    const double d2 = 2.0 * Undershoot(e);
+    const double over =
+        CollisionAt(e, t) + CollisionAt(e, t - 2 * tau) + d2;
+    const double under = 2.0 * CollisionAt(e, t - tau) + d2;
+    return std::max(over, under);
+  }
+
+ private:
+  const CmPbe<PbeT>* grid_;
+  const ExactBurstStore* oracle_;
+  std::vector<std::vector<size_t>> slot_;   // [row][event] -> column
+  std::vector<std::vector<double>> delta_;  // [row][event] -> cell error
+};
+
+// ---------------------------------------------------------------------------
+// Structure views (uniform interface over per-event PBE arrays and grids)
+// ---------------------------------------------------------------------------
+
+/// One finalized PBE per event id (the paper's Section III deployment).
+template <typename PbeT>
+struct PbeArrayView {
+  static constexpr bool kPiecewiseConstant = PbeT::kPiecewiseConstant;
+  /// For a single PBE, b~ really is piecewise-linear between the
+  /// shifted breakpoints, so BurstyTimes is exact w.r.t. the point
+  /// estimates and interval consistency is a hard invariant.
+  static constexpr bool kExactIntervals = true;
+  const std::vector<PbeT>* pbes;
+
+  double Estimate(EventId e, Timestamp t, Timestamp tau) const {
+    return (*pbes)[e].EstimateBurstiness(t, tau);
+  }
+  double EstimateCumulative(EventId e, Timestamp t) const {
+    return (*pbes)[e].EstimateCumulative(t);
+  }
+  double Bound(EventId e, Timestamp, Timestamp) const {
+    return 4.0 * CellPointError((*pbes)[e]);
+  }
+  double CumUpper(EventId, Timestamp) const { return 0.0; }
+  double CumLower(EventId e) const { return CellPointError((*pbes)[e]); }
+  std::vector<Timestamp> Breakpoints(EventId e) const {
+    return (*pbes)[e].Breakpoints();
+  }
+  EventId universe() const { return static_cast<EventId>(pbes->size()); }
+};
+
+/// A CM-PBE grid with its per-run oracle-computed bounds.
+template <typename PbeT>
+struct GridView {
+  static constexpr bool kPiecewiseConstant = PbeT::kPiecewiseConstant;
+  /// Staircase cells: the median/min of staircases only changes at
+  /// union breakpoints, so intervals are exact. Linear cells: the
+  /// median of linear functions can kink BETWEEN breakpoints (the
+  /// median row changes where two rows cross), which BurstyTimes's
+  /// per-piece linearity assumption does not model — interval
+  /// consistency is then only checked where it is well-defined.
+  static constexpr bool kExactIntervals = PbeT::kPiecewiseConstant;
+  const CmPbe<PbeT>* grid;
+  const GridOracleBounds<PbeT>* bounds;
+  EventId universe_size;
+
+  double Estimate(EventId e, Timestamp t, Timestamp tau) const {
+    return grid->EstimateBurstiness(e, t, tau);
+  }
+  double EstimateCumulative(EventId e, Timestamp t) const {
+    return grid->EstimateCumulative(e, t);
+  }
+  double Bound(EventId e, Timestamp t, Timestamp tau) const {
+    return bounds->BurstinessBound(e, t, tau);
+  }
+  double CumUpper(EventId e, Timestamp t) const {
+    return bounds->CollisionAt(e, t);
+  }
+  double CumLower(EventId e) const { return bounds->Undershoot(e); }
+  std::vector<Timestamp> Breakpoints(EventId e) const {
+    return grid->Breakpoints(e);
+  }
+  EventId universe() const { return universe_size; }
+};
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+using Violations = std::vector<std::string>;
+
+namespace internal {
+
+/// Adapter presenting one event of a view to the BurstyTimes template.
+template <typename View>
+struct EventModel {
+  static constexpr bool kPiecewiseConstant = View::kPiecewiseConstant;
+  const View* view;
+  EventId e;
+  double EstimateBurstiness(Timestamp t, Timestamp tau) const {
+    return view->Estimate(e, t, tau);
+  }
+  std::vector<Timestamp> Breakpoints() const { return view->Breakpoints(e); }
+};
+
+void AppendViolation(Violations* out, size_t cap, std::string message);
+
+/// Candidate instants for BURSTY TIME soundness checks: exact change
+/// points and model breakpoints shifted by {0, tau, 2tau}, interval
+/// endpoints +- 1, subsampled to a bounded count.
+std::vector<Timestamp> SampleInstants(const std::vector<Timestamp>& exact_bps,
+                                      const std::vector<Timestamp>& model_bps,
+                                      Timestamp tau,
+                                      const std::vector<TimeInterval>& ivs,
+                                      size_t cap);
+
+}  // namespace internal
+
+/// Runs POINT / BURSTY TIME / BURSTY EVENT guarantee checks for one
+/// structure view against the oracle. Appends human-readable
+/// violation descriptions to `out` (capped).
+template <typename View>
+void CheckStructure(const View& view, const ExactBurstStore& oracle,
+                    const QueryPlan& plan, const std::string& label,
+                    Violations* out, size_t cap = 16);
+
+/// Full structure sweep for one spec: per-event PBE-1/PBE-2 arrays and
+/// CM-PBE-1/CM-PBE-2 grids, all against the oracle.
+struct DiffConfig {
+  Pbe1Options pbe1;
+  Pbe2Options pbe2;
+  CmPbeOptions grid;
+  size_t max_violations = 16;
+
+  static DiffConfig Small();
+};
+
+Violations RunStructureDifferential(const StreamSpec& spec,
+                                    const DiffConfig& config);
+
+/// Prefix-minimizes a failing spec: the smallest n for which
+/// RunStructureDifferential still reports a violation.
+StreamSpec MinimizeStructureFailure(StreamSpec spec, const DiffConfig& config);
+
+/// One-line reproducer for a spec (relies on the Repro test reading
+/// BURSTHIST_DIFF_SPEC; see differential_test.cpp).
+std::string ReproCommand(const StreamSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Implementation of CheckStructure (header-only template)
+// ---------------------------------------------------------------------------
+
+template <typename View>
+void CheckStructure(const View& view, const ExactBurstStore& oracle,
+                    const QueryPlan& plan, const std::string& label,
+                    Violations* out, size_t cap) {
+  constexpr double kTol = 1e-6;  // float slack only; never guarantee slack
+  const EventId k = view.universe();
+
+  // POINT + cumulative band.
+  for (const auto& [t, tau] : plan.points) {
+    for (EventId e = 0; e < k; ++e) {
+      if (out->size() >= cap) return;
+      const double exact = static_cast<double>(oracle.BurstinessAt(e, t, tau));
+      const double est = view.Estimate(e, t, tau);
+      const double bound = view.Bound(e, t, tau);
+      if (std::abs(est - exact) > bound + kTol) {
+        internal::AppendViolation(
+            out, cap,
+            label + " POINT e=" + std::to_string(e) + " t=" +
+                std::to_string(t) + " tau=" + std::to_string(tau) +
+                ": |est-exact|=" + std::to_string(std::abs(est - exact)) +
+                " > bound=" + std::to_string(bound));
+      }
+      const double f = static_cast<double>(oracle.CumulativeFrequency(e, t));
+      const double fe = view.EstimateCumulative(e, t);
+      if (fe > f + view.CumUpper(e, t) + kTol ||
+          fe < f - view.CumLower(e) - kTol) {
+        internal::AppendViolation(
+            out, cap,
+            label + " CUM e=" + std::to_string(e) + " t=" + std::to_string(t) +
+                ": est=" + std::to_string(fe) + " outside [" +
+                std::to_string(f - view.CumLower(e)) + ", " +
+                std::to_string(f + view.CumUpper(e, t)) + "]");
+      }
+    }
+  }
+
+  // BURSTY TIME: interval soundness against the oracle band. The
+  // bound checks key off the structure's own point semantics
+  // (est >= theta); interval consistency with BurstyTimes is asserted
+  // only where the decomposition is exact (kExactIntervals).
+  for (const auto& [theta, tau] : plan.times) {
+    for (EventId e = 0; e < k; ++e) {
+      if (out->size() >= cap) return;
+      internal::EventModel<View> model{&view, e};
+      const auto intervals = BurstyTimes(model, theta, tau);
+      const auto instants = internal::SampleInstants(
+          oracle.stream(e).times(), view.Breakpoints(e), tau, intervals, 48);
+      for (Timestamp t : instants) {
+        const double exact =
+            static_cast<double>(oracle.BurstinessAt(e, t, tau));
+        const double bound = view.Bound(e, t, tau);
+        const double est = view.Estimate(e, t, tau);
+        const bool flagged = est >= theta;
+        if (flagged && exact < theta - bound - kTol) {
+          internal::AppendViolation(
+              out, cap,
+              label + " TIME e=" + std::to_string(e) + " theta=" +
+                  std::to_string(theta) + " tau=" + std::to_string(tau) +
+                  " t=" + std::to_string(t) +
+                  ": est flags t but exact b=" + std::to_string(exact) +
+                  " < theta-bound=" + std::to_string(theta - bound));
+        }
+        if (!flagged && exact >= theta + bound + kTol) {
+          internal::AppendViolation(
+              out, cap,
+              label + " TIME e=" + std::to_string(e) + " theta=" +
+                  std::to_string(theta) + " tau=" + std::to_string(tau) +
+                  " t=" + std::to_string(t) + ": exact b=" +
+                  std::to_string(exact) + " >= theta+bound=" +
+                  std::to_string(theta + bound) + " but est misses t");
+        }
+        // Internal consistency: the interval decomposition must agree
+        // with the structure's own point estimates everywhere.
+        if (View::kExactIntervals && Covers(intervals, t) != flagged) {
+          internal::AppendViolation(
+              out, cap,
+              label + " TIME e=" + std::to_string(e) + " t=" +
+                  std::to_string(t) +
+                  ": Covers=" + std::to_string(Covers(intervals, t)) +
+                  " disagrees with est=" + std::to_string(est) +
+                  " vs theta=" + std::to_string(theta));
+        }
+      }
+      if (View::kExactIntervals) {
+        // The oracle's own intervals, where the exact value clears the
+        // bound, must be covered (checked at their begin instants).
+        for (const auto& iv : oracle.BurstyTimes(e, theta, tau)) {
+          const double exact =
+              static_cast<double>(oracle.BurstinessAt(e, iv.begin, tau));
+          if (exact >= theta + view.Bound(e, iv.begin, tau) + kTol &&
+              !Covers(intervals, iv.begin)) {
+            internal::AppendViolation(
+                out, cap, label + " TIME e=" + std::to_string(e) +
+                              ": exact interval begin=" +
+                              std::to_string(iv.begin) + " uncovered");
+          }
+        }
+      }
+    }
+  }
+
+  // BURSTY EVENT: set containment under the computed bands.
+  for (const auto& q : plan.events) {
+    if (out->size() >= cap) return;
+    std::vector<EventId> reported;
+    for (EventId e = 0; e < k; ++e) {
+      if (view.Estimate(e, q.t, q.tau) >= q.theta) reported.push_back(e);
+    }
+    std::vector<bool> in_reported(k, false);
+    for (EventId e : reported) in_reported[e] = true;
+    for (EventId e = 0; e < k; ++e) {
+      const double exact =
+          static_cast<double>(oracle.BurstinessAt(e, q.t, q.tau));
+      const double bound = view.Bound(e, q.t, q.tau);
+      if (in_reported[e] && exact < q.theta - bound - kTol) {
+        internal::AppendViolation(
+            out, cap,
+            label + " EVENT t=" + std::to_string(q.t) + " theta=" +
+                std::to_string(q.theta) + ": reported e=" +
+                std::to_string(e) + " has exact b=" + std::to_string(exact) +
+                " < theta-bound=" + std::to_string(q.theta - bound));
+      }
+      if (!in_reported[e] && exact >= q.theta + bound + kTol) {
+        internal::AppendViolation(
+            out, cap,
+            label + " EVENT t=" + std::to_string(q.t) + " theta=" +
+                std::to_string(q.theta) + ": missing e=" + std::to_string(e) +
+                " with exact b=" + std::to_string(exact) +
+                " >= theta+bound=" + std::to_string(q.theta + bound));
+      }
+    }
+  }
+}
+
+}  // namespace test
+}  // namespace bursthist
+
+#endif  // BURSTHIST_TESTS_DIFFERENTIAL_DIFF_HARNESS_H_

@@ -1,0 +1,39 @@
+// Fuzzes CmPbe<Pbe1>::Deserialize (CMPB-framed blobs): clean Status or
+// a valid grid. Notably guards the allocation path — depth/width are
+// attacker-controlled and must be rejected before any cell reserve.
+
+#include "core/cm_pbe.h"
+#include "fuzz_driver.h"
+#include "util/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace bursthist;
+  CmPbeOptions grid_opts;
+  grid_opts.depth = 2;
+  grid_opts.width = 3;
+  Pbe1Options cell;
+  cell.buffer_points = 16;
+  cell.budget_points = 4;
+  CmPbe<Pbe1> g(grid_opts, cell);
+  BinaryReader r(data, size);
+  if (!g.Deserialize(&r).ok()) return 0;
+
+  if (g.finalized()) {
+    for (EventId e = 0; e < 4; ++e) {
+      (void)g.EstimateCumulative(e, 50);
+      (void)g.EstimateBurstiness(e, 50, 7);
+      (void)g.EstimateFrequency(e, 10, 60);
+      (void)g.Breakpoints(e);
+    }
+  }
+
+  BinaryWriter w1;
+  g.Serialize(&w1);
+  CmPbe<Pbe1> h(grid_opts, cell);
+  BinaryReader r2(w1.bytes());
+  BURSTHIST_FUZZ_REQUIRE(h.Deserialize(&r2).ok());
+  BinaryWriter w2;
+  h.Serialize(&w2);
+  BURSTHIST_FUZZ_REQUIRE(w1.bytes() == w2.bytes());
+  return 0;
+}

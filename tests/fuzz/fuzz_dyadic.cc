@@ -1,0 +1,36 @@
+// Fuzzes DyadicBurstIndex<Pbe1>::Deserialize (DYAD-framed blobs)
+// against a universe-8 index (the shape the corpus seeds target; the
+// deserializer must reject any blob whose universe/levels disagree).
+
+#include "core/dyadic_index.h"
+#include "fuzz_driver.h"
+#include "util/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace bursthist;
+  CmPbeOptions grid_opts;
+  grid_opts.depth = 2;
+  grid_opts.width = 4;
+  Pbe1Options cell;
+  cell.buffer_points = 16;
+  cell.budget_points = 4;
+  DyadicBurstIndex<Pbe1> idx(8, grid_opts, cell);
+  BinaryReader r(data, size);
+  if (!idx.Deserialize(&r).ok()) return 0;
+
+  if (idx.level(0).finalized()) {
+    (void)idx.EstimateBurstiness(3, 40, 5);
+    (void)idx.BurstyEvents(40, 1.5, 5);
+    (void)idx.TopKBurstyEvents(40, 3, 5);
+  }
+
+  BinaryWriter w1;
+  idx.Serialize(&w1);
+  DyadicBurstIndex<Pbe1> idx2(8, grid_opts, cell);
+  BinaryReader r2(w1.bytes());
+  BURSTHIST_FUZZ_REQUIRE(idx2.Deserialize(&r2).ok());
+  BinaryWriter w2;
+  idx2.Serialize(&w2);
+  BURSTHIST_FUZZ_REQUIRE(w1.bytes() == w2.bytes());
+  return 0;
+}

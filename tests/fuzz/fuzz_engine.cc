@@ -1,0 +1,50 @@
+// Fuzzes BurstEngine<Pbe1>::Deserialize (BENG-framed blobs): clean
+// Status or a valid engine whose queries and re-serialization work.
+
+#include "core/burst_engine.h"
+#include "fuzz_driver.h"
+#include "util/serialize.h"
+
+namespace {
+
+bursthist::BurstEngineOptions<bursthist::Pbe1> EngineOptions() {
+  bursthist::BurstEngineOptions<bursthist::Pbe1> o;
+  o.universe_size = 8;
+  o.grid.depth = 2;
+  o.grid.width = 4;
+  o.cell.buffer_points = 16;
+  o.cell.budget_points = 4;
+  o.heavy_hitter_capacity = 4;
+  o.max_lateness = 4;
+  return o;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace bursthist;
+  BurstEngine<Pbe1> engine(EngineOptions());
+  BinaryReader r(data, size);
+  if (!engine.Deserialize(&r).ok()) return 0;
+
+  if (engine.finalized()) {
+    for (EventId e = 0; e < engine.universe_size(); ++e) {
+      (void)engine.PointQuery(e, 40, 5);
+      (void)engine.CumulativeQuery(e, 40);
+    }
+    (void)engine.BurstyEventQuery(40, 1.5, 5);
+    (void)engine.BurstyTimeQuery(2, 1.5, 5);
+    (void)engine.TopKBurstyEvents(40, 3, 5);
+    (void)engine.HeavyHitters(4);
+  }
+
+  BinaryWriter w1;
+  engine.Serialize(&w1);
+  BurstEngine<Pbe1> engine2(EngineOptions());
+  BinaryReader r2(w1.bytes());
+  BURSTHIST_FUZZ_REQUIRE(engine2.Deserialize(&r2).ok());
+  BinaryWriter w2;
+  engine2.Serialize(&w2);
+  BURSTHIST_FUZZ_REQUIRE(w1.bytes() == w2.bytes());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fuzzes Pbe1::Deserialize (PBE1-framed blobs): clean Status or a
+// valid object whose queries work and whose re-serialization is a
+// byte-for-byte fixpoint.
+
+#include "core/pbe1.h"
+#include "fuzz_driver.h"
+#include "util/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace bursthist;
+  Pbe1 p;
+  BinaryReader r(data, size);
+  if (!p.Deserialize(&r).ok()) return 0;
+
+  if (p.finalized()) {
+    (void)p.EstimateCumulative(-100);
+    (void)p.EstimateCumulative(0);
+    (void)p.EstimateCumulative(1 << 20);
+    (void)p.EstimateBurstiness(1000, 7);
+    (void)p.Breakpoints();
+    (void)p.MaxBufferAreaError();
+    (void)p.TotalAreaError();
+  }
+
+  // serialize(deserialize(x)) must be a fixpoint.
+  BinaryWriter w1;
+  p.Serialize(&w1);
+  Pbe1 q;
+  BinaryReader r2(w1.bytes());
+  BURSTHIST_FUZZ_REQUIRE(q.Deserialize(&r2).ok());
+  BinaryWriter w2;
+  q.Serialize(&w2);
+  BURSTHIST_FUZZ_REQUIRE(w1.bytes() == w2.bytes());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fuzzes Pbe2::Deserialize (PBE2-framed blobs): clean Status or a
+// valid object; re-serialization must be a byte-for-byte fixpoint
+// (a deserialized live estimator has an already-flushed window, so
+// even the live form re-serializes identically).
+
+#include "core/pbe2.h"
+#include "fuzz_driver.h"
+#include "util/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace bursthist;
+  Pbe2 p;
+  BinaryReader r(data, size);
+  if (!p.Deserialize(&r).ok()) return 0;
+
+  if (p.finalized()) {
+    (void)p.EstimateCumulative(-100);
+    (void)p.EstimateCumulative(1 << 20);
+    (void)p.EstimateBurstiness(1000, 7);
+    (void)p.Breakpoints();
+    (void)p.MaxGamma();
+  }
+
+  BinaryWriter w1;
+  p.Serialize(&w1);
+  Pbe2 q;
+  BinaryReader r2(w1.bytes());
+  BURSTHIST_FUZZ_REQUIRE(q.Deserialize(&r2).ok());
+  BinaryWriter w2;
+  q.Serialize(&w2);
+  BURSTHIST_FUZZ_REQUIRE(w1.bytes() == w2.bytes());
+  return 0;
+}

@@ -1,0 +1,321 @@
+// Regenerates the checked-in fuzz seed corpus (tests/fuzz/corpus/).
+//
+//   make_corpus <corpus-root>
+//
+// One subdirectory per fuzz target, seeded with valid artifacts (so
+// coverage-guided fuzzing starts past the magic/CRC cliff) plus a few
+// near-valid mutants (truncated / bit-flipped) that exercise the
+// rejection paths the plain-build corpus regression must keep clean.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/cm_pbe.h"
+#include "core/sketch_store.h"
+#include "core/dyadic_index.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "recovery/durable_engine.h"
+#include "recovery/wal.h"
+#include "util/env.h"
+#include "util/serialize.h"
+
+namespace bursthist {
+namespace {
+
+Env* env = nullptr;
+
+void WriteCorpusFile(const std::string& dir, const std::string& name,
+                     const std::vector<uint8_t>& bytes) {
+  auto file = env->NewWritableFile(dir + "/" + name);
+  if (!file.ok() || !file.value()->Append(bytes).ok() ||
+      !file.value()->Close().ok()) {
+    std::fprintf(stderr, "failed writing %s/%s\n", dir.c_str(), name.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s/%s (%zu bytes)\n", dir.c_str(), name.c_str(),
+              bytes.size());
+}
+
+std::vector<uint8_t> Truncated(const std::vector<uint8_t>& bytes, size_t cut) {
+  std::vector<uint8_t> out = bytes;
+  out.resize(out.size() > cut ? out.size() - cut : 0);
+  return out;
+}
+
+std::vector<uint8_t> BitFlipped(const std::vector<uint8_t>& bytes,
+                                size_t index) {
+  std::vector<uint8_t> out = bytes;
+  if (!out.empty()) out[index % out.size()] ^= 0x40;
+  return out;
+}
+
+// The small mixed stream every structure seed ingests.
+std::vector<EventRecord> SeedRecords() {
+  return {{0, 5},  {1, 5},  {2, 6},  {0, 8},  {3, 8},  {0, 9},
+          {4, 12}, {0, 12}, {5, 15}, {6, 15}, {0, 16}, {7, 21}};
+}
+
+std::string Subdir(const std::string& root, const std::string& name) {
+  const std::string dir = root + "/" + name;
+  if (!env->CreateDirIfMissing(dir).ok()) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    std::exit(1);
+  }
+  return dir;
+}
+
+void EmitVariants(const std::string& dir, const std::string& stem,
+                  const std::vector<uint8_t>& valid) {
+  WriteCorpusFile(dir, stem + ".bin", valid);
+  WriteCorpusFile(dir, stem + "_truncated.bin", Truncated(valid, 3));
+  WriteCorpusFile(dir, stem + "_bitflip.bin",
+                  BitFlipped(valid, valid.size() / 2));
+}
+
+}  // namespace
+}  // namespace bursthist
+
+int main(int argc, char** argv) {
+  using namespace bursthist;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 1;
+  }
+  env = Env::Default();
+  const std::string root = argv[1];
+  if (!env->CreateDirIfMissing(root).ok()) {
+    std::fprintf(stderr, "cannot create %s\n", root.c_str());
+    return 1;
+  }
+  const auto records = SeedRecords();
+
+  // PBE-1 / PBE-2: finalized and live forms.
+  {
+    Pbe1Options o1;
+    o1.buffer_points = 8;
+    o1.budget_points = 4;
+    Pbe1 live(o1);
+    for (const auto& r : records) live.Append(r.time);
+    BinaryWriter wl;
+    live.Serialize(&wl);
+    Pbe1 fin = live;
+    fin.Finalize();
+    BinaryWriter wf;
+    fin.Serialize(&wf);
+    const std::string dir = Subdir(root, "pbe1");
+    EmitVariants(dir, "finalized", wf.bytes());
+    WriteCorpusFile(dir, "live.bin", wl.bytes());
+    // CRC-frame length that would wrap an additive bounds check: the
+    // reader must reject it without touching out-of-range memory.
+    BinaryWriter overflow;
+    overflow.Put<uint32_t>(0x50424531);  // "PBE1"
+    overflow.Put<uint32_t>(2);           // framed version
+    overflow.Put<uint64_t>(~uint64_t{0} - 3);
+    WriteCorpusFile(dir, "frame_len_overflow.bin", overflow.bytes());
+  }
+  {
+    Pbe2Options o2;
+    o2.gamma = 1.0;
+    Pbe2 live(o2);
+    for (const auto& r : records) live.Append(r.time);
+    BinaryWriter wl;
+    live.Serialize(&wl);
+    Pbe2 fin = live;
+    fin.Finalize();
+    BinaryWriter wf;
+    fin.Serialize(&wf);
+    const std::string dir = Subdir(root, "pbe2");
+    EmitVariants(dir, "finalized", wf.bytes());
+    WriteCorpusFile(dir, "live.bin", wl.bytes());
+  }
+
+  // CM-PBE grid (shape is adopted from the blob by the deserializer).
+  {
+    CmPbeOptions go;
+    go.depth = 2;
+    go.width = 3;
+    Pbe1Options cell;
+    cell.buffer_points = 8;
+    cell.budget_points = 4;
+    CmPbe<Pbe1> grid(go, cell);
+    for (const auto& r : records) grid.Append(r.id, r.time);
+    grid.Finalize();
+    BinaryWriter w;
+    grid.Serialize(&w);
+    EmitVariants(Subdir(root, "cmpbe"), "grid", w.bytes());
+  }
+
+  // Dyadic index — must match fuzz_dyadic's universe (8).
+  {
+    CmPbeOptions go;
+    go.depth = 2;
+    go.width = 4;
+    Pbe1Options cell;
+    cell.buffer_points = 8;
+    cell.budget_points = 4;
+    DyadicBurstIndex<Pbe1> idx(8, go, cell);
+    for (const auto& r : records) idx.Append(r.id, r.time);
+    idx.Finalize();
+    BinaryWriter w;
+    idx.Serialize(&w);
+    EmitVariants(Subdir(root, "dyadic"), "index", w.bytes());
+  }
+
+  // Engine — matches fuzz_engine's options (universe 8, lateness 4):
+  // finalized form plus a live form holding a re-order buffer.
+  {
+    BurstEngineOptions<Pbe1> eo;
+    eo.universe_size = 8;
+    eo.grid.depth = 2;
+    eo.grid.width = 4;
+    eo.cell.buffer_points = 16;
+    eo.cell.budget_points = 4;
+    eo.heavy_hitter_capacity = 4;
+    eo.max_lateness = 4;
+    BurstEngine<Pbe1> engine(eo);
+    for (const auto& r : records) {
+      if (!engine.Append(r.id, r.time).ok()) return 1;
+    }
+    // Two late-but-admissible records keep the re-order buffer busy.
+    if (!engine.Append(3, 20).ok() || !engine.Append(1, 19).ok()) return 1;
+    BinaryWriter wl;
+    engine.Serialize(&wl);
+    engine.Finalize();
+    BinaryWriter wf;
+    engine.Serialize(&wf);
+    const std::string dir = Subdir(root, "engine");
+    EmitVariants(dir, "finalized", wf.bytes());
+    WriteCorpusFile(dir, "live_reorder.bin", wl.bytes());
+  }
+
+  // WAL segment: written by the real writer, then read back as bytes.
+  {
+    const std::string scratch = root + "/.wal_scratch";
+    if (!env->CreateDirIfMissing(scratch).ok()) return 1;
+    WalWriter::Options wo;
+    auto writer = WalWriter::Open(env, scratch, 1, wo);
+    if (!writer.ok()) return 1;
+    for (const auto& r : records) {
+      if (!writer.value()
+               ->AddRecord(WalRecordType::kEvent,
+                           recovery_internal::EncodeEventPayload(r.id, r.time,
+                                                                 1))
+               .ok()) {
+        return 1;
+      }
+    }
+    if (!writer.value()->Sync().ok()) return 1;
+    auto bytes = env->ReadFileBytes(WalSegmentPath(scratch, 1));
+    if (!bytes.ok()) return 1;
+    const std::string dir = Subdir(root, "wal");
+    EmitVariants(dir, "segment", bytes.value());
+    // A torn tail (mid-record truncation) is the expected crash
+    // remnant and must replay cleanly.
+    WriteCorpusFile(dir, "segment_torn.bin", Truncated(bytes.value(), 7));
+    if (!env->DeleteFile(WalSegmentPath(scratch, 1)).ok()) return 1;
+    ::rmdir(scratch.c_str());
+  }
+
+  // Snapshot file: real WriteSnapshotFile output.
+  {
+    const std::string scratch = root + "/.snap_scratch";
+    if (!env->CreateDirIfMissing(scratch).ok()) return 1;
+    BurstEngineOptions<Pbe1> eo;
+    eo.universe_size = 8;
+    eo.grid.depth = 2;
+    eo.grid.width = 4;
+    eo.cell.buffer_points = 16;
+    eo.cell.budget_points = 4;
+    BurstEngine<Pbe1> engine(eo);
+    for (const auto& r : records) {
+      if (!engine.Append(r.id, r.time).ok()) return 1;
+    }
+    engine.Finalize();
+    BinaryWriter blob;
+    engine.Serialize(&blob);
+    if (!WriteSnapshotFile(env, scratch, 1, WalPosition{2, 16}, blob.bytes())
+             .ok()) {
+      return 1;
+    }
+    auto bytes = env->ReadFileBytes(SnapshotPath(scratch, 1));
+    if (!bytes.ok()) return 1;
+    EmitVariants(Subdir(root, "snapshot"), "snapshot", bytes.value());
+    if (!env->DeleteFile(SnapshotPath(scratch, 1)).ok()) return 1;
+    ::rmdir(scratch.c_str());
+  }
+
+  // SketchStore file: a real Save()'s bytes, plus the hostile-shape
+  // regression — a well-formed config header whose grid shape would
+  // have the engine constructor allocate terabytes before the payload
+  // could be rejected (caught by the cell-count-vs-payload bound).
+  {
+    const std::string scratch = root + "/.store_scratch";
+    if (!env->CreateDirIfMissing(scratch).ok()) return 1;
+    BurstEngineOptions<Pbe1> eo;
+    eo.universe_size = 8;
+    eo.grid.depth = 2;
+    eo.grid.width = 4;
+    eo.cell.buffer_points = 16;
+    eo.cell.budget_points = 4;
+    BurstEngine<Pbe1> engine(eo);
+    for (const auto& r : records) {
+      if (!engine.Append(r.id, r.time).ok()) return 1;
+    }
+    engine.Finalize();
+    SketchStore store(scratch);
+    if (!store.Save("seed", engine).ok()) return 1;
+    auto bytes = env->ReadFileBytes(scratch + "/seed.sketch");
+    if (!bytes.ok()) return 1;
+    const std::string dir = Subdir(root, "sketch_store");
+    EmitVariants(dir, "sketch", bytes.value());
+    // Hostile shape: valid magic/version/kind but a grid whose
+    // construction alone would dwarf the file.
+    BinaryWriter hostile;
+    hostile.Put<uint32_t>(0x42535354);           // "BSST"
+    hostile.Put<uint32_t>(1);                    // version
+    hostile.Put<uint8_t>(1);                     // kind: PBE-1
+    hostile.Put<uint32_t>(1u << 30);             // universe
+    hostile.Put<uint64_t>(uint64_t{1} << 40);    // grid_depth
+    hostile.Put<uint64_t>(uint64_t{1} << 40);    // grid_width
+    hostile.Put<uint64_t>(0);                    // grid_seed
+    hostile.Put<uint8_t>(0);                     // estimator
+    hostile.Put<uint8_t>(0);                     // prune_rule
+    hostile.Put<uint64_t>(0);                    // heavy_capacity
+    hostile.Put<uint64_t>(16);                   // buffer_points
+    hostile.Put<uint64_t>(4);                    // budget_points
+    hostile.Put<double>(-1.0);                   // error_cap
+    hostile.Put<double>(8.0);                    // gamma
+    hostile.Put<uint64_t>(0);                    // max_polygon_vertices
+    WriteCorpusFile(dir, "hostile_shape.bin", hostile.bytes());
+    auto names = env->ListDir(scratch);
+    if (names.ok()) {
+      for (const auto& n : names.value()) {
+        (void)env->DeleteFile(scratch + "/" + n);
+      }
+    }
+    ::rmdir(scratch.c_str());
+  }
+
+  // CSV: valid text, comment/blank-line dialect, and a malformed line.
+  {
+    const std::string dir = Subdir(root, "csv");
+    const std::string valid =
+        "# id,timestamp\n0,5\n1,5\n2,6\n\n0,8\n3,8\n4,12\n";
+    WriteCorpusFile(dir, "valid.csv",
+                    std::vector<uint8_t>(valid.begin(), valid.end()));
+    const std::string bad = "0,5\n1,notatime\n";
+    WriteCorpusFile(dir, "malformed.csv",
+                    std::vector<uint8_t>(bad.begin(), bad.end()));
+    const std::string regress = "0,9\n1,5\n";  // time regression
+    WriteCorpusFile(dir, "regression.csv",
+                    std::vector<uint8_t>(regress.begin(), regress.end()));
+  }
+
+  std::printf("corpus regenerated under %s\n", root.c_str());
+  return 0;
+}
