@@ -1,0 +1,109 @@
+// Overload-behavior table: what a tightening memory budget does to
+// governed ingest — throughput, admission outcomes, shed activity, and
+// the effective (reported) error bound.
+//
+// Expectation: a soft budget alone keeps accepting every record but
+// widens the reported bound (accuracy shed for space, per the
+// degradation ladder in DESIGN.md § Resource governance); adding a
+// hard budget starts refusing appends with ResourceExhausted once
+// shedding can no longer keep usage under it. Availability and honesty
+// are the invariants — the process neither dies nor silently degrades.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "governor/governed_engine.h"
+#include "governor/resource_governor.h"
+#include "util/status.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t accepted = 0;
+  uint64_t refused = 0;
+};
+
+GovernedEngineOptions<Pbe2> BaseOptions(EventId universe) {
+  GovernedEngineOptions<Pbe2> o;
+  o.engine.universe_size = universe;
+  o.audit_every = 64;
+  return o;
+}
+
+RunResult Ingest(GovernedBurstEngine2* engine, const Dataset& ds) {
+  RunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& rec : ds.stream.records()) {
+    Status st = engine->Append(rec.id, rec.time);
+    if (st.ok()) {
+      ++r.accepted;
+    } else if (st.code() == StatusCode::kResourceExhausted) {
+      ++r.refused;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg, "governed ingest under tightening memory budgets",
+         "soft budgets widen the reported bound; hard budgets refuse");
+
+  Dataset ds = MakeUsPolitics(cfg.Scenario());
+  std::printf("us-politics: %zu records, universe %u\n\n", ds.stream.size(),
+              ds.universe_size);
+
+  // The ungoverned run fixes the budget scale (and the throughput
+  // baseline) for the sweep.
+  size_t base_bytes = 0;
+  double base_rate = 0.0;
+  {
+    GovernedBurstEngine2 engine(BaseOptions(ds.universe_size));
+    RunResult r = Ingest(&engine, ds);
+    base_bytes = engine.engine().MemoryUsage();
+    base_rate = r.seconds > 0 ? r.accepted / r.seconds : 0.0;
+  }
+  std::printf("ungoverned baseline: %.0f records/s, %.1f KB resident\n\n",
+              base_rate, base_bytes / 1024.0);
+
+  struct BudgetRow {
+    const char* name;
+    size_t soft, hard;
+  };
+  const BudgetRow rows[] = {
+      {"soft 1/2", base_bytes / 2, 0},
+      {"soft 1/4", base_bytes / 4, 0},
+      {"soft 1/4, hard 1/2", base_bytes / 4, base_bytes / 2},
+      {"soft 1/8, hard 1/4", base_bytes / 8, base_bytes / 4},
+  };
+
+  std::printf("%-20s %11s %9s %8s %6s %9s %11s  %s\n", "budget", "records/s",
+              "accepted", "refused", "sheds", "KB", "eff bound", "level");
+  Rule();
+  for (const BudgetRow& row : rows) {
+    GovernedEngineOptions<Pbe2> o = BaseOptions(ds.universe_size);
+    o.budget.soft_bytes = row.soft;
+    o.budget.hard_bytes = row.hard;
+    GovernedBurstEngine2 engine(o);
+    RunResult r = Ingest(&engine, ds);
+    const EffectiveErrorBound bound = engine.effective_bound();
+    std::printf(
+        "%-20s %11.0f %9llu %8llu %6llu %9.1f %11.3g  %s\n", row.name,
+        r.seconds > 0 ? r.accepted / r.seconds : 0.0,
+        static_cast<unsigned long long>(r.accepted),
+        static_cast<unsigned long long>(r.refused),
+        static_cast<unsigned long long>(engine.governor().shed_rounds()),
+        engine.engine().MemoryUsage() / 1024.0, bound.point_bound,
+        DegradationLevelName(engine.governor().level()));
+  }
+  return 0;
+}

@@ -232,9 +232,14 @@ int main(int argc, char** argv) {
       std::printf("kind: CM-PBE-%d  K=%u  grid d=%llu w=%llu\n", h.kind,
                   h.universe, static_cast<unsigned long long>(h.grid_depth),
                   static_cast<unsigned long long>(h.grid_width));
-      std::printf("records: %llu   sketch size: %.1f KB\n",
+      std::printf("records: %llu   sketch size: %.1f KB   resident: %.1f KB\n",
                   static_cast<unsigned long long>(engine.TotalCount()),
-                  engine.SizeBytes() / 1024.0);
+                  engine.SizeBytes() / 1024.0, engine.MemoryUsage() / 1024.0);
+      const EffectiveErrorBound b = engine.EffectivePointBound();
+      std::printf(
+          "effective bound: |b~ - b| <= %.3f  (eps=%.4f delta=%.4f "
+          "cell=%.3f)\n",
+          b.point_bound, b.epsilon, b.delta, b.cell_error);
       return 0;
     });
   }

@@ -17,6 +17,7 @@
 #ifndef BURSTHIST_CORE_BURST_ENGINE_H_
 #define BURSTHIST_CORE_BURST_ENGINE_H_
 
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <queue>
@@ -33,6 +34,41 @@
 #include "util/status.h"
 
 namespace bursthist {
+
+/// What Append does when the re-order buffer already holds
+/// BurstEngineOptions::max_reorder_events records and another arrives.
+enum class ReorderOverflowPolicy : uint8_t {
+  /// Refuse the record with Status::ResourceExhausted. Nothing is
+  /// logged or buffered; the caller sheds load or retries after the
+  /// watermark advances. A watermark-advancing arrival drains the ripe
+  /// backlog before the decision, so fresh traffic always recovers a
+  /// buffer that filled under a stalled watermark.
+  kReject = 0,
+  /// Accept the record and discard the oldest buffered record instead,
+  /// counting the shed occurrences in DroppedCount() — bounded memory
+  /// at a measured (never silent) accuracy cost.
+  kDropOldest = 1,
+  /// Accept the record and force-drain the oldest buffered records
+  /// into the index, advancing the watermark past them — bounded
+  /// memory with no data loss, at the cost of a temporarily narrowed
+  /// lateness window (records older than the advanced watermark are
+  /// rejected with kOutOfRange, exactly as ordinary late arrivals).
+  kForceDrain = 2,
+};
+
+/// The error bound actually in force for POINT answers — Lemma 5 with
+/// the leaf cells' current (possibly degraded/escalated) state folded
+/// in:
+///   Pr[|b~(t) - b(t)| <= epsilon * N + 4 * cell_error] >= 1 - delta,
+/// and exact grid routing (epsilon = delta = 0) when the leaf level is
+/// direct-mapped. Degradation widens cell_error; it never invalidates
+/// the reported bound.
+struct EffectiveErrorBound {
+  double epsilon = 0.0;      ///< Count-Min collision rate, e / width.
+  double delta = 0.0;        ///< Failure probability, e^-depth.
+  double cell_error = 0.0;   ///< Max leaf-cell Delta (PBE-1) or gamma (PBE-2).
+  double point_bound = 0.0;  ///< epsilon * N + 4 * cell_error.
+};
 
 /// Engine configuration. `universe_size` is required; everything else
 /// has paper-default values.
@@ -56,6 +92,14 @@ struct BurstEngineOptions {
   /// re-ordered in a small buffer before ingestion. 0 = require
   /// strictly non-decreasing input (the paper's stream model).
   Timestamp max_lateness = 0;
+  /// Upper bound on records held in the re-order buffer. Without a
+  /// cap, a stalled watermark (one hot timestamp repeating while late
+  /// records pour in) grows the buffer — and the process — without
+  /// limit. 0 = unbounded (the legacy behavior).
+  size_t max_reorder_events = 0;
+  /// What Append does at the cap (ignored while max_reorder_events
+  /// == 0).
+  ReorderOverflowPolicy overflow_policy = ReorderOverflowPolicy::kReject;
   /// When > 1, AppendStream on a fresh engine (nothing ingested yet,
   /// max_lateness == 0) splits the stream into this many mutually
   /// exclusive time ranges and builds them concurrently — see
@@ -111,11 +155,34 @@ class BurstEngine {
     if (started_ && t < watermark_ - options_.max_lateness) {
       return Status::OutOfRange("record arrived beyond max_lateness");
     }
+    // Backpressure: a rejection must precede the observer so a refused
+    // record is never logged; the shedding policies run after it so the
+    // engine's state only changes once the record is durably accepted.
+    if (options_.max_reorder_events > 0 &&
+        reorder_.size() >= options_.max_reorder_events &&
+        options_.overflow_policy == ReorderOverflowPolicy::kReject) {
+      // A watermark-advancing record first flushes whatever its
+      // timestamp proves ripe. Without this, a full buffer under a
+      // stalled watermark could never recover: the fresh records that
+      // would advance the watermark past the backlog would themselves
+      // be refused. The advance sticks even if the record is then
+      // rejected (monotone, like a force-drain; it is not logged
+      // state, so replay determinism is unaffected).
+      if (t > watermark_) {
+        watermark_ = t;
+        DrainReorderBuffer(watermark_ - options_.max_lateness);
+      }
+      if (reorder_.size() >= options_.max_reorder_events) {
+        return Status::ResourceExhausted(
+            "re-order buffer full (max_reorder_events)");
+      }
+    }
     if (observer_) BURSTHIST_RETURN_IF_ERROR(observer_(e, t, count));
     reorder_.push(Pending{t, e, count});
     buffered_count_ += count;
     watermark_ = started_ ? std::max(watermark_, t) : t;
     started_ = true;
+    if (options_.max_reorder_events > 0) EnforceReorderCap();
     DrainReorderBuffer(watermark_ - options_.max_lateness);
     return Status::OK();
   }
@@ -219,14 +286,50 @@ class BurstEngine {
   /// they join TotalCount() once the watermark, or Finalize(), drains
   /// them into the index.
   Count BufferedCount() const { return buffered_count_; }
+  /// Occurrences shed by the kDropOldest overflow policy — the
+  /// measured accuracy cost of bounded backpressure.
+  Count DroppedCount() const { return dropped_count_; }
+  /// Times the kForceDrain policy advanced the watermark to shrink the
+  /// buffer.
+  uint64_t ForcedDrains() const { return forced_drains_; }
   size_t SizeBytes() const { return index_.SizeBytes(); }
+
+  /// Resident bytes across index, heavy-hitter summary, and re-order
+  /// buffer (live entries; the heap's container capacity is not
+  /// observable through std::priority_queue).
+  size_t MemoryUsage() const {
+    return sizeof(*this) - sizeof(index_) - sizeof(hitters_) +
+           index_.MemoryUsage() + hitters_.MemoryUsage() +
+           reorder_.size() * sizeof(Pending);
+  }
+
+  /// Applies the degradation ladder to the index's live cells (see
+  /// CmPbe::Degrade); EffectivePointBound() widens accordingly.
+  void Degrade(double gamma_factor) { index_.Degrade(gamma_factor); }
+
+  /// The POINT-answer error bound currently in force (Lemma 5 with
+  /// every band escalation and degradation folded in).
+  EffectiveErrorBound EffectivePointBound() const {
+    const auto& leaf = index_.level(0);
+    EffectiveErrorBound b;
+    if (!leaf.options().identity_hash) {
+      b.epsilon = std::exp(1.0) / static_cast<double>(leaf.width());
+      b.delta = std::exp(-static_cast<double>(leaf.depth()));
+    }
+    b.cell_error = index_.MaxLeafCellError();
+    b.point_bound =
+        b.epsilon * static_cast<double>(total_count_) + 4.0 * b.cell_error;
+    return b;
+  }
+
   const DyadicBurstIndex<PbeT>& index() const { return index_; }
 
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x42454e47);  // "BENG"
     // v1: no out-of-order state. v2: + watermark & reorder buffer.
     // v3: payload wrapped in a CRC32C frame (see CrcFrame).
-    w->Put<uint32_t>(3);
+    // v4: + backpressure configuration and shed counters.
+    w->Put<uint32_t>(4);
     const size_t frame = CrcFrame::Begin(w);
     w->Put<uint64_t>(total_count_);
     w->Put<int64_t>(last_time_);
@@ -244,6 +347,13 @@ class BurstEngine {
       w->Put<uint64_t>(p.count);
       pending.pop();
     }
+    // v4: the backpressure option and its counters travel with the
+    // state so a restored engine keeps the same admission behavior and
+    // its shed accounting stays honest across restarts.
+    w->Put<uint64_t>(options_.max_reorder_events);
+    w->Put<uint8_t>(static_cast<uint8_t>(options_.overflow_policy));
+    w->Put<uint64_t>(dropped_count_);
+    w->Put<uint64_t>(forced_drains_);
     index_.Serialize(w);
     hitters_.Serialize(w);
     CrcFrame::End(w, frame);
@@ -251,15 +361,16 @@ class BurstEngine {
 
   /// Restores into an engine constructed with the same options.
   /// Accepts v1 payloads (no re-order state: the buffer restores
-  /// empty and the watermark snaps to last_time_), v2, and the
-  /// CRC32C-framed v3.
+  /// empty and the watermark snaps to last_time_), v2, the
+  /// CRC32C-framed v3, and v4 (backpressure state; older payloads
+  /// keep the constructed options and zero shed counters).
   Status Deserialize(BinaryReader* r) {
     uint32_t magic = 0, version = 0;
     uint8_t started = 0, finalized = 0;
     BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
     BURSTHIST_RETURN_IF_ERROR(r->Get(&version));
     if (magic != 0x42454e47) return Status::Corruption("bad engine magic");
-    if (version < 1 || version > 3) {
+    if (version < 1 || version > 4) {
       return Status::Corruption("bad engine version");
     }
     size_t payload_end = 0;
@@ -291,6 +402,23 @@ class BurstEngine {
         reorder_.push(p);
         buffered_count_ += p.count;
       }
+    }
+    dropped_count_ = 0;
+    forced_drains_ = 0;
+    if (version >= 4) {
+      uint64_t max_reorder = 0, dropped = 0, forced = 0;
+      uint8_t policy = 0;
+      BURSTHIST_RETURN_IF_ERROR(r->Get(&max_reorder));
+      BURSTHIST_RETURN_IF_ERROR(r->Get(&policy));
+      BURSTHIST_RETURN_IF_ERROR(r->Get(&dropped));
+      BURSTHIST_RETURN_IF_ERROR(r->Get(&forced));
+      if (policy > 2) {
+        return Status::Corruption("bad reorder overflow policy");
+      }
+      options_.max_reorder_events = static_cast<size_t>(max_reorder);
+      options_.overflow_policy = static_cast<ReorderOverflowPolicy>(policy);
+      dropped_count_ = dropped;
+      forced_drains_ = forced;
     }
     BURSTHIST_RETURN_IF_ERROR(index_.Deserialize(r));
     BURSTHIST_RETURN_IF_ERROR(hitters_.Deserialize(r));
@@ -342,6 +470,32 @@ class BurstEngine {
       reorder_.pop();
       buffered_count_ -= p.count;
       Ingest(p.e, p.t, p.count);
+    }
+  }
+
+  // Sheds buffer entries down to max_reorder_events, after the newest
+  // record was pushed (so the buffer momentarily holds cap + 1).
+  // Shedding the OLDEST entries keeps ingestion monotone: the heap
+  // drains in time order, so anything force-drained precedes — and
+  // anything dropped is older than — every record still buffered.
+  void EnforceReorderCap() {
+    while (reorder_.size() > options_.max_reorder_events) {
+      if (options_.overflow_policy == ReorderOverflowPolicy::kDropOldest) {
+        const Pending p = reorder_.top();
+        reorder_.pop();
+        buffered_count_ -= p.count;
+        dropped_count_ += p.count;
+      } else {  // kForceDrain
+        const Timestamp up_to = reorder_.top().t;
+        DrainReorderBuffer(up_to);
+        // Close the drained range to new arrivals: a record older than
+        // up_to would otherwise buffer behind an already-ingested time
+        // and break the index's append order when drained.
+        if (watermark_ < up_to + options_.max_lateness) {
+          watermark_ = up_to + options_.max_lateness;
+        }
+        ++forced_drains_;
+      }
     }
   }
 
@@ -414,6 +568,8 @@ class BurstEngine {
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
       reorder_;
   Count buffered_count_ = 0;
+  Count dropped_count_ = 0;
+  uint64_t forced_drains_ = 0;
   bool started_ = false;
   bool finalized_ = false;
   Timestamp last_time_ = 0;

@@ -204,6 +204,38 @@ class CmPbe {
     return bytes;
   }
 
+  /// Resident bytes: every cell's MemoryUsage() (object + capacity
+  /// overheads) plus the grid's own bookkeeping.
+  size_t MemoryUsage() const {
+    size_t bytes = sizeof(*this);
+    for (const auto& c : cells_) bytes += c.MemoryUsage();
+    return bytes;
+  }
+
+  /// Applies the degradation ladder to every live cell:
+  /// PBE-2 cells widen their gamma band by `gamma_factor` for future
+  /// windows, PBE-1 cells compact their buffers early (the factor is
+  /// meaningless for a DP pass). The widened error is visible through
+  /// MaxCellPointError() — reported, never silent. No-op once
+  /// finalized.
+  void Degrade(double gamma_factor) {
+    if (finalized_) return;
+    for (auto& c : cells_) c.Degrade(gamma_factor);
+  }
+
+  /// Largest per-cell point-error bound in force anywhere in the grid
+  /// — the "Delta" (or gamma) of Lemma 5's eps*N + 4*Delta with every
+  /// escalation and degradation folded in. Combined with the grid's
+  /// (eps, delta) sizing this is the honest error bound for answers
+  /// served right now.
+  double MaxCellPointError() const {
+    double worst = 0.0;
+    for (const auto& c : cells_) {
+      worst = std::max(worst, c.PointErrorBound());
+    }
+    return worst;
+  }
+
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x434d5042);  // "CMPB"
     // v1: bare payload. v2: CRC32C-framed payload (see CrcFrame).

@@ -238,6 +238,24 @@ class DyadicBurstIndex {
     return bytes;
   }
 
+  /// Resident bytes across every level (see CmPbe::MemoryUsage).
+  size_t MemoryUsage() const {
+    size_t bytes = sizeof(*this);
+    for (const auto& g : grids_) bytes += g.MemoryUsage();
+    return bytes;
+  }
+
+  /// Applies the degradation ladder to every level's grid (see
+  /// CmPbe::Degrade).
+  void Degrade(double gamma_factor) {
+    for (auto& g : grids_) g.Degrade(gamma_factor);
+  }
+
+  /// Largest per-cell point-error bound in force at the leaf level —
+  /// the level POINT queries read, hence the "Delta" of the engine's
+  /// effective Lemma 5 bound.
+  double MaxLeafCellError() const { return grids_[0].MaxCellPointError(); }
+
   void Serialize(BinaryWriter* w) const {
     w->Put<uint32_t>(0x44594144);  // "DYAD"
     // v1: bare payload. v2: CRC32C-framed payload (see CrcFrame).

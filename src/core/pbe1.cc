@@ -66,6 +66,17 @@ void Pbe1::Finalize() {
   finalized_ = true;
 }
 
+void Pbe1::CompactEarly() {
+  if (finalized_ || buffer_.size() < 2) return;
+  // Hold the newest point back: Append merges same-timestamp arrivals
+  // into the buffer tail, which a fully frozen buffer could not serve.
+  const CurvePoint tail = buffer_.back();
+  buffer_.pop_back();
+  CompressResidual();
+  buffer_.push_back(tail);
+  buffer_.shrink_to_fit();  // the point of compacting is freeing this
+}
+
 void Pbe1::AbsorbSuffix(const Pbe1& suffix) {
   assert(suffix.finalized_ && "suffix must be finalized before absorb");
   if (suffix.running_count_ == 0) return;
@@ -107,6 +118,12 @@ std::vector<Timestamp> Pbe1::Breakpoints() const {
 
 size_t Pbe1::SizeBytes() const {
   return model_.SizeBytes() + buffer_.size() * sizeof(CurvePoint);
+}
+
+size_t Pbe1::MemoryUsage() const {
+  return sizeof(*this) +
+         model_.points().capacity() * sizeof(CurvePoint) +
+         buffer_.capacity() * sizeof(CurvePoint);
 }
 
 void Pbe1::Serialize(BinaryWriter* w) const {

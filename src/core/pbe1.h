@@ -64,6 +64,17 @@ class Pbe1 {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  /// Early buffer compaction under memory pressure: compresses the
+  /// open buffer into the persistent model now (releasing the buffer's
+  /// capacity) instead of waiting for it to fill. The last buffered
+  /// point is retained so a subsequent Append at the same timestamp
+  /// still merges. Each compaction is a normal DP pass over fewer than
+  /// buffer_points points with a proportionally scaled budget, so the
+  /// Lemma 1 bound (4 * MaxBufferAreaError()) is unchanged in form —
+  /// only the number of flush boundaries grows. No-op when finalized
+  /// or when the buffer holds fewer than two points.
+  void CompactEarly();
+
   /// A finalized copy for querying mid-stream.
   Pbe1 Snapshot() const;
 
@@ -100,8 +111,23 @@ class Pbe1 {
   /// for every t (the pointwise form of Lemma 1's 4*Delta bound).
   double MaxBufferAreaError() const { return max_buffer_area_error_; }
 
+  /// Largest single-buffer DP area error under its duck-typed name:
+  /// the per-cell "Delta or gamma" bound the governor and the grid's
+  /// effective-bound reporting read uniformly from Pbe1 and Pbe2.
+  double PointErrorBound() const { return max_buffer_area_error_; }
+
+  /// Degradation hook with the uniform cell signature (see
+  /// CmPbe::Degrade): PBE-1 sheds memory by compacting its buffer
+  /// early; the widening factor only applies to PBE-2's gamma band.
+  void Degrade(double /*gamma_factor*/) { CompactEarly(); }
+
   /// Bytes of retained state (model + live buffer).
   size_t SizeBytes() const;
+
+  /// Resident bytes including object and vector-capacity overheads —
+  /// what the structure actually costs the process, as opposed to
+  /// SizeBytes()'s sketch-size cost model.
+  size_t MemoryUsage() const;
 
   void Serialize(BinaryWriter* w) const;
   Status Deserialize(BinaryReader* r);

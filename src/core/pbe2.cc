@@ -95,6 +95,24 @@ std::vector<Timestamp> Pbe2::Breakpoints() const {
 
 size_t Pbe2::SizeBytes() const { return builder_.model().SizeBytes(); }
 
+size_t Pbe2::MemoryUsage() const {
+  return sizeof(*this) - sizeof(builder_) + builder_.MemoryUsage();
+}
+
+void Pbe2::WidenGamma(double factor) {
+  assert(factor >= 1.0);
+  if (finalized_) return;
+  const double current = builder_.gamma();
+  double target = current == 0.0 ? factor : current * factor;
+  // Saturate at the curve's own mass: F spans [0, running_count_], so
+  // a band that wide already admits a single-segment model — widening
+  // past it frees no memory, it only inflates the reported bound.
+  const double cap = static_cast<double>(running_count_) + 1.0;
+  if (target > cap) target = current > cap ? current : cap;
+  if (target <= current) return;
+  builder_.WidenBand(target);
+}
+
 void Pbe2::Serialize(BinaryWriter* w) const {
   if (!finalized_) {
     // Close the open window in a copy (one extra polygon restart, same

@@ -88,6 +88,26 @@ class Pbe2 {
   size_t SegmentCount() const { return builder_.model().size(); }
   double gamma() const { return options_.gamma; }
 
+  /// Widens the error band for future constraint points by `factor`
+  /// (>= 1), the governor's deliberate form of the target_bytes
+  /// escalation: wider bands make windows live longer, throttling
+  /// segment production. The guarantee degrades honestly to
+  /// 4 * MaxGamma(), which reports the widened band. A zero band
+  /// widens to `factor` itself (mirroring the escalation's 0 -> 1
+  /// step). Widening saturates at the curve's current total count —
+  /// beyond that the band already admits a single-segment model, so
+  /// repeated sheds under a sustained deficit keep the reported bound
+  /// data-scaled instead of diverging. No-op on a finalized estimator.
+  void WidenGamma(double factor);
+
+  /// Degradation hook with the uniform cell signature (see
+  /// CmPbe::Degrade): PBE-2 sheds by widening gamma.
+  void Degrade(double gamma_factor) { WidenGamma(gamma_factor); }
+
+  /// MaxGamma() under its duck-typed name: the per-cell "Delta or
+  /// gamma" bound read uniformly from Pbe1 and Pbe2.
+  double PointErrorBound() const { return MaxGamma(); }
+
   /// Largest band used by any window (== gamma() unless a space
   /// budget escalated it); |b~ - b| <= 4 * MaxGamma().
   double MaxGamma() const {
@@ -96,6 +116,10 @@ class Pbe2 {
 
   /// Bytes of retained state (segments).
   size_t SizeBytes() const;
+
+  /// Resident bytes including object, segment-capacity, and live
+  /// feasible-polygon overheads.
+  size_t MemoryUsage() const;
 
   /// Serializes the estimator. A live (unfinalized) estimator is
   /// written as a finalized snapshot marked live: the open PLA window

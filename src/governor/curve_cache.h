@@ -1,0 +1,178 @@
+// Cold-curve eviction through the Env seam.
+//
+// A long history accumulates one PBE curve per event id that ever
+// appeared. Most ids go cold — they stop arriving but their curves
+// stay resident forever. PbeCurveCache bounds the resident set: each
+// event's curve lives in memory while hot, and under memory pressure
+// the coldest curves are *spilled* — serialized to one file per event
+// through the same Env seam the recovery subsystem uses (so
+// FaultInjectionEnv can starve it of disk space in tests) — and
+// transparently reloaded on the next access.
+//
+// The spill never loses data: a curve leaves memory only after its
+// bytes are durably renamed into place; any IO failure keeps the
+// curve resident and surfaces the error. Eviction is therefore a
+// *graceful* degradation lever (it trades reload latency for bytes),
+// which is why the governor drives it before widening error bounds.
+
+#ifndef BURSTHIST_GOVERNOR_CURVE_CACHE_H_
+#define BURSTHIST_GOVERNOR_CURVE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "stream/types.h"
+#include "util/env.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Bounded-residency cache of per-event PBE curves (PbeT = Pbe1 or
+/// Pbe2), spilling cold curves to `<dir>/curve-<id>.pbe`.
+template <typename PbeT>
+class PbeCurveCache {
+ public:
+  struct Options {
+    /// Filesystem seam; tests substitute FaultInjectionEnv.
+    Env* env = nullptr;
+    /// Spill directory (created by Init()).
+    std::string dir;
+    /// Resident curves ShedCold() keeps (at least 1).
+    size_t max_resident = 64;
+    /// Estimator options for freshly created curves.
+    typename PbeT::Options cell;
+  };
+
+  explicit PbeCurveCache(const Options& options) : options_(options) {
+    if (options_.env == nullptr) options_.env = Env::Default();
+    if (options_.max_resident == 0) options_.max_resident = 1;
+  }
+
+  /// Creates the spill directory. Call once before use.
+  Status Init() { return options_.env->CreateDirIfMissing(options_.dir); }
+
+  /// The event's curve, resident. Creates a fresh estimator for a
+  /// never-seen id; reloads a spilled one from disk (counting it in
+  /// reloads()).
+  Result<PbeT*> Get(EventId id) {
+    auto it = curves_.find(id);
+    if (it != curves_.end()) {
+      it->second.last_access = ++clock_;
+      return Result<PbeT*>(&it->second.curve);
+    }
+    Resident entry{PbeT(options_.cell), ++clock_, /*dirty=*/false};
+    const std::string path = CurvePath(id);
+    if (options_.env->FileExists(path)) {
+      auto bytes = options_.env->ReadFileBytes(path);
+      BURSTHIST_RETURN_IF_ERROR(bytes.status());
+      BinaryReader r(bytes.value());
+      BURSTHIST_RETURN_IF_ERROR(entry.curve.Deserialize(&r));
+      ++reloads_;
+    }
+    auto inserted = curves_.emplace(id, std::move(entry));
+    return Result<PbeT*>(&inserted.first->second.curve);
+  }
+
+  /// Appends `count` occurrences of `id` at time t (loading or
+  /// creating its curve as needed).
+  Status Append(EventId id, Timestamp t, Count count = 1) {
+    auto curve = Get(id);
+    BURSTHIST_RETURN_IF_ERROR(curve.status());
+    curve.value()->Append(t, count);
+    curves_.find(id)->second.dirty = true;
+    return Status::OK();
+  }
+
+  /// Spills the least-recently-accessed resident curve to disk and
+  /// drops it from memory. On IO failure the curve STAYS resident and
+  /// the error is returned — eviction sheds bytes, never data. No-op
+  /// (OK) when nothing is resident.
+  Status EvictColdest() {
+    auto coldest = curves_.end();
+    for (auto it = curves_.begin(); it != curves_.end(); ++it) {
+      if (coldest == curves_.end() ||
+          it->second.last_access < coldest->second.last_access) {
+        coldest = it;
+      }
+    }
+    if (coldest == curves_.end()) return Status::OK();
+    if (coldest->second.dirty) {
+      BURSTHIST_RETURN_IF_ERROR(Spill(coldest->first, coldest->second.curve));
+    }
+    curves_.erase(coldest);
+    ++evictions_;
+    return Status::OK();
+  }
+
+  /// Evicts until at most options.max_resident curves stay resident.
+  /// Stops (returning the error) at the first failed spill so repeated
+  /// pressure cannot spin on a dead disk.
+  Status ShedCold() {
+    while (curves_.size() > options_.max_resident) {
+      BURSTHIST_RETURN_IF_ERROR(EvictColdest());
+    }
+    return Status::OK();
+  }
+
+  /// Resident bytes: the curves themselves plus hash-map node
+  /// estimates (same accounting convention as SpaceSaving).
+  size_t MemoryUsage() const {
+    size_t total = sizeof(*this) + options_.dir.capacity() +
+                   curves_.bucket_count() * sizeof(void*);
+    for (const auto& [id, entry] : curves_) {
+      total += entry.curve.MemoryUsage() + sizeof(Resident) +
+               sizeof(EventId) + 2 * sizeof(void*);
+    }
+    return total;
+  }
+
+  size_t resident() const { return curves_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t reloads() const { return reloads_; }
+  const Options& options() const { return options_; }
+
+  /// Spill-file path for one event id.
+  std::string CurvePath(EventId id) const {
+    return options_.dir + "/curve-" + std::to_string(id) + ".pbe";
+  }
+
+ private:
+  struct Resident {
+    PbeT curve;
+    uint64_t last_access = 0;
+    bool dirty = false;
+  };
+
+  // Durable spill: write-temp + fsync + rename, unlinking the temp on
+  // any failure so a dead disk leaves no partial files behind.
+  Status Spill(EventId id, const PbeT& curve) {
+    BinaryWriter w;
+    curve.Serialize(&w);
+    const std::string path = CurvePath(id);
+    const std::string tmp = path + ".tmp";
+    Status s;
+    {
+      auto file = options_.env->NewWritableFile(tmp);
+      BURSTHIST_RETURN_IF_ERROR(file.status());
+      s = file.value()->Append(w.bytes());
+      if (s.ok()) s = file.value()->Sync();
+      if (s.ok()) s = file.value()->Close();
+    }
+    if (s.ok()) s = options_.env->RenameFile(tmp, path);
+    if (!s.ok()) (void)options_.env->DeleteFile(tmp);  // best-effort cleanup
+    return s;
+  }
+
+  Options options_;
+  std::unordered_map<EventId, Resident> curves_;
+  uint64_t clock_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t reloads_ = 0;
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_GOVERNOR_CURVE_CACHE_H_

@@ -1,0 +1,175 @@
+// GovernedBurstEngine — BurstEngine under a memory budget.
+//
+// Wraps a BurstEngine with a ResourceGovernor so ingestion respects a
+// soft/hard byte budget:
+//
+//   GovernedEngineOptions<Pbe2> opt;
+//   opt.engine.universe_size = K;
+//   opt.budget = {/*soft=*/8 << 20, /*hard=*/16 << 20};
+//   GovernedBurstEngine<Pbe2> engine(opt);
+//   Status s = engine.Append(e, t);       // ResourceExhausted when
+//                                         // saturated past shedding
+//   auto est = engine.PointQuery(e, t, tau);
+//   // est.bound is the error bound ACTUALLY in force — Lemma 5 with
+//   // every degradation the governor applied folded in.
+//
+// Audits are amortized: every `audit_every` appends the governor
+// re-measures usage and walks the degradation ladder. Between audits
+// the engine can grow by at most audit_every * per-record growth,
+// which callers keep under one arena block (kArenaBlockBytes) — the
+// budget contract is "never exceed hard_bytes by more than one block".
+
+#ifndef BURSTHIST_GOVERNOR_GOVERNED_ENGINE_H_
+#define BURSTHIST_GOVERNOR_GOVERNED_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "governor/resource_governor.h"
+#include "stream/types.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+/// Configuration for one governed engine.
+template <typename PbeT>
+struct GovernedEngineOptions {
+  /// The wrapped engine's configuration.
+  BurstEngineOptions<PbeT> engine;
+  /// Byte budget ({0, 0} = ungoverned passthrough).
+  ResourceBudget budget;
+  /// Appends between governor audits. Keep audit_every * worst-case
+  /// per-record growth (a few hundred bytes: one reorder slot + one
+  /// buffered curve point per grid level) under kArenaBlockBytes so
+  /// the hard budget cannot be overshot by more than one block.
+  size_t audit_every = 128;
+  /// Gamma multiplier per shed round (PBE-2 cells widen by this; see
+  /// ResourceGovernor::ShedFn).
+  double widen_factor = 2.0;
+};
+
+/// A query answer carrying the error bound in force when it was
+/// computed — degraded accuracy is always *reported*, never silent.
+struct GovernedEstimate {
+  double value = 0.0;                                ///< The estimate.
+  double bound = 0.0;  ///< EffectiveErrorBound::point_bound at query time.
+  DegradationLevel level = DegradationLevel::kNormal;  ///< Ladder position.
+};
+
+/// BurstEngine façade with admission control and graceful degradation.
+/// Single-writer, like the engine it wraps.
+template <typename PbeT>
+class GovernedBurstEngine {
+ public:
+  using Options = GovernedEngineOptions<PbeT>;
+  using EngineT = BurstEngine<PbeT>;
+
+  explicit GovernedBurstEngine(const Options& options)
+      : options_(options),
+        engine_(options.engine),
+        governor_(options.budget, options.widen_factor) {
+    if (options_.audit_every == 0) options_.audit_every = 1;
+    governor_.RegisterComponent(
+        "engine", [this] { return engine_.MemoryUsage(); },
+        [this](double factor) { engine_.Degrade(factor); });
+  }
+
+  /// Ingests one record under the budget. Order of checks: the
+  /// periodic audit runs first (so shedding happens before refusal is
+  /// even considered), then admission against the audited usage, then
+  /// the engine's own validation/backpressure. A saturated engine
+  /// re-audits on every refused append, so admission recovers the
+  /// moment shedding or draining frees enough memory.
+  Status Append(EventId e, Timestamp t, Count count = 1) {
+    if (appends_since_audit_ >= options_.audit_every) {
+      appends_since_audit_ = 0;
+      governor_.Enforce();
+    }
+    Status admit = governor_.Admit();
+    if (!admit.ok()) {
+      governor_.Enforce();  // shed again; maybe load just dropped
+      admit = governor_.Admit();
+      if (!admit.ok()) return admit;
+    }
+    BURSTHIST_RETURN_IF_ERROR(engine_.Append(e, t, count));
+    ++appends_since_audit_;
+    return Status::OK();
+  }
+
+  /// Freezes the engine for querying (idempotent).
+  void Finalize() { engine_.Finalize(); }
+  bool finalized() const { return engine_.finalized(); }
+
+  /// A finalized copy for querying mid-stream (the wrapped engine's
+  /// structures assert on live queries).
+  EngineT QueryableSnapshot() const {
+    EngineT snap = engine_;
+    snap.set_append_observer(nullptr);
+    snap.Finalize();
+    return snap;
+  }
+
+  /// POINT query whose answer carries the effective bound in force.
+  /// Queries a finalized engine directly, a live one via snapshot.
+  GovernedEstimate PointQuery(EventId e, Timestamp t, Timestamp tau) const {
+    if (engine_.finalized()) {
+      return MakeEstimate(engine_.PointQuery(e, t, tau), engine_);
+    }
+    const EngineT snap = QueryableSnapshot();
+    return MakeEstimate(snap.PointQuery(e, t, tau), snap);
+  }
+
+  /// Cumulative query F~_e(t) with the effective bound attached.
+  GovernedEstimate CumulativeQuery(EventId e, Timestamp t) const {
+    if (engine_.finalized()) {
+      return MakeEstimate(engine_.CumulativeQuery(e, t), engine_);
+    }
+    const EngineT snap = QueryableSnapshot();
+    return MakeEstimate(snap.CumulativeQuery(e, t), snap);
+  }
+
+  /// The POINT error bound currently in force (see
+  /// BurstEngine::EffectivePointBound) — degradation widens it.
+  EffectiveErrorBound effective_bound() const {
+    return engine_.EffectivePointBound();
+  }
+
+  /// Registers an external cold-curve cache (see curve_cache.h) as a
+  /// governed component: its bytes count toward the budget and shed
+  /// rounds evict its cold curves. The cache must outlive this engine.
+  template <typename CacheT>
+  void AttachCurveCache(CacheT* cache) {
+    governor_.RegisterComponent(
+        "curve_cache", [cache] { return cache->MemoryUsage(); },
+        [cache](double) { (void)cache->ShedCold(); });
+  }
+
+  const EngineT& engine() const { return engine_; }
+  EngineT* engine_mutable() { return &engine_; }
+  const ResourceGovernor& governor() const { return governor_; }
+  ResourceGovernor* governor_mutable() { return &governor_; }
+  const Options& options() const { return options_; }
+
+ private:
+  GovernedEstimate MakeEstimate(double value, const EngineT& queried) const {
+    GovernedEstimate est;
+    est.value = value;
+    est.bound = queried.EffectivePointBound().point_bound;
+    est.level = governor_.level();
+    return est;
+  }
+
+  Options options_;
+  EngineT engine_;
+  ResourceGovernor governor_;
+  size_t appends_since_audit_ = 0;
+};
+
+/// The paper's two configurations, governed.
+using GovernedBurstEngine1 = GovernedBurstEngine<Pbe1>;
+using GovernedBurstEngine2 = GovernedBurstEngine<Pbe2>;
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_GOVERNOR_GOVERNED_ENGINE_H_

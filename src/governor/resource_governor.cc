@@ -1,0 +1,94 @@
+#include "governor/resource_governor.h"
+
+#include <cassert>
+
+namespace bursthist {
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNormal:
+      return "Normal";
+    case DegradationLevel::kShedding:
+      return "Shedding";
+    case DegradationLevel::kSaturated:
+      return "Saturated";
+  }
+  return "Unknown";
+}
+
+ResourceGovernor::ResourceGovernor(const ResourceBudget& budget,
+                                   double widen_factor)
+    : budget_(budget), widen_factor_(widen_factor) {
+  assert(widen_factor_ >= 1.0);
+  assert(budget_.hard_bytes == 0 || budget_.soft_bytes == 0 ||
+         budget_.soft_bytes <= budget_.hard_bytes);
+}
+
+void ResourceGovernor::RegisterComponent(std::string name, UsageFn usage,
+                                         ShedFn shed) {
+  components_.push_back(
+      Component{std::move(name), std::move(usage), std::move(shed)});
+}
+
+size_t ResourceGovernor::TotalUsage() const {
+  size_t total = 0;
+  for (const Component& c : components_) total += c.usage();
+  return total;
+}
+
+void ResourceGovernor::ShedRound() {
+  for (const Component& c : components_) c.shed(widen_factor_);
+  ++shed_rounds_;
+}
+
+DegradationLevel ResourceGovernor::Enforce() {
+  ++audits_;
+  last_audit_bytes_ = TotalUsage();
+  const bool over_soft =
+      budget_.soft_bytes > 0 && last_audit_bytes_ > budget_.soft_bytes;
+  const bool over_hard =
+      budget_.hard_bytes > 0 && last_audit_bytes_ > budget_.hard_bytes;
+  if (!over_soft && !over_hard) {
+    level_ = DegradationLevel::kNormal;
+    return level_;
+  }
+  if (!over_hard) {
+    // Soft pressure: one shed round, then let ingestion continue; the
+    // next audit re-evaluates.
+    ShedRound();
+    last_audit_bytes_ = TotalUsage();
+    level_ = DegradationLevel::kShedding;
+    return level_;
+  }
+  // Hard pressure: shed repeatedly (bounded) until under the hard
+  // budget. If the rounds are spent and usage still exceeds it,
+  // Admit() starts refusing records.
+  for (int round = 0; round < kMaxShedRounds; ++round) {
+    ShedRound();
+    last_audit_bytes_ = TotalUsage();
+    if (last_audit_bytes_ <= budget_.hard_bytes) break;
+  }
+  level_ = last_audit_bytes_ > budget_.hard_bytes
+               ? DegradationLevel::kSaturated
+               : DegradationLevel::kShedding;
+  return level_;
+}
+
+Status ResourceGovernor::Admit(size_t extra_bytes) const {
+  if (budget_.hard_bytes > 0 &&
+      last_audit_bytes_ + extra_bytes > budget_.hard_bytes) {
+    return Status::ResourceExhausted("memory hard budget exceeded");
+  }
+  return Status::OK();
+}
+
+std::vector<ComponentUsage> ResourceGovernor::AuditComponents() const {
+  std::vector<ComponentUsage> out;
+  out.reserve(components_.size());
+  for (const Component& c : components_) {
+    out.push_back(ComponentUsage{c.name, c.usage()});
+  }
+  return out;
+}
+
+}  // namespace bursthist

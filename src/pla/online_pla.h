@@ -76,6 +76,26 @@ class OnlinePlaBuilder {
     if (gamma > max_gamma_) max_gamma_ = gamma;
   }
 
+  /// Widens the error band for subsequent constraint points to
+  /// max(gamma(), gamma) — the deliberate (governor-driven) form of
+  /// the target_bytes escalation. Safe mid-window: the feasible
+  /// polygon is the intersection of per-point bands, so points already
+  /// clipped keep their narrower band and every constrained point
+  /// still satisfies F(t) - max_gamma() <= F~(t) <= F(t).
+  void WidenBand(double gamma) {
+    if (gamma > gamma_) gamma_ = gamma;
+    if (gamma_ > max_gamma_) max_gamma_ = gamma_;
+  }
+
+  /// Resident bytes including vector capacity and the live feasible
+  /// polygon (SizeBytes()-style accounting covers only emitted
+  /// segments).
+  size_t MemoryUsage() const {
+    return sizeof(*this) +
+           model_.segments().capacity() * sizeof(PlaSegment) +
+           polygon_.vertices().capacity() * sizeof(Point2);
+  }
+
   /// Number of segments emitted so far.
   size_t segment_count() const { return model_.size(); }
 

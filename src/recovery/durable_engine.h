@@ -40,6 +40,7 @@
 #define BURSTHIST_RECOVERY_DURABLE_ENGINE_H_
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -64,6 +65,12 @@ struct DurabilityOptions {
   bool sync_every_append = false;
   /// Snapshot generations retained after a checkpoint (>= 1).
   size_t snapshots_to_keep = 2;
+  /// Retries for transient WAL append failures (see
+  /// WalWriter::Options::append_retries). fsync failures are never
+  /// retried: they poison the WAL and the engine goes read-only.
+  uint32_t wal_append_retries = 0;
+  /// Backoff hook invoked before each append retry.
+  std::function<void(uint32_t attempt)> wal_retry_backoff;
 };
 
 namespace recovery_internal {
@@ -210,6 +217,8 @@ class DurableBurstEngine {
     WalWriter::Options wal_options;
     wal_options.segment_bytes = durability.wal_segment_bytes;
     wal_options.sync_every_record = durability.sync_every_append;
+    wal_options.append_retries = durability.wal_append_retries;
+    wal_options.retry_backoff = durability.wal_retry_backoff;
     // Never append to a possibly-torn tail: start the next segment.
     auto seqs = ListWalSegments(env, dir);
     if (!seqs.ok()) return seqs.status();
@@ -237,13 +246,25 @@ class DurableBurstEngine {
     return engine_.AppendStream(stream);
   }
 
-  /// fsyncs the WAL up to the last accepted Append.
+  /// fsyncs the WAL up to the last accepted Append. A failed fsync
+  /// permanently poisons the WAL (see WalWriter::Sync); the engine is
+  /// read-only from then on — queries keep working, appends and
+  /// checkpoints return Unavailable.
   Status Sync() { return wal_->Sync(); }
+
+  /// True once an fsync failure put the engine in read-only degraded
+  /// mode. Recover by restarting: Open() replays what reached disk.
+  bool read_only() const { return wal_->poisoned(); }
 
   /// Atomically persists the current engine state and trims the WAL
   /// and old snapshots. On failure the previous generation remains
   /// authoritative and the engine stays usable.
   Status Checkpoint() {
+    if (read_only()) {
+      // A checkpoint claims "WAL covered through this position" —
+      // unknowable once an fsync failed.
+      return Status::Unavailable("engine is read-only after fsync failure");
+    }
     BURSTHIST_RETURN_IF_ERROR(wal_->Rotate());
     const WalPosition covered = wal_->position();
     BinaryWriter w;

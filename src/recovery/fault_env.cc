@@ -26,7 +26,12 @@ class FaultInjectionFile : public WritableFile {
   }
   using WritableFile::Append;
 
-  Status Sync() override { return base_->Sync(); }
+  Status Sync() override {
+    if (env_->ShouldFailSync()) {
+      return Status::IOError("injected fault: fsync failed");
+    }
+    return base_->Sync();
+  }
   Status Close() override { return base_->Close(); }
 
  private:
@@ -38,11 +43,29 @@ class FaultInjectionFile : public WritableFile {
 
 bool FaultInjectionEnv::ShouldFail(size_t /*n*/, size_t* persist_prefix) {
   ++writes_issued_;
+  if (write_observer_) write_observer_();
+  if (transient_fail_remaining_ > 0) {
+    // Transient outage: the write is lost whole, then the device
+    // heals once the armed count is spent.
+    --transient_fail_remaining_;
+    *persist_prefix = 0;
+    return true;
+  }
   if (fail_at_write_ == 0 || fault_fired_ || writes_issued_ != fail_at_write_) {
     return false;
   }
   fault_fired_ = true;
   *persist_prefix = static_cast<size_t>(persist_prefix_);
+  return true;
+}
+
+bool FaultInjectionEnv::ShouldFailSync() {
+  ++syncs_issued_;
+  if (sync_fail_at_ == 0 || sync_fault_fired_ ||
+      syncs_issued_ != sync_fail_at_) {
+    return false;
+  }
+  sync_fault_fired_ = true;
   return true;
 }
 

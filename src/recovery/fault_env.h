@@ -19,8 +19,10 @@
 #define BURSTHIST_RECOVERY_FAULT_ENV_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/env.h"
@@ -46,8 +48,42 @@ class FaultInjectionEnv : public Env {
     fault_fired_ = false;
   }
 
-  /// Disarms any pending fault.
-  void Disarm() { fail_at_write_ = 0; }
+  /// Arms a TRANSIENT outage: the next `count` writes all fail with
+  /// kIOError (nothing lands), after which the device "heals" and
+  /// writes succeed again — the ENOSPC-that-clears scenario WAL append
+  /// retry exists for. Independent of FailNthWrite().
+  void FailWritesForNext(uint64_t count) { transient_fail_remaining_ = count; }
+
+  /// Arms a one-shot fsync fault: the `n`th WritableFile::Sync issued
+  /// through this env (1-based, across all files) returns kIOError.
+  /// The data pages' fate is deliberately unspecified — exactly why a
+  /// failed fsync must never be retried.
+  void FailNthSync(uint64_t n) {
+    sync_fail_at_ = n;
+    syncs_issued_ = 0;
+    sync_fault_fired_ = false;
+  }
+
+  /// Called on every write issued through this env, before the fault
+  /// check — a seam for injecting latency (slow-disk simulation) or
+  /// recording IO traces.
+  void set_write_observer(std::function<void()> observer) {
+    write_observer_ = std::move(observer);
+  }
+
+  /// Simulated external memory pressure in bytes. Not consulted by
+  /// the Env itself: tests register it as a ResourceGovernor component
+  /// (usage = memory_pressure(), no-op shed) to push a governed engine
+  /// over its budget deterministically.
+  void SetMemoryPressure(size_t bytes) { memory_pressure_ = bytes; }
+  size_t memory_pressure() const { return memory_pressure_; }
+
+  /// Disarms any pending fault (one-shot, transient, and sync).
+  void Disarm() {
+    fail_at_write_ = 0;
+    transient_fail_remaining_ = 0;
+    sync_fail_at_ = 0;
+  }
 
   /// Writes issued through this env since the last FailNthWrite().
   uint64_t writes_issued() const { return writes_issued_; }
@@ -90,12 +126,22 @@ class FaultInjectionEnv : public Env {
   /// to how many leading bytes still land (torn write).
   bool ShouldFail(size_t n, size_t* persist_prefix);
 
+  /// Internal: called by the wrapper's WritableFiles for every Sync.
+  /// Returns true when this fsync must fail.
+  bool ShouldFailSync();
+
  private:
   Env* base_;
   uint64_t fail_at_write_ = 0;   // 0 = disarmed
   uint64_t persist_prefix_ = 0;
   uint64_t writes_issued_ = 0;
   bool fault_fired_ = false;
+  uint64_t transient_fail_remaining_ = 0;
+  uint64_t sync_fail_at_ = 0;    // 0 = disarmed
+  uint64_t syncs_issued_ = 0;
+  bool sync_fault_fired_ = false;
+  size_t memory_pressure_ = 0;
+  std::function<void()> write_observer_;
 };
 
 /// Truncates `path` to its first `keep_bytes` bytes (media lost its

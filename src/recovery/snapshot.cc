@@ -59,11 +59,18 @@ Status WriteSnapshotFile(Env* env, const std::string& dir,
   const std::string tmp = SnapshotPath(dir, generation) + ".tmp";
   auto file = env->NewWritableFile(tmp);
   if (!file.ok()) return file.status();
-  BURSTHIST_RETURN_IF_ERROR(file.value()->Append(w.bytes()));
-  BURSTHIST_RETURN_IF_ERROR(file.value()->Sync());
-  BURSTHIST_RETURN_IF_ERROR(file.value()->Close());
-  BURSTHIST_RETURN_IF_ERROR(
-      env->RenameFile(tmp, SnapshotPath(dir, generation)));
+  Status s = file.value()->Append(w.bytes());
+  if (s.ok()) s = file.value()->Sync();
+  if (s.ok()) s = file.value()->Close();
+  if (s.ok()) s = env->RenameFile(tmp, SnapshotPath(dir, generation));
+  if (!s.ok()) {
+    // A failed write (typically ENOSPC) must not strand the
+    // half-written temp file: it squats on the very disk space the
+    // system just ran out of, and nothing would ever reclaim it —
+    // PruneObsoleteFiles only knows completed generations.
+    (void)env->DeleteFile(tmp);
+    return s;
+  }
   return env->SyncDir(dir);
 }
 

@@ -77,6 +77,9 @@ Status WalWriter::OpenSegment(uint64_t seq) {
 
 Status WalWriter::AddRecord(WalRecordType type,
                             const std::vector<uint8_t>& payload) {
+  if (poisoned_) {
+    return Status::Unavailable("WAL is read-only after an fsync failure");
+  }
   const uint64_t frame_size = kFrameHeader + payload.size();
   if (position_.offset > kWalHeaderSize &&
       position_.offset + frame_size > options_.segment_bytes) {
@@ -90,19 +93,52 @@ Status WalWriter::AddRecord(WalRecordType type,
   for (uint8_t b : payload) frame.Put<uint8_t>(b);
   frame.Patch<uint32_t>(
       4, FrameCrc(frame.data() + body_begin, frame.size() - body_begin));
-  BURSTHIST_RETURN_IF_ERROR(file_->Append(frame.bytes()));
+  Status append = file_->Append(frame.bytes());
+  for (uint32_t attempt = 1; !append.ok() && attempt <= options_.append_retries;
+       ++attempt) {
+    if (options_.retry_backoff) options_.retry_backoff(attempt);
+    // A failed append may have torn the segment tail; the retry must
+    // land on a clean segment. If the cleanup itself fails, surface
+    // the ORIGINAL append error — it names the real problem.
+    if (!ReopenCleanSegment().ok()) return append;
+    append = file_->Append(frame.bytes());
+  }
+  BURSTHIST_RETURN_IF_ERROR(append);
   position_.offset += frame_size;
   if (options_.sync_every_record) {
-    BURSTHIST_RETURN_IF_ERROR(file_->Sync());
+    BURSTHIST_RETURN_IF_ERROR(Sync());
   }
   return Status::OK();
 }
 
-Status WalWriter::Sync() { return file_->Sync(); }
+Status WalWriter::Sync() {
+  if (poisoned_) {
+    return Status::Unavailable("WAL is read-only after an fsync failure");
+  }
+  const Status s = file_->Sync();
+  if (!s.ok()) {
+    // Never retry a failed fsync: the kernel may already have dropped
+    // the dirty pages, so a later fsync returning OK proves nothing
+    // about these bytes. Poison the writer; the owner degrades to
+    // read-only and recovery replays whatever actually reached disk.
+    poisoned_ = true;
+    return Status::Unavailable("fsync failed, WAL now read-only: " +
+                               s.message());
+  }
+  return s;
+}
 
 Status WalWriter::Rotate() {
-  BURSTHIST_RETURN_IF_ERROR(file_->Sync());
+  BURSTHIST_RETURN_IF_ERROR(Sync());
   BURSTHIST_RETURN_IF_ERROR(file_->Close());
+  return OpenSegment(position_.seq + 1);
+}
+
+Status WalWriter::ReopenCleanSegment() {
+  if (file_) (void)file_->Close();  // fd may be unusable; best-effort
+  BURSTHIST_RETURN_IF_ERROR(
+      env_->TruncateFile(WalSegmentPath(dir_, position_.seq),
+                         position_.offset));
   return OpenSegment(position_.seq + 1);
 }
 

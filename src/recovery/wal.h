@@ -84,6 +84,21 @@ class WalWriter {
     /// immediately (no user-space buffering) but fsynced only on
     /// Sync()/rotation.
     bool sync_every_record = false;
+    /// Retries for a failed record APPEND (transient IO errors:
+    /// ENOSPC that clears, a flaky device). Each retry abandons the
+    /// possibly-torn segment — close, truncate back to the last
+    /// durable record boundary, open a fresh segment — and re-appends
+    /// there; an in-place retry could interleave the torn prefix with
+    /// the retried bytes. 0 = fail fast (the legacy behavior).
+    ///
+    /// fsync failures are NEVER retried (see Sync()): after a failed
+    /// fsync the kernel may have discarded the dirty pages, so a later
+    /// fsync success proves nothing about the earlier bytes. The
+    /// writer poisons itself read-only instead.
+    uint32_t append_retries = 0;
+    /// Called before each append retry with the 1-based attempt
+    /// number; inject a sleep/backoff here. May be empty.
+    std::function<void(uint32_t attempt)> retry_backoff;
   };
 
   /// Opens a brand-new segment `start_seq` in `dir` (which must
@@ -96,9 +111,13 @@ class WalWriter {
                                                  const Options& options);
 
   /// Appends one record (rotating first if the segment is full).
+  /// Transient append failures retry per Options::append_retries; a
+  /// poisoned writer (failed fsync) returns Unavailable.
   Status AddRecord(WalRecordType type, const std::vector<uint8_t>& payload);
 
-  /// fsyncs the current segment.
+  /// fsyncs the current segment. A failure permanently poisons the
+  /// writer (read-only degraded mode): the bytes' durability is
+  /// unknowable, so pretending a later fsync fixed it would be a lie.
   Status Sync();
 
   /// Closes the current segment (fsync) and opens segment seq+1. The
@@ -109,17 +128,28 @@ class WalWriter {
   /// End position of the last durable record.
   const WalPosition& position() const { return position_; }
 
+  /// True once an fsync failed; every subsequent AddRecord/Sync/Rotate
+  /// returns Unavailable. The owner fails over to read-only mode.
+  bool poisoned() const { return poisoned_; }
+
  private:
   WalWriter(Env* env, std::string dir, Options options)
       : env_(env), dir_(std::move(dir)), options_(options) {}
 
   Status OpenSegment(uint64_t seq);
 
+  // Abandons the current (possibly torn) segment: close it, truncate
+  // the file back to position_.offset — the end of the last durable
+  // record, leaving a clean non-final segment for replay — and open a
+  // fresh segment at seq + 1.
+  Status ReopenCleanSegment();
+
   Env* env_;
   std::string dir_;
   Options options_;
   std::unique_ptr<WritableFile> file_;
   WalPosition position_;
+  bool poisoned_ = false;
 };
 
 /// Outcome of a successful replay.

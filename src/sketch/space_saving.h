@@ -64,6 +64,18 @@ class SpaceSaving {
     return entries_.size() * (sizeof(Entry) + sizeof(uint64_t) * 2);
   }
 
+  /// Resident bytes including the entry vector's reserved capacity and
+  /// an estimate of the hash index's buckets + nodes (unordered_map
+  /// internals are not directly measurable; this counts one pointer
+  /// per bucket and key/value + two pointers per node, which tracks
+  /// libstdc++ within a few percent).
+  size_t MemoryUsage() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(Entry) +
+           index_.bucket_count() * sizeof(void*) +
+           index_.size() * (sizeof(uint64_t) + sizeof(size_t) +
+                            2 * sizeof(void*));
+  }
+
   void Serialize(BinaryWriter* w) const;
   Status Deserialize(BinaryReader* r);
 

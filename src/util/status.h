@@ -24,6 +24,14 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  /// A bounded resource (memory budget, buffer capacity) is full; the
+  /// operation was refused to protect the process, not because the
+  /// input was bad. Retrying after load shedding may succeed.
+  kResourceExhausted,
+  /// The component has entered a degraded mode (e.g. read-only after
+  /// an fsync failure) and cannot serve this operation until it is
+  /// reopened/recovered.
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -60,6 +68,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

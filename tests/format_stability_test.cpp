@@ -226,6 +226,157 @@ TEST(FormatStabilityTest, ReadsLegacyEngineV2) {
   }
 }
 
+// BurstEngine<Pbe1> v3 (CRC-framed, no backpressure section): universe
+// 2, grid depth 1 x width 2, cell buffer 4 / budget 2, appends
+// (i % 2, i + 1) for i in [0, 6), finalized. Byte-frozen from the last
+// v3 writer.
+constexpr const char* kLegacyEngineV3 =
+    "474e454203000000cb0100000000000006000000000000000600000000000000010"
+    "100000000000000000000000000000000444159440200000075010000000000000"
+    "200000002000000000000000042504d4302000000c7000000000000000100000000"
+    "0000000200000000000000f6d037a9000000000001060000000000000001314542"
+    "50020000003e0000000000000004000000000000000200000000000000000000000"
+    "000f0bf0300000000000000000000000000004000000000000000400102020104020"
+    "000000000000000c7e0bb8a31454250020000003e00000000000000040000000000"
+    "00000200000000000000000000000000f0bf0300000000000000000000000000004"
+    "00000000000000040010204010402000000000000000067189f2d2c9f584e42504d"
+    "4302000000790000000000000001000000000000000100000000000000af4a6f47"
+    "010000000001060000000000000001314542500200000042000000000000000400"
+    "0000000000000200000000000000000000000000f0bf0600000000000000000000"
+    "00000008400000000000000840010402010303010101010000000000000000661"
+    "446b4ad7513f99c4136e25653505301000000010000000000000000000000000000"
+    "000000000000000000faad9dc2";
+
+// Same configuration plus max_lateness 4, same six appends but NOT
+// finalized — the re-order buffer still holds the records. Byte-frozen
+// from the last v3 writer (live engines serialize their buffer since
+// v2).
+constexpr const char* kLegacyEngineV3Live =
+    "474e4542030000004b02000000000000020000000000000002000000000000000100"
+    "06000000000000000400000000000000030000000000000000000000010000000000"
+    "00000400000000000000010000000100000000000000050000000000000000000000"
+    "01000000000000000600000000000000010000000100000000000000444159440200"
+    "0000a5010000000000000200000002000000000000000042504d4302000000df0000"
+    "000000000001000000000000000200000000000000f6d037a9000000000001020000"
+    "00000000000031454250020000004a00000000000000040000000000000002000000"
+    "00000000000000000000f0bf01000000000000000000000000000000000000000000"
+    "00000000010000000000000001000000000000000100000000000000682ae7703145"
+    "4250020000004a000000000000000400000000000000020000000000000000000000"
+    "0000f0bf010000000000000000000000000000000000000000000000000001000000"
+    "00000000020000000000000001000000000000009b4a1f63f89b501142504d430200"
+    "0000910000000000000001000000000000000100000000000000af4a6f4701000000"
+    "000102000000000000000031454250020000005a0000000000000004000000000000"
+    "000200000000000000000000000000f0bf0200000000000000000000000000000000"
+    "00000000000000000002000000000000000100000000000000010000000000000002"
+    "000000000000000200000000000000c91269e35a7bd5f0b81b479356535053010000"
+    "000100000000000000000000000000000000000000000000007f835d8e";
+
+BurstEngineOptions<Pbe1> LegacyEngineOptions() {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 2;
+  o.grid.depth = 1;
+  o.grid.width = 2;
+  o.cell.buffer_points = 4;
+  o.cell.budget_points = 2;
+  return o;
+}
+
+TEST(FormatStabilityTest, ReadsLegacyEngineV3) {
+  BurstEngineOptions<Pbe1> o = LegacyEngineOptions();
+  BurstEngine1 reference(o);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(reference.Append(static_cast<EventId>(i % 2), i + 1).ok());
+  }
+  reference.Finalize();
+
+  BurstEngine1 legacy(o);
+  auto bytes = FromHex(kLegacyEngineV3);
+  BinaryReader r(bytes);
+  ASSERT_TRUE(legacy.Deserialize(&r).ok());
+  EXPECT_EQ(legacy.TotalCount(), 6u);
+  EXPECT_TRUE(legacy.finalized());
+  // v3 carries no backpressure section: counters restore to zero and
+  // the constructed options stay in force.
+  EXPECT_EQ(legacy.DroppedCount(), 0u);
+  EXPECT_EQ(legacy.ForcedDrains(), 0u);
+  EXPECT_EQ(legacy.options().max_reorder_events, 0u);
+  for (EventId e = 0; e < 2; ++e) {
+    for (Timestamp t = 0; t <= 8; ++t) {
+      EXPECT_DOUBLE_EQ(legacy.PointQuery(e, t, 2),
+                       reference.PointQuery(e, t, 2));
+      EXPECT_DOUBLE_EQ(legacy.CumulativeQuery(e, t),
+                       reference.CumulativeQuery(e, t));
+    }
+  }
+}
+
+TEST(FormatStabilityTest, ReadsLegacyEngineV3Live) {
+  BurstEngineOptions<Pbe1> o = LegacyEngineOptions();
+  o.max_lateness = 4;
+
+  BurstEngine1 legacy(o);
+  auto bytes = FromHex(kLegacyEngineV3Live);
+  BinaryReader r(bytes);
+  ASSERT_TRUE(legacy.Deserialize(&r).ok());
+  EXPECT_FALSE(legacy.finalized());
+  // Appending t=6 advanced the watermark to 2 and ingested t=1,2; the
+  // other four records were still buffered when the blob was frozen.
+  EXPECT_EQ(legacy.TotalCount(), 2u);
+  EXPECT_EQ(legacy.BufferedCount(), 4u);
+  // The restored engine stays appendable and drains correctly.
+  ASSERT_TRUE(legacy.Append(0, 7).ok());
+  legacy.Finalize();
+  EXPECT_EQ(legacy.TotalCount(), 7u);
+
+  BurstEngine1 reference(o);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(reference.Append(static_cast<EventId>(i % 2), i + 1).ok());
+  }
+  ASSERT_TRUE(reference.Append(0, 7).ok());
+  reference.Finalize();
+  for (EventId e = 0; e < 2; ++e) {
+    for (Timestamp t = 0; t <= 9; ++t) {
+      EXPECT_DOUBLE_EQ(legacy.PointQuery(e, t, 2),
+                       reference.PointQuery(e, t, 2));
+    }
+  }
+}
+
+TEST(FormatStabilityTest, EngineHeaderGoldenV4) {
+  BurstEngine1 engine(LegacyEngineOptions());
+  ASSERT_TRUE(engine.Append(0, 1).ok());
+  engine.Finalize();
+  BinaryWriter w;
+  engine.Serialize(&w);
+  // Magic "GNEB" little-endian ("BENG") + version 4.
+  EXPECT_EQ(Hex(w.bytes()).substr(0, 16), "474e454204000000");
+}
+
+TEST(FormatStabilityTest, EngineV4RoundTripsBackpressureState) {
+  BurstEngineOptions<Pbe1> o = LegacyEngineOptions();
+  o.max_lateness = 4;
+  o.max_reorder_events = 2;
+  o.overflow_policy = ReorderOverflowPolicy::kDropOldest;
+  BurstEngine1 original(o);
+  ASSERT_TRUE(original.Append(0, 100).ok());
+  ASSERT_TRUE(original.Append(1, 99).ok());
+  ASSERT_TRUE(original.Append(0, 98).ok());  // over cap: sheds one
+  ASSERT_EQ(original.DroppedCount(), 1u);
+  BinaryWriter w;
+  original.Serialize(&w);
+
+  BurstEngine1 reread(LegacyEngineOptions());
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(reread.Deserialize(&r).ok());
+  EXPECT_EQ(reread.options().max_reorder_events, 2u);
+  EXPECT_EQ(reread.options().overflow_policy,
+            ReorderOverflowPolicy::kDropOldest);
+  EXPECT_EQ(reread.DroppedCount(), 1u);
+  BinaryWriter w2;
+  reread.Serialize(&w2);
+  EXPECT_EQ(Hex(w.bytes()), Hex(w2.bytes()));
+}
+
 TEST(FormatStabilityTest, RoundTripPinnedPbe1Payload) {
   // A full payload frozen from the current writer; deserializing it
   // must keep working verbatim in future versions.

@@ -1,0 +1,509 @@
+// Resource governor unit tests: status codes, the degradation ladder,
+// per-structure memory accounting and degradation hooks, engine
+// backpressure policies (with BENG v4 round-trips), admission control
+// on the governed engine, and cold-curve spill/reload through the Env
+// seam.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/pbe1.h"
+#include "core/pbe2.h"
+#include "governor/curve_cache.h"
+#include "governor/governed_engine.h"
+#include "governor/resource_governor.h"
+#include "recovery/fault_env.h"
+#include "test_util.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace {
+
+using test::kAccumTol;
+
+TEST(StatusCodesTest, ResourceExhaustedAndUnavailable) {
+  const Status exhausted = Status::ResourceExhausted("buffer full");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: buffer full");
+  const Status unavailable = Status::Unavailable("read-only");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: read-only");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+// ---------------------------------------------------------------------------
+// ResourceGovernor ladder
+// ---------------------------------------------------------------------------
+
+TEST(ResourceGovernorTest, LadderWalk) {
+  size_t usage = 100;
+  int sheds = 0;
+  ResourceGovernor gov(ResourceBudget{/*soft=*/150, /*hard=*/300});
+  gov.RegisterComponent(
+      "fake", [&] { return usage; }, [&](double) { ++sheds; });
+
+  EXPECT_EQ(gov.Enforce(), DegradationLevel::kNormal);
+  EXPECT_EQ(sheds, 0);
+  EXPECT_EQ(gov.last_audit_bytes(), 100u);
+  EXPECT_TRUE(gov.Admit().ok());
+
+  // Soft crossed: exactly one shed round, still admitting.
+  usage = 200;
+  EXPECT_EQ(gov.Enforce(), DegradationLevel::kShedding);
+  EXPECT_EQ(sheds, 1);
+  EXPECT_TRUE(gov.Admit().ok());
+
+  // Hard crossed but shedding recovers: rounds run until under hard.
+  usage = 400;
+  gov = ResourceGovernor(ResourceBudget{150, 300});
+  gov.RegisterComponent(
+      "fake", [&] { return usage; },
+      [&](double) {
+        ++sheds;
+        usage = usage > 100 ? usage - 100 : usage;
+      });
+  sheds = 0;
+  EXPECT_EQ(gov.Enforce(), DegradationLevel::kShedding);
+  EXPECT_EQ(sheds, 1);
+  EXPECT_EQ(gov.last_audit_bytes(), 300u);
+  EXPECT_TRUE(gov.Admit().ok());
+}
+
+TEST(ResourceGovernorTest, SaturationRefusesAdmissionAndRecovers) {
+  size_t usage = 1000;
+  ResourceGovernor gov(ResourceBudget{150, 300});
+  gov.RegisterComponent(
+      "stuck", [&] { return usage; }, [&](double) { usage -= 50; });
+
+  // 4 bounded rounds shed 200; 800 still exceeds hard -> saturated.
+  EXPECT_EQ(gov.Enforce(), DegradationLevel::kSaturated);
+  EXPECT_EQ(gov.shed_rounds(), 4u);
+  const Status admit = gov.Admit();
+  EXPECT_EQ(admit.code(), StatusCode::kResourceExhausted);
+
+  // Load drops: the next audit re-admits.
+  usage = 120;
+  EXPECT_EQ(gov.Enforce(), DegradationLevel::kNormal);
+  EXPECT_TRUE(gov.Admit().ok());
+
+  const auto components = gov.AuditComponents();
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].name, "stuck");
+  EXPECT_EQ(components[0].bytes, 120u);
+}
+
+TEST(ResourceGovernorTest, ZeroBudgetsNeverTrip) {
+  size_t usage = 1u << 30;
+  ResourceGovernor gov(ResourceBudget{0, 0});
+  gov.RegisterComponent(
+      "huge", [&] { return usage; }, [](double) { FAIL() << "shed called"; });
+  EXPECT_EQ(gov.Enforce(), DegradationLevel::kNormal);
+  EXPECT_TRUE(gov.Admit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Per-structure hooks
+// ---------------------------------------------------------------------------
+
+TEST(Pbe1GovernorHooksTest, CompactEarlyKeepsBoundAndMergeInvariant) {
+  Pbe1Options opt;
+  opt.buffer_points = 64;
+  opt.budget_points = 8;
+  Pbe1 pbe(opt);
+  std::vector<std::pair<Timestamp, Count>> appended;
+  Timestamp t = 0;
+  for (int i = 0; i < 30; ++i) {
+    t += 1 + (i % 3);
+    pbe.Append(t, 1 + (i % 2));
+    appended.push_back({t, static_cast<Count>(1 + (i % 2))});
+  }
+  const size_t before = pbe.MemoryUsage();
+  EXPECT_GT(before, 0u);
+  pbe.CompactEarly();
+  // The last buffered point is retained, so a same-timestamp arrival
+  // still merges instead of tripping the monotonicity assert.
+  pbe.Append(t, 3);
+  appended.back().second += 3;
+  for (int i = 0; i < 10; ++i) {
+    t += 2;
+    pbe.Append(t, 1);
+    appended.push_back({t, 1});
+  }
+  pbe.CompactEarly();
+  pbe.Finalize();
+
+  // Exact staircase for comparison.
+  auto exact_cum = [&](Timestamp x) {
+    double f = 0.0;
+    for (const auto& [pt, c] : appended) {
+      if (pt <= x) f += static_cast<double>(c);
+    }
+    return f;
+  };
+  const double bound = 4.0 * pbe.MaxBufferAreaError();
+  for (Timestamp q = 0; q <= t + 4; ++q) {
+    for (Timestamp tau : {Timestamp{1}, Timestamp{3}, Timestamp{7}}) {
+      const double exact =
+          exact_cum(q) - 2.0 * exact_cum(q - tau) + exact_cum(q - 2 * tau);
+      const double est = pbe.EstimateBurstiness(q, tau);
+      EXPECT_LE(std::abs(est - exact), bound + kAccumTol)
+          << "t=" << q << " tau=" << tau;
+    }
+    // The compacted model must never overestimate F.
+    EXPECT_LE(pbe.EstimateCumulative(q), exact_cum(q) + kAccumTol);
+  }
+}
+
+TEST(Pbe2GovernorHooksTest, WidenGammaReportedHonoredAndSerialized) {
+  Pbe2Options opt;
+  opt.gamma = 1.0;
+  Pbe2 pbe(opt);
+  std::vector<std::pair<Timestamp, Count>> appended;
+  Timestamp t = 0;
+  for (int i = 0; i < 20; ++i) {
+    t += 1 + (i % 2);
+    pbe.Append(t, 1);
+    appended.push_back({t, 1});
+  }
+  pbe.WidenGamma(4.0);  // mid-stream degradation
+  for (int i = 0; i < 20; ++i) {
+    t += 2;
+    pbe.Append(t, 2);
+    appended.push_back({t, 2});
+  }
+  pbe.Finalize();
+  EXPECT_GE(pbe.MaxGamma(), 4.0);
+  EXPECT_DOUBLE_EQ(pbe.PointErrorBound(), pbe.MaxGamma());
+
+  auto exact_cum = [&](Timestamp x) {
+    double f = 0.0;
+    for (const auto& [pt, c] : appended) {
+      if (pt <= x) f += static_cast<double>(c);
+    }
+    return f;
+  };
+  const double bound = 4.0 * pbe.MaxGamma();
+  for (Timestamp q = 0; q <= t + 4; ++q) {
+    const double exact =
+        exact_cum(q) - 2.0 * exact_cum(q - 3) + exact_cum(q - 6);
+    EXPECT_LE(std::abs(pbe.EstimateBurstiness(q, 3) - exact), bound + kAccumTol)
+        << "t=" << q;
+    EXPECT_LE(pbe.EstimateCumulative(q), exact_cum(q) + kAccumTol);
+  }
+
+  // The widened band must survive a round-trip (the restored estimator
+  // keeps reporting the true, degraded guarantee).
+  BinaryWriter w;
+  pbe.Serialize(&w);
+  Pbe2 restored(opt);
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
+  EXPECT_DOUBLE_EQ(restored.MaxGamma(), pbe.MaxGamma());
+}
+
+TEST(MemoryUsageTest, CoversObjectAndGrowsWithState) {
+  BurstEngineOptions<Pbe1> opt;
+  opt.universe_size = 8;
+  opt.grid.depth = 2;
+  opt.grid.width = 8;
+  opt.cell.buffer_points = 16;
+  opt.cell.budget_points = 4;
+  opt.heavy_hitter_capacity = 4;
+  BurstEngine1 engine(opt);
+  const size_t empty = engine.MemoryUsage();
+  EXPECT_GT(empty, sizeof(BurstEngine1));
+  for (Timestamp t = 0; t < 200; ++t) {
+    ASSERT_TRUE(engine.Append(static_cast<EventId>(t % 8), t).ok());
+  }
+  EXPECT_GT(engine.MemoryUsage(), empty);
+}
+
+// ---------------------------------------------------------------------------
+// Engine backpressure policies
+// ---------------------------------------------------------------------------
+
+BurstEngineOptions<Pbe1> BackpressureOptions(ReorderOverflowPolicy policy,
+                                             size_t cap) {
+  BurstEngineOptions<Pbe1> opt;
+  opt.universe_size = 8;
+  opt.grid.depth = 1;
+  opt.grid.width = 8;
+  opt.grid.identity_hash = true;
+  opt.cell.buffer_points = 16;
+  opt.cell.budget_points = 4;
+  opt.max_lateness = 4;
+  opt.max_reorder_events = cap;
+  opt.overflow_policy = policy;
+  return opt;
+}
+
+TEST(BackpressureTest, RejectPolicyRefusesAndRecoversOnFreshTraffic) {
+  BurstEngine1 engine(BackpressureOptions(ReorderOverflowPolicy::kReject, 4));
+  ASSERT_TRUE(engine.Append(0, 100).ok());
+  ASSERT_TRUE(engine.Append(1, 99).ok());
+  ASSERT_TRUE(engine.Append(2, 98).ok());
+  ASSERT_TRUE(engine.Append(3, 97).ok());
+  // Buffer at cap, watermark stalled at 100: a late record is refused
+  // without side effects.
+  const Status refused = engine.Append(4, 99);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(engine.BufferedCount(), 4u);
+  EXPECT_EQ(engine.TotalCount(), 0u);
+  // A watermark-advancing record drains the ripe backlog and lands.
+  ASSERT_TRUE(engine.Append(5, 105).ok());
+  EXPECT_EQ(engine.TotalCount(), 4u);
+  EXPECT_EQ(engine.BufferedCount(), 1u);
+  EXPECT_EQ(engine.DroppedCount(), 0u);
+  engine.Finalize();
+  EXPECT_EQ(engine.TotalCount(), 5u);
+}
+
+TEST(BackpressureTest, DropOldestShedsMeasuredOccurrences) {
+  BurstEngine1 engine(
+      BackpressureOptions(ReorderOverflowPolicy::kDropOldest, 2));
+  ASSERT_TRUE(engine.Append(0, 100).ok());
+  ASSERT_TRUE(engine.Append(1, 99).ok());
+  // Cap exceeded; the oldest buffered record (t=98, the new arrival
+  // itself) is shed and counted.
+  ASSERT_TRUE(engine.Append(2, 98).ok());
+  EXPECT_EQ(engine.DroppedCount(), 1u);
+  EXPECT_EQ(engine.BufferedCount(), 2u);
+  EXPECT_EQ(engine.TotalCount(), 0u);
+  engine.Finalize();
+  // Accounting stays honest: ingested + dropped == accepted.
+  EXPECT_EQ(engine.TotalCount() + engine.DroppedCount(), 3u);
+}
+
+TEST(BackpressureTest, ForceDrainBoundsMemoryWithoutDataLoss) {
+  BurstEngine1 engine(
+      BackpressureOptions(ReorderOverflowPolicy::kForceDrain, 2));
+  ASSERT_TRUE(engine.Append(0, 100).ok());
+  ASSERT_TRUE(engine.Append(1, 99).ok());
+  ASSERT_TRUE(engine.Append(2, 98).ok());
+  EXPECT_EQ(engine.ForcedDrains(), 1u);
+  EXPECT_EQ(engine.DroppedCount(), 0u);
+  EXPECT_EQ(engine.TotalCount(), 1u);    // t=98 force-drained
+  EXPECT_EQ(engine.BufferedCount(), 2u);
+  // The drained range is closed: arrivals older than the advanced
+  // watermark window are ordinary late records now.
+  EXPECT_EQ(engine.Append(3, 97).code(), StatusCode::kOutOfRange);
+  engine.Finalize();
+  EXPECT_EQ(engine.TotalCount(), 3u);  // nothing lost
+}
+
+TEST(BackpressureTest, V4RoundTripRestoresPolicyAndCounters) {
+  BurstEngine1 engine(
+      BackpressureOptions(ReorderOverflowPolicy::kDropOldest, 2));
+  ASSERT_TRUE(engine.Append(0, 100).ok());
+  ASSERT_TRUE(engine.Append(1, 99).ok());
+  ASSERT_TRUE(engine.Append(2, 98).ok());  // drops one
+  ASSERT_EQ(engine.DroppedCount(), 1u);
+  BinaryWriter w;
+  engine.Serialize(&w);
+
+  // Restore into an engine constructed WITHOUT a cap: the v4 payload
+  // carries the backpressure configuration and shed counters.
+  BurstEngine1 restored(BackpressureOptions(ReorderOverflowPolicy::kReject, 0));
+  BinaryReader r(w.bytes());
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
+  EXPECT_EQ(restored.options().max_reorder_events, 2u);
+  EXPECT_EQ(restored.options().overflow_policy,
+            ReorderOverflowPolicy::kDropOldest);
+  EXPECT_EQ(restored.DroppedCount(), 1u);
+  EXPECT_EQ(restored.ForcedDrains(), 0u);
+  BinaryWriter w2;
+  restored.Serialize(&w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Governed engine
+// ---------------------------------------------------------------------------
+
+GovernedEngineOptions<Pbe2> SmallGovernedOptions() {
+  GovernedEngineOptions<Pbe2> opt;
+  opt.engine.universe_size = 4;
+  opt.engine.grid.depth = 1;
+  opt.engine.grid.width = 4;
+  opt.engine.grid.identity_hash = true;
+  opt.engine.cell.gamma = 1.0;
+  opt.audit_every = 8;
+  return opt;
+}
+
+TEST(GovernedEngineTest, SoftBudgetWidensReportedBound) {
+  auto opt = SmallGovernedOptions();
+  opt.budget.soft_bytes = 1;  // any usage crosses it: shed every audit
+  GovernedBurstEngine<Pbe2> governed(opt);
+  const double initial = governed.effective_bound().cell_error;
+  for (Timestamp t = 0; t < 64; ++t) {
+    ASSERT_TRUE(governed.Append(static_cast<EventId>(t % 4), t).ok());
+  }
+  EXPECT_EQ(governed.governor().level(), DegradationLevel::kShedding);
+  EXPECT_GT(governed.governor().shed_rounds(), 0u);
+  // Degradation is visible: the effective bound widened, and with an
+  // identity-hashed leaf the whole bound is the 4 * cell_error term.
+  const EffectiveErrorBound bound = governed.effective_bound();
+  EXPECT_GT(bound.cell_error, initial);
+  EXPECT_DOUBLE_EQ(bound.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(bound.point_bound, 4.0 * bound.cell_error);
+
+  // Answers still honor the (widened) reported bound.
+  const auto est = governed.PointQuery(0, 32, 4);
+  EXPECT_GE(est.bound, 4.0 * bound.cell_error - kAccumTol);
+  EXPECT_EQ(est.level, DegradationLevel::kShedding);
+}
+
+TEST(GovernedEngineTest, HardBudgetRefusesThenRecovers) {
+  auto opt = SmallGovernedOptions();
+  opt.budget.hard_bytes = 1u << 20;
+  opt.audit_every = 1;
+  GovernedBurstEngine<Pbe2> governed(opt);
+  size_t pressure = 0;
+  governed.governor_mutable()->RegisterComponent(
+      "pressure", [&] { return pressure; }, [](double) {});
+  for (Timestamp t = 0; t < 8; ++t) {
+    ASSERT_TRUE(governed.Append(static_cast<EventId>(t % 4), t).ok());
+  }
+  // External pressure pushes past the hard budget; shedding cannot
+  // reclaim it, so admission fails without aborting.
+  pressure = 1u << 30;
+  const Status refused = governed.Append(0, 8);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governed.governor().level(), DegradationLevel::kSaturated);
+  // Pressure clears: the refused-append re-audit admits again.
+  pressure = 0;
+  EXPECT_TRUE(governed.Append(0, 8).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cold-curve cache
+// ---------------------------------------------------------------------------
+
+class CurveCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    dir_ = testing::TempDir() + "/bursthist_curvecache_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    Clean();
+    ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+  }
+  void TearDown() override {
+    Clean();
+    ::rmdir(dir_.c_str());
+  }
+  void Clean() {
+    auto names = env_->ListDir(dir_);
+    if (!names.ok()) return;
+    for (const auto& n : names.value()) (void)env_->DeleteFile(dir_ + "/" + n);
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_F(CurveCacheTest, SpillsColdCurvesAndReloadsTransparently) {
+  PbeCurveCache<Pbe1>::Options opt;
+  opt.env = env_;
+  opt.dir = dir_;
+  opt.max_resident = 2;
+  opt.cell.buffer_points = 8;
+  opt.cell.budget_points = 4;
+  PbeCurveCache<Pbe1> cache(opt);
+  ASSERT_TRUE(cache.Init().ok());
+  for (EventId e = 0; e < 4; ++e) {
+    for (Timestamp t = 0; t < 6; ++t) {
+      ASSERT_TRUE(cache.Append(e, t, e + 1).ok());
+    }
+  }
+  ASSERT_EQ(cache.resident(), 4u);
+  ASSERT_TRUE(cache.ShedCold().ok());
+  EXPECT_EQ(cache.resident(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // The coldest ids (0, 1) were spilled to one file each.
+  EXPECT_TRUE(env_->FileExists(cache.CurvePath(0)));
+  EXPECT_TRUE(env_->FileExists(cache.CurvePath(1)));
+  EXPECT_FALSE(env_->FileExists(cache.CurvePath(0) + ".tmp"));
+
+  // Transparent reload: the curve comes back with its full state.
+  auto curve = cache.Get(0);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve.value()->TotalCount(), 6u);
+  EXPECT_EQ(cache.reloads(), 1u);
+  // And it is appendable again.
+  ASSERT_TRUE(cache.Append(0, 10).ok());
+  EXPECT_EQ(cache.Get(0).value()->TotalCount(), 7u);
+}
+
+TEST_F(CurveCacheTest, SpillFailureKeepsCurveResidentAndCleansTemp) {
+  FaultInjectionEnv fault(env_);
+  PbeCurveCache<Pbe1>::Options opt;
+  opt.env = &fault;
+  opt.dir = dir_;
+  opt.max_resident = 1;
+  opt.cell.buffer_points = 8;
+  opt.cell.budget_points = 4;
+  PbeCurveCache<Pbe1> cache(opt);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Append(0, 1).ok());
+  ASSERT_TRUE(cache.Append(1, 2).ok());
+
+  fault.FailWritesForNext(100);  // dead disk
+  const Status s = cache.ShedCold();
+  EXPECT_FALSE(s.ok());
+  // Eviction sheds bytes, never data: the curve stays resident and no
+  // stranded temp file squats on the full disk.
+  EXPECT_EQ(cache.resident(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_FALSE(env_->FileExists(cache.CurvePath(0) + ".tmp"));
+  EXPECT_FALSE(env_->FileExists(cache.CurvePath(1) + ".tmp"));
+
+  fault.Disarm();  // disk heals
+  ASSERT_TRUE(cache.ShedCold().ok());
+  EXPECT_EQ(cache.resident(), 1u);
+  auto curve = cache.Get(0);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve.value()->TotalCount(), 1u);
+}
+
+TEST_F(CurveCacheTest, GovernedEngineShedsAttachedCache) {
+  auto opt = SmallGovernedOptions();
+  opt.budget.soft_bytes = 1;  // shed on every audit
+  opt.audit_every = 4;
+  GovernedBurstEngine<Pbe2> governed(opt);
+
+  PbeCurveCache<Pbe1>::Options copt;
+  copt.env = env_;
+  copt.dir = dir_;
+  copt.max_resident = 1;
+  copt.cell.buffer_points = 8;
+  copt.cell.budget_points = 4;
+  PbeCurveCache<Pbe1> cache(copt);
+  ASSERT_TRUE(cache.Init().ok());
+  governed.AttachCurveCache(&cache);
+
+  for (Timestamp t = 0; t < 16; ++t) {
+    const EventId e = static_cast<EventId>(t % 4);
+    ASSERT_TRUE(cache.Append(e, t).ok());
+    ASSERT_TRUE(governed.Append(e, t).ok());
+  }
+  // The governor's shed rounds drive the cache down to its residency
+  // target, spilling cold curves through the Env seam. (Appends since
+  // the last periodic audit may have reloaded curves; one more audit
+  // settles it.)
+  governed.governor_mutable()->Enforce();
+  EXPECT_LE(cache.resident(), 1u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace bursthist

@@ -1,0 +1,498 @@
+// Deterministic overload matrix.
+//
+// The resource governor's contract under overload — hot-key skew, a
+// stalled watermark filling the re-order buffer, memory budgets, and
+// injected IO faults — is:
+//
+//   1. never abort: every Append returns OK, ResourceExhausted, or
+//      OutOfRange; queries keep answering;
+//   2. never exceed the hard byte budget by more than one arena block
+//      (audits are amortized; kArenaBlockBytes states the overshoot);
+//   3. stay honest: shed occurrences are counted, degraded accuracy
+//      widens the *reported* effective bound, and every answer lands
+//      within the bound actually reported;
+//   4. recover: after an injected crash / fsync failure the directory
+//      replays to a state byte-consistent with the accepted prefix.
+//
+// The governed differential family re-runs the harness's stream
+// families against ExactBurstStore with the governor actively shedding
+// (soft budget of one byte), asserting every POINT / TIME / EVENT
+// answer satisfies the reported — widened — bound.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/exact_store.h"
+#include "differential/diff_harness.h"
+#include "governor/governed_engine.h"
+#include "governor/resource_governor.h"
+#include "recovery/durable_engine.h"
+#include "recovery/fault_env.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+#include "test_util.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace bursthist {
+namespace {
+
+using test::kAccumTol;
+
+struct Arrival {
+  EventId e;
+  Timestamp t;
+};
+
+// Hot-key skew under a stalled watermark: only ~1/4 of arrivals advance
+// time; the rest are late records landing within the lateness window,
+// and half of everything hits event 0. This is the workload that grows
+// an uncapped re-order buffer without bound.
+std::vector<Arrival> OverloadArrivals(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Arrival> out;
+  Timestamp wm = 100;
+  for (size_t i = 0; i < n; ++i) {
+    Timestamp t;
+    if (rng.NextBelow(4) == 0) {
+      t = ++wm;
+    } else {
+      t = wm - 1 - static_cast<Timestamp>(rng.NextBelow(3));
+    }
+    const EventId e = rng.NextBelow(2) == 0
+                          ? 0
+                          : static_cast<EventId>(rng.NextBelow(8));
+    out.push_back({e, t});
+  }
+  return out;
+}
+
+GovernedEngineOptions<Pbe1> OverloadOptions(ReorderOverflowPolicy policy) {
+  GovernedEngineOptions<Pbe1> opt;
+  opt.engine.universe_size = 8;
+  opt.engine.grid.depth = 1;
+  opt.engine.grid.width = 8;
+  opt.engine.grid.identity_hash = true;
+  opt.engine.cell.buffer_points = 16;
+  opt.engine.cell.budget_points = 4;
+  opt.engine.max_lateness = 4;
+  opt.engine.max_reorder_events = 8;
+  opt.engine.overflow_policy = policy;
+  opt.audit_every = 16;
+  // Budgets are relative to the engine's empty footprint so the test
+  // is insensitive to struct-size drift across platforms.
+  const size_t initial = BurstEngine1(opt.engine).MemoryUsage();
+  opt.budget.soft_bytes = initial + 2048;
+  opt.budget.hard_bytes = initial + kArenaBlockBytes;
+  return opt;
+}
+
+struct OverloadOutcome {
+  std::vector<Arrival> accepted;
+  size_t refused = 0;       // ResourceExhausted (governor or backpressure)
+  size_t out_of_range = 0;  // beyond the (possibly advanced) watermark
+};
+
+// Runs the overload workload, asserting the never-abort and
+// bounded-memory contracts on every single append.
+OverloadOutcome RunOverload(GovernedBurstEngine<Pbe1>* governed, size_t n,
+                            uint64_t seed) {
+  OverloadOutcome out;
+  const size_t hard = governed->governor().budget().hard_bytes;
+  for (const Arrival& a : OverloadArrivals(n, seed)) {
+    const Status s = governed->Append(a.e, a.t);
+    if (s.ok()) {
+      out.accepted.push_back(a);
+    } else if (s.code() == StatusCode::kResourceExhausted) {
+      ++out.refused;
+    } else if (s.code() == StatusCode::kOutOfRange) {
+      ++out.out_of_range;
+    } else {
+      ADD_FAILURE() << "unexpected status under overload: " << s.ToString();
+    }
+    EXPECT_LE(governed->governor().TotalUsage(), hard + kArenaBlockBytes);
+  }
+  return out;
+}
+
+// Every answer of the finalized engine must land within the bound the
+// engine itself reports, measured against an oracle fed exactly the
+// accepted records.
+void ExpectAnswersWithinReportedBound(const GovernedBurstEngine<Pbe1>& governed,
+                                      std::vector<Arrival> accepted) {
+  std::stable_sort(
+      accepted.begin(), accepted.end(),
+      [](const Arrival& a, const Arrival& b) { return a.t < b.t; });
+  ExactBurstStore oracle(8);
+  Timestamp max_t = 0;
+  for (const Arrival& a : accepted) {
+    oracle.Append(a.e, a.t);
+    max_t = std::max(max_t, a.t);
+  }
+  const EffectiveErrorBound bound = governed.effective_bound();
+  // Identity-hashed leaf: the whole bound is deterministic.
+  EXPECT_DOUBLE_EQ(bound.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(bound.point_bound, 4.0 * bound.cell_error);
+  for (Timestamp t : {Timestamp{0}, Timestamp{100}, max_t / 2, max_t,
+                      max_t + 5}) {
+    for (Timestamp tau : {Timestamp{1}, Timestamp{3}, Timestamp{8}}) {
+      for (EventId e = 0; e < 8; ++e) {
+        const double exact =
+            static_cast<double>(oracle.BurstinessAt(e, t, tau));
+        const double est = governed.engine().PointQuery(e, t, tau);
+        EXPECT_LE(std::abs(est - exact), bound.point_bound + kAccumTol)
+            << "e=" << e << " t=" << t << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST(OverloadMatrixTest, RejectPolicyNeverAbortsAndStaysWithinBounds) {
+  auto opt = OverloadOptions(ReorderOverflowPolicy::kReject);
+  GovernedBurstEngine<Pbe1> governed(opt);
+  const OverloadOutcome out = RunOverload(&governed, 1200, test::TestSeed());
+  // The stalled watermark actually bound the buffer: refusals happened,
+  // yet fresh (watermark-advancing) traffic kept recovering it.
+  EXPECT_GT(out.refused, 0u);
+  EXPECT_GT(out.accepted.size(), 0u);
+  governed.Finalize();
+  EXPECT_EQ(governed.engine().TotalCount(), out.accepted.size());
+  EXPECT_EQ(governed.engine().DroppedCount(), 0u);
+  ExpectAnswersWithinReportedBound(governed, out.accepted);
+}
+
+TEST(OverloadMatrixTest, DropOldestKeepsAccountingHonest) {
+  auto opt = OverloadOptions(ReorderOverflowPolicy::kDropOldest);
+  GovernedBurstEngine<Pbe1> governed(opt);
+  const OverloadOutcome out = RunOverload(&governed, 1200, test::TestSeed());
+  governed.Finalize();
+  const BurstEngine1& engine = governed.engine();
+  EXPECT_GT(engine.DroppedCount(), 0u);
+  // Honest accounting: every accepted occurrence is either in the index
+  // or counted as shed — nothing vanishes silently.
+  EXPECT_EQ(engine.TotalCount() + engine.DroppedCount(),
+            out.accepted.size());
+}
+
+TEST(OverloadMatrixTest, ForceDrainLosesNoDataAndStaysWithinBounds) {
+  auto opt = OverloadOptions(ReorderOverflowPolicy::kForceDrain);
+  GovernedBurstEngine<Pbe1> governed(opt);
+  const OverloadOutcome out = RunOverload(&governed, 1200, test::TestSeed());
+  EXPECT_GT(governed.engine().ForcedDrains(), 0u);
+  governed.Finalize();
+  // Force-drain sheds the lateness window, not data: every accepted
+  // record is in the index.
+  EXPECT_EQ(governed.engine().TotalCount(), out.accepted.size());
+  EXPECT_EQ(governed.engine().DroppedCount(), 0u);
+  ExpectAnswersWithinReportedBound(governed, out.accepted);
+}
+
+TEST(OverloadMatrixTest, SheddingEngagedUnderPressure) {
+  auto opt = OverloadOptions(ReorderOverflowPolicy::kForceDrain);
+  GovernedBurstEngine<Pbe1> governed(opt);
+  RunOverload(&governed, 1200, test::TestSeed());
+  // The soft budget is tight (empty footprint + 2KB): the governor must
+  // have walked the ladder, and the audit trail shows it.
+  EXPECT_GT(governed.governor().audits(), 0u);
+  EXPECT_GT(governed.governor().shed_rounds(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Governed differential family: the reported (widened) bound holds
+// against the exact oracle across the harness's stream families.
+// ---------------------------------------------------------------------------
+
+/// Differential-harness view over a finalized governed engine whose
+/// leaf level is identity-hashed (no collisions): the uniform reported
+/// bound EffectivePointBound().point_bound must cover every answer,
+/// and the PBE no-overestimate invariant survives degradation (PBE-2's
+/// band is one-sided, so widening never lifts F~ above F; PBE-1's
+/// early compaction keeps the staircase under the curve).
+template <typename PbeT>
+struct GovernedView {
+  static constexpr bool kPiecewiseConstant = PbeT::kPiecewiseConstant;
+  static constexpr bool kExactIntervals = PbeT::kPiecewiseConstant;
+  const BurstEngine<PbeT>* engine;  // finalized
+
+  double Estimate(EventId e, Timestamp t, Timestamp tau) const {
+    return engine->PointQuery(e, t, tau);
+  }
+  double EstimateCumulative(EventId e, Timestamp t) const {
+    return engine->CumulativeQuery(e, t);
+  }
+  double Bound(EventId, Timestamp, Timestamp) const {
+    return engine->EffectivePointBound().point_bound;
+  }
+  double CumUpper(EventId, Timestamp) const { return 0.0; }
+  double CumLower(EventId) const {
+    return engine->EffectivePointBound().cell_error;
+  }
+  std::vector<Timestamp> Breakpoints(EventId e) const {
+    return engine->index().level(0).Breakpoints(e);
+  }
+  EventId universe() const { return engine->universe_size(); }
+};
+
+template <typename PbeT>
+GovernedEngineOptions<PbeT> DifferentialGovernedOptions() {
+  GovernedEngineOptions<PbeT> opt;
+  opt.engine.universe_size = 8;
+  opt.engine.grid.depth = 1;
+  opt.engine.grid.width = 8;
+  opt.engine.grid.identity_hash = true;
+  opt.budget.soft_bytes = 1;  // always over: shed on every audit
+  opt.audit_every = 64;
+  return opt;
+}
+
+template <typename PbeT>
+void RunGovernedDifferential(GovernedEngineOptions<PbeT> opt,
+                             const std::string& structure) {
+  for (const auto family :
+       {test::StreamFamily::kUniform, test::StreamFamily::kBursty,
+        test::StreamFamily::kStaircase, test::StreamFamily::kDuplicates,
+        test::StreamFamily::kOutOfOrder}) {
+    test::StreamSpec spec;
+    spec.family = family;
+    spec.universe = 8;
+    spec.n = 256;
+    spec.seed = test::CaseSeed(static_cast<uint64_t>(family) + 7);
+    spec.max_lateness = 4;
+    const EventStream stream =
+        test::SortedStream(test::GenerateArrivals(spec));
+
+    ExactBurstStore oracle(spec.universe);
+    ASSERT_TRUE(oracle.AppendStream(stream).ok());
+    GovernedBurstEngine<PbeT> governed(opt);
+    for (const auto& r : stream.records()) {
+      ASSERT_TRUE(governed.Append(r.id, r.time).ok());
+    }
+    governed.Finalize();
+    ASSERT_GT(governed.governor().shed_rounds(), 0u)
+        << structure << " " << spec.ToString();
+
+    GovernedView<PbeT> view{&governed.engine()};
+    const test::QueryPlan plan = test::MakeQueryPlan(oracle, spec.seed);
+    test::Violations violations;
+    test::CheckStructure(view, oracle, plan,
+                         structure + " " + test::FamilyName(family),
+                         &violations);
+    for (const auto& v : violations) {
+      ADD_FAILURE() << v << "\n  spec: " << spec.ToString();
+    }
+  }
+}
+
+TEST(GovernedDifferentialTest, Pbe1AnswersHonorReportedBound) {
+  RunGovernedDifferential(DifferentialGovernedOptions<Pbe1>(), "gov-pbe1");
+}
+
+TEST(GovernedDifferentialTest, Pbe2AnswersHonorWidenedBound) {
+  auto opt = DifferentialGovernedOptions<Pbe2>();
+  opt.engine.cell.gamma = 0.5;
+  RunGovernedDifferential(opt, "gov-pbe2");
+}
+
+// ---------------------------------------------------------------------------
+// Injected IO faults: WAL retry, fsync poisoning, snapshot cleanup.
+// ---------------------------------------------------------------------------
+
+struct Record {
+  EventId e;
+  Timestamp t;
+};
+
+std::vector<Record> Workload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  Timestamp t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    out.push_back({static_cast<EventId>(rng.NextBelow(8)), t});
+  }
+  return out;
+}
+
+BurstEngineOptions<Pbe1> SmallOptions() {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = 8;
+  o.grid.depth = 1;
+  o.grid.width = 8;
+  o.cell.buffer_points = 16;
+  o.cell.budget_points = 4;
+  return o;
+}
+
+std::vector<uint8_t> Ser(const BurstEngine1& e) {
+  BinaryWriter w;
+  e.Serialize(&w);
+  return w.TakeBytes();
+}
+
+void ExpectRecoversPrefix(Env* env, const std::string& dir,
+                          const std::vector<Record>& workload,
+                          size_t expected_count) {
+  auto recovered = RecoverBurstEngine<Pbe1>(env, dir, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered.value().TotalCount(), expected_count);
+  BurstEngine1 reference(SmallOptions());
+  for (size_t i = 0; i < expected_count; ++i) {
+    ASSERT_TRUE(reference.Append(workload[i].e, workload[i].t).ok());
+  }
+  EXPECT_EQ(Ser(recovered.value()), Ser(reference));
+}
+
+class OverloadFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = Env::Default();
+    dir_ = testing::TempDir() + "/bursthist_overload_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    Clean();
+    ASSERT_TRUE(base_->CreateDirIfMissing(dir_).ok());
+  }
+  void TearDown() override {
+    Clean();
+    ::rmdir(dir_.c_str());
+  }
+  void Clean() {
+    auto names = base_->ListDir(dir_);
+    if (!names.ok()) return;
+    for (const auto& n : names.value()) (void)base_->DeleteFile(dir_ + "/" + n);
+  }
+
+  Env* base_ = nullptr;
+  std::string dir_;
+};
+
+TEST_F(OverloadFaultTest, WalAppendRetriesThroughTransientOutage) {
+  FaultInjectionEnv fault(base_);
+  uint32_t backoffs = 0;
+  uint64_t observed_writes = 0;
+  fault.set_write_observer([&] { ++observed_writes; });  // slow-disk seam
+  DurabilityOptions durability;
+  durability.wal_append_retries = 3;
+  durability.wal_retry_backoff = [&](uint32_t) { ++backoffs; };
+  auto durable =
+      DurableBurstEngine1::Open(&fault, dir_, SmallOptions(), durability);
+  ASSERT_TRUE(durable.ok());
+
+  const auto workload = Workload(8, test::TestSeed());
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        durable.value()->Append(workload[i].e, workload[i].t).ok());
+  }
+  // One transient ENOSPC: the append retries onto a fresh, clean
+  // segment and succeeds without the caller noticing.
+  fault.FailWritesForNext(1);
+  ASSERT_TRUE(durable.value()->Append(workload[4].e, workload[4].t).ok());
+  EXPECT_EQ(backoffs, 1u);
+  for (size_t i = 5; i < 8; ++i) {
+    ASSERT_TRUE(
+        durable.value()->Append(workload[i].e, workload[i].t).ok());
+  }
+  ASSERT_TRUE(durable.value()->Sync().ok());
+  EXPECT_GT(observed_writes, 0u);
+  durable.value().reset();
+  // The retry's segment switcheroo is invisible to recovery: every
+  // acknowledged record replays, byte-consistent with the reference.
+  ExpectRecoversPrefix(base_, dir_, workload, 8);
+}
+
+TEST_F(OverloadFaultTest, WalRetryExhaustionSurfacesErrorKeepsPrefix) {
+  FaultInjectionEnv fault(base_);
+  DurabilityOptions durability;
+  durability.wal_append_retries = 2;
+  auto durable =
+      DurableBurstEngine1::Open(&fault, dir_, SmallOptions(), durability);
+  ASSERT_TRUE(durable.ok());
+
+  const auto workload = Workload(6, test::TestSeed());
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        durable.value()->Append(workload[i].e, workload[i].t).ok());
+  }
+  // A persistent outage outlasts the retries: the error surfaces (the
+  // original IO error, not a cleanup side-effect) and the record is
+  // NOT ingested.
+  fault.FailWritesForNext(100);
+  const Status s = durable.value()->Append(workload[4].e, workload[4].t);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(durable.value()->engine().TotalCount(), 4u);
+  durable.value().reset();  // crash
+  fault.Disarm();
+  ExpectRecoversPrefix(base_, dir_, workload, 4);
+}
+
+TEST_F(OverloadFaultTest, FsyncFailurePoisonsToReadOnlyNeverRetries) {
+  FaultInjectionEnv fault(base_);
+  auto durable = DurableBurstEngine1::Open(&fault, dir_, SmallOptions());
+  ASSERT_TRUE(durable.ok());
+
+  const auto workload = Workload(5, test::TestSeed());
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        durable.value()->Append(workload[i].e, workload[i].t).ok());
+  }
+  ASSERT_FALSE(durable.value()->read_only());
+  // The fsync fails once. The kernel may have dropped the dirty pages,
+  // so a retry proving anything is impossible — the engine must fail
+  // over to read-only degraded mode, not retry.
+  fault.FailNthSync(1);
+  const Status sync = durable.value()->Sync();
+  EXPECT_EQ(sync.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(durable.value()->read_only());
+  // Disarming proves the poisoning is sticky: the device is healthy
+  // again, yet appends, syncs, and checkpoints all stay refused.
+  fault.Disarm();
+  EXPECT_EQ(durable.value()->Append(workload[3].e, workload[3].t).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(durable.value()->Sync().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(durable.value()->Checkpoint().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(durable.value()->engine().TotalCount(), 3u);
+  // Queries still serve from the degraded engine.
+  auto snapshot = durable.value()->engine();
+  snapshot.set_append_observer(nullptr);
+  snapshot.Finalize();
+  (void)snapshot.PointQuery(0, workload[2].t, 1);
+  durable.value().reset();
+  // Restart is the recovery path: what reached disk replays.
+  ExpectRecoversPrefix(base_, dir_, workload, 3);
+}
+
+TEST_F(OverloadFaultTest, SnapshotWriteFailureLeavesNoTempFile) {
+  FaultInjectionEnv fault(base_);
+  const std::vector<uint8_t> blob(256, 0xab);
+  fault.FailWritesForNext(1);
+  const Status s =
+      WriteSnapshotFile(&fault, dir_, /*generation=*/1,
+                        WalPosition{1, kWalHeaderSize}, blob);
+  EXPECT_FALSE(s.ok());
+  // The failed write's temp file is unlinked — a full disk is not made
+  // fuller by checkpoint attempts — and no snapshot is visible.
+  auto names = base_->ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  for (const auto& name : names.value()) {
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+  auto gens = ListSnapshots(base_, dir_);
+  ASSERT_TRUE(gens.ok());
+  EXPECT_TRUE(gens.value().empty());
+  // The disk heals; the same write now lands and verifies.
+  fault.Disarm();
+  ASSERT_TRUE(WriteSnapshotFile(&fault, dir_, 1,
+                                WalPosition{1, kWalHeaderSize}, blob)
+                  .ok());
+  auto snap = ReadSnapshotFile(base_, dir_, 1);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.value().blob, blob);
+}
+
+}  // namespace
+}  // namespace bursthist
