@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace bursthist {
 namespace bench {
 
@@ -31,9 +33,14 @@ BenchConfig ParseArgs(int argc, char** argv) {
       cfg.scale_name = v;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       cfg.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      cfg.emit_metrics = true;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      cfg.emit_metrics = true;
+      cfg.metrics_path = arg + 10;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf("usage: %s [--scale=small|medium|paper|<f>] "
-                  "[--seed=<u64>]\n",
+                  "[--seed=<u64>] [--metrics[=path]]\n",
                   argv[0]);
       std::exit(0);
     } else {
@@ -59,6 +66,25 @@ void Banner(const BenchConfig& cfg, const char* what, const char* expect) {
 void Rule() {
   std::printf("-------------------------------------------------------------"
               "-----------------\n");
+}
+
+void MaybeEmitMetrics(const BenchConfig& cfg) {
+  if (!cfg.emit_metrics) return;
+  obs::RegisterStandardMetrics();
+  std::string text;
+  obs::MetricsRegistry::Global().WritePrometheus(&text);
+  if (cfg.metrics_path.empty()) {
+    std::fputs(text.c_str(), stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(cfg.metrics_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for metrics snapshot\n",
+                 cfg.metrics_path.c_str());
+    return;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
 }
 
 std::vector<std::pair<EventId, Timestamp>> SampleEventTimeQueries(

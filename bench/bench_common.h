@@ -6,6 +6,9 @@
 //                                full suite runs in minutes; `paper`
 //                                regenerates the published Ns)
 //   --seed=<u64>                 generator seed (default 42)
+//   --metrics[=path]             after the tables, dump a metrics
+//                                registry snapshot (Prometheus text)
+//                                to stderr, or to `path` if given
 
 #ifndef BURSTHIST_BENCH_BENCH_COMMON_H_
 #define BURSTHIST_BENCH_BENCH_COMMON_H_
@@ -29,6 +32,9 @@ struct BenchConfig {
   uint64_t seed = 42;
   /// Random point queries per error measurement (paper: 100).
   size_t queries = 100;
+  /// --metrics[=path]: emit a registry snapshot after the run.
+  bool emit_metrics = false;
+  std::string metrics_path;  ///< Empty means stderr.
 
   ScenarioConfig Scenario() const {
     ScenarioConfig cfg;
@@ -46,6 +52,12 @@ void Banner(const BenchConfig& cfg, const char* what, const char* expect);
 
 /// Prints a horizontal rule.
 void Rule();
+
+/// If --metrics was given, writes a Prometheus-text snapshot of the
+/// global registry (full declared set, zeros included) to the flag's
+/// path or stderr. No-op otherwise, and near-empty under
+/// BURSTHIST_NO_METRICS.
+void MaybeEmitMetrics(const BenchConfig& cfg);
 
 /// Random (event, time) query pairs.
 std::vector<std::pair<EventId, Timestamp>> SampleEventTimeQueries(

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/burst_engine.h"
 #include "core/cm_pbe.h"
 #include "core/dyadic_index.h"
 #include "core/exact_store.h"
@@ -139,6 +140,29 @@ void BM_CmPbeAppend(benchmark::State& state) {
                           static_cast<int64_t>(ds.stream.size()));
 }
 BENCHMARK(BM_CmPbeAppend);
+
+// The full BurstEngine::Append path — reorder buffer, dyadic fan-out,
+// and the observability counters/gauges. This is the benchmark the
+// metrics layer's <=2% overhead budget is measured on: compare a
+// default build against -DBURSTHIST_NO_METRICS=ON.
+void BM_EngineAppend(benchmark::State& state) {
+  const auto& ds = SharedMix();
+  BurstEngineOptions<Pbe1> opt;
+  opt.universe_size = ds.universe_size;
+  opt.cell.buffer_points = 1500;
+  opt.cell.budget_points = 120;
+  for (auto _ : state) {
+    BurstEngine<Pbe1> engine(opt);
+    for (const auto& r : ds.stream.records()) {
+      benchmark::DoNotOptimize(engine.Append(r.id, r.time).ok());
+    }
+    engine.Finalize();
+    benchmark::DoNotOptimize(engine.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.stream.size()));
+}
+BENCHMARK(BM_EngineAppend);
 
 void BM_CmPbeSegmentParallelBuild(benchmark::State& state) {
   const auto& ds = SharedMix();

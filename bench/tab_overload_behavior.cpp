@@ -105,5 +105,6 @@ int main(int argc, char** argv) {
         engine.engine().MemoryUsage() / 1024.0, bound.point_bound,
         DegradationLevelName(engine.governor().level()));
   }
+  bursthist::bench::MaybeEmitMetrics(cfg);
   return 0;
 }

@@ -210,5 +210,6 @@ int main(int argc, char** argv) {
               "times\n", exact_event, event_total);
   std::printf("  BURSTY TIME  identical interval lists for %zu/%zu sampled "
               "events\n", exact_time, time_total);
+  bursthist::bench::MaybeEmitMetrics(cfg);
   return 0;
 }

@@ -135,5 +135,6 @@ int main(int argc, char** argv) {
   }
   CleanDir(env, dir);
   ::rmdir(dir.c_str());
+  bursthist::bench::MaybeEmitMetrics(cfg);
   return 0;
 }

@@ -2,6 +2,7 @@
 //
 //   bursthist_cli ingest  <events.csv> <K> <out.sketch> [gamma]
 //   bursthist_cli info    <sketch>
+//   bursthist_cli metrics <sketch> [--json]
 //   bursthist_cli point   <sketch> <event> <t> <tau>
 //   bursthist_cli times   <sketch> <event> <theta> <tau>
 //   bursthist_cli events  <sketch> <t> <theta> <tau>
@@ -23,6 +24,7 @@
 #include "core/burst_engine.h"
 #include "core/sketch_store.h"
 #include "gen/scenarios.h"
+#include "obs/metrics.h"
 #include "stream/csv_io.h"
 #include "util/serialize.h"
 
@@ -109,10 +111,16 @@ int IngestWith(const char* csv_path, const FileHeader& header,
   BurstEngine<PbeT> engine(EngineOptions<PbeT>(header));
   auto stream = ReadEventStreamCsv(csv_path);
   if (!stream.ok()) return Fail(stream.status());
-  if (Status st = engine.AppendStream(stream.value()); !st.ok()) {
-    return Fail(st);
+  // Record-at-a-time so the periodic stats line (stderr, ~1/s) can
+  // report ingest progress; a final line prints unconditionally.
+  obs::PeriodicStats stats;
+  for (const auto& r : stream.value().records()) {
+    if (Status st = engine.Append(r.id, r.time); !st.ok()) return Fail(st);
+    stats.Tick();
   }
   engine.Finalize();
+  engine.PublishMetrics();
+  stats.Final();
 
   BinaryWriter w;
   WriteHeader(&w, header);
@@ -148,6 +156,7 @@ int Usage() {
       "usage:\n"
       "  bursthist_cli ingest <events.csv> <K> <out.sketch> [gamma]\n"
       "  bursthist_cli info   <sketch>\n"
+      "  bursthist_cli metrics <sketch> [--json]\n"
       "  bursthist_cli point  <sketch> <event> <t> <tau>\n"
       "  bursthist_cli times  <sketch> <event> <theta> <tau>\n"
       "  bursthist_cli events <sketch> <t> <theta> <tau>\n"
@@ -240,6 +249,31 @@ int main(int argc, char** argv) {
           "effective bound: |b~ - b| <= %.3f  (eps=%.4f delta=%.4f "
           "cell=%.3f)\n",
           b.point_bound, b.epsilon, b.delta, b.cell_error);
+      return 0;
+    });
+  }
+
+  if (cmd == "metrics" && (argc == 3 || argc == 4)) {
+    const bool json = argc == 4 && std::strcmp(argv[3], "--json") == 0;
+    if (argc == 4 && !json) return Usage();
+    // Materialize the full declared set first so the exposition shows
+    // every metric (zeros included), then load the sketch and touch
+    // each query path once so the latency histograms carry samples.
+    obs::RegisterStandardMetrics();
+    return WithEngine(argv[2], [&](auto& engine, const FileHeader&) {
+      const Timestamp tau = kSecondsPerDay;
+      (void)engine.PointQuery(0, 20 * kSecondsPerDay, tau);
+      (void)engine.BurstyTimeQuery(0, 1.0, tau);
+      (void)engine.BurstyEventQuery(20 * kSecondsPerDay, 1.0, tau);
+      engine.PublishMetrics();
+      std::string out;
+      if (json) {
+        obs::MetricsRegistry::Global().WriteJson(&out);
+        out += "\n";
+      } else {
+        obs::MetricsRegistry::Global().WritePrometheus(&out);
+      }
+      std::fputs(out.c_str(), stdout);
       return 0;
     });
   }

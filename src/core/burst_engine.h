@@ -27,6 +27,7 @@
 #include "core/cm_pbe.h"
 #include "core/dyadic_index.h"
 #include "core/parallel_ingest.h"
+#include "obs/metrics.h"
 #include "sketch/space_saving.h"
 #include "stream/event_stream.h"
 #include "stream/types.h"
@@ -136,23 +137,35 @@ class BurstEngine {
   /// options.max_lateness (regressions within the tolerance are
   /// buffered and re-ordered).
   Status Append(EventId e, Timestamp t, Count count = 1) {
+    BURSTHIST_COUNTER(m_appends, obs::kEngineAppendsTotal);
+    BURSTHIST_COUNTER(m_rejects, obs::kEngineAppendRejectsTotal);
     if (finalized_) {
+      m_rejects.Inc();
       return Status::FailedPrecondition("engine already finalized");
     }
     if (e >= options_.universe_size) {
+      m_rejects.Inc();
       return Status::InvalidArgument("event id exceeds universe size");
     }
     if (options_.max_lateness == 0) {
       if (started_ && t < last_time_) {
+        m_rejects.Inc();
         return Status::OutOfRange("timestamps must be non-decreasing");
       }
-      if (observer_) BURSTHIST_RETURN_IF_ERROR(observer_(e, t, count));
+      if (observer_) {
+        if (Status st = observer_(e, t, count); !st.ok()) {
+          m_rejects.Inc();
+          return st;
+        }
+      }
       Ingest(e, t, count);
+      m_appends.Inc();
       return Status::OK();
     }
     // Watermark semantics: anything older than (newest - lateness) has
     // already been flushed and cannot be accepted.
     if (started_ && t < watermark_ - options_.max_lateness) {
+      m_rejects.Inc();
       return Status::OutOfRange("record arrived beyond max_lateness");
     }
     // Backpressure: a rejection must precede the observer so a refused
@@ -173,17 +186,25 @@ class BurstEngine {
         DrainReorderBuffer(watermark_ - options_.max_lateness);
       }
       if (reorder_.size() >= options_.max_reorder_events) {
+        m_rejects.Inc();
         return Status::ResourceExhausted(
             "re-order buffer full (max_reorder_events)");
       }
     }
-    if (observer_) BURSTHIST_RETURN_IF_ERROR(observer_(e, t, count));
+    if (observer_) {
+      if (Status st = observer_(e, t, count); !st.ok()) {
+        m_rejects.Inc();
+        return st;
+      }
+    }
     reorder_.push(Pending{t, e, count});
     buffered_count_ += count;
     watermark_ = started_ ? std::max(watermark_, t) : t;
     started_ = true;
     if (options_.max_reorder_events > 0) EnforceReorderCap();
     DrainReorderBuffer(watermark_ - options_.max_lateness);
+    m_appends.Inc();
+    UpdateIngestGauges();
     return Status::OK();
   }
 
@@ -209,12 +230,19 @@ class BurstEngine {
       DrainReorderBuffer(std::numeric_limits<Timestamp>::max());
       index_.Finalize();
       finalized_ = true;
+      UpdateIngestGauges();
     }
   }
+  /// True once Finalize() froze the engine; queries require it.
   bool finalized() const { return finalized_; }
 
   /// POINT query q(e, t, tau): estimated burstiness of e at t.
+  /// Answers obey Lemma 5 — within eps*N + 4*cell_error of the truth
+  /// with probability >= 1 - delta; EffectivePointBound() reports the
+  /// bound in force, degradation included.
   double PointQuery(EventId e, Timestamp t, Timestamp tau) const {
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryPointLatencySeconds);
+    obs::TraceSpan span(m_lat, "point");
     return index_.EstimateBurstiness(e, t, tau);
   }
 
@@ -231,17 +259,27 @@ class BurstEngine {
 
   /// BURSTY TIME query q(e, theta, tau): maximal intervals where the
   /// estimated burstiness of e reaches theta. Cost is linear in the
-  /// size of the cells e maps to, not in the history length.
+  /// size of the cells e maps to, not in the history length. The
+  /// intervals are exactly consistent with PointQuery's estimates (and
+  /// so inherit their Lemma 5 bound).
   std::vector<TimeInterval> BurstyTimeQuery(EventId e, double theta,
                                             Timestamp tau) const {
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryBurstyTimeLatencySeconds);
+    obs::TraceSpan span(m_lat, "bursty_time");
     return BurstyTimes(LeafModel{&index_.level(0), e}, theta, tau);
   }
 
   /// BURSTY EVENT query q(t, theta, tau): ids whose estimated
-  /// burstiness at t reaches theta. Precondition: theta > 0.
+  /// burstiness at t reaches theta, each decided by point queries that
+  /// carry the Lemma 5 bound. Precondition: theta > 0.
   std::vector<EventId> BurstyEventQuery(Timestamp t, double theta,
                                         Timestamp tau) const {
-    return index_.BurstyEvents(t, theta, tau);
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryBurstyEventLatencySeconds);
+    BURSTHIST_GAUGE(m_point_queries, obs::kQueryBurstyEventPointQueries);
+    obs::TraceSpan span(m_lat, "bursty_event");
+    auto out = index_.BurstyEvents(t, theta, tau);
+    m_point_queries.Set(static_cast<double>(index_.LastQueryPointQueries()));
+    return out;
   }
 
   /// Frequency-filtered BURSTY EVENT query (the paper's introduction:
@@ -279,8 +317,12 @@ class BurstEngine {
     return index_.LastQueryPointQueries();
   }
 
+  /// K = |Sigma|: ids must fall in [0, universe_size()).
   EventId universe_size() const { return options_.universe_size; }
+  /// The configuration the engine was constructed with (plus any
+  /// backpressure settings restored by Deserialize).
   const Options& options() const { return options_; }
+  /// Occurrences ingested into the index so far (Lemma 5's N).
   Count TotalCount() const { return total_count_; }
   /// Accepted records still waiting in the re-order buffer (by count);
   /// they join TotalCount() once the watermark, or Finalize(), drains
@@ -292,6 +334,8 @@ class BurstEngine {
   /// Times the kForceDrain policy advanced the watermark to shrink the
   /// buffer.
   uint64_t ForcedDrains() const { return forced_drains_; }
+  /// Sketch-size cost model of the index (sum of cell sizes; excludes
+  /// allocator overheads — see MemoryUsage() for resident cost).
   size_t SizeBytes() const { return index_.SizeBytes(); }
 
   /// Resident bytes across index, heavy-hitter summary, and re-order
@@ -322,6 +366,26 @@ class BurstEngine {
     return b;
   }
 
+  /// Publishes the engine's instantaneous gauges to the process-wide
+  /// metrics registry: re-order depth, watermark lag, resident bytes,
+  /// the effective POINT bound, and the leaf grid's worst-case
+  /// collision mass. Counters stream continuously from the ingest and
+  /// query paths; gauges that cost an index scan (bound, collision
+  /// mass, resident bytes) are only refreshed here, so surfacing code
+  /// (CLI `metrics`, the periodic stats line, bench snapshots) calls
+  /// this right before reading the registry. No-op when compiled with
+  /// BURSTHIST_NO_METRICS.
+  void PublishMetrics() const {
+    BURSTHIST_GAUGE(m_resident, obs::kEngineResidentBytes);
+    BURSTHIST_GAUGE(m_bound, obs::kEffectivePointBound);
+    BURSTHIST_GAUGE(m_cell_mass, obs::kCmpbeMaxCellMass);
+    UpdateIngestGauges();
+    m_resident.Set(static_cast<double>(MemoryUsage()));
+    m_bound.Set(EffectivePointBound().point_bound);
+    m_cell_mass.Set(static_cast<double>(index_.level(0).MaxCellMass()));
+  }
+
+  /// Read-only view of the dyadic index backing the engine.
   const DyadicBurstIndex<PbeT>& index() const { return index_; }
 
   void Serialize(BinaryWriter* w) const {
@@ -479,12 +543,15 @@ class BurstEngine {
   // drains in time order, so anything force-drained precedes — and
   // anything dropped is older than — every record still buffered.
   void EnforceReorderCap() {
+    BURSTHIST_COUNTER(m_dropped, obs::kEngineDroppedRecordsTotal);
+    BURSTHIST_COUNTER(m_forced, obs::kEngineForcedDrainsTotal);
     while (reorder_.size() > options_.max_reorder_events) {
       if (options_.overflow_policy == ReorderOverflowPolicy::kDropOldest) {
         const Pending p = reorder_.top();
         reorder_.pop();
         buffered_count_ -= p.count;
         dropped_count_ += p.count;
+        m_dropped.Inc(p.count);
       } else {  // kForceDrain
         const Timestamp up_to = reorder_.top().t;
         DrainReorderBuffer(up_to);
@@ -495,8 +562,21 @@ class BurstEngine {
           watermark_ = up_to + options_.max_lateness;
         }
         ++forced_drains_;
+        m_forced.Inc();
       }
     }
+  }
+
+  // Refreshes the cheap per-append gauges (buffer depth, watermark
+  // lag). Called after every buffered Append and on Finalize; the
+  // strictly-ordered fast path skips it (depth is always zero there).
+  void UpdateIngestGauges() const {
+    BURSTHIST_GAUGE(m_depth, obs::kEngineReorderDepth);
+    BURSTHIST_GAUGE(m_lag, obs::kEngineWatermarkLag);
+    m_depth.Set(static_cast<double>(reorder_.size()));
+    m_lag.Set(reorder_.empty()
+                  ? 0.0
+                  : static_cast<double>(watermark_ - reorder_.top().t));
   }
 
   // Bulk path for AppendStream: validates the whole stream up front
@@ -547,6 +627,8 @@ class BurstEngine {
     for (size_t i = bulk_end; i < records.size(); ++i) {
       Ingest(records[i].id, records[i].time, 1);
     }
+    BURSTHIST_COUNTER(m_appends, obs::kEngineAppendsTotal);
+    m_appends.Inc(records.size());
     return Status::OK();
   }
 

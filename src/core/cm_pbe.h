@@ -25,6 +25,7 @@
 #include "core/pbe1.h"
 #include "core/pbe2.h"
 #include "hash/hash.h"
+#include "obs/metrics.h"
 #include "stream/types.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -178,12 +179,28 @@ class CmPbe {
     return out;
   }
 
-  /// Total stream size N routed through the grid.
+  /// Total stream size N routed through the grid — the N of Lemma 5's
+  /// eps*N + 4*Delta bound.
   Count TotalCount() const { return total_count_; }
 
+  /// Rows d (failure probability delta = e^-d).
   size_t depth() const { return options_.depth; }
+  /// Cells per row w (collision rate epsilon = e / w).
   size_t width() const { return options_.width; }
+  /// The grid shape/seed configuration.
   const CmPbeOptions& options() const { return options_; }
+
+  /// Heaviest single cell's routed occurrence mass — the worst-case
+  /// collision mass a POINT answer can absorb before the median
+  /// combine rejects it. Under uniform hashing this hovers near
+  /// N * depth / (depth * width) = N / width; a hot-key-skewed stream
+  /// pushes it toward N. An O(depth * width) scan; surfacing code
+  /// publishes it as the bursthist_cmpbe_max_cell_mass gauge.
+  Count MaxCellMass() const {
+    Count worst = 0;
+    for (const auto& c : cells_) worst = std::max(worst, c.TotalCount());
+    return worst;
+  }
 
   /// Column event e maps to in `row` — the public form of the routing
   /// function, so external tooling (the differential test harness, CLI
@@ -324,6 +341,17 @@ class CmPbe {
   }
 
   double Combine(std::vector<double>& est) const {
+    // Live accuracy proxy: the spread of the per-row estimates being
+    // combined. Rows of a hashed grid disagree exactly by their
+    // collision mass, so a widening spread is an early warning that
+    // answers are drifting — without an exact oracle to compare
+    // against. Identity-hashed (exact) grids are skipped: their rows
+    // agree by construction and would mask the leaf signal.
+    if (!options_.identity_hash) {
+      BURSTHIST_GAUGE(m_spread, obs::kCmpbeEstimateSpread);
+      const auto [lo, hi] = std::minmax_element(est.begin(), est.end());
+      m_spread.Set(*hi - *lo);
+    }
     if (options_.estimator == CmEstimator::kMin) {
       return *std::min_element(est.begin(), est.end());
     }

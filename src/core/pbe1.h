@@ -62,6 +62,8 @@ class Pbe1 {
   /// Compresses the residual buffer (with a proportionally scaled
   /// budget) and freezes the structure. Idempotent.
   void Finalize();
+
+  /// True once Finalize() ran; estimate queries require it.
   bool finalized() const { return finalized_; }
 
   /// Early buffer compaction under memory pressure: compresses the
@@ -129,7 +131,14 @@ class Pbe1 {
   /// SizeBytes()'s sketch-size cost model.
   size_t MemoryUsage() const;
 
+  /// Writes the versioned, delta+varint-coded payload (docs/FORMAT.md).
+  /// Error statistics serialize too, so a reloaded estimator reports
+  /// the same MaxBufferAreaError() bound.
   void Serialize(BinaryWriter* w) const;
+
+  /// Replaces this estimator with the serialized state; returns
+  /// Corruption (leaving the object unspecified but destructible) on a
+  /// malformed payload.
   Status Deserialize(BinaryReader* r);
 
  private:

@@ -61,6 +61,8 @@ class Pbe2 {
   /// Flushes the pending corner point and the open PLA window.
   /// Idempotent.
   void Finalize();
+
+  /// True once Finalize() ran; estimate queries require it.
   bool finalized() const { return finalized_; }
 
   /// A finalized copy for querying mid-stream.
@@ -84,8 +86,14 @@ class Pbe2 {
   /// finalized().
   std::vector<Timestamp> Breakpoints() const;
 
+  /// Total occurrences ingested (N).
   Count TotalCount() const { return running_count_; }
+
+  /// Stored PLA segments — the structure's space driver.
   size_t SegmentCount() const { return builder_.model().size(); }
+
+  /// The *configured* band; the bound in force is 4 * MaxGamma(),
+  /// which may be wider after target_bytes escalation or WidenGamma().
   double gamma() const { return options_.gamma; }
 
   /// Widens the error band for future constraint points by `factor`
@@ -129,6 +137,10 @@ class Pbe2 {
   /// is unaffected, but the model is not byte-identical to one that
   /// was never serialized.
   void Serialize(BinaryWriter* w) const;
+
+  /// Replaces this estimator with the serialized state (including the
+  /// widened-gamma history, so the restored bound matches); returns
+  /// Corruption on a malformed payload.
   Status Deserialize(BinaryReader* r);
 
  private:

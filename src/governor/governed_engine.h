@@ -27,6 +27,7 @@
 
 #include "core/burst_engine.h"
 #include "governor/resource_governor.h"
+#include "obs/metrics.h"
 #include "stream/types.h"
 #include "util/status.h"
 
@@ -153,10 +154,12 @@ class GovernedBurstEngine {
 
  private:
   GovernedEstimate MakeEstimate(double value, const EngineT& queried) const {
+    BURSTHIST_GAUGE(m_bound, obs::kEffectivePointBound);
     GovernedEstimate est;
     est.value = value;
     est.bound = queried.EffectivePointBound().point_bound;
     est.level = governor_.level();
+    m_bound.Set(est.bound);
     return est;
   }
 

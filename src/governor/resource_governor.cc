@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace bursthist {
 
 const char* DegradationLevelName(DegradationLevel level) {
@@ -22,6 +24,10 @@ ResourceGovernor::ResourceGovernor(const ResourceBudget& budget,
   assert(widen_factor_ >= 1.0);
   assert(budget_.hard_bytes == 0 || budget_.soft_bytes == 0 ||
          budget_.soft_bytes <= budget_.hard_bytes);
+  BURSTHIST_GAUGE(m_soft, obs::kGovernorSoftBudgetBytes);
+  BURSTHIST_GAUGE(m_hard, obs::kGovernorHardBudgetBytes);
+  m_soft.Set(static_cast<double>(budget_.soft_bytes));
+  m_hard.Set(static_cast<double>(budget_.hard_bytes));
 }
 
 void ResourceGovernor::RegisterComponent(std::string name, UsageFn usage,
@@ -37,11 +43,26 @@ size_t ResourceGovernor::TotalUsage() const {
 }
 
 void ResourceGovernor::ShedRound() {
+  BURSTHIST_COUNTER(m_sheds, obs::kGovernorShedRoundsTotal);
   for (const Component& c : components_) c.shed(widen_factor_);
   ++shed_rounds_;
+  m_sheds.Inc();
 }
 
 DegradationLevel ResourceGovernor::Enforce() {
+  BURSTHIST_COUNTER(m_audits, obs::kGovernorAuditsTotal);
+  BURSTHIST_COUNTER(m_transitions, obs::kGovernorLevelTransitionsTotal);
+  BURSTHIST_GAUGE(m_resident, obs::kGovernorResidentBytes);
+  BURSTHIST_GAUGE(m_level, obs::kGovernorLevel);
+  const DegradationLevel before = level_;
+  // Publish whatever Enforce() decides, including the re-audited
+  // resident bytes, just before each return.
+  const auto publish = [&](DegradationLevel after) {
+    m_audits.Inc();
+    m_resident.Set(static_cast<double>(last_audit_bytes_));
+    m_level.Set(static_cast<double>(after));
+    if (after != before) m_transitions.Inc();
+  };
   ++audits_;
   last_audit_bytes_ = TotalUsage();
   const bool over_soft =
@@ -50,6 +71,7 @@ DegradationLevel ResourceGovernor::Enforce() {
       budget_.hard_bytes > 0 && last_audit_bytes_ > budget_.hard_bytes;
   if (!over_soft && !over_hard) {
     level_ = DegradationLevel::kNormal;
+    publish(level_);
     return level_;
   }
   if (!over_hard) {
@@ -58,6 +80,7 @@ DegradationLevel ResourceGovernor::Enforce() {
     ShedRound();
     last_audit_bytes_ = TotalUsage();
     level_ = DegradationLevel::kShedding;
+    publish(level_);
     return level_;
   }
   // Hard pressure: shed repeatedly (bounded) until under the hard
@@ -71,12 +94,15 @@ DegradationLevel ResourceGovernor::Enforce() {
   level_ = last_audit_bytes_ > budget_.hard_bytes
                ? DegradationLevel::kSaturated
                : DegradationLevel::kShedding;
+  publish(level_);
   return level_;
 }
 
 Status ResourceGovernor::Admit(size_t extra_bytes) const {
   if (budget_.hard_bytes > 0 &&
       last_audit_bytes_ + extra_bytes > budget_.hard_bytes) {
+    BURSTHIST_COUNTER(m_rejects, obs::kGovernorAdmissionRejectsTotal);
+    m_rejects.Inc();
     return Status::ResourceExhausted("memory hard budget exceeded");
   }
   return Status::OK();

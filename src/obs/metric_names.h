@@ -1,0 +1,128 @@
+// The registry's single source of truth for metric names.
+//
+// Every metric the library exports is declared here, once, through the
+// BURSTHIST_METRIC_LIST X-macro: the entry generates the name constant
+// instrumentation sites reference, the eager registration that makes
+// `bursthist_cli metrics` show the full set (zeros included), and the
+// table `tools/check_metrics_docs.py` diffs against the operator
+// runbook (docs/OPERATIONS.md). Adding a metric anywhere else will
+// fail the docs-drift CI check — add it to this list.
+//
+// Entry format: M(Kind, Symbol, "prometheus_name", "help text")
+//   Kind   — Counter, Gauge, or Histogram (histograms use the shared
+//            latency buckets, kLatencyBucketBounds in obs/metrics.h).
+//   Symbol — generates `obs::k<Symbol>`, the constant call sites use.
+
+#ifndef BURSTHIST_OBS_METRIC_NAMES_H_
+#define BURSTHIST_OBS_METRIC_NAMES_H_
+
+// clang-format off
+#define BURSTHIST_METRIC_LIST(M)                                              \
+  /* ---- engine: ingest path ---- */                                         \
+  M(Counter, EngineAppendsTotal, "bursthist_engine_appends_total",            \
+    "Records accepted by BurstEngine::Append (buffered or ingested).")        \
+  M(Counter, EngineAppendRejectsTotal,                                        \
+    "bursthist_engine_append_rejects_total",                                  \
+    "Appends refused: validation, lateness, backpressure, or WAL error.")     \
+  M(Counter, EngineDroppedRecordsTotal,                                       \
+    "bursthist_engine_dropped_records_total",                                 \
+    "Occurrences shed by the kDropOldest re-order overflow policy.")          \
+  M(Counter, EngineForcedDrainsTotal,                                         \
+    "bursthist_engine_forced_drains_total",                                   \
+    "Times the kForceDrain policy advanced the watermark to shed buffer.")    \
+  M(Gauge, EngineReorderDepth, "bursthist_engine_reorder_depth",              \
+    "Records currently held in the out-of-order re-order buffer.")            \
+  M(Gauge, EngineWatermarkLag, "bursthist_engine_watermark_lag",              \
+    "Watermark minus oldest buffered timestamp, in stream time units.")       \
+  M(Gauge, EngineResidentBytes, "bursthist_engine_resident_bytes",            \
+    "Resident bytes of the engine (index + summaries + buffers).")            \
+  /* ---- engine: query path ---- */                                          \
+  M(Histogram, QueryPointLatencySeconds,                                      \
+    "bursthist_query_point_latency_seconds",                                  \
+    "Latency of POINT queries q(e, t, tau).")                                 \
+  M(Histogram, QueryBurstyTimeLatencySeconds,                                 \
+    "bursthist_query_bursty_time_latency_seconds",                            \
+    "Latency of BURSTY TIME queries q(e, theta, tau).")                       \
+  M(Histogram, QueryBurstyEventLatencySeconds,                                \
+    "bursthist_query_bursty_event_latency_seconds",                           \
+    "Latency of BURSTY EVENT queries q(t, theta, tau).")                      \
+  M(Gauge, QueryBurstyEventPointQueries,                                      \
+    "bursthist_query_bursty_event_point_queries",                             \
+    "Point queries the last BURSTY EVENT query needed (prune quality).")      \
+  /* ---- accuracy proxies ---- */                                            \
+  M(Gauge, EffectivePointBound, "bursthist_effective_point_bound",            \
+    "POINT error bound in force: eps*N + 4*cell_error, degradation "          \
+    "included.")                                                              \
+  M(Gauge, CmpbeEstimateSpread, "bursthist_cmpbe_estimate_spread",            \
+    "Max-minus-min of per-row estimates in the latest hashed-grid "           \
+    "combine (0 = rows agree).")                                              \
+  M(Gauge, CmpbeMaxCellMass, "bursthist_cmpbe_max_cell_mass",                 \
+    "Heaviest leaf-cell routed mass — worst-case collision mass a POINT "     \
+    "answer can absorb.")                                                     \
+  /* ---- recovery: WAL and snapshots ---- */                                 \
+  M(Counter, WalAppendsTotal, "bursthist_wal_appends_total",                  \
+    "Records durably framed into the write-ahead log.")                       \
+  M(Histogram, WalAppendLatencySeconds,                                       \
+    "bursthist_wal_append_latency_seconds",                                   \
+    "Latency of one WAL record append (including any retries).")              \
+  M(Counter, WalAppendRetriesTotal, "bursthist_wal_append_retries_total",     \
+    "WAL append retries onto a fresh segment after transient IO errors.")     \
+  M(Counter, WalFsyncsTotal, "bursthist_wal_fsyncs_total",                    \
+    "WAL fsync calls (per-record when sync_every_record, else on "            \
+    "Sync/rotation).")                                                        \
+  M(Histogram, WalFsyncLatencySeconds, "bursthist_wal_fsync_latency_seconds", \
+    "Latency of WAL fsync calls — stalls here block ingestion.")              \
+  M(Counter, WalRotationsTotal, "bursthist_wal_rotations_total",              \
+    "WAL segment rotations (fsync + fresh segment).")                         \
+  M(Histogram, WalRotationLatencySeconds,                                     \
+    "bursthist_wal_rotation_latency_seconds",                                 \
+    "Latency of WAL segment rotation.")                                       \
+  M(Gauge, WalPoisoned, "bursthist_wal_poisoned",                             \
+    "1 once an fsync failure poisoned the WAL writer (read-only mode).")      \
+  M(Counter, SnapshotWritesTotal, "bursthist_snapshot_writes_total",          \
+    "Snapshot files atomically written by Checkpoint().")                     \
+  M(Histogram, SnapshotWriteLatencySeconds,                                   \
+    "bursthist_snapshot_write_latency_seconds",                               \
+    "Latency of one atomic snapshot write (temp + fsync + rename).")          \
+  M(Gauge, SnapshotBytes, "bursthist_snapshot_bytes",                         \
+    "Size of the most recently written snapshot file, in bytes.")             \
+  M(Counter, RecoveryReplayedRecordsTotal,                                    \
+    "bursthist_recovery_replayed_records_total",                              \
+    "WAL records replayed into an engine during recovery.")                   \
+  M(Counter, RecoveryTornTailsTotal, "bursthist_recovery_torn_tails_total",   \
+    "Replays that stopped at a torn/truncated WAL tail (crash remnant).")     \
+  /* ---- resource governor ---- */                                           \
+  M(Gauge, GovernorResidentBytes, "bursthist_governor_resident_bytes",        \
+    "Total audited bytes across governed components at the last audit.")      \
+  M(Gauge, GovernorSoftBudgetBytes, "bursthist_governor_soft_budget_bytes",   \
+    "Configured soft byte budget (0 = unlimited).")                           \
+  M(Gauge, GovernorHardBudgetBytes, "bursthist_governor_hard_budget_bytes",   \
+    "Configured hard byte budget (0 = unlimited).")                           \
+  M(Gauge, GovernorLevel, "bursthist_governor_level",                         \
+    "Degradation ladder position: 0 Normal, 1 Shedding, 2 Saturated.")        \
+  M(Counter, GovernorLevelTransitionsTotal,                                   \
+    "bursthist_governor_level_transitions_total",                             \
+    "Degradation-level changes observed by Enforce().")                       \
+  M(Counter, GovernorShedRoundsTotal, "bursthist_governor_shed_rounds_total", \
+    "Shed rounds executed (each widens bounds or compacts buffers).")         \
+  M(Counter, GovernorAuditsTotal, "bursthist_governor_audits_total",          \
+    "Governor audit walks (Enforce calls).")                                  \
+  M(Counter, GovernorAdmissionRejectsTotal,                                   \
+    "bursthist_governor_admission_rejects_total",                             \
+    "Appends refused by admission control over the hard budget.")
+// clang-format on
+
+namespace bursthist {
+namespace obs {
+
+// obs::k<Symbol> — the constant instrumentation sites pass to
+// BURSTHIST_COUNTER / BURSTHIST_GAUGE / BURSTHIST_LATENCY_HISTOGRAM.
+#define BURSTHIST_OBS_DECLARE_NAME(Kind, Symbol, Name, Help) \
+  inline constexpr char k##Symbol[] = Name;
+BURSTHIST_METRIC_LIST(BURSTHIST_OBS_DECLARE_NAME)
+#undef BURSTHIST_OBS_DECLARE_NAME
+
+}  // namespace obs
+}  // namespace bursthist
+
+#endif  // BURSTHIST_OBS_METRIC_NAMES_H_

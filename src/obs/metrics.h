@@ -1,0 +1,383 @@
+// Observability layer: a process-wide metrics registry with cheap
+// atomic counters, gauges, and fixed-bucket latency histograms, plus
+// scoped TraceSpan timers with an optional ring-buffer event trace.
+//
+// Design constraints (in priority order):
+//
+//  1. No locks on the hot path. Counter::Inc, Gauge::Set, and
+//     Histogram::Observe touch only relaxed atomics; the registry
+//     mutex is taken exactly once per call site (the macros below
+//     cache the handle in a function-local static) and during
+//     exposition.
+//  2. Compile-out-able. With -DBURSTHIST_NO_METRICS=ON every handle
+//     becomes an empty value type whose methods are inline no-ops, so
+//     instrumented code compiles unchanged and the optimizer erases
+//     it. No call site carries an #ifdef.
+//  3. Self-describing. Every metric is declared in
+//     obs/metric_names.h; RegisterStandardMetrics() materializes the
+//     full set so an exposition always shows every metric (zeros
+//     included), and tools/check_metrics_docs.py diffs the list
+//     against docs/OPERATIONS.md.
+//
+// Instrumentation pattern (identical in both build modes):
+//
+//   BURSTHIST_COUNTER(m_appends, obs::kEngineAppendsTotal);
+//   m_appends.Inc();
+//
+//   BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryPointLatencySeconds);
+//   obs::TraceSpan span(m_lat, "point");   // observes on destruction
+//
+// Exposition: MetricsRegistry::WritePrometheus (text format 0.0.4)
+// and WriteJson. See docs/OPERATIONS.md for the operator's view.
+
+#ifndef BURSTHIST_OBS_METRICS_H_
+#define BURSTHIST_OBS_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/metric_names.h"
+
+#ifndef BURSTHIST_NO_METRICS
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bursthist {
+namespace obs {
+
+/// What a registry entry is — drives exposition formatting.
+enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// Shared bucket boundaries for every latency histogram, in seconds
+/// (1-2.5-5 log scale, 1 µs .. 2.5 s; +Inf is implicit). Fixed at
+/// compile time so Observe() is a short branch-free-ish scan with no
+/// allocation.
+inline constexpr double kLatencyBucketBounds[] = {
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3,
+    2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5};
+inline constexpr size_t kLatencyBucketCount =
+    sizeof(kLatencyBucketBounds) / sizeof(kLatencyBucketBounds[0]);
+
+namespace internal {
+/// Relaxed-ordering add for atomic<double> (fetch_add on floating
+/// atomics is C++20 but not universally lowered; the CAS loop is).
+inline void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+/// Monotonically increasing event count. Never reset, never set.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (resident bytes, queue depth,
+/// error bound in force). Multiple publishers race benignly: the
+/// freshest write wins, which is the gauge contract.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { internal::AtomicAdd(&value_, v); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative `le` buckets in the Prometheus
+/// sense, plus sum and count. Observe() is lock-free (one linear scan
+/// of the boundaries + three relaxed atomic updates).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+  void Observe(double v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    internal::AtomicAdd(&sum_, v);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  // deque-like stable storage not needed: sized once in the ctor.
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> metric map with registration-time locking only. Handles
+/// returned by Get* are stable for the registry's lifetime, so call
+/// sites cache them (the BURSTHIST_* macros do this automatically).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every macro call site publishes to.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates. A name already registered as a different kind
+  /// is a programming error (asserts in debug; returns the requested
+  /// kind's process-wide fallback dummy in release so instrumentation
+  /// never crashes the host).
+  Counter& GetCounter(const std::string& name, const std::string& help);
+  Gauge& GetGauge(const std::string& name, const std::string& help);
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Prometheus text exposition format 0.0.4 (HELP/TYPE + samples),
+  /// metrics sorted by name.
+  void WritePrometheus(std::string* out) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"count", "sum", "buckets": [[le, n], ...]}}}.
+  void WriteJson(std::string* out) const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetOrCreate(const std::string& name, const std::string& help,
+                     MetricKind kind, const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+/// Eagerly registers every metric declared in obs/metric_names.h, so
+/// an exposition shows the full set with zero values instead of only
+/// the metrics the process happened to touch.
+void RegisterStandardMetrics(MetricsRegistry* registry = nullptr);
+
+/// The declared standard-metric table (name/help/kind), in
+/// declaration order — the docs-drift check and tests read this.
+struct StandardMetricInfo {
+  const char* name;
+  const char* help;
+  MetricKind kind;
+};
+const std::vector<StandardMetricInfo>& StandardMetrics();
+
+/// Global-registry lookups with the standard help text; used by the
+/// call-site macros. Names outside metric_names.h get an empty help.
+Counter& GetCounter(const char* name);
+Gauge& GetGauge(const char* name);
+Histogram& GetLatencyHistogram(const char* name);
+
+/// One completed TraceSpan, as read back from the ring.
+struct TraceEvent {
+  const char* label = nullptr;  ///< The span's static label.
+  uint64_t start_us = 0;        ///< Start, µs since an arbitrary epoch.
+  double duration_seconds = 0.0;
+};
+
+/// Bounded ring buffer of recent trace events for post-hoc debugging.
+/// Off by default (spans then cost nothing beyond their histogram
+/// observation); Enable() starts capture, Snapshot() reads the ring
+/// oldest-first. Recording takes a mutex — acceptable because tracing
+/// is an opt-in debugging mode, not the steady-state hot path.
+class TraceRing {
+ public:
+  static TraceRing& Global();
+
+  void Enable(size_t capacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const char* label, uint64_t start_us, double duration_seconds);
+  std::vector<TraceEvent> Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = 0;
+  size_t next_ = 0;   // ring write cursor
+  size_t count_ = 0;  // events stored (<= capacity_)
+};
+
+/// Scoped timer: observes its lifetime into a latency histogram on
+/// destruction and, when the trace ring is enabled and a label was
+/// given, records a TraceEvent.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram& histogram, const char* label = nullptr)
+      : histogram_(&histogram),
+        label_(label),
+        start_(std::chrono::steady_clock::now()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    histogram_->Observe(seconds);
+    if (label_ != nullptr && TraceRing::Global().enabled()) {
+      const uint64_t start_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              start_.time_since_epoch())
+              .count());
+      TraceRing::Global().Record(label_, start_us, seconds);
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  const char* label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Compact one-line operator summary of the registry's headline
+/// numbers ("appends=… reorder=… resident=… level=…").
+std::string FormatStatsLine();
+
+/// Periodic stats line for long ingests: call Tick() per record; once
+/// `interval_seconds` elapses (checked every few thousand ticks, so
+/// the clock stays off the per-record path) a stats line goes to
+/// `out`. Final() prints one unconditionally.
+class PeriodicStats {
+ public:
+  explicit PeriodicStats(double interval_seconds = 1.0,
+                         std::FILE* out = stderr);
+  void Tick(uint64_t records = 1);
+  void Final();
+
+ private:
+  void MaybePrint(bool force);
+
+  std::FILE* out_;
+  double interval_seconds_;
+  uint64_t ticks_since_check_ = 0;
+  uint64_t records_ = 0;
+  uint64_t last_records_ = 0;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace obs
+}  // namespace bursthist
+
+/// Call-site handle caches: one registry lookup per call site for the
+/// process lifetime, then pure atomics.
+#define BURSTHIST_COUNTER(var, name) \
+  static ::bursthist::obs::Counter& var = ::bursthist::obs::GetCounter(name)
+#define BURSTHIST_GAUGE(var, name) \
+  static ::bursthist::obs::Gauge& var = ::bursthist::obs::GetGauge(name)
+#define BURSTHIST_LATENCY_HISTOGRAM(var, name)  \
+  static ::bursthist::obs::Histogram& var =     \
+      ::bursthist::obs::GetLatencyHistogram(name)
+
+#else  // BURSTHIST_NO_METRICS -------------------------------------------
+
+// Compiled-out mode: the same API surface as value types whose
+// methods are inline no-ops. Instrumented code compiles unchanged and
+// the optimizer deletes every trace of it.
+
+namespace bursthist {
+namespace obs {
+
+class Counter {
+ public:
+  void Inc(uint64_t = 1) const {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(double) const {}
+  void Add(double) const {}
+  double Value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void Observe(double) const {}
+  uint64_t Count() const { return 0; }
+  double Sum() const { return 0.0; }
+};
+
+class TraceRing {
+ public:
+  static TraceRing& Global() {
+    static TraceRing ring;
+    return ring;
+  }
+  void Enable(size_t) {}
+  void Disable() {}
+  bool enabled() const { return false; }
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const Histogram&, const char* = nullptr) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {}  // user-provided: silences unused-variable warnings
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  void WritePrometheus(std::string* out) const {
+    *out += "# bursthist metrics compiled out (BURSTHIST_NO_METRICS)\n";
+  }
+  void WriteJson(std::string* out) const { *out += "{}"; }
+};
+
+inline void RegisterStandardMetrics(MetricsRegistry* = nullptr) {}
+
+inline std::string FormatStatsLine() { return std::string(); }
+
+class PeriodicStats {
+ public:
+  explicit PeriodicStats(double = 1.0, std::FILE* = stderr) {}
+  void Tick(uint64_t = 1) {}
+  void Final() {}
+};
+
+}  // namespace obs
+}  // namespace bursthist
+
+#define BURSTHIST_COUNTER(var, name) \
+  [[maybe_unused]] constexpr ::bursthist::obs::Counter var {}
+#define BURSTHIST_GAUGE(var, name) \
+  [[maybe_unused]] constexpr ::bursthist::obs::Gauge var {}
+#define BURSTHIST_LATENCY_HISTOGRAM(var, name) \
+  [[maybe_unused]] constexpr ::bursthist::obs::Histogram var {}
+
+#endif  // BURSTHIST_NO_METRICS
+
+#endif  // BURSTHIST_OBS_METRICS_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/crc32c.h"
 #include "util/serialize.h"
 
@@ -47,6 +48,10 @@ Result<std::vector<uint64_t>> ListSnapshots(Env* env, const std::string& dir) {
 Status WriteSnapshotFile(Env* env, const std::string& dir,
                          uint64_t generation, const WalPosition& covered,
                          const std::vector<uint8_t>& blob) {
+  BURSTHIST_COUNTER(m_writes, obs::kSnapshotWritesTotal);
+  BURSTHIST_GAUGE(m_bytes, obs::kSnapshotBytes);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kSnapshotWriteLatencySeconds);
+  obs::TraceSpan span(m_lat, "snapshot_write");
   BinaryWriter w;
   w.Put<uint32_t>(kSnapshotMagic);
   w.Put<uint32_t>(kSnapshotVersion);
@@ -71,7 +76,10 @@ Status WriteSnapshotFile(Env* env, const std::string& dir,
     (void)env->DeleteFile(tmp);
     return s;
   }
-  return env->SyncDir(dir);
+  BURSTHIST_RETURN_IF_ERROR(env->SyncDir(dir));
+  m_writes.Inc();
+  m_bytes.Set(static_cast<double>(w.size()));
+  return Status::OK();
 }
 
 Result<SnapshotContents> ReadSnapshotFile(Env* env, const std::string& dir,

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/crc32c.h"
 #include "util/serialize.h"
 
@@ -77,6 +78,10 @@ Status WalWriter::OpenSegment(uint64_t seq) {
 
 Status WalWriter::AddRecord(WalRecordType type,
                             const std::vector<uint8_t>& payload) {
+  BURSTHIST_COUNTER(m_appends, obs::kWalAppendsTotal);
+  BURSTHIST_COUNTER(m_retries, obs::kWalAppendRetriesTotal);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kWalAppendLatencySeconds);
+  obs::TraceSpan span(m_lat, "wal_append");
   if (poisoned_) {
     return Status::Unavailable("WAL is read-only after an fsync failure");
   }
@@ -96,6 +101,7 @@ Status WalWriter::AddRecord(WalRecordType type,
   Status append = file_->Append(frame.bytes());
   for (uint32_t attempt = 1; !append.ok() && attempt <= options_.append_retries;
        ++attempt) {
+    m_retries.Inc();
     if (options_.retry_backoff) options_.retry_backoff(attempt);
     // A failed append may have torn the segment tail; the retry must
     // land on a clean segment. If the cleanup itself fails, surface
@@ -108,20 +114,27 @@ Status WalWriter::AddRecord(WalRecordType type,
   if (options_.sync_every_record) {
     BURSTHIST_RETURN_IF_ERROR(Sync());
   }
+  m_appends.Inc();
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
+  BURSTHIST_COUNTER(m_fsyncs, obs::kWalFsyncsTotal);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kWalFsyncLatencySeconds);
+  BURSTHIST_GAUGE(m_poisoned, obs::kWalPoisoned);
   if (poisoned_) {
     return Status::Unavailable("WAL is read-only after an fsync failure");
   }
+  obs::TraceSpan span(m_lat, "wal_fsync");
   const Status s = file_->Sync();
+  m_fsyncs.Inc();
   if (!s.ok()) {
     // Never retry a failed fsync: the kernel may already have dropped
     // the dirty pages, so a later fsync returning OK proves nothing
     // about these bytes. Poison the writer; the owner degrades to
     // read-only and recovery replays whatever actually reached disk.
     poisoned_ = true;
+    m_poisoned.Set(1.0);
     return Status::Unavailable("fsync failed, WAL now read-only: " +
                                s.message());
   }
@@ -129,9 +142,14 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Rotate() {
+  BURSTHIST_COUNTER(m_rotations, obs::kWalRotationsTotal);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kWalRotationLatencySeconds);
+  obs::TraceSpan span(m_lat, "wal_rotate");
   BURSTHIST_RETURN_IF_ERROR(Sync());
   BURSTHIST_RETURN_IF_ERROR(file_->Close());
-  return OpenSegment(position_.seq + 1);
+  BURSTHIST_RETURN_IF_ERROR(OpenSegment(position_.seq + 1));
+  m_rotations.Inc();
+  return Status::OK();
 }
 
 Status WalWriter::ReopenCleanSegment() {
@@ -146,6 +164,8 @@ Result<WalReplayResult> ReplayWal(
     Env* env, const std::string& dir, const WalPosition& from,
     const std::function<Status(WalRecordType, const uint8_t* payload,
                                size_t len)>& sink) {
+  BURSTHIST_COUNTER(m_replayed, obs::kRecoveryReplayedRecordsTotal);
+  BURSTHIST_COUNTER(m_torn, obs::kRecoveryTornTailsTotal);
   auto seqs_or = ListWalSegments(env, dir);
   if (!seqs_or.ok()) return seqs_or.status();
   const std::vector<uint64_t>& all = seqs_or.value();
@@ -175,6 +195,7 @@ Result<WalReplayResult> ReplayWal(
       if (last) {
         // Crash while creating the segment: an expected torn tail.
         result.tail_torn = true;
+        m_torn.Inc();
         return result;
       }
       return Status::Corruption("short WAL header in non-final segment");
@@ -198,6 +219,7 @@ Result<WalReplayResult> ReplayWal(
       if (remaining < kFrameHeader) {
         if (last) {
           result.tail_torn = true;
+          m_torn.Inc();
           return result;
         }
         return Status::Corruption("trailing garbage in non-final segment");
@@ -211,6 +233,7 @@ Result<WalReplayResult> ReplayWal(
           // A record cut off mid-write (or a length field mangled by
           // the same tear) — the expected crash remnant.
           result.tail_torn = true;
+          m_torn.Inc();
           return result;
         }
         return Status::Corruption("record overruns non-final segment");
@@ -222,6 +245,7 @@ Result<WalReplayResult> ReplayWal(
           // The final record's bytes are damaged; indistinguishable
           // from a torn write, so drop it and stop cleanly.
           result.tail_torn = true;
+          m_torn.Inc();
           return result;
         }
         return Status::Corruption("WAL record checksum mismatch");
@@ -229,6 +253,7 @@ Result<WalReplayResult> ReplayWal(
       BURSTHIST_RETURN_IF_ERROR(
           sink(static_cast<WalRecordType>(body[0]), body + 1, payload_len));
       off += frame_size;
+      m_replayed.Inc();
       ++result.records;
       result.end = WalPosition{seq, off};
     }

@@ -1,9 +1,18 @@
-// Unit tests for the evaluation metrics.
+// Unit tests for the evaluation metrics (eval/metrics.h) and the
+// observability layer (obs/metrics.h): registry concurrency, histogram
+// bucket semantics, exposition golden output, and the
+// BURSTHIST_NO_METRICS stub surface.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "core/pbe1.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 
 namespace bursthist {
 namespace {
@@ -93,6 +102,177 @@ TEST(MeasurePointErrorTest, ZeroForExactModel) {
   EXPECT_DOUBLE_EQ(stats.mean_abs, 0.0);
   EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
 }
+
+// ---- observability layer (obs/metrics.h) -------------------------------
+
+// The instrumentation macros must compile and run in BOTH build modes
+// (real and BURSTHIST_NO_METRICS) with no #ifdef at the call site —
+// this test body is exactly what an instrumented function looks like.
+TEST(ObsMacrosTest, CallSitePatternCompilesInBothModes) {
+  BURSTHIST_COUNTER(m_count, obs::kEngineAppendsTotal);
+  BURSTHIST_GAUGE(m_gauge, obs::kEngineReorderDepth);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryPointLatencySeconds);
+  m_count.Inc();
+  m_gauge.Set(3.0);
+  { obs::TraceSpan span(m_lat, "test"); }
+  std::string out;
+  obs::MetricsRegistry::Global().WritePrometheus(&out);
+  EXPECT_FALSE(out.empty());
+}
+
+#ifndef BURSTHIST_NO_METRICS
+
+TEST(ObsRegistryTest, CountersUnderEightThreads) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("t_counter", "help");
+  obs::Gauge& gauge = registry.GetGauge("t_gauge", "help");
+  obs::Histogram& hist =
+      registry.GetHistogram("t_hist", "help", {1.0, 10.0});
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kOpsPerThread; ++j) {
+        counter.Inc();
+        gauge.Add(1.0);  // integer-valued adds stay exact in a double
+        hist.Observe(0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t expect = uint64_t{kThreads} * kOpsPerThread;
+  EXPECT_EQ(counter.Value(), expect);
+  EXPECT_DOUBLE_EQ(gauge.Value(), static_cast<double>(expect));
+  EXPECT_EQ(hist.Count(), expect);
+  EXPECT_EQ(hist.BucketCount(0), expect);  // every observation <= 1.0
+}
+
+TEST(ObsRegistryTest, SameNameReturnsSameHandle) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.GetCounter("c", "help");
+  obs::Counter& b = registry.GetCounter("c", "other help ignored");
+  EXPECT_EQ(&a, &b);
+  a.Inc(5);
+  EXPECT_EQ(b.Value(), 5u);
+}
+
+TEST(ObsHistogramTest, BucketBoundariesAreLeInclusive) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0: le="1" includes exactly 1.0
+  h.Observe(1.5);  // bucket 1
+  h.Observe(2.0);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(4.1);  // overflow (+Inf) bucket
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1);
+}
+
+TEST(ObsExpositionTest, PrometheusGoldenOutput) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("t_counter", "Things counted.").Inc(3);
+  registry.GetGauge("t_gauge", "A level.").Set(2.5);
+  obs::Histogram& h = registry.GetHistogram("t_hist", "Latencies.",
+                                            {1.0, 2.5});
+  h.Observe(0.5);
+  h.Observe(2.0);
+  h.Observe(7.0);
+  std::string out;
+  registry.WritePrometheus(&out);
+  EXPECT_EQ(out,
+            "# HELP t_counter Things counted.\n"
+            "# TYPE t_counter counter\n"
+            "t_counter 3\n"
+            "# HELP t_gauge A level.\n"
+            "# TYPE t_gauge gauge\n"
+            "t_gauge 2.5\n"
+            "# HELP t_hist Latencies.\n"
+            "# TYPE t_hist histogram\n"
+            "t_hist_bucket{le=\"1\"} 1\n"
+            "t_hist_bucket{le=\"2.5\"} 2\n"
+            "t_hist_bucket{le=\"+Inf\"} 3\n"
+            "t_hist_sum 9.5\n"
+            "t_hist_count 3\n");
+}
+
+TEST(ObsExpositionTest, JsonGoldenOutput) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("t_counter", "h").Inc(3);
+  registry.GetGauge("t_gauge", "h").Set(2.5);
+  obs::Histogram& h = registry.GetHistogram("t_hist", "h", {1.0, 2.5});
+  h.Observe(0.5);
+  h.Observe(7.0);
+  std::string out;
+  registry.WriteJson(&out);
+  EXPECT_EQ(out,
+            "{\"counters\":{\"t_counter\":3},"
+            "\"gauges\":{\"t_gauge\":2.5},"
+            "\"histograms\":{\"t_hist\":{\"count\":2,\"sum\":7.5,"
+            "\"buckets\":[[1,1],[2.5,1],[\"+Inf\",2]]}}}");
+}
+
+TEST(ObsStandardMetricsTest, EveryDeclaredMetricRegisters) {
+  obs::MetricsRegistry registry;
+  obs::RegisterStandardMetrics(&registry);
+  const auto names = registry.Names();
+  EXPECT_EQ(names.size(), obs::StandardMetrics().size());
+  for (const auto& m : obs::StandardMetrics()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), m.name), names.end())
+        << m.name;
+  }
+  // Exposition of the freshly registered set shows every metric with a
+  // zero value and a help line (no gaps for untouched metrics).
+  std::string out;
+  registry.WritePrometheus(&out);
+  for (const auto& m : obs::StandardMetrics()) {
+    EXPECT_NE(out.find(std::string("# HELP ") + m.name), std::string::npos)
+        << m.name;
+  }
+}
+
+TEST(ObsTraceRingTest, WrapsAndSnapshotsOldestFirst) {
+  obs::TraceRing& ring = obs::TraceRing::Global();
+  ring.Enable(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ring.Record("ev", /*start_us=*/i, /*duration_seconds=*/0.0);
+  }
+  const auto events = ring.Snapshot();
+  ring.Disable();
+  ASSERT_EQ(events.size(), 4u);
+  // 6 records into a 4-slot ring: 0 and 1 overwritten, 2..5 survive.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].start_us, i + 2);
+  }
+}
+
+TEST(ObsTraceSpanTest, ObservesHistogramOnDestruction) {
+  obs::Histogram h({1.0});
+  { obs::TraceSpan span(h); }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GE(h.Sum(), 0.0);
+}
+
+#else  // BURSTHIST_NO_METRICS
+
+// Compiled-out mode: the stubs must report the layer as absent rather
+// than silently emitting empty-but-plausible telemetry.
+TEST(ObsCompiledOutTest, ExpositionSaysCompiledOut) {
+  std::string prom;
+  obs::MetricsRegistry::Global().WritePrometheus(&prom);
+  EXPECT_NE(prom.find("compiled out"), std::string::npos);
+  std::string json;
+  obs::MetricsRegistry::Global().WriteJson(&json);
+  EXPECT_EQ(json, "{}");
+  EXPECT_EQ(obs::FormatStatsLine(), "");
+  EXPECT_FALSE(obs::TraceRing::Global().enabled());
+}
+
+#endif  // BURSTHIST_NO_METRICS
 
 }  // namespace
 }  // namespace bursthist

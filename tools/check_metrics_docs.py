@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail if docs/OPERATIONS.md drifts from the declared metric set.
+
+The single source of truth for metric names is the X-macro list in
+src/obs/metric_names.h. This script extracts every declared
+"bursthist_*" name from that list and every "bursthist_*" token from
+docs/OPERATIONS.md, and exits nonzero if either side has a name the
+other lacks. Run from anywhere:
+
+    python3 tools/check_metrics_docs.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+HEADER = REPO / "src" / "obs" / "metric_names.h"
+DOC = REPO / "docs" / "OPERATIONS.md"
+
+# Non-metric identifiers that legitimately appear in the runbook.
+DOC_ALLOWLIST = {"bursthist_cli"}
+
+
+def declared_metrics(header_text: str) -> set:
+    """Names from the BURSTHIST_METRIC_LIST X-macro declarations."""
+    # Every declared name is a quoted string literal starting with
+    # "bursthist_". Help strings never contain that prefix, so a plain
+    # literal scan over the macro block is exact.
+    macro = re.search(
+        r"#define BURSTHIST_METRIC_LIST\(M\)(.*?)// clang-format on",
+        header_text,
+        re.S,
+    )
+    if macro is None:
+        sys.exit(f"error: BURSTHIST_METRIC_LIST not found in {HEADER}")
+    return set(re.findall(r'"(bursthist_[a-z0-9_]+)"', macro.group(1)))
+
+
+def documented_metrics(doc_text: str) -> set:
+    return set(re.findall(r"\b(bursthist_[a-z0-9_]+)\b", doc_text)) - DOC_ALLOWLIST
+
+
+def main() -> int:
+    declared = declared_metrics(HEADER.read_text())
+    documented = documented_metrics(DOC.read_text())
+    if not declared:
+        print(f"error: no metrics declared in {HEADER}", file=sys.stderr)
+        return 1
+
+    missing = sorted(declared - documented)
+    unknown = sorted(documented - declared)
+    for name in missing:
+        print(f"UNDOCUMENTED: {name} is declared in {HEADER.name} "
+              f"but missing from {DOC.name}", file=sys.stderr)
+    for name in unknown:
+        print(f"STALE: {name} appears in {DOC.name} but is not declared "
+              f"in {HEADER.name}", file=sys.stderr)
+    if missing or unknown:
+        print(f"\nmetrics docs drift: {len(missing)} undocumented, "
+              f"{len(unknown)} stale. Update docs/OPERATIONS.md and/or "
+              f"src/obs/metric_names.h.", file=sys.stderr)
+        return 1
+    print(f"OK: {len(declared)} metrics declared, all documented, "
+          f"no stale names.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
