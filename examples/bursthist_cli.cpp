@@ -15,17 +15,24 @@
 // need no flags. Demo:
 //   ./bursthist_cli selftest    # generates a CSV, ingests, queries
 
+#include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/burst_engine.h"
 #include "core/sketch_store.h"
 #include "gen/scenarios.h"
+#include "governor/resource_governor.h"
 #include "obs/metrics.h"
+#include "recovery/durable_engine.h"
+#include "server/ingest_server.h"
 #include "stream/csv_io.h"
+#include "util/env.h"
 #include "util/serialize.h"
 
 using namespace bursthist;
@@ -154,6 +161,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
+      "  bursthist_cli serve  <dir> <K> [--port N] [--gamma g]\n"
+      "                       [--lateness L] [--budget-mb M]\n"
       "  bursthist_cli ingest <events.csv> <K> <out.sketch> [gamma]\n"
       "  bursthist_cli info   <sketch>\n"
       "  bursthist_cli metrics <sketch> [--json]\n"
@@ -183,6 +192,84 @@ int StoreSave(SketchStore* store, const char* name, const char* csv_path,
   std::printf("saved '%s' (%zu rows, %.1f KB)\n", name,
               stream.value().size(), engine.SizeBytes() / 1024.0);
   return 0;
+}
+
+// serve: durable ingest + snapshot-served queries over TCP, until
+// SIGINT/SIGTERM. Engine shape matches the FileHeader defaults, so
+// replies agree with sketches the `ingest` command writes from the
+// same stream.
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+
+struct ServeConfig {
+  const char* dir = nullptr;
+  FileHeader header;
+  uint16_t port = 0;
+  Timestamp lateness = 0;
+  size_t budget_mb = 0;
+};
+
+template <typename PbeT>
+int ServeWith(const ServeConfig& cfg) {
+  obs::RegisterStandardMetrics();
+  BurstEngineOptions<PbeT> options = EngineOptions<PbeT>(cfg.header);
+  options.max_lateness = cfg.lateness;
+  auto durable =
+      DurableBurstEngine<PbeT>::Open(Env::Default(), cfg.dir, options);
+  if (!durable.ok()) return Fail(durable.status());
+
+  server::BurstServiceOptions service_options;
+  ResourceGovernor governor(
+      ResourceBudget{cfg.budget_mb << 19, cfg.budget_mb << 20});
+  if (cfg.budget_mb > 0) {
+    auto* engine = &durable.value()->engine();
+    governor.RegisterComponent(
+        "engine", [engine] { return engine->MemoryUsage(); },
+        [engine](double factor) { engine->Degrade(factor); });
+    service_options.governor = &governor;
+  }
+
+  server::IngestServer<PbeT> server(durable.value().get(), service_options);
+  server::TcpServerOptions tcp;
+  tcp.port = cfg.port;
+  if (Status st = server.Start(tcp); !st.ok()) return Fail(st);
+  std::printf("listening on %s:%u\n", tcp.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  if (Status st = durable.value()->Sync(); !st.ok()) return Fail(st);
+  std::printf("stopped\n");
+  return 0;
+}
+
+int Serve(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  ServeConfig cfg;
+  cfg.dir = argv[2];
+  cfg.header.universe =
+      static_cast<EventId>(std::strtoul(argv[3], nullptr, 10));
+  if (cfg.header.universe == 0) return Usage();
+  for (int i = 4; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--port") {
+      cfg.port = static_cast<uint16_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    } else if (flag == "--gamma") {
+      cfg.header.kind = 2;
+      cfg.header.gamma = std::atof(argv[i + 1]);
+    } else if (flag == "--lateness") {
+      cfg.lateness = std::strtoll(argv[i + 1], nullptr, 10);
+    } else if (flag == "--budget-mb") {
+      cfg.budget_mb = std::strtoul(argv[i + 1], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  return cfg.header.kind == 1 ? ServeWith<Pbe1>(cfg) : ServeWith<Pbe2>(cfg);
 }
 
 int SelfTest() {
@@ -222,6 +309,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
 
   if (cmd == "selftest") return SelfTest();
+  if (cmd == "serve") return Serve(argc, argv);
 
   if (cmd == "ingest") {
     if (argc != 5 && argc != 6) return Usage();

@@ -13,13 +13,26 @@
 // Unlike the bare structures (which assert on misuse), the engine
 // validates ids and timestamp order with Status returns, making it
 // the right entry point for ingesting untrusted feeds.
+//
+// Queries on a LIVE (unfinalized) engine are answered through an
+// internally cached finalized clone covering every accepted record —
+// including those still waiting in the re-order buffer — so a live
+// answer never silently omits buffered data (see QueryView()). For
+// serving queries concurrently with ingestion, AcquireSnapshot()
+// (core/read_snapshot.h) publishes that clone as an immutable,
+// shareable view whose answers carry their watermark and effective
+// error bound. The engine itself stays single-writer: Append and the
+// value-returning queries must come from one thread at a time;
+// concurrent readers hold ReadSnapshots.
 
 #ifndef BURSTHIST_CORE_BURST_ENGINE_H_
 #define BURSTHIST_CORE_BURST_ENGINE_H_
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -35,6 +48,11 @@
 #include "util/status.h"
 
 namespace bursthist {
+
+/// Immutable query view published by BurstEngine::AcquireSnapshot()
+/// (defined in core/read_snapshot.h).
+template <typename PbeT>
+class ReadSnapshot;
 
 /// What Append does when the re-order buffer already holds
 /// BurstEngineOptions::max_reorder_events records and another arrives.
@@ -199,6 +217,7 @@ class BurstEngine {
     }
     reorder_.push(Pending{t, e, count});
     buffered_count_ += count;
+    ++state_version_;
     watermark_ = started_ ? std::max(watermark_, t) : t;
     started_ = true;
     if (options_.max_reorder_events > 0) EnforceReorderCap();
@@ -230,31 +249,74 @@ class BurstEngine {
       DrainReorderBuffer(std::numeric_limits<Timestamp>::max());
       index_.Finalize();
       finalized_ = true;
+      ++state_version_;
+      live_view_.reset();
       UpdateIngestGauges();
     }
   }
-  /// True once Finalize() froze the engine; queries require it.
+  /// True once Finalize() froze the engine. Queries no longer require
+  /// it: on a live engine they are served through a finalized clone
+  /// covering every accepted record (see the class comment), so a
+  /// finalized engine only answers cheaper, never differently.
   bool finalized() const { return finalized_; }
+
+  /// A finalized deep copy covering every record accepted so far —
+  /// ingested AND still buffered (the clone drains its own re-order
+  /// buffer; the live engine's buffer is untouched). The clone has no
+  /// append observer and answers queries directly.
+  BurstEngine FinalizedClone() const {
+    BurstEngine snap(*this);
+    snap.observer_ = nullptr;
+    snap.live_view_.reset();
+    if (!snap.finalized_) {
+      // Quiet finalize: no gauge writes, so the live engine keeps
+      // owning the process-wide ingest gauges mid-stream.
+      snap.DrainReorderBuffer(std::numeric_limits<Timestamp>::max());
+      snap.index_.Finalize();
+      snap.finalized_ = true;
+    }
+    return snap;
+  }
+
+  /// Publishes an immutable query view of everything accepted so far:
+  /// drains the ripe prefix of the re-order buffer at the current
+  /// watermark into the live index, then captures a finalized clone
+  /// (buffered suffix included) behind a shared_ptr. Readers on other
+  /// threads may query the snapshot freely while this engine keeps
+  /// appending; every snapshot answer carries the watermark and the
+  /// effective error bound in force at capture. Writer-thread only,
+  /// like Append. Defined in core/read_snapshot.h.
+  std::shared_ptr<const ReadSnapshot<PbeT>> AcquireSnapshot(
+      uint64_t sequence = 0);
+
+  /// Monotone counter of state mutations (appends, degradation,
+  /// finalize, deserialize) — the staleness token behind the live
+  /// query view. Writer-thread only.
+  uint64_t StateVersion() const { return state_version_; }
 
   /// POINT query q(e, t, tau): estimated burstiness of e at t.
   /// Answers obey Lemma 5 — within eps*N + 4*cell_error of the truth
-  /// with probability >= 1 - delta; EffectivePointBound() reports the
-  /// bound in force, degradation included.
+  /// with probability >= 1 - delta; EffectiveAnswerBound() reports the
+  /// bound in force, degradation included. On a live engine the
+  /// answer covers every accepted record (buffered included).
   double PointQuery(EventId e, Timestamp t, Timestamp tau) const {
     BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryPointLatencySeconds);
     obs::TraceSpan span(m_lat, "point");
-    return index_.EstimateBurstiness(e, t, tau);
+    return QueryView().index_.EstimateBurstiness(e, t, tau);
   }
 
   /// Estimated cumulative frequency F~_e(t) (leaf level).
   double CumulativeQuery(EventId e, Timestamp t) const {
-    return index_.level(0).EstimateCumulative(e, t);
+    return QueryView().index_.level(0).EstimateCumulative(e, t);
   }
 
   /// Estimated frequency of e in the closed time range [t1, t2]
-  /// (Section II-A's f_e(S[t1, t2])).
+  /// (Section II-A's f_e(S[t1, t2])). A degenerate range with
+  /// t1 > t2 selects no substream, so the answer is defined to be 0
+  /// (never swapped) — enforced here at the engine layer.
   double FrequencyQuery(EventId e, Timestamp t1, Timestamp t2) const {
-    return index_.level(0).EstimateFrequency(e, t1, t2);
+    if (t1 > t2) return 0.0;
+    return QueryView().index_.level(0).EstimateFrequency(e, t1, t2);
   }
 
   /// BURSTY TIME query q(e, theta, tau): maximal intervals where the
@@ -266,7 +328,7 @@ class BurstEngine {
                                             Timestamp tau) const {
     BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryBurstyTimeLatencySeconds);
     obs::TraceSpan span(m_lat, "bursty_time");
-    return BurstyTimes(LeafModel{&index_.level(0), e}, theta, tau);
+    return BurstyTimes(LeafModel{&QueryView().index_.level(0), e}, theta, tau);
   }
 
   /// BURSTY EVENT query q(t, theta, tau): ids whose estimated
@@ -277,8 +339,10 @@ class BurstEngine {
     BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryBurstyEventLatencySeconds);
     BURSTHIST_GAUGE(m_point_queries, obs::kQueryBurstyEventPointQueries);
     obs::TraceSpan span(m_lat, "bursty_event");
-    auto out = index_.BurstyEvents(t, theta, tau);
-    m_point_queries.Set(static_cast<double>(index_.LastQueryPointQueries()));
+    const BurstEngine& view = QueryView();
+    auto out = view.index_.BurstyEvents(t, theta, tau);
+    m_point_queries.Set(
+        static_cast<double>(view.index_.LastQueryPointQueries()));
     return out;
   }
 
@@ -290,10 +354,19 @@ class BurstEngine {
   std::vector<EventId> FrequentBurstyEventQuery(Timestamp t, double theta,
                                                 Timestamp tau,
                                                 double min_frequency) const {
+    BURSTHIST_LATENCY_HISTOGRAM(
+        m_lat, obs::kQueryFrequentBurstyEventLatencySeconds);
+    BURSTHIST_GAUGE(m_point_queries, obs::kQueryBurstyEventPointQueries);
+    obs::TraceSpan span(m_lat, "frequent_bursty_event");
+    const BurstEngine& view = QueryView();
     std::vector<EventId> out;
-    for (EventId e : index_.BurstyEvents(t, theta, tau)) {
-      if (CumulativeQuery(e, t) >= min_frequency) out.push_back(e);
+    for (EventId e : view.index_.BurstyEvents(t, theta, tau)) {
+      if (view.index_.level(0).EstimateCumulative(e, t) >= min_frequency) {
+        out.push_back(e);
+      }
     }
+    m_point_queries.Set(
+        static_cast<double>(view.index_.LastQueryPointQueries()));
     return out;
   }
 
@@ -302,7 +375,14 @@ class BurstEngine {
   /// search's heuristic caveat).
   std::vector<std::pair<EventId, double>> TopKBurstyEvents(
       Timestamp t, size_t k, Timestamp tau) const {
-    return index_.TopKBurstyEvents(t, k, tau);
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kQueryTopkLatencySeconds);
+    BURSTHIST_GAUGE(m_point_queries, obs::kQueryBurstyEventPointQueries);
+    obs::TraceSpan span(m_lat, "topk");
+    const BurstEngine& view = QueryView();
+    auto out = view.index_.TopKBurstyEvents(t, k, tau);
+    m_point_queries.Set(
+        static_cast<double>(view.index_.LastQueryPointQueries()));
+    return out;
   }
 
   /// The heaviest tracked event ids (requires
@@ -312,8 +392,13 @@ class BurstEngine {
   }
   const SpaceSaving& heavy_hitters() const { return hitters_; }
 
-  /// Point queries the last BurstyEventQuery needed.
+  /// Point queries the last BurstyEventQuery needed. On a live engine
+  /// the search ran against the cached query view, so the counter is
+  /// read from there.
   size_t LastQueryPointQueries() const {
+    if (!finalized_ && live_view_) {
+      return live_view_->index_.LastQueryPointQueries();
+    }
     return index_.LastQueryPointQueries();
   }
 
@@ -349,7 +434,10 @@ class BurstEngine {
 
   /// Applies the degradation ladder to the index's live cells (see
   /// CmPbe::Degrade); EffectivePointBound() widens accordingly.
-  void Degrade(double gamma_factor) { index_.Degrade(gamma_factor); }
+  void Degrade(double gamma_factor) {
+    index_.Degrade(gamma_factor);
+    ++state_version_;
+  }
 
   /// The POINT-answer error bound currently in force (Lemma 5 with
   /// every band escalation and degradation folded in).
@@ -365,6 +453,19 @@ class BurstEngine {
         b.epsilon * static_cast<double>(total_count_) + 4.0 * b.cell_error;
     return b;
   }
+
+  /// The bound actually carried by query answers: Effective-
+  /// PointBound() of the view queries are served from, so on a live
+  /// engine the buffered records count toward Lemma 5's N. Equals
+  /// EffectivePointBound() once finalized.
+  EffectiveErrorBound EffectiveAnswerBound() const {
+    return QueryView().EffectivePointBound();
+  }
+
+  /// High-water timestamp of accepted data: the re-order watermark
+  /// when a lateness window is configured, else the last ingested
+  /// time. Snapshot answers are stamped with this.
+  Timestamp Watermark() const { return std::max(watermark_, last_time_); }
 
   /// Publishes the engine's instantaneous gauges to the process-wide
   /// metrics registry: re-order depth, watermark lag, resident bytes,
@@ -501,6 +602,8 @@ class BurstEngine {
     }
     started_ = started != 0;
     finalized_ = finalized != 0;
+    ++state_version_;
+    live_view_.reset();
     return Status::OK();
   }
 
@@ -525,6 +628,22 @@ class BurstEngine {
     started_ = true;
     last_time_ = t;
     total_count_ += count;
+    ++state_version_;
+  }
+
+  // The engine value queries are answered from: *this once finalized,
+  // else a cached FinalizedClone() rebuilt whenever state_version_
+  // moved. The cache makes repeated queries between appends pay the
+  // clone once; it is mutable state behind const query methods, so
+  // queries share the engine's single-writer contract (concurrent
+  // readers use ReadSnapshots instead).
+  const BurstEngine& QueryView() const {
+    if (finalized_) return *this;
+    if (!live_view_ || live_view_version_ != state_version_) {
+      live_view_ = std::make_shared<const BurstEngine>(FinalizedClone());
+      live_view_version_ = state_version_;
+    }
+    return *live_view_;
   }
 
   // Flushes buffered records with timestamps <= up_to, in time order.
@@ -624,6 +743,7 @@ class BurstEngine {
     started_ = !bulk.empty();
     last_time_ = bulk.empty() ? last_time_ : bulk.back().time;
     total_count_ += bulk.size();
+    ++state_version_;
     for (size_t i = bulk_end; i < records.size(); ++i) {
       Ingest(records[i].id, records[i].time, 1);
     }
@@ -657,6 +777,11 @@ class BurstEngine {
   Timestamp last_time_ = 0;
   Timestamp watermark_ = 0;
   Count total_count_ = 0;
+  // Live-query view cache: mutation counter + the finalized clone
+  // answering queries on an unfinalized engine (see QueryView()).
+  uint64_t state_version_ = 0;
+  mutable std::shared_ptr<const BurstEngine> live_view_;
+  mutable uint64_t live_view_version_ = 0;
 };
 
 /// The paper's two configurations.

@@ -22,6 +22,7 @@
 #define BURSTHIST_CORE_DYADIC_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <limits>
@@ -155,7 +156,7 @@ class DyadicBurstIndex {
                                     Timestamp tau) const {
     assert(theta > 0.0);
     std::vector<EventId> out;
-    point_queries_ = 0;
+    point_queries_.store(0, std::memory_order_relaxed);
     Recurse(levels_ - 1, 0, t, theta, tau, &out);
     return out;
   }
@@ -177,7 +178,7 @@ class DyadicBurstIndex {
       bool operator<(const Node& o) const { return score < o.score; }
     };
     std::priority_queue<Node> frontier;
-    point_queries_ = 0;
+    point_queries_.store(0, std::memory_order_relaxed);
     frontier.push(Node{std::numeric_limits<double>::infinity(),
                        levels_ - 1, 0});
 
@@ -199,7 +200,7 @@ class DyadicBurstIndex {
       const EventId lo = cur.node << cur.lv;
       if (lo >= universe_size_) continue;
       if (cur.lv == 0) {
-        ++point_queries_;
+        point_queries_.fetch_add(1, std::memory_order_relaxed);
         const double b = grids_[0].EstimateBurstiness(lo, t, tau);
         leaves.emplace_back(lo, b);
         std::sort(leaves.begin(), leaves.end(),
@@ -210,7 +211,7 @@ class DyadicBurstIndex {
       }
       for (EventId child : {cur.node * 2, cur.node * 2 + 1}) {
         if ((child << (cur.lv - 1)) >= universe_size_) continue;
-        ++point_queries_;
+        point_queries_.fetch_add(1, std::memory_order_relaxed);
         const double bc =
             grids_[cur.lv - 1].EstimateBurstiness(child, t, tau);
         frontier.push(Node{bc * bc, cur.lv - 1, child});
@@ -221,8 +222,14 @@ class DyadicBurstIndex {
   }
 
   /// Point queries issued by the last BurstyEvents call (the paper's
-  /// O(log K) vs O(K) cost measure).
-  size_t LastQueryPointQueries() const { return point_queries_; }
+  /// O(log K) vs O(K) cost measure). With several threads querying one
+  /// finalized index (snapshot readers), concurrent calls interleave
+  /// their accounting — the counter stays well-defined (relaxed
+  /// atomics, no torn reads) but then reflects the mixture, so treat
+  /// it as a per-thread cost measure only under single-threaded use.
+  size_t LastQueryPointQueries() const {
+    return point_queries_.load(std::memory_order_relaxed);
+  }
 
   /// Selects the subtree test (default: the paper's Algorithm 3).
   void set_prune_rule(DyadicPruneRule rule) { prune_rule_ = rule; }
@@ -314,7 +321,7 @@ class DyadicBurstIndex {
     const EventId lo = node << lv;
     if (lo >= universe_size_) return;  // fully padded subtree
     if (lv == 0) {
-      ++point_queries_;
+      point_queries_.fetch_add(1, std::memory_order_relaxed);
       if (grids_[0].EstimateBurstiness(lo, t, tau) >= theta) {
         out->push_back(lo);
       }
@@ -325,7 +332,7 @@ class DyadicBurstIndex {
     // around the level's cell array and read a real node's stream.
     auto child = [&](EventId c) -> double {
       if ((c << (lv - 1)) >= universe_size_) return 0.0;
-      ++point_queries_;
+      point_queries_.fetch_add(1, std::memory_order_relaxed);
       return grids_[lv - 1].EstimateBurstiness(c, t, tau);
     };
     const double bl = child(node * 2);
@@ -333,7 +340,7 @@ class DyadicBurstIndex {
     double score;
     if (prune_rule_ == DyadicPruneRule::kPaper) {
       const double bp = grids_[lv].EstimateBurstiness(node, t, tau);
-      ++point_queries_;
+      point_queries_.fetch_add(1, std::memory_order_relaxed);
       score = bp * bp - 2.0 * bl * br;
     } else {
       score = bl * bl + br * br;
@@ -343,11 +350,35 @@ class DyadicBurstIndex {
     Recurse(lv - 1, node * 2 + 1, t, theta, tau, out);
   }
 
+  // Query-cost accounting that stays data-race-free when concurrent
+  // snapshot readers share one finalized index. Copyable (unlike a
+  // bare std::atomic) so the index keeps its value semantics; a copy
+  // observes the source's current value, not its atomicity.
+  class QueryCounter {
+   public:
+    QueryCounter() = default;
+    QueryCounter(const QueryCounter& o)
+        : v_(o.v_.load(std::memory_order_relaxed)) {}
+    QueryCounter& operator=(const QueryCounter& o) {
+      v_.store(o.v_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+      return *this;
+    }
+    void store(size_t v, std::memory_order order) { v_.store(v, order); }
+    size_t load(std::memory_order order) const { return v_.load(order); }
+    void fetch_add(size_t n, std::memory_order order) const {
+      v_.fetch_add(n, order);
+    }
+
+   private:
+    mutable std::atomic<size_t> v_{0};
+  };
+
   EventId universe_size_;
   size_t levels_ = 1;
   DyadicPruneRule prune_rule_ = DyadicPruneRule::kPaper;
   std::vector<CmPbe<PbeT>> grids_;
-  mutable size_t point_queries_ = 0;
+  mutable QueryCounter point_queries_;
 };
 
 }  // namespace bursthist

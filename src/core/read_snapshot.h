@@ -1,0 +1,192 @@
+// ReadSnapshot — epoch-style immutable query views over a live
+// BurstEngine.
+//
+// The engine is single-writer: Append and the value-returning queries
+// must come from one thread. To serve queries *while* ingestion
+// continues, the writer periodically calls
+//
+//   auto snap = engine.AcquireSnapshot();   // writer thread
+//   slot.Publish(snap);                     // any SnapshotSlot
+//
+// and reader threads query whatever view is current:
+//
+//   auto view = slot.Current();             // reader threads
+//   auto ans = view->Point(e, t, tau);      // ans.value / .watermark /
+//                                           // .bound
+//
+// AcquireSnapshot() first drains the ripe prefix of the re-order
+// buffer at the current watermark (so ripe records reach the live
+// index, not just the clone), then captures a finalized deep copy of
+// the engine covering EVERY accepted record — buffered suffix
+// included — behind a shared_ptr. Publication hands the pointer over
+// a mutex; from then on the snapshot is immutable shared state:
+// appends keep mutating the live index while readers traverse the
+// frozen clone, so a reader can never observe a partially updated
+// cell. Each answer carries the watermark the view was captured at
+// and the effective error bound in force (Lemma 5 with degradation
+// folded in), so a serving layer can report exactly how fresh and how
+// accurate its reply is.
+//
+// The capture cost is one deep copy of the index — the same clone the
+// engine's own live-query cache builds (QueryView()), so acquiring a
+// snapshot right after a live query is nearly free: the cached clone
+// is shared, not recopied.
+
+#ifndef BURSTHIST_CORE_READ_SNAPSHOT_H_
+#define BURSTHIST_CORE_READ_SNAPSHOT_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/burst_queries.h"
+#include "obs/metrics.h"
+#include "stream/types.h"
+
+namespace bursthist {
+
+/// One snapshot answer: the value plus the provenance a serving layer
+/// reports with it — the watermark the view was captured at and the
+/// POINT error bound in force at capture (Lemma 5, degradation and
+/// buffered records included).
+template <typename T>
+struct SnapshotAnswer {
+  T value;
+  Timestamp watermark = 0;
+  EffectiveErrorBound bound;
+};
+
+/// An immutable, shareable query view of a BurstEngine at one capture
+/// point. Thread-safe for any number of concurrent readers; holds the
+/// underlying finalized clone alive for as long as any reader does.
+template <typename PbeT>
+class ReadSnapshot {
+ public:
+  /// Wraps an already-finalized engine view. Callers normally go
+  /// through BurstEngine::AcquireSnapshot() instead of constructing
+  /// directly.
+  ReadSnapshot(std::shared_ptr<const BurstEngine<PbeT>> engine,
+               Timestamp watermark, uint64_t sequence)
+      : engine_(std::move(engine)),
+        watermark_(watermark),
+        sequence_(sequence),
+        bound_(engine_->EffectivePointBound()) {}
+
+  /// POINT query q(e, t, tau) against the frozen view.
+  SnapshotAnswer<double> Point(EventId e, Timestamp t, Timestamp tau) const {
+    return Stamp(engine_->PointQuery(e, t, tau));
+  }
+
+  /// Estimated cumulative frequency F~_e(t).
+  SnapshotAnswer<double> Cumulative(EventId e, Timestamp t) const {
+    return Stamp(engine_->CumulativeQuery(e, t));
+  }
+
+  /// Estimated frequency of e in [t1, t2] (0 when t1 > t2).
+  SnapshotAnswer<double> Frequency(EventId e, Timestamp t1,
+                                   Timestamp t2) const {
+    return Stamp(engine_->FrequencyQuery(e, t1, t2));
+  }
+
+  /// BURSTY TIME query q(e, theta, tau).
+  SnapshotAnswer<std::vector<TimeInterval>> BurstyTime(EventId e, double theta,
+                                                       Timestamp tau) const {
+    return Stamp(engine_->BurstyTimeQuery(e, theta, tau));
+  }
+
+  /// BURSTY EVENT query q(t, theta, tau). Precondition: theta > 0.
+  SnapshotAnswer<std::vector<EventId>> BurstyEvent(Timestamp t, double theta,
+                                                   Timestamp tau) const {
+    return Stamp(engine_->BurstyEventQuery(t, theta, tau));
+  }
+
+  /// Frequency-filtered BURSTY EVENT query.
+  SnapshotAnswer<std::vector<EventId>> FrequentBurstyEvent(
+      Timestamp t, double theta, Timestamp tau, double min_frequency) const {
+    return Stamp(engine_->FrequentBurstyEventQuery(t, theta, tau,
+                                                   min_frequency));
+  }
+
+  /// TOP-K BURSTY EVENT query.
+  SnapshotAnswer<std::vector<std::pair<EventId, double>>> TopK(
+      Timestamp t, size_t k, Timestamp tau) const {
+    return Stamp(engine_->TopKBurstyEvents(t, k, tau));
+  }
+
+  /// The frozen engine view itself, for callers needing the full
+  /// query surface (heavy hitters, serialization, ...).
+  const BurstEngine<PbeT>& engine() const { return *engine_; }
+
+  /// High-water timestamp of the data this view covers.
+  Timestamp watermark() const { return watermark_; }
+  /// Occurrences the view covers (Lemma 5's N, buffered included).
+  Count total_count() const { return engine_->TotalCount(); }
+  /// The POINT error bound in force at capture.
+  const EffectiveErrorBound& bound() const { return bound_; }
+  /// Caller-supplied capture token (e.g. accepted-record count) for
+  /// staleness decisions; 0 when not provided.
+  uint64_t sequence() const { return sequence_; }
+
+ private:
+  template <typename T>
+  SnapshotAnswer<T> Stamp(T value) const {
+    return SnapshotAnswer<T>{std::move(value), watermark_, bound_};
+  }
+
+  std::shared_ptr<const BurstEngine<PbeT>> engine_;
+  Timestamp watermark_;
+  uint64_t sequence_;
+  EffectiveErrorBound bound_;
+};
+
+/// The publication point between the single writer thread and any
+/// number of reader threads: the writer Publish()es each new snapshot,
+/// readers grab Current() and query it lock-free from then on. The
+/// mutex guards only the pointer swap — never a query.
+template <typename PbeT>
+class SnapshotSlot {
+ public:
+  void Publish(std::shared_ptr<const ReadSnapshot<PbeT>> snap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snap);
+  }
+
+  /// The most recently published view; nullptr before first Publish.
+  std::shared_ptr<const ReadSnapshot<PbeT>> Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ReadSnapshot<PbeT>> current_;
+};
+
+template <typename PbeT>
+std::shared_ptr<const ReadSnapshot<PbeT>> BurstEngine<PbeT>::AcquireSnapshot(
+    uint64_t sequence) {
+  BURSTHIST_COUNTER(m_snaps, obs::kEngineReadSnapshotsTotal);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kSnapshotAcquireLatencySeconds);
+  obs::TraceSpan span(m_lat, "acquire_snapshot");
+  // Ripe records belong in the live index, not just the clone: drain
+  // the prefix the watermark already proves complete.
+  if (!finalized_ && options_.max_lateness > 0) {
+    DrainReorderBuffer(watermark_ - options_.max_lateness);
+    UpdateIngestGauges();
+  }
+  // Reuse (or refresh) the live-query cache so back-to-back snapshots
+  // and live queries between the same appends share one clone.
+  if (!live_view_ || live_view_version_ != state_version_) {
+    live_view_ = std::make_shared<const BurstEngine>(FinalizedClone());
+    live_view_version_ = state_version_;
+  }
+  m_snaps.Inc();
+  return std::make_shared<const ReadSnapshot<PbeT>>(live_view_, Watermark(),
+                                                    sequence);
+}
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_CORE_READ_SNAPSHOT_H_

@@ -102,32 +102,22 @@ class GovernedBurstEngine {
   void Finalize() { engine_.Finalize(); }
   bool finalized() const { return engine_.finalized(); }
 
-  /// A finalized copy for querying mid-stream (the wrapped engine's
-  /// structures assert on live queries).
-  EngineT QueryableSnapshot() const {
-    EngineT snap = engine_;
-    snap.set_append_observer(nullptr);
-    snap.Finalize();
-    return snap;
-  }
+  /// A finalized copy for querying mid-stream. Kept for callers that
+  /// want a detached engine; the query methods below no longer need
+  /// it — BurstEngine itself serves live queries through its cached
+  /// finalized view (see BurstEngine::QueryView).
+  EngineT QueryableSnapshot() const { return engine_.FinalizedClone(); }
 
   /// POINT query whose answer carries the effective bound in force.
-  /// Queries a finalized engine directly, a live one via snapshot.
+  /// Correct on a live engine too: the wrapped engine routes the
+  /// query through its finalized view (buffered records included).
   GovernedEstimate PointQuery(EventId e, Timestamp t, Timestamp tau) const {
-    if (engine_.finalized()) {
-      return MakeEstimate(engine_.PointQuery(e, t, tau), engine_);
-    }
-    const EngineT snap = QueryableSnapshot();
-    return MakeEstimate(snap.PointQuery(e, t, tau), snap);
+    return MakeEstimate(engine_.PointQuery(e, t, tau));
   }
 
   /// Cumulative query F~_e(t) with the effective bound attached.
   GovernedEstimate CumulativeQuery(EventId e, Timestamp t) const {
-    if (engine_.finalized()) {
-      return MakeEstimate(engine_.CumulativeQuery(e, t), engine_);
-    }
-    const EngineT snap = QueryableSnapshot();
-    return MakeEstimate(snap.CumulativeQuery(e, t), snap);
+    return MakeEstimate(engine_.CumulativeQuery(e, t));
   }
 
   /// The POINT error bound currently in force (see
@@ -153,11 +143,13 @@ class GovernedBurstEngine {
   const Options& options() const { return options_; }
 
  private:
-  GovernedEstimate MakeEstimate(double value, const EngineT& queried) const {
+  GovernedEstimate MakeEstimate(double value) const {
     BURSTHIST_GAUGE(m_bound, obs::kEffectivePointBound);
     GovernedEstimate est;
     est.value = value;
-    est.bound = queried.EffectivePointBound().point_bound;
+    // The bound of the view the answer came from, so buffered records
+    // count toward N on a live engine.
+    est.bound = engine_.EffectiveAnswerBound().point_bound;
     est.level = governor_.level();
     m_bound.Set(est.bound);
     return est;

@@ -49,6 +49,19 @@
   M(Gauge, QueryBurstyEventPointQueries,                                      \
     "bursthist_query_bursty_event_point_queries",                             \
     "Point queries the last BURSTY EVENT query needed (prune quality).")      \
+  M(Histogram, QueryFrequentBurstyEventLatencySeconds,                        \
+    "bursthist_query_frequent_bursty_event_latency_seconds",                  \
+    "Latency of frequency-filtered BURSTY EVENT queries.")                    \
+  M(Histogram, QueryTopkLatencySeconds,                                       \
+    "bursthist_query_topk_latency_seconds",                                   \
+    "Latency of TOP-K BURSTY EVENT queries.")                                 \
+  /* ---- read snapshots ---- */                                              \
+  M(Counter, EngineReadSnapshotsTotal,                                        \
+    "bursthist_engine_read_snapshots_total",                                  \
+    "Immutable read snapshots published by AcquireSnapshot().")               \
+  M(Histogram, SnapshotAcquireLatencySeconds,                                 \
+    "bursthist_snapshot_acquire_latency_seconds",                             \
+    "Latency of AcquireSnapshot() — ripe drain plus finalized clone.")        \
   /* ---- accuracy proxies ---- */                                            \
   M(Gauge, EffectivePointBound, "bursthist_effective_point_bound",            \
     "POINT error bound in force: eps*N + 4*cell_error, degradation "          \
@@ -109,7 +122,26 @@
     "Governor audit walks (Enforce calls).")                                  \
   M(Counter, GovernorAdmissionRejectsTotal,                                   \
     "bursthist_governor_admission_rejects_total",                             \
-    "Appends refused by admission control over the hard budget.")
+    "Appends refused by admission control over the hard budget.")             \
+  /* ---- serving front-end ---- */                                           \
+  M(Counter, ServerConnectionsTotal, "bursthist_server_connections_total",    \
+    "Client connections accepted by the serving front-end.")                  \
+  M(Gauge, ServerActiveConnections, "bursthist_server_active_connections",    \
+    "Client connections currently open.")                                     \
+  M(Counter, ServerRequestsTotal, "bursthist_server_requests_total",          \
+    "Protocol requests parsed and dispatched (errors included).")             \
+  M(Counter, ServerRequestErrorsTotal,                                        \
+    "bursthist_server_request_errors_total",                                  \
+    "Requests answered with an ERR reply (parse, validation, admission).")    \
+  M(Counter, ServerIngestRecordsTotal,                                        \
+    "bursthist_server_ingest_records_total",                                  \
+    "Records accepted over the wire into the served engine.")                 \
+  M(Histogram, ServerRequestLatencySeconds,                                   \
+    "bursthist_server_request_latency_seconds",                               \
+    "Server-side latency of one protocol request (parse to reply).")          \
+  M(Gauge, ServerSnapshotStalenessAppends,                                    \
+    "bursthist_server_snapshot_staleness_appends",                            \
+    "Appends accepted since the serving snapshot was last refreshed.")
 // clang-format on
 
 namespace bursthist {

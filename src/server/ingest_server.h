@@ -1,0 +1,354 @@
+// The serving front-end: a TCP line-protocol server over a
+// DurableBurstEngine.
+//
+// Layering (one writer, many readers):
+//
+//   connections ──> TcpLineServer ──> BurstService<PbeT> ──┬─ writes:
+//     (threads)       (sockets)         (dispatch)         │  write_mu_ →
+//                                                          │  governor →
+//                                                          │  DurableBurstEngine
+//                                                          └─ reads:
+//                                                             SnapshotSlot →
+//                                                             ReadSnapshot
+//
+//  * Ingest (ADD) and the other mutating verbs (SYNC, CHECKPOINT)
+//    serialize on one mutex — the engine stays single-writer no matter
+//    how many connections are open. Admission control runs first: the
+//    governor audits every `audit_every` accepted records and Admit()
+//    gates each ADD, answering ERR RESOURCE_EXHAUSTED under overload
+//    (degradation before refusal — the ladder sheds accuracy first).
+//  * Queries never touch the live engine: they run against the
+//    snapshot in the SnapshotSlot, refreshed (under the same mutex)
+//    only when stale — i.e. when records were accepted after its
+//    capture. Readers therefore never observe a partial cell update,
+//    and every reply carries the snapshot's watermark and effective
+//    error bound.
+//  * METRICS (and HTTP "GET /metrics") reuses the Prometheus
+//    exposition from the observability layer.
+//
+// The TCP layer is plain POSIX (one thread per connection, ephemeral
+// port support for tests); it knows nothing about burstiness and
+// forwards each line to a handler.
+
+#ifndef BURSTHIST_SERVER_INGEST_SERVER_H_
+#define BURSTHIST_SERVER_INGEST_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/read_snapshot.h"
+#include "governor/resource_governor.h"
+#include "obs/metrics.h"
+#include "recovery/durable_engine.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace server {
+
+/// TCP listener configuration.
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the bound port back.
+  size_t max_connections = 64;
+  size_t max_line_bytes = 1 << 16;
+};
+
+/// Protocol-agnostic line server: accepts connections, splits the
+/// byte stream into lines, and answers each with handler(line). A
+/// first line starting with "GET " switches the connection to a
+/// one-shot HTTP response ("/metrics" → 200 with metrics_text(),
+/// anything else → 404), so the same port serves scrapes.
+class TcpLineServer {
+ public:
+  /// Returns the full reply (newline appended if missing; may be
+  /// multi-line). Set *close to end the connection after replying.
+  using LineHandler =
+      std::function<std::string(const std::string& line, bool* close)>;
+  using MetricsProvider = std::function<std::string()>;
+
+  TcpLineServer() = default;
+  ~TcpLineServer();
+  TcpLineServer(const TcpLineServer&) = delete;
+  TcpLineServer& operator=(const TcpLineServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Non-blocking.
+  Status Start(const TcpServerOptions& options, LineHandler handler,
+               MetricsProvider metrics);
+
+  /// Stops accepting, shuts every open connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (resolves ephemeral port 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void ServeHttp(int fd, const std::string& first_line);
+
+  TcpServerOptions options_;
+  LineHandler handler_;
+  MetricsProvider metrics_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<int> conn_fds_;  // open connections, for Stop()
+  size_t active_ = 0;
+  std::vector<std::thread> done_threads_;  // finished, joinable
+};
+
+/// Service tuning knobs.
+struct BurstServiceOptions {
+  /// Refresh the serving snapshot once this many records were accepted
+  /// after its capture (1 = every query sees every accepted record;
+  /// larger trades freshness for fewer snapshot clones).
+  uint64_t snapshot_staleness_appends = 1;
+  /// Run a governor audit (Enforce) every this many accepted records.
+  uint64_t audit_every = 128;
+  /// Optional admission control; may be nullptr. Must already have
+  /// its components registered and outlive the service.
+  ResourceGovernor* governor = nullptr;
+};
+
+/// Dispatches parsed wire requests against one DurableBurstEngine.
+/// Thread-safe: any number of connection threads may call Handle().
+template <typename PbeT>
+class BurstService {
+ public:
+  BurstService(DurableBurstEngine<PbeT>* durable,
+               const BurstServiceOptions& options)
+      : durable_(durable), options_(options) {}
+
+  /// Handles one request line; returns the reply. Sets *close on QUIT.
+  std::string Handle(const std::string& line, bool* close) {
+    BURSTHIST_COUNTER(m_requests, obs::kServerRequestsTotal);
+    BURSTHIST_COUNTER(m_errors, obs::kServerRequestErrorsTotal);
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kServerRequestLatencySeconds);
+    obs::TraceSpan span(m_lat, "server_request");
+    m_requests.Inc();
+    auto parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      m_errors.Inc();
+      return FormatError(parsed.status());
+    }
+    const Request& req = parsed.value();
+    std::string reply = Dispatch(req, close);
+    if (reply.compare(0, 4, "ERR ") == 0) m_errors.Inc();
+    return reply;
+  }
+
+  /// Prometheus exposition of the process registry, with the served
+  /// engine's instantaneous gauges refreshed first.
+  std::string MetricsText() {
+    {
+      // PublishMetrics walks the live index — writer-side state.
+      std::lock_guard<std::mutex> lock(write_mu_);
+      durable_->engine().PublishMetrics();
+    }
+    std::string out;
+    obs::MetricsRegistry::Global().WritePrometheus(&out);
+    return out;
+  }
+
+  /// Records accepted over the wire so far (the snapshot staleness
+  /// token).
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::string Dispatch(const Request& req, bool* close) {
+    switch (req.type) {
+      case RequestType::kPing:
+        return "PONG";
+      case RequestType::kQuit:
+        *close = true;
+        return "BYE";
+      case RequestType::kAdd:
+        return HandleAdd(req);
+      case RequestType::kSync: {
+        std::lock_guard<std::mutex> lock(write_mu_);
+        const Status st = durable_->Sync();
+        return st.ok() ? "OK" : FormatError(st);
+      }
+      case RequestType::kCheckpoint: {
+        std::lock_guard<std::mutex> lock(write_mu_);
+        const Status st = durable_->Checkpoint();
+        return st.ok() ? "OK" : FormatError(st);
+      }
+      case RequestType::kStats:
+        return HandleStats();
+      case RequestType::kMetrics:
+        return MetricsText() + "END";
+      case RequestType::kPoint:
+      case RequestType::kFreq:
+      case RequestType::kBurstyTime:
+      case RequestType::kBurstyEvent:
+      case RequestType::kTopK:
+        return HandleQuery(req);
+    }
+    return FormatError(Status::Internal("unhandled request type"));
+  }
+
+  std::string HandleAdd(const Request& req) {
+    BURSTHIST_COUNTER(m_ingested, obs::kServerIngestRecordsTotal);
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (options_.governor != nullptr) {
+      if (appends_since_audit_ >= options_.audit_every) {
+        options_.governor->Enforce();
+        appends_since_audit_ = 0;
+      }
+      Status admit = options_.governor->Admit();
+      if (!admit.ok()) {
+        // One shot at recovery before refusing: a full audit sheds
+        // accuracy for space (degradation precedes refusal).
+        options_.governor->Enforce();
+        appends_since_audit_ = 0;
+        admit = options_.governor->Admit();
+        if (!admit.ok()) return FormatError(admit);
+      }
+    }
+    const Status st = durable_->Append(req.e, req.t, req.count);
+    if (!st.ok()) return FormatError(st);
+    ++appends_since_audit_;
+    accepted_.fetch_add(1, std::memory_order_release);
+    m_ingested.Inc();
+    return "OK";
+  }
+
+  std::string HandleStats() {
+    // Reads of live-engine counters are writer-side state too.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    const BurstEngine<PbeT>& eng = durable_->engine();
+    std::string out = "STATS total=" + std::to_string(eng.TotalCount()) +
+                      " buffered=" + std::to_string(eng.BufferedCount()) +
+                      " watermark=" + std::to_string(eng.Watermark()) +
+                      " accepted=" + std::to_string(accepted()) +
+                      " generation=" + std::to_string(durable_->generation());
+    if (options_.governor != nullptr) {
+      out += std::string(" level=") +
+             DegradationLevelName(options_.governor->level());
+    }
+    return out;
+  }
+
+  std::string HandleQuery(const Request& req) {
+    if (req.e >= durable_->engine().universe_size() &&
+        (req.type == RequestType::kPoint || req.type == RequestType::kFreq ||
+         req.type == RequestType::kBurstyTime)) {
+      return FormatError(
+          Status::InvalidArgument("event id exceeds universe size"));
+    }
+    if ((req.type == RequestType::kBurstyTime ||
+         req.type == RequestType::kBurstyEvent) &&
+        req.theta <= 0.0) {
+      return FormatError(Status::InvalidArgument("theta must be positive"));
+    }
+    if (req.tau < 0) {
+      return FormatError(Status::InvalidArgument("tau must be >= 0"));
+    }
+    std::shared_ptr<const ReadSnapshot<PbeT>> snap = Serving();
+    switch (req.type) {
+      case RequestType::kPoint: {
+        auto ans = snap->Point(req.e, req.t, req.tau);
+        return FormatValue(ans.value, ans.watermark, ans.bound);
+      }
+      case RequestType::kFreq: {
+        auto ans = snap->Frequency(req.e, req.t, req.t2);
+        return FormatValue(ans.value, ans.watermark, ans.bound);
+      }
+      case RequestType::kBurstyTime: {
+        auto ans = snap->BurstyTime(req.e, req.theta, req.tau);
+        return FormatIntervals(ans.value, ans.watermark, ans.bound);
+      }
+      case RequestType::kBurstyEvent: {
+        auto ans = snap->BurstyEvent(req.t, req.theta, req.tau);
+        return FormatEvents(ans.value, ans.watermark, ans.bound);
+      }
+      case RequestType::kTopK: {
+        auto ans = snap->TopK(req.t, req.k, req.tau);
+        return FormatTopK(ans.value, ans.watermark, ans.bound);
+      }
+      default:
+        return FormatError(Status::Internal("non-query in HandleQuery"));
+    }
+  }
+
+  /// The snapshot queries run against, refreshed when stale. The slot
+  /// itself is the only reader/writer shared state; once a reader
+  /// holds the shared_ptr the view is immutable.
+  std::shared_ptr<const ReadSnapshot<PbeT>> Serving() {
+    BURSTHIST_GAUGE(m_staleness, obs::kServerSnapshotStalenessAppends);
+    auto current = slot_.Current();
+    uint64_t now = accepted();
+    if (current != nullptr &&
+        now - current->sequence() < options_.snapshot_staleness_appends) {
+      m_staleness.Set(static_cast<double>(now - current->sequence()));
+      return current;
+    }
+    std::lock_guard<std::mutex> lock(write_mu_);
+    // Re-check under the lock: another connection may have refreshed
+    // while we waited.
+    current = slot_.Current();
+    now = accepted();
+    if (current == nullptr ||
+        now - current->sequence() >= options_.snapshot_staleness_appends) {
+      current = durable_->engine().AcquireSnapshot(now);
+      slot_.Publish(current);
+    }
+    m_staleness.Set(static_cast<double>(now - current->sequence()));
+    return current;
+  }
+
+  DurableBurstEngine<PbeT>* durable_;
+  BurstServiceOptions options_;
+  std::mutex write_mu_;  // serializes every live-engine touch
+  SnapshotSlot<PbeT> slot_;
+  std::atomic<uint64_t> accepted_{0};
+  uint64_t appends_since_audit_ = 0;  // guarded by write_mu_
+};
+
+/// Convenience bundle: one service wired to one TCP listener.
+template <typename PbeT>
+class IngestServer {
+ public:
+  IngestServer(DurableBurstEngine<PbeT>* durable,
+               const BurstServiceOptions& service_options)
+      : service_(durable, service_options) {}
+
+  Status Start(const TcpServerOptions& options) {
+    return tcp_.Start(
+        options,
+        [this](const std::string& line, bool* close) {
+          return service_.Handle(line, close);
+        },
+        [this] { return service_.MetricsText(); });
+  }
+
+  void Stop() { tcp_.Stop(); }
+  uint16_t port() const { return tcp_.port(); }
+  BurstService<PbeT>& service() { return service_; }
+
+ private:
+  BurstService<PbeT> service_;
+  TcpLineServer tcp_;
+};
+
+}  // namespace server
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SERVER_INGEST_SERVER_H_

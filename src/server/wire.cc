@@ -1,0 +1,341 @@
+#include "server/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace bursthist {
+namespace server {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Strict numeric parsers: the whole token must be consumed.
+bool ParseI64(const std::string& tok, int64_t* out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseU64(const std::string& tok, uint64_t* out) {
+  if (tok.empty() || tok[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseEventId(const std::string& tok, EventId* out) {
+  uint64_t v = 0;
+  if (!ParseU64(tok, &v) || v > std::numeric_limits<EventId>::max()) {
+    return false;
+  }
+  *out = static_cast<EventId>(v);
+  return true;
+}
+
+bool ParseF64(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status BadRequest(const std::string& what) {
+  return Status::InvalidArgument(what);
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  const std::vector<std::string> tok = Tokenize(line);
+  if (tok.empty()) return BadRequest("empty request");
+  Request req;
+  const std::string& verb = tok[0];
+  if (verb == "ADD") {
+    if (tok.size() < 3 || tok.size() > 4) {
+      return BadRequest("usage: ADD <e> <t> [count]");
+    }
+    req.type = RequestType::kAdd;
+    if (!ParseEventId(tok[1], &req.e) || !ParseI64(tok[2], &req.t)) {
+      return BadRequest("ADD: malformed id or timestamp");
+    }
+    if (tok.size() == 4) {
+      uint64_t c = 0;
+      if (!ParseU64(tok[3], &c) || c == 0) {
+        return BadRequest("ADD: count must be a positive integer");
+      }
+      req.count = c;
+    }
+    return req;
+  }
+  if (verb == "POINT") {
+    if (tok.size() != 4) return BadRequest("usage: POINT <e> <t> <tau>");
+    req.type = RequestType::kPoint;
+    if (!ParseEventId(tok[1], &req.e) || !ParseI64(tok[2], &req.t) ||
+        !ParseI64(tok[3], &req.tau)) {
+      return BadRequest("POINT: malformed argument");
+    }
+    return req;
+  }
+  if (verb == "FREQ") {
+    if (tok.size() != 4) return BadRequest("usage: FREQ <e> <t1> <t2>");
+    req.type = RequestType::kFreq;
+    if (!ParseEventId(tok[1], &req.e) || !ParseI64(tok[2], &req.t) ||
+        !ParseI64(tok[3], &req.t2)) {
+      return BadRequest("FREQ: malformed argument");
+    }
+    return req;
+  }
+  if (verb == "BTIME") {
+    if (tok.size() != 4) return BadRequest("usage: BTIME <e> <theta> <tau>");
+    req.type = RequestType::kBurstyTime;
+    if (!ParseEventId(tok[1], &req.e) || !ParseF64(tok[2], &req.theta) ||
+        !ParseI64(tok[3], &req.tau)) {
+      return BadRequest("BTIME: malformed argument");
+    }
+    return req;
+  }
+  if (verb == "BEVENT") {
+    if (tok.size() != 4) return BadRequest("usage: BEVENT <t> <theta> <tau>");
+    req.type = RequestType::kBurstyEvent;
+    if (!ParseI64(tok[1], &req.t) || !ParseF64(tok[2], &req.theta) ||
+        !ParseI64(tok[3], &req.tau)) {
+      return BadRequest("BEVENT: malformed argument");
+    }
+    return req;
+  }
+  if (verb == "TOPK") {
+    if (tok.size() != 4) return BadRequest("usage: TOPK <t> <k> <tau>");
+    req.type = RequestType::kTopK;
+    uint64_t k = 0;
+    if (!ParseI64(tok[1], &req.t) || !ParseU64(tok[2], &k) ||
+        !ParseI64(tok[3], &req.tau)) {
+      return BadRequest("TOPK: malformed argument");
+    }
+    req.k = static_cast<size_t>(k);
+    return req;
+  }
+  if (verb == "STATS" || verb == "METRICS" || verb == "SYNC" ||
+      verb == "CHECKPOINT" || verb == "PING" || verb == "QUIT") {
+    if (tok.size() != 1) return BadRequest(verb + " takes no arguments");
+    if (verb == "STATS") req.type = RequestType::kStats;
+    if (verb == "METRICS") req.type = RequestType::kMetrics;
+    if (verb == "SYNC") req.type = RequestType::kSync;
+    if (verb == "CHECKPOINT") req.type = RequestType::kCheckpoint;
+    if (verb == "PING") req.type = RequestType::kPing;
+    if (verb == "QUIT") req.type = RequestType::kQuit;
+    return req;
+  }
+  return BadRequest("unknown verb: " + verb);
+}
+
+Status LineBuffer::Feed(const char* data, size_t n,
+                        std::vector<std::string>* lines) {
+  for (size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      lines->push_back(std::move(partial_));
+      partial_.clear();
+      continue;
+    }
+    if (partial_.size() >= max_line_bytes_) {
+      partial_.clear();
+      return Status::InvalidArgument("request line exceeds max_line_bytes");
+    }
+    partial_.push_back(c);
+  }
+  return Status::OK();
+}
+
+std::string FormatError(const Status& status) {
+  // StatusCodeName is CamelCase ("InvalidArgument"); the wire speaks
+  // SCREAMING_CASE ("INVALID_ARGUMENT").
+  const char* name = StatusCodeName(status.code());
+  std::string code;
+  for (const char* p = name; *p != '\0'; ++p) {
+    if (std::isupper(static_cast<unsigned char>(*p)) && !code.empty()) {
+      code.push_back('_');
+    }
+    code.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(*p))));
+  }
+  std::string msg = status.message();
+  // Keep the reply a single line whatever the message held.
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + code + " " + msg;
+}
+
+std::string FormatDouble(double v) {
+  // Shortest decimal that round-trips: deterministic output that a
+  // differential harness can compare byte for byte.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string FormatStamp(Timestamp watermark,
+                        const EffectiveErrorBound& bound) {
+  return "watermark=" + std::to_string(watermark) +
+         " bound=" + FormatDouble(bound.point_bound);
+}
+
+std::string FormatValue(double v, Timestamp watermark,
+                        const EffectiveErrorBound& bound) {
+  return "VALUE " + FormatDouble(v) + " " + FormatStamp(watermark, bound);
+}
+
+std::string FormatIntervals(const std::vector<TimeInterval>& intervals,
+                            Timestamp watermark,
+                            const EffectiveErrorBound& bound) {
+  std::string out = "INTERVALS ";
+  out += std::to_string(intervals.size());
+  for (const TimeInterval& iv : intervals) {
+    out += ' ';
+    out += std::to_string(iv.begin);
+    out += ' ';
+    out += std::to_string(iv.end);
+  }
+  out += ' ';
+  out += FormatStamp(watermark, bound);
+  return out;
+}
+
+std::string FormatEvents(const std::vector<EventId>& events,
+                         Timestamp watermark,
+                         const EffectiveErrorBound& bound) {
+  std::string out = "EVENTS ";
+  out += std::to_string(events.size());
+  for (EventId e : events) {
+    out += ' ';
+    out += std::to_string(e);
+  }
+  out += ' ';
+  out += FormatStamp(watermark, bound);
+  return out;
+}
+
+std::string FormatTopK(const std::vector<std::pair<EventId, double>>& ranked,
+                       Timestamp watermark, const EffectiveErrorBound& bound) {
+  std::string out = "TOPK ";
+  out += std::to_string(ranked.size());
+  for (const auto& [e, v] : ranked) {
+    out += ' ';
+    out += std::to_string(e);
+    out += ':';
+    out += FormatDouble(v);
+  }
+  out += ' ';
+  out += FormatStamp(watermark, bound);
+  return out;
+}
+
+LineClient::~LineClient() { Close(); }
+
+Status LineClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable IPv4 host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const Status st = Status::IOError("connect: " +
+                                      std::string(strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  buffered_.clear();
+  return Status::OK();
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    const size_t nl = buffered_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffered_.substr(0, nl);
+      buffered_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(strerror(errno)));
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    buffered_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffered_.clear();
+}
+
+}  // namespace server
+}  // namespace bursthist

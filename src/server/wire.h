@@ -1,0 +1,168 @@
+// Wire protocol for the bursthist serving front-end.
+//
+// A deliberately minimal, debuggable line protocol (telnet-friendly,
+// in the redis/memcached text tradition): one request per line, one
+// reply per line (METRICS excepted), all tokens space-separated.
+//
+//   request                          reply
+//   ------------------------------   --------------------------------
+//   ADD <e> <t> [count]              OK
+//   POINT <e> <t> <tau>              VALUE <v> watermark=<w> bound=<b>
+//   FREQ <e> <t1> <t2>               VALUE <v> watermark=<w> bound=<b>
+//   BTIME <e> <theta> <tau>          INTERVALS <n> <s1> <e1> ... wm/bound
+//   BEVENT <t> <theta> <tau>         EVENTS <n> <id1> ... wm/bound
+//   TOPK <t> <k> <tau>               TOPK <n> <id1>:<v1> ... wm/bound
+//   STATS                            STATS total=... buffered=... ...
+//   METRICS                          Prometheus text, then "END"
+//   SYNC                             OK
+//   CHECKPOINT                       OK
+//   PING                             PONG
+//   QUIT                             BYE (connection closes)
+//
+// Any failure answers "ERR <CODE> <message>" where CODE is the
+// StatusCodeName (INVALID_ARGUMENT, RESOURCE_EXHAUSTED, ...) in
+// SCREAMING_CASE. Query replies carry the snapshot watermark and the
+// effective POINT error bound in force, so a client always knows how
+// fresh and how accurate an answer is.
+//
+// This header is engine-agnostic: parsing and formatting only. The
+// dispatch lives in server/ingest_server.h.
+
+#ifndef BURSTHIST_SERVER_WIRE_H_
+#define BURSTHIST_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/burst_queries.h"
+#include "stream/types.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace server {
+
+/// One parsed protocol request.
+enum class RequestType : uint8_t {
+  kAdd,
+  kPoint,
+  kFreq,
+  kBurstyTime,
+  kBurstyEvent,
+  kTopK,
+  kStats,
+  kMetrics,
+  kSync,
+  kCheckpoint,
+  kPing,
+  kQuit,
+};
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  EventId e = 0;
+  Timestamp t = 0;    ///< ADD/POINT time, FREQ t1, BEVENT/TOPK t.
+  Timestamp t2 = 0;   ///< FREQ t2.
+  Timestamp tau = 0;  ///< Burstiness window.
+  double theta = 0.0;
+  Count count = 1;
+  size_t k = 0;
+};
+
+/// Parses one request line (no trailing newline). Unknown verbs,
+/// wrong arity, and malformed numbers return InvalidArgument; numeric
+/// range checks beyond syntax (id vs universe, theta > 0) are the
+/// dispatcher's job.
+Result<Request> ParseRequest(const std::string& line);
+
+/// Splits a byte stream into protocol lines: feeds arbitrary chunks
+/// in, emits every complete "\n"-terminated line (a trailing "\r" is
+/// stripped, so both raw sockets and telnet work). A line longer than
+/// max_line_bytes fails the whole connection — the one defense a
+/// line protocol needs against an unframed flood.
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line_bytes = 1 << 16)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends a chunk; pushes each completed line onto *lines.
+  Status Feed(const char* data, size_t n, std::vector<std::string>* lines);
+
+  /// Bytes of the current incomplete line.
+  size_t pending() const { return partial_.size(); }
+
+ private:
+  std::string partial_;
+  size_t max_line_bytes_;
+};
+
+/// "ERR <CODE> <message>" with StatusCodeName in SCREAMING_CASE.
+std::string FormatError(const Status& status);
+
+/// Answer provenance appended to every query reply.
+std::string FormatStamp(Timestamp watermark, const EffectiveErrorBound& bound);
+
+/// "VALUE <v> watermark=<w> bound=<b>".
+std::string FormatValue(double v, Timestamp watermark,
+                        const EffectiveErrorBound& bound);
+
+/// "INTERVALS <n> <s1> <e1> ... watermark=<w> bound=<b>".
+std::string FormatIntervals(const std::vector<TimeInterval>& intervals,
+                            Timestamp watermark,
+                            const EffectiveErrorBound& bound);
+
+/// "EVENTS <n> <id1> ... watermark=<w> bound=<b>".
+std::string FormatEvents(const std::vector<EventId>& events,
+                         Timestamp watermark,
+                         const EffectiveErrorBound& bound);
+
+/// "TOPK <n> <id1>:<v1> ... watermark=<w> bound=<b>".
+std::string FormatTopK(const std::vector<std::pair<EventId, double>>& ranked,
+                       Timestamp watermark, const EffectiveErrorBound& bound);
+
+/// Shortest round-trippable decimal for a double ("%.17g trimmed"):
+/// deterministic, so differential checks can compare replies byte for
+/// byte.
+std::string FormatDouble(double v);
+
+/// Minimal blocking TCP client for tests and tooling: connects,
+/// sends lines, reads "\n"-terminated replies. Not thread-safe.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept
+      : fd_(other.fd_), buffered_(std::move(other.buffered_)) {
+    other.fd_ = -1;
+  }
+  LineClient& operator=(LineClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffered_ = std::move(other.buffered_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, uint16_t port);
+  Status SendLine(const std::string& line);  ///< "\n" appended.
+  /// Blocks until one full line arrives (stripped of "\r\n").
+  Result<std::string> ReadLine();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffered_;
+};
+
+}  // namespace server
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SERVER_WIRE_H_

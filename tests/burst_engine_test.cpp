@@ -4,6 +4,8 @@
 
 #include "core/burst_engine.h"
 #include "eval/metrics.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "stream/text_pipeline.h"
 #include "util/random.h"
 
@@ -284,6 +286,80 @@ TEST(BurstEngineTest, TextPipelineToEngine) {
   EXPECT_GT(engine.PointQuery(7, 329, 30), 30.0);
   auto what = engine.BurstyEventQuery(329, 30.0, 30);
   EXPECT_EQ(what, (std::vector<EventId>{7}));
+}
+
+// The fixed bug: a live engine with a lateness window holds recent
+// records in the re-order buffer, and queries used to silently omit
+// them. Every query type on a live engine must now match a finalized
+// twin fed the same records — no Finalize() required.
+TEST(BurstEngineTest, LiveQueriesCoverBufferedRecords) {
+  auto options = SmallOptions(8);
+  options.max_lateness = 1000;  // nothing ripens during the test
+  BurstEngine1 live(options);
+  BurstEngine1 twin(options);
+  Rng rng(17);
+  Timestamp t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    const EventId e = static_cast<EventId>(rng.NextBelow(8));
+    ASSERT_TRUE(live.Append(e, t).ok());
+    ASSERT_TRUE(twin.Append(e, t).ok());
+  }
+  ASSERT_GT(live.BufferedCount(), 0u);
+  twin.Finalize();
+
+  for (EventId e = 0; e < 8; ++e) {
+    for (Timestamp tau : {1, 8, 32}) {
+      EXPECT_EQ(live.PointQuery(e, t, tau), twin.PointQuery(e, t, tau))
+          << "e=" << e << " tau=" << tau;
+      EXPECT_EQ(live.BurstyTimeQuery(e, 2.0, tau),
+                twin.BurstyTimeQuery(e, 2.0, tau));
+    }
+    EXPECT_EQ(live.CumulativeQuery(e, t), twin.CumulativeQuery(e, t));
+    EXPECT_EQ(live.FrequencyQuery(e, t / 4, t / 2),
+              twin.FrequencyQuery(e, t / 4, t / 2));
+  }
+  EXPECT_EQ(live.BurstyEventQuery(t, 2.0, 8), twin.BurstyEventQuery(t, 2.0, 8));
+  EXPECT_EQ(live.FrequentBurstyEventQuery(t, 2.0, 8, 3.0),
+            twin.FrequentBurstyEventQuery(t, 2.0, 8, 3.0));
+  EXPECT_EQ(live.TopKBurstyEvents(t, 3, 8), twin.TopKBurstyEvents(t, 3, 8));
+  EXPECT_EQ(live.EffectiveAnswerBound().point_bound,
+            twin.EffectivePointBound().point_bound);
+
+  // Serving the queries left the live engine live.
+  EXPECT_FALSE(live.finalized());
+  EXPECT_TRUE(live.Append(0, t).ok());
+}
+
+// All three event-centric queries run through the same latency/
+// point-query instrumentation, not just BurstyEventQuery.
+TEST(BurstEngineTest, EventQueriesShareInstrumentation) {
+  BurstEngine1 engine(SmallOptions(8));
+  for (Timestamp t = 0; t < 100; ++t) {
+    ASSERT_TRUE(engine.Append(static_cast<EventId>(t % 8), t).ok());
+  }
+  engine.Finalize();
+#ifndef BURSTHIST_NO_METRICS
+  auto& bursty_lat =
+      obs::GetLatencyHistogram(obs::kQueryBurstyEventLatencySeconds);
+  auto& frequent_lat =
+      obs::GetLatencyHistogram(obs::kQueryFrequentBurstyEventLatencySeconds);
+  auto& topk_lat = obs::GetLatencyHistogram(obs::kQueryTopkLatencySeconds);
+  const uint64_t bursty_before = bursty_lat.Count();
+  const uint64_t frequent_before = frequent_lat.Count();
+  const uint64_t topk_before = topk_lat.Count();
+  (void)engine.BurstyEventQuery(99, 2.0, 8);
+  (void)engine.FrequentBurstyEventQuery(99, 2.0, 8, 1.0);
+  (void)engine.TopKBurstyEvents(99, 3, 8);
+  EXPECT_EQ(bursty_lat.Count(), bursty_before + 1);
+  EXPECT_EQ(frequent_lat.Count(), frequent_before + 1);
+  EXPECT_EQ(topk_lat.Count(), topk_before + 1);
+  // Each records how many point queries its last evaluation needed.
+  EXPECT_GT(obs::GetGauge(obs::kQueryBurstyEventPointQueries).Value(), 0.0);
+#else
+  (void)engine.FrequentBurstyEventQuery(99, 2.0, 8, 1.0);
+  (void)engine.TopKBurstyEvents(99, 3, 8);
+#endif
 }
 
 }  // namespace

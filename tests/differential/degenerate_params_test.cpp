@@ -219,5 +219,44 @@ TEST(DegenerateParams, HarnessHandlesTinyStreams) {
   }
 }
 
+// Reversed FREQ ranges: f(e, [t1, t2]) with t1 > t2 is DEFINED as 0 —
+// the engine never swaps the endpoints — and the definition holds at
+// the engine layer for finalized AND live engines alike, for seen and
+// unseen events, and however extreme the reversal.
+TEST(DegenerateParams, ReversedFrequencyRangeIsZero) {
+  Structures s(kUniverse);
+  s.Ingest(SmallStream());
+  // A forward range with the same endpoints is nonzero — proof the
+  // zero below comes from the t1 > t2 rule, not from empty data.
+  ASSERT_GT(s.engine.FrequencyQuery(0, 10, 18), 0.0);
+  for (EventId e = 0; e < kUniverse; ++e) {
+    EXPECT_EQ(s.engine.FrequencyQuery(e, 18, 10), 0.0) << "e=" << e;
+    EXPECT_EQ(s.engine.FrequencyQuery(e, 11, 10), 0.0) << "adjacent";
+    EXPECT_EQ(s.engine.FrequencyQuery(e, 1000, -1000), 0.0) << "extreme";
+    EXPECT_EQ(s.engine.FrequencyQuery(e, 31, 10), 0.0)
+        << "both endpoints inside history";
+  }
+
+  // Same rule on a live engine, including one whose records are all
+  // still in the re-order buffer.
+  const EventStream stream = SmallStream();
+  BurstEngine<Pbe1> live(Structures::EngineOptions(kUniverse));
+  for (const auto& r : stream.records()) {
+    ASSERT_TRUE(live.Append(r.id, r.time).ok());
+  }
+  ASSERT_GT(live.FrequencyQuery(0, 10, 18), 0.0);
+  EXPECT_EQ(live.FrequencyQuery(0, 18, 10), 0.0);
+
+  auto buffered_options = Structures::EngineOptions(kUniverse);
+  buffered_options.max_lateness = 1000;
+  BurstEngine<Pbe1> buffered(buffered_options);
+  for (const auto& r : stream.records()) {
+    ASSERT_TRUE(buffered.Append(r.id, r.time).ok());
+  }
+  ASSERT_GT(buffered.BufferedCount(), 0u);
+  ASSERT_GT(buffered.FrequencyQuery(0, 10, 18), 0.0);
+  EXPECT_EQ(buffered.FrequencyQuery(0, 18, 10), 0.0);
+}
+
 }  // namespace
 }  // namespace bursthist

@@ -1,0 +1,302 @@
+// ReadSnapshot / live-query correctness: queries on an unfinalized
+// engine must cover every accepted record (the silent-buffer-omission
+// bugfix), AcquireSnapshot() must publish immutable views whose
+// answers are byte-identical to a quiesced Finalize()d engine over the
+// same records, and concurrent appenders + snapshot readers must be
+// race-free (run under -DBURSTHIST_SANITIZE=thread; labeled tsan).
+
+#include "core/read_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "differential/diff_harness.h"
+#include "test_util.h"
+#include "util/serialize.h"
+
+namespace bursthist {
+namespace {
+
+BurstEngineOptions<Pbe1> SmallOptions(EventId universe,
+                                      Timestamp max_lateness = 0) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = universe;
+  o.max_lateness = max_lateness;
+  return o;
+}
+
+std::vector<uint8_t> SerializedBytes(const BurstEngine<Pbe1>& engine) {
+  BinaryWriter w;
+  engine.Serialize(&w);
+  return w.bytes();
+}
+
+// The bug this PR fixes: with a lateness window, recent records sit in
+// the re-order buffer, and a live query used to silently omit them.
+TEST(LiveQuery, CoversBufferedRecords) {
+  BurstEngine<Pbe1> engine(SmallOptions(4, /*max_lateness=*/100));
+  for (Timestamp t = 10; t < 20; ++t) {
+    ASSERT_TRUE(engine.Append(1, t).ok());
+  }
+  // Nothing is ripe yet (watermark 19, lateness 100): every record is
+  // still buffered.
+  ASSERT_EQ(engine.TotalCount(), 0u);
+  ASSERT_EQ(engine.BufferedCount(), 10u);
+
+  // A quiesced engine over the same records is the ground truth.
+  BurstEngine<Pbe1> quiesced(SmallOptions(4, 100));
+  for (Timestamp t = 10; t < 20; ++t) {
+    ASSERT_TRUE(quiesced.Append(1, t).ok());
+  }
+  quiesced.Finalize();
+
+  const Timestamp tau = 5;
+  for (Timestamp t : {9, 12, 15, 19, 25}) {
+    EXPECT_EQ(engine.PointQuery(1, t, tau), quiesced.PointQuery(1, t, tau))
+        << "t=" << t;
+    EXPECT_EQ(engine.CumulativeQuery(1, t), quiesced.CumulativeQuery(1, t));
+  }
+  EXPECT_EQ(engine.BurstyTimeQuery(1, 1.0, tau),
+            quiesced.BurstyTimeQuery(1, 1.0, tau));
+  EXPECT_EQ(engine.BurstyEventQuery(15, 1.0, tau),
+            quiesced.BurstyEventQuery(15, 1.0, tau));
+  EXPECT_EQ(engine.TopKBurstyEvents(15, 2, tau),
+            quiesced.TopKBurstyEvents(15, 2, tau));
+
+  // Serving the query did not disturb the live engine.
+  EXPECT_FALSE(engine.finalized());
+  EXPECT_EQ(engine.BufferedCount(), 10u);
+  ASSERT_TRUE(engine.Append(2, 19).ok());  // still appendable
+}
+
+TEST(LiveQuery, TracksSubsequentAppends) {
+  BurstEngine<Pbe1> engine(SmallOptions(4, 100));
+  ASSERT_TRUE(engine.Append(0, 10).ok());
+  const double before = engine.PointQuery(0, 10, 5);
+  EXPECT_EQ(before, 1.0);
+  ASSERT_TRUE(engine.Append(0, 10).ok());
+  EXPECT_EQ(engine.PointQuery(0, 10, 5), 2.0)
+      << "cached view must refresh after an append";
+}
+
+TEST(LiveQuery, FrequencyQueryReversedRangeIsZero) {
+  auto options = SmallOptions(4);
+  options.cell.buffer_points = 256;
+  options.cell.budget_points = 256;  // lossless: ranges are exact
+  BurstEngine<Pbe1> engine(options);
+  for (Timestamp t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(engine.Append(0, t).ok());
+  }
+  EXPECT_GT(engine.FrequencyQuery(0, 2, 6), 0.0);
+  EXPECT_EQ(engine.FrequencyQuery(0, 6, 2), 0.0);
+  engine.Finalize();
+  EXPECT_EQ(engine.FrequencyQuery(0, 6, 2), 0.0);
+  EXPECT_EQ(engine.FrequencyQuery(0, 100, -100), 0.0);
+}
+
+TEST(ReadSnapshot, CarriesWatermarkAndBound) {
+  BurstEngine<Pbe1> engine(SmallOptions(4, 50));
+  for (Timestamp t = 0; t < 30; ++t) {
+    ASSERT_TRUE(engine.Append(0, t).ok());
+  }
+  auto snap = engine.AcquireSnapshot(/*sequence=*/30);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->watermark(), 29);
+  EXPECT_EQ(snap->sequence(), 30u);
+  EXPECT_EQ(snap->total_count(), 30u);  // buffered records included
+
+  const auto ans = snap->Point(0, 20, 5);
+  EXPECT_EQ(ans.watermark, 29);
+  EXPECT_EQ(ans.bound.point_bound, snap->bound().point_bound);
+  // The view is finalized, so its bound equals a quiesced engine's.
+  EXPECT_EQ(snap->bound().point_bound,
+            engine.EffectiveAnswerBound().point_bound);
+}
+
+TEST(ReadSnapshot, ImmutableWhileAppendsContinue) {
+  BurstEngine<Pbe1> engine(SmallOptions(4, 0));
+  for (Timestamp t = 0; t < 16; ++t) {
+    ASSERT_TRUE(engine.Append(0, t).ok());
+  }
+  auto snap = engine.AcquireSnapshot();
+  const double frozen = snap->Point(0, 15, 4).value;
+  const Count frozen_total = snap->total_count();
+
+  // The live engine moves on; the snapshot must not.
+  for (Timestamp t = 16; t < 64; ++t) {
+    ASSERT_TRUE(engine.Append(0, t).ok());
+  }
+  EXPECT_EQ(snap->Point(0, 15, 4).value, frozen);
+  EXPECT_EQ(snap->total_count(), frozen_total);
+  EXPECT_EQ(snap->watermark(), 15);
+
+  // A fresh snapshot sees the new records.
+  auto snap2 = engine.AcquireSnapshot();
+  EXPECT_EQ(snap2->total_count(), 64u);
+  EXPECT_EQ(snap2->watermark(), 63);
+}
+
+TEST(ReadSnapshot, SlotPublishAndCurrent) {
+  BurstEngine<Pbe1> engine(SmallOptions(4));
+  SnapshotSlot<Pbe1> slot;
+  EXPECT_EQ(slot.Current(), nullptr);
+  ASSERT_TRUE(engine.Append(0, 1).ok());
+  auto snap = engine.AcquireSnapshot(1);
+  slot.Publish(snap);
+  EXPECT_EQ(slot.Current(), snap);
+}
+
+// The differential check the issue asks for: snapshot state must be
+// byte-identical (serialized engine payload) to a quiesced
+// Finalize()d engine fed the same records, across stream families —
+// and so must every query answer.
+TEST(ReadSnapshotDifferential, ByteIdenticalToQuiescedClone) {
+  using test::StreamFamily;
+  using test::StreamSpec;
+  for (StreamFamily family :
+       {StreamFamily::kUniform, StreamFamily::kBursty,
+        StreamFamily::kDuplicates, StreamFamily::kOutOfOrder}) {
+    StreamSpec spec;
+    spec.family = family;
+    spec.universe = 8;
+    spec.n = 240;
+    spec.seed = test::TestSeed();
+    spec.max_lateness = 12;
+    const auto arrivals = test::GenerateArrivals(spec);
+    const Timestamp lateness =
+        family == StreamFamily::kOutOfOrder ? spec.max_lateness : 0;
+
+    BurstEngine<Pbe1> live(SmallOptions(spec.universe, lateness));
+    size_t fed = 0;
+    for (size_t cut : {spec.n / 3, spec.n / 2, spec.n}) {
+      for (; fed < cut; ++fed) {
+        ASSERT_TRUE(live.Append(arrivals[fed].id, arrivals[fed].time).ok());
+      }
+      auto snap = live.AcquireSnapshot(cut);
+
+      BurstEngine<Pbe1> quiesced(SmallOptions(spec.universe, lateness));
+      for (size_t i = 0; i < cut; ++i) {
+        ASSERT_TRUE(quiesced.Append(arrivals[i].id, arrivals[i].time).ok());
+      }
+      quiesced.Finalize();
+
+      EXPECT_EQ(SerializedBytes(snap->engine()), SerializedBytes(quiesced))
+          << test::FamilyName(family) << " cut=" << cut;
+      EXPECT_EQ(snap->watermark(), quiesced.Watermark());
+      EXPECT_EQ(snap->bound().point_bound,
+                quiesced.EffectivePointBound().point_bound);
+
+      const Timestamp w = snap->watermark();
+      for (EventId e = 0; e < spec.universe; ++e) {
+        for (Timestamp tau : {1, 4, 16}) {
+          EXPECT_EQ(snap->Point(e, w, tau).value,
+                    quiesced.PointQuery(e, w, tau))
+              << test::FamilyName(family) << " e=" << e << " tau=" << tau;
+          EXPECT_EQ(snap->BurstyTime(e, 2.0, tau).value,
+                    quiesced.BurstyTimeQuery(e, 2.0, tau));
+        }
+        EXPECT_EQ(snap->Cumulative(e, w).value, quiesced.CumulativeQuery(e, w));
+      }
+      for (Timestamp tau : {1, 4, 16}) {
+        EXPECT_EQ(snap->BurstyEvent(w, 2.0, tau).value,
+                  quiesced.BurstyEventQuery(w, 2.0, tau));
+        EXPECT_EQ(snap->TopK(w, 3, tau).value,
+                  quiesced.TopKBurstyEvents(w, 3, tau));
+        EXPECT_EQ(snap->FrequentBurstyEvent(w, 2.0, tau, 1.0).value,
+                  quiesced.FrequentBurstyEventQuery(w, 2.0, tau, 1.0));
+      }
+    }
+  }
+}
+
+// Live value queries must agree with the snapshot taken at the same
+// instant — same code path, so exact equality.
+TEST(ReadSnapshotDifferential, LiveQueriesMatchSnapshot) {
+  test::StreamSpec spec;
+  spec.family = test::StreamFamily::kOutOfOrder;
+  spec.universe = 6;
+  spec.n = 160;
+  spec.seed = test::TestSeed() + 1;
+  spec.max_lateness = 8;
+  const auto arrivals = test::GenerateArrivals(spec);
+
+  BurstEngine<Pbe1> engine(SmallOptions(spec.universe, spec.max_lateness));
+  for (const auto& r : arrivals) {
+    ASSERT_TRUE(engine.Append(r.id, r.time).ok());
+  }
+  auto snap = engine.AcquireSnapshot();
+  const Timestamp w = snap->watermark();
+  for (EventId e = 0; e < spec.universe; ++e) {
+    for (Timestamp tau : {1, 3, 9}) {
+      EXPECT_EQ(engine.PointQuery(e, w, tau), snap->Point(e, w, tau).value);
+    }
+  }
+  EXPECT_EQ(engine.BurstyEventQuery(w, 1.5, 3),
+            snap->BurstyEvent(w, 1.5, 3).value);
+}
+
+// Concurrency: one writer appending and publishing snapshots, many
+// readers querying whatever is current. Run under tsan to prove the
+// publication scheme is race-free; the assertions here check the
+// views stay coherent (watermark monotone per reader, answers from a
+// view never change).
+TEST(ReadSnapshotConcurrency, AppendersAndReaders) {
+  constexpr int kReaders = 4;
+  constexpr Timestamp kEnd = 400;
+  BurstEngine<Pbe1> engine(SmallOptions(8, /*max_lateness=*/16));
+  SnapshotSlot<Pbe1> slot;
+  slot.Publish(engine.AcquireSnapshot(0));
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (Timestamp t = 0; t < kEnd; ++t) {
+      ASSERT_TRUE(engine.Append(static_cast<EventId>(t % 8), t).ok());
+      if (t % 7 == 0) {
+        slot.Publish(engine.AcquireSnapshot(static_cast<uint64_t>(t + 1)));
+      }
+    }
+    slot.Publish(engine.AcquireSnapshot(kEnd));
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      Timestamp last_watermark = -1;
+      uint64_t last_sequence = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = slot.Current();
+        ASSERT_NE(snap, nullptr);
+        // Publication is ordered: a reader can never go back in time.
+        EXPECT_GE(snap->watermark(), last_watermark);
+        EXPECT_GE(snap->sequence(), last_sequence);
+        last_watermark = snap->watermark();
+        last_sequence = snap->sequence();
+
+        const EventId e = static_cast<EventId>(i % 8);
+        const Timestamp w = snap->watermark();
+        const auto a1 = snap->Point(e, w, 4);
+        const auto a2 = snap->Point(e, w, 4);
+        EXPECT_EQ(a1.value, a2.value) << "immutable view changed an answer";
+        EXPECT_EQ(a1.watermark, w);
+        (void)snap->BurstyEvent(w, 2.0, 4);
+        (void)snap->TopK(w, 2, 4);
+        (void)snap->BurstyTime(e, 2.0, 4);
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+
+  // Final published view covers everything.
+  auto final_snap = slot.Current();
+  EXPECT_EQ(final_snap->total_count(), static_cast<Count>(kEnd));
+  EXPECT_EQ(final_snap->watermark(), kEnd - 1);
+}
+
+}  // namespace
+}  // namespace bursthist

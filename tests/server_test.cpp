@@ -1,0 +1,406 @@
+// Serving front-end end-to-end: wire parsing, TCP framing, snapshot
+// freshness, admission control, and — the point of the differential
+// style — byte-identical agreement between server replies and a local
+// ground-truth engine fed the same records through the same Format
+// helpers.
+
+#include "server/ingest_server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/read_snapshot.h"
+#include "governor/resource_governor.h"
+#include "recovery/durable_engine.h"
+#include "server/wire.h"
+#include "test_util.h"
+#include "util/env.h"
+
+namespace bursthist {
+namespace server {
+namespace {
+
+BurstEngineOptions<Pbe1> EngineOpts(EventId universe,
+                                    Timestamp max_lateness = 0) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = universe;
+  o.max_lateness = max_lateness;
+  return o;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    dir_ = testing::TempDir() + "/bursthist_server_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    auto names = env_->ListDir(dir_);
+    if (names.ok()) {
+      for (const auto& n : names.value()) {
+        (void)env_->DeleteFile(dir_ + "/" + n);
+      }
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  // Opens the durable engine and starts a server on an ephemeral port.
+  void StartServer(const BurstEngineOptions<Pbe1>& engine_options,
+                   const BurstServiceOptions& service_options =
+                       BurstServiceOptions(),
+                   const TcpServerOptions& tcp_options = TcpServerOptions()) {
+    auto opened = DurableBurstEngine<Pbe1>::Open(env_, dir_, engine_options);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    durable_ = std::move(opened).value();
+    server_ = std::make_unique<IngestServer<Pbe1>>(durable_.get(),
+                                                   service_options);
+    ASSERT_TRUE(server_->Start(tcp_options).ok());
+  }
+
+  // One round trip on an established client.
+  std::string RoundTrip(LineClient* client, const std::string& line) {
+    EXPECT_TRUE(client->SendLine(line).ok());
+    auto reply = client->ReadLine();
+    EXPECT_TRUE(reply.ok()) << reply.status().message();
+    return reply.ok() ? reply.value() : std::string();
+  }
+
+  LineClient Connect() {
+    LineClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    return client;
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::unique_ptr<DurableBurstEngine<Pbe1>> durable_;
+  std::unique_ptr<IngestServer<Pbe1>> server_;
+};
+
+TEST_F(ServerTest, PingStatsQuit) {
+  StartServer(EngineOpts(4));
+  LineClient client = Connect();
+  EXPECT_EQ(RoundTrip(&client, "PING"), "PONG");
+  EXPECT_EQ(RoundTrip(&client, "ADD 1 10"), "OK");
+  const std::string stats = RoundTrip(&client, "STATS");
+  EXPECT_EQ(stats.compare(0, 6, "STATS "), 0) << stats;
+  EXPECT_NE(stats.find("accepted=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("watermark=10"), std::string::npos) << stats;
+  EXPECT_EQ(RoundTrip(&client, "QUIT"), "BYE");
+  // The server honors *close: the next read sees EOF.
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+}
+
+// The differential heart of the suite: every query type answered over
+// the wire must equal — byte for byte — the reply a local engine fed
+// the identical records would produce through the same formatters.
+TEST_F(ServerTest, RepliesMatchGroundTruthEngine) {
+  const EventId kUniverse = 6;
+  StartServer(EngineOpts(kUniverse));
+  BurstEngine<Pbe1> truth(EngineOpts(kUniverse));
+
+  LineClient client = Connect();
+  Rng rng(test::CaseSeed(81));
+  Timestamp t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<Timestamp>(rng.NextBelow(3));
+    const EventId e = static_cast<EventId>(rng.NextBelow(kUniverse));
+    const Count c = 1 + static_cast<Count>(rng.NextBelow(2));
+    ASSERT_EQ(RoundTrip(&client, "ADD " + std::to_string(e) + " " +
+                                     std::to_string(t) + " " +
+                                     std::to_string(c)),
+              "OK");
+    ASSERT_TRUE(truth.Append(e, t, c).ok());
+  }
+
+  auto snap = truth.AcquireSnapshot();
+  const Timestamp w = snap->watermark();
+  for (EventId e = 0; e < kUniverse; ++e) {
+    for (Timestamp tau : {1, 4, 16}) {
+      const auto point = snap->Point(e, w, tau);
+      EXPECT_EQ(RoundTrip(&client, "POINT " + std::to_string(e) + " " +
+                                       std::to_string(w) + " " +
+                                       std::to_string(tau)),
+                FormatValue(point.value, point.watermark, point.bound));
+      const auto times = snap->BurstyTime(e, 2.0, tau);
+      EXPECT_EQ(RoundTrip(&client, "BTIME " + std::to_string(e) + " 2 " +
+                                       std::to_string(tau)),
+                FormatIntervals(times.value, times.watermark, times.bound));
+    }
+    const auto freq = snap->Frequency(e, w / 4, w / 2);
+    EXPECT_EQ(RoundTrip(&client, "FREQ " + std::to_string(e) + " " +
+                                     std::to_string(w / 4) + " " +
+                                     std::to_string(w / 2)),
+              FormatValue(freq.value, freq.watermark, freq.bound));
+  }
+  for (Timestamp tau : {1, 4, 16}) {
+    const auto events = snap->BurstyEvent(w, 2.0, tau);
+    EXPECT_EQ(RoundTrip(&client, "BEVENT " + std::to_string(w) + " 2 " +
+                                     std::to_string(tau)),
+              FormatEvents(events.value, events.watermark, events.bound));
+    const auto topk = snap->TopK(w, 3, tau);
+    EXPECT_EQ(RoundTrip(&client, "TOPK " + std::to_string(w) + " 3 " +
+                                     std::to_string(tau)),
+              FormatTopK(topk.value, topk.watermark, topk.bound));
+  }
+}
+
+// The bug this PR fixes, end to end: with a lateness window every
+// record sits in the re-order buffer, and the served answers must
+// still cover them.
+TEST_F(ServerTest, ServesBufferedRecordsUnderLateness) {
+  auto options = EngineOpts(4, /*max_lateness=*/100);
+  options.cell.buffer_points = 256;
+  options.cell.budget_points = 256;  // lossless: the POINT value is exact
+  StartServer(options);
+  BurstEngine<Pbe1> truth(options);
+
+  LineClient client = Connect();
+  for (Timestamp t = 10; t < 20; ++t) {
+    ASSERT_EQ(RoundTrip(&client, "ADD 1 " + std::to_string(t)), "OK");
+    ASSERT_TRUE(truth.Append(1, t).ok());
+  }
+  // Everything is buffered (watermark 19, lateness 100)...
+  EXPECT_EQ(durable_->engine().TotalCount(), 0u);
+  // ...yet the served POINT answer equals the ground truth's.
+  auto snap = truth.AcquireSnapshot();
+  const auto ans = snap->Point(1, 15, 5);
+  EXPECT_GT(ans.value, 0.0);
+  EXPECT_EQ(RoundTrip(&client, "POINT 1 15 5"),
+            FormatValue(ans.value, ans.watermark, ans.bound));
+}
+
+// Each ADD must be visible to the very next query
+// (snapshot_staleness_appends = 1 by default).
+TEST_F(ServerTest, QueriesAreFreshAfterEveryAdd) {
+  StartServer(EngineOpts(4));
+  BurstEngine<Pbe1> truth(EngineOpts(4));
+  LineClient client = Connect();
+  for (Timestamp t = 0; t < 20; ++t) {
+    ASSERT_EQ(RoundTrip(&client, "ADD 0 " + std::to_string(t)), "OK");
+    ASSERT_TRUE(truth.Append(0, t).ok());
+    auto snap = truth.AcquireSnapshot();
+    const auto ans = snap->Cumulative(0, t);
+    EXPECT_EQ(RoundTrip(&client,
+                        "FREQ 0 0 " + std::to_string(t)),
+              FormatValue(ans.value, ans.watermark, ans.bound))
+        << "t=" << t;
+  }
+}
+
+TEST_F(ServerTest, ErrorReplies) {
+  StartServer(EngineOpts(4));
+  LineClient client = Connect();
+  EXPECT_EQ(RoundTrip(&client, "FROB 1 2"),
+            "ERR INVALID_ARGUMENT unknown verb: FROB");
+  EXPECT_EQ(RoundTrip(&client, "ADD"), "ERR INVALID_ARGUMENT usage: ADD <e> <t> [count]");
+  EXPECT_EQ(RoundTrip(&client, "ADD x 5"),
+            "ERR INVALID_ARGUMENT ADD: malformed id or timestamp");
+  EXPECT_EQ(RoundTrip(&client, "ADD 1 5 0"),
+            "ERR INVALID_ARGUMENT ADD: count must be a positive integer");
+  // Event id out of the configured universe.
+  EXPECT_EQ(RoundTrip(&client, "POINT 99 5 1"),
+            "ERR INVALID_ARGUMENT event id exceeds universe size");
+  EXPECT_EQ(RoundTrip(&client, "BTIME 1 0 4"),
+            "ERR INVALID_ARGUMENT theta must be positive");
+  EXPECT_EQ(RoundTrip(&client, "BEVENT 5 -1 4"),
+            "ERR INVALID_ARGUMENT theta must be positive");
+  EXPECT_EQ(RoundTrip(&client, "POINT 1 5 -1"),
+            "ERR INVALID_ARGUMENT tau must be >= 0");
+  // Parse errors never kill the connection.
+  EXPECT_EQ(RoundTrip(&client, "PING"), "PONG");
+}
+
+TEST_F(ServerTest, OverlongLineIsRejected) {
+  TcpServerOptions tcp;
+  tcp.max_line_bytes = 64;
+  StartServer(EngineOpts(4), BurstServiceOptions(), tcp);
+  LineClient client = Connect();
+  const std::string reply =
+      RoundTrip(&client, "ADD 1 " + std::string(200, '9'));
+  EXPECT_EQ(reply.compare(0, 20, "ERR INVALID_ARGUMENT"), 0) << reply;
+}
+
+TEST_F(ServerTest, MetricsVerbStreamsUntilEnd) {
+  StartServer(EngineOpts(4));
+  LineClient client = Connect();
+  ASSERT_EQ(RoundTrip(&client, "ADD 2 7"), "OK");
+  ASSERT_EQ(RoundTrip(&client, "POINT 2 7 1").compare(0, 6, "VALUE "), 0);
+  ASSERT_TRUE(client.SendLine("METRICS").ok());
+  bool saw_requests_metric = false;
+  for (;;) {
+    auto line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().message();
+    if (line.value() == "END") break;
+    if (line.value().find("bursthist_server_requests_total") !=
+        std::string::npos) {
+      saw_requests_metric = true;
+    }
+  }
+#ifndef BURSTHIST_NO_METRICS
+  EXPECT_TRUE(saw_requests_metric);
+#endif
+  EXPECT_EQ(RoundTrip(&client, "PING"), "PONG");
+}
+
+TEST_F(ServerTest, HttpMetricsEndpoint) {
+  StartServer(EngineOpts(4));
+  LineClient client = Connect();
+  ASSERT_TRUE(client.SendLine("GET /metrics HTTP/1.0").ok());
+  auto status_line = client.ReadLine();
+  ASSERT_TRUE(status_line.ok());
+  EXPECT_EQ(status_line.value(), "HTTP/1.0 200 OK");
+  bool saw_content_type = false;
+  for (;;) {
+    auto line = client.ReadLine();
+    if (!line.ok()) break;  // server half-closes after the body
+    if (line.value().find("Content-Type: text/plain") != std::string::npos) {
+      saw_content_type = true;
+    }
+  }
+  EXPECT_TRUE(saw_content_type);
+
+  LineClient other = Connect();
+  ASSERT_TRUE(other.SendLine("GET /nope HTTP/1.0").ok());
+  auto not_found = other.ReadLine();
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found.value(), "HTTP/1.0 404 Not Found");
+}
+
+// Admission control: with a saturated byte budget the governor walks
+// its degradation ladder and then refuses ADDs — but queries keep
+// being served.
+TEST_F(ServerTest, GovernorRefusesWritesButServesReads) {
+  ResourceGovernor governor({/*soft=*/1, /*hard=*/1});
+  BurstServiceOptions service;
+  service.governor = &governor;
+  service.audit_every = 1;
+  StartServer(EngineOpts(4), service);
+  governor.RegisterComponent(
+      "engine", [this] { return durable_->engine().MemoryUsage(); },
+      [this](double factor) { durable_->engine().Degrade(factor); });
+
+  LineClient client = Connect();
+  bool refused = false;
+  for (Timestamp t = 0; t < 64 && !refused; ++t) {
+    const std::string reply = RoundTrip(&client, "ADD 1 " + std::to_string(t));
+    if (reply.compare(0, 22, "ERR RESOURCE_EXHAUSTED") == 0) refused = true;
+  }
+  EXPECT_TRUE(refused) << "saturated governor never refused an ADD";
+  // Reads stay up under overload.
+  EXPECT_EQ(RoundTrip(&client, "POINT 1 4 1").compare(0, 6, "VALUE "), 0);
+  const std::string stats = RoundTrip(&client, "STATS");
+  EXPECT_NE(stats.find("level="), std::string::npos) << stats;
+}
+
+// Many clients interleaving writes and reads: the tsan-facing test.
+// Every ADD must be acknowledged, every query must parse as a reply,
+// and the final accepted count must equal the sum of acknowledged
+// ADDs.
+TEST_F(ServerTest, ConcurrentClients) {
+  constexpr int kClients = 6;
+  constexpr int kAddsPerClient = 60;
+  // Each client stamps its own t = 0..59 clock; the shared watermark
+  // needs a lateness window covering the full spread so interleaved
+  // clients never collide with each other's progress.
+  StartServer(EngineOpts(8, /*max_lateness=*/1000));
+
+  std::atomic<int> acknowledged{0};
+  std::vector<std::thread> threads;
+  const uint16_t port = server_->port();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+      for (int i = 0; i < kAddsPerClient; ++i) {
+        const Timestamp t = static_cast<Timestamp>(i);
+        const EventId e = static_cast<EventId>(c % 8);
+        ASSERT_TRUE(client
+                        .SendLine("ADD " + std::to_string(e) + " " +
+                                  std::to_string(t))
+                        .ok());
+        auto reply = client.ReadLine();
+        ASSERT_TRUE(reply.ok());
+        if (reply.value() == "OK") acknowledged.fetch_add(1);
+        if (i % 5 == 0) {
+          ASSERT_TRUE(client
+                          .SendLine("POINT " + std::to_string(e) + " " +
+                                    std::to_string(t) + " 4")
+                          .ok());
+          auto ans = client.ReadLine();
+          ASSERT_TRUE(ans.ok());
+          EXPECT_EQ(ans.value().compare(0, 6, "VALUE "), 0) << ans.value();
+          EXPECT_NE(ans.value().find("watermark="), std::string::npos);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(acknowledged.load(), kClients * kAddsPerClient);
+
+  LineClient client = Connect();
+  const std::string stats = RoundTrip(&client, "STATS");
+  EXPECT_NE(stats.find("accepted=" +
+                       std::to_string(kClients * kAddsPerClient)),
+            std::string::npos)
+      << stats;
+  // Every accepted record is either ingested or still buffered behind
+  // the lateness window — none vanished.
+  unsigned long long total = 0, buffered = 0;
+  ASSERT_EQ(std::sscanf(stats.c_str(), "STATS total=%llu buffered=%llu",
+                        &total, &buffered),
+            2)
+      << stats;
+  EXPECT_EQ(total + buffered,
+            static_cast<unsigned long long>(kClients * kAddsPerClient));
+}
+
+// Wire-level unit checks that need no server.
+TEST(WireTest, ParseRejectsMalformedNumbers) {
+  EXPECT_FALSE(ParseRequest("ADD 1 2x").ok());
+  EXPECT_FALSE(ParseRequest("ADD -1 2").ok());
+  EXPECT_FALSE(ParseRequest("POINT 1 2").ok());
+  EXPECT_FALSE(ParseRequest("TOPK 5 -3 1").ok());
+  EXPECT_FALSE(ParseRequest("PING extra").ok());
+  EXPECT_FALSE(ParseRequest("").ok());
+  auto ok = ParseRequest("  ADD  3   17  2 ");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().e, 3u);
+  EXPECT_EQ(ok.value().t, 17);
+  EXPECT_EQ(ok.value().count, 2u);
+}
+
+TEST(WireTest, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -2.5, 1.0 / 3.0, 12345.678901234567, 1e300}) {
+    const std::string s = FormatDouble(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  EXPECT_EQ(FormatDouble(2.0), "2");
+}
+
+TEST(WireTest, LineBufferSplitsAndRejectsOverlong) {
+  LineBuffer buf(/*max_line_bytes=*/8);
+  std::vector<std::string> lines;
+  ASSERT_TRUE(buf.Feed("a\r\nbb\nc", 7, &lines).ok());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "bb");
+  const std::string longline(20, 'x');
+  EXPECT_FALSE(buf.Feed(longline.data(), longline.size(), &lines).ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace bursthist
