@@ -21,8 +21,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "core/burst_engine.h"
 #include "core/sketch_store.h"
@@ -30,6 +33,8 @@
 #include "governor/resource_governor.h"
 #include "obs/metrics.h"
 #include "recovery/durable_engine.h"
+#include "replication/replica_engine.h"
+#include "replication/wal_shipper.h"
 #include "server/ingest_server.h"
 #include "stream/csv_io.h"
 #include "util/env.h"
@@ -163,6 +168,7 @@ int Usage() {
       "usage:\n"
       "  bursthist_cli serve  <dir> <K> [--port N] [--gamma g]\n"
       "                       [--lateness L] [--budget-mb M]\n"
+      "                       [--repl-port N] [--follow host:port]\n"
       "  bursthist_cli ingest <events.csv> <K> <out.sketch> [gamma]\n"
       "  bursthist_cli info   <sketch>\n"
       "  bursthist_cli metrics <sketch> [--json]\n"
@@ -207,6 +213,9 @@ struct ServeConfig {
   uint16_t port = 0;
   Timestamp lateness = 0;
   size_t budget_mb = 0;
+  uint16_t repl_port = 0;      ///< non-zero: ship the WAL to followers.
+  std::string follow_host;     ///< non-empty: run as a follower of ...
+  uint16_t follow_port = 0;    ///< ... this leader.
 };
 
 template <typename PbeT>
@@ -214,26 +223,82 @@ int ServeWith(const ServeConfig& cfg) {
   obs::RegisterStandardMetrics();
   BurstEngineOptions<PbeT> options = EngineOptions<PbeT>(cfg.header);
   options.max_lateness = cfg.lateness;
-  auto durable =
-      DurableBurstEngine<PbeT>::Open(Env::Default(), cfg.dir, options);
-  if (!durable.ok()) return Fail(durable.status());
 
+  // Leader mode owns the durable engine directly; follower mode owns
+  // it through a ReplicaEngine whose apply thread shares the serving
+  // layer's write mutex.
+  std::unique_ptr<DurableBurstEngine<PbeT>> durable;
+  std::unique_ptr<repl::ReplicaEngine<PbeT>> replica;
+  std::mutex leader_mu;
   server::BurstServiceOptions service_options;
+  if (!cfg.follow_host.empty()) {
+    repl::ReplicaOptions ropts;
+    ropts.leader_host = cfg.follow_host;
+    ropts.leader_port = cfg.follow_port;
+    auto r = repl::ReplicaEngine<PbeT>::Open(Env::Default(), cfg.dir, options,
+                                             DurabilityOptions(), ropts);
+    if (!r.ok()) return Fail(r.status());
+    replica = std::move(r).value();
+    auto* rp = replica.get();
+    service_options.replica.enabled = true;
+    service_options.replica.write_mu = rp->write_mu();
+    service_options.replica.is_follower = [rp] { return rp->follower(); };
+    service_options.replica.lag = [rp] { return rp->lag(); };
+    service_options.replica.applied = [rp] { return rp->applied_records(); };
+    service_options.replica.promote = [rp] { return rp->Promote(); };
+  } else {
+    auto d = DurableBurstEngine<PbeT>::Open(Env::Default(), cfg.dir, options);
+    if (!d.ok()) return Fail(d.status());
+    durable = std::move(d).value();
+    // Even without a replica, the shipper's state callback must see
+    // consistent WAL positions — share one mutex with the service.
+    service_options.replica.write_mu = &leader_mu;
+  }
+  DurableBurstEngine<PbeT>* owned = durable ? durable.get()
+                                            : replica->durable();
+
   ResourceGovernor governor(
       ResourceBudget{cfg.budget_mb << 19, cfg.budget_mb << 20});
   if (cfg.budget_mb > 0) {
-    auto* engine = &durable.value()->engine();
+    auto* engine = &owned->engine();
     governor.RegisterComponent(
         "engine", [engine] { return engine->MemoryUsage(); },
         [engine](double factor) { engine->Degrade(factor); });
     service_options.governor = &governor;
   }
 
-  server::IngestServer<PbeT> server(durable.value().get(), service_options);
+  server::IngestServer<PbeT> server(owned, service_options);
   server::TcpServerOptions tcp;
   tcp.port = cfg.port;
   if (Status st = server.Start(tcp); !st.ok()) return Fail(st);
   std::printf("listening on %s:%u\n", tcp.host.c_str(), server.port());
+
+  repl::WalShipper shipper;
+  if (cfg.repl_port != 0) {
+    repl::WalShipperOptions sopts;
+    sopts.port = cfg.repl_port;
+    std::mutex* state_mu = service_options.replica.write_mu;
+    auto state = [owned, state_mu] {
+      std::lock_guard<std::mutex> lock(*state_mu);
+      return repl::LeaderStatus{owned->wal_position(),
+                                owned->engine().Watermark()};
+    };
+    if (Status st = shipper.Start(Env::Default(), cfg.dir, sopts, state);
+        !st.ok()) {
+      server.Stop();
+      return Fail(st);
+    }
+    std::printf("replicating on %s:%u\n", sopts.host.c_str(), shipper.port());
+  }
+  if (replica != nullptr) {
+    if (Status st = replica->Start(); !st.ok()) {
+      shipper.Stop();
+      server.Stop();
+      return Fail(st);
+    }
+    std::printf("following %s:%u\n", cfg.follow_host.c_str(),
+                cfg.follow_port);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStop);
@@ -241,8 +306,18 @@ int ServeWith(const ServeConfig& cfg) {
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  // Graceful shutdown: refuse new connections, give in-flight
+  // requests a grace period, then tear down and leave a final
+  // checkpoint so the next start replays (almost) nothing.
+  server.StopAccepting();
+  server.Drain(2000);
   server.Stop();
-  if (Status st = durable.value()->Sync(); !st.ok()) return Fail(st);
+  shipper.Stop();
+  if (replica != nullptr) replica->Stop();
+  if (Status st = owned->Checkpoint(); !st.ok()) {
+    std::fprintf(stderr, "final checkpoint failed: %s\n",
+                 st.message().c_str());
+  }
   std::printf("stopped\n");
   return 0;
 }
@@ -265,6 +340,18 @@ int Serve(int argc, char** argv) {
       cfg.lateness = std::strtoll(argv[i + 1], nullptr, 10);
     } else if (flag == "--budget-mb") {
       cfg.budget_mb = std::strtoul(argv[i + 1], nullptr, 10);
+    } else if (flag == "--repl-port") {
+      cfg.repl_port =
+          static_cast<uint16_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      if (cfg.repl_port == 0) return Usage();
+    } else if (flag == "--follow") {
+      const std::string target = argv[i + 1];
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) return Usage();
+      cfg.follow_host = target.substr(0, colon);
+      cfg.follow_port = static_cast<uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+      if (cfg.follow_host.empty() || cfg.follow_port == 0) return Usage();
     } else {
       return Usage();
     }

@@ -141,7 +141,31 @@
     "Server-side latency of one protocol request (parse to reply).")          \
   M(Gauge, ServerSnapshotStalenessAppends,                                    \
     "bursthist_server_snapshot_staleness_appends",                            \
-    "Appends accepted since the serving snapshot was last refreshed.")
+    "Appends accepted since the serving snapshot was last refreshed.")        \
+  /* ---- replication: leader (WAL shipper) ---- */                           \
+  M(Counter, ReplShippedRecordsTotal, "bursthist_repl_shipped_records_total", \
+    "WAL records framed and shipped to followers (all connections).")         \
+  M(Counter, ReplShippedBytesTotal, "bursthist_repl_shipped_bytes_total",     \
+    "Replication wire bytes sent to followers (records + heartbeats).")       \
+  M(Counter, ReplFollowerConnectionsTotal,                                    \
+    "bursthist_repl_follower_connections_total",                              \
+    "Follower connections accepted by the WAL shipper.")                      \
+  M(Counter, ReplSnapshotsServedTotal,                                        \
+    "bursthist_repl_snapshots_served_total",                                  \
+    "Bootstrap snapshots served to followers (blank or pruned-behind).")      \
+  /* ---- replication: follower (replica engine) ---- */                      \
+  M(Counter, ReplAppliedRecordsTotal, "bursthist_repl_applied_records_total", \
+    "Shipped records durably applied by the replica (duplicates skipped).")   \
+  M(Counter, ReplReconnectsTotal, "bursthist_repl_reconnects_total",          \
+    "Times the replica re-dialed the leader after a broken/dead link.")       \
+  M(Counter, ReplFramesRejectedTotal,                                         \
+    "bursthist_repl_frames_rejected_total",                                   \
+    "Wire frames rejected (checksum/decode); each drops the connection.")     \
+  M(Gauge, ReplConnected, "bursthist_repl_connected",                         \
+    "1 while the replica holds a live connection to its leader.")             \
+  M(Gauge, ReplLag, "bursthist_repl_lag",                                     \
+    "Replication lag in stream-time units: leader watermark minus "           \
+    "applied watermark.")
 // clang-format on
 
 namespace bursthist {

@@ -96,6 +96,64 @@ inline Status DecodeEventPayload(const uint8_t* payload, size_t len,
   return Status::OK();
 }
 
+inline std::vector<uint8_t> EncodeReplicatedPayload(const WalPosition& source,
+                                                    EventId e, Timestamp t,
+                                                    Count count) {
+  BinaryWriter w;
+  w.Put<uint64_t>(source.seq);
+  w.Put<uint64_t>(source.offset);
+  w.Put<uint32_t>(e);
+  w.Put<int64_t>(t);
+  w.Put<uint64_t>(count);
+  return w.TakeBytes();
+}
+
+inline Status DecodeReplicatedPayload(const uint8_t* payload, size_t len,
+                                      WalPosition* source, EventId* e,
+                                      Timestamp* t, Count* count) {
+  BinaryReader r(payload, len);
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&source->seq));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(&source->offset));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(e));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(t));
+  BURSTHIST_RETURN_IF_ERROR(r.Get(count));
+  if (r.remaining() != 0) {
+    return Status::Corruption("oversized WAL replicated payload");
+  }
+  return Status::OK();
+}
+
+/// Magic for the replica-metadata trailer a checkpoint appends after
+/// the engine blob inside the snapshot: u32 "RPLM" | u64 source_seq |
+/// u64 source_offset. Snapshots written before replication existed
+/// simply end at the engine blob; both forms stay readable.
+constexpr uint32_t kReplicaMetaMagic = 0x4d4c5052;  // "RPLM"
+
+inline void AppendReplicaMeta(BinaryWriter* w, const WalPosition& source) {
+  w->Put<uint32_t>(kReplicaMetaMagic);
+  w->Put<uint64_t>(source.seq);
+  w->Put<uint64_t>(source.offset);
+}
+
+/// Reads the trailer (if present) from the bytes an engine
+/// Deserialize left behind. remaining() == 0 is a legacy snapshot:
+/// leader position {0, 0}, i.e. "replicate from the beginning".
+inline Status ReadReplicaMeta(BinaryReader* r, WalPosition* source) {
+  *source = WalPosition{};
+  if (r->remaining() == 0) return Status::OK();
+  uint32_t magic = 0;
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&magic));
+  if (magic != kReplicaMetaMagic) {
+    return Status::Corruption("bad snapshot replica-metadata magic");
+  }
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&source->seq));
+  BURSTHIST_RETURN_IF_ERROR(r->Get(&source->offset));
+  if (r->remaining() != 0) {
+    return Status::Corruption("trailing bytes after snapshot replica meta");
+  }
+  return Status::OK();
+}
+
 /// A recovered engine plus where the log ended.
 template <typename PbeT>
 struct RecoveredState {
@@ -105,6 +163,10 @@ struct RecoveredState {
   WalPosition wal_end;
   /// Newest snapshot generation on disk (0 = none).
   uint64_t latest_generation = 0;
+  /// LEADER WAL position this state has applied through, recovered
+  /// from the snapshot trailer plus any replayed kReplicated records.
+  /// {0, 0} when the directory never acted as a follower.
+  WalPosition replicated_through;
 };
 
 /// Loads one snapshot generation (or the empty baseline when
@@ -113,13 +175,15 @@ template <typename PbeT>
 Result<RecoveredState<PbeT>> TryRecoverFrom(
     Env* env, const std::string& dir,
     const BurstEngineOptions<PbeT>& options, uint64_t generation) {
-  RecoveredState<PbeT> state{BurstEngine<PbeT>(options), WalPosition{}, 0};
+  RecoveredState<PbeT> state{BurstEngine<PbeT>(options), WalPosition{}, 0,
+                             WalPosition{}};
   WalPosition from{0, 0};
   if (generation > 0) {
     auto snap = ReadSnapshotFile(env, dir, generation);
     if (!snap.ok()) return snap.status();
     BinaryReader r(snap.value().blob);
     BURSTHIST_RETURN_IF_ERROR(state.engine.Deserialize(&r));
+    BURSTHIST_RETURN_IF_ERROR(ReadReplicaMeta(&r, &state.replicated_through));
     from = snap.value().wal_position;
   } else {
     // Empty baseline: the log is the whole history; start at the
@@ -129,17 +193,26 @@ Result<RecoveredState<PbeT>> TryRecoverFrom(
     if (!seqs.value().empty()) from = WalPosition{seqs.value().front(), 0};
   }
   auto& engine = state.engine;
+  auto& replicated_through = state.replicated_through;
   auto replay = ReplayWal(
       env, dir, from,
-      [&engine](WalRecordType type, const uint8_t* payload, size_t len) {
-        if (type != WalRecordType::kEvent) {
-          return Status::Corruption("unknown WAL record type");
-        }
+      [&engine, &replicated_through](WalRecordType type,
+                                     const uint8_t* payload, size_t len,
+                                     const WalPosition&) {
         EventId e = 0;
         Timestamp t = 0;
         Count count = 0;
-        BURSTHIST_RETURN_IF_ERROR(DecodeEventPayload(payload, len, &e, &t,
-                                                     &count));
+        if (type == WalRecordType::kEvent) {
+          BURSTHIST_RETURN_IF_ERROR(DecodeEventPayload(payload, len, &e, &t,
+                                                       &count));
+        } else if (type == WalRecordType::kReplicated) {
+          WalPosition source;
+          BURSTHIST_RETURN_IF_ERROR(
+              DecodeReplicatedPayload(payload, len, &source, &e, &t, &count));
+          if (replicated_through < source) replicated_through = source;
+        } else {
+          return Status::Corruption("unknown WAL record type");
+        }
         Status st = engine.Append(e, t, count);
         if (!st.ok()) {
           // Only validated records reach the log, so a rejected
@@ -228,9 +301,11 @@ class DurableBurstEngine {
     if (!wal.ok()) return wal.status();
 
     std::unique_ptr<DurableBurstEngine<PbeT>> out(
-        new DurableBurstEngine(env, dir, durability, std::move(state.engine),
+        new DurableBurstEngine(env, dir, options, durability,
+                               std::move(state.engine),
                                std::move(wal).value()));
     out->generation_ = state.latest_generation;
+    out->replicated_through_ = state.replicated_through;
     return out;
   }
 
@@ -244,6 +319,47 @@ class DurableBurstEngine {
   /// Logs and ingests a whole stream (see BurstEngine::AppendStream).
   Status AppendStream(const EventStream& stream) {
     return engine_.AppendStream(stream);
+  }
+
+  /// Logs and ingests one record received over replication. The
+  /// leader position just past the shipped record rides in the SAME
+  /// WAL frame as the event (WalRecordType::kReplicated), so a crash
+  /// can never separate "applied the record" from "advanced the
+  /// resume token". On success replicated_through() == source.
+  Status AppendReplicated(EventId e, Timestamp t, Count count,
+                          const WalPosition& source) {
+    pending_source_ = &source;
+    Status st = engine_.Append(e, t, count);
+    pending_source_ = nullptr;
+    if (st.ok()) replicated_through_ = source;
+    return st;
+  }
+
+  /// LEADER WAL position applied through ({0, 0} if never a
+  /// follower): the resume token to present when (re)connecting.
+  const WalPosition& replicated_through() const { return replicated_through_; }
+
+  /// Replaces the engine wholesale with a leader snapshot blob whose
+  /// coverage ends at `source` (follower bootstrap: local history is
+  /// behind the leader's pruning horizon, so it cannot be caught up
+  /// record-by-record). Checkpoints immediately — the install is only
+  /// durable once the local snapshot + fresh WAL segment land, and
+  /// stale local WAL records must never replay on top of the new
+  /// state. On failure the in-memory engine no longer matches disk;
+  /// the caller must discard this object (reopen recovers the
+  /// pre-install state).
+  Status InstallReplicatedState(const std::vector<uint8_t>& blob,
+                                const WalPosition& source) {
+    if (read_only()) {
+      return Status::Unavailable("engine is read-only after fsync failure");
+    }
+    BurstEngine<PbeT> fresh(options_);
+    BinaryReader r(blob);
+    BURSTHIST_RETURN_IF_ERROR(fresh.Deserialize(&r));
+    engine_ = std::move(fresh);
+    InstallTee();
+    replicated_through_ = source;
+    return Checkpoint();
   }
 
   /// fsyncs the WAL up to the last accepted Append. A failed fsync
@@ -269,6 +385,7 @@ class DurableBurstEngine {
     const WalPosition covered = wal_->position();
     BinaryWriter w;
     engine_.Serialize(&w);
+    recovery_internal::AppendReplicaMeta(&w, replicated_through_);
     BURSTHIST_RETURN_IF_ERROR(
         WriteSnapshotFile(env_, dir_, generation_ + 1, covered, w.bytes()));
     ++generation_;
@@ -290,16 +407,29 @@ class DurableBurstEngine {
   uint64_t generation() const { return generation_; }
 
  private:
-  DurableBurstEngine(Env* env, std::string dir,
+  DurableBurstEngine(Env* env, std::string dir, const EngineOptions& options,
                      const DurabilityOptions& durability,
                      BurstEngine<PbeT> engine,
                      std::unique_ptr<WalWriter> wal)
       : env_(env),
         dir_(std::move(dir)),
+        options_(options),
         durability_(durability),
         engine_(std::move(engine)),
         wal_(std::move(wal)) {
+    InstallTee();
+  }
+
+  // The WAL tee: every accepted append is framed into the log before
+  // ingestion. A replicated append (pending_source_ set) carries the
+  // leader position inside the frame.
+  void InstallTee() {
     engine_.set_append_observer([this](EventId e, Timestamp t, Count count) {
+      if (pending_source_ != nullptr) {
+        return wal_->AddRecord(WalRecordType::kReplicated,
+                               recovery_internal::EncodeReplicatedPayload(
+                                   *pending_source_, e, t, count));
+      }
       return wal_->AddRecord(
           WalRecordType::kEvent,
           recovery_internal::EncodeEventPayload(e, t, count));
@@ -351,10 +481,13 @@ class DurableBurstEngine {
 
   Env* env_;
   std::string dir_;
+  EngineOptions options_;
   DurabilityOptions durability_;
   BurstEngine<PbeT> engine_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t generation_ = 0;
+  WalPosition replicated_through_;
+  const WalPosition* pending_source_ = nullptr;
 };
 
 /// The paper's two configurations, durable.

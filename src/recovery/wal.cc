@@ -163,7 +163,7 @@ Status WalWriter::ReopenCleanSegment() {
 Result<WalReplayResult> ReplayWal(
     Env* env, const std::string& dir, const WalPosition& from,
     const std::function<Status(WalRecordType, const uint8_t* payload,
-                               size_t len)>& sink) {
+                               size_t len, const WalPosition& end)>& sink) {
   BURSTHIST_COUNTER(m_replayed, obs::kRecoveryReplayedRecordsTotal);
   BURSTHIST_COUNTER(m_torn, obs::kRecoveryTornTailsTotal);
   auto seqs_or = ListWalSegments(env, dir);
@@ -251,7 +251,8 @@ Result<WalReplayResult> ReplayWal(
         return Status::Corruption("WAL record checksum mismatch");
       }
       BURSTHIST_RETURN_IF_ERROR(
-          sink(static_cast<WalRecordType>(body[0]), body + 1, payload_len));
+          sink(static_cast<WalRecordType>(body[0]), body + 1, payload_len,
+               WalPosition{seq, off + frame_size}));
       off += frame_size;
       m_replayed.Inc();
       ++result.records;

@@ -49,12 +49,26 @@ struct WalPosition {
   bool operator==(const WalPosition& o) const {
     return seq == o.seq && offset == o.offset;
   }
+  bool operator!=(const WalPosition& o) const { return !(*this == o); }
+  /// Log order: segment sequence first, byte offset within it second.
+  bool operator<(const WalPosition& o) const {
+    return seq != o.seq ? seq < o.seq : offset < o.offset;
+  }
 };
 
 /// Record types multiplexed through the log.
 enum class WalRecordType : uint8_t {
   /// One engine append: u32 event | i64 time | u64 count (20 bytes).
   kEvent = 1,
+  /// One append received over replication, stamped with the LEADER WAL
+  /// position just past the shipped record:
+  ///   u64 source_seq | u64 source_offset | u32 event | i64 time |
+  ///   u64 count (36 bytes).
+  /// The stamp travels in the same CRC frame as the event, so a
+  /// follower's applied-through position can never diverge from its
+  /// applied records across a crash — replay recovers both or
+  /// neither.
+  kReplicated = 2,
 };
 
 /// Size of a segment header in bytes.
@@ -167,10 +181,12 @@ struct WalReplayResult {
 /// `sink`. `from.seq` segments that no longer exist (already pruned
 /// and covered by a snapshot) are fine as long as no later segment
 /// precedes `from`. A non-OK sink status aborts and is returned.
+/// `end` is the position just past the record being delivered — the
+/// resume token replication ships alongside each record.
 Result<WalReplayResult> ReplayWal(
     Env* env, const std::string& dir, const WalPosition& from,
     const std::function<Status(WalRecordType, const uint8_t* payload,
-                               size_t len)>& sink);
+                               size_t len, const WalPosition& end)>& sink);
 
 }  // namespace bursthist
 

@@ -1,0 +1,82 @@
+#include "replication/flaky_transport.h"
+
+#include <utility>
+
+namespace bursthist {
+namespace repl {
+
+/// Pass-through connection that routes every received chunk through
+/// the owning transport's fault filter.
+class FlakyConn : public ReplConn {
+ public:
+  FlakyConn(FlakyTransport* owner, std::unique_ptr<ReplConn> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Status Send(const uint8_t* data, size_t n) override {
+    return base_->Send(data, n);
+  }
+
+  Result<size_t> Recv(uint8_t* buf, size_t cap, int timeout_ms) override {
+    if (dead_) return Status::Unavailable("connection cut by fault injection");
+    auto n_or = base_->Recv(buf, cap, timeout_ms);
+    if (!n_or.ok()) return n_or.status();
+    const size_t n = n_or.value();
+    if (n == 0) return n_or;  // timeout: nothing passed through
+    bool cut = false;
+    const size_t deliver = owner_->FilterChunk(buf, n, &cut);
+    if (cut) {
+      dead_ = true;
+      base_->Close();
+      if (deliver == 0) {
+        return Status::Unavailable("connection cut by fault injection");
+      }
+    }
+    return deliver;
+  }
+
+  void Close() override { base_->Close(); }
+
+ private:
+  FlakyTransport* owner_;
+  std::unique_ptr<ReplConn> base_;
+  bool dead_ = false;
+};
+
+Result<std::unique_ptr<ReplConn>> FlakyTransport::Connect(
+    const std::string& host, uint16_t port) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++connects_;
+    if (fail_connects_ > 0) {
+      --fail_connects_;
+      return Status::Unavailable("connect refused by fault injection");
+    }
+  }
+  auto base = base_->Connect(host, port);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<ReplConn>(
+      new FlakyConn(this, std::move(base).value()));
+}
+
+size_t FlakyTransport::FilterChunk(uint8_t* buf, size_t n, bool* cut) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t deliver = n;
+  *cut = false;
+  if (cut_armed_ && delivered_ + n >= cut_at_) {
+    // Deliver exactly up to the boundary, then kill the connection —
+    // the follower sees a torn frame tail, never a corrupt apply.
+    deliver = cut_at_ > delivered_ ? static_cast<size_t>(cut_at_ - delivered_)
+                                   : 0;
+    cut_armed_ = false;
+    *cut = true;
+  }
+  if (flip_armed_ && flip_at_ >= delivered_ && flip_at_ < delivered_ + deliver) {
+    buf[flip_at_ - delivered_] ^= static_cast<uint8_t>(1u << flip_bit_);
+    flip_armed_ = false;
+  }
+  delivered_ += deliver;
+  return deliver;
+}
+
+}  // namespace repl
+}  // namespace bursthist

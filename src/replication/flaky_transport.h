@@ -1,0 +1,103 @@
+// Deterministic chaos for the replication link — the socket-level
+// sibling of recovery/fault_env.h.
+//
+// Wraps a real transport and injects faults at exact, reproducible
+// points measured in CUMULATIVE BYTES DELIVERED to the follower
+// across every connection this transport ever dialed (reconnects
+// included), so a test can say "cut the stream at byte 10 000, flip
+// bit 3 of byte 20 000" and replay the identical abuse every run:
+//
+//   FlakyTransport flaky(ReplTransport::Default());
+//   flaky.FailNextConnects(2);        // first two dials refused
+//   flaky.CutRecvAt(10'000);          // connection dies at that byte
+//   flaky.FlipBitAt(20'000, 3);       // one bit corrupted in flight
+//
+// Injections are one-shot and re-armable, like FaultInjectionEnv:
+// each fires once, then the link behaves until the test arms the
+// next round. Thread-safe arming (test thread vs apply thread).
+
+#ifndef BURSTHIST_REPLICATION_FLAKY_TRANSPORT_H_
+#define BURSTHIST_REPLICATION_FLAKY_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "replication/transport.h"
+
+namespace bursthist {
+namespace repl {
+
+class FlakyTransport : public ReplTransport {
+ public:
+  explicit FlakyTransport(ReplTransport* base) : base_(base) {}
+
+  Result<std::unique_ptr<ReplConn>> Connect(const std::string& host,
+                                            uint16_t port) override;
+
+  /// Refuses the next `n` Connect() calls.
+  void FailNextConnects(uint32_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_connects_ = n;
+  }
+
+  /// One-shot: once cumulative delivered bytes reach `global_byte`,
+  /// the active connection errors (delivery stops exactly at the
+  /// boundary, possibly mid-frame — a torn ship frame).
+  void CutRecvAt(uint64_t global_byte) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cut_at_ = global_byte;
+    cut_armed_ = true;
+  }
+
+  /// One-shot: flips `bit` of the byte at cumulative index
+  /// `global_byte` as it passes through.
+  void FlipBitAt(uint64_t global_byte, int bit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flip_at_ = global_byte;
+    flip_bit_ = bit & 7;
+    flip_armed_ = true;
+  }
+
+  /// Clears every armed injection.
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_connects_ = 0;
+    cut_armed_ = false;
+    flip_armed_ = false;
+  }
+
+  uint64_t connects() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return connects_;
+  }
+  uint64_t bytes_delivered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return delivered_;
+  }
+
+ private:
+  friend class FlakyConn;
+
+  // Applies armed faults to a chunk about to be delivered; returns
+  // the byte count to deliver (may be short of `n`) and sets *cut
+  // when the connection must error after delivering them.
+  size_t FilterChunk(uint8_t* buf, size_t n, bool* cut);
+
+  ReplTransport* base_;
+  mutable std::mutex mu_;
+  uint64_t delivered_ = 0;
+  uint64_t connects_ = 0;
+  uint32_t fail_connects_ = 0;
+  uint64_t cut_at_ = 0;
+  bool cut_armed_ = false;
+  uint64_t flip_at_ = 0;
+  int flip_bit_ = 0;
+  bool flip_armed_ = false;
+};
+
+}  // namespace repl
+}  // namespace bursthist
+
+#endif  // BURSTHIST_REPLICATION_FLAKY_TRANSPORT_H_

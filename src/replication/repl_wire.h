@@ -1,0 +1,156 @@
+// Wire framing for WAL-shipping replication.
+//
+// The replication stream reuses the WAL's frame shape — the same
+// checksummed envelope that already survives torn writes on disk
+// survives garbled bytes on the wire:
+//
+//   frame :=
+//     u32 payload_len | u32 masked_crc | u8 type | payload[payload_len]
+//
+// The CRC32C covers the type byte and the payload and is stored
+// masked (util/crc32c.h). A frame that fails its checksum is
+// CORRUPTION OF THE CONNECTION, not of either replica: the follower
+// drops the connection, reconnects, and resumes from its durable
+// position — nothing garbled ever reaches an engine.
+//
+// Session shape (follower connects to leader):
+//
+//   follower → leader   HELLO   proto=1, have_state, resume position
+//   leader → follower   SNAPSHOT (iff the follower needs a bootstrap
+//                                 or its position was pruned away)
+//   leader → follower   RECORD*  one per WAL event, each carrying the
+//                                 leader position just past it — the
+//                                 exact token to resume from
+//   leader → follower   HEARTBEAT periodically when idle (leader
+//                                 durable position + watermark, for
+//                                 lag measurement)
+//   leader → follower   ERROR    terminal refusal; the connection
+//                                 closes after it
+//
+// All payload integers are little-endian, matching every other
+// serialized byte in the project.
+
+#ifndef BURSTHIST_REPLICATION_REPL_WIRE_H_
+#define BURSTHIST_REPLICATION_REPL_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/wal.h"
+#include "stream/types.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace repl {
+
+/// Replication protocol version spoken in HELLO.
+constexpr uint32_t kReplProtoVersion = 1;
+
+/// Ceiling on one frame's payload (the snapshot frame dominates); a
+/// garbled length field must not stall the reader forever waiting for
+/// gigabytes that will never come.
+constexpr uint64_t kMaxReplPayload = 1ull << 30;
+
+enum class ReplFrameType : uint8_t {
+  kHello = 1,
+  kSnapshot = 2,
+  kRecord = 3,
+  kHeartbeat = 4,
+  kError = 5,
+};
+
+/// One decoded frame envelope.
+struct ReplFrame {
+  ReplFrameType type = ReplFrameType::kHello;
+  std::vector<uint8_t> payload;
+};
+
+/// follower → leader: who I am and where to resume.
+struct HelloFrame {
+  uint32_t proto_version = kReplProtoVersion;
+  /// False on a blank follower; the leader answers with a SNAPSHOT
+  /// when it has one, else tails from the start of its log.
+  bool have_state = false;
+  /// Leader WAL position applied through (ignored when !have_state).
+  WalPosition resume;
+};
+
+/// leader → follower: full engine state to install (bootstrap, or
+/// the follower's resume position fell behind the leader's pruning
+/// horizon).
+struct SnapshotFrame {
+  uint64_t generation = 0;
+  /// Leader WAL position the blob covers; shipping resumes here.
+  WalPosition covered;
+  /// Serialized engine (the snapshot file's blob, trailer included).
+  std::vector<uint8_t> blob;
+};
+
+/// leader → follower: one appended event.
+struct RecordFrame {
+  /// Leader WAL position just PAST this record — after applying it,
+  /// this is the follower's new resume token.
+  WalPosition end;
+  EventId e = 0;
+  Timestamp t = 0;
+  Count count = 1;
+};
+
+/// leader → follower: liveness + lag measurement while idle.
+struct HeartbeatFrame {
+  WalPosition durable_end;
+  Timestamp watermark = 0;
+};
+
+/// leader → follower: terminal refusal (code is a StatusCode).
+struct ErrorFrame {
+  uint32_t code = 0;
+  std::string message;
+};
+
+/// Wraps a payload in the checksummed envelope.
+std::vector<uint8_t> EncodeFrame(ReplFrameType type,
+                                 const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeHello(const HelloFrame& f);
+std::vector<uint8_t> EncodeSnapshot(const SnapshotFrame& f);
+std::vector<uint8_t> EncodeRecord(const RecordFrame& f);
+std::vector<uint8_t> EncodeHeartbeat(const HeartbeatFrame& f);
+std::vector<uint8_t> EncodeError(const ErrorFrame& f);
+
+Status DecodeHello(const std::vector<uint8_t>& payload, HelloFrame* out);
+Status DecodeSnapshot(const std::vector<uint8_t>& payload, SnapshotFrame* out);
+Status DecodeRecord(const std::vector<uint8_t>& payload, RecordFrame* out);
+Status DecodeHeartbeat(const std::vector<uint8_t>& payload,
+                       HeartbeatFrame* out);
+Status DecodeError(const std::vector<uint8_t>& payload, ErrorFrame* out);
+
+/// Incremental frame splitter: feed arbitrary byte chunks, pull
+/// whole verified frames out. Next() returns true with a frame,
+/// false when more bytes are needed, or Corruption when the envelope
+/// is damaged (bad checksum, absurd length) — the caller drops the
+/// connection and this reader with it.
+class FrameReader {
+ public:
+  explicit FrameReader(uint64_t max_payload = kMaxReplPayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const uint8_t* data, size_t n);
+
+  Result<bool> Next(ReplFrame* out);
+
+  /// Bytes buffered but not yet consumed by a returned frame.
+  size_t pending() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted opportunistically
+  uint64_t max_payload_;
+};
+
+}  // namespace repl
+}  // namespace bursthist
+
+#endif  // BURSTHIST_REPLICATION_REPL_WIRE_H_

@@ -1,0 +1,108 @@
+#include "replication/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bursthist {
+namespace repl {
+
+namespace {
+
+class TcpReplConn : public ReplConn {
+ public:
+  explicit TcpReplConn(int fd) : fd_(fd) {}
+  ~TcpReplConn() override { Close(); }
+
+  Status Send(const uint8_t* data, size_t n) override {
+    if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+    size_t sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("send: " + std::string(strerror(errno)));
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Recv(uint8_t* buf, size_t cap, int timeout_ms) override {
+    if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+      const int r = ::poll(&pfd, 1, timeout_ms);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("poll: " + std::string(strerror(errno)));
+      }
+      if (r == 0) return static_cast<size_t>(0);  // timeout, nothing ready
+      break;
+    }
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, cap, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("recv: " + std::string(strerror(errno)));
+      }
+      if (n == 0) return Status::Unavailable("connection closed by peer");
+      return static_cast<size_t>(n);
+    }
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class TcpReplTransport : public ReplTransport {
+ public:
+  Result<std::unique_ptr<ReplConn>> Connect(const std::string& host,
+                                            uint16_t port) override {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError("socket: " + std::string(strerror(errno)));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("unparseable IPv4 host: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      const Status st =
+          Status::IOError("connect: " + std::string(strerror(errno)));
+      ::close(fd);
+      return st;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return std::unique_ptr<ReplConn>(new TcpReplConn(fd));
+  }
+};
+
+}  // namespace
+
+ReplTransport* ReplTransport::Default() {
+  static TcpReplTransport* transport = new TcpReplTransport();
+  return transport;
+}
+
+}  // namespace repl
+}  // namespace bursthist

@@ -1,0 +1,59 @@
+// The replication connection seam.
+//
+// Mirrors the util/env.h pattern: production code talks to an
+// abstract ReplTransport / ReplConn, tests substitute a
+// FlakyTransport (flaky_transport.h) that injects deterministic
+// disconnects and bit flips between the leader and the follower —
+// the socket-level analogue of FaultInjectionEnv.
+//
+// Only the FOLLOWER side dials through the seam: that is where every
+// interesting failure lands (the follower owns reconnection, resume,
+// and corruption rejection). The leader's listener stays plain POSIX.
+
+#ifndef BURSTHIST_REPLICATION_TRANSPORT_H_
+#define BURSTHIST_REPLICATION_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace bursthist {
+namespace repl {
+
+/// One bidirectional byte stream. Not thread-safe; owned by the
+/// follower's apply thread.
+class ReplConn {
+ public:
+  virtual ~ReplConn() = default;
+
+  /// Writes all n bytes or fails.
+  virtual Status Send(const uint8_t* data, size_t n) = 0;
+
+  /// Reads up to `cap` bytes, blocking at most `timeout_ms`. Returns
+  /// the byte count; 0 means the timeout elapsed with nothing to
+  /// read. A peer that closed (EOF) or broke the connection is an
+  /// error (Unavailable / IOError) — the caller reconnects.
+  virtual Result<size_t> Recv(uint8_t* buf, size_t cap, int timeout_ms) = 0;
+
+  virtual void Close() = 0;
+};
+
+/// Dials connections.
+class ReplTransport {
+ public:
+  virtual ~ReplTransport() = default;
+
+  virtual Result<std::unique_ptr<ReplConn>> Connect(const std::string& host,
+                                                    uint16_t port) = 0;
+
+  /// The process-wide plain-TCP transport.
+  static ReplTransport* Default();
+};
+
+}  // namespace repl
+}  // namespace bursthist
+
+#endif  // BURSTHIST_REPLICATION_TRANSPORT_H_

@@ -1,0 +1,353 @@
+#include "replication/wal_shipper.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "recovery/durable_engine.h"
+#include "recovery/snapshot.h"
+#include "replication/repl_wire.h"
+
+namespace bursthist {
+namespace repl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool SendAll(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+// Polls the follower socket for up to `timeout_ms`. Returns false
+// once the follower closed or errored (a follower never sends after
+// HELLO, so any EOF/garbage means the connection is done).
+bool FollowerStillThere(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) return errno == EINTR;
+  if (r == 0) return true;
+  char sink[256];
+  const ssize_t n = ::recv(fd, sink, sizeof sink, MSG_DONTWAIT);
+  return n > 0;  // stray bytes are drained and ignored
+}
+
+}  // namespace
+
+WalShipper::~WalShipper() { Stop(); }
+
+Status WalShipper::Start(Env* env, const std::string& dir,
+                         const WalShipperOptions& options,
+                         LeaderStateFn state) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("shipper already started");
+  }
+  env_ = env;
+  dir_ = dir;
+  options_ = options;
+  state_ = std::move(state);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("unparseable IPv4 host: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Status::IOError("bind: " + std::string(strerror(errno)));
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status st =
+        Status::IOError("listen: " + std::string(strerror(errno)));
+    CloseFd(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st =
+        Status::IOError("getsockname: " + std::string(strerror(errno)));
+    CloseFd(fd);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void WalShipper::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : follower_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(follower_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WalShipper::AcceptLoop() {
+  BURSTHIST_COUNTER(m_conns, obs::kReplFollowerConnectionsTotal);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire) ||
+        active_followers_ >= options_.max_followers) {
+      ::close(fd);
+      continue;
+    }
+    ++active_followers_;
+    follower_fds_.push_back(fd);
+    m_conns.Inc();
+    follower_threads_.push_back(std::thread([this, fd] {
+      ServeFollower(fd);
+      std::lock_guard<std::mutex> inner(mu_);
+      auto it = std::find(follower_fds_.begin(), follower_fds_.end(), fd);
+      if (it != follower_fds_.end()) follower_fds_.erase(it);
+      ::close(fd);
+      --active_followers_;
+    }));
+  }
+}
+
+Status WalShipper::SendBootstrapSnapshot(int fd, WalPosition* pos) {
+  BURSTHIST_COUNTER(m_snaps, obs::kReplSnapshotsServedTotal);
+  auto gens = ListSnapshots(env_, dir_);
+  if (!gens.ok()) return gens.status();
+  if (gens.value().empty()) {
+    return Status::NotFound("no snapshot to bootstrap from");
+  }
+  auto snap = ReadSnapshotFile(env_, dir_, gens.value().front());
+  if (!snap.ok()) return snap.status();
+  SnapshotFrame frame;
+  frame.generation = snap.value().generation;
+  frame.covered = snap.value().wal_position;
+  frame.blob = std::move(snap.value().blob);
+  const std::vector<uint8_t> wire = EncodeSnapshot(frame);
+  if (!SendAll(fd, wire.data(), wire.size())) {
+    return Status::IOError("follower went away during bootstrap");
+  }
+  m_snaps.Inc();
+  *pos = frame.covered;
+  return Status::OK();
+}
+
+void WalShipper::ServeFollower(int fd) {
+  BURSTHIST_COUNTER(m_records, obs::kReplShippedRecordsTotal);
+  BURSTHIST_COUNTER(m_bytes, obs::kReplShippedBytesTotal);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  auto refuse = [fd](const Status& st) {
+    ErrorFrame err;
+    err.code = static_cast<uint32_t>(st.code());
+    err.message = st.message();
+    const std::vector<uint8_t> wire = EncodeError(err);
+    (void)SendAll(fd, wire.data(), wire.size());
+  };
+
+  // 1. HELLO, under a deadline.
+  FrameReader reader;
+  ReplFrame frame;
+  HelloFrame hello;
+  {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options_.hello_timeout_ms);
+    for (;;) {
+      auto next = reader.Next(&frame);
+      if (!next.ok()) return;  // garbled HELLO: just drop
+      if (next.value()) break;
+      if (Clock::now() >= deadline ||
+          stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, 100);
+      if (r < 0 && errno != EINTR) return;
+      if (r <= 0) continue;
+      uint8_t chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;
+      }
+      reader.Feed(chunk, static_cast<size_t>(n));
+    }
+    if (frame.type != ReplFrameType::kHello ||
+        !DecodeHello(frame.payload, &hello).ok()) {
+      refuse(Status::InvalidArgument("expected HELLO"));
+      return;
+    }
+    if (hello.proto_version != kReplProtoVersion) {
+      refuse(Status::FailedPrecondition("unsupported replication protocol"));
+      return;
+    }
+  }
+
+  // 2. Resolve the start position (bootstrapping when needed).
+  WalPosition pos;
+  if (hello.have_state) {
+    pos = hello.resume;
+    if (state_().durable_end < pos) {
+      // The follower's history is ahead of this leader's log: it
+      // followed someone else, or was itself promoted. Forking
+      // silently is the one unforgivable outcome.
+      refuse(Status::FailedPrecondition(
+          "follower resume position is ahead of the leader log"));
+      return;
+    }
+    auto seqs = ListWalSegments(env_, dir_);
+    if (!seqs.ok()) return;
+    if (seqs.value().empty() || pos.seq < seqs.value().front()) {
+      // Its position was pruned away; start over from a snapshot.
+      const Status st = SendBootstrapSnapshot(fd, &pos);
+      if (!st.ok()) {
+        refuse(st);
+        return;
+      }
+    }
+  } else {
+    const Status st = SendBootstrapSnapshot(fd, &pos);
+    if (st.code() == StatusCode::kNotFound) {
+      // No snapshot: the WAL is the complete history.
+      auto seqs = ListWalSegments(env_, dir_);
+      if (!seqs.ok()) return;
+      pos = seqs.value().empty() ? WalPosition{1, 0}
+                                 : WalPosition{seqs.value().front(), 0};
+    } else if (!st.ok()) {
+      refuse(st);
+      return;
+    }
+  }
+
+  // 3. Tail the log.
+  auto last_heartbeat = Clock::now() - std::chrono::hours(1);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const LeaderStatus status = state_();
+    bool progressed = false;
+    if (pos < status.durable_end) {
+      std::vector<uint8_t> batch;
+      uint64_t batched_records = 0;
+      auto flush = [&]() -> bool {
+        if (batch.empty()) return true;
+        if (!SendAll(fd, batch.data(), batch.size())) return false;
+        m_bytes.Inc(batch.size());
+        m_records.Inc(batched_records);
+        batch.clear();
+        batched_records = 0;
+        return true;
+      };
+      bool send_failed = false;
+      auto replay = ReplayWal(
+          env_, dir_, pos,
+          [&](WalRecordType type, const uint8_t* payload, size_t len,
+              const WalPosition& end) -> Status {
+            RecordFrame rf;
+            rf.end = end;  // THIS log's position: followers of a
+                           // follower resume against their upstream
+            WalPosition ignored_source;
+            if (type == WalRecordType::kEvent) {
+              BURSTHIST_RETURN_IF_ERROR(recovery_internal::DecodeEventPayload(
+                  payload, len, &rf.e, &rf.t, &rf.count));
+            } else if (type == WalRecordType::kReplicated) {
+              BURSTHIST_RETURN_IF_ERROR(
+                  recovery_internal::DecodeReplicatedPayload(
+                      payload, len, &ignored_source, &rf.e, &rf.t, &rf.count));
+            } else {
+              return Status::Corruption("unknown WAL record type");
+            }
+            const std::vector<uint8_t> wire = EncodeRecord(rf);
+            batch.insert(batch.end(), wire.begin(), wire.end());
+            ++batched_records;
+            if (batch.size() >= options_.batch_bytes && !flush()) {
+              send_failed = true;
+              return Status::Unavailable("follower send failed");
+            }
+            return Status::OK();
+          });
+      if (send_failed) return;
+      if (!replay.ok()) {
+        // The segment holding `pos` may have been pruned by a
+        // concurrent checkpoint; re-bootstrap from the snapshot that
+        // replaced it. Anything else is a real refusal.
+        WalPosition snap_pos;
+        const Status st = SendBootstrapSnapshot(fd, &snap_pos);
+        if (st.ok() && pos < snap_pos) {
+          pos = snap_pos;
+          continue;
+        }
+        refuse(replay.status());
+        return;
+      }
+      if (!flush()) return;
+      if (pos < replay.value().end) {
+        pos = replay.value().end;
+        progressed = true;
+      }
+    }
+    const auto now = Clock::now();
+    if (now - last_heartbeat >=
+        std::chrono::milliseconds(options_.heartbeat_interval_ms)) {
+      HeartbeatFrame hb;
+      hb.durable_end = status.durable_end;
+      hb.watermark = status.watermark;
+      const std::vector<uint8_t> wire = EncodeHeartbeat(hb);
+      if (!SendAll(fd, wire.data(), wire.size())) return;
+      m_bytes.Inc(wire.size());
+      last_heartbeat = now;
+    }
+    // Pace the tail; doubles as the follower-close detector.
+    if (!FollowerStillThere(fd, progressed ? 0 : options_.poll_interval_ms)) {
+      return;
+    }
+  }
+}
+
+}  // namespace repl
+}  // namespace bursthist

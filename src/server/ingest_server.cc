@@ -3,11 +3,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace bursthist {
@@ -19,9 +21,20 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
-bool SendAll(int fd, const char* data, size_t n) {
+// Sends all n bytes, waiting at most `timeout_ms` for the socket to
+// accept EACH chunk (0 = wait forever). A stalled client — zero
+// window, dead link — therefore blocks its handler thread for one
+// timeout, not indefinitely.
+bool SendAll(int fd, const char* data, size_t n, int timeout_ms) {
   size_t sent = 0;
   while (sent < n) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r = ::poll(&pfd, 1, timeout_ms == 0 ? -1 : timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // write timeout: give up on the client
     const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
@@ -81,6 +94,20 @@ Status TcpLineServer::Start(const TcpServerOptions& options,
   stopping_.store(false, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+void TcpLineServer::StopAccepting() {
+  if (listen_fd_ < 0) return;
+  // Shutting the listener down makes accept() fail and new dials get
+  // refused; open connections are untouched.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+bool TcpLineServer::Drain(int grace_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                           [this] { return active_ == 0; });
 }
 
 void TcpLineServer::Stop() {
@@ -148,6 +175,16 @@ void TcpLineServer::ServeConnection(int fd) {
   bool first_line = true;
   char chunk[8192];
   for (;;) {
+    // Idle gate before the blocking read: a client that goes silent
+    // past the timeout loses its slot instead of pinning it forever.
+    if (options_.idle_timeout_ms > 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      int r;
+      do {
+        r = ::poll(&pfd, 1, options_.idle_timeout_ms);
+      } while (r < 0 && errno == EINTR);
+      if (r <= 0) return;  // idle timeout (or poll failure): close
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -177,7 +214,8 @@ void TcpLineServer::ServeConnection(int fd) {
       replies += FormatError(st) + "\n";
       close = true;
     }
-    if (!replies.empty() && !SendAll(fd, replies.data(), replies.size())) {
+    if (!replies.empty() && !SendAll(fd, replies.data(), replies.size(),
+                                     options_.write_timeout_ms)) {
       return;
     }
     if (close) return;
@@ -207,7 +245,10 @@ void TcpLineServer::ServeHttp(int fd, const std::string& first_line) {
       "Content-Type: text/plain; version=0.0.4\r\n"
       "Content-Length: " +
       std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
-  if (!SendAll(fd, response.data(), response.size())) return;
+  if (!SendAll(fd, response.data(), response.size(),
+               options_.write_timeout_ms)) {
+    return;
+  }
   // Half-close, then drain whatever headers the client is still
   // sending so it sees a clean FIN instead of a reset.
   ::shutdown(fd, SHUT_WR);

@@ -60,6 +60,14 @@ struct TcpServerOptions {
   uint16_t port = 0;  ///< 0 = ephemeral; read the bound port back.
   size_t max_connections = 64;
   size_t max_line_bytes = 1 << 16;
+  /// Close a connection that sends nothing for this long (0 = never).
+  /// Without it a dead client pins one of max_connections slots
+  /// forever — slot exhaustion as a trivial denial of service.
+  int idle_timeout_ms = 300000;
+  /// Give up on a send that cannot make progress for this long
+  /// (0 = wait forever). Bounds how long a stalled client can hold
+  /// its handler thread inside ::send.
+  int write_timeout_ms = 30000;
 };
 
 /// Protocol-agnostic line server: accepts connections, splits the
@@ -88,6 +96,17 @@ class TcpLineServer {
   /// Idempotent.
   void Stop();
 
+  /// Graceful-shutdown phase 1: close the listener (new connections
+  /// are refused) while existing connections keep being served.
+  /// Idempotent; Stop() still completes the teardown.
+  void StopAccepting();
+
+  /// Graceful-shutdown phase 2: wait up to `grace_ms` for every open
+  /// connection to finish. Returns true once idle, false if the
+  /// grace period expired with connections still active (callers
+  /// typically proceed to Stop() either way).
+  bool Drain(int grace_ms);
+
   /// The bound port (resolves ephemeral port 0).
   uint16_t port() const { return port_; }
 
@@ -111,6 +130,26 @@ class TcpLineServer {
   std::vector<std::thread> done_threads_;  // finished, joinable
 };
 
+/// Wiring for serving a replication follower (all hooks are supplied
+/// by the replica layer; the service stays template-decoupled from
+/// it). When enabled:
+///  * ADD is refused with kUnavailable while is_follower() — a stale
+///    or demoted follower must never fork history;
+///  * PROMOTE invokes promote() (failover to a writable leader);
+///  * every query reply is stamped with " lag=<n>" so a client always
+///    knows how far behind the leader its answer may be;
+///  * the service shares write_mu with the apply thread, and counts
+///    applied() records into its snapshot-staleness token so applies
+///    refresh the serving snapshot exactly like local ADDs do.
+struct ReplicaHooks {
+  bool enabled = false;
+  std::mutex* write_mu = nullptr;
+  std::function<bool()> is_follower;
+  std::function<Timestamp()> lag;
+  std::function<uint64_t()> applied;
+  std::function<Status()> promote;
+};
+
 /// Service tuning knobs.
 struct BurstServiceOptions {
   /// Refresh the serving snapshot once this many records were accepted
@@ -122,6 +161,8 @@ struct BurstServiceOptions {
   /// Optional admission control; may be nullptr. Must already have
   /// its components registered and outlive the service.
   ResourceGovernor* governor = nullptr;
+  /// Follower-serving wiring; disabled (leader mode) by default.
+  ReplicaHooks replica;
 };
 
 /// Dispatches parsed wire requests against one DurableBurstEngine.
@@ -131,7 +172,11 @@ class BurstService {
  public:
   BurstService(DurableBurstEngine<PbeT>* durable,
                const BurstServiceOptions& options)
-      : durable_(durable), options_(options) {}
+      : durable_(durable),
+        options_(options),
+        write_mu_(options.replica.write_mu != nullptr
+                      ? options.replica.write_mu
+                      : &own_mu_) {}
 
   /// Handles one request line; returns the reply. Sets *close on QUIT.
   std::string Handle(const std::string& line, bool* close) {
@@ -156,7 +201,7 @@ class BurstService {
   std::string MetricsText() {
     {
       // PublishMetrics walks the live index — writer-side state.
-      std::lock_guard<std::mutex> lock(write_mu_);
+      std::lock_guard<std::mutex> lock(*write_mu_);
       durable_->engine().PublishMetrics();
     }
     std::string out;
@@ -181,13 +226,21 @@ class BurstService {
       case RequestType::kAdd:
         return HandleAdd(req);
       case RequestType::kSync: {
-        std::lock_guard<std::mutex> lock(write_mu_);
+        std::lock_guard<std::mutex> lock(*write_mu_);
         const Status st = durable_->Sync();
         return st.ok() ? "OK" : FormatError(st);
       }
       case RequestType::kCheckpoint: {
-        std::lock_guard<std::mutex> lock(write_mu_);
+        std::lock_guard<std::mutex> lock(*write_mu_);
         const Status st = durable_->Checkpoint();
+        return st.ok() ? "OK" : FormatError(st);
+      }
+      case RequestType::kPromote: {
+        if (!options_.replica.enabled || !options_.replica.promote) {
+          return FormatError(Status::FailedPrecondition(
+              "not a replica; PROMOTE only applies to followers"));
+        }
+        const Status st = options_.replica.promote();
         return st.ok() ? "OK" : FormatError(st);
       }
       case RequestType::kStats:
@@ -206,7 +259,12 @@ class BurstService {
 
   std::string HandleAdd(const Request& req) {
     BURSTHIST_COUNTER(m_ingested, obs::kServerIngestRecordsTotal);
-    std::lock_guard<std::mutex> lock(write_mu_);
+    if (options_.replica.enabled && options_.replica.is_follower &&
+        options_.replica.is_follower()) {
+      return FormatError(Status::Unavailable(
+          "follower is read-only; PROMOTE to accept writes"));
+    }
+    std::lock_guard<std::mutex> lock(*write_mu_);
     if (options_.governor != nullptr) {
       if (appends_since_audit_ >= options_.audit_every) {
         options_.governor->Enforce();
@@ -232,7 +290,7 @@ class BurstService {
 
   std::string HandleStats() {
     // Reads of live-engine counters are writer-side state too.
-    std::lock_guard<std::mutex> lock(write_mu_);
+    std::lock_guard<std::mutex> lock(*write_mu_);
     const BurstEngine<PbeT>& eng = durable_->engine();
     std::string out = "STATS total=" + std::to_string(eng.TotalCount()) +
                       " buffered=" + std::to_string(eng.BufferedCount()) +
@@ -242,6 +300,17 @@ class BurstService {
     if (options_.governor != nullptr) {
       out += std::string(" level=") +
              DegradationLevelName(options_.governor->level());
+    }
+    if (options_.replica.enabled) {
+      const bool follower =
+          options_.replica.is_follower && options_.replica.is_follower();
+      out += std::string(" role=") + (follower ? "follower" : "leader");
+      if (options_.replica.applied) {
+        out += " applied=" + std::to_string(options_.replica.applied());
+      }
+      if (options_.replica.lag) {
+        out += " lag=" + std::to_string(options_.replica.lag());
+      }
     }
     return out;
   }
@@ -265,27 +334,48 @@ class BurstService {
     switch (req.type) {
       case RequestType::kPoint: {
         auto ans = snap->Point(req.e, req.t, req.tau);
-        return FormatValue(ans.value, ans.watermark, ans.bound);
+        return Stamp(FormatValue(ans.value, ans.watermark, ans.bound));
       }
       case RequestType::kFreq: {
         auto ans = snap->Frequency(req.e, req.t, req.t2);
-        return FormatValue(ans.value, ans.watermark, ans.bound);
+        return Stamp(FormatValue(ans.value, ans.watermark, ans.bound));
       }
       case RequestType::kBurstyTime: {
         auto ans = snap->BurstyTime(req.e, req.theta, req.tau);
-        return FormatIntervals(ans.value, ans.watermark, ans.bound);
+        return Stamp(FormatIntervals(ans.value, ans.watermark, ans.bound));
       }
       case RequestType::kBurstyEvent: {
         auto ans = snap->BurstyEvent(req.t, req.theta, req.tau);
-        return FormatEvents(ans.value, ans.watermark, ans.bound);
+        return Stamp(FormatEvents(ans.value, ans.watermark, ans.bound));
       }
       case RequestType::kTopK: {
         auto ans = snap->TopK(req.t, req.k, req.tau);
-        return FormatTopK(ans.value, ans.watermark, ans.bound);
+        return Stamp(FormatTopK(ans.value, ans.watermark, ans.bound));
       }
       default:
         return FormatError(Status::Internal("non-query in HandleQuery"));
     }
+  }
+
+  /// Replica-mode answers additionally carry their replication lag:
+  /// a follower's snapshot can only be as fresh as what the leader
+  /// has shipped, and the client deserves to see that gap.
+  std::string Stamp(std::string reply) {
+    if (options_.replica.enabled && options_.replica.lag) {
+      reply += " lag=" + std::to_string(options_.replica.lag());
+    }
+    return reply;
+  }
+
+  /// Snapshot-staleness token: local accepted records plus records
+  /// applied by replication (on a follower the latter is the only
+  /// part that ever grows).
+  uint64_t Token() const {
+    uint64_t token = accepted();
+    if (options_.replica.enabled && options_.replica.applied) {
+      token += options_.replica.applied();
+    }
+    return token;
   }
 
   /// The snapshot queries run against, refreshed when stale. The slot
@@ -294,17 +384,17 @@ class BurstService {
   std::shared_ptr<const ReadSnapshot<PbeT>> Serving() {
     BURSTHIST_GAUGE(m_staleness, obs::kServerSnapshotStalenessAppends);
     auto current = slot_.Current();
-    uint64_t now = accepted();
+    uint64_t now = Token();
     if (current != nullptr &&
         now - current->sequence() < options_.snapshot_staleness_appends) {
       m_staleness.Set(static_cast<double>(now - current->sequence()));
       return current;
     }
-    std::lock_guard<std::mutex> lock(write_mu_);
+    std::lock_guard<std::mutex> lock(*write_mu_);
     // Re-check under the lock: another connection may have refreshed
     // while we waited.
     current = slot_.Current();
-    now = accepted();
+    now = Token();
     if (current == nullptr ||
         now - current->sequence() >= options_.snapshot_staleness_appends) {
       current = durable_->engine().AcquireSnapshot(now);
@@ -316,7 +406,11 @@ class BurstService {
 
   DurableBurstEngine<PbeT>* durable_;
   BurstServiceOptions options_;
-  std::mutex write_mu_;  // serializes every live-engine touch
+  std::mutex own_mu_;
+  /// Serializes every live-engine touch. Points at own_mu_ in leader
+  /// mode, at the replica's mutex when serving a follower (the apply
+  /// thread holds the same lock around every apply).
+  std::mutex* write_mu_;
   SnapshotSlot<PbeT> slot_;
   std::atomic<uint64_t> accepted_{0};
   uint64_t appends_since_audit_ = 0;  // guarded by write_mu_
@@ -340,6 +434,9 @@ class IngestServer {
   }
 
   void Stop() { tcp_.Stop(); }
+  /// Graceful shutdown: StopAccepting() then Drain() then Stop().
+  void StopAccepting() { tcp_.StopAccepting(); }
+  bool Drain(int grace_ms) { return tcp_.Drain(grace_ms); }
   uint16_t port() const { return tcp_.port(); }
   BurstService<PbeT>& service() { return service_; }
 

@@ -146,12 +146,14 @@ Result<Request> ParseRequest(const std::string& line) {
     return req;
   }
   if (verb == "STATS" || verb == "METRICS" || verb == "SYNC" ||
-      verb == "CHECKPOINT" || verb == "PING" || verb == "QUIT") {
+      verb == "CHECKPOINT" || verb == "PROMOTE" || verb == "PING" ||
+      verb == "QUIT") {
     if (tok.size() != 1) return BadRequest(verb + " takes no arguments");
     if (verb == "STATS") req.type = RequestType::kStats;
     if (verb == "METRICS") req.type = RequestType::kMetrics;
     if (verb == "SYNC") req.type = RequestType::kSync;
     if (verb == "CHECKPOINT") req.type = RequestType::kCheckpoint;
+    if (verb == "PROMOTE") req.type = RequestType::kPromote;
     if (verb == "PING") req.type = RequestType::kPing;
     if (verb == "QUIT") req.type = RequestType::kQuit;
     return req;

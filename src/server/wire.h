@@ -16,6 +16,7 @@
 //   METRICS                          Prometheus text, then "END"
 //   SYNC                             OK
 //   CHECKPOINT                       OK
+//   PROMOTE                          OK (follower becomes leader)
 //   PING                             PONG
 //   QUIT                             BYE (connection closes)
 //
@@ -24,6 +25,11 @@
 // SCREAMING_CASE. Query replies carry the snapshot watermark and the
 // effective POINT error bound in force, so a client always knows how
 // fresh and how accurate an answer is.
+//
+// Replica servers add two twists: ADD on a follower answers
+// "ERR UNAVAILABLE ..." (PROMOTE first), and every query reply gains a
+// trailing " lag=<n>" token carrying the replication lag in stream
+// time. PROMOTE on a plain (non-replica) server is FAILED_PRECONDITION.
 //
 // This header is engine-agnostic: parsing and formatting only. The
 // dispatch lives in server/ingest_server.h.
@@ -57,6 +63,7 @@ enum class RequestType : uint8_t {
   kMetrics,
   kSync,
   kCheckpoint,
+  kPromote,
   kPing,
   kQuit,
 };

@@ -25,7 +25,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   uint64_t delivered = 0;
   auto replay = ReplayWal(
       env, dir, WalPosition{1, 0},
-      [&delivered](WalRecordType type, const uint8_t* payload, size_t len) {
+      [&delivered](WalRecordType type, const uint8_t* payload, size_t len,
+                   const WalPosition&) {
         // Same decode the durable engine's sink performs; a payload the
         // checksum accepted may still be semantically malformed, which
         // must surface as a Status, not a crash.

@@ -49,7 +49,8 @@ Result<WalReplayResult> Replay(Env* env, const std::string& dir,
                                const WalPosition& from,
                                std::vector<std::vector<uint8_t>>* out) {
   return ReplayWal(env, dir, from,
-                   [out](WalRecordType type, const uint8_t* p, size_t n) {
+                   [out](WalRecordType type, const uint8_t* p, size_t n,
+                         const WalPosition&) {
                      EXPECT_EQ(type, WalRecordType::kEvent);
                      out->emplace_back(p, p + n);
                      return Status::OK();

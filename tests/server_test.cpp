@@ -6,11 +6,17 @@
 
 #include "server/ingest_server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -368,6 +374,173 @@ TEST_F(ServerTest, ConcurrentClients) {
 }
 
 // Wire-level unit checks that need no server.
+// A raw blocking socket the tests can fragment at will — LineClient
+// deliberately hides framing, which is exactly what these tests need
+// to control.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  // Sends the bytes one at a time, with a tiny pause every few bytes
+  // so the server really does see split reads across its LineBuffer.
+  bool SendFragmented(const std::string& data) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (::send(fd_, data.data() + i, 1, MSG_NOSIGNAL) != 1) return false;
+      if (i % 3 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return true;
+  }
+
+  // Reads until `lines` full lines arrived, in 1-byte recv calls.
+  std::vector<std::string> ReadLinesTiny(size_t lines) {
+    std::vector<std::string> out;
+    std::string current;
+    char b = 0;
+    while (out.size() < lines && ::recv(fd_, &b, 1, 0) == 1) {
+      if (b == '\n') {
+        out.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(b);
+      }
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Satellite: the wire protocol must be immune to arbitrary TCP
+// fragmentation — commands trickling in byte by byte, replies read
+// back one byte at a time, pipelined lines split mid-token.
+TEST_F(ServerTest, FragmentedWireIo) {
+  StartServer(EngineOpts(4));
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.SendFragmented("PING\nADD 1 10\nADD 1 12\nSTATS\n"));
+  auto replies = conn.ReadLinesTiny(4);
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(replies[0], "PONG");
+  EXPECT_EQ(replies[1], "OK");
+  EXPECT_EQ(replies[2], "OK");
+  EXPECT_NE(replies[3].find("accepted=2"), std::string::npos) << replies[3];
+
+  // A second batch on the same connection, split mid-verb across two
+  // bursts with a pause between them.
+  ASSERT_TRUE(conn.SendFragmented("POI"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(conn.SendFragmented("NT 1 12 1\nQUIT\n"));
+  replies = conn.ReadLinesTiny(2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].compare(0, 6, "VALUE "), 0) << replies[0];
+  EXPECT_EQ(replies[1], "BYE");
+}
+
+// Satellite: a client that connects and goes silent is evicted after
+// the idle timeout instead of holding its slot forever.
+TEST_F(ServerTest, IdleConnectionIsClosed) {
+  TcpServerOptions tcp;
+  tcp.idle_timeout_ms = 100;
+  StartServer(EngineOpts(4), BurstServiceOptions(), tcp);
+  LineClient client = Connect();
+  // Active traffic is unaffected...
+  EXPECT_EQ(RoundTrip(&client, "PING"), "PONG");
+  // ...but silence past the timeout gets the connection closed.
+  const auto start = std::chrono::steady_clock::now();
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+}
+
+// Satellite: graceful shutdown plumbing. StopAccepting refuses new
+// dials while established connections keep being served; Drain
+// reports idle once they hang up.
+TEST_F(ServerTest, StopAcceptingThenDrain) {
+  StartServer(EngineOpts(4));
+  LineClient client = Connect();
+  // A round trip first: Connect() alone only parks the dial in the
+  // kernel backlog, and a backlogged-but-unaccepted connection is
+  // fair game for StopAccepting() to reset.
+  EXPECT_EQ(RoundTrip(&client, "PING"), "PONG");
+  server_->StopAccepting();
+  // Established (accepted) connection still answers.
+  EXPECT_EQ(RoundTrip(&client, "PING"), "PONG");
+  // New dials are refused (connect fails or the socket is dead on
+  // arrival).
+  RawConn late(server_->port());
+  if (late.ok()) {
+    EXPECT_TRUE(late.SendFragmented("PING\n"));
+    EXPECT_TRUE(late.ReadLinesTiny(1).empty());
+  }
+  // Still one active connection: a zero-grace drain times out.
+  EXPECT_FALSE(server_->Drain(0));
+  client.Close();
+  EXPECT_TRUE(server_->Drain(2000));
+  server_->Stop();
+}
+
+// PROMOTE against a plain (non-replica) server is a refusal.
+TEST_F(ServerTest, PromoteOnPlainServerIsRefused) {
+  StartServer(EngineOpts(4));
+  LineClient client = Connect();
+  const std::string reply = RoundTrip(&client, "PROMOTE");
+  EXPECT_EQ(reply.compare(0, 23, "ERR FAILED_PRECONDITION"), 0) << reply;
+}
+
+// Follower serving through ReplicaHooks: writes are refused with
+// UNAVAILABLE, queries carry the lag stamp, STATS reports the role —
+// and after PROMOTE flips the hooks, writes flow.
+TEST_F(ServerTest, FollowerHooksGateWritesAndStampLag) {
+  static std::mutex apply_mu;
+  static std::atomic<bool> is_follower{true};
+  is_follower.store(true);
+  BurstServiceOptions service;
+  service.replica.enabled = true;
+  service.replica.write_mu = &apply_mu;
+  service.replica.is_follower = [] { return is_follower.load(); };
+  service.replica.lag = [] { return Timestamp{7}; };
+  service.replica.applied = [] { return uint64_t{42}; };
+  service.replica.promote = [] {
+    is_follower.store(false);
+    return Status::OK();
+  };
+  StartServer(EngineOpts(4), service);
+  LineClient client = Connect();
+
+  const std::string add = RoundTrip(&client, "ADD 1 10");
+  EXPECT_EQ(add.compare(0, 15, "ERR UNAVAILABLE"), 0) << add;
+  const std::string point = RoundTrip(&client, "POINT 1 10 1");
+  EXPECT_EQ(point.compare(0, 6, "VALUE "), 0) << point;
+  EXPECT_NE(point.find(" lag=7"), std::string::npos) << point;
+  std::string stats = RoundTrip(&client, "STATS");
+  EXPECT_NE(stats.find("role=follower"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("applied=42"), std::string::npos) << stats;
+
+  EXPECT_EQ(RoundTrip(&client, "PROMOTE"), "OK");
+  stats = RoundTrip(&client, "STATS");
+  EXPECT_NE(stats.find("role=leader"), std::string::npos) << stats;
+  EXPECT_EQ(RoundTrip(&client, "ADD 1 10"), "OK");
+}
+
 TEST(WireTest, ParseRejectsMalformedNumbers) {
   EXPECT_FALSE(ParseRequest("ADD 1 2x").ok());
   EXPECT_FALSE(ParseRequest("ADD -1 2").ok());
