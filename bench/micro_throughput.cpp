@@ -1,9 +1,22 @@
 // Micro benchmarks (google-benchmark): ingestion throughput and query
 // latency of the individual structures. Run with --benchmark_filter=
 // to narrow; plain invocation runs everything briefly.
+//
+// Special mode: `micro_throughput --bench_ingest_json=PATH` skips the
+// google-benchmark harness and instead runs the batched-ingest A/B
+// measurement (per-event Append vs AppendBatch at each batch size),
+// writing machine-readable results to PATH. That file is what
+// tools/check_bench_regression.py gates CI on — see
+// bench/BENCH_ingest.json for the committed baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/burst_engine.h"
@@ -44,6 +57,42 @@ const Dataset& SharedMix() {
     return new Dataset(MakeOlympicRio(cfg));
   }();
   return *ds;
+}
+
+// The bursty-ingest workload the batch-vs-per-event gate is measured
+// on: events arrive in duplicate runs (the paper's motivating shape —
+// a burst is many occurrences of one event in a tight window), so the
+// batch path's run-coalescing has real work to do. Lossless cells
+// (budget == buffer) keep the measurement on the ingest fan-out
+// itself rather than on the staircase compression DP, which costs the
+// same in both paths and would only dilute the ratio.
+constexpr EventId kBurstyUniverse = 864;
+
+const std::vector<WeightedRecord>& SharedBursty() {
+  static const std::vector<WeightedRecord>* recs = [] {
+    Rng rng(17);
+    auto* w = new std::vector<WeightedRecord>();
+    w->reserve(210000);
+    Timestamp t = 0;
+    while (w->size() < 200000) {
+      const EventId e = static_cast<EventId>(rng.NextBelow(kBurstyUniverse));
+      const uint64_t burst = 1 + rng.NextBelow(24);
+      for (uint64_t i = 0; i < burst; ++i) {
+        w->push_back(WeightedRecord{e, t, 1});
+      }
+      t += static_cast<Timestamp>(rng.NextBelow(3));
+    }
+    return w;
+  }();
+  return *recs;
+}
+
+BurstEngineOptions<Pbe1> BurstyOptions() {
+  BurstEngineOptions<Pbe1> opt;
+  opt.universe_size = kBurstyUniverse;
+  opt.cell.buffer_points = 1500;
+  opt.cell.budget_points = 1500;  // lossless
+  return opt;
 }
 
 void BM_Pbe1Append(benchmark::State& state) {
@@ -164,6 +213,51 @@ void BM_EngineAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineAppend);
 
+// Per-event Append on the bursty workload: the denominator of the
+// batch-speedup ratio the perf regression tier pins.
+void BM_EngineAppendBursty(benchmark::State& state) {
+  const auto& records = SharedBursty();
+  const auto opt = BurstyOptions();
+  for (auto _ : state) {
+    BurstEngine<Pbe1> engine(opt);
+    for (const auto& r : records) {
+      benchmark::DoNotOptimize(engine.Append(r.id, r.time, r.count).ok());
+    }
+    engine.Finalize();
+    benchmark::DoNotOptimize(engine.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_EngineAppendBursty);
+
+// The batched hot path the ingest server drives: the bursty workload
+// fed through AppendBatch in Arg-sized spans. The events/s ratio
+// against BM_EngineAppendBursty is the number the perf regression
+// tier pins (>= 3x at batch >= 64); --bench_ingest_json runs the same
+// comparison and writes it to the gated JSON.
+void BM_EngineAppendBatch(benchmark::State& state) {
+  const auto& records = SharedBursty();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const auto opt = BurstyOptions();
+  const std::span<const WeightedRecord> all(records);
+  for (auto _ : state) {
+    BurstEngine<Pbe1> engine(opt);
+    for (size_t begin = 0; begin < all.size(); begin += batch) {
+      benchmark::DoNotOptimize(
+          engine
+              .AppendBatch(all.subspan(begin,
+                                       std::min(batch, all.size() - begin)))
+              .ok());
+    }
+    engine.Finalize();
+    benchmark::DoNotOptimize(engine.SizeBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_EngineAppendBatch)->Arg(1)->Arg(7)->Arg(64)->Arg(4096);
+
 void BM_CmPbeSegmentParallelBuild(benchmark::State& state) {
   const auto& ds = SharedMix();
   Pbe1Options cell;
@@ -243,7 +337,123 @@ void BM_DyadicBurstyEventQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_DyadicBurstyEventQuery);
 
+// ---------------------------------------------------------------------------
+// --bench_ingest_json mode: the perf-regression measurement. Wall
+// clocks differ across machines, so the gated quantity is the RATIO of
+// batched to per-event events/s on the same run — stable enough to
+// compare against a committed baseline.
+// ---------------------------------------------------------------------------
+
+// Best-of-N full-workload passes: the minimum wall time is the least
+// noisy throughput estimator for a short, allocation-light loop.
+template <typename Fn>
+double MeasureEventsPerSec(size_t events, Fn&& pass) {
+  using Clock = std::chrono::steady_clock;
+  pass();  // warm-up: page in the dataset, size the scratch vectors
+  double best_seconds = 1e30;
+  double total = 0.0;
+  int iters = 0;
+  while (total < 0.4 || iters < 5) {
+    const auto start = Clock::now();
+    pass();
+    const double s = std::chrono::duration<double>(Clock::now() - start)
+                         .count();
+    best_seconds = std::min(best_seconds, s);
+    total += s;
+    ++iters;
+  }
+  return static_cast<double>(events) / best_seconds;
+}
+
+// Measures one workload (per-event plus every batch size) and appends
+// its JSON object to `out`.
+void MeasureWorkload(const char* name,
+                     const std::vector<WeightedRecord>& records,
+                     const BurstEngineOptions<Pbe1>& opt,
+                     std::ofstream& out) {
+  const double per_event = MeasureEventsPerSec(records.size(), [&] {
+    BurstEngine<Pbe1> engine(opt);
+    for (const auto& r : records) {
+      benchmark::DoNotOptimize(engine.Append(r.id, r.time, r.count).ok());
+    }
+    engine.Finalize();
+  });
+
+  const std::span<const WeightedRecord> all(records);
+  const size_t batch_sizes[] = {1, 7, 64, 4096};
+  out << "    \"" << name << "\": {\n      \"events\": " << records.size()
+      << ",\n      \"per_event_events_per_sec\": " << per_event
+      << ",\n      \"batch\": {";
+  bool first = true;
+  for (size_t batch : batch_sizes) {
+    const double eps = MeasureEventsPerSec(records.size(), [&] {
+      BurstEngine<Pbe1> engine(opt);
+      for (size_t begin = 0; begin < all.size(); begin += batch) {
+        benchmark::DoNotOptimize(
+            engine
+                .AppendBatch(
+                    all.subspan(begin, std::min(batch, all.size() - begin)))
+                .ok());
+      }
+      engine.Finalize();
+    });
+    const double speedup = eps / per_event;
+    out << (first ? "" : ",") << "\n        \"" << batch
+        << "\": { \"events_per_sec\": " << eps << ", \"speedup\": " << speedup
+        << " }";
+    first = false;
+    std::fprintf(stderr, "%s batch=%zu  %.3g events/s  speedup %.2fx\n", name,
+                 batch, eps, speedup);
+  }
+  out << "\n      }\n    }";
+  std::fprintf(stderr, "%s per-event %.3g events/s\n", name, per_event);
+}
+
+int RunIngestBench(const std::string& path) {
+  // Secondary workload: the Olympic mix with lossy cells. Here the
+  // staircase-compression DP dominates ingest cost in BOTH paths, so
+  // the speedup hovers near 1x by construction — it is recorded to
+  // catch regressions (the ratio must not drop), not gated on the 3x
+  // floor. The floor applies to the bursty workload, where batching
+  // has headroom to win.
+  const auto& ds = SharedMix();
+  std::vector<WeightedRecord> mix;
+  mix.reserve(ds.stream.records().size());
+  for (const auto& r : ds.stream.records()) {
+    mix.push_back(WeightedRecord{r.id, r.time, 1});
+  }
+  BurstEngineOptions<Pbe1> mix_opt;
+  mix_opt.universe_size = ds.universe_size;
+  mix_opt.cell.buffer_points = 1500;
+  mix_opt.cell.budget_points = 120;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"workloads\": {\n";
+  MeasureWorkload("bursty", SharedBursty(), BurstyOptions(), out);
+  out << ",\n";
+  MeasureWorkload("olympic_rio_mix", mix, mix_opt, out);
+  out << "\n  }\n}\n";
+  std::fprintf(stderr, "-> %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace bursthist
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  constexpr const char kJsonFlag[] = "--bench_ingest_json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kJsonFlag, sizeof kJsonFlag - 1) == 0) {
+      return bursthist::RunIngestBench(argv[i] + sizeof kJsonFlag - 1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -98,6 +98,62 @@ class CmPbe {
     total_count_ += count;
   }
 
+  /// Batch Append over parallel arrays (`n` records in stream order;
+  /// `counts == nullptr` means every record has count 1). State is
+  /// byte-identical to calling Append once per record: rows touch
+  /// disjoint cells, so iterating row-major replays each cell's
+  /// updates in the same record order the record-major serial loop
+  /// would. The payoff is the hashing: all n slots of a row are
+  /// computed first in one tight branch-free loop over the row's
+  /// precomputed (a, b) (see PairwiseHash::HashIds), keeping the
+  /// vectorizable arithmetic separate from the stateful per-cell
+  /// appends. `slot_scratch` is caller-owned so hot paths reuse one
+  /// allocation across batches.
+  void AppendBatch(const EventId* ids, const Timestamp* times,
+                   const Count* counts, size_t n,
+                   std::vector<uint32_t>* slot_scratch) {
+    if (n == 0) return;
+    std::vector<uint32_t>& slots = *slot_scratch;
+    if (slots.size() < n) slots.resize(n);
+    // Identity slots are row-independent; hashed slots differ per row.
+    if (options_.identity_hash) {
+      const uint32_t width = static_cast<uint32_t>(options_.width);
+      // Direct-mapped grids (dyadic upper levels) size width to the id
+      // range, so the modulo is almost always a no-op — guard the
+      // divide behind a perfectly-predicted compare.
+      for (size_t i = 0; i < n; ++i) {
+        slots[i] = ids[i] < width ? ids[i] : ids[i] % width;
+      }
+    }
+    for (size_t r = 0; r < options_.depth; ++r) {
+      if (!options_.identity_hash) {
+        hashes_.HashRowIds(r, ids, n, slots.data());
+      }
+      PbeT* row_cells = cells_.data() + r * options_.width;
+      // Batch-only lookahead the per-record path cannot have: the next
+      // entry's slot is already computed, so issue its cell-header
+      // prefetch while the current append's scattered loads retire.
+      if (counts) {
+        for (size_t i = 0; i < n; ++i) {
+          if (i + 1 < n) __builtin_prefetch(row_cells + slots[i + 1]);
+          row_cells[slots[i]].Append(times[i], counts[i]);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (i + 1 < n) __builtin_prefetch(row_cells + slots[i + 1]);
+          row_cells[slots[i]].Append(times[i], Count{1});
+        }
+      }
+    }
+    if (counts) {
+      Count total = 0;
+      for (size_t i = 0; i < n; ++i) total += counts[i];
+      total_count_ += total;
+    } else {
+      total_count_ += n;
+    }
+  }
+
   /// Finalizes every cell. Required before estimate queries.
   void Finalize() {
     for (auto& c : cells_) c.Finalize();

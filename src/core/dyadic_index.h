@@ -122,8 +122,94 @@ class DyadicBurstIndex {
     }
   }
 
+  /// Batch Append over parallel arrays (`n` records in stream order;
+  /// `counts == nullptr` means all-ones). Byte-identical to per-record
+  /// Append: levels own disjoint grids, so level-major iteration
+  /// replays each grid's updates in record order.
+  ///
+  /// Going up the tree, each level right-shifts the ids once more, so
+  /// entries adjacent in stream order collapse: two batch entries
+  /// equal in (id >> l, t) route to the same cell of every level-l row
+  /// with the same timestamp, and the cell's equal-time back-merge
+  /// makes one Append of the summed count byte-identical to the pair.
+  /// The cascade COMPACTS the working arrays level by level (equality
+  /// at level l-1 implies equality at level l), so the per-level work
+  /// shrinks geometrically once subtrees saturate — the top level does
+  /// one append per distinct timestamp in the batch, not one per
+  /// record. `id/time/count_scratch` hold the compacted arrays,
+  /// `slot_scratch` the per-row hashed slots.
+  void AppendBatch(const EventId* ids, const Timestamp* times,
+                   const Count* counts, size_t n,
+                   std::vector<EventId>* id_scratch,
+                   std::vector<uint32_t>* slot_scratch,
+                   std::vector<Timestamp>* time_scratch,
+                   std::vector<Count>* count_scratch) {
+    if (n == 0) return;
+#ifndef NDEBUG
+    for (size_t i = 0; i < n; ++i) assert(ids[i] < universe_size_);
+#endif
+    grids_[0].AppendBatch(ids, times, counts, n, slot_scratch);
+    if (levels_ == 1) return;
+    std::vector<EventId>& sid = *id_scratch;
+    std::vector<Timestamp>& st = *time_scratch;
+    std::vector<Count>& sc = *count_scratch;
+    if (sid.size() < n) {
+      sid.resize(n);
+      st.resize(n);
+      sc.resize(n);
+    }
+    // First cascade step reads the caller's arrays; later steps
+    // compact in place (the write index never passes the read index).
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const EventId id = ids[i] >> 1;
+      if (m > 0 && sid[m - 1] == id && st[m - 1] == times[i]) {
+        sc[m - 1] += counts ? counts[i] : Count{1};
+      } else {
+        sid[m] = id;
+        st[m] = times[i];
+        sc[m] = counts ? counts[i] : Count{1};
+        ++m;
+      }
+    }
+    AppendLevelSpan(1, sid.data(), st.data(), sc.data(), m, slot_scratch);
+    for (size_t l = 2; l < levels_; ++l) {
+      size_t k = 0;
+      for (size_t i = 0; i < m; ++i) {
+        const EventId id = sid[i] >> 1;
+        if (k > 0 && sid[k - 1] == id && st[k - 1] == st[i]) {
+          sc[k - 1] += sc[i];
+        } else {
+          sid[k] = id;
+          st[k] = st[i];
+          sc[k] = sc[i];
+          ++k;
+        }
+      }
+      m = k;
+      AppendLevelSpan(l, sid.data(), st.data(), sc.data(), m, slot_scratch);
+    }
+  }
+
   void Finalize() {
     for (auto& g : grids_) g.Finalize();
+  }
+
+  /// Feeds one compacted level span into its grid. Near the top of
+  /// the tree a span collapses to a handful of entries, where the
+  /// batch kernel's per-call setup (slot buffer sizing, row-major hash
+  /// dispatch) costs more than it saves — route tiny spans through the
+  /// scalar per-record Append, which is byte-identical by definition.
+  void AppendLevelSpan(size_t level, const EventId* ids,
+                       const Timestamp* times, const Count* counts,
+                       size_t m, std::vector<uint32_t>* slot_scratch) {
+    if (m <= 4) {
+      for (size_t i = 0; i < m; ++i) {
+        grids_[level].Append(ids[i], times[i], counts[i]);
+      }
+      return;
+    }
+    grids_[level].AppendBatch(ids, times, counts, m, slot_scratch);
   }
 
   /// Level-scoped ingestion for parallel construction (levels are

@@ -6,27 +6,7 @@
 
 namespace bursthist {
 
-namespace {
-
-constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
-
-// (x * y) mod (2^61 - 1) via 128-bit intermediate.
-inline uint64_t MulMod61(uint64_t x, uint64_t y) {
-  unsigned __int128 z = static_cast<unsigned __int128>(x) * y;
-  uint64_t lo = static_cast<uint64_t>(z & kMersenne61);
-  uint64_t hi = static_cast<uint64_t>(z >> 61);
-  uint64_t r = lo + hi;
-  if (r >= kMersenne61) r -= kMersenne61;
-  return r;
-}
-
-inline uint64_t AddMod61(uint64_t x, uint64_t y) {
-  uint64_t r = x + y;  // both < 2^61, no overflow
-  if (r >= kMersenne61) r -= kMersenne61;
-  return r;
-}
-
-}  // namespace
+using hash_internal::kMersenne61;
 
 uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
   // 64-bit Murmur3-style: process 8-byte blocks, mix the tail.
@@ -62,12 +42,6 @@ PairwiseHash::PairwiseHash(uint64_t seed, uint64_t range) : range_(range) {
   Rng rng(seed);
   a_ = 1 + rng.NextBelow(kMersenne61 - 1);
   b_ = rng.NextBelow(kMersenne61);
-}
-
-uint64_t PairwiseHash::operator()(uint64_t x) const {
-  // Fold x into the field first; ids in practice are far below p.
-  uint64_t xm = x >= kMersenne61 ? x - kMersenne61 : x;
-  return AddMod61(MulMod61(a_, xm), b_) % range_;
 }
 
 TabulationHash::TabulationHash(uint64_t seed, uint64_t range)

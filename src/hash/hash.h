@@ -30,6 +30,31 @@ inline uint64_t Mix64(uint64_t z) {
   return z ^ (z >> 31);
 }
 
+namespace hash_internal {
+
+/// The Mersenne prime p = 2^61 - 1 the pairwise family works over.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// (x * y) mod (2^61 - 1) via 128-bit intermediate. The conditional
+/// subtract compiles to a branchless cmov, keeping batch loops over
+/// this kernel vectorizable.
+inline uint64_t MulMod61(uint64_t x, uint64_t y) {
+  unsigned __int128 z = static_cast<unsigned __int128>(x) * y;
+  uint64_t lo = static_cast<uint64_t>(z & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(z >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+inline uint64_t AddMod61(uint64_t x, uint64_t y) {
+  uint64_t r = x + y;  // both < 2^61, no overflow
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+}  // namespace hash_internal
+
 /// Murmur3-style 64-bit hash of a byte string with a seed. Used by the
 /// message -> event-id black box (Section II-A) in examples/generators.
 uint64_t HashBytes(std::string_view bytes, uint64_t seed);
@@ -42,7 +67,45 @@ class PairwiseHash {
   PairwiseHash(uint64_t seed, uint64_t range);
 
   /// Hash of x into [0, range).
-  uint64_t operator()(uint64_t x) const;
+  uint64_t operator()(uint64_t x) const {
+    // Fold x into the field first; ids in practice are far below p.
+    uint64_t xm =
+        x >= hash_internal::kMersenne61 ? x - hash_internal::kMersenne61 : x;
+    return hash_internal::AddMod61(hash_internal::MulMod61(a_, xm), b_) %
+           range_;
+  }
+
+  /// Hashes `n` 32-bit ids into out[0..n), value-identical to calling
+  /// operator() per id. Defined inline so the loop body — one
+  /// 128-bit multiply, two cmov-folded adds, one modulo, per id, with
+  /// (a, b, range) hoisted into registers — stays a single tight
+  /// dependency-free loop the autovectorizer can unroll. Ids below
+  /// 2^32 never need the field fold, so the loop is branch-free.
+  void HashIds(const uint32_t* ids, size_t n, uint32_t* out) const {
+    const uint64_t a = a_;
+    const uint64_t b = b_;
+    const uint64_t range = range_;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint32_t>(
+          hash_internal::AddMod61(hash_internal::MulMod61(a, ids[i]), b) %
+          range);
+    }
+  }
+
+  /// 64-bit-key batch variant (CountMin's key type), with the field
+  /// fold applied per key. Value-identical to operator().
+  void HashKeys(const uint64_t* keys, size_t n, uint32_t* out) const {
+    const uint64_t a = a_;
+    const uint64_t b = b_;
+    const uint64_t range = range_;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t x = keys[i];
+      const uint64_t xm =
+          x >= hash_internal::kMersenne61 ? x - hash_internal::kMersenne61 : x;
+      out[i] = static_cast<uint32_t>(
+          hash_internal::AddMod61(hash_internal::MulMod61(a, xm), b) % range);
+    }
+  }
 
   uint64_t range() const { return range_; }
 
@@ -76,6 +139,19 @@ class HashFamily {
 
   /// Hash of key under the row-th function.
   uint64_t Hash(size_t row, uint64_t key) const { return fns_[row](key); }
+
+  /// Batch row hash over 32-bit ids: slots[i] = Hash(row, ids[i]).
+  /// See PairwiseHash::HashIds for the vectorization contract.
+  void HashRowIds(size_t row, const uint32_t* ids, size_t n,
+                  uint32_t* slots) const {
+    fns_[row].HashIds(ids, n, slots);
+  }
+
+  /// Batch row hash over 64-bit keys: slots[i] = Hash(row, keys[i]).
+  void HashRowKeys(size_t row, const uint64_t* keys, size_t n,
+                   uint32_t* slots) const {
+    fns_[row].HashKeys(keys, n, slots);
+  }
 
   size_t depth() const { return fns_.size(); }
   uint64_t width() const { return fns_.empty() ? 0 : fns_[0].range(); }

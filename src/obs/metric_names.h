@@ -10,7 +10,9 @@
 //
 // Entry format: M(Kind, Symbol, "prometheus_name", "help text")
 //   Kind   — Counter, Gauge, or Histogram (histograms use the shared
-//            latency buckets, kLatencyBucketBounds in obs/metrics.h).
+//            latency buckets, kLatencyBucketBounds in obs/metrics.h;
+//            names ending in "_size_records" use power-of-two
+//            record-count buckets instead).
 //   Symbol — generates `obs::k<Symbol>`, the constant call sites use.
 
 #ifndef BURSTHIST_OBS_METRIC_NAMES_H_
@@ -36,6 +38,14 @@
     "Watermark minus oldest buffered timestamp, in stream time units.")       \
   M(Gauge, EngineResidentBytes, "bursthist_engine_resident_bytes",            \
     "Resident bytes of the engine (index + summaries + buffers).")            \
+  /* ---- engine: batch ingest path ---- */                                   \
+  M(Counter, EngineBatchAppendsTotal, "bursthist_engine_batch_appends_total", \
+    "AppendBatch calls (each covers one span of records).")                   \
+  M(Histogram, EngineBatchSizeRecords, "bursthist_engine_batch_size_records", \
+    "Records per AppendBatch call (power-of-two record-count buckets).")      \
+  M(Histogram, EngineBatchAppendLatencySeconds,                               \
+    "bursthist_engine_batch_append_latency_seconds",                          \
+    "Latency of one whole AppendBatch call (validation to sketch update).")   \
   /* ---- engine: query path ---- */                                          \
   M(Histogram, QueryPointLatencySeconds,                                      \
     "bursthist_query_point_latency_seconds",                                  \
@@ -142,6 +152,17 @@
   M(Gauge, ServerSnapshotStalenessAppends,                                    \
     "bursthist_server_snapshot_staleness_appends",                            \
     "Appends accepted since the serving snapshot was last refreshed.")        \
+  /* ---- serving front-end: ingest ring ---- */                              \
+  M(Gauge, ServerRingDepth, "bursthist_server_ring_depth",                    \
+    "Ingest jobs queued in the MPSC ring awaiting the engine thread.")        \
+  M(Counter, ServerRingJobsTotal, "bursthist_server_ring_jobs_total",         \
+    "Ingest jobs pushed through the MPSC ring (one per ADD batch).")          \
+  M(Counter, ServerRingFullRetriesTotal,                                      \
+    "bursthist_server_ring_full_retries_total",                               \
+    "Push attempts that found the ring full and backed off (backpressure).")  \
+  M(Histogram, ServerRingBatchSizeRecords,                                    \
+    "bursthist_server_ring_batch_size_records",                               \
+    "ADD records per ring job (power-of-two record-count buckets).")          \
   /* ---- replication: leader (WAL shipper) ---- */                           \
   M(Counter, ReplShippedRecordsTotal, "bursthist_repl_shipped_records_total", \
     "WAL records framed and shipped to followers (all connections).")         \

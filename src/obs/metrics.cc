@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cinttypes>
 #include <cstring>
+#include <string_view>
 
 namespace bursthist {
 namespace obs {
@@ -30,6 +31,24 @@ Histogram& DummyHistogram() {
 std::vector<double> LatencyBounds() {
   return std::vector<double>(kLatencyBucketBounds,
                              kLatencyBucketBounds + kLatencyBucketCount);
+}
+
+// Power-of-two record-count buckets for "*_size_records" histograms
+// (batch sizes); latency buckets would funnel every batch into the
+// overflow bucket.
+std::vector<double> SizeBounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 8192.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+// True when `name` uses the record-count buckets instead of the
+// shared latency buckets.
+bool IsSizeHistogramName(const char* name) {
+  const std::string_view sv(name);
+  const std::string_view suffix = "_size_records";
+  return sv.size() >= suffix.size() &&
+         sv.substr(sv.size() - suffix.size()) == suffix;
 }
 
 // %g keeps the exposition compact and stable for the values we emit
@@ -232,7 +251,9 @@ void RegisterStandardMetrics(MetricsRegistry* registry) {
         r.GetGauge(m.name, m.help);
         break;
       case MetricKind::kHistogram:
-        r.GetHistogram(m.name, m.help, LatencyBounds());
+        r.GetHistogram(m.name, m.help,
+                       IsSizeHistogramName(m.name) ? SizeBounds()
+                                                   : LatencyBounds());
         break;
     }
   }
@@ -249,6 +270,11 @@ Gauge& GetGauge(const char* name) {
 Histogram& GetLatencyHistogram(const char* name) {
   return MetricsRegistry::Global().GetHistogram(name, HelpFor(name),
                                                 LatencyBounds());
+}
+
+Histogram& GetSizeHistogram(const char* name) {
+  return MetricsRegistry::Global().GetHistogram(name, HelpFor(name),
+                                                SizeBounds());
 }
 
 TraceRing& TraceRing::Global() {

@@ -192,6 +192,10 @@ const std::vector<StandardMetricInfo>& StandardMetrics();
 Counter& GetCounter(const char* name);
 Gauge& GetGauge(const char* name);
 Histogram& GetLatencyHistogram(const char* name);
+/// Histogram with power-of-two record-count buckets (1, 2, 4, ...,
+/// 8192) — for batch-size distributions, where latency buckets would
+/// put every observation in the overflow bucket.
+Histogram& GetSizeHistogram(const char* name);
 
 /// One completed TraceSpan, as read back from the ring.
 struct TraceEvent {
@@ -296,6 +300,9 @@ class PeriodicStats {
 #define BURSTHIST_LATENCY_HISTOGRAM(var, name)  \
   static ::bursthist::obs::Histogram& var =     \
       ::bursthist::obs::GetLatencyHistogram(name)
+#define BURSTHIST_SIZE_HISTOGRAM(var, name)     \
+  static ::bursthist::obs::Histogram& var =     \
+      ::bursthist::obs::GetSizeHistogram(name)
 
 #else  // BURSTHIST_NO_METRICS -------------------------------------------
 
@@ -376,6 +383,8 @@ class PeriodicStats {
 #define BURSTHIST_GAUGE(var, name) \
   [[maybe_unused]] constexpr ::bursthist::obs::Gauge var {}
 #define BURSTHIST_LATENCY_HISTOGRAM(var, name) \
+  [[maybe_unused]] constexpr ::bursthist::obs::Histogram var {}
+#define BURSTHIST_SIZE_HISTOGRAM(var, name) \
   [[maybe_unused]] constexpr ::bursthist::obs::Histogram var {}
 
 #endif  // BURSTHIST_NO_METRICS

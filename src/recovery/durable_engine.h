@@ -42,6 +42,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,6 +75,10 @@ struct DurabilityOptions {
 };
 
 namespace recovery_internal {
+
+/// Fixed wire size of a WalRecordType::kEvent payload:
+/// u32 event | i64 time | u64 count.
+constexpr size_t kEventPayloadBytes = 20;
 
 inline std::vector<uint8_t> EncodeEventPayload(EventId e, Timestamp t,
                                                Count count) {
@@ -316,6 +321,16 @@ class DurableBurstEngine {
     return engine_.Append(e, t, count);
   }
 
+  /// Logs and ingests a batch of records in one shot (see
+  /// BurstEngine::AppendBatch): one WAL write and at most one fsync
+  /// cover the whole batch via the batch tee. `applied` reports the
+  /// deterministic prefix that was logged AND ingested; on a WAL
+  /// failure nothing was, so *applied == 0.
+  Status AppendBatch(std::span<const WeightedRecord> records,
+                     size_t* applied = nullptr) {
+    return engine_.AppendBatch(records, applied);
+  }
+
   /// Logs and ingests a whole stream (see BurstEngine::AppendStream).
   Status AppendStream(const EventStream& stream) {
     return engine_.AppendStream(stream);
@@ -422,7 +437,9 @@ class DurableBurstEngine {
 
   // The WAL tee: every accepted append is framed into the log before
   // ingestion. A replicated append (pending_source_ set) carries the
-  // leader position inside the frame.
+  // leader position inside the frame. The batch form frames the whole
+  // span into one WAL write (≤ 1 fsync); replication always applies
+  // record-by-record, so the batch tee never sees pending_source_.
   void InstallTee() {
     engine_.set_append_observer([this](EventId e, Timestamp t, Count count) {
       if (pending_source_ != nullptr) {
@@ -434,6 +451,18 @@ class DurableBurstEngine {
           WalRecordType::kEvent,
           recovery_internal::EncodeEventPayload(e, t, count));
     });
+    engine_.set_batch_append_observer(
+        [this](std::span<const WeightedRecord> records) {
+          BinaryWriter w;
+          for (const WeightedRecord& r : records) {
+            w.Put<uint32_t>(r.id);
+            w.Put<int64_t>(r.time);
+            w.Put<uint64_t>(r.count);
+          }
+          return wal_->AddRecordBatch(WalRecordType::kEvent, w.data(),
+                                      recovery_internal::kEventPayloadBytes,
+                                      records.size());
+        });
   }
 
   // Best-effort removal of files the retained snapshots obsolete

@@ -118,6 +118,54 @@ Status WalWriter::AddRecord(WalRecordType type,
   return Status::OK();
 }
 
+Status WalWriter::AddRecordBatch(WalRecordType type, const uint8_t* payloads,
+                                 size_t payload_len, size_t n) {
+  BURSTHIST_COUNTER(m_appends, obs::kWalAppendsTotal);
+  BURSTHIST_COUNTER(m_retries, obs::kWalAppendRetriesTotal);
+  BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kWalAppendLatencySeconds);
+  obs::TraceSpan span(m_lat, "wal_append_batch");
+  if (n == 0) return Status::OK();
+  if (poisoned_) {
+    return Status::Unavailable("WAL is read-only after an fsync failure");
+  }
+  const uint64_t frame_size = kFrameHeader + payload_len;
+  const uint64_t total_size = frame_size * n;
+  if (position_.offset > kWalHeaderSize &&
+      position_.offset + total_size > options_.segment_bytes) {
+    BURSTHIST_RETURN_IF_ERROR(Rotate());
+  }
+  BinaryWriter frames;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* payload = payloads + i * payload_len;
+    const size_t frame_begin = frames.size();
+    frames.Put<uint32_t>(static_cast<uint32_t>(payload_len));
+    frames.Put<uint32_t>(0);  // patched below: crc over type + payload
+    frames.Put<uint8_t>(static_cast<uint8_t>(type));
+    for (size_t b = 0; b < payload_len; ++b) frames.Put<uint8_t>(payload[b]);
+    frames.Patch<uint32_t>(
+        frame_begin + 4,
+        FrameCrc(frames.data() + frame_begin + 8, 1 + payload_len));
+  }
+  Status append = file_->Append(frames.bytes());
+  for (uint32_t attempt = 1; !append.ok() && attempt <= options_.append_retries;
+       ++attempt) {
+    m_retries.Inc();
+    if (options_.retry_backoff) options_.retry_backoff(attempt);
+    // Same contract as AddRecord: a failed append may have torn the
+    // segment tail, so the retry re-appends the WHOLE batch on a clean
+    // segment; if the cleanup fails, surface the original error.
+    if (!ReopenCleanSegment().ok()) return append;
+    append = file_->Append(frames.bytes());
+  }
+  BURSTHIST_RETURN_IF_ERROR(append);
+  position_.offset += total_size;
+  if (options_.sync_every_record) {
+    BURSTHIST_RETURN_IF_ERROR(Sync());
+  }
+  m_appends.Inc(n);
+  return Status::OK();
+}
+
 Status WalWriter::Sync() {
   BURSTHIST_COUNTER(m_fsyncs, obs::kWalFsyncsTotal);
   BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kWalFsyncLatencySeconds);

@@ -129,6 +129,20 @@ class WalWriter {
   /// poisoned writer (failed fsync) returns Unavailable.
   Status AddRecord(WalRecordType type, const std::vector<uint8_t>& payload);
 
+  /// Appends `n` fixed-size same-type records as consecutive frames in
+  /// ONE file write with at most one fsync for the whole batch (vs one
+  /// per record under sync_every_record). `payloads` holds the n
+  /// payloads of `payload_len` bytes each, laid out back to back. The
+  /// on-disk frames are identical to n AddRecord calls, except a batch
+  /// never splits across a rotation: the writer rotates up front when
+  /// the batch would overflow the current non-empty segment, then the
+  /// batch lands whole — replay cannot tell the difference.
+  /// All-or-nothing: the retry loop re-appends the entire batch on a
+  /// clean segment, and on failure position() covers none of the
+  /// frames.
+  Status AddRecordBatch(WalRecordType type, const uint8_t* payloads,
+                        size_t payload_len, size_t n);
+
   /// fsyncs the current segment. A failure permanently poisons the
   /// writer (read-only degraded mode): the bytes' durability is
   /// unknowable, so pretending a later fsync fixed it would be a lie.

@@ -50,6 +50,13 @@ bool SendAll(int fd, const char* data, size_t n, int timeout_ms) {
 TcpLineServer::~TcpLineServer() { Stop(); }
 
 Status TcpLineServer::Start(const TcpServerOptions& options,
+                            BatchLineHandler batch_handler,
+                            MetricsProvider metrics) {
+  batch_handler_ = std::move(batch_handler);
+  return Start(options, LineHandler(), std::move(metrics));
+}
+
+Status TcpLineServer::Start(const TcpServerOptions& options,
                             LineHandler handler, MetricsProvider metrics) {
   if (listen_fd_ >= 0) {
     return Status::FailedPrecondition("server already started");
@@ -194,21 +201,40 @@ void TcpLineServer::ServeConnection(int fd) {
     std::vector<std::string> lines;
     const Status st = buffer.Feed(chunk, static_cast<size_t>(n), &lines);
     // Batched handling: every complete line in the chunk is parsed
-    // and dispatched before the replies go out in one send.
+    // and dispatched before the replies go out in one send. The HTTP
+    // switch and empty-line filtering happen here either way, so the
+    // batch handler only ever sees real request lines.
     std::string replies;
     bool close = false;
-    for (const std::string& line : lines) {
-      if (first_line) {
-        first_line = false;
-        if (line.compare(0, 4, "GET ") == 0) {
-          ServeHttp(fd, line);
-          return;
+    if (batch_handler_) {
+      std::vector<std::string> requests;
+      requests.reserve(lines.size());
+      for (std::string& line : lines) {
+        if (first_line) {
+          first_line = false;
+          if (line.compare(0, 4, "GET ") == 0) {
+            ServeHttp(fd, line);
+            return;
+          }
         }
+        if (!line.empty()) requests.push_back(std::move(line));
       }
-      if (line.empty()) continue;
-      replies += handler_(line, &close);
-      if (replies.empty() || replies.back() != '\n') replies += '\n';
-      if (close) break;
+      if (!requests.empty()) replies = batch_handler_(requests, &close);
+      if (!replies.empty() && replies.back() != '\n') replies += '\n';
+    } else {
+      for (const std::string& line : lines) {
+        if (first_line) {
+          first_line = false;
+          if (line.compare(0, 4, "GET ") == 0) {
+            ServeHttp(fd, line);
+            return;
+          }
+        }
+        if (line.empty()) continue;
+        replies += handler_(line, &close);
+        if (replies.empty() || replies.back() != '\n') replies += '\n';
+        if (close) break;
+      }
     }
     if (!st.ok()) {
       replies += FormatError(st) + "\n";

@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -49,6 +50,7 @@
 #include "obs/metrics.h"
 #include "recovery/durable_engine.h"
 #include "server/wire.h"
+#include "util/mpsc_ring.h"
 #include "util/status.h"
 
 namespace bursthist {
@@ -81,6 +83,15 @@ class TcpLineServer {
   /// multi-line). Set *close to end the connection after replying.
   using LineHandler =
       std::function<std::string(const std::string& line, bool* close)>;
+  /// Batch form: every complete line of one recv chunk at once, in
+  /// order. Returns the concatenated replies (one line per request,
+  /// each newline-terminated). Set *close to end the connection after
+  /// sending them; lines after the close-triggering request are
+  /// dropped, exactly like the per-line loop. When installed it
+  /// replaces the per-line handler on the socket path, letting the
+  /// service batch consecutive ADDs from a pipelining client.
+  using BatchLineHandler = std::function<std::string(
+      const std::vector<std::string>& lines, bool* close)>;
   using MetricsProvider = std::function<std::string()>;
 
   TcpLineServer() = default;
@@ -90,6 +101,11 @@ class TcpLineServer {
 
   /// Binds, listens, and starts the accept thread. Non-blocking.
   Status Start(const TcpServerOptions& options, LineHandler handler,
+               MetricsProvider metrics);
+
+  /// As above, but lines are delivered through `batch_handler`, one
+  /// call per recv chunk. `handler` may be empty.
+  Status Start(const TcpServerOptions& options, BatchLineHandler batch_handler,
                MetricsProvider metrics);
 
   /// Stops accepting, shuts every open connection, joins all threads.
@@ -117,6 +133,7 @@ class TcpLineServer {
 
   TcpServerOptions options_;
   LineHandler handler_;
+  BatchLineHandler batch_handler_;
   MetricsProvider metrics_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -161,6 +178,12 @@ struct BurstServiceOptions {
   /// Optional admission control; may be nullptr. Must already have
   /// its components registered and outlive the service.
   ResourceGovernor* governor = nullptr;
+  /// Capacity (jobs, rounded up to a power of two) of the lock-free
+  /// MPSC ring between connection threads and the single engine
+  /// thread. One job carries one batch of consecutive ADDs, so the
+  /// ring bounds in-flight batches, not records. A full ring applies
+  /// backpressure: the producer retries (counted) until a slot frees.
+  size_t ingest_ring_capacity = 1024;
   /// Follower-serving wiring; disabled (leader mode) by default.
   ReplicaHooks replica;
 };
@@ -176,7 +199,40 @@ class BurstService {
         options_(options),
         write_mu_(options.replica.write_mu != nullptr
                       ? options.replica.write_mu
-                      : &own_mu_) {}
+                      : &own_mu_),
+        ring_(options.ingest_ring_capacity) {}
+
+  ~BurstService() { StopIngestThread(); }
+  BurstService(const BurstService&) = delete;
+  BurstService& operator=(const BurstService&) = delete;
+
+  /// Starts the single engine thread that drains the ingest ring.
+  /// Until it runs, HandleLines() applies ADD batches inline under
+  /// write_mu_ (same results, no hand-off). Idempotent.
+  void StartIngestThread() {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (consumer_.joinable()) return;
+    ring_shutdown_ = false;
+    ring_running_.store(true, std::memory_order_release);
+    consumer_ = std::thread([this] { IngestLoop(); });
+  }
+
+  /// Drains outstanding jobs and joins the engine thread. Callers
+  /// must first guarantee no producer will push again (e.g. the TCP
+  /// layer is stopped and every connection thread joined). Idempotent.
+  void StopIngestThread() {
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      if (!consumer_.joinable()) return;
+      // New producers fall back to the inline path from here on;
+      // producers already past the check still get their jobs drained
+      // and completed before the loop exits.
+      ring_running_.store(false, std::memory_order_release);
+      ring_shutdown_ = true;
+    }
+    ring_cv_.notify_all();
+    consumer_.join();
+  }
 
   /// Handles one request line; returns the reply. Sets *close on QUIT.
   std::string Handle(const std::string& line, bool* close) {
@@ -194,6 +250,51 @@ class BurstService {
     std::string reply = Dispatch(req, close);
     if (reply.compare(0, 4, "ERR ") == 0) m_errors.Inc();
     return reply;
+  }
+
+  /// Handles every request line of one recv chunk, in order, and
+  /// returns the concatenated newline-terminated replies. Runs of
+  /// consecutive ADDs become ONE batch: a single ring hand-off to the
+  /// engine thread (or one inline critical section before the thread
+  /// runs), one governor audit/admission, one WAL write. Any other
+  /// verb flushes the pending batch first, so replies come back in
+  /// request order and a QUIT still drops the lines after it.
+  std::string HandleLines(const std::vector<std::string>& lines, bool* close) {
+    BURSTHIST_COUNTER(m_requests, obs::kServerRequestsTotal);
+    BURSTHIST_COUNTER(m_errors, obs::kServerRequestErrorsTotal);
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kServerRequestLatencySeconds);
+    obs::TraceSpan span(m_lat, "server_request_batch");
+    std::string replies;
+    std::vector<WeightedRecord> adds;
+    size_t handled = 0;
+    auto flush = [&] {
+      if (!adds.empty()) FlushAddBatch(adds, &replies);
+      adds.clear();
+    };
+    for (const std::string& line : lines) {
+      ++handled;
+      auto parsed = ParseRequest(line);
+      if (!parsed.ok()) {
+        flush();
+        m_errors.Inc();
+        replies += FormatError(parsed.status()) + "\n";
+        continue;
+      }
+      const Request& req = parsed.value();
+      if (req.type == RequestType::kAdd) {
+        adds.push_back(WeightedRecord{req.e, req.t, req.count});
+        continue;
+      }
+      flush();
+      std::string reply = Dispatch(req, close);
+      if (reply.compare(0, 4, "ERR ") == 0) m_errors.Inc();
+      replies += reply;
+      if (replies.empty() || replies.back() != '\n') replies += '\n';
+      if (*close) break;
+    }
+    flush();
+    m_requests.Inc(handled);
+    return replies;
   }
 
   /// Prometheus exposition of the process registry, with the served
@@ -286,6 +387,162 @@ class BurstService {
     accepted_.fetch_add(1, std::memory_order_release);
     m_ingested.Inc();
     return "OK";
+  }
+
+  // One ring hand-off: a batch of consecutive ADDs from one
+  // connection. Lives on the producer's stack — the producer blocks on
+  // `cv` until the engine thread marks it done, so the pointer in the
+  // ring never outlives the job.
+  struct IngestJob {
+    std::span<const WeightedRecord> records;
+    /// Whole-batch refusal (admission control); record_errors empty.
+    Status admit_status;
+    /// Sparse per-record failures as (index, status), ascending;
+    /// every index not listed was applied.
+    std::vector<std::pair<size_t, Status>> record_errors;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+  };
+
+  // Runs one ADD batch to completion (ring hand-off to the engine
+  // thread when it is up, inline otherwise) and appends one reply
+  // line per record.
+  void FlushAddBatch(const std::vector<WeightedRecord>& adds,
+                     std::string* replies) {
+    BURSTHIST_COUNTER(m_errors, obs::kServerRequestErrorsTotal);
+    if (options_.replica.enabled && options_.replica.is_follower &&
+        options_.replica.is_follower()) {
+      const std::string err =
+          FormatError(Status::Unavailable(
+              "follower is read-only; PROMOTE to accept writes")) +
+          "\n";
+      for (size_t i = 0; i < adds.size(); ++i) *replies += err;
+      m_errors.Inc(adds.size());
+      return;
+    }
+    IngestJob job;
+    job.records = std::span<const WeightedRecord>(adds);
+    if (ring_running_.load(std::memory_order_acquire)) {
+      BURSTHIST_COUNTER(m_full, obs::kServerRingFullRetriesTotal);
+      IngestJob* ptr = &job;
+      // Backpressure: a full ring means batches are arriving faster
+      // than the engine drains them; yield and retry until a slot
+      // frees (the consumer is always making progress).
+      while (!ring_.TryPush(ptr)) {
+        m_full.Inc();
+        std::this_thread::yield();
+      }
+      {
+        // Empty critical section pairs with the consumer's predicate
+        // wait: the push above cannot slip between its predicate check
+        // and its sleep.
+        std::lock_guard<std::mutex> lock(ring_mu_);
+      }
+      ring_cv_.notify_one();
+      std::unique_lock<std::mutex> lock(job.mu);
+      job.cv.wait(lock, [&job] { return job.done; });
+    } else {
+      ProcessAddBatch(&job);
+    }
+    if (!job.admit_status.ok()) {
+      const std::string err = FormatError(job.admit_status) + "\n";
+      for (size_t i = 0; i < adds.size(); ++i) *replies += err;
+      m_errors.Inc(adds.size());
+      return;
+    }
+    size_t next_err = 0;
+    for (size_t i = 0; i < adds.size(); ++i) {
+      if (next_err < job.record_errors.size() &&
+          job.record_errors[next_err].first == i) {
+        *replies += FormatError(job.record_errors[next_err].second) + "\n";
+        ++next_err;
+        m_errors.Inc();
+      } else {
+        *replies += "OK\n";
+      }
+    }
+  }
+
+  // The write side of one batch, under write_mu_: one governor audit
+  // + admission decision for the whole batch (batch-granular — an
+  // overloaded server refuses the batch, not a random suffix of it),
+  // then AppendBatch over the remaining span after each per-record
+  // failure, so the applied records and per-record errors come out
+  // exactly as if each ADD had been appended serially.
+  void ProcessAddBatch(IngestJob* job) {
+    BURSTHIST_COUNTER(m_ingested, obs::kServerIngestRecordsTotal);
+    std::lock_guard<std::mutex> lock(*write_mu_);
+    if (options_.governor != nullptr) {
+      if (appends_since_audit_ >= options_.audit_every) {
+        options_.governor->Enforce();
+        appends_since_audit_ = 0;
+      }
+      Status admit = options_.governor->Admit();
+      if (!admit.ok()) {
+        // One shot at recovery before refusing: a full audit sheds
+        // accuracy for space (degradation precedes refusal).
+        options_.governor->Enforce();
+        appends_since_audit_ = 0;
+        admit = options_.governor->Admit();
+        if (!admit.ok()) {
+          job->admit_status = admit;
+          return;
+        }
+      }
+    }
+    const std::span<const WeightedRecord> records = job->records;
+    size_t begin = 0;
+    size_t applied_total = 0;
+    while (begin < records.size()) {
+      size_t applied = 0;
+      const Status st = durable_->AppendBatch(records.subspan(begin), &applied);
+      begin += applied;
+      applied_total += applied;
+      if (st.ok()) break;
+      job->record_errors.emplace_back(begin, st);
+      ++begin;
+    }
+    appends_since_audit_ += applied_total;
+    accepted_.fetch_add(applied_total, std::memory_order_release);
+    m_ingested.Inc(applied_total);
+  }
+
+  // The single engine thread: drains jobs off the ring, runs each
+  // batch, and wakes its producer. Exits only when shutdown was
+  // requested AND the ring is empty, so every pushed job is always
+  // completed (producers block on their job until then).
+  void IngestLoop() {
+    BURSTHIST_COUNTER(m_jobs, obs::kServerRingJobsTotal);
+    BURSTHIST_GAUGE(m_depth, obs::kServerRingDepth);
+    BURSTHIST_SIZE_HISTOGRAM(m_batch, obs::kServerRingBatchSizeRecords);
+    for (;;) {
+      IngestJob* job = nullptr;
+      if (!ring_.Pop(&job)) {
+        std::unique_lock<std::mutex> lock(ring_mu_);
+        ring_cv_.wait(lock, [this] {
+          return ring_shutdown_ || ring_.ApproxSize() > 0;
+        });
+        if (ring_shutdown_ && ring_.ApproxSize() == 0) {
+          m_depth.Set(0.0);
+          return;
+        }
+        continue;
+      }
+      m_jobs.Inc();
+      m_depth.Set(static_cast<double>(ring_.ApproxSize()));
+      m_batch.Observe(static_cast<double>(job->records.size()));
+      ProcessAddBatch(job);
+      {
+        // Notify while holding `mu`: the job lives on the producer's
+        // stack and is destroyed as soon as its wait returns, so the
+        // notify must complete before the waiter can re-acquire the
+        // mutex and tear the condition variable down under us.
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->done = true;
+        job->cv.notify_one();
+      }
+    }
   }
 
   std::string HandleStats() {
@@ -411,6 +668,16 @@ class BurstService {
   /// mode, at the replica's mutex when serving a follower (the apply
   /// thread holds the same lock around every apply).
   std::mutex* write_mu_;
+  /// Connection threads → engine thread, one job per ADD batch. The
+  /// ring replaces write_mu_ contention on the hot path: producers
+  /// never take the write mutex for ADDs, only the consumer does
+  /// (replication apply and the mutating verbs keep the mutex path).
+  MpscRing<IngestJob*> ring_;
+  std::thread consumer_;
+  std::mutex ring_mu_;
+  std::condition_variable ring_cv_;
+  bool ring_shutdown_ = false;  // guarded by ring_mu_
+  std::atomic<bool> ring_running_{false};
   SnapshotSlot<PbeT> slot_;
   std::atomic<uint64_t> accepted_{0};
   uint64_t appends_since_audit_ = 0;  // guarded by write_mu_
@@ -425,15 +692,22 @@ class IngestServer {
       : service_(durable, service_options) {}
 
   Status Start(const TcpServerOptions& options) {
+    service_.StartIngestThread();
     return tcp_.Start(
         options,
-        [this](const std::string& line, bool* close) {
-          return service_.Handle(line, close);
-        },
+        TcpLineServer::BatchLineHandler(
+            [this](const std::vector<std::string>& lines, bool* close) {
+              return service_.HandleLines(lines, close);
+            }),
         [this] { return service_.MetricsText(); });
   }
 
-  void Stop() { tcp_.Stop(); }
+  /// Stops the TCP layer first (joining every connection thread, so
+  /// no producer can touch the ring again), then the engine thread.
+  void Stop() {
+    tcp_.Stop();
+    service_.StopIngestThread();
+  }
   /// Graceful shutdown: StopAccepting() then Drain() then Stop().
   void StopAccepting() { tcp_.StopAccepting(); }
   bool Drain(int grace_ms) { return tcp_.Drain(grace_ms); }

@@ -34,6 +34,25 @@ void CountMinSketch::Add(uint64_t key, uint64_t count) {
   total_ += count;
 }
 
+void CountMinSketch::AddBatch(const uint64_t* keys, const uint64_t* counts,
+                              size_t n, std::vector<uint32_t>* slot_scratch) {
+  if (n == 0) return;
+  std::vector<uint32_t>& slots = *slot_scratch;
+  if (slots.size() < n) slots.resize(n);
+  for (size_t r = 0; r < options_.depth; ++r) {
+    hashes_.HashRowKeys(r, keys, n, slots.data());
+    uint64_t* row = cells_.data() + r * options_.width;
+    for (size_t i = 0; i < n; ++i) {
+      row[slots[i]] += counts ? counts[i] : 1;
+    }
+  }
+  if (counts) {
+    for (size_t i = 0; i < n; ++i) total_ += counts[i];
+  } else {
+    total_ += n;
+  }
+}
+
 uint64_t CountMinSketch::Estimate(uint64_t key) const {
   uint64_t best = ~0ULL;
   for (size_t r = 0; r < options_.depth; ++r) {

@@ -42,6 +42,15 @@ class CountMinSketch {
   /// Adds `count` occurrences of key.
   void Add(uint64_t key, uint64_t count = 1);
 
+  /// Batch form of Add over parallel arrays (`counts == nullptr`
+  /// means all-ones). Value-identical to per-key Add (counter adds
+  /// commute); the per-row slot computation runs as one tight
+  /// branch-free loop (PairwiseHash::HashKeys) before the scattered
+  /// counter updates, structure-of-arrays style. `slot_scratch` is
+  /// caller-owned for allocation reuse across batches.
+  void AddBatch(const uint64_t* keys, const uint64_t* counts, size_t n,
+                std::vector<uint32_t>* slot_scratch);
+
   /// Point estimate: min over rows; never underestimates the true
   /// count.
   uint64_t Estimate(uint64_t key) const;

@@ -1,0 +1,147 @@
+// Bounded lock-free multi-producer/single-consumer ring buffer,
+// Vyukov-style: each cell carries an atomic sequence number that
+// encodes whose turn the cell is.
+//
+// Memory-ordering contract (the acquire/release points DESIGN.md's
+// batch-pipeline section documents):
+//
+//  * A producer claims cell `pos` by CAS on `enqueue_pos_` after
+//    observing `cell.seq == pos` with ACQUIRE (so a recycled cell's
+//    prior payload read by the consumer happened-before the reuse).
+//    It then writes the payload with plain stores and PUBLISHES with
+//    `cell.seq.store(pos + 1, release)` — the release fence makes the
+//    payload visible to any thread that later acquires that seq.
+//  * The single consumer reads `cell.seq` with ACQUIRE; seeing
+//    `pos + 1` synchronizes-with the producer's release store, so the
+//    payload read that follows is safe. After moving the payload out
+//    it RECYCLES the cell with `cell.seq.store(pos + capacity,
+//    release)`, handing it to the producer that will claim position
+//    `pos + capacity` one lap later.
+//  * `enqueue_pos_` itself uses relaxed success/failure orders: it
+//    only arbitrates which producer owns a cell; all payload
+//    visibility flows through the per-cell seq.
+//  * `dequeue_pos_` is advanced only by the consumer; it is atomic
+//    solely so ApproxSize() can be sampled from any thread, and every
+//    access is relaxed.
+//
+// TryPush never blocks: it returns false when the ring is full (the
+// cell for the next position still holds a lap-old sequence), letting
+// the caller decide between spinning, backoff, or shedding. Pop
+// returns false on empty. Capacity is rounded up to a power of two so
+// position-to-cell mapping is a mask.
+
+#ifndef BURSTHIST_UTIL_MPSC_RING_H_
+#define BURSTHIST_UTIL_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bursthist {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit MpscRing(size_t capacity) : mask_(RoundUpPow2(capacity) - 1) {
+    cells_ = std::vector<Cell>(mask_ + 1);
+    for (size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer enqueue. Returns false when the ring is full;
+  /// never blocks, never spins beyond CAS contention retries.
+  bool TryPush(T value) {
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        // Our turn; claim the position. CAS can use relaxed order —
+        // payload visibility rides on the seq release below.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the new position.
+      } else if (dif < 0) {
+        // The cell is still a full lap behind: ring full.
+        return false;
+      } else {
+        // Another producer claimed this position; chase the head.
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer dequeue. Returns false when the ring is empty.
+  bool Pop(T* out) {
+    const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1) < 0) {
+      return false;  // producer has not published this position yet
+    }
+    *out = std::move(cell.value);
+    // Recycle the cell for the producer one lap ahead.
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Single-consumer batch dequeue: pops up to `max` items into
+  /// `out` (appended). Returns the number popped.
+  size_t PopBatch(std::vector<T>* out, size_t max) {
+    size_t n = 0;
+    T item;
+    while (n < max && Pop(&item)) {
+      out->push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Approximate occupancy (racy snapshot; for metrics/backoff
+  /// heuristics only).
+  size_t ApproxSize() const {
+    const uint64_t head = enqueue_pos_.load(std::memory_order_relaxed);
+    const uint64_t tail = dequeue_pos_.load(std::memory_order_relaxed);
+    return head >= tail ? static_cast<size_t>(head - tail) : 0;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 2;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  size_t mask_;
+  std::vector<Cell> cells_;
+  // Producers race on this; consumer never touches it.
+  std::atomic<uint64_t> enqueue_pos_{0};
+  // Advanced only by the single consumer; atomic (relaxed) so
+  // ApproxSize can be read from any thread without a data race.
+  std::atomic<uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_UTIL_MPSC_RING_H_

@@ -1,0 +1,256 @@
+// Byte-identity tier for the batched ingest hot path: every stream
+// family from the differential harness, ingested three ways — one
+// Append per record, AppendBatch at a sweep of batch sizes (1, 7, 64,
+// 4096, whole-stream), and through the lock-free MPSC ring the ingest
+// server uses — must finalize to byte-identical engine state. This
+// holds EXACTLY (not within tolerance): the batch fast path replays
+// each grid cell's updates in record order, and the buffered path
+// replays the serial admission sequence per record, so any divergence
+// is a bug, not approximation noise. Cap/backpressure policies are
+// swept too, where per-record admission decisions depend on the
+// instantaneous buffer depth.
+//
+// A batch that hits a refused record aborts with the applied prefix
+// reported; identity with the tolerant serial loop (which skips the
+// refused record and keeps going) is recovered by resubmitting the
+// suffix past the failure — the same loop the ingest server runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "differential/diff_harness.h"
+#include "test_util.h"
+#include "util/mpsc_ring.h"
+#include "util/serialize.h"
+
+namespace bursthist {
+namespace {
+
+using test::StreamFamily;
+using test::StreamSpec;
+
+constexpr StreamFamily kFamilies[] = {
+    StreamFamily::kUniform, StreamFamily::kBursty, StreamFamily::kStaircase,
+    StreamFamily::kDuplicates, StreamFamily::kOutOfOrder};
+
+using Engine1 = BurstEngine<Pbe1>;
+
+BurstEngineOptions<Pbe1> EngineOptions(const StreamSpec& spec) {
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = spec.universe;
+  o.grid.depth = 2;
+  o.grid.width = 7;
+  o.cell.buffer_points = 24;
+  o.cell.budget_points = 24;
+  o.heavy_hitter_capacity = 4;
+  o.max_lateness = spec.max_lateness;
+  return o;
+}
+
+std::vector<uint8_t> Bytes(const Engine1& engine) {
+  BinaryWriter w;
+  engine.Serialize(&w);
+  return w.TakeBytes();
+}
+
+// Deterministic weights (not all 1) so the weighted batch lanes —
+// the SoA count split and the WeightedRecord overloads — are covered
+// by the same identity sweep.
+std::vector<WeightedRecord> Weighted(const std::vector<EventRecord>& arrivals) {
+  std::vector<WeightedRecord> records;
+  records.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    records.push_back(
+        WeightedRecord{arrivals[i].id, arrivals[i].time, 1 + i % 3});
+  }
+  return records;
+}
+
+// The tolerant serial reference: refused records (late arrivals, cap
+// rejections) are skipped, everything else must land.
+Engine1 BuildSerial(const BurstEngineOptions<Pbe1>& options,
+                    const std::vector<WeightedRecord>& records) {
+  Engine1 engine(options);
+  for (const auto& r : records) (void)engine.Append(r.id, r.time, r.count);
+  engine.Finalize();
+  return engine;
+}
+
+// Chunked AppendBatch with the server's resubmit-suffix loop: a
+// failed batch reports how many records applied; skip the refused
+// record and resubmit the rest, reproducing the serial skip exactly.
+void AppendBatchTolerant(Engine1* engine,
+                         std::span<const WeightedRecord> span) {
+  while (!span.empty()) {
+    size_t applied = 0;
+    const Status st = engine->AppendBatch(span, &applied);
+    if (st.ok()) break;
+    span = span.subspan(applied + 1);
+  }
+}
+
+Engine1 BuildBatched(const BurstEngineOptions<Pbe1>& options,
+                     const std::vector<WeightedRecord>& records,
+                     size_t batch_size) {
+  Engine1 engine(options);
+  const std::span<const WeightedRecord> all(records);
+  for (size_t begin = 0; begin < records.size(); begin += batch_size) {
+    AppendBatchTolerant(&engine,
+                        all.subspan(begin, std::min(batch_size,
+                                                    records.size() - begin)));
+  }
+  engine.Finalize();
+  return engine;
+}
+
+// Every family, every batch size in the acceptance sweep, weighted
+// records, byte-for-byte equality against the per-record build.
+TEST(BatchIdentity, BatchSizesMatchSerialBytesAcrossFamilies) {
+  for (StreamFamily family : kFamilies) {
+    StreamSpec spec;
+    spec.family = family;
+    spec.universe = 8;
+    spec.n = 320;
+    spec.seed = test::CaseSeed(7100 + static_cast<uint64_t>(family));
+    spec.max_lateness = family == StreamFamily::kOutOfOrder ? 6 : 0;
+    SCOPED_TRACE(spec.ToString());
+
+    const auto records = Weighted(test::GenerateArrivals(spec));
+    const auto serial_bytes = Bytes(BuildSerial(EngineOptions(spec), records));
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}, size_t{4096},
+                              records.size()}) {
+      EXPECT_EQ(Bytes(BuildBatched(EngineOptions(spec), records, batch_size)),
+                serial_bytes)
+          << "batch_size=" << batch_size;
+    }
+  }
+}
+
+// AppendStream is routed through AppendBatch now; pin its identity
+// with the per-record build on the sorted stream (every family's
+// sorted form is a valid max_lateness=0 stream).
+TEST(BatchIdentity, AppendStreamMatchesPerEventAppend) {
+  for (StreamFamily family : kFamilies) {
+    StreamSpec spec;
+    spec.family = family;
+    spec.universe = 8;
+    spec.n = 320;
+    spec.seed = test::CaseSeed(7200 + static_cast<uint64_t>(family));
+    spec.max_lateness = family == StreamFamily::kOutOfOrder ? 6 : 0;
+    SCOPED_TRACE(spec.ToString());
+    const EventStream sorted =
+        test::SortedStream(test::GenerateArrivals(spec));
+
+    StreamSpec ordered = spec;
+    ordered.max_lateness = 0;
+    Engine1 serial(EngineOptions(ordered));
+    for (const auto& r : sorted.records()) {
+      ASSERT_TRUE(serial.Append(r.id, r.time).ok());
+    }
+    serial.Finalize();
+
+    Engine1 streamed(EngineOptions(ordered));
+    ASSERT_TRUE(streamed.AppendStream(sorted).ok());
+    streamed.Finalize();
+    EXPECT_EQ(Bytes(streamed), Bytes(serial));
+  }
+}
+
+// The ingest-server shape: a producer thread slices the arrival
+// sequence into jobs and pushes them through the bounded MPSC ring
+// (spinning on full — the backpressure path); the consumer pops and
+// feeds AppendBatch. Ring transport must not change a single byte.
+// Runs under the tsan ctest label.
+TEST(BatchIdentity, MpscRingPipelineMatchesSerialBytes) {
+  constexpr size_t kChunk = 16;
+  for (StreamFamily family : kFamilies) {
+    StreamSpec spec;
+    spec.family = family;
+    spec.universe = 8;
+    spec.n = 320;
+    spec.seed = test::CaseSeed(7300 + static_cast<uint64_t>(family));
+    spec.max_lateness = family == StreamFamily::kOutOfOrder ? 6 : 0;
+    SCOPED_TRACE(spec.ToString());
+    const auto records = Weighted(test::GenerateArrivals(spec));
+    const auto serial_bytes = Bytes(BuildSerial(EngineOptions(spec), records));
+
+    // Jobs are (begin, length) slices; an 8-slot ring against 20
+    // chunks forces wrap-around and full-ring retries.
+    MpscRing<std::pair<size_t, size_t>> ring(8);
+    std::atomic<bool> done{false};
+    std::thread producer([&] {
+      for (size_t begin = 0; begin < records.size(); begin += kChunk) {
+        const std::pair<size_t, size_t> job{
+            begin, std::min(kChunk, records.size() - begin)};
+        while (!ring.TryPush(job)) std::this_thread::yield();
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    Engine1 engine(EngineOptions(spec));
+    const std::span<const WeightedRecord> all(records);
+    for (;;) {
+      std::pair<size_t, size_t> job;
+      if (ring.Pop(&job)) {
+        AppendBatchTolerant(&engine, all.subspan(job.first, job.second));
+        continue;
+      }
+      if (done.load(std::memory_order_acquire) && ring.ApproxSize() == 0) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    producer.join();
+    engine.Finalize();
+    EXPECT_EQ(Bytes(engine), serial_bytes);
+  }
+}
+
+// Cap/backpressure interactions: with a small re-order buffer every
+// overflow policy makes per-record admission decisions that depend on
+// the instantaneous depth. The batch path replays them one by one, so
+// rejects, drops, and forced drains must land on the same records —
+// the serialized state (which includes dropped/forced counters and
+// the live buffer) is compared byte-for-byte.
+TEST(BatchIdentity, CapAndBackpressureMatchSerialBytes) {
+  constexpr ReorderOverflowPolicy kPolicies[] = {
+      ReorderOverflowPolicy::kReject, ReorderOverflowPolicy::kDropOldest,
+      ReorderOverflowPolicy::kForceDrain};
+  StreamSpec spec;
+  spec.family = StreamFamily::kOutOfOrder;
+  spec.universe = 8;
+  spec.n = 320;
+  spec.seed = test::CaseSeed(7400);
+  spec.max_lateness = 6;
+  const auto records = Weighted(test::GenerateArrivals(spec));
+
+  for (ReorderOverflowPolicy policy : kPolicies) {
+    SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)));
+    BurstEngineOptions<Pbe1> options = EngineOptions(spec);
+    options.max_reorder_events = 4;  // small: the cap fires constantly
+    options.overflow_policy = policy;
+
+    const Engine1 serial = BuildSerial(options, records);
+    // The cap must actually bite for this sweep to mean anything.
+    if (policy == ReorderOverflowPolicy::kDropOldest) {
+      EXPECT_GT(serial.DroppedCount(), 0u);
+    }
+    const auto serial_bytes = Bytes(serial);
+    for (size_t batch_size :
+         {size_t{1}, size_t{7}, size_t{64}, records.size()}) {
+      EXPECT_EQ(Bytes(BuildBatched(options, records, batch_size)),
+                serial_bytes)
+          << "batch_size=" << batch_size;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bursthist

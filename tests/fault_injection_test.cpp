@@ -406,5 +406,163 @@ TEST_F(FaultMatrixTest, OutOfOrderCrashRecoveryMatchesUncrashed) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched appends meet the fault matrix. AppendBatch's abort contract:
+// a batch whose WAL tee fails applies NOTHING (all-or-nothing, applied
+// == 0); a batch refused by a per-record observer applies exactly the
+// observed prefix and reports it. Both must be deterministic, and the
+// directory must stay prefix-consistent through every injected fault.
+// ---------------------------------------------------------------------------
+
+std::vector<WeightedRecord> ToBatch(const std::vector<Record>& workload,
+                                    size_t begin, size_t end) {
+  std::vector<WeightedRecord> batch;
+  for (size_t i = begin; i < end; ++i) {
+    batch.push_back(WeightedRecord{workload[i].e, workload[i].t, 1});
+  }
+  return batch;
+}
+
+// A WAL fault mid-batch aborts the whole batch (nothing was logged, so
+// nothing may be ingested) and leaves the engine resubmittable: the
+// identical resubmit succeeds and the full history recovers.
+TEST_F(FaultMatrixTest, BatchAbortOnWalFaultIsAllOrNothing) {
+  const auto workload = Workload(24, 37);
+  FaultInjectionEnv faulty(base_);
+  auto durable = DurableBurstEngine1::Open(&faulty, dir_, SmallOptions());
+  ASSERT_TRUE(durable.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(durable.value()->Append(workload[i].e, workload[i].t).ok());
+  }
+  const auto batch = ToBatch(workload, 8, workload.size());
+
+  faulty.FailNthWrite(1);
+  size_t applied = 123;
+  const Status st = durable.value()->AppendBatch(batch, &applied);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(applied, 0u) << "batch tee failure must apply nothing";
+  EXPECT_EQ(durable.value()->engine().TotalCount(), 8u);
+
+  // Deterministic resubmit: the same span lands whole.
+  applied = 0;
+  ASSERT_TRUE(durable.value()->AppendBatch(batch, &applied).ok());
+  EXPECT_EQ(applied, batch.size());
+  ASSERT_TRUE(durable.value()->Sync().ok());
+
+  auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                         workload.size());
+  EXPECT_EQ(durable.value()->engine().TotalCount(), workload.size());
+}
+
+// ENOSPC and torn writes against a batched workload: the batch WAL
+// frame write is one buffer of many record frames, so a tear can land
+// mid-frame or between frames. Either way recovery must fall back to a
+// clean RECORD prefix — possibly mid-batch — never a torn one.
+TEST_F(FaultMatrixTest, BatchedWorkloadSurvivesEnospcAndTornWrites) {
+  constexpr size_t kBatch = 10;
+  const auto workload = Workload(60, 38);
+  const auto run = [&](Env* env) {
+    auto durable = DurableBurstEngine1::Open(env, dir_, SmallOptions());
+    if (!durable.ok()) return size_t{0};
+    size_t acked = 0;
+    for (size_t begin = 0; begin < workload.size(); begin += kBatch) {
+      if (begin == workload.size() / 2) {
+        if (!durable.value()->Checkpoint().ok()) return acked;
+      }
+      const auto batch = ToBatch(
+          workload, begin, std::min(begin + kBatch, workload.size()));
+      size_t applied = 0;
+      if (!durable.value()->AppendBatch(batch, &applied).ok()) {
+        EXPECT_EQ(applied, 0u);  // all-or-nothing, every time
+        return acked;
+      }
+      acked += applied;
+    }
+    (void)durable.value()->Sync();
+    return acked;
+  };
+
+  FaultInjectionEnv counter(base_);
+  run(&counter);
+  const uint64_t total_writes = counter.writes_issued();
+  ASSERT_GT(total_writes, 4u);
+  Clean();
+
+  // tear=0 is pure ENOSPC; 13 tears inside the first frame; 100 keeps
+  // whole frames plus a ragged tail of the batch buffer.
+  for (uint64_t n = 1; n <= total_writes; ++n) {
+    for (uint64_t tear : {uint64_t{0}, uint64_t{13}, uint64_t{100}}) {
+      SCOPED_TRACE("fail write " + std::to_string(n) + " tear " +
+                   std::to_string(tear));
+      FaultInjectionEnv faulty(base_);
+      faulty.FailNthWrite(n, tear);
+      run(&faulty);
+      auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+      if (recovered.ok()) {
+        ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                               workload.size());
+      } else {
+        EXPECT_FALSE(recovered.status().message().empty());
+      }
+      Clean();
+    }
+  }
+}
+
+// Engine-level abort contract, no WAL involved: a per-record observer
+// that refuses record k makes AppendBatch ingest exactly the k-record
+// prefix and report it — byte-identical to a reference fed that
+// prefix, on every run.
+TEST(BatchAbortTest, ObserverRefusalAppliesReportedPrefixDeterministically) {
+  const auto workload = Workload(12, 39);
+  const auto batch = ToBatch(workload, 0, workload.size());
+  std::vector<uint8_t> first_bytes;
+  for (int trial = 0; trial < 3; ++trial) {
+    BurstEngine1 engine(SmallOptions());
+    size_t calls = 0;
+    engine.set_append_observer([&calls](EventId, Timestamp, Count) {
+      return ++calls == 6 ? Status::IOError("injected refusal")
+                          : Status::OK();
+    });
+    size_t applied = 99;
+    const Status st = engine.AppendBatch(batch, &applied);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    ASSERT_EQ(applied, 5u);
+    EXPECT_EQ(engine.TotalCount(), 5u);
+
+    BurstEngine1 reference(SmallOptions());
+    for (size_t i = 0; i < applied; ++i) {
+      ASSERT_TRUE(reference.Append(workload[i].e, workload[i].t).ok());
+    }
+    EXPECT_EQ(Ser(engine), Ser(reference));
+    if (trial == 0) {
+      first_bytes = Ser(engine);
+    } else {
+      EXPECT_EQ(Ser(engine), first_bytes) << "abort point drifted";
+    }
+  }
+}
+
+// Engine-level batch-tee contract: a failing batch observer means
+// nothing was logged, so nothing may be ingested.
+TEST(BatchAbortTest, BatchObserverRefusalAppliesNothing) {
+  const auto workload = Workload(12, 40);
+  const auto batch = ToBatch(workload, 0, workload.size());
+  BurstEngine1 engine(SmallOptions());
+  engine.set_batch_append_observer(
+      [](std::span<const WeightedRecord>) {
+        return Status::IOError("tee down");
+      });
+  size_t applied = 99;
+  ASSERT_FALSE(engine.AppendBatch(batch, &applied).ok());
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(engine.TotalCount(), 0u);
+  EXPECT_EQ(Ser(engine), Ser(BurstEngine1(SmallOptions())));
+}
+
 }  // namespace
 }  // namespace bursthist

@@ -1,0 +1,140 @@
+// Fuzzes the batched wire-parser path the ingest server runs: a raw
+// byte stream is split into recv-sized chunks at fuzz-chosen
+// boundaries, reassembled by LineBuffer, parsed by ParseRequest, and
+// every run of consecutive ADD lines is applied as ONE AppendBatch
+// (with the server's resubmit-past-the-failure loop) against a second
+// engine fed per-record. Three invariants:
+//
+//  1. Line assembly is split-invariant: any chunking of the same
+//     bytes yields the same lines and the same terminal status.
+//  2. ParseRequest never crashes: clean Status or a valid request.
+//  3. Batch apply == serial apply: per-record statuses match and the
+//     finalized engines serialize to byte-identical state, exactly as
+//     the batch-identity test tier pins for well-formed streams —
+//     here under arbitrary adversarial input.
+//
+// Input layout: data[0] & 0x0F = number of split points, that many
+// bytes of split positions (scaled over the payload), rest = payload.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/pbe1.h"
+#include "fuzz_driver.h"
+#include "server/wire.h"
+#include "util/serialize.h"
+
+namespace {
+
+constexpr size_t kMaxLineBytes = 512;
+
+bursthist::BurstEngineOptions<bursthist::Pbe1> EngineOptions() {
+  bursthist::BurstEngineOptions<bursthist::Pbe1> o;
+  o.universe_size = 8;
+  o.grid.depth = 2;
+  o.grid.width = 4;
+  o.cell.buffer_points = 16;
+  o.cell.budget_points = 8;
+  o.heavy_hitter_capacity = 4;
+  return o;
+}
+
+std::vector<uint8_t> Bytes(const bursthist::BurstEngine<bursthist::Pbe1>& e) {
+  bursthist::BinaryWriter w;
+  e.Serialize(&w);
+  return w.TakeBytes();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace bursthist;
+  using server::LineBuffer;
+  using server::ParseRequest;
+  using server::Request;
+  using server::RequestType;
+  if (size < 1) return 0;
+
+  const size_t n_splits = data[0] & 0x0F;
+  if (size < 1 + n_splits) return 0;
+  const char* payload = reinterpret_cast<const char*>(data + 1 + n_splits);
+  const size_t payload_size = size - 1 - n_splits;
+
+  // Chunk boundaries: each split byte picks a position in the payload.
+  std::vector<size_t> cuts;
+  cuts.reserve(n_splits + 2);
+  cuts.push_back(0);
+  for (size_t i = 0; i < n_splits; ++i) {
+    if (payload_size > 0) cuts.push_back(data[1 + i] % payload_size);
+  }
+  cuts.push_back(payload_size);
+  std::sort(cuts.begin(), cuts.end());
+
+  // 1. Split-invariant line assembly: chunked feed vs one-shot feed.
+  //    The server closes the connection on a Feed error, so both
+  //    modes stop at the first failure.
+  std::vector<std::string> chunked_lines;
+  Status chunked_status = Status::OK();
+  {
+    LineBuffer buffer(kMaxLineBytes);
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      chunked_status = buffer.Feed(payload + cuts[i], cuts[i + 1] - cuts[i],
+                                   &chunked_lines);
+      if (!chunked_status.ok()) break;
+    }
+  }
+  std::vector<std::string> whole_lines;
+  LineBuffer whole_buffer(kMaxLineBytes);
+  const Status whole_status =
+      whole_buffer.Feed(payload, payload_size, &whole_lines);
+  BURSTHIST_FUZZ_REQUIRE(chunked_status.code() == whole_status.code());
+  BURSTHIST_FUZZ_REQUIRE(chunked_lines == whole_lines);
+
+  // 2. Parse every assembled line; collect the ADD records the
+  //    batched dispatcher would coalesce (runs end at any non-ADD).
+  std::vector<std::vector<WeightedRecord>> runs;
+  std::vector<WeightedRecord> run;
+  for (const std::string& line : whole_lines) {
+    if (line.empty()) continue;  // ServeConnection drops empty lines
+    auto parsed = ParseRequest(line);
+    if (!parsed.ok() || parsed.value().type != RequestType::kAdd) {
+      if (!run.empty()) runs.push_back(std::move(run));
+      run.clear();
+      continue;
+    }
+    const Request& req = parsed.value();
+    run.push_back(WeightedRecord{req.e, req.t, req.count});
+  }
+  if (!run.empty()) runs.push_back(std::move(run));
+
+  // 3. Batch apply (the server's resubmit loop) vs serial apply must
+  //    agree on every per-record status and on final engine bytes.
+  BurstEngine<Pbe1> batched(EngineOptions());
+  BurstEngine<Pbe1> serial(EngineOptions());
+  for (const auto& records : runs) {
+    std::vector<StatusCode> batch_codes(records.size(), StatusCode::kOk);
+    const std::span<const WeightedRecord> span(records);
+    size_t begin = 0;
+    while (begin < span.size()) {
+      size_t applied = 0;
+      const Status st = batched.AppendBatch(span.subspan(begin), &applied);
+      begin += applied;
+      if (st.ok()) break;
+      BURSTHIST_FUZZ_REQUIRE(begin < span.size());
+      batch_codes[begin] = st.code();
+      ++begin;
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      const WeightedRecord& r = records[i];
+      const Status st = serial.Append(r.id, r.time, r.count);
+      BURSTHIST_FUZZ_REQUIRE(st.code() == batch_codes[i]);
+    }
+  }
+  BURSTHIST_FUZZ_REQUIRE(Bytes(batched) == Bytes(serial));
+  return 0;
+}

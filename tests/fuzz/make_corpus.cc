@@ -10,6 +10,8 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -299,6 +301,41 @@ int main(int argc, char** argv) {
       }
     }
     ::rmdir(scratch.c_str());
+  }
+
+  // Wire: batched-parser inputs. Layout (see fuzz_wire.cc): one
+  // split-count byte, that many split-position bytes, then the raw
+  // byte stream a pipelining client would send.
+  {
+    const std::string dir = Subdir(root, "wire");
+    auto seed = [](size_t splits, std::initializer_list<uint8_t> cuts,
+                   const char* stream) {
+      std::vector<uint8_t> bytes;
+      bytes.push_back(static_cast<uint8_t>(splits));
+      for (uint8_t cut : cuts) bytes.push_back(cut);
+      const size_t len = std::strlen(stream);
+      for (size_t i = 0; i < len; ++i) {
+        bytes.push_back(static_cast<uint8_t>(stream[i]));
+      }
+      return bytes;
+    };
+    // A clean pipelined ADD burst, unsplit.
+    WriteCorpusFile(dir, "adds.bin",
+                    seed(0, {}, "ADD 0 5\nADD 0 5\nADD 1 6\nADD 2 6 3\n"));
+    // The same burst with recv boundaries through the middle of lines.
+    WriteCorpusFile(dir, "adds_split.bin",
+                    seed(3, {5, 13, 21},
+                         "ADD 0 5\nADD 0 5\nADD 1 6\nADD 2 6 3\n"));
+    // Refusals inside a batch: id out of range, time regression.
+    WriteCorpusFile(dir, "adds_refused.bin",
+                    seed(1, {9}, "ADD 0 9\nADD 99 9\nADD 1 4\nADD 1 9\n"));
+    // ADD runs broken by other verbs and parse errors.
+    WriteCorpusFile(
+        dir, "mixed.bin",
+        seed(2, {7, 19}, "ADD 0 5\nPING\nADD 1 6\nADD x y\nQUIT\nADD 2 7\n"));
+    // CRLF line endings and a trailing partial line.
+    WriteCorpusFile(dir, "crlf_partial.bin",
+                    seed(1, {6}, "ADD 3 5\r\nADD 3 6\r\nADD 3"));
   }
 
   // CSV: valid text, comment/blank-line dialect, and a malformed line.

@@ -377,6 +377,34 @@ TEST(SegmentParallelTest, EngineStaysLiveAfterParallelBulkLoad) {
   EXPECT_EQ(Bytes(parallel), Bytes(serial));
 }
 
+TEST(SegmentParallelTest, BatchedAppendMatchesParallelBulkLoad) {
+  const EventId k = 48;
+  auto stream = RandomMix(k, 18000, 53);
+  const auto& records = stream.records();
+
+  // Segment-parallel bulk build (8 threads) on one side...
+  BurstEngine1 parallel(EngineOptions(k, 8));
+  ASSERT_TRUE(parallel.AppendStream(stream).ok());
+  parallel.Finalize();
+
+  // ...chunked AppendBatch spans on the other: both funnel into the
+  // same lossless cells, so the bytes must agree exactly.
+  for (size_t batch_size : {size_t{1}, size_t{257}, records.size()}) {
+    BurstEngine1 batched(EngineOptions(k, 1));
+    std::vector<WeightedRecord> chunk;
+    for (size_t begin = 0; begin < records.size(); begin += batch_size) {
+      const size_t end = std::min(begin + batch_size, records.size());
+      chunk.clear();
+      for (size_t i = begin; i < end; ++i) {
+        chunk.push_back(WeightedRecord{records[i].id, records[i].time, 1});
+      }
+      ASSERT_TRUE(batched.AppendBatch(chunk).ok());
+    }
+    batched.Finalize();
+    EXPECT_EQ(Bytes(batched), Bytes(parallel)) << "batch_size=" << batch_size;
+  }
+}
+
 TEST(SegmentParallelTest, EngineValidatesBeforeBulkLoad) {
   BurstEngine1 engine(EngineOptions(8, 4));
   EventStream bad;

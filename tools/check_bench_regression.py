@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate the batched-ingest speedup against the committed baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json
+
+Both files are produced by `micro_throughput --bench_ingest_json=PATH`.
+Wall-clock events/s differ across machines, so the gated quantity is
+the SPEEDUP (batched events/s divided by per-event events/s measured in
+the same run), which is stable enough to compare against a baseline
+recorded on a different box. Two checks:
+
+  1. Regression: for every workload and batch size present in the
+     baseline, the current speedup must be at least 85% of the baseline
+     speedup (a >15% relative regression fails).
+  2. Floor: on the "bursty" workload — the one the batch path is built
+     for — every batch size >= 64 must keep an absolute speedup >= 3x.
+
+Exit status 0 when every check passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 0.85
+FLOOR_WORKLOAD = "bursty"
+FLOOR_MIN_BATCH = 64
+FLOOR_SPEEDUP = 3.0
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["workloads"]
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    current = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    failures = []
+    print(f"{'workload':<18} {'batch':>6} {'current':>9} {'baseline':>9} "
+          f"{'min ok':>7}")
+    for workload, base in sorted(baseline.items()):
+        cur = current.get(workload)
+        if cur is None:
+            failures.append(f"workload {workload!r} missing from current run")
+            continue
+        for batch, base_entry in sorted(base["batch"].items(),
+                                        key=lambda kv: int(kv[0])):
+            cur_entry = cur["batch"].get(batch)
+            if cur_entry is None:
+                failures.append(
+                    f"{workload} batch={batch} missing from current run")
+                continue
+            cur_speedup = cur_entry["speedup"]
+            base_speedup = base_entry["speedup"]
+            need = base_speedup * REGRESSION_FACTOR
+            if (workload == FLOOR_WORKLOAD
+                    and int(batch) >= FLOOR_MIN_BATCH):
+                need = max(need, FLOOR_SPEEDUP)
+            mark = "" if cur_speedup >= need else "  <-- FAIL"
+            print(f"{workload:<18} {batch:>6} {cur_speedup:>8.2f}x "
+                  f"{base_speedup:>8.2f}x {need:>6.2f}x{mark}")
+            if cur_speedup < need:
+                failures.append(
+                    f"{workload} batch={batch}: speedup {cur_speedup:.2f}x "
+                    f"below required {need:.2f}x "
+                    f"(baseline {base_speedup:.2f}x)")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("\nbench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
