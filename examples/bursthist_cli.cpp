@@ -29,10 +29,12 @@
 
 #include "core/burst_engine.h"
 #include "core/sketch_store.h"
+#include "fault/crashpoint.h"
 #include "gen/scenarios.h"
 #include "governor/resource_governor.h"
 #include "obs/metrics.h"
 #include "recovery/durable_engine.h"
+#include "recovery/scrub.h"
 #include "replication/replica_engine.h"
 #include "replication/wal_shipper.h"
 #include "server/ingest_server.h"
@@ -175,6 +177,7 @@ int Usage() {
       "  bursthist_cli point  <sketch> <event> <t> <tau>\n"
       "  bursthist_cli times  <sketch> <event> <theta> <tau>\n"
       "  bursthist_cli events <sketch> <t> <theta> <tau>\n"
+      "  bursthist_cli scrub  <dir> [--no-quarantine]\n"
       "  bursthist_cli store-list   <dir>\n"
       "  bursthist_cli store-save   <dir> <name> <events.csv> <K> [gamma]\n"
       "  bursthist_cli store-topk   <dir> <name> <t> <k> <tau>\n"
@@ -314,9 +317,18 @@ int ServeWith(const ServeConfig& cfg) {
   server.Stop();
   shipper.Stop();
   if (replica != nullptr) replica->Stop();
+  // The final checkpoint is an optimization, not a durability
+  // barrier: every acknowledged record is already in the WAL, so a
+  // crash (or injected fault) anywhere inside Checkpoint() leaves a
+  // directory the next start recovers by WAL replay. But a FAILED
+  // checkpoint is still a failed shutdown step the operator must see
+  // — exit nonzero instead of burying it in a log line.
   if (Status st = owned->Checkpoint(); !st.ok()) {
-    std::fprintf(stderr, "final checkpoint failed: %s\n",
+    std::fprintf(stderr,
+                 "final checkpoint failed (WAL replay will recover on next "
+                 "start): %s\n",
                  st.message().c_str());
+    return 1;
   }
   std::printf("stopped\n");
   return 0;
@@ -392,6 +404,16 @@ int SelfTest() {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifndef BURSTHIST_NO_FAULT
+  // Honor BURSTHIST_CRASHPOINTS so the torture harness can schedule
+  // faults inside a real served process. Compiles out (along with
+  // every crashpoint) under -DBURSTHIST_NO_FAULT=ON.
+  if (Status st = fault::FaultScheduler::Global().LoadFromEnv(); !st.ok()) {
+    std::fprintf(stderr, "bad BURSTHIST_CRASHPOINTS: %s\n",
+                 st.message().c_str());
+    return 2;
+  }
+#endif
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
 
@@ -473,6 +495,37 @@ int main(int argc, char** argv) {
       }
       return 0;
     });
+  }
+
+  if (cmd == "scrub" && (argc == 3 || argc == 4)) {
+    ScrubOptions opts;
+    if (argc == 4) {
+      if (std::string(argv[3]) != "--no-quarantine") return Usage();
+      opts.quarantine = false;
+    }
+    auto report = ScrubDurableDir(Env::Default(), argv[2], opts);
+    if (!report.ok()) return Fail(report.status());
+    const ScrubReport& r = report.value();
+    std::printf(
+        "scrubbed %llu WAL segments (%llu records), %llu snapshots\n",
+        static_cast<unsigned long long>(r.wal_segments_checked),
+        static_cast<unsigned long long>(r.wal_records_checked),
+        static_cast<unsigned long long>(r.snapshots_checked));
+    if (r.tail_torn) {
+      std::printf("newest segment ends in a torn tail (crash remnant; "
+                  "recovery handles it)\n");
+    }
+    for (const auto& issue : r.issues) {
+      std::printf("CORRUPT %s%s: %s\n", issue.file.c_str(),
+                  issue.quarantined ? " (quarantined)" : "",
+                  issue.detail.c_str());
+    }
+    if (r.quarantined_present > 0) {
+      std::printf("%llu quarantined file(s) in directory\n",
+                  static_cast<unsigned long long>(r.quarantined_present));
+    }
+    std::printf(r.clean() ? "clean\n" : "corruption found\n");
+    return r.clean() ? 0 : 3;
   }
 
   if (cmd == "store-list" && argc == 3) {

@@ -1,0 +1,167 @@
+#include "fault/crashpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace bursthist {
+namespace fault {
+
+std::atomic<bool> FaultScheduler::armed_flag_{false};
+
+FaultScheduler& FaultScheduler::Global() {
+  static FaultScheduler* instance = new FaultScheduler();
+  return *instance;
+}
+
+void FaultScheduler::RecomputeArmed() {
+  armed_flag_.store(!rules_.empty() || trace_, std::memory_order_relaxed);
+}
+
+void FaultScheduler::Arm(const std::string& site, FaultAction action,
+                         uint64_t hit, int delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[site] = FaultRule{action, hit < 1 ? 1 : hit, delay_ms};
+  hits_[site] = 0;
+  RecomputeArmed();
+}
+
+namespace {
+
+// One rule out of "site=action[:ms][@hit]".
+Status ParseRule(const std::string& rule, std::string* site,
+                 FaultRule* parsed) {
+  const size_t eq = rule.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("crashpoint rule missing 'site=': " + rule);
+  }
+  *site = rule.substr(0, eq);
+  std::string action = rule.substr(eq + 1);
+  parsed->hit = 1;
+  parsed->delay_ms = 0;
+  const size_t at = action.rfind('@');
+  if (at != std::string::npos) {
+    const std::string count = action.substr(at + 1);
+    char* end = nullptr;
+    parsed->hit = std::strtoull(count.c_str(), &end, 10);
+    if (count.empty() || end == nullptr || *end != '\0' || parsed->hit < 1) {
+      return Status::InvalidArgument("bad crashpoint hit count: " + rule);
+    }
+    action = action.substr(0, at);
+  }
+  const size_t colon = action.find(':');
+  std::string arg;
+  if (colon != std::string::npos) {
+    arg = action.substr(colon + 1);
+    action = action.substr(0, colon);
+  }
+  if (action == "kill") {
+    parsed->action = FaultAction::kKill;
+  } else if (action == "error") {
+    parsed->action = FaultAction::kError;
+  } else if (action == "delay") {
+    parsed->action = FaultAction::kDelay;
+    char* end = nullptr;
+    parsed->delay_ms = static_cast<int>(std::strtol(arg.c_str(), &end, 10));
+    if (arg.empty() || end == nullptr || *end != '\0' || parsed->delay_ms < 0) {
+      return Status::InvalidArgument("bad crashpoint delay: " + rule);
+    }
+  } else {
+    return Status::InvalidArgument("unknown crashpoint action: " + rule);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultScheduler::LoadSchedule(const std::string& spec) {
+  std::vector<std::pair<std::string, FaultRule>> parsed;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string rule = spec.substr(begin, end - begin);
+    if (!rule.empty()) {
+      std::string site;
+      FaultRule fr;
+      BURSTHIST_RETURN_IF_ERROR(ParseRule(rule, &site, &fr));
+      parsed.emplace_back(std::move(site), fr);
+    }
+    begin = end + 1;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, fr] : parsed) {
+    rules_[site] = fr;
+    hits_[site] = 0;
+  }
+  RecomputeArmed();
+  return Status::OK();
+}
+
+Status FaultScheduler::LoadFromEnv() {
+  const char* spec = std::getenv("BURSTHIST_CRASHPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return LoadSchedule(spec);
+}
+
+void FaultScheduler::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  hits_.clear();
+  trace_ = false;
+  RecomputeArmed();
+}
+
+void FaultScheduler::EnableTrace(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = on;
+  RecomputeArmed();
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultScheduler::ReachedSites() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_.begin(), hits_.end()};
+}
+
+uint64_t FaultScheduler::HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+Status FaultScheduler::Hit(const char* site) {
+  FaultRule fired;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t count = ++hits_[site];
+    auto it = rules_.find(site);
+    if (it != rules_.end() && count == it->second.hit) {
+      fired = it->second;
+      fire = true;
+    }
+  }
+  if (!fire) return Status::OK();
+  switch (fired.action) {
+    case FaultAction::kKill:
+      // The whole point: no destructors, no buffered-write flush, no
+      // atexit — the death a power cut or OOM kill delivers. _exit is
+      // the unreachable backstop.
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(137);
+    case FaultAction::kError:
+      return Status::IOError(std::string("crashpoint fault injected at ") +
+                             site);
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fired.delay_ms));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace fault
+}  // namespace bursthist

@@ -186,7 +186,17 @@
     "1 while the replica holds a live connection to its leader.")             \
   M(Gauge, ReplLag, "bursthist_repl_lag",                                     \
     "Replication lag in stream-time units: leader watermark minus "           \
-    "applied watermark.")
+    "applied watermark.")                                                     \
+  /* ---- integrity scrubber ---- */                                          \
+  M(Counter, ScrubRunsTotal, "bursthist_scrub_runs_total",                    \
+    "Integrity scrub passes over a durable directory.")                       \
+  M(Counter, ScrubRecordsCheckedTotal,                                        \
+    "bursthist_scrub_records_checked_total",                                  \
+    "WAL records whose checksums a scrub pass re-validated.")                 \
+  M(Counter, ScrubCorruptFilesTotal, "bursthist_scrub_corrupt_files_total",   \
+    "Corrupt WAL segments or snapshots detected by scrub passes.")            \
+  M(Gauge, ScrubQuarantinedFiles, "bursthist_scrub_quarantined_files",        \
+    "Quarantined (.quarantined) files present after the last scrub.")
 // clang-format on
 
 namespace bursthist {

@@ -48,6 +48,8 @@
 #include <vector>
 
 #include "core/burst_engine.h"
+#include "fault/crashpoint.h"
+#include "recovery/scrub.h"
 #include "recovery/snapshot.h"
 #include "recovery/wal.h"
 #include "util/env.h"
@@ -172,6 +174,14 @@ struct RecoveredState {
   /// from the snapshot trailer plus any replayed kReplicated records.
   /// {0, 0} when the directory never acted as a follower.
   WalPosition replicated_through;
+  /// Replay discarded a torn tail after wal_end (crash remnant). The
+  /// torn bytes live in segment wal_end.seq; a writer must dispose of
+  /// them before the NEXT recovery, which would see that segment as
+  /// non-final and call the same tail corruption.
+  bool wal_tail_torn = false;
+  /// Replay stopped at a scrubber-quarantined segment: records past
+  /// the hole exist on disk but were not applied.
+  bool stopped_at_quarantine = false;
 };
 
 /// Loads one snapshot generation (or the empty baseline when
@@ -228,6 +238,8 @@ Result<RecoveredState<PbeT>> TryRecoverFrom(
       });
   if (!replay.ok()) return replay.status();
   state.wal_end = replay.value().end;
+  state.wal_tail_torn = replay.value().tail_torn;
+  state.stopped_at_quarantine = replay.value().stopped_at_quarantine;
   return state;
 }
 
@@ -292,6 +304,34 @@ class DurableBurstEngine {
     recovery_internal::RecoveredState<PbeT> state =
         std::move(state_or).value();
 
+    // Dispose of the crash remnants recovery skipped over, so the
+    // NEXT recovery never re-encounters them as mid-log corruption:
+    //  * segments past wal_end.seq hold nothing recovery applied —
+    //    they can only be empty rotation leftovers (a crash between
+    //    opening a fresh segment and writing to it) or, when the tail
+    //    was torn, do not exist at all — delete them;
+    //  * a torn tail inside segment wal_end.seq would read as hard
+    //    corruption once a later segment exists (the segment stops
+    //    being final) — truncate it back to the last good record.
+    // When replay stopped at a quarantined hole, leave everything in
+    // place: the operator may restore the quarantined segment, and the
+    // files past it are real history, not remnants.
+    if (!state.stopped_at_quarantine) {
+      auto seqs = ListWalSegments(env, dir);
+      if (!seqs.ok()) return seqs.status();
+      for (uint64_t seq : seqs.value()) {
+        if (seq > state.wal_end.seq) {
+          BURSTHIST_RETURN_IF_ERROR(
+              env->DeleteFile(WalSegmentPath(dir, seq)));
+        }
+      }
+      if (state.wal_tail_torn &&
+          env->FileExists(WalSegmentPath(dir, state.wal_end.seq))) {
+        BURSTHIST_RETURN_IF_ERROR(env->TruncateFile(
+            WalSegmentPath(dir, state.wal_end.seq), state.wal_end.offset));
+      }
+    }
+
     WalWriter::Options wal_options;
     wal_options.segment_bytes = durability.wal_segment_bytes;
     wal_options.sync_every_record = durability.sync_every_append;
@@ -311,6 +351,14 @@ class DurableBurstEngine {
                                std::move(wal).value()));
     out->generation_ = state.latest_generation;
     out->replicated_through_ = state.replicated_through;
+    if (state.stopped_at_quarantine) {
+      // Writes would land in segments PAST the quarantined hole, where
+      // the next replay could never reach them. Re-anchor immediately:
+      // a fresh snapshot covering the recovered prefix makes the new
+      // segment the replay start, and the hole drops out of the live
+      // history (the quarantined file stays on disk for forensics).
+      BURSTHIST_RETURN_IF_ERROR(out->Checkpoint());
+    }
     return out;
   }
 
@@ -346,7 +394,13 @@ class DurableBurstEngine {
     pending_source_ = &source;
     Status st = engine_.Append(e, t, count);
     pending_source_ = nullptr;
-    if (st.ok()) replicated_through_ = source;
+    if (st.ok()) {
+      // Past this point the record is logged AND ingested; a crash
+      // here tests that the in-frame position stamp (not the volatile
+      // watermark below) is what recovery trusts.
+      BURSTHIST_CRASHPOINT("repl.apply.post_record");
+      replicated_through_ = source;
+    }
     return st;
   }
 
@@ -374,6 +428,7 @@ class DurableBurstEngine {
     engine_ = std::move(fresh);
     InstallTee();
     replicated_through_ = source;
+    BURSTHIST_CRASHPOINT("repl.install.pre_checkpoint");
     return Checkpoint();
   }
 
@@ -396,16 +451,30 @@ class DurableBurstEngine {
       // unknowable once an fsync failed.
       return Status::Unavailable("engine is read-only after fsync failure");
     }
+    BURSTHIST_CRASHPOINT("checkpoint.pre_rotate");
     BURSTHIST_RETURN_IF_ERROR(wal_->Rotate());
     const WalPosition covered = wal_->position();
+    BURSTHIST_CRASHPOINT("checkpoint.mid");
     BinaryWriter w;
     engine_.Serialize(&w);
     recovery_internal::AppendReplicaMeta(&w, replicated_through_);
     BURSTHIST_RETURN_IF_ERROR(
         WriteSnapshotFile(env_, dir_, generation_ + 1, covered, w.bytes()));
+    BURSTHIST_CRASHPOINT("checkpoint.post_snapshot");
     ++generation_;
     PruneObsoleteFiles();
     return Status::OK();
+  }
+
+  /// Walks every WAL segment and snapshot in the directory,
+  /// re-validating all checksums, and (by default) quarantines corrupt
+  /// files by renaming them aside — see recovery/scrub.h. Safe to run
+  /// against the live engine: the writer's current segment is skipped
+  /// (its tail is legitimately in flight).
+  Result<ScrubReport> Scrub(const ScrubOptions& opts = ScrubOptions()) {
+    ScrubOptions o = opts;
+    o.skip_wal_seq = wal_->position().seq;
+    return ScrubDurableDir(env_, dir_, o);
   }
 
   /// The recovered/live engine. Queries go straight through; do not

@@ -64,6 +64,16 @@ class FaultInjectionEnv : public Env {
     sync_fault_fired_ = false;
   }
 
+  /// Arms a one-shot directory-fsync fault: the `n`th SyncDir issued
+  /// through this env (1-based) returns kIOError. Models the
+  /// metadata-durability gap — data files land but the directory
+  /// entry's persistence is unconfirmed.
+  void FailNthDirSync(uint64_t n) {
+    dir_sync_fail_at_ = n;
+    dir_syncs_issued_ = 0;
+    dir_sync_fault_fired_ = false;
+  }
+
   /// Called on every write issued through this env, before the fault
   /// check — a seam for injecting latency (slow-disk simulation) or
   /// recording IO traces.
@@ -78,15 +88,21 @@ class FaultInjectionEnv : public Env {
   void SetMemoryPressure(size_t bytes) { memory_pressure_ = bytes; }
   size_t memory_pressure() const { return memory_pressure_; }
 
-  /// Disarms any pending fault (one-shot, transient, and sync).
+  /// Disarms any pending fault (one-shot, transient, sync, and
+  /// dir-sync).
   void Disarm() {
     fail_at_write_ = 0;
     transient_fail_remaining_ = 0;
     sync_fail_at_ = 0;
+    dir_sync_fail_at_ = 0;
   }
 
   /// Writes issued through this env since the last FailNthWrite().
   uint64_t writes_issued() const { return writes_issued_; }
+
+  /// Directory fsyncs issued through this env since the last
+  /// FailNthDirSync().
+  uint64_t dir_syncs_issued() const { return dir_syncs_issued_; }
 
   /// True once the armed fault has triggered.
   bool fault_fired() const { return fault_fired_; }
@@ -118,6 +134,12 @@ class FaultInjectionEnv : public Env {
     return base_->TruncateFile(path, size);
   }
   Status SyncDir(const std::string& dir) override {
+    ++dir_syncs_issued_;
+    if (dir_sync_fail_at_ != 0 && !dir_sync_fault_fired_ &&
+        dir_syncs_issued_ == dir_sync_fail_at_) {
+      dir_sync_fault_fired_ = true;
+      return Status::IOError("injected fault: directory fsync failed");
+    }
     return base_->SyncDir(dir);
   }
 
@@ -140,6 +162,9 @@ class FaultInjectionEnv : public Env {
   uint64_t sync_fail_at_ = 0;    // 0 = disarmed
   uint64_t syncs_issued_ = 0;
   bool sync_fault_fired_ = false;
+  uint64_t dir_sync_fail_at_ = 0;  // 0 = disarmed
+  uint64_t dir_syncs_issued_ = 0;
+  bool dir_sync_fault_fired_ = false;
   size_t memory_pressure_ = 0;
   std::function<void()> write_observer_;
 };

@@ -1,0 +1,110 @@
+#include "recovery/scrub.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fault/crashpoint.h"
+#include "obs/metrics.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+
+namespace bursthist {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+Result<ScrubReport> ScrubDurableDir(Env* env, const std::string& dir,
+                                    const ScrubOptions& opts) {
+  BURSTHIST_COUNTER(m_runs, obs::kScrubRunsTotal);
+  BURSTHIST_COUNTER(m_records, obs::kScrubRecordsCheckedTotal);
+  BURSTHIST_COUNTER(m_corrupt, obs::kScrubCorruptFilesTotal);
+  BURSTHIST_GAUGE(m_quarantined, obs::kScrubQuarantinedFiles);
+
+  ScrubReport report;
+
+  auto names_or = env->ListDir(dir);
+  if (!names_or.ok()) return names_or.status();
+  for (const std::string& name : names_or.value()) {
+    if (EndsWith(name, kQuarantineSuffix)) ++report.quarantined_present;
+  }
+
+  // Records a corrupt file and (by default) renames it aside. Only a
+  // failing RENAME propagates as an error — detection itself never
+  // aborts the pass.
+  auto condemn = [&](const std::string& name,
+                     const std::string& detail) -> Status {
+    ScrubIssue issue{name, detail, false};
+    ++report.corrupt_files;
+    m_corrupt.Inc();
+    if (opts.quarantine) {
+      BURSTHIST_CRASHPOINT("scrub.pre_quarantine");
+      const std::string from = dir + "/" + name;
+      Status s = env->RenameFile(from, from + kQuarantineSuffix);
+      if (s.ok()) s = env->SyncDir(dir);
+      if (!s.ok()) {
+        report.issues.push_back(std::move(issue));
+        return Status::IOError("quarantine of " + name +
+                               " failed: " + s.message());
+      }
+      issue.quarantined = true;
+      ++report.quarantined_now;
+      ++report.quarantined_present;
+    }
+    report.issues.push_back(std::move(issue));
+    return Status::OK();
+  };
+
+  auto seqs_or = ListWalSegments(env, dir);
+  if (!seqs_or.ok()) return seqs_or.status();
+  const std::vector<uint64_t>& seqs = seqs_or.value();
+  for (uint64_t seq : seqs) {
+    if (opts.skip_wal_seq != 0 && seq == opts.skip_wal_seq) continue;
+    // Only the globally-newest segment may legitimately end torn (the
+    // ordinary crash remnant); the same damage anywhere else means a
+    // non-final segment lost bytes, which replay would refuse.
+    const bool allow_torn = seq == seqs.back();
+    auto check = CheckWalSegment(env, dir, seq, allow_torn);
+    ++report.wal_segments_checked;
+    if (check.ok()) {
+      report.wal_records_checked += check.value().records;
+      m_records.Inc(check.value().records);
+      if (check.value().tail_torn) report.tail_torn = true;
+      continue;
+    }
+    if (check.status().code() != StatusCode::kCorruption) {
+      return check.status();  // environmental: unreadable file, etc.
+    }
+    BURSTHIST_RETURN_IF_ERROR(
+        condemn(BaseName(WalSegmentPath(dir, seq)), check.status().message()));
+  }
+
+  auto gens_or = ListSnapshots(env, dir);
+  if (!gens_or.ok()) return gens_or.status();
+  for (uint64_t gen : gens_or.value()) {
+    auto snap = ReadSnapshotFile(env, dir, gen);
+    ++report.snapshots_checked;
+    if (snap.ok()) continue;
+    if (snap.status().code() != StatusCode::kCorruption) {
+      return snap.status();
+    }
+    BURSTHIST_RETURN_IF_ERROR(
+        condemn(BaseName(SnapshotPath(dir, gen)), snap.status().message()));
+  }
+
+  m_runs.Inc();
+  m_quarantined.Set(static_cast<double>(report.quarantined_present));
+  return report;
+}
+
+}  // namespace bursthist

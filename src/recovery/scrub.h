@@ -1,0 +1,86 @@
+// On-disk integrity scrubbing for a durable engine directory.
+//
+// A scrub pass walks every WAL segment and snapshot file in the
+// directory and re-validates all of it — segment headers, per-record
+// frame checksums, snapshot trailers — the same checks recovery would
+// apply, but proactively and without loading an engine. Latent media
+// corruption (bit rot, a partial overwrite by a buggy tool) is found
+// while the redundancy to survive it still exists, instead of at the
+// worst possible moment: the next crash recovery.
+//
+// Disposition of a corrupt file: quarantine by rename, appending
+// kQuarantineSuffix (recovery/wal.h). The bytes stay on disk for
+// forensics and possible manual repair, but stop participating in
+// recovery. Replay treats a quarantined WAL segment as a hard stop —
+// it recovers the last contiguous good prefix and never skips the
+// hole (records past it would be causally detached) — and snapshot
+// selection simply no longer sees a quarantined generation, falling
+// back to the next older one.
+//
+// The only tolerated damage is a torn tail on the globally-newest WAL
+// segment, which is the ordinary remnant of a crash mid-append, not
+// corruption. On a live engine the writer's current segment is
+// skipped entirely (its tail is legitimately in flight) — see
+// DurableBurstEngine::Scrub().
+
+#ifndef BURSTHIST_RECOVERY_SCRUB_H_
+#define BURSTHIST_RECOVERY_SCRUB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/status.h"
+
+namespace bursthist {
+
+struct ScrubOptions {
+  /// Rename corrupt files aside (append kQuarantineSuffix). When
+  /// false the pass only detects and reports.
+  bool quarantine = true;
+  /// WAL segment to skip: the live writer's current segment, whose
+  /// tail is legitimately mid-write. 0 = scrub everything (the
+  /// offline/CLI case — segment 0 never exists).
+  uint64_t skip_wal_seq = 0;
+};
+
+/// One corrupt file found by a pass.
+struct ScrubIssue {
+  /// File name within the directory (not a path).
+  std::string file;
+  /// What failed, e.g. "WAL record checksum mismatch".
+  std::string detail;
+  /// The file was renamed aside by THIS pass.
+  bool quarantined = false;
+};
+
+struct ScrubReport {
+  uint64_t wal_segments_checked = 0;
+  uint64_t wal_records_checked = 0;
+  uint64_t snapshots_checked = 0;
+  /// Corrupt files found by this pass (== issues.size()).
+  uint64_t corrupt_files = 0;
+  /// Files this pass renamed aside.
+  uint64_t quarantined_now = 0;
+  /// Quarantined files present in the directory after the pass,
+  /// including ones from earlier passes.
+  uint64_t quarantined_present = 0;
+  /// The newest WAL segment ends in a torn tail (expected crash
+  /// remnant — informational, not corruption).
+  bool tail_torn = false;
+  std::vector<ScrubIssue> issues;
+
+  bool clean() const { return corrupt_files == 0; }
+};
+
+/// Scrubs one durable directory. Never aborts on corruption — every
+/// file is visited and every finding lands in the report; the return
+/// status is non-OK only for environmental failures (the directory
+/// itself unreadable, a quarantine rename failing).
+Result<ScrubReport> ScrubDurableDir(Env* env, const std::string& dir,
+                                    const ScrubOptions& opts = ScrubOptions());
+
+}  // namespace bursthist
+
+#endif  // BURSTHIST_RECOVERY_SCRUB_H_

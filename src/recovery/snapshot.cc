@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fault/crashpoint.h"
 #include "obs/metrics.h"
 #include "util/crc32c.h"
 #include "util/serialize.h"
@@ -65,9 +66,18 @@ Status WriteSnapshotFile(Env* env, const std::string& dir,
   auto file = env->NewWritableFile(tmp);
   if (!file.ok()) return file.status();
   Status s = file.value()->Append(w.bytes());
-  if (s.ok()) s = file.value()->Sync();
-  if (s.ok()) s = file.value()->Close();
-  if (s.ok()) s = env->RenameFile(tmp, SnapshotPath(dir, generation));
+  if (s.ok()) {
+    BURSTHIST_CRASHPOINT("snapshot.post_tmp_write");
+    s = file.value()->Sync();
+  }
+  if (s.ok()) {
+    BURSTHIST_CRASHPOINT("snapshot.post_tmp_fsync");
+    s = file.value()->Close();
+  }
+  if (s.ok()) {
+    BURSTHIST_CRASHPOINT("snapshot.pre_rename");
+    s = env->RenameFile(tmp, SnapshotPath(dir, generation));
+  }
   if (!s.ok()) {
     // A failed write (typically ENOSPC) must not strand the
     // half-written temp file: it squats on the very disk space the
@@ -76,6 +86,7 @@ Status WriteSnapshotFile(Env* env, const std::string& dir,
     (void)env->DeleteFile(tmp);
     return s;
   }
+  BURSTHIST_CRASHPOINT("snapshot.pre_dir_fsync");
   BURSTHIST_RETURN_IF_ERROR(env->SyncDir(dir));
   m_writes.Inc();
   m_bytes.Set(static_cast<double>(w.size()));

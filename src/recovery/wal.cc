@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fault/crashpoint.h"
 #include "obs/metrics.h"
 #include "util/crc32c.h"
 #include "util/serialize.h"
@@ -72,6 +73,17 @@ Status WalWriter::OpenSegment(uint64_t seq) {
   header.Put<uint32_t>(kWalVersion);
   header.Put<uint64_t>(seq);
   BURSTHIST_RETURN_IF_ERROR(file_->Append(header.bytes()));
+  BURSTHIST_CRASHPOINT("wal.segment.pre_dir_sync");
+  // The segment's directory entry must itself be durable: without
+  // this, power loss after a rotation can forget the new file while
+  // keeping a snapshot that claims coverage past it.
+  if (Status s = env_->SyncDir(dir_); !s.ok()) {
+    // Whether the entry reached disk is now unknowable — the same
+    // class of failure as a data fsync, handled the same way.
+    poisoned_ = true;
+    return Status::Unavailable("WAL directory fsync failed, read-only: " +
+                               s.message());
+  }
   position_ = WalPosition{seq, kWalHeaderSize};
   return Status::OK();
 }
@@ -98,6 +110,7 @@ Status WalWriter::AddRecord(WalRecordType type,
   for (uint8_t b : payload) frame.Put<uint8_t>(b);
   frame.Patch<uint32_t>(
       4, FrameCrc(frame.data() + body_begin, frame.size() - body_begin));
+  BURSTHIST_CRASHPOINT("wal.append.pre_write");
   Status append = file_->Append(frame.bytes());
   for (uint32_t attempt = 1; !append.ok() && attempt <= options_.append_retries;
        ++attempt) {
@@ -110,6 +123,7 @@ Status WalWriter::AddRecord(WalRecordType type,
     append = file_->Append(frame.bytes());
   }
   BURSTHIST_RETURN_IF_ERROR(append);
+  BURSTHIST_CRASHPOINT("wal.append.post_write");
   position_.offset += frame_size;
   if (options_.sync_every_record) {
     BURSTHIST_RETURN_IF_ERROR(Sync());
@@ -158,6 +172,7 @@ Status WalWriter::AddRecordBatch(WalRecordType type, const uint8_t* payloads,
     append = file_->Append(frames.bytes());
   }
   BURSTHIST_RETURN_IF_ERROR(append);
+  BURSTHIST_CRASHPOINT("wal.batch.post_write");
   position_.offset += total_size;
   if (options_.sync_every_record) {
     BURSTHIST_RETURN_IF_ERROR(Sync());
@@ -195,6 +210,7 @@ Status WalWriter::Rotate() {
   obs::TraceSpan span(m_lat, "wal_rotate");
   BURSTHIST_RETURN_IF_ERROR(Sync());
   BURSTHIST_RETURN_IF_ERROR(file_->Close());
+  BURSTHIST_CRASHPOINT("wal.rotate.pre_open");
   BURSTHIST_RETURN_IF_ERROR(OpenSegment(position_.seq + 1));
   m_rotations.Inc();
   return Status::OK();
@@ -206,6 +222,65 @@ Status WalWriter::ReopenCleanSegment() {
       env_->TruncateFile(WalSegmentPath(dir_, position_.seq),
                          position_.offset));
   return OpenSegment(position_.seq + 1);
+}
+
+Result<WalSegmentCheck> CheckWalSegment(Env* env, const std::string& dir,
+                                        uint64_t seq, bool allow_torn_tail) {
+  auto bytes_or = env->ReadFileBytes(WalSegmentPath(dir, seq));
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::vector<uint8_t>& bytes = bytes_or.value();
+
+  WalSegmentCheck check;
+  auto torn_or = [&](const char* what) -> Result<WalSegmentCheck> {
+    if (allow_torn_tail) {
+      check.tail_torn = true;
+      return check;
+    }
+    return Status::Corruption(what);
+  };
+
+  if (bytes.size() < kWalHeaderSize) {
+    return torn_or("short WAL header");
+  }
+  BinaryReader header(bytes.data(), bytes.size());
+  uint32_t magic = 0, version = 0;
+  uint64_t header_seq = 0;
+  BURSTHIST_RETURN_IF_ERROR(header.Get(&magic));
+  BURSTHIST_RETURN_IF_ERROR(header.Get(&version));
+  BURSTHIST_RETURN_IF_ERROR(header.Get(&header_seq));
+  if (magic != kWalMagic) return Status::Corruption("bad WAL magic");
+  if (version != kWalVersion) return Status::Corruption("bad WAL version");
+  if (header_seq != seq) {
+    return Status::Corruption("WAL segment name/header sequence mismatch");
+  }
+
+  uint64_t off = kWalHeaderSize;
+  while (off < bytes.size()) {
+    const uint64_t remaining = bytes.size() - off;
+    if (remaining < kFrameHeader) {
+      return torn_or("trailing garbage in WAL segment");
+    }
+    uint32_t payload_len = 0, stored_crc = 0;
+    std::memcpy(&payload_len, bytes.data() + off, sizeof(payload_len));
+    std::memcpy(&stored_crc, bytes.data() + off + 4, sizeof(stored_crc));
+    const uint64_t frame_size = kFrameHeader + payload_len;
+    if (frame_size > remaining) {
+      return torn_or("record overruns WAL segment");
+    }
+    const uint8_t* body = bytes.data() + off + 8;
+    if (FrameCrc(body, 1 + payload_len) != stored_crc) {
+      // A bad checksum on the frame touching the last byte is the torn
+      // write replay also forgives; anywhere else it is corruption
+      // even in the newest segment.
+      if (off + frame_size == bytes.size()) {
+        return torn_or("WAL record checksum mismatch in tail");
+      }
+      return Status::Corruption("WAL record checksum mismatch");
+    }
+    off += frame_size;
+    ++check.records;
+  }
+  return check;
 }
 
 Result<WalReplayResult> ReplayWal(
@@ -222,10 +297,22 @@ Result<WalReplayResult> ReplayWal(
   for (uint64_t seq : all) {
     if (seq >= from.seq) seqs.push_back(seq);
   }
+  // A gap left by the scrubber quarantining a segment is an explicit,
+  // operator-visible hole: replay stops cleanly at the prefix before
+  // it. A bare gap (file vanished without a quarantine marker) stays
+  // hard corruption.
+  auto quarantined = [env, &dir](uint64_t seq) {
+    return env->FileExists(WalSegmentPath(dir, seq) + kQuarantineSuffix);
+  };
+
   WalReplayResult result;
   result.end = from;
   if (seqs.empty()) return result;
   if (seqs.front() != from.seq) {
+    if (quarantined(from.seq)) {
+      result.stopped_at_quarantine = true;
+      return result;
+    }
     return Status::Corruption("WAL segment holding the replay start is gone");
   }
 
@@ -233,6 +320,10 @@ Result<WalReplayResult> ReplayWal(
     const uint64_t seq = seqs[i];
     const bool last = i + 1 == seqs.size();
     if (i > 0 && seq != seqs[i - 1] + 1) {
+      if (quarantined(seqs[i - 1] + 1)) {
+        result.stopped_at_quarantine = true;
+        return result;
+      }
       return Status::Corruption("gap in WAL segment sequence");
     }
     auto bytes_or = env->ReadFileBytes(WalSegmentPath(dir, seq));

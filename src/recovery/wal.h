@@ -74,6 +74,13 @@ enum class WalRecordType : uint8_t {
 /// Size of a segment header in bytes.
 constexpr uint64_t kWalHeaderSize = 16;
 
+/// Suffix the integrity scrubber appends (by rename) to a corrupt WAL
+/// segment or snapshot it quarantines (see recovery/scrub.h). Replay
+/// treats a quarantined segment as the end of usable history: it
+/// stops at the last contiguous good prefix and NEVER skips over the
+/// hole into later segments.
+inline constexpr char kQuarantineSuffix[] = ".quarantined";
+
 /// Builds "<dir>/wal-<seq 8 digits>.log".
 std::string WalSegmentPath(const std::string& dir, uint64_t seq);
 
@@ -187,9 +194,33 @@ struct WalReplayResult {
   /// True when replay stopped at a torn/truncated tail (some bytes
   /// after `end` were discarded as a crash remnant).
   bool tail_torn = false;
+  /// True when replay stopped because the next segment in sequence
+  /// was quarantined by the scrubber: `end` is the last contiguous
+  /// good prefix, and records in segments past the hole were NOT
+  /// replayed.
+  bool stopped_at_quarantine = false;
   /// Records delivered to the sink.
   uint64_t records = 0;
 };
+
+/// Outcome of a single-segment integrity check.
+struct WalSegmentCheck {
+  /// Intact records in the segment.
+  uint64_t records = 0;
+  /// Bytes after the last intact record were a torn tail (only
+  /// possible when the check allowed one).
+  bool tail_torn = false;
+};
+
+/// Re-validates one WAL segment end to end — header fields and every
+/// frame checksum — without delivering records anywhere. With
+/// `allow_torn_tail`, a truncated or garbled suffix after the last
+/// intact record is reported via `tail_torn` instead of failing; that
+/// is only legal for the globally-newest segment, where such a suffix
+/// is the expected crash remnant. Used by the integrity scrubber
+/// (recovery/scrub.h).
+Result<WalSegmentCheck> CheckWalSegment(Env* env, const std::string& dir,
+                                        uint64_t seq, bool allow_torn_tail);
 
 /// Replays every intact record at or after `from`, in order, into
 /// `sink`. `from.seq` segments that no longer exist (already pruned

@@ -48,6 +48,7 @@
 #include "recovery/durable_engine.h"
 #include "replication/repl_wire.h"
 #include "replication/transport.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace bursthist {
@@ -64,10 +65,30 @@ struct ReplicaOptions {
   /// Reconnect backoff: initial delay, doubled per failure, capped.
   int backoff_initial_ms = 50;
   int backoff_max_ms = 2000;
+  /// Fraction of each backoff delay randomized away (downward only):
+  /// the actual sleep is uniform in [delay*(1-jitter), delay]. Keeps
+  /// a fleet of followers orphaned by the same leader crash from
+  /// re-dialing in lockstep. 0 disables jitter.
+  double backoff_jitter = 0.2;
+  /// Seed for the jitter stream; 0 = derive one per replica (from the
+  /// clock and object identity). Tests pin it for reproducibility.
+  uint64_t backoff_seed = 0;
   /// Connection seam; nullptr = ReplTransport::Default(). Tests pass
   /// a FlakyTransport here.
   ReplTransport* transport = nullptr;
 };
+
+/// The jittered sleep for one backoff step: uniform in
+/// [base_ms*(1-jitter), base_ms], never below 1ms. `jitter` is
+/// clamped to [0, 1]. Deterministic in the Rng stream — the testable
+/// core of the reconnect backoff policy.
+inline int JitteredDelay(int base_ms, double jitter, Rng* rng) {
+  if (base_ms <= 1) return 1;
+  const double j = std::min(1.0, std::max(0.0, jitter));
+  if (j == 0.0) return base_ms;
+  const double scaled = base_ms * (1.0 - j * rng->NextDouble());
+  return std::max(1, static_cast<int>(scaled));
+}
 
 template <typename PbeT>
 class ReplicaEngine {
@@ -184,7 +205,13 @@ class ReplicaEngine {
 
   ReplicaEngine(std::unique_ptr<Durable> durable,
                 const ReplicaOptions& options)
-      : durable_(std::move(durable)), options_(options) {
+      : durable_(std::move(durable)),
+        options_(options),
+        backoff_rng_(options.backoff_seed != 0
+                         ? options.backoff_seed
+                         : static_cast<uint64_t>(
+                               Clock::now().time_since_epoch().count()) ^
+                               reinterpret_cast<uintptr_t>(this)) {
     transport_ =
         options_.transport ? options_.transport : ReplTransport::Default();
     applied_watermark_.store(durable_->engine().Watermark(),
@@ -196,11 +223,14 @@ class ReplicaEngine {
     if (last_error_.ok()) last_error_ = st;
   }
 
-  // Sleeps the current backoff (interruptible by Stop) and doubles it
-  // up to the cap.
+  // Sleeps the current backoff — jittered downward so a fleet of
+  // followers doesn't re-dial in lockstep — interruptible by Stop,
+  // then doubles the base up to the cap.
   void Backoff(int* delay_ms) {
+    const int sleep_ms =
+        JitteredDelay(*delay_ms, options_.backoff_jitter, &backoff_rng_);
     std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait_for(lock, std::chrono::milliseconds(*delay_ms), [this] {
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms), [this] {
       return stop_.load(std::memory_order_acquire);
     });
     *delay_ms = std::min(*delay_ms * 2, options_.backoff_max_ms);
@@ -361,6 +391,7 @@ class ReplicaEngine {
 
   std::unique_ptr<Durable> durable_;
   ReplicaOptions options_;
+  Rng backoff_rng_;  // only the apply thread touches it
   ReplTransport* transport_ = nullptr;
   std::mutex write_mu_;  // every live-engine touch; shared with serving
 

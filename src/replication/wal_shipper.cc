@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/crashpoint.h"
 #include "obs/metrics.h"
 #include "recovery/durable_engine.h"
 #include "recovery/snapshot.h"
@@ -158,6 +159,7 @@ void WalShipper::AcceptLoop() {
 
 Status WalShipper::SendBootstrapSnapshot(int fd, WalPosition* pos) {
   BURSTHIST_COUNTER(m_snaps, obs::kReplSnapshotsServedTotal);
+  BURSTHIST_CRASHPOINT("repl.bootstrap.pre_send");
   auto gens = ListSnapshots(env_, dir_);
   if (!gens.ok()) return gens.status();
   if (gens.value().empty()) {

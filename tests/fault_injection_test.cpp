@@ -564,5 +564,58 @@ TEST(BatchAbortTest, BatchObserverRefusalAppliesNothing) {
   EXPECT_EQ(Ser(engine), Ser(BurstEngine1(SmallOptions())));
 }
 
+// A failed DIRECTORY fsync after segment creation means the segment's
+// very existence is unconfirmed: the writer must poison itself
+// (fail-stop) rather than keep acknowledging appends into a file a
+// power cut could erase. Here the first dir-sync is the initial
+// segment's, so Open itself must refuse.
+TEST_F(FaultMatrixTest, DirSyncFailureOnSegmentCreationFailsOpen) {
+  FaultInjectionEnv faulty(base_);
+  faulty.FailNthDirSync(1);
+  auto durable = DurableBurstEngine1::Open(&faulty, dir_, SmallOptions());
+  ASSERT_FALSE(durable.ok());
+
+  // Nothing was acknowledged, so the directory recovers empty — and a
+  // healed env opens it normally.
+  auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().TotalCount(), 0u);
+  faulty.Disarm();
+  auto reopened = DurableBurstEngine1::Open(&faulty, dir_, SmallOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened.value()->Append(1, 1).ok());
+}
+
+// A dir-sync failure during Checkpoint (either the rotated segment's
+// or the published snapshot's) fails the checkpoint cleanly; every
+// already-acknowledged record still recovers.
+TEST_F(FaultMatrixTest, DirSyncFailureDuringCheckpointKeepsAckedRecords) {
+  const auto workload = Workload(40, 77);
+  // Arming resets the counter, so within the checkpoint: #1 is the
+  // rotated segment's dir-sync, #2 the published snapshot's. Fail
+  // each in turn.
+  for (uint64_t n = 1; n <= 2; ++n) {
+    SCOPED_TRACE("fail dir-sync " + std::to_string(n));
+    FaultInjectionEnv faulty(base_);
+    auto durable = DurableBurstEngine1::Open(&faulty, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok());
+    for (const auto& r : workload) {
+      ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+    }
+    faulty.FailNthDirSync(n);
+    EXPECT_FALSE(durable.value()->Checkpoint().ok());
+    EXPECT_EQ(durable.value()->generation(), 0u)
+        << "failed checkpoint must not advance the generation";
+    durable.value().reset();
+
+    auto recovered = RecoverBurstEngine<Pbe1>(base_, dir_, SmallOptions());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ExpectPrefixConsistent(std::move(recovered).value(), workload,
+                           workload.size());
+    EXPECT_EQ(faulty.dir_syncs_issued() >= n, true);
+    Clean();
+  }
+}
+
 }  // namespace
 }  // namespace bursthist

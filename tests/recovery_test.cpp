@@ -425,5 +425,111 @@ TEST_F(RecoveryTest, FreshDirectoryOpensEmpty) {
   EXPECT_EQ(durable.value()->generation(), 0u);
 }
 
+// A QUARANTINED middle segment (the scrubber's disposition for
+// corruption) is an explicit hole: replay recovers the longest
+// contiguous good prefix and stops — it must never skip over the hole
+// and apply causally-detached later segments.
+TEST_F(RecoveryTest, QuarantinedMiddleSegmentStopsAtGoodPrefix) {
+  const auto workload = Workload(400, 91);
+  DurabilityOptions tiny;
+  tiny.wal_segment_bytes = 1 << 10;
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions(), tiny);
+    ASSERT_TRUE(durable.ok());
+    for (const auto& r : workload) {
+      ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+    }
+    ASSERT_TRUE(durable.value()->Sync().ok());
+  }
+  auto seqs = ListWalSegments(env_, dir_);
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_GE(seqs.value().size(), 4u);
+  const uint64_t victim = seqs.value()[1];
+  const std::string victim_path = WalSegmentPath(dir_, victim);
+  ASSERT_TRUE(
+      env_->RenameFile(victim_path, victim_path + kQuarantineSuffix).ok());
+
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const uint64_t k = recovered.value().TotalCount();
+  EXPECT_GT(k, 0u);
+  EXPECT_LT(k, workload.size());
+  EXPECT_EQ(Ser(recovered.value()),
+            Ser(Reference(workload, static_cast<size_t>(k))))
+      << "recovery applied records from beyond the quarantine hole";
+
+  // A writable reopen re-anchors on a fresh checkpoint so NEW appends
+  // land reachably past the hole, and keeps serving.
+  auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions(), tiny);
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+  EXPECT_EQ(durable.value()->engine().TotalCount(), k);
+  EXPECT_GE(durable.value()->generation(), 1u);
+  ASSERT_TRUE(durable.value()->Append(3, workload.back().t + 1).ok());
+  auto reread = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().TotalCount(), k + 1);
+}
+
+// The same gap WITHOUT a quarantine marker is indistinguishable from
+// lost data: still a hard error.
+TEST_F(RecoveryTest, BareSegmentGapIsStillCorruption) {
+  const auto workload = Workload(400, 92);
+  DurabilityOptions tiny;
+  tiny.wal_segment_bytes = 1 << 10;
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions(), tiny);
+    ASSERT_TRUE(durable.ok());
+    for (const auto& r : workload) {
+      ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+    }
+  }
+  auto seqs = ListWalSegments(env_, dir_);
+  ASSERT_TRUE(seqs.ok());
+  ASSERT_GE(seqs.value().size(), 3u);
+  ASSERT_TRUE(env_->DeleteFile(WalSegmentPath(dir_, seqs.value()[1])).ok());
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kCorruption);
+}
+
+// Double-crash regression: a torn tail in segment N, then a reopen
+// (which starts segment N+1), then ANOTHER crash. The second recovery
+// sees the tear in a now NON-final segment — fatal mid-log corruption
+// unless the first reopen disposed of the tear (truncate to the clean
+// prefix, drop empty rotation remnants) when it skipped past it.
+TEST_F(RecoveryTest, TornTailSurvivesReopenThenSecondRecovery) {
+  const auto workload = Workload(60, 93);
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok());
+    for (const auto& r : workload) {
+      ASSERT_TRUE(durable.value()->Append(r.e, r.t).ok());
+    }
+  }
+  // Crash remnant: the final record loses its last 3 bytes.
+  auto seqs = ListWalSegments(env_, dir_);
+  ASSERT_TRUE(seqs.ok());
+  const std::string tail_path = WalSegmentPath(dir_, seqs.value().back());
+  auto size = env_->FileSize(tail_path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFileTo(env_, tail_path, size.value() - 3).ok());
+
+  uint64_t k1 = 0;
+  {
+    auto durable = DurableBurstEngine1::Open(env_, dir_, SmallOptions());
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    k1 = durable.value()->engine().TotalCount();
+    EXPECT_EQ(k1, workload.size() - 1) << "tear should cost the last record";
+    // Keep writing on top of the recovered prefix, then "crash".
+    ASSERT_TRUE(durable.value()->Append(1, workload.back().t + 1).ok());
+  }
+
+  auto recovered = RecoverBurstEngine<Pbe1>(env_, dir_, SmallOptions());
+  ASSERT_TRUE(recovered.ok())
+      << "second recovery died on the first crash's remnant: "
+      << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().TotalCount(), k1 + 1);
+}
+
 }  // namespace
 }  // namespace bursthist

@@ -715,5 +715,35 @@ TEST_F(ReplicationTest, CascadedFollowerConverges) {
   shipper.Stop();
 }
 
+// Reconnect backoff jitter: deterministic in the seed, bounded in
+// [base*(1-jitter), base], never below 1ms, and exactly base when
+// disabled — the policy a fleet of orphaned followers relies on to
+// avoid re-dialing a recovering leader in lockstep.
+TEST(JitteredDelayTest, SeededDeterministicAndBounded) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int base : {2, 10, 50, 400, 2000}) {
+    for (int i = 0; i < 64; ++i) {
+      const int d1 = repl::JitteredDelay(base, 0.2, &a);
+      const int d2 = repl::JitteredDelay(base, 0.2, &b);
+      EXPECT_EQ(d1, d2) << "same seed must give the same delay sequence";
+      EXPECT_GE(d1, std::max(1, static_cast<int>(base * 0.8) - 1));
+      EXPECT_LE(d1, base);
+      if (repl::JitteredDelay(base, 0.2, &c) != d1) diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged) << "different seeds should jitter differently";
+
+  Rng r(7);
+  EXPECT_EQ(repl::JitteredDelay(100, 0.0, &r), 100) << "jitter 0 = no jitter";
+  EXPECT_EQ(repl::JitteredDelay(1, 0.9, &r), 1);
+  EXPECT_EQ(repl::JitteredDelay(0, 0.9, &r), 1) << "delays clamp up to 1ms";
+  for (int i = 0; i < 32; ++i) {
+    const int d = repl::JitteredDelay(3, 5.0, &r);  // jitter clamped to 1
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 3);
+  }
+}
+
 }  // namespace
 }  // namespace bursthist

@@ -1,0 +1,320 @@
+// On-disk integrity scrubbing: bit-flip sweeps over WAL segments and
+// snapshots must each be DETECTED and QUARANTINED without ever
+// aborting the pass, torn tails on the newest segment must be
+// tolerated, and recovery after a quarantine must come back with the
+// longest contiguous good prefix.
+//
+// The sweep protocol per flipped bit: flip, scrub (expect exactly one
+// corrupt file, renamed aside), un-quarantine by renaming back, flip
+// the same bit again to restore the original bytes, and periodically
+// re-verify the directory scrubs clean — so one prepared directory
+// serves hundreds of independent corruption trials.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "differential/torture_harness.h"
+#include "recovery/durable_engine.h"
+#include "recovery/fault_env.h"
+#include "recovery/scrub.h"
+#include "recovery/snapshot.h"
+#include "recovery/wal.h"
+
+#ifndef BURSTHIST_NO_FAULT
+#include <sys/wait.h>
+
+#include "fault/crashpoint.h"
+#endif
+
+namespace bursthist {
+namespace test {
+namespace {
+
+class ScrubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    dir_ = testing::TempDir() + "/bursthist_scrub_" +
+           std::to_string(static_cast<unsigned long long>(::getpid())) + "_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    Clean();
+    ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+  }
+
+  void TearDown() override {
+    Clean();
+    ::rmdir(dir_.c_str());
+  }
+
+  void Clean() {
+    auto names = env_->ListDir(dir_);
+    if (names.ok()) {
+      for (const auto& n : names.value()) (void)env_->DeleteFile(dir_ + "/" + n);
+    }
+  }
+
+  // A directory with several closed WAL segments and two snapshot
+  // generations: the full torture workload over tiny segments, with
+  // two mid-run checkpoints, engine closed at the end.
+  void BuildDurableDir() {
+    const auto workload = torture::TortureWorkload(torture::TortureSpec{});
+    // Segments even smaller than the torture default: checkpoint
+    // pruning drops everything older snapshots cover, and the scrub
+    // sweeps want several CLOSED segments left after the last one.
+    DurabilityOptions durability;
+    durability.wal_segment_bytes = 1 << 10;
+    auto durable = DurableBurstEngine<Pbe1>::Open(
+        env_, dir_, torture::TortureEngineOptions(), durability);
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    for (size_t i = 0; i < workload.size(); ++i) {
+      ASSERT_TRUE(
+          durable.value()->Append(workload[i].id, workload[i].time).ok());
+      if (i == workload.size() / 3 || i == 2 * workload.size() / 3) {
+        ASSERT_TRUE(durable.value()->Checkpoint().ok());
+      }
+    }
+    ASSERT_TRUE(durable.value()->Sync().ok());
+  }
+
+  std::vector<uint64_t> WalSeqs() {
+    auto seqs = ListWalSegments(env_, dir_);
+    EXPECT_TRUE(seqs.ok());
+    return seqs.ok() ? seqs.value() : std::vector<uint64_t>{};
+  }
+
+  // One corruption trial: flip, scrub, assert the single detection +
+  // quarantine, then restore the file for the next trial.
+  void ExpectFlipCaught(const std::string& path, uint64_t offset) {
+    const unsigned bit = static_cast<unsigned>(offset % 8);
+    ASSERT_TRUE(FlipBit(env_, path, offset, bit).ok());
+    auto report = ScrubDurableDir(env_, dir_);
+    ASSERT_TRUE(report.ok()) << "scrub aborted on flip at " << path << "+"
+                             << offset << ": " << report.status().ToString();
+    EXPECT_EQ(report.value().corrupt_files, 1u)
+        << path << "+" << offset << " not detected";
+    ASSERT_EQ(report.value().quarantined_now, 1u)
+        << path << "+" << offset << " not quarantined";
+    EXPECT_FALSE(env_->FileExists(path));
+    ASSERT_TRUE(env_->FileExists(path + kQuarantineSuffix));
+    ASSERT_TRUE(env_->RenameFile(path + kQuarantineSuffix, path).ok());
+    ASSERT_TRUE(FlipBit(env_, path, offset, bit).ok());
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_F(ScrubTest, CleanDirectoryScrubsClean) {
+  BuildDurableDir();
+  auto report = ScrubDurableDir(env_, dir_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().clean());
+  EXPECT_GE(report.value().wal_segments_checked, 3u)
+      << "workload too small to exercise multi-segment scrubbing";
+  EXPECT_GT(report.value().wal_records_checked, 0u);
+  EXPECT_EQ(report.value().snapshots_checked, 2u);
+  EXPECT_EQ(report.value().quarantined_present, 0u);
+}
+
+// Every flipped bit in a NON-final WAL segment must be caught: header
+// damage (magic, version, sequence), frame-length damage, checksum
+// damage, payload damage. The final segment is excluded — there a
+// tail-touching flip is legitimately indistinguishable from the torn
+// write recovery forgives (covered separately below).
+TEST_F(ScrubTest, BitFlipSweepOverClosedWalSegments) {
+  BuildDurableDir();
+  const auto seqs = WalSeqs();
+  ASSERT_GE(seqs.size(), 2u);
+  size_t trials = 0;
+  for (size_t si = 0; si + 1 < seqs.size(); ++si) {
+    const std::string path = WalSegmentPath(dir_, seqs[si]);
+    auto size = env_->FileSize(path);
+    ASSERT_TRUE(size.ok());
+    ASSERT_GT(size.value(), 16u);
+    std::vector<uint64_t> offsets;
+    for (uint64_t off = 0; off < 16; ++off) offsets.push_back(off);
+    for (uint64_t off = 16; off < size.value(); off += 97) {
+      offsets.push_back(off);
+    }
+    offsets.push_back(size.value() - 1);
+    for (uint64_t off : offsets) {
+      ExpectFlipCaught(path, off);
+      ++trials;
+    }
+  }
+  EXPECT_GE(trials, 40u);
+  auto report = ScrubDurableDir(env_, dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().clean()) << "restore protocol left damage";
+}
+
+TEST_F(ScrubTest, BitFlipSweepOverSnapshots) {
+  BuildDurableDir();
+  auto gens = ListSnapshots(env_, dir_);
+  ASSERT_TRUE(gens.ok());
+  ASSERT_EQ(gens.value().size(), 2u);
+  for (uint64_t gen : gens.value()) {
+    const std::string path = SnapshotPath(dir_, gen);
+    auto size = env_->FileSize(path);
+    ASSERT_TRUE(size.ok());
+    std::vector<uint64_t> offsets = {0, size.value() - 1};
+    for (uint64_t off = 1; off + 1 < size.value(); off += 53) {
+      offsets.push_back(off);
+    }
+    for (uint64_t off : offsets) ExpectFlipCaught(path, off);
+  }
+  auto report = ScrubDurableDir(env_, dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().clean());
+}
+
+// A torn tail on the NEWEST segment is the ordinary crash remnant:
+// informational, never corruption, never quarantined.
+TEST_F(ScrubTest, TornTailOnNewestSegmentTolerated) {
+  BuildDurableDir();
+  const auto seqs = WalSeqs();
+  ASSERT_FALSE(seqs.empty());
+  const std::string tail_path = WalSegmentPath(dir_, seqs.back());
+  auto size = env_->FileSize(tail_path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_GT(size.value(), 20u);
+  ASSERT_TRUE(TruncateFileTo(env_, tail_path, size.value() - 3).ok());
+  auto report = ScrubDurableDir(env_, dir_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().clean());
+  EXPECT_TRUE(report.value().tail_torn);
+  EXPECT_EQ(report.value().quarantined_now, 0u);
+
+  // The same truncation on a non-final segment IS corruption.
+  if (seqs.size() >= 2) {
+    const std::string mid_path = WalSegmentPath(dir_, seqs[0]);
+    auto mid_size = env_->FileSize(mid_path);
+    ASSERT_TRUE(mid_size.ok());
+    ASSERT_TRUE(TruncateFileTo(env_, mid_path, mid_size.value() - 3).ok());
+    auto report2 = ScrubDurableDir(env_, dir_);
+    ASSERT_TRUE(report2.ok());
+    EXPECT_EQ(report2.value().corrupt_files, 1u);
+    EXPECT_EQ(report2.value().quarantined_now, 1u);
+  }
+}
+
+// Detection-only mode: report everything, rename nothing.
+TEST_F(ScrubTest, DetectionOnlyModeLeavesFilesInPlace) {
+  BuildDurableDir();
+  const auto seqs = WalSeqs();
+  ASSERT_GE(seqs.size(), 2u);
+  const std::string path = WalSegmentPath(dir_, seqs[0]);
+  ASSERT_TRUE(FlipBit(env_, path, 40, 2).ok());
+  ScrubOptions opts;
+  opts.quarantine = false;
+  auto report = ScrubDurableDir(env_, dir_, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().corrupt_files, 1u);
+  EXPECT_EQ(report.value().quarantined_now, 0u);
+  EXPECT_TRUE(env_->FileExists(path));
+  ASSERT_EQ(report.value().issues.size(), 1u);
+  EXPECT_FALSE(report.value().issues[0].quarantined);
+}
+
+// After the scrubber quarantines a middle segment, recovery must come
+// back with the longest contiguous good prefix — byte-identical to a
+// reference fed that prefix — and never skip over the hole.
+TEST_F(ScrubTest, RecoveryAfterQuarantineStopsAtGoodPrefix) {
+  const auto workload = torture::TortureWorkload(torture::TortureSpec{});
+  BuildDurableDir();
+  const auto seqs = WalSeqs();
+  ASSERT_GE(seqs.size(), 3u);
+  // Damage the second-to-last segment: newer than both snapshots'
+  // coverage or not, the recovered state must be a reference prefix.
+  const uint64_t victim = seqs[seqs.size() - 2];
+  ASSERT_TRUE(FlipBit(env_, WalSegmentPath(dir_, victim), 100, 5).ok());
+  auto report = ScrubDurableDir(env_, dir_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().quarantined_now, 1u);
+
+  auto recovered =
+      RecoverBurstEngine<Pbe1>(env_, dir_, torture::TortureEngineOptions());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const uint64_t k = recovered.value().TotalCount();
+  EXPECT_LT(k, workload.size()) << "quarantined segment was not dropped";
+  EXPECT_EQ(torture::EngineBytes(recovered.value()),
+            torture::ReferenceBytes(workload, static_cast<size_t>(k)));
+}
+
+// Scrubbing a LIVE directory through the engine handle skips the
+// writer's current segment and still catches damage in closed ones.
+TEST_F(ScrubTest, LiveEngineScrubSkipsActiveSegment) {
+  const auto workload = torture::TortureWorkload(torture::TortureSpec{});
+  auto durable = DurableBurstEngine<Pbe1>::Open(
+      env_, dir_, torture::TortureEngineOptions(),
+      torture::TortureDurability());
+  ASSERT_TRUE(durable.ok());
+  for (size_t i = 0; i < workload.size() / 2; ++i) {
+    ASSERT_TRUE(
+        durable.value()->Append(workload[i].id, workload[i].time).ok());
+  }
+  ASSERT_TRUE(durable.value()->Sync().ok());
+  const auto seqs = WalSeqs();
+  ASSERT_GE(seqs.size(), 2u);
+
+  auto clean = durable.value()->Scrub();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean.value().clean());
+  // The live segment must not have been visited.
+  EXPECT_EQ(clean.value().wal_segments_checked, seqs.size() - 1);
+
+  ASSERT_TRUE(FlipBit(env_, WalSegmentPath(dir_, seqs[0]), 30, 1).ok());
+  auto report = durable.value()->Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().corrupt_files, 1u);
+  EXPECT_EQ(report.value().quarantined_now, 1u);
+
+  // The engine itself is unharmed: it keeps accepting appends.
+  for (size_t i = workload.size() / 2; i < workload.size(); ++i) {
+    ASSERT_TRUE(
+        durable.value()->Append(workload[i].id, workload[i].time).ok());
+  }
+  EXPECT_EQ(durable.value()->engine().TotalCount(), workload.size());
+}
+
+#ifndef BURSTHIST_NO_FAULT
+// A crash between detection and the quarantine rename must leave the
+// corrupt file in place for the NEXT scrub to quarantine — the pass
+// is re-runnable after dying at its own crashpoint.
+TEST_F(ScrubTest, KilledMidQuarantineIsRerunnable) {
+  BuildDurableDir();
+  const auto seqs = WalSeqs();
+  ASSERT_GE(seqs.size(), 2u);
+  const std::string path = WalSegmentPath(dir_, seqs[0]);
+  ASSERT_TRUE(FlipBit(env_, path, 60, 3).ok());
+
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    auto& sched = fault::FaultScheduler::Global();
+    sched.Disarm();
+    if (!sched.LoadSchedule("scrub.pre_quarantine=kill").ok()) ::_exit(43);
+    (void)ScrubDurableDir(Env::Default(), dir_);
+    ::_exit(0);  // unreachable: the schedule kills first
+  }
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  EXPECT_TRUE(env_->FileExists(path));
+  EXPECT_FALSE(env_->FileExists(path + kQuarantineSuffix));
+
+  auto report = ScrubDurableDir(env_, dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().corrupt_files, 1u);
+  EXPECT_EQ(report.value().quarantined_now, 1u);
+}
+#endif  // !BURSTHIST_NO_FAULT
+
+}  // namespace
+}  // namespace test
+}  // namespace bursthist

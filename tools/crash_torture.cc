@@ -1,0 +1,283 @@
+// crash_torture: standalone crashpoint torture driver.
+//
+// The same fork/SIGKILL/recover/verify machinery the crash_torture
+// ctest runs (tests/differential/torture_harness.h), packaged for
+// operators and CI to run at arbitrary scale:
+//
+//   crash_torture list  [--seed N]
+//       Recon: run the workload in-process under trace mode and print
+//       every crashpoint site reached, with hit counts.
+//   crash_torture run   --site S [--hit N] [--mode kill|error] [--seed N]
+//       One torture cycle against the named site.
+//   crash_torture sweep [--seeds N]
+//       Every reached site x seeds, kill mode — the full matrix.
+//   crash_torture chaos [--cycles N] [--seed N]
+//       Randomized (site, hit) kills against ONE directory that is
+//       repeatedly crashed, recovered, and resumed.
+//
+// Exit status: 0 all cycles verified, 1 any verification failure,
+// 2 usage error. Scratch directories live under TMPDIR and are
+// removed on success.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "differential/torture_harness.h"
+#include "fault/crashpoint.h"
+#include "util/random.h"
+
+#ifdef BURSTHIST_NO_FAULT
+
+int main() {
+  std::fprintf(stderr,
+               "crash_torture: built with BURSTHIST_NO_FAULT; crashpoints "
+               "compile to no-ops and cannot be scheduled\n");
+  return 2;
+}
+
+#else  // !BURSTHIST_NO_FAULT
+
+namespace {
+
+using namespace bursthist;
+using namespace bursthist::test::torture;
+
+void RemoveTree(Env* env, const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& n : names.value()) (void)env->DeleteFile(dir + "/" + n);
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::string ScratchRoot() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string templ = std::string(tmp && *tmp ? tmp : "/tmp") +
+                      "/crash_torture.XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(2);
+  }
+  return std::string(buf.data());
+}
+
+struct Args {
+  std::string verb;
+  std::string site;
+  std::string mode = "kill";
+  uint64_t hit = 1;
+  uint64_t seed = 1;
+  size_t seeds = 8;
+  size_t cycles = 50;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->verb = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--site" && (v = value())) {
+      out->site = v;
+    } else if (flag == "--mode" && (v = value())) {
+      out->mode = v;
+    } else if (flag == "--hit" && (v = value())) {
+      out->hit = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed" && (v = value())) {
+      out->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seeds" && (v = value())) {
+      out->seeds = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--cycles" && (v = value())) {
+      out->cycles = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown or valueless flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: crash_torture <verb> [flags]\n"
+      "  list  [--seed N]                         print reachable sites\n"
+      "  run   --site S [--hit N] [--mode kill|error] [--seed N]\n"
+      "  sweep [--seeds N]                        all sites x seeds, kill\n"
+      "  chaos [--cycles N] [--seed N]            randomized repeated kills\n");
+  return 2;
+}
+
+int DoList(Env* env, const std::string& root, const Args& args) {
+  TortureSpec spec;
+  spec.seed = args.seed;
+  const std::string dir = root + "/recon";
+  (void)env->CreateDirIfMissing(dir);
+  const auto sites = ReconSites(env, dir, spec);
+  for (const auto& [site, hits] : sites) {
+    std::printf("%-32s %llu\n", site.c_str(),
+                static_cast<unsigned long long>(hits));
+  }
+  return sites.empty() ? 1 : 0;
+}
+
+int DoRun(Env* env, const std::string& root, const Args& args) {
+  if (args.site.empty() || (args.mode != "kill" && args.mode != "error")) {
+    return Usage();
+  }
+  TortureSpec spec;
+  spec.seed = args.seed;
+  const std::string dir = root + "/run";
+  (void)env->CreateDirIfMissing(dir);
+  const std::string schedule =
+      args.site + "=" + args.mode + "@" + std::to_string(args.hit);
+  const Verdict v =
+      RunTortureCycle(env, dir, root + "/run.ack", schedule, spec);
+  if (!v.ok) {
+    std::fprintf(stderr, "FAIL %s: %s\n", schedule.c_str(), v.detail.c_str());
+    return 1;
+  }
+  std::printf("ok %s (K=%llu)\n", schedule.c_str(),
+              static_cast<unsigned long long>(v.recovered_k));
+  return 0;
+}
+
+int DoSweep(Env* env, const std::string& root, const Args& args) {
+  size_t cycles = 0, failures = 0;
+  for (uint64_t seed = 1; seed <= args.seeds; ++seed) {
+    TortureSpec spec;
+    spec.seed = seed;
+    const std::string recon_dir = root + "/recon";
+    RemoveTree(env, recon_dir);
+    (void)env->CreateDirIfMissing(recon_dir);
+    const auto sites = ReconSites(env, recon_dir, spec);
+    if (sites.empty()) {
+      std::fprintf(stderr, "FAIL recon found no crashpoints\n");
+      return 1;
+    }
+    for (const auto& [site, total_hits] : sites) {
+      const uint64_t hit = 1 + (seed * 7 + cycles) % total_hits;
+      const std::string schedule =
+          site + "=kill@" + std::to_string(hit);
+      const std::string dir = root + "/sweep";
+      RemoveTree(env, dir);
+      (void)env->CreateDirIfMissing(dir);
+      const Verdict v =
+          RunTortureCycle(env, dir, root + "/sweep.ack", schedule, spec);
+      ++cycles;
+      if (!v.ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL seed=%llu %s: %s\n",
+                     static_cast<unsigned long long>(seed), schedule.c_str(),
+                     v.detail.c_str());
+      }
+    }
+  }
+  std::printf("sweep: %zu cycles, %zu failures\n", cycles, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int DoChaos(Env* env, const std::string& root, const Args& args) {
+  TortureSpec spec;
+  spec.seed = args.seed;
+  Rng rng(args.seed);
+  const auto workload = TortureWorkload(spec);
+  const std::string recon_dir = root + "/recon";
+  (void)env->CreateDirIfMissing(recon_dir);
+  const auto sites = ReconSites(env, recon_dir, spec);
+  if (sites.empty()) {
+    std::fprintf(stderr, "FAIL recon found no crashpoints\n");
+    return 1;
+  }
+
+  std::string dir = root + "/chaos";
+  (void)env->CreateDirIfMissing(dir);
+  uint64_t prev_k = 0;
+  size_t completions = 0, failures = 0;
+  for (size_t cycle = 0; cycle < args.cycles; ++cycle) {
+    const auto& [site, total_hits] = sites[rng.NextBelow(sites.size())];
+    const uint64_t hit = 1 + rng.NextBelow(total_hits);
+    const std::string schedule = site + "=kill@" + std::to_string(hit);
+    const ChildOutcome child =
+        ForkTortureChild(dir, root + "/chaos.ack", schedule, spec);
+    if (!child.killed && child.exit_code != kChildCompleted) {
+      ++failures;
+      std::fprintf(stderr, "FAIL cycle %zu %s: child exit %d\n", cycle,
+                   schedule.c_str(), child.exit_code);
+      continue;
+    }
+    const Verdict v = VerifyRecovered(env, dir, workload, child.acked);
+    if (!v.ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL cycle %zu %s: %s\n", cycle, schedule.c_str(),
+                   v.detail.c_str());
+      continue;
+    }
+    if (v.recovered_k < prev_k + child.acked) {
+      ++failures;
+      std::fprintf(stderr,
+                   "FAIL cycle %zu %s: lost progress (prev=%llu acked=%zu "
+                   "K=%llu)\n",
+                   cycle, schedule.c_str(),
+                   static_cast<unsigned long long>(prev_k), child.acked,
+                   static_cast<unsigned long long>(v.recovered_k));
+      continue;
+    }
+    prev_k = v.recovered_k;
+    if (prev_k == workload.size()) {
+      ++completions;
+      RemoveTree(env, dir);
+      (void)env->CreateDirIfMissing(dir);
+      prev_k = 0;
+    }
+  }
+  std::printf("chaos: %zu cycles, %zu workload completions, %zu failures\n",
+              args.cycles, completions, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  Env* env = Env::Default();
+  const std::string root = ScratchRoot();
+
+  int rc = 2;
+  if (args.verb == "list") {
+    rc = DoList(env, root, args);
+  } else if (args.verb == "run") {
+    rc = DoRun(env, root, args);
+  } else if (args.verb == "sweep") {
+    rc = DoSweep(env, root, args);
+  } else if (args.verb == "chaos") {
+    rc = DoChaos(env, root, args);
+  } else {
+    return Usage();
+  }
+
+  if (rc == 0) {
+    auto names = env->ListDir(root);
+    if (names.ok()) {
+      for (const auto& n : names.value()) {
+        RemoveTree(env, root + "/" + n);
+        (void)env->DeleteFile(root + "/" + n);
+      }
+    }
+    ::rmdir(root.c_str());
+  } else {
+    std::fprintf(stderr, "scratch kept for inspection: %s\n", root.c_str());
+  }
+  return rc;
+}
+
+#endif  // BURSTHIST_NO_FAULT
