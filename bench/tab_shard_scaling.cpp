@@ -1,0 +1,180 @@
+// Sharded-ingest scaling: batched-ingest throughput of a
+// ClusterEngine at 1 / 2 / 4 shards on the bursty olympicrio mixture,
+// against a plain single DurableBurstEngine baseline.
+//
+// Each shard owns its WAL, snapshot lineage, and sketch tree, so the
+// per-record sketch work AND the WAL writes parallelize across shard
+// workers; AppendBatch partitions each batch by the id-hash router and
+// dispatches the sub-batches concurrently. The expectation is
+// near-linear scaling while cores last: >= 2.5x at 4 shards (the CI
+// acceptance floor for this table). A scatter-gather query section
+// reports what fan-out costs reads.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "recovery/durable_engine.h"
+#include "shard/cluster_engine.h"
+#include "util/env.h"
+
+using namespace bursthist;
+using namespace bursthist::bench;
+
+namespace {
+
+struct Timed {
+  double seconds;
+  uint64_t records;
+  double PerSecond() const { return records / seconds; }
+};
+
+template <typename Fn>
+Timed Time(uint64_t records, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::chrono::duration<double>(t1 - t0).count(), records};
+}
+
+// Cluster directories nest one level (dir/shard-000/wal-...).
+void RemoveTree(Env* env, const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& n : names.value()) {
+      const std::string path = dir + "/" + n;
+      auto nested = env->ListDir(path);
+      if (nested.ok()) {
+        for (const auto& m : nested.value()) (void)env->DeleteFile(path + "/" + m);
+        ::rmdir(path.c_str());
+      }
+      (void)env->DeleteFile(path);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+constexpr size_t kBatch = 1024;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  Banner(cfg, "Sharded-cluster ingest scaling (AppendBatch, batch=1024)",
+         ">= 2.5x records/s at 4 shards vs 1 while cores last");
+
+  Dataset ds = MakeOlympicRio(cfg.Scenario());
+  const uint64_t n = ds.stream.size();
+  std::vector<WeightedRecord> records;
+  records.reserve(n);
+  for (const auto& r : ds.stream.records()) {
+    records.push_back(WeightedRecord{r.id, r.time, 1});
+  }
+  std::printf("olympicrio: %llu records, universe %u, %ld cores\n\n",
+              static_cast<unsigned long long>(n), ds.universe_size,
+              ::sysconf(_SC_NPROCESSORS_ONLN));
+
+  BurstEngineOptions<Pbe1> o;
+  o.universe_size = ds.universe_size;
+
+  Env* env = Env::Default();
+  const std::string root = "/tmp/bursthist_shard_bench";
+  RemoveTree(env, root);
+  (void)env->CreateDirIfMissing(root);
+
+  std::printf("%-34s %14s %12s\n", "configuration", "records/s", "speedup");
+
+  // Baseline: one plain durable engine, same batched path.
+  double single_rate = 0.0;
+  {
+    const std::string dir = root + "/single";
+    (void)env->CreateDirIfMissing(dir);
+    auto durable = DurableBurstEngine<Pbe1>::Open(env, dir, o);
+    if (!durable.ok()) {
+      std::printf("open failed: %s\n", durable.status().ToString().c_str());
+      return 1;
+    }
+    Timed t = Time(n, [&] {
+      for (size_t i = 0; i < records.size(); i += kBatch) {
+        const size_t len = std::min(kBatch, records.size() - i);
+        size_t applied = 0;
+        (void)durable.value()->AppendBatch(
+            std::span<const WeightedRecord>(records.data() + i, len),
+            &applied);
+      }
+      (void)durable.value()->Sync();
+    });
+    single_rate = t.PerSecond();
+    std::printf("%-34s %14.0f %11.2fx\n", "durable engine (no cluster)",
+                single_rate, 1.0);
+  }
+
+  double rate_at[5] = {0, 0, 0, 0, 0};
+  for (size_t shards : {1, 2, 4}) {
+    const std::string dir = root + "/c" + std::to_string(shards);
+    (void)env->CreateDirIfMissing(dir);
+    shard::ClusterOptions copts;
+    copts.shards = shards;
+    auto cluster = shard::ClusterEngine<Pbe1>::Open(env, dir, o, copts);
+    if (!cluster.ok()) {
+      std::printf("open failed: %s\n", cluster.status().ToString().c_str());
+      return 1;
+    }
+    Timed t = Time(n, [&] {
+      for (size_t i = 0; i < records.size(); i += kBatch) {
+        const size_t len = std::min(kBatch, records.size() - i);
+        size_t applied = 0;
+        (void)cluster.value()->AppendBatch(
+            std::span<const WeightedRecord>(records.data() + i, len),
+            &applied);
+      }
+      (void)cluster.value()->Sync();
+    });
+    rate_at[shards] = t.PerSecond();
+    char label[48];
+    std::snprintf(label, sizeof(label), "cluster, %zu shard%s", shards,
+                  shards == 1 ? "" : "s");
+    std::printf("%-34s %14.0f %11.2fx\n", label, t.PerSecond(),
+                t.PerSecond() / rate_at[1]);
+
+    // Scatter-gather read cost on the loaded cluster: BEVENT and TOPK
+    // fan out to every shard and merge; POINT routes to one shard.
+    auto snap = cluster.value()->AcquireSnapshot();
+    const Timestamp t_mid = ds.t_begin + (ds.t_end - ds.t_begin) / 2;
+    const Timestamp tau = kSecondsPerDay;
+    constexpr int kReps = 50;
+    Timed q_point = Time(kReps, [&] {
+      for (int i = 0; i < kReps; ++i) {
+        (void)snap->Point(static_cast<EventId>(i) % ds.universe_size, t_mid,
+                          tau);
+      }
+    });
+    Timed q_event = Time(kReps, [&] {
+      for (int i = 0; i < kReps; ++i) (void)snap->BurstyEvent(t_mid, 8.0, tau);
+    });
+    Timed q_topk = Time(kReps, [&] {
+      for (int i = 0; i < kReps; ++i) (void)snap->TopK(t_mid, 10, tau);
+    });
+    std::printf("%-34s point %6.1fus  bevent %8.1fus  topk %8.1fus\n", "",
+                q_point.seconds / kReps * 1e6, q_event.seconds / kReps * 1e6,
+                q_topk.seconds / kReps * 1e6);
+  }
+
+  Rule();
+  std::printf("4-shard speedup vs 1-shard cluster: %.2fx (floor 2.5x)\n",
+              rate_at[4] / rate_at[1]);
+  std::printf("1-shard cluster overhead vs plain engine: %.2fx\n",
+              rate_at[1] / single_rate);
+
+  RemoveTree(env, root + "/single");
+  RemoveTree(env, root + "/c1");
+  RemoveTree(env, root + "/c2");
+  RemoveTree(env, root + "/c4");
+  RemoveTree(env, root);
+  bursthist::bench::MaybeEmitMetrics(cfg);
+  return 0;
+}

@@ -38,6 +38,9 @@
 #include "replication/replica_engine.h"
 #include "replication/wal_shipper.h"
 #include "server/ingest_server.h"
+#include "shard/cluster_engine.h"
+#include "shard/cluster_manifest.h"
+#include "shard/cluster_replica.h"
 #include "stream/csv_io.h"
 #include "util/env.h"
 #include "util/serialize.h"
@@ -171,6 +174,7 @@ int Usage() {
       "  bursthist_cli serve  <dir> <K> [--port N] [--gamma g]\n"
       "                       [--lateness L] [--budget-mb M]\n"
       "                       [--repl-port N] [--follow host:port]\n"
+      "                       [--shards N]\n"
       "  bursthist_cli ingest <events.csv> <K> <out.sketch> [gamma]\n"
       "  bursthist_cli info   <sketch>\n"
       "  bursthist_cli metrics <sketch> [--json]\n"
@@ -219,7 +223,58 @@ struct ServeConfig {
   uint16_t repl_port = 0;      ///< non-zero: ship the WAL to followers.
   std::string follow_host;     ///< non-empty: run as a follower of ...
   uint16_t follow_port = 0;    ///< ... this leader.
+  size_t shards = 1;           ///< >1: sharded cluster engine.
 };
+
+// Shared tail of every serve mode: TCP front-end over `engine`, the
+// mode's extras (WAL shippers, apply threads) started after it, then
+// the signal loop and a reverse-order graceful teardown ending in a
+// final checkpoint.
+template <typename EngineT, typename StartExtras, typename StopExtras>
+int RunServeLoop(EngineT* engine,
+                 const server::BurstServiceOptions& service_options,
+                 uint16_t port, StartExtras&& start_extras,
+                 StopExtras&& stop_extras) {
+  server::IngestServer<EngineT> server(engine, service_options);
+  server::TcpServerOptions tcp;
+  tcp.port = port;
+  if (Status st = server.Start(tcp); !st.ok()) return Fail(st);
+  std::printf("listening on %s:%u\n", tcp.host.c_str(), server.port());
+  if (Status st = start_extras(); !st.ok()) {
+    server.Stop();
+    stop_extras();
+    return Fail(st);
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Graceful shutdown: refuse new connections, give in-flight
+  // requests a grace period, then tear down and leave a final
+  // checkpoint so the next start replays (almost) nothing.
+  server.StopAccepting();
+  server.Drain(2000);
+  server.Stop();
+  stop_extras();
+  // The final checkpoint is an optimization, not a durability
+  // barrier: every acknowledged record is already in the WAL, so a
+  // crash (or injected fault) anywhere inside Checkpoint() leaves a
+  // directory the next start recovers by WAL replay. But a FAILED
+  // checkpoint is still a failed shutdown step the operator must see
+  // — exit nonzero instead of burying it in a log line.
+  if (Status st = engine->Checkpoint(); !st.ok()) {
+    std::fprintf(stderr,
+                 "final checkpoint failed (WAL replay will recover on next "
+                 "start): %s\n",
+                 st.message().c_str());
+    return 1;
+  }
+  std::printf("stopped\n");
+  return 0;
+}
 
 template <typename PbeT>
 int ServeWith(const ServeConfig& cfg) {
@@ -270,68 +325,129 @@ int ServeWith(const ServeConfig& cfg) {
     service_options.governor = &governor;
   }
 
-  server::IngestServer<PbeT> server(owned, service_options);
-  server::TcpServerOptions tcp;
-  tcp.port = cfg.port;
-  if (Status st = server.Start(tcp); !st.ok()) return Fail(st);
-  std::printf("listening on %s:%u\n", tcp.host.c_str(), server.port());
-
   repl::WalShipper shipper;
-  if (cfg.repl_port != 0) {
-    repl::WalShipperOptions sopts;
-    sopts.port = cfg.repl_port;
-    std::mutex* state_mu = service_options.replica.write_mu;
-    auto state = [owned, state_mu] {
-      std::lock_guard<std::mutex> lock(*state_mu);
-      return repl::LeaderStatus{owned->wal_position(),
-                                owned->engine().Watermark()};
-    };
-    if (Status st = shipper.Start(Env::Default(), cfg.dir, sopts, state);
-        !st.ok()) {
-      server.Stop();
-      return Fail(st);
+  auto start_extras = [&]() -> Status {
+    if (cfg.repl_port != 0) {
+      repl::WalShipperOptions sopts;
+      sopts.port = cfg.repl_port;
+      std::mutex* state_mu = service_options.replica.write_mu;
+      auto state = [owned, state_mu] {
+        std::lock_guard<std::mutex> lock(*state_mu);
+        return repl::LeaderStatus{owned->wal_position(),
+                                  owned->engine().Watermark()};
+      };
+      BURSTHIST_RETURN_IF_ERROR(
+          shipper.Start(Env::Default(), cfg.dir, sopts, state));
+      std::printf("replicating on %s:%u\n", sopts.host.c_str(),
+                  shipper.port());
     }
-    std::printf("replicating on %s:%u\n", sopts.host.c_str(), shipper.port());
-  }
-  if (replica != nullptr) {
-    if (Status st = replica->Start(); !st.ok()) {
-      shipper.Stop();
-      server.Stop();
-      return Fail(st);
+    if (replica != nullptr) {
+      BURSTHIST_RETURN_IF_ERROR(replica->Start());
+      std::printf("following %s:%u\n", cfg.follow_host.c_str(),
+                  cfg.follow_port);
     }
-    std::printf("following %s:%u\n", cfg.follow_host.c_str(),
-                cfg.follow_port);
-  }
-  std::fflush(stdout);
+    return Status::OK();
+  };
+  auto stop_extras = [&] {
+    shipper.Stop();
+    if (replica != nullptr) replica->Stop();
+  };
+  return RunServeLoop(owned, service_options, cfg.port, start_extras,
+                      stop_extras);
+}
 
-  std::signal(SIGINT, HandleStop);
-  std::signal(SIGTERM, HandleStop);
-  while (g_stop == 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+// serve --shards N: a ClusterEngine (leader) or ClusterReplica
+// (follower) behind the same front-end. Leader mode ships shard i's
+// WAL on repl_port + i, the port convention ClusterReplica derives
+// its per-shard leader ports from.
+template <typename PbeT>
+int ServeCluster(const ServeConfig& cfg) {
+  obs::RegisterStandardMetrics();
+  BurstEngineOptions<PbeT> options = EngineOptions<PbeT>(cfg.header);
+  options.max_lateness = cfg.lateness;
+  shard::ClusterOptions cluster_options;
+  cluster_options.shards = cfg.shards;
+
+  ResourceGovernor governor(
+      ResourceBudget{cfg.budget_mb << 19, cfg.budget_mb << 20});
+  server::BurstServiceOptions service_options;
+
+  if (!cfg.follow_host.empty()) {
+    if (cfg.repl_port != 0) {
+      return Fail(Status::InvalidArgument(
+          "--repl-port with --follow is not supported for a sharded "
+          "follower (re-shipping would need per-shard chains)"));
+    }
+    repl::ReplicaOptions ropts;
+    ropts.leader_host = cfg.follow_host;
+    ropts.leader_port = cfg.follow_port;
+    auto r = shard::ClusterReplica<PbeT>::Open(Env::Default(), cfg.dir,
+                                               options, DurabilityOptions(),
+                                               ropts, cluster_options);
+    if (!r.ok()) return Fail(r.status());
+    auto replica = std::move(r).value();
+    auto* rp = replica.get();
+    service_options.replica.enabled = true;
+    service_options.replica.write_mu = rp->write_mu();
+    service_options.replica.is_follower = [rp] { return rp->follower(); };
+    service_options.replica.lag = [rp] { return rp->lag(); };
+    service_options.replica.applied = [rp] { return rp->applied_records(); };
+    service_options.replica.promote = [rp] { return rp->Promote(); };
+    // No governor on a cluster follower: Enforce() would race the
+    // apply threads (the cluster-level write mutex does not exclude
+    // them), and a follower's ingest is the leader's problem anyway.
+    auto start_extras = [&]() -> Status {
+      BURSTHIST_RETURN_IF_ERROR(rp->Start());
+      std::printf("following %s:%u (%zu shards)\n", cfg.follow_host.c_str(),
+                  cfg.follow_port, cfg.shards);
+      return Status::OK();
+    };
+    auto stop_extras = [&] { rp->Stop(); };
+    return RunServeLoop(rp, service_options, cfg.port, start_extras,
+                        stop_extras);
   }
-  // Graceful shutdown: refuse new connections, give in-flight
-  // requests a grace period, then tear down and leave a final
-  // checkpoint so the next start replays (almost) nothing.
-  server.StopAccepting();
-  server.Drain(2000);
-  server.Stop();
-  shipper.Stop();
-  if (replica != nullptr) replica->Stop();
-  // The final checkpoint is an optimization, not a durability
-  // barrier: every acknowledged record is already in the WAL, so a
-  // crash (or injected fault) anywhere inside Checkpoint() leaves a
-  // directory the next start recovers by WAL replay. But a FAILED
-  // checkpoint is still a failed shutdown step the operator must see
-  // — exit nonzero instead of burying it in a log line.
-  if (Status st = owned->Checkpoint(); !st.ok()) {
-    std::fprintf(stderr,
-                 "final checkpoint failed (WAL replay will recover on next "
-                 "start): %s\n",
-                 st.message().c_str());
-    return 1;
+
+  auto c = shard::ClusterEngine<PbeT>::Open(Env::Default(), cfg.dir, options,
+                                            cluster_options);
+  if (!c.ok()) return Fail(c.status());
+  auto cluster = std::move(c).value();
+  if (cfg.budget_mb > 0) {
+    cluster->RegisterComponents(&governor);
+    service_options.governor = &governor;
   }
-  std::printf("stopped\n");
-  return 0;
+  // The shipper state callbacks share the service's write mutex: the
+  // per-shard ingest workers only touch their WALs while a dispatch
+  // holds it (the dispatcher blocks until every sub-batch completes),
+  // so positions read under the mutex are always between batches.
+  std::mutex leader_mu;
+  service_options.replica.write_mu = &leader_mu;
+
+  std::vector<std::unique_ptr<repl::WalShipper>> shippers;
+  auto start_extras = [&]() -> Status {
+    if (cfg.repl_port == 0) return Status::OK();
+    for (size_t i = 0; i < cfg.shards; ++i) {
+      repl::WalShipperOptions sopts;
+      sopts.port = static_cast<uint16_t>(cfg.repl_port + i);
+      auto* sh = cluster->shard(i);
+      auto state = [sh, &leader_mu] {
+        std::lock_guard<std::mutex> lock(leader_mu);
+        return repl::LeaderStatus{sh->wal_position(),
+                                  sh->engine().Watermark()};
+      };
+      shippers.push_back(std::make_unique<repl::WalShipper>());
+      BURSTHIST_RETURN_IF_ERROR(shippers.back()->Start(
+          Env::Default(), std::string(cfg.dir) + "/" + shard::ShardDirName(i),
+          sopts, state));
+      std::printf("replicating %s on %s:%u\n", shard::ShardDirName(i).c_str(),
+                  sopts.host.c_str(), shippers.back()->port());
+    }
+    return Status::OK();
+  };
+  auto stop_extras = [&] {
+    for (auto& sh : shippers) sh->Stop();
+  };
+  return RunServeLoop(cluster.get(), service_options, cfg.port, start_extras,
+                      stop_extras);
 }
 
 int Serve(int argc, char** argv) {
@@ -364,9 +480,16 @@ int Serve(int argc, char** argv) {
       cfg.follow_port = static_cast<uint16_t>(
           std::strtoul(target.c_str() + colon + 1, nullptr, 10));
       if (cfg.follow_host.empty() || cfg.follow_port == 0) return Usage();
+    } else if (flag == "--shards") {
+      cfg.shards = std::strtoul(argv[i + 1], nullptr, 10);
+      if (cfg.shards == 0) return Usage();
     } else {
       return Usage();
     }
+  }
+  if (cfg.shards > 1) {
+    return cfg.header.kind == 1 ? ServeCluster<Pbe1>(cfg)
+                                : ServeCluster<Pbe2>(cfg);
   }
   return cfg.header.kind == 1 ? ServeWith<Pbe1>(cfg) : ServeWith<Pbe2>(cfg);
 }
@@ -503,7 +626,40 @@ int main(int argc, char** argv) {
       if (std::string(argv[3]) != "--no-quarantine") return Usage();
       opts.quarantine = false;
     }
-    auto report = ScrubDurableDir(Env::Default(), argv[2], opts);
+    Env* env = Env::Default();
+    const std::string dir = argv[2];
+    Result<ScrubReport> report = Status::NotFound("unscanned");
+    // A cluster directory is a manifest plus per-shard durable dirs:
+    // scrub each shard and merge, prefixing issue paths, so operators
+    // get the same one-verb check sharded or not.
+    auto manifest = shard::ReadClusterManifest(env, dir);
+    if (manifest.ok()) {
+      ScrubReport merged;
+      std::printf("cluster directory: %u shard(s)\n",
+                  manifest.value().shard_count);
+      for (uint32_t i = 0; i < manifest.value().shard_count; ++i) {
+        const std::string name = shard::ShardDirName(i);
+        auto part = ScrubDurableDir(env, dir + "/" + name, opts);
+        if (!part.ok()) return Fail(part.status());
+        const ScrubReport& p = part.value();
+        merged.wal_segments_checked += p.wal_segments_checked;
+        merged.wal_records_checked += p.wal_records_checked;
+        merged.snapshots_checked += p.snapshots_checked;
+        merged.corrupt_files += p.corrupt_files;
+        merged.quarantined_now += p.quarantined_now;
+        merged.quarantined_present += p.quarantined_present;
+        merged.tail_torn = merged.tail_torn || p.tail_torn;
+        for (ScrubIssue issue : p.issues) {
+          issue.file = name + "/" + issue.file;
+          merged.issues.push_back(std::move(issue));
+        }
+      }
+      report = std::move(merged);
+    } else if (manifest.status().code() == StatusCode::kNotFound) {
+      report = ScrubDurableDir(env, dir, opts);
+    } else {
+      return Fail(manifest.status());  // damaged manifest
+    }
     if (!report.ok()) return Fail(report.status());
     const ScrubReport& r = report.value();
     std::printf(

@@ -144,24 +144,26 @@ class ReadSnapshot {
 /// The publication point between the single writer thread and any
 /// number of reader threads: the writer Publish()es each new snapshot,
 /// readers grab Current() and query it lock-free from then on. The
-/// mutex guards only the pointer swap — never a query.
-template <typename PbeT>
+/// mutex guards only the pointer swap — never a query. Parameterized
+/// on the VIEW type (ReadSnapshot<PbeT>, or a sharded cluster's
+/// merged view), not the sketch configuration.
+template <typename ViewT>
 class SnapshotSlot {
  public:
-  void Publish(std::shared_ptr<const ReadSnapshot<PbeT>> snap) {
+  void Publish(std::shared_ptr<const ViewT> snap) {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = std::move(snap);
   }
 
   /// The most recently published view; nullptr before first Publish.
-  std::shared_ptr<const ReadSnapshot<PbeT>> Current() const {
+  std::shared_ptr<const ViewT> Current() const {
     std::lock_guard<std::mutex> lock(mu_);
     return current_;
   }
 
  private:
   mutable std::mutex mu_;
-  std::shared_ptr<const ReadSnapshot<PbeT>> current_;
+  std::shared_ptr<const ViewT> current_;
 };
 
 template <typename PbeT>

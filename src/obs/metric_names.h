@@ -187,6 +187,23 @@
   M(Gauge, ReplLag, "bursthist_repl_lag",                                     \
     "Replication lag in stream-time units: leader watermark minus "           \
     "applied watermark.")                                                     \
+  /* ---- sharded cluster ---- */                                             \
+  M(Gauge, ShardCount, "bursthist_shard_count",                               \
+    "Shards behind the serving cluster engine (1 = unsharded).")              \
+  M(Gauge, ShardWatermarkSkew, "bursthist_shard_watermark_skew",              \
+    "Max minus min per-shard watermark at the last publish, in "              \
+    "stream-time units (hot-shard / stalled-shard indicator).")               \
+  M(Counter, ShardBatchFanoutTotal, "bursthist_shard_batch_fanout_total",     \
+    "Per-shard sub-batches dispatched by ClusterEngine::AppendBatch.")        \
+  M(Counter, ShardQueryFanoutTotal, "bursthist_shard_query_fanout_total",     \
+    "Per-shard snapshot visits issued by scatter-gather queries.")            \
+  M(Histogram, ShardScatterLatencySeconds,                                    \
+    "bursthist_shard_scatter_latency_seconds",                                \
+    "Latency of one scatter-gather fan-out, per-shard pruning and "           \
+    "candidate merge included.")                                              \
+  M(Gauge, ShardMaxLag, "bursthist_shard_max_lag",                            \
+    "Worst per-shard replication lag on a sharded follower, in "              \
+    "stream-time units.")                                                     \
   /* ---- integrity scrubber ---- */                                          \
   M(Counter, ScrubRunsTotal, "bursthist_scrub_runs_total",                    \
     "Integrity scrub passes over a durable directory.")                       \

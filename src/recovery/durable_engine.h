@@ -293,6 +293,11 @@ template <typename PbeT>
 class DurableBurstEngine {
  public:
   using EngineOptions = BurstEngineOptions<PbeT>;
+  /// The immutable query-view type AcquireSnapshot() returns — part
+  /// of the duck type the serving layer (server/ingest_server.h) is
+  /// templated on, alongside the delegating accessors below (a
+  /// sharded ClusterEngine implements the same surface).
+  using Snapshot = ReadSnapshot<PbeT>;
 
   /// Recovers (or initializes) `dir` and opens it for appending.
   static Result<std::unique_ptr<DurableBurstEngine<PbeT>>> Open(
@@ -489,6 +494,20 @@ class DurableBurstEngine {
 
   /// Newest snapshot generation (0 before the first checkpoint).
   uint64_t generation() const { return generation_; }
+
+  // Delegating accessors completing the serving duck type (see
+  // `Snapshot` above): a templated serving layer talks only to this
+  // surface, never to engine() directly, so a sharded cluster facade
+  // can slot in behind the same code.
+  std::shared_ptr<const ReadSnapshot<PbeT>> AcquireSnapshot(
+      uint64_t sequence = 0) {
+    return engine_.AcquireSnapshot(sequence);
+  }
+  void PublishMetrics() const { engine_.PublishMetrics(); }
+  EventId universe_size() const { return engine_.universe_size(); }
+  Count TotalCount() const { return engine_.TotalCount(); }
+  Count BufferedCount() const { return engine_.BufferedCount(); }
+  Timestamp Watermark() const { return engine_.Watermark(); }
 
  private:
   DurableBurstEngine(Env* env, std::string dir, const EngineOptions& options,

@@ -1,15 +1,24 @@
-// The serving front-end: a TCP line-protocol server over a
-// DurableBurstEngine.
+// The serving front-end: a TCP line-protocol server over a durable
+// engine — single-shard (DurableBurstEngine) or sharded
+// (shard::ClusterEngine / shard::ClusterReplica).
 //
 // Layering (one writer, many readers):
 //
-//   connections ──> TcpLineServer ──> BurstService<PbeT> ──┬─ writes:
-//     (threads)       (sockets)         (dispatch)         │  write_mu_ →
-//                                                          │  governor →
-//                                                          │  DurableBurstEngine
-//                                                          └─ reads:
-//                                                             SnapshotSlot →
-//                                                             ReadSnapshot
+//   connections ──> TcpLineServer ──> BurstService<EngineT> ──┬─ writes:
+//     (threads)       (sockets)         (dispatch)            │  write_mu_ →
+//                                                             │  governor →
+//                                                             │  EngineT
+//                                                             └─ reads:
+//                                                                SnapshotSlot →
+//                                                                EngineT::Snapshot
+//
+// EngineT is a duck type, not an interface: anything exposing
+// Append/AppendBatch/Sync/Checkpoint/generation/AcquireSnapshot/
+// PublishMetrics/universe_size/TotalCount/BufferedCount/Watermark and
+// a nested `Snapshot` view type serves unchanged. Sharded engines
+// additionally expose shard_count()/ShardStats(), which light up the
+// SHARDSTATS verb and the `shards=` STATS field via `if constexpr` —
+// a plain engine answers SHARDSTATS with FAILED_PRECONDITION.
 //
 //  * Ingest (ADD) and the other mutating verbs (SYNC, CHECKPOINT)
 //    serialize on one mutex — the engine stays single-writer no matter
@@ -188,13 +197,16 @@ struct BurstServiceOptions {
   ReplicaHooks replica;
 };
 
-/// Dispatches parsed wire requests against one DurableBurstEngine.
-/// Thread-safe: any number of connection threads may call Handle().
-template <typename PbeT>
+/// Dispatches parsed wire requests against one durable engine (see
+/// the EngineT duck type in the header comment). Thread-safe: any
+/// number of connection threads may call Handle().
+template <typename EngineT>
 class BurstService {
  public:
-  BurstService(DurableBurstEngine<PbeT>* durable,
-               const BurstServiceOptions& options)
+  /// The immutable view queries run against.
+  using Snapshot = typename EngineT::Snapshot;
+
+  BurstService(EngineT* durable, const BurstServiceOptions& options)
       : durable_(durable),
         options_(options),
         write_mu_(options.replica.write_mu != nullptr
@@ -303,7 +315,7 @@ class BurstService {
     {
       // PublishMetrics walks the live index — writer-side state.
       std::lock_guard<std::mutex> lock(*write_mu_);
-      durable_->engine().PublishMetrics();
+      durable_->PublishMetrics();
     }
     std::string out;
     obs::MetricsRegistry::Global().WritePrometheus(&out);
@@ -346,6 +358,8 @@ class BurstService {
       }
       case RequestType::kStats:
         return HandleStats();
+      case RequestType::kShardStats:
+        return HandleShardStats();
       case RequestType::kMetrics:
         return MetricsText() + "END";
       case RequestType::kPoint:
@@ -548,12 +562,14 @@ class BurstService {
   std::string HandleStats() {
     // Reads of live-engine counters are writer-side state too.
     std::lock_guard<std::mutex> lock(*write_mu_);
-    const BurstEngine<PbeT>& eng = durable_->engine();
-    std::string out = "STATS total=" + std::to_string(eng.TotalCount()) +
-                      " buffered=" + std::to_string(eng.BufferedCount()) +
-                      " watermark=" + std::to_string(eng.Watermark()) +
+    std::string out = "STATS total=" + std::to_string(durable_->TotalCount()) +
+                      " buffered=" + std::to_string(durable_->BufferedCount()) +
+                      " watermark=" + std::to_string(durable_->Watermark()) +
                       " accepted=" + std::to_string(accepted()) +
                       " generation=" + std::to_string(durable_->generation());
+    if constexpr (requires { durable_->shard_count(); }) {
+      out += " shards=" + std::to_string(durable_->shard_count());
+    }
     if (options_.governor != nullptr) {
       out += std::string(" level=") +
              DegradationLevelName(options_.governor->level());
@@ -572,8 +588,41 @@ class BurstService {
     return out;
   }
 
+  /// One line of per-shard numbers the label-less metrics registry
+  /// cannot carry: "SHARDSTATS shards=<n> | shard=<i> total=...
+  /// buffered=... watermark=... generation=... wal=<seq>/<off>
+  /// [lag=... applied=...] | ...". On a replica each row adds its
+  /// shard's own replication lag — THE signal for spotting one
+  /// stalled partition behind a healthy-looking aggregate. Compiled
+  /// only for sharded engine types; a plain engine answers
+  /// FAILED_PRECONDITION.
+  std::string HandleShardStats() {
+    if constexpr (requires { durable_->ShardStats(); }) {
+      std::lock_guard<std::mutex> lock(*write_mu_);
+      auto stats = durable_->ShardStats();
+      std::string out = "SHARDSTATS shards=" + std::to_string(stats.size());
+      for (const auto& s : stats) {
+        out += " | shard=" + std::to_string(s.shard) +
+               " total=" + std::to_string(s.total) +
+               " buffered=" + std::to_string(s.buffered) +
+               " watermark=" + std::to_string(s.watermark) +
+               " generation=" + std::to_string(s.generation) +
+               " wal=" + std::to_string(s.wal_seq) + "/" +
+               std::to_string(s.wal_offset);
+        if (s.has_lag) {
+          out += " lag=" + std::to_string(s.lag) +
+                 " applied=" + std::to_string(s.applied);
+        }
+      }
+      return out;
+    } else {
+      return FormatError(Status::FailedPrecondition(
+          "not a sharded engine; SHARDSTATS needs serve --shards"));
+    }
+  }
+
   std::string HandleQuery(const Request& req) {
-    if (req.e >= durable_->engine().universe_size() &&
+    if (req.e >= durable_->universe_size() &&
         (req.type == RequestType::kPoint || req.type == RequestType::kFreq ||
          req.type == RequestType::kBurstyTime)) {
       return FormatError(
@@ -587,7 +636,7 @@ class BurstService {
     if (req.tau < 0) {
       return FormatError(Status::InvalidArgument("tau must be >= 0"));
     }
-    std::shared_ptr<const ReadSnapshot<PbeT>> snap = Serving();
+    std::shared_ptr<const Snapshot> snap = Serving();
     switch (req.type) {
       case RequestType::kPoint: {
         auto ans = snap->Point(req.e, req.t, req.tau);
@@ -638,7 +687,7 @@ class BurstService {
   /// The snapshot queries run against, refreshed when stale. The slot
   /// itself is the only reader/writer shared state; once a reader
   /// holds the shared_ptr the view is immutable.
-  std::shared_ptr<const ReadSnapshot<PbeT>> Serving() {
+  std::shared_ptr<const Snapshot> Serving() {
     BURSTHIST_GAUGE(m_staleness, obs::kServerSnapshotStalenessAppends);
     auto current = slot_.Current();
     uint64_t now = Token();
@@ -654,14 +703,14 @@ class BurstService {
     now = Token();
     if (current == nullptr ||
         now - current->sequence() >= options_.snapshot_staleness_appends) {
-      current = durable_->engine().AcquireSnapshot(now);
+      current = durable_->AcquireSnapshot(now);
       slot_.Publish(current);
     }
     m_staleness.Set(static_cast<double>(now - current->sequence()));
     return current;
   }
 
-  DurableBurstEngine<PbeT>* durable_;
+  EngineT* durable_;
   BurstServiceOptions options_;
   std::mutex own_mu_;
   /// Serializes every live-engine touch. Points at own_mu_ in leader
@@ -678,17 +727,16 @@ class BurstService {
   std::condition_variable ring_cv_;
   bool ring_shutdown_ = false;  // guarded by ring_mu_
   std::atomic<bool> ring_running_{false};
-  SnapshotSlot<PbeT> slot_;
+  SnapshotSlot<Snapshot> slot_;
   std::atomic<uint64_t> accepted_{0};
   uint64_t appends_since_audit_ = 0;  // guarded by write_mu_
 };
 
 /// Convenience bundle: one service wired to one TCP listener.
-template <typename PbeT>
+template <typename EngineT>
 class IngestServer {
  public:
-  IngestServer(DurableBurstEngine<PbeT>* durable,
-               const BurstServiceOptions& service_options)
+  IngestServer(EngineT* durable, const BurstServiceOptions& service_options)
       : service_(durable, service_options) {}
 
   Status Start(const TcpServerOptions& options) {
@@ -712,10 +760,10 @@ class IngestServer {
   void StopAccepting() { tcp_.StopAccepting(); }
   bool Drain(int grace_ms) { return tcp_.Drain(grace_ms); }
   uint16_t port() const { return tcp_.port(); }
-  BurstService<PbeT>& service() { return service_; }
+  BurstService<EngineT>& service() { return service_; }
 
  private:
-  BurstService<PbeT> service_;
+  BurstService<EngineT> service_;
   TcpLineServer tcp_;
 };
 

@@ -145,11 +145,12 @@ Result<Request> ParseRequest(const std::string& line) {
     req.k = static_cast<size_t>(k);
     return req;
   }
-  if (verb == "STATS" || verb == "METRICS" || verb == "SYNC" ||
-      verb == "CHECKPOINT" || verb == "PROMOTE" || verb == "PING" ||
-      verb == "QUIT") {
+  if (verb == "STATS" || verb == "SHARDSTATS" || verb == "METRICS" ||
+      verb == "SYNC" || verb == "CHECKPOINT" || verb == "PROMOTE" ||
+      verb == "PING" || verb == "QUIT") {
     if (tok.size() != 1) return BadRequest(verb + " takes no arguments");
     if (verb == "STATS") req.type = RequestType::kStats;
+    if (verb == "SHARDSTATS") req.type = RequestType::kShardStats;
     if (verb == "METRICS") req.type = RequestType::kMetrics;
     if (verb == "SYNC") req.type = RequestType::kSync;
     if (verb == "CHECKPOINT") req.type = RequestType::kCheckpoint;

@@ -13,6 +13,7 @@
 //   BEVENT <t> <theta> <tau>         EVENTS <n> <id1> ... wm/bound
 //   TOPK <t> <k> <tau>               TOPK <n> <id1>:<v1> ... wm/bound
 //   STATS                            STATS total=... buffered=... ...
+//   SHARDSTATS                       SHARDSTATS shards=<n> | shard=0 ...
 //   METRICS                          Prometheus text, then "END"
 //   SYNC                             OK
 //   CHECKPOINT                       OK
@@ -60,6 +61,7 @@ enum class RequestType : uint8_t {
   kBurstyEvent,
   kTopK,
   kStats,
+  kShardStats,
   kMetrics,
   kSync,
   kCheckpoint,

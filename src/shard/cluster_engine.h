@@ -1,0 +1,743 @@
+// ClusterEngine — N durable burst-engine shards behind the
+// single-engine Append/AppendBatch/query surface.
+//
+//   auto cluster = ClusterEngine<Pbe1>::Open(env, dir, engine_opts,
+//                                            {.shards = 4});
+//   cluster->AppendBatch(records);          // routed + fanned out
+//   auto snap = cluster->AcquireSnapshot(); // one view per shard
+//   auto hot = snap->BurstyEvent(t, theta, tau);  // scatter-gather
+//
+// Why this is sound: the router (shard/shard_router.h) places every
+// event id in exactly one shard, so each shard holds a COMPLETE
+// history for its id subset and the paper's dyadic θ-pruning rule
+// (b_p² − 2·b_l·b_r < θ²) evaluates independently per shard.
+// Scatter-gather is then:
+//
+//   POINT / FREQ / BTIME   route to the owning shard, answer as-is;
+//   BEVENT                 fan out, push θ-pruning down per shard,
+//                          union the disjoint ascending id sets;
+//   TOPK                   per-shard top-k heaps (each shard already
+//                          returns its k best), merged descending and
+//                          cut at the global k-th value.
+//
+// Layout on disk: <dir>/cluster.manifest pins (shard count, hash
+// seed); <dir>/shard-000 ... shard-NNN are ordinary DurableBurstEngine
+// directories — each with its own WAL and snapshot chain, each
+// recoverable, scrubbable, and replicatable on its own. Open() is
+// all-shards-or-fail: a cluster where one shard silently failed
+// recovery would serve query answers missing that shard's id subset.
+//
+// Threading matches the single engine's contract: one writer thread
+// calls the mutators and AcquireSnapshot; queries run on immutable
+// ClusterSnapshot views from any thread. Internally AppendBatch fans
+// each batch out to per-shard ingest workers (one MPSC ring + thread
+// per shard) and waits for all sub-batches, so WAL framing, fsync and
+// the SoA sketch kernels of different shards run in parallel while
+// the external single-writer discipline is preserved.
+
+#ifndef BURSTHIST_SHARD_CLUSTER_ENGINE_H_
+#define BURSTHIST_SHARD_CLUSTER_ENGINE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/burst_engine.h"
+#include "core/read_snapshot.h"
+#include "governor/resource_governor.h"
+#include "obs/metrics.h"
+#include "recovery/durable_engine.h"
+#include "shard/cluster_manifest.h"
+#include "shard/shard_router.h"
+#include "util/env.h"
+#include "util/mpsc_ring.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace shard {
+
+/// Cluster topology and ingest tuning.
+struct ClusterOptions {
+  /// Shard count. Persisted in the manifest at creation; a later Open
+  /// with a different value is refused.
+  size_t shards = 1;
+  /// Router hash seed; persisted alongside the shard count.
+  uint64_t hash_seed = kDefaultShardHashSeed;
+  /// Run one ingest worker (MPSC ring + thread) per shard so
+  /// AppendBatch sub-batches ingest in parallel. Off: sub-batches run
+  /// serially on the caller thread (deterministic single-threaded
+  /// mode for tests and tiny universes).
+  bool parallel_ingest = true;
+  /// Capacity of each per-shard ingest ring (jobs, rounded up to a
+  /// power of two). One job per AppendBatch call, so tiny is plenty.
+  size_t shard_ring_capacity = 16;
+};
+
+/// Immutable scatter-gather query view: one ReadSnapshot per shard,
+/// captured at the same writer-thread instant. Mirrors the
+/// ReadSnapshot surface so the serving layer treats both uniformly.
+///
+/// Answer stamps: every answer carries the CLUSTER watermark (the
+/// max over shards — event e having no records past its shard's
+/// watermark is data, not staleness). Routed answers keep the owning
+/// shard's error bound (tighter than the single-engine bound, since
+/// the shard's N is smaller); fanned-out answers carry the worst
+/// per-shard bound.
+template <typename PbeT>
+class ClusterSnapshot {
+ public:
+  ClusterSnapshot(const ShardRouter& router,
+                  std::vector<std::shared_ptr<const ReadSnapshot<PbeT>>> views,
+                  uint64_t sequence)
+      : router_(router), views_(std::move(views)), sequence_(sequence) {
+    for (const auto& v : views_) {
+      watermark_ = std::max(watermark_, v->watermark());
+      total_count_ += v->total_count();
+      const EffectiveErrorBound& b = v->bound();
+      if (b.point_bound >= bound_.point_bound) bound_ = b;
+    }
+  }
+
+  SnapshotAnswer<double> Point(EventId e, Timestamp t, Timestamp tau) const {
+    return Restamp(Route(e).Point(e, t, tau));
+  }
+
+  SnapshotAnswer<double> Cumulative(EventId e, Timestamp t) const {
+    return Restamp(Route(e).Cumulative(e, t));
+  }
+
+  SnapshotAnswer<double> Frequency(EventId e, Timestamp t1,
+                                   Timestamp t2) const {
+    return Restamp(Route(e).Frequency(e, t1, t2));
+  }
+
+  SnapshotAnswer<std::vector<TimeInterval>> BurstyTime(EventId e, double theta,
+                                                       Timestamp tau) const {
+    return Restamp(Route(e).BurstyTime(e, theta, tau));
+  }
+
+  /// BURSTY EVENT scatter-gather: θ-pruning runs inside each shard's
+  /// dyadic index, and the per-shard candidate sets are disjoint
+  /// (each id has one home), so the merge is a sort of the
+  /// concatenation — no dedup, no re-check.
+  SnapshotAnswer<std::vector<EventId>> BurstyEvent(Timestamp t, double theta,
+                                                   Timestamp tau) const {
+    return Scatter([&](const ReadSnapshot<PbeT>& v) {
+      return v.BurstyEvent(t, theta, tau).value;
+    });
+  }
+
+  SnapshotAnswer<std::vector<EventId>> FrequentBurstyEvent(
+      Timestamp t, double theta, Timestamp tau, double min_frequency) const {
+    return Scatter([&](const ReadSnapshot<PbeT>& v) {
+      return v.FrequentBurstyEvent(t, theta, tau, min_frequency).value;
+    });
+  }
+
+  /// TOP-K scatter-gather: each shard's best-first search already
+  /// yields its own top-k heap; the global answer is the k best of
+  /// the union (ids are disjoint across shards). Ties at the k-th
+  /// value break by ascending id, deterministically.
+  SnapshotAnswer<std::vector<std::pair<EventId, double>>> TopK(
+      Timestamp t, size_t k, Timestamp tau) const {
+    BURSTHIST_COUNTER(m_fanout, obs::kShardQueryFanoutTotal);
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kShardScatterLatencySeconds);
+    obs::TraceSpan span(m_lat, "shard_scatter_topk");
+    std::vector<std::pair<EventId, double>> merged;
+    for (const auto& v : views_) {
+      auto part = v->TopK(t, k, tau).value;
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    m_fanout.Inc(views_.size());
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (merged.size() > k) merged.resize(k);
+    return SnapshotAnswer<std::vector<std::pair<EventId, double>>>{
+        std::move(merged), watermark_, bound_};
+  }
+
+  /// Per-shard view, for callers that need the raw partition (tests,
+  /// serialization checks).
+  const ReadSnapshot<PbeT>& shard_view(size_t shard) const {
+    return *views_[shard];
+  }
+  size_t shard_count() const { return views_.size(); }
+
+  Timestamp watermark() const { return watermark_; }
+  Count total_count() const { return total_count_; }
+  const EffectiveErrorBound& bound() const { return bound_; }
+  uint64_t sequence() const { return sequence_; }
+
+ private:
+  const ReadSnapshot<PbeT>& Route(EventId e) const {
+    return *views_[router_.ShardOf(e)];
+  }
+
+  template <typename T>
+  SnapshotAnswer<T> Restamp(SnapshotAnswer<T> ans) const {
+    ans.watermark = watermark_;
+    return ans;
+  }
+
+  /// Fans an id-set query out to every shard and unions the disjoint
+  /// ascending results.
+  template <typename Fn>
+  SnapshotAnswer<std::vector<EventId>> Scatter(Fn&& per_shard) const {
+    BURSTHIST_COUNTER(m_fanout, obs::kShardQueryFanoutTotal);
+    BURSTHIST_LATENCY_HISTOGRAM(m_lat, obs::kShardScatterLatencySeconds);
+    obs::TraceSpan span(m_lat, "shard_scatter_events");
+    std::vector<EventId> merged;
+    for (const auto& v : views_) {
+      std::vector<EventId> part = per_shard(*v);
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    m_fanout.Inc(views_.size());
+    std::sort(merged.begin(), merged.end());
+    return SnapshotAnswer<std::vector<EventId>>{std::move(merged), watermark_,
+                                                bound_};
+  }
+
+  ShardRouter router_;
+  std::vector<std::shared_ptr<const ReadSnapshot<PbeT>>> views_;
+  uint64_t sequence_;
+  Timestamp watermark_ = 0;
+  Count total_count_ = 0;
+  EffectiveErrorBound bound_;
+};
+
+/// The cluster facade: owns N DurableBurstEngine shards and exposes
+/// the single-engine mutation/query/maintenance surface (the serving
+/// layer is templated on exactly this duck type).
+template <typename PbeT>
+class ClusterEngine {
+ public:
+  using EngineOptions = BurstEngineOptions<PbeT>;
+  using Snapshot = ClusterSnapshot<PbeT>;
+
+  /// Opens (or creates) a cluster directory: manifest check first —
+  /// topology is pinned at creation and a mismatched reopen is
+  /// refused — then every shard recovers, all-or-fail.
+  static Result<std::unique_ptr<ClusterEngine<PbeT>>> Open(
+      Env* env, const std::string& dir, const EngineOptions& options,
+      const ClusterOptions& cluster = ClusterOptions(),
+      const DurabilityOptions& durability = DurabilityOptions()) {
+    BURSTHIST_RETURN_IF_ERROR(
+        EnsureClusterTopology(env, dir, cluster.shards, cluster.hash_seed));
+
+    std::unique_ptr<ClusterEngine<PbeT>> out(
+        new ClusterEngine(env, dir, options, cluster));
+    for (size_t i = 0; i < cluster.shards; ++i) {
+      auto s = DurableBurstEngine<PbeT>::Open(env, dir + "/" + ShardDirName(i),
+                                              options, durability);
+      if (!s.ok()) {
+        return Status(s.status().code(),
+                      ShardDirName(i) + " failed to open: " +
+                          s.status().message());
+      }
+      out->shards_.push_back(std::move(s).value());
+    }
+    // Global monotonicity resumes where the merged history ended: the
+    // max shard watermark is the last accepted arrival time.
+    for (const auto& s : out->shards_) {
+      const Timestamp w = s->engine().Watermark();
+      if (s->engine().TotalCount() > 0) {
+        out->started_ = true;
+        out->last_time_ = std::max(out->last_time_, w);
+      }
+    }
+    if (cluster.parallel_ingest && cluster.shards > 1) out->StartWorkers();
+    return out;
+  }
+
+  ~ClusterEngine() { StopWorkers(); }
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  /// Routes one record to its shard. Validation mirrors the single
+  /// engine at cluster scope: out-of-range ids are InvalidArgument,
+  /// and with max_lateness == 0 the GLOBAL arrival order must be
+  /// non-decreasing (per-shard order alone would accept interleavings
+  /// a single engine rejects). With lateness > 0 each shard buffers
+  /// and re-orders against its own watermark.
+  Status Append(EventId e, Timestamp t, Count count = 1) {
+    if (e >= options_.universe_size) {
+      return Status::InvalidArgument("event id exceeds universe size");
+    }
+    if (options_.max_lateness == 0 && started_ && t < last_time_) {
+      return Status::OutOfRange("timestamps must be non-decreasing");
+    }
+    BURSTHIST_RETURN_IF_ERROR(shards_[router_.ShardOf(e)]->Append(e, t, count));
+    started_ = true;
+    last_time_ = std::max(last_time_, t);
+    return Status::OK();
+  }
+
+  /// Batch ingest: validates the deterministic global prefix (same
+  /// rules as Append, plus each shard's lateness window), partitions
+  /// it into order-preserving per-shard sub-batches, and dispatches
+  /// them to the shard workers in parallel. Equal-(id,time) runs stay
+  /// intact inside one shard's sub-batch, so each shard's SoA
+  /// coalescing sees exactly the records a dedicated engine would.
+  ///
+  /// `applied` counts records applied across shards. On a validation
+  /// stop this is the global prefix length, exactly like the single
+  /// engine. On a shard WAL/IO failure the OTHER shards' sub-batches
+  /// still complete, so the applied set is a union of per-shard
+  /// prefixes rather than one global prefix — the failing shard's WAL
+  /// is poisoned at that point and the cluster is effectively
+  /// read-only (see read_only()).
+  Status AppendBatch(std::span<const WeightedRecord> records,
+                     size_t* applied = nullptr) {
+    BURSTHIST_COUNTER(m_fanout, obs::kShardBatchFanoutTotal);
+    if (applied != nullptr) *applied = 0;
+    if (records.empty()) return Status::OK();
+
+    // Deterministic prefix: stop at the first record any shard would
+    // refuse, BEFORE dispatching, so partial application is never
+    // interleaved across shards on the validation path.
+    Status stop = Status::OK();
+    size_t valid = 0;
+    {
+      bool running_started = started_;
+      Timestamp running_last = last_time_;
+      EnsureShardScratch();
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        shard_watermark_[i] = shards_[i]->engine().Watermark();
+        shard_seen_[i] = shards_[i]->engine().TotalCount() > 0 ||
+                         shards_[i]->engine().BufferedCount() > 0;
+      }
+      for (; valid < records.size(); ++valid) {
+        const WeightedRecord& r = records[valid];
+        if (r.id >= options_.universe_size) {
+          stop = Status::InvalidArgument("event id exceeds universe size");
+          break;
+        }
+        const size_t s = router_.ShardOf(r.id);
+        if (options_.max_lateness == 0) {
+          if (running_started && r.time < running_last) {
+            stop = Status::OutOfRange("timestamps must be non-decreasing");
+            break;
+          }
+          running_started = true;
+          running_last = std::max(running_last, r.time);
+        } else {
+          if (shard_seen_[s] &&
+              r.time < shard_watermark_[s] - options_.max_lateness) {
+            stop = Status::OutOfRange("record arrived beyond max_lateness");
+            break;
+          }
+          shard_seen_[s] = true;
+          shard_watermark_[s] = std::max(shard_watermark_[s], r.time);
+        }
+      }
+    }
+
+    // Partition the prefix, preserving arrival order within each
+    // shard (a subsequence of a globally ordered stream is ordered).
+    for (auto& part : parts_) part.clear();
+    Timestamp max_time = last_time_;
+    for (size_t i = 0; i < valid; ++i) {
+      const WeightedRecord& r = records[i];
+      parts_[router_.ShardOf(r.id)].push_back(r);
+      max_time = std::max(max_time, r.time);
+    }
+
+    size_t dispatched = 0;
+    for (const auto& part : parts_) {
+      if (!part.empty()) ++dispatched;
+    }
+    size_t applied_total = 0;
+    Status dispatch = DispatchParts(&applied_total);
+    if (applied != nullptr) *applied = applied_total;
+    if (applied_total > 0) {
+      started_ = true;
+      last_time_ = max_time;
+    }
+    if (dispatched > 0) m_fanout.Inc(dispatched);
+    if (!dispatch.ok()) return dispatch;
+    return stop;
+  }
+
+  /// Routes a whole stream through the batched path, in fixed-size
+  /// chunks like the single engine's serial path.
+  Status AppendStream(const EventStream& stream) {
+    const auto& records = stream.records();
+    constexpr size_t kChunk = 4096;
+    std::vector<WeightedRecord> chunk;
+    for (size_t begin = 0; begin < records.size(); begin += kChunk) {
+      const size_t n = std::min(kChunk, records.size() - begin);
+      chunk.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        chunk[i] = WeightedRecord{records[begin + i].id,
+                                  records[begin + i].time, 1};
+      }
+      size_t applied = 0;
+      BURSTHIST_RETURN_IF_ERROR(AppendBatch(chunk, &applied));
+    }
+    return Status::OK();
+  }
+
+  /// One immutable view per shard, captured back-to-back on the
+  /// writer thread (no appends can interleave — single-writer
+  /// contract), so the cluster snapshot is one consistent cut.
+  std::shared_ptr<const ClusterSnapshot<PbeT>> AcquireSnapshot(
+      uint64_t sequence = 0) {
+    std::vector<std::shared_ptr<const ReadSnapshot<PbeT>>> views;
+    views.reserve(shards_.size());
+    for (auto& s : shards_) {
+      views.push_back(s->engine().AcquireSnapshot(sequence));
+    }
+    return std::make_shared<const ClusterSnapshot<PbeT>>(
+        router_, std::move(views), sequence);
+  }
+
+  // Convenience pass-throughs for callers (tests, benches) that query
+  // the cluster directly rather than through a snapshot.
+  double PointQuery(EventId e, Timestamp t, Timestamp tau) const {
+    return shards_[router_.ShardOf(e)]->engine().PointQuery(e, t, tau);
+  }
+  double FrequencyQuery(EventId e, Timestamp t1, Timestamp t2) const {
+    return shards_[router_.ShardOf(e)]->engine().FrequencyQuery(e, t1, t2);
+  }
+  std::vector<TimeInterval> BurstyTimeQuery(EventId e, double theta,
+                                            Timestamp tau) const {
+    return shards_[router_.ShardOf(e)]->engine().BurstyTimeQuery(e, theta,
+                                                                 tau);
+  }
+  std::vector<EventId> BurstyEventQuery(Timestamp t, double theta,
+                                        Timestamp tau) const {
+    std::vector<EventId> merged;
+    for (const auto& s : shards_) {
+      auto part = s->engine().BurstyEventQuery(t, theta, tau);
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    return merged;
+  }
+
+  /// Checkpoints every shard (each rotates its own WAL and writes its
+  /// own snapshot). A failure stops at the failing shard; the shards
+  /// already checkpointed keep their new generation — checkpoints are
+  /// independent and idempotent per shard.
+  Status Checkpoint() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (Status st = shards_[i]->Checkpoint(); !st.ok()) {
+        return Status(st.code(),
+                      ShardDirName(i) + " checkpoint: " + st.message());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// fsyncs every shard's WAL.
+  Status Sync() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (Status st = shards_[i]->Sync(); !st.ok()) {
+        return Status(st.code(), ShardDirName(i) + " sync: " + st.message());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// True once ANY shard went read-only (poisoned WAL): the cluster
+  /// cannot accept a record whose home shard cannot log it, and
+  /// accepting only off-shard records would fork the global order.
+  bool read_only() const {
+    for (const auto& s : shards_) {
+      if (s->read_only()) return true;
+    }
+    return false;
+  }
+
+  /// Scrubs every shard directory and merges the reports; issue file
+  /// names are prefixed with their shard directory.
+  Result<ScrubReport> Scrub(const ScrubOptions& opts = ScrubOptions()) {
+    ScrubReport merged;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      auto report = shards_[i]->Scrub(opts);
+      if (!report.ok()) return report.status();
+      const ScrubReport& r = report.value();
+      merged.wal_segments_checked += r.wal_segments_checked;
+      merged.wal_records_checked += r.wal_records_checked;
+      merged.snapshots_checked += r.snapshots_checked;
+      merged.corrupt_files += r.corrupt_files;
+      merged.quarantined_now += r.quarantined_now;
+      merged.quarantined_present += r.quarantined_present;
+      merged.tail_torn = merged.tail_torn || r.tail_torn;
+      for (ScrubIssue issue : r.issues) {
+        issue.file = ShardDirName(i) + "/" + issue.file;
+        merged.issues.push_back(std::move(issue));
+      }
+    }
+    return merged;
+  }
+
+  // -- aggregate single-engine surface (the serving duck type) --
+
+  EventId universe_size() const { return options_.universe_size; }
+
+  Count TotalCount() const {
+    Count total = 0;
+    for (const auto& s : shards_) total += s->engine().TotalCount();
+    return total;
+  }
+
+  Count BufferedCount() const {
+    Count total = 0;
+    for (const auto& s : shards_) total += s->engine().BufferedCount();
+    return total;
+  }
+
+  /// Cluster watermark: the max over shards — the last globally
+  /// accepted arrival time, matching the single engine's Watermark().
+  Timestamp Watermark() const {
+    Timestamp w = 0;
+    for (const auto& s : shards_) w = std::max(w, s->engine().Watermark());
+    return w;
+  }
+
+  /// Cluster generation: the MINIMUM shard generation — the
+  /// conservative answer to "how much checkpoint progress is
+  /// guaranteed everywhere".
+  uint64_t generation() const {
+    uint64_t gen = shards_.empty() ? 0 : shards_[0]->generation();
+    for (const auto& s : shards_) gen = std::min(gen, s->generation());
+    return gen;
+  }
+
+  /// Publishes per-shard engine gauges, then overwrites the
+  /// scan-priced engine gauges with cluster aggregates (resident
+  /// bytes sum across shards; the bound and cell-mass gauges take the
+  /// worst shard) and sets the bursthist_shard_* gauges. Per-shard
+  /// numbers go through ShardStats()/SHARDSTATS — the registry is
+  /// label-less by design.
+  void PublishMetrics() const {
+    BURSTHIST_GAUGE(m_count, obs::kShardCount);
+    BURSTHIST_GAUGE(m_skew, obs::kShardWatermarkSkew);
+    BURSTHIST_GAUGE(m_resident, obs::kEngineResidentBytes);
+    BURSTHIST_GAUGE(m_bound, obs::kEffectivePointBound);
+    size_t resident = 0;
+    double worst_bound = 0.0;
+    Timestamp wm_min = 0;
+    Timestamp wm_max = 0;
+    bool first = true;
+    for (const auto& s : shards_) {
+      s->engine().PublishMetrics();
+      resident += s->engine().MemoryUsage();
+      worst_bound =
+          std::max(worst_bound, s->engine().EffectivePointBound().point_bound);
+      const Timestamp w = s->engine().Watermark();
+      wm_min = first ? w : std::min(wm_min, w);
+      wm_max = first ? w : std::max(wm_max, w);
+      first = false;
+    }
+    m_count.Set(static_cast<double>(shards_.size()));
+    m_skew.Set(static_cast<double>(wm_max - wm_min));
+    m_resident.Set(static_cast<double>(resident));
+    m_bound.Set(worst_bound);
+  }
+
+  /// Registers every shard's engine with the governor, one component
+  /// per shard ("shard-000", ...): each shard audits and sheds its
+  /// own slice of the budget, so a hot shard degrades alone instead
+  /// of dragging every partition down the ladder.
+  void RegisterComponents(ResourceGovernor* governor) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      auto* engine = &shards_[i]->engine();
+      governor->RegisterComponent(
+          ShardDirName(i), [engine] { return engine->MemoryUsage(); },
+          [engine](double factor) { engine->Degrade(factor); });
+    }
+  }
+
+  /// Per-shard stats for SHARDSTATS (the label-less registry cannot
+  /// carry per-shard series).
+  std::vector<ShardStat> ShardStats() const {
+    std::vector<ShardStat> out;
+    out.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const auto& s = shards_[i];
+      ShardStat stat;
+      stat.shard = i;
+      stat.total = s->engine().TotalCount();
+      stat.buffered = s->engine().BufferedCount();
+      stat.watermark = s->engine().Watermark();
+      stat.generation = s->generation();
+      stat.wal_seq = s->wal_position().seq;
+      stat.wal_offset = s->wal_position().offset;
+      out.push_back(stat);
+    }
+    return out;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+  DurableBurstEngine<PbeT>* shard(size_t i) { return shards_[i].get(); }
+  const DurableBurstEngine<PbeT>* shard(size_t i) const {
+    return shards_[i].get();
+  }
+
+ private:
+  // One sub-batch dispatched to one shard worker. Lives on the
+  // caller's stack; the caller waits on `cv` until the worker marks
+  // it done, exactly like the serving layer's IngestJob.
+  struct ShardJob {
+    std::span<const WeightedRecord> records;
+    size_t applied = 0;
+    Status status;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+  };
+
+  // One ingest worker per shard: an MPSC ring of jobs drained by a
+  // dedicated thread, so N shards fsync and ingest concurrently.
+  struct Worker {
+    explicit Worker(size_t ring_capacity) : ring(ring_capacity) {}
+    MpscRing<ShardJob*> ring;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool shutdown = false;  // guarded by mu
+  };
+
+  ClusterEngine(Env* env, std::string dir, const EngineOptions& options,
+                const ClusterOptions& cluster)
+      : env_(env),
+        dir_(std::move(dir)),
+        options_(options),
+        cluster_(cluster),
+        router_(cluster.shards, cluster.hash_seed),
+        parts_(cluster.shards) {}
+
+  void EnsureShardScratch() {
+    if (shard_watermark_.size() != shards_.size()) {
+      shard_watermark_.assign(shards_.size(), 0);
+      shard_seen_.assign(shards_.size(), 0);
+    }
+  }
+
+  void StartWorkers() {
+    workers_.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      workers_.push_back(std::make_unique<Worker>(cluster_.shard_ring_capacity));
+      Worker* w = workers_.back().get();
+      DurableBurstEngine<PbeT>* shard = shards_[i].get();
+      w->thread = std::thread([w, shard] { WorkerLoop(w, shard); });
+    }
+  }
+
+  void StopWorkers() {
+    for (auto& w : workers_) {
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->shutdown = true;
+      }
+      w->cv.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+    workers_.clear();
+  }
+
+  static void WorkerLoop(Worker* w, DurableBurstEngine<PbeT>* shard) {
+    for (;;) {
+      ShardJob* job = nullptr;
+      if (!w->ring.Pop(&job)) {
+        std::unique_lock<std::mutex> lock(w->mu);
+        w->cv.wait(lock,
+                   [w] { return w->shutdown || w->ring.ApproxSize() > 0; });
+        if (w->shutdown && w->ring.ApproxSize() == 0) return;
+        continue;
+      }
+      job->status = shard->AppendBatch(job->records, &job->applied);
+      {
+        // Notify under the job mutex: the job lives on the caller's
+        // stack and is destroyed the moment its wait returns.
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->done = true;
+        job->cv.notify_one();
+      }
+    }
+  }
+
+  // Runs the partitioned sub-batches (parts_) to completion — through
+  // the per-shard workers when they are up, serially otherwise — and
+  // sums the applied counts. Returns the first failing shard's status.
+  Status DispatchParts(size_t* applied_total) {
+    Status first_error = Status::OK();
+    if (!workers_.empty()) {
+      std::vector<std::unique_ptr<ShardJob>> jobs(shards_.size());
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (parts_[i].empty()) continue;
+        jobs[i] = std::make_unique<ShardJob>();
+        jobs[i]->records = std::span<const WeightedRecord>(parts_[i]);
+        ShardJob* ptr = jobs[i].get();
+        while (!workers_[i]->ring.TryPush(ptr)) {
+          std::this_thread::yield();
+        }
+        {
+          // Pairs with the worker's predicate wait (see the serving
+          // layer's ring hand-off for the full argument).
+          std::lock_guard<std::mutex> lock(workers_[i]->mu);
+        }
+        workers_[i]->cv.notify_one();
+      }
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (jobs[i] == nullptr) continue;
+        std::unique_lock<std::mutex> lock(jobs[i]->mu);
+        jobs[i]->cv.wait(lock, [&] { return jobs[i]->done; });
+        *applied_total += jobs[i]->applied;
+        if (first_error.ok() && !jobs[i]->status.ok()) {
+          first_error = Status(jobs[i]->status.code(),
+                               ShardDirName(i) + ": " +
+                                   jobs[i]->status.message());
+        }
+      }
+      return first_error;
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (parts_[i].empty()) continue;
+      size_t applied = 0;
+      Status st = shards_[i]->AppendBatch(
+          std::span<const WeightedRecord>(parts_[i]), &applied);
+      *applied_total += applied;
+      if (first_error.ok() && !st.ok()) {
+        first_error =
+            Status(st.code(), ShardDirName(i) + ": " + st.message());
+      }
+    }
+    return first_error;
+  }
+
+  Env* env_;
+  std::string dir_;
+  EngineOptions options_;
+  ClusterOptions cluster_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<DurableBurstEngine<PbeT>>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Writer-thread state (single-writer contract, like the engine).
+  bool started_ = false;
+  Timestamp last_time_ = 0;
+  std::vector<std::vector<WeightedRecord>> parts_;  // batch scratch
+  std::vector<Timestamp> shard_watermark_;          // validation scratch
+  std::vector<uint8_t> shard_seen_;                 // validation scratch
+};
+
+}  // namespace shard
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SHARD_CLUSTER_ENGINE_H_

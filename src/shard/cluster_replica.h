@@ -1,0 +1,361 @@
+// ClusterReplica — a follower that tracks every shard of a sharded
+// leader, one ReplicaEngine (own connection, own durable directory,
+// own resume token) per shard.
+//
+//   auto follower = ClusterReplica<Pbe1>::Open(env, dir, engine_opts,
+//                                              durability, base, cluster);
+//   follower->Start();     // N apply threads, shard i follows
+//                          // leader_port + i
+//   ... serve reads from follower->AcquireSnapshot() ...
+//   follower->Promote();   // failover: every shard checkpoints and
+//                          // flips writable
+//
+// Port convention: a sharded leader ships shard i's WAL on
+// repl_port + i (see `bursthist_cli serve --shards`), so the replica
+// derives each shard's leader port from one base. The follower's own
+// directory carries the same cluster manifest as a leader directory —
+// following with a different topology than the leader produces
+// shard-local histories that merge into nonsense, and the manifest
+// check turns that operator error into FailedPrecondition at open.
+//
+// Consistency: shards apply independently, so the follower's shards
+// can be at different leader positions at any instant — exactly the
+// per-shard lag SHARDSTATS reports. lag() (the serving stamp) is the
+// WORST shard's lag: an answer merged across shards is only as fresh
+// as its stalest partition. Promote() promotes every shard; the
+// cluster refuses writes (follower() == true) until ALL shards
+// promoted, so a half-failed failover never forks one shard's
+// history — re-issue PROMOTE to retry the shards still following.
+//
+// Locking: each ReplicaEngine keeps its own write mutex shared with
+// its apply thread; every facade operation takes the touched shard's
+// mutex. The serving layer additionally serializes its mutators on
+// write_mu() (a cluster-level mutex), ordered strictly before any
+// shard mutex — never the reverse — so the hierarchy is deadlock-free.
+
+#ifndef BURSTHIST_SHARD_CLUSTER_REPLICA_H_
+#define BURSTHIST_SHARD_CLUSTER_REPLICA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "replication/replica_engine.h"
+#include "shard/cluster_engine.h"
+#include "shard/cluster_manifest.h"
+#include "shard/shard_router.h"
+#include "util/status.h"
+
+namespace bursthist {
+namespace shard {
+
+template <typename PbeT>
+class ClusterReplica {
+ public:
+  using Snapshot = ClusterSnapshot<PbeT>;
+
+  /// Opens every shard's replica directory, all-or-fail, after the
+  /// manifest topology check. `base.leader_port` is the FIRST shard's
+  /// replication port; shard i follows base.leader_port + i.
+  static Result<std::unique_ptr<ClusterReplica<PbeT>>> Open(
+      Env* env, const std::string& dir,
+      const BurstEngineOptions<PbeT>& engine_options,
+      const DurabilityOptions& durability, const repl::ReplicaOptions& base,
+      const ClusterOptions& cluster = ClusterOptions()) {
+    BURSTHIST_RETURN_IF_ERROR(
+        EnsureClusterTopology(env, dir, cluster.shards, cluster.hash_seed));
+    std::unique_ptr<ClusterReplica<PbeT>> out(
+        new ClusterReplica(engine_options, cluster));
+    for (size_t i = 0; i < cluster.shards; ++i) {
+      repl::ReplicaOptions opts = base;
+      opts.leader_port = static_cast<uint16_t>(base.leader_port + i);
+      auto r = repl::ReplicaEngine<PbeT>::Open(
+          env, dir + "/" + ShardDirName(i), engine_options, durability, opts);
+      if (!r.ok()) {
+        return Status(r.status().code(),
+                      ShardDirName(i) + " failed to open: " +
+                          r.status().message());
+      }
+      out->shards_.push_back(std::move(r).value());
+    }
+    for (auto& s : out->shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      const auto& engine = s->durable()->engine();
+      if (engine.TotalCount() > 0) {
+        out->started_ = true;
+        out->last_time_ = std::max(out->last_time_, engine.Watermark());
+      }
+    }
+    return out;
+  }
+
+  ~ClusterReplica() { Stop(); }
+  ClusterReplica(const ClusterReplica&) = delete;
+  ClusterReplica& operator=(const ClusterReplica&) = delete;
+
+  /// Starts every shard's apply thread. On a failure the shards
+  /// already started keep running (call Stop() to unwind).
+  Status Start() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (Status st = shards_[i]->Start(); !st.ok()) {
+        return Status(st.code(), ShardDirName(i) + " start: " + st.message());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Stops every apply thread. Idempotent.
+  void Stop() {
+    for (auto& s : shards_) s->Stop();
+  }
+
+  /// Promotes every shard still following, in order. The first
+  /// failure is returned but later shards are NOT attempted — the
+  /// operator re-issues PROMOTE and already-promoted shards are
+  /// skipped, so the retry converges.
+  Status Promote() {
+    if (!follower()) {
+      return Status::FailedPrecondition("already promoted");
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (!shards_[i]->follower()) continue;
+      if (Status st = shards_[i]->Promote(); !st.ok()) {
+        return Status(st.code(),
+                      ShardDirName(i) + " promote: " + st.message());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// True while ANY shard still follows: a partially promoted cluster
+  /// must keep refusing writes, or the promoted shards would fork
+  /// ahead of the still-replicating ones.
+  bool follower() const {
+    for (const auto& s : shards_) {
+      if (s->follower()) return true;
+    }
+    return false;
+  }
+
+  /// Worst per-shard replication lag — the freshness stamp for
+  /// answers merged across shards.
+  Timestamp lag() const {
+    Timestamp worst = 0;
+    for (const auto& s : shards_) worst = std::max(worst, s->lag());
+    return worst;
+  }
+
+  /// Total records applied across shards (the snapshot staleness
+  /// token contribution).
+  uint64_t applied_records() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s->applied_records();
+    return total;
+  }
+
+  /// First sticky unrecoverable error across shards; OK while all
+  /// healthy.
+  Status last_error() {
+    for (auto& s : shards_) {
+      Status st = s->last_error();
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  /// The serving layer's mutator mutex (BurstServiceOptions's
+  /// replica.write_mu). Cluster-level: apply threads do NOT hold it —
+  /// every facade operation below takes the per-shard mutexes it
+  /// needs internally.
+  std::mutex* write_mu() { return &cluster_mu_; }
+
+  // -- the serving duck surface (see server/ingest_server.h) --
+
+  /// Routes one record (post-promotion writes). Same cluster-level
+  /// validation as ClusterEngine::Append.
+  Status Append(EventId e, Timestamp t, Count count = 1) {
+    if (e >= options_.universe_size) {
+      return Status::InvalidArgument("event id exceeds universe size");
+    }
+    if (options_.max_lateness == 0 && started_ && t < last_time_) {
+      return Status::OutOfRange("timestamps must be non-decreasing");
+    }
+    auto& s = shards_[router_.ShardOf(e)];
+    std::lock_guard<std::mutex> lock(*s->write_mu());
+    BURSTHIST_RETURN_IF_ERROR(s->durable()->Append(e, t, count));
+    started_ = true;
+    last_time_ = std::max(last_time_, t);
+    return Status::OK();
+  }
+
+  /// Record-at-a-time batch (failover writes are not the scaling hot
+  /// path — a promoted cluster that needs leader-grade ingest restarts
+  /// as `serve --shards` on the same directory). Deterministic prefix
+  /// semantics: stops at the first rejected record.
+  Status AppendBatch(std::span<const WeightedRecord> records,
+                     size_t* applied = nullptr) {
+    size_t n = 0;
+    for (const WeightedRecord& r : records) {
+      if (Status st = Append(r.id, r.time, r.count); !st.ok()) {
+        if (applied != nullptr) *applied = n;
+        return st;
+      }
+      ++n;
+    }
+    if (applied != nullptr) *applied = n;
+    return Status::OK();
+  }
+
+  /// One view per shard. Unlike the leader, the per-shard captures
+  /// interleave with apply threads (each under its shard's mutex), so
+  /// the cut can straddle in-flight applies across shards — that skew
+  /// IS the per-shard lag, and answers carry the worst of it.
+  std::shared_ptr<const ClusterSnapshot<PbeT>> AcquireSnapshot(
+      uint64_t sequence = 0) {
+    std::vector<std::shared_ptr<const ReadSnapshot<PbeT>>> views;
+    views.reserve(shards_.size());
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      views.push_back(s->durable()->engine().AcquireSnapshot(sequence));
+    }
+    return std::make_shared<const ClusterSnapshot<PbeT>>(
+        router_, std::move(views), sequence);
+  }
+
+  Status Sync() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::lock_guard<std::mutex> lock(*shards_[i]->write_mu());
+      if (Status st = shards_[i]->durable()->Sync(); !st.ok()) {
+        return Status(st.code(), ShardDirName(i) + " sync: " + st.message());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Checkpoint() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::lock_guard<std::mutex> lock(*shards_[i]->write_mu());
+      if (Status st = shards_[i]->durable()->Checkpoint(); !st.ok()) {
+        return Status(st.code(),
+                      ShardDirName(i) + " checkpoint: " + st.message());
+      }
+    }
+    return Status::OK();
+  }
+
+  uint64_t generation() const {
+    uint64_t gen = 0;
+    bool first = true;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      const uint64_t g = s->durable()->generation();
+      gen = first ? g : std::min(gen, g);
+      first = false;
+    }
+    return gen;
+  }
+
+  EventId universe_size() const { return options_.universe_size; }
+
+  Count TotalCount() const {
+    Count total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      total += s->durable()->engine().TotalCount();
+    }
+    return total;
+  }
+
+  Count BufferedCount() const {
+    Count total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      total += s->durable()->engine().BufferedCount();
+    }
+    return total;
+  }
+
+  Timestamp Watermark() const {
+    Timestamp w = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      w = std::max(w, s->durable()->engine().Watermark());
+    }
+    return w;
+  }
+
+  void PublishMetrics() const {
+    BURSTHIST_GAUGE(m_count, obs::kShardCount);
+    BURSTHIST_GAUGE(m_skew, obs::kShardWatermarkSkew);
+    BURSTHIST_GAUGE(m_max_lag, obs::kShardMaxLag);
+    Timestamp wm_min = 0;
+    Timestamp wm_max = 0;
+    bool first = true;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(*s->write_mu());
+      s->durable()->engine().PublishMetrics();
+      const Timestamp w = s->durable()->engine().Watermark();
+      wm_min = first ? w : std::min(wm_min, w);
+      wm_max = first ? w : std::max(wm_max, w);
+      first = false;
+    }
+    m_count.Set(static_cast<double>(shards_.size()));
+    m_skew.Set(static_cast<double>(wm_max - wm_min));
+    m_max_lag.Set(static_cast<double>(lag()));
+  }
+
+  /// Per-shard stats, lag and applied-record counts included.
+  std::vector<ShardStat> ShardStats() const {
+    std::vector<ShardStat> out;
+    out.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const auto& s = shards_[i];
+      ShardStat stat;
+      stat.shard = i;
+      stat.has_lag = true;
+      stat.lag = s->lag();
+      stat.applied = s->applied_records();
+      {
+        std::lock_guard<std::mutex> lock(*s->write_mu());
+        stat.total = s->durable()->engine().TotalCount();
+        stat.buffered = s->durable()->engine().BufferedCount();
+        stat.watermark = s->durable()->engine().Watermark();
+        stat.generation = s->durable()->generation();
+        stat.wal_seq = s->durable()->wal_position().seq;
+        stat.wal_offset = s->durable()->wal_position().offset;
+      }
+      out.push_back(stat);
+    }
+    return out;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+  repl::ReplicaEngine<PbeT>* shard(size_t i) { return shards_[i].get(); }
+
+ private:
+  ClusterReplica(const BurstEngineOptions<PbeT>& options,
+                 const ClusterOptions& cluster)
+      : options_(options), router_(cluster.shards, cluster.hash_seed) {}
+
+  BurstEngineOptions<PbeT> options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<repl::ReplicaEngine<PbeT>>> shards_;
+  std::mutex cluster_mu_;  // the serving layer's mutator mutex
+
+  // Post-promotion write-path state; guarded by cluster_mu_ (the
+  // serving layer holds it around every mutator).
+  bool started_ = false;
+  Timestamp last_time_ = 0;
+};
+
+}  // namespace shard
+}  // namespace bursthist
+
+#endif  // BURSTHIST_SHARD_CLUSTER_REPLICA_H_

@@ -142,7 +142,7 @@ TEST(ReadSnapshot, ImmutableWhileAppendsContinue) {
 
 TEST(ReadSnapshot, SlotPublishAndCurrent) {
   BurstEngine<Pbe1> engine(SmallOptions(4));
-  SnapshotSlot<Pbe1> slot;
+  SnapshotSlot<ReadSnapshot<Pbe1>> slot;
   EXPECT_EQ(slot.Current(), nullptr);
   ASSERT_TRUE(engine.Append(0, 1).ok());
   auto snap = engine.AcquireSnapshot(1);
@@ -248,7 +248,7 @@ TEST(ReadSnapshotConcurrency, AppendersAndReaders) {
   constexpr int kReaders = 4;
   constexpr Timestamp kEnd = 400;
   BurstEngine<Pbe1> engine(SmallOptions(8, /*max_lateness=*/16));
-  SnapshotSlot<Pbe1> slot;
+  SnapshotSlot<ReadSnapshot<Pbe1>> slot;
   slot.Publish(engine.AcquireSnapshot(0));
   std::atomic<bool> done{false};
 

@@ -71,8 +71,8 @@ class ServerTest : public ::testing::Test {
     auto opened = DurableBurstEngine<Pbe1>::Open(env_, dir_, engine_options);
     ASSERT_TRUE(opened.ok()) << opened.status().message();
     durable_ = std::move(opened).value();
-    server_ = std::make_unique<IngestServer<Pbe1>>(durable_.get(),
-                                                   service_options);
+    server_ = std::make_unique<IngestServer<DurableBurstEngine<Pbe1>>>(
+        durable_.get(), service_options);
     ASSERT_TRUE(server_->Start(tcp_options).ok());
   }
 
@@ -93,7 +93,7 @@ class ServerTest : public ::testing::Test {
   Env* env_ = nullptr;
   std::string dir_;
   std::unique_ptr<DurableBurstEngine<Pbe1>> durable_;
-  std::unique_ptr<IngestServer<Pbe1>> server_;
+  std::unique_ptr<IngestServer<DurableBurstEngine<Pbe1>>> server_;
 };
 
 TEST_F(ServerTest, PingStatsQuit) {

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
-"""Fail if docs/OPERATIONS.md drifts from the declared metric set.
+"""Docs-drift lint: fail if the docs drift from the code they describe.
 
-The single source of truth for metric names is the X-macro list in
-src/obs/metric_names.h. This script extracts every declared
-"bursthist_*" name from that list and every "bursthist_*" token from
-docs/OPERATIONS.md, and exits nonzero if either side has a name the
-other lacks. Run from anywhere:
+Three checks, each against a single source of truth in the tree:
+
+  1. Metrics   — every "bursthist_*" name declared in the X-macro list
+                 src/obs/metric_names.h appears in docs/OPERATIONS.md,
+                 and OPERATIONS.md names no metric that is not declared.
+  2. Subsystems — every directory under src/ appears (as "src/<name>")
+                 in docs/ARCHITECTURE.md, and ARCHITECTURE.md names no
+                 src/ directory that does not exist.
+  3. CLI        — every wire verb parsed by src/server/wire.cc and
+                 every bursthist_cli subcommand listed in its Usage()
+                 appears in README.md.
+
+Run from anywhere:
 
     python3 tools/check_metrics_docs.py
 """
@@ -15,11 +23,23 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-HEADER = REPO / "src" / "obs" / "metric_names.h"
-DOC = REPO / "docs" / "OPERATIONS.md"
+METRICS_HEADER = REPO / "src" / "obs" / "metric_names.h"
+OPERATIONS = REPO / "docs" / "OPERATIONS.md"
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+README = REPO / "README.md"
+WIRE_CC = REPO / "src" / "server" / "wire.cc"
+CLI_MAIN = REPO / "examples" / "bursthist_cli.cpp"
+SRC = REPO / "src"
 
 # Non-metric identifiers that legitimately appear in the runbook.
 DOC_ALLOWLIST = {"bursthist_cli"}
+
+failures = []
+
+
+def fail(msg: str) -> None:
+    failures.append(msg)
+    print(msg, file=sys.stderr)
 
 
 def declared_metrics(header_text: str) -> set:
@@ -33,36 +53,82 @@ def declared_metrics(header_text: str) -> set:
         re.S,
     )
     if macro is None:
-        sys.exit(f"error: BURSTHIST_METRIC_LIST not found in {HEADER}")
+        sys.exit(f"error: BURSTHIST_METRIC_LIST not found in {METRICS_HEADER}")
     return set(re.findall(r'"(bursthist_[a-z0-9_]+)"', macro.group(1)))
 
 
-def documented_metrics(doc_text: str) -> set:
-    return set(re.findall(r"\b(bursthist_[a-z0-9_]+)\b", doc_text)) - DOC_ALLOWLIST
+def check_metrics() -> None:
+    declared = declared_metrics(METRICS_HEADER.read_text())
+    doc_text = OPERATIONS.read_text()
+    documented = (
+        set(re.findall(r"\b(bursthist_[a-z0-9_]+)\b", doc_text)) - DOC_ALLOWLIST
+    )
+    if not declared:
+        fail(f"error: no metrics declared in {METRICS_HEADER}")
+        return
+    for name in sorted(declared - documented):
+        fail(f"UNDOCUMENTED: metric {name} is declared in "
+             f"{METRICS_HEADER.name} but missing from {OPERATIONS.name}")
+    for name in sorted(documented - declared):
+        fail(f"STALE: metric {name} appears in {OPERATIONS.name} but is "
+             f"not declared in {METRICS_HEADER.name}")
+    if declared <= documented and documented <= declared:
+        print(f"OK: {len(declared)} metrics declared, all documented, "
+              f"no stale names.")
+
+
+def check_subsystems() -> None:
+    actual = {p.name for p in SRC.iterdir() if p.is_dir()}
+    doc_text = ARCHITECTURE.read_text()
+    mentioned = set(re.findall(r"\bsrc/([a-z0-9_]+)\b", doc_text))
+    for name in sorted(actual - mentioned):
+        fail(f"UNDOCUMENTED: subsystem src/{name} exists but is missing "
+             f"from {ARCHITECTURE.name}")
+    for name in sorted(mentioned - actual):
+        fail(f"STALE: src/{name} appears in {ARCHITECTURE.name} but no "
+             f"such directory exists")
+    if actual <= mentioned and mentioned <= actual:
+        print(f"OK: {len(actual)} src/ subsystems, all mapped in "
+              f"{ARCHITECTURE.name}.")
+
+
+def check_cli() -> None:
+    readme = README.read_text()
+
+    # Wire verbs: every string ParseRequest compares the verb token to.
+    verbs = set(re.findall(r'verb == "([A-Z]+)"', WIRE_CC.read_text()))
+    if not verbs:
+        fail(f"error: no wire verbs found in {WIRE_CC}")
+    for verb in sorted(verbs):
+        if not re.search(rf"\b{verb}\b", readme):
+            fail(f"UNDOCUMENTED: wire verb {verb} is parsed by "
+                 f"{WIRE_CC.name} but never mentioned in {README.name}")
+
+    # CLI subcommands: the first token after "bursthist_cli" on each
+    # Usage() line.
+    cli_text = CLI_MAIN.read_text()
+    usage = re.search(r'"usage:\\n"(.*?)return 2;', cli_text, re.S)
+    if usage is None:
+        fail(f"error: Usage() block not found in {CLI_MAIN}")
+        return
+    commands = set(re.findall(r"bursthist_cli (\w[\w-]*)", usage.group(1)))
+    for cmd in sorted(commands):
+        if not re.search(rf"\b{re.escape(cmd)}\b", readme):
+            fail(f"UNDOCUMENTED: bursthist_cli subcommand '{cmd}' is in "
+                 f"Usage() but never mentioned in {README.name}")
+    if not failures:
+        print(f"OK: {len(verbs)} wire verbs and {len(commands)} CLI "
+              f"subcommands all covered by {README.name}.")
 
 
 def main() -> int:
-    declared = declared_metrics(HEADER.read_text())
-    documented = documented_metrics(DOC.read_text())
-    if not declared:
-        print(f"error: no metrics declared in {HEADER}", file=sys.stderr)
+    check_metrics()
+    check_subsystems()
+    check_cli()
+    if failures:
+        print(f"\ndocs drift: {len(failures)} problem(s). Update the docs "
+              f"and/or the code they describe.", file=sys.stderr)
         return 1
-
-    missing = sorted(declared - documented)
-    unknown = sorted(documented - declared)
-    for name in missing:
-        print(f"UNDOCUMENTED: {name} is declared in {HEADER.name} "
-              f"but missing from {DOC.name}", file=sys.stderr)
-    for name in unknown:
-        print(f"STALE: {name} appears in {DOC.name} but is not declared "
-              f"in {HEADER.name}", file=sys.stderr)
-    if missing or unknown:
-        print(f"\nmetrics docs drift: {len(missing)} undocumented, "
-              f"{len(unknown)} stale. Update docs/OPERATIONS.md and/or "
-              f"src/obs/metric_names.h.", file=sys.stderr)
-        return 1
-    print(f"OK: {len(declared)} metrics declared, all documented, "
-          f"no stale names.")
     return 0
 
 
